@@ -1,0 +1,27 @@
+"""Shared benchmark configuration.
+
+Every benchmark prints the paper-style table it regenerates (visible
+with ``pytest benchmarks/ --benchmark-only -s`` and in this repo's
+``bench_output.txt``), and times the underlying experiment once via
+``benchmark.pedantic`` — these are experiments, not microbenchmarks, so
+re-running them dozens of times would only waste the budget.
+
+Scale knobs are chosen so the full suite finishes in a few minutes
+while preserving every qualitative claim being checked.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once under timing, return its result."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return _run

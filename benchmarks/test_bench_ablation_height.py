@@ -1,0 +1,23 @@
+"""Bench ablation: tree-height sensitivity (hash saturation, Eq. 1)."""
+
+from __future__ import annotations
+
+from repro.figures import ablations
+
+
+def test_bench_height_sensitivity(once):
+    table = once(
+        ablations.height_sensitivity,
+        n=50_000,
+        heights=(16, 18, 20, 24, 32),
+        rounds=256,
+        runs=300,
+    )
+    print()
+    table.print()
+    accuracies = [float(row[2]) for row in table.rows]
+    # Saturated trees under-estimate; accuracy recovers monotonically
+    # as H grows, reaching ~1 by the paper's H = 32.
+    assert accuracies[0] < 0.8
+    assert accuracies == sorted(accuracies)
+    assert 0.97 < accuracies[-1] < 1.03

@@ -1,0 +1,30 @@
+"""Bench ablation: O(log n) linear scan vs O(log log n) binary search.
+
+The paper's central efficiency claim, measured: per-round slot cost of
+Algorithm 1 grows with log2(phi n); Algorithm 3 stays flat at 5.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.accuracy import PHI
+from repro.figures import ablations
+
+
+def test_bench_search_cost(once):
+    sizes = (100, 1_000, 10_000, 100_000, 1_000_000)
+    table = once(ablations.search_cost, sizes=sizes, rounds=300)
+    print()
+    table.print()
+    for row, n in zip(table.rows, sizes):
+        linear = float(row[1])
+        binary = float(row[2])
+        assert binary == 5.0
+        # Algorithm 1 averages ~ log2(phi n) + 1 slots per round.
+        predicted = math.log2(PHI * n) + 1.0
+        assert abs(linear - predicted) < 1.0, f"n={n}"
+    # The gap widens with n: the log n vs log log n separation.
+    first_gap = float(table.rows[0][1]) - 5.0
+    last_gap = float(table.rows[-1][1]) - 5.0
+    assert last_gap > first_gap + 10.0

@@ -1,0 +1,23 @@
+"""Bench fig3: the protocol-execution traces (basic vs binary search).
+
+Regenerates Fig. 3 and times the slot-level execution of both variants.
+"""
+
+from __future__ import annotations
+
+from repro.figures import fig3_trace
+
+
+def test_bench_fig3_traces(once):
+    comparison = once(fig3_trace.run)
+    print()
+    print("Fig. 3 (a) basic algorithm:")
+    print(comparison.basic_trace.render())
+    print("Fig. 3 (b) binary search algorithm:")
+    print(comparison.binary_trace.render())
+    print(
+        f"slots: basic={comparison.basic_slots} (paper: 5), "
+        f"binary={comparison.binary_slots} (paper: 2)"
+    )
+    assert comparison.basic_slots == 5
+    assert comparison.binary_slots == 2

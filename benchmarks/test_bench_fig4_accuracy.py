@@ -1,0 +1,33 @@
+"""Bench fig4: PET accuracy / std / normalized std vs rounds.
+
+Regenerates all three Fig. 4 panels at 300 runs per point (the paper's
+setting) on the sampled tier.
+"""
+
+from __future__ import annotations
+
+from repro.figures import fig4
+
+
+def test_bench_fig4_panels(once):
+    cells = once(
+        fig4.run,
+        sizes=(1_000, 5_000, 10_000, 50_000),
+        rounds_grid=(8, 16, 32, 64, 128, 256),
+        runs=300,
+    )
+    print()
+    for table in fig4.tables(cells):
+        table.print()
+
+    by_key = {(c.n, c.rounds): c for c in cells}
+    # Paper claims: accuracy ~1 by 32-64 rounds, normalized std ~0.2 at
+    # m = 64, insensitive to n.
+    for n in (1_000, 5_000, 10_000, 50_000):
+        assert 0.93 < by_key[(n, 64)].summary.accuracy < 1.07
+        assert 0.12 < by_key[(n, 64)].summary.normalized_std < 0.30
+    # Deviation shrinks with rounds.
+    for n in (1_000, 50_000):
+        assert (
+            by_key[(n, 256)].summary.std < by_key[(n, 8)].summary.std
+        )

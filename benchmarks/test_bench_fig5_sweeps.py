@@ -1,0 +1,34 @@
+"""Bench fig5: fine-grained epsilon and delta sweeps (planning only)."""
+
+from __future__ import annotations
+
+from repro.figures import fig5
+
+
+def test_bench_fig5a_epsilon(once):
+    rows = once(
+        fig5.epsilon_sweep,
+        epsilons=fig5.FIG5A_EPSILONS,
+        validation_runs=0,
+    )
+    print()
+    fig5.table(
+        rows, "Fig. 5a — fine epsilon sweep (delta = 1%)", "epsilon"
+    ).print()
+    # PET/baseline ratio stays under one half across the whole sweep.
+    assert all(row.pet_over_fneb < 0.5 for row in rows)
+    assert all(row.pet_over_lof < 0.5 for row in rows)
+
+
+def test_bench_fig5b_delta(once):
+    rows = once(
+        fig5.delta_sweep,
+        deltas=fig5.FIG5B_DELTAS,
+        validation_runs=0,
+    )
+    print()
+    fig5.table(
+        rows, "Fig. 5b — fine delta sweep (epsilon = 5%)", "delta"
+    ).print()
+    assert all(row.pet_over_fneb < 0.5 for row in rows)
+    assert all(row.pet_over_lof < 0.5 for row in rows)

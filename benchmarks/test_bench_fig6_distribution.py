@@ -1,0 +1,30 @@
+"""Bench fig6: estimate distributions at equal slot budgets.
+
+PET (simulated + theory) vs FNEB vs LoF at n = 50 000, eps = 5 %,
+delta = 1 %: the paper's ">99% within CI vs ~90%" comparison.
+"""
+
+from __future__ import annotations
+
+from repro.figures import fig6
+from repro.sim.report import ascii_histogram
+
+
+def test_bench_fig6(once):
+    result = once(fig6.run, runs=1_000)
+    print()
+    fig6.summary_table(result).print()
+    print(
+        f"theoretical PET within-CI: {result.theory_within:.4f}"
+    )
+    lo, hi = 0.85 * result.n, 1.15 * result.n
+    for panel in (result.pet, result.fneb, result.lof):
+        print(f"\n({panel.protocol})")
+        print(ascii_histogram(panel.estimates, lo=lo, hi=hi, bins=15))
+
+    assert result.pet.within_fraction >= 0.98
+    assert result.fneb.within_fraction < result.pet.within_fraction
+    assert result.lof.within_fraction < result.pet.within_fraction
+    assert 0.80 < result.fneb.within_fraction < 0.97
+    assert 0.80 < result.lof.within_fraction < 0.97
+    assert result.theory_within >= 0.99

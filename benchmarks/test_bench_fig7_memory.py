@@ -1,0 +1,28 @@
+"""Bench fig7: per-tag preloaded memory vs accuracy target."""
+
+from __future__ import annotations
+
+from repro.figures import fig7
+
+
+def test_bench_fig7a(once):
+    rows = once(fig7.epsilon_sweep)
+    print()
+    fig7.table(
+        rows, "Fig. 7a — preloaded bits vs epsilon (delta = 1%)",
+        "epsilon",
+    ).print()
+    assert all(row.pet_bits == 32 for row in rows)
+    assert all(row.fneb_bits > 1000 for row in rows)
+
+
+def test_bench_fig7b(once):
+    rows = once(fig7.delta_sweep)
+    print()
+    fig7.table(
+        rows, "Fig. 7b — preloaded bits vs delta (epsilon = 5%)",
+        "delta",
+    ).print()
+    assert all(row.pet_bits == 32 for row in rows)
+    memory = [row.lof_bits for row in rows]
+    assert memory == sorted(memory, reverse=True)

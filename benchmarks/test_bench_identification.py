@@ -1,0 +1,33 @@
+"""Bench ablation: exact identification vs PET estimation.
+
+The paper's motivating gap (Sec. 1): identification costs O(n) slots,
+estimation O(1) total for a fixed accuracy contract.  Locates the
+crossover empirically.
+"""
+
+from __future__ import annotations
+
+from repro.figures import ablations
+
+
+def test_bench_identification_vs_estimation(once):
+    sizes = (1_000, 5_000, 20_000, 50_000)
+    table = once(
+        ablations.identification_vs_estimation, sizes=sizes
+    )
+    print()
+    table.print()
+    pet_slots = float(table.rows[0][3].replace(",", ""))
+    tree_costs = [
+        float(row[2].replace(",", "")) for row in table.rows
+    ]
+    aloha_costs = [
+        float(row[1].replace(",", "")) for row in table.rows
+    ]
+    # Identification grows linearly; PET is constant.
+    assert tree_costs[-1] > 10 * tree_costs[0]
+    assert aloha_costs[-1] > 10 * aloha_costs[0]
+    # By 20k tags both identification baselines cost more than the full
+    # (eps=5%, delta=1%) PET estimation.
+    assert tree_costs[2] > pet_slots
+    assert aloha_costs[2] > pet_slots

@@ -1,0 +1,14 @@
+"""Bench table3: PET's total slot counts (5 slots/round at H=32)."""
+
+from __future__ import annotations
+
+from repro.figures import table3
+
+
+def test_bench_table3(once):
+    rows = once(table3.run)
+    print()
+    table3.table(rows).print()
+    for row in rows:
+        assert row.nominal_slots == 5 * row.rounds
+        assert row.measured_slots == row.nominal_slots

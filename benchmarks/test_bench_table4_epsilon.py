@@ -1,0 +1,25 @@
+"""Bench table4: slots to meet the accuracy target, varying epsilon.
+
+PET vs FNEB vs LoF at delta = 1%, n = 50 000 — with an empirical
+within-CI validation column for PET.
+"""
+
+from __future__ import annotations
+
+from repro.figures import fig5
+
+
+def test_bench_table4(once):
+    rows = once(fig5.epsilon_sweep, validation_runs=300)
+    print()
+    fig5.table(
+        rows,
+        "Table 4 — total slots vs epsilon (delta = 1%, n = 50,000)",
+        "epsilon",
+    ).print()
+    for row in rows:
+        # Paper Sec. 5.3: PET needs ~35-43% of FNEB/LoF estimating time.
+        assert 0.30 < row.pet_over_fneb < 0.50
+        assert 0.35 < row.pet_over_lof < 0.50
+        # And the plan actually delivers the promised confidence.
+        assert row.pet_within >= 1.0 - row.delta - 0.02

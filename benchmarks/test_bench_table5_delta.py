@@ -1,0 +1,21 @@
+"""Bench table5: slots to meet the accuracy target, varying delta."""
+
+from __future__ import annotations
+
+from repro.figures import fig5
+
+
+def test_bench_table5(once):
+    rows = once(fig5.delta_sweep, validation_runs=300)
+    print()
+    fig5.table(
+        rows,
+        "Table 5 — total slots vs delta (epsilon = 5%, n = 50,000)",
+        "delta",
+    ).print()
+    slots = [row.pet_slots for row in rows]
+    assert slots == sorted(slots, reverse=True)
+    for row in rows:
+        assert row.pet_slots < row.fneb_slots
+        assert row.pet_slots < row.lof_slots
+        assert row.pet_within >= 1.0 - row.delta - 0.03

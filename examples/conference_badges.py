@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Conference attendance: dynamic, mobile tag population (Sec. 4.6.3).
+
+Scenario: attendees wear RFID badges and move between two halls, each
+covered by its own reader; people arrive and leave throughout the day.
+The organisers want a live headcount every session without tracking
+anyone — the paper's anonymity argument (Sec. 4.6.4): PET never
+transmits badge IDs during estimation.
+
+This example demonstrates:
+
+* per-session estimation of a *changing* ground truth (joins/leaves);
+* mobility between reader fields mid-estimation (tags in transit are
+  heard by both readers, and still count once);
+* the anonymity property, checked directly on the channel trace.
+
+Run with:  python examples/conference_badges.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import PetConfig, PetEstimator
+from repro.radio.channel import SlottedChannel
+from repro.reader.controller import ReaderController
+from repro.tags.dynamics import PopulationDynamics
+from repro.tags.mobility import MobileTagField, MobilityModel
+from repro.tags.pet_tags import PassivePetTag
+from repro.tags.population import TagPopulation
+
+TREE_HEIGHT = 20
+SESSIONS = 4
+ROUNDS_PER_SESSION = 160
+ATTENDEES = 500
+
+
+def estimate_session(
+    population: TagPopulation,
+    field: MobileTagField,
+    rng: np.random.Generator,
+) -> tuple[float, int]:
+    """Run one PET estimation over the two-hall deployment."""
+    tags_by_id = {
+        int(tag_id): PassivePetTag(int(tag_id), TREE_HEIGHT)
+        for tag_id in population.tag_ids
+    }
+    channels = []
+    for hall in range(field.num_readers):
+        channel = SlottedChannel(rng=rng)
+        for tag_id in field.tags_of_reader(hall):
+            channel.attach(tags_by_id[tag_id])
+        channels.append(channel)
+    config = PetConfig(
+        tree_height=TREE_HEIGHT,
+        passive_tags=True,
+        rounds=ROUNDS_PER_SESSION,
+    )
+    controller = ReaderController(channels, config=config, rng=rng)
+    result = PetEstimator(config=config, rng=rng).run(controller)
+
+    # Anonymity check: no reader command ever carried a badge ID.
+    for channel in channels:
+        for event in channel.trace:
+            assert event.command.startswith("start") or set(
+                event.command
+            ) <= {"0", "1", "*"}, "protocol leaked non-PET commands"
+    return result.n_hat, result.total_slots
+
+
+def main() -> None:
+    rng = np.random.default_rng(88)
+    population = TagPopulation.random(ATTENDEES, rng)
+    field = MobileTagField.random(
+        population.tag_ids, num_readers=2,
+        overlap_probability=0.1, rng=rng,
+    )
+    churn = PopulationDynamics(join_rate=30.0, leave_rate=20.0, rng=rng)
+    mobility = MobilityModel(move_probability=0.15, rng=rng)
+
+    print("Live headcounts across conference sessions "
+          "(2 halls, badge churn, movement):\n")
+    print(f"{'session':>7}  {'present':>8}  {'estimate':>9}  "
+          f"{'error':>7}  {'slots':>6}")
+    for session in range(SESSIONS):
+        n_hat, slots = estimate_session(population, field, rng)
+        error = abs(n_hat - population.size) / population.size
+        print(f"{session:>7}  {population.size:>8,}  {n_hat:>9,.0f}  "
+              f"{error:>6.1%}  {slots:>6}")
+
+        # Between sessions: arrivals/departures and hall movement.
+        population = churn.step(population, session)
+        field = MobileTagField.random(
+            population.tag_ids, num_readers=2,
+            overlap_probability=0.1, rng=rng,
+        )
+        field = mobility.step(field)
+
+    print(f"\n(joined {churn.total_joined}, left {churn.total_left} "
+          f"over the day; every estimate used badge-ID-free queries)")
+
+
+if __name__ == "__main__":
+    main()

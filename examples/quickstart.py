@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Quickstart: estimate an RFID tag population with PET.
+
+Walks the library's three levels of abstraction:
+
+1. the explicit PET tree on a toy population (Fig. 1's mental model);
+2. a full slot-level protocol run — real tags, a real channel, a real
+   reader — small enough to read the trace;
+3. production-scale estimation with the fast simulators, planned from an
+   ``(epsilon, delta)`` accuracy contract.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    AccuracyRequirement,
+    EstimatingPath,
+    PetConfig,
+    PetEstimator,
+    PetTree,
+    SampledSimulator,
+    SlotLevelSimulator,
+    TagPopulation,
+)
+
+
+def demo_tree() -> None:
+    """Level 1: the conceptual tree (paper Fig. 1)."""
+    print("=" * 64)
+    print("1. The conceptual PET tree (Fig. 1)")
+    print("=" * 64)
+    # Four tags hashed to 4-bit codes, exactly as in the paper.
+    tree = PetTree(height=4, codes=[0b0001, 0b0110, 0b1011, 0b1110])
+    path = EstimatingPath.from_string("0011")
+    print(f"leaf row (# = tag, r = estimating path leaf): "
+          f"{tree.render(path)}")
+    depth = tree.gray_depth(path)
+    print(f"estimating path r = {path}")
+    print(f"gray node: depth {depth}, height {tree.height - depth}")
+    print(f"(prefix {path.prefix_string(depth)} is busy, "
+          f"{path.prefix_string(depth + 1)} is idle)\n")
+
+
+def demo_slot_level() -> None:
+    """Level 2: the protocol on the air, slot by slot."""
+    print("=" * 64)
+    print("2. A real protocol round over the slotted channel")
+    print("=" * 64)
+    rng = np.random.default_rng(7)
+    population = TagPopulation.random(40, rng)
+    simulator = SlotLevelSimulator(
+        population,
+        config=PetConfig(tree_height=16, rounds=64),
+        rng=rng,
+    )
+    result = simulator.estimate()
+    print(f"true n = {population.size}, "
+          f"n_hat = {result.n_hat:.1f} after {result.num_rounds} rounds "
+          f"({result.total_slots} query slots)")
+    print("\nfirst round on the air:")
+    round_slots = [
+        event for event in simulator.trace.events[:8]
+    ]
+    for event in round_slots:
+        print(f"  slot {event.index:>2}  {event.command:<22} "
+              f"{event.outcome.slot_type.value}")
+    print()
+
+
+def demo_planned_estimation() -> None:
+    """Level 3: production-scale estimation from an accuracy contract."""
+    print("=" * 64)
+    print("3. Planned estimation: 1 million tags, eps=5%, delta=1%")
+    print("=" * 64)
+    requirement = AccuracyRequirement(epsilon=0.05, delta=0.01)
+    estimator = PetEstimator(
+        requirement=requirement, rng=np.random.default_rng(11)
+    )
+    rounds = estimator.planned_rounds
+    print(f"rounds planned from Eq. 20: m = {rounds} "
+          f"(independent of n!)")
+
+    n = 1_000_000
+    simulator = SampledSimulator(
+        n, config=PetConfig(rounds=rounds),
+        rng=np.random.default_rng(12),
+    )
+    result = simulator.estimate()
+    error = abs(result.n_hat - n) / n
+    print(f"true n = {n:,}")
+    print(f"n_hat  = {result.n_hat:,.0f}  (relative error "
+          f"{error:.2%}, contract allows 5%)")
+    print(f"cost   = {result.total_slots:,} slots "
+          f"({result.total_slots // rounds} per round — "
+          f"O(log log n))")
+
+    from repro.radio.timing import SlotTimingModel
+
+    budget = SlotTimingModel().uniform(result.total_slots, 6)
+    print(f"air time at Gen2-ish rates: ~{budget.seconds:.1f} s\n")
+
+
+if __name__ == "__main__":
+    demo_tree()
+    demo_slot_level()
+    demo_planned_estimation()

@@ -1,0 +1,196 @@
+#!/usr/bin/env python
+"""Reproduce the whole paper in one run, with JSON artifacts.
+
+Executes every evaluation artifact (Fig. 3, Fig. 4, Table 3,
+Tables 4/5 + Fig. 5 sweeps, Fig. 6, Fig. 7), prints the paper-style
+tables, checks the headline claims programmatically, and writes each
+experiment's measured rows to ``artifacts/*.json`` through
+:mod:`repro.sim.persist` — the machine-readable source behind
+EXPERIMENTS.md.
+
+Run with:  python examples/reproduce_paper.py [output_dir]
+(default output_dir: ./artifacts; pass --fast for a quick pass)
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.figures import fig3_trace, fig4, fig5, fig6, fig7, table3
+from repro.sim.persist import save_experiment
+
+CHECKMARK = "ok"
+
+
+def reproduce_fig3(out: Path) -> None:
+    comparison = fig3_trace.run()
+    assert comparison.basic_slots == 5 and comparison.binary_slots == 2
+    save_experiment(
+        out / "fig3.json",
+        "fig3",
+        parameters={"height": 6, "tags": 16, "path": "000011"},
+        rows=[
+            {
+                "variant": "basic",
+                "slots": comparison.basic_slots,
+                "gray_depth": comparison.gray_depth,
+            },
+            {
+                "variant": "binary",
+                "slots": comparison.binary_slots,
+                "gray_depth": comparison.gray_depth,
+            },
+        ],
+    )
+    print(f"[{CHECKMARK}] fig3: 5-slot basic vs 2-slot binary traces")
+
+
+def reproduce_fig4(out: Path, runs: int) -> None:
+    cells = fig4.run(runs=runs)
+    for table in fig4.tables(cells):
+        table.print()
+    save_experiment(
+        out / "fig4.json",
+        "fig4",
+        parameters={"runs": runs},
+        rows=[
+            {
+                "n": cell.n,
+                "rounds": cell.rounds,
+                **cell.summary.row(),
+            }
+            for cell in cells
+        ],
+    )
+    print(f"[{CHECKMARK}] fig4: accuracy/deviation sweeps saved")
+
+
+def reproduce_tables45(out: Path, runs: int) -> None:
+    table4_rows = fig5.epsilon_sweep(validation_runs=runs)
+    table5_rows = fig5.delta_sweep(validation_runs=runs)
+    fig5.table(
+        table4_rows, "Table 4 — slots vs epsilon", "epsilon"
+    ).print()
+    fig5.table(table5_rows, "Table 5 — slots vs delta", "delta").print()
+    for name, rows in (("table4", table4_rows), ("table5", table5_rows)):
+        save_experiment(
+            out / f"{name}.json",
+            name,
+            parameters={"n": 50_000, "validation_runs": runs},
+            rows=[
+                {
+                    "epsilon": row.epsilon,
+                    "delta": row.delta,
+                    "pet_slots": row.pet_slots,
+                    "fneb_slots": row.fneb_slots,
+                    "lof_slots": row.lof_slots,
+                    "pet_over_fneb": row.pet_over_fneb,
+                    "pet_over_lof": row.pet_over_lof,
+                    "pet_within": row.pet_within,
+                }
+                for row in rows
+            ],
+        )
+    band_ok = all(
+        0.30 < row.pet_over_fneb < 0.50
+        and 0.35 < row.pet_over_lof < 0.50
+        for row in table4_rows + table5_rows
+    )
+    assert band_ok
+    print(f"[{CHECKMARK}] tables 4/5: PET in the paper's 35-43% band")
+
+
+def reproduce_fig6(out: Path, runs: int) -> None:
+    result = fig6.run(runs=runs)
+    fig6.summary_table(result).print()
+    save_experiment(
+        out / "fig6.json",
+        "fig6",
+        parameters={"n": result.n, "runs": runs},
+        rows=[
+            {
+                "protocol": panel.protocol,
+                "rounds": panel.rounds,
+                "slots": panel.slots,
+                "mean": float(panel.estimates.mean()),
+                "within": panel.within_fraction,
+            }
+            for panel in (result.pet, result.fneb, result.lof)
+        ],
+    )
+    assert result.pet.within_fraction > result.fneb.within_fraction
+    assert result.pet.within_fraction > result.lof.within_fraction
+    print(f"[{CHECKMARK}] fig6: PET {result.pet.within_fraction:.1%} "
+          f"within-CI vs FNEB {result.fneb.within_fraction:.1%} / "
+          f"LoF {result.lof.within_fraction:.1%}")
+
+
+def reproduce_fig7(out: Path) -> None:
+    rows_a = fig7.epsilon_sweep()
+    rows_b = fig7.delta_sweep()
+    fig7.table(rows_a, "Fig. 7a — memory vs epsilon", "epsilon").print()
+    fig7.table(rows_b, "Fig. 7b — memory vs delta", "delta").print()
+    save_experiment(
+        out / "fig7.json",
+        "fig7",
+        parameters={},
+        rows=[
+            {
+                "sweep": sweep,
+                "epsilon": row.epsilon,
+                "delta": row.delta,
+                "pet_bits": row.pet_bits,
+                "fneb_bits": row.fneb_bits,
+                "lof_bits": row.lof_bits,
+            }
+            for sweep, rows in (("epsilon", rows_a), ("delta", rows_b))
+            for row in rows
+        ],
+    )
+    assert all(row.pet_bits == 32 for row in rows_a + rows_b)
+    print(f"[{CHECKMARK}] fig7: PET constant at 32 bits/tag")
+
+
+def reproduce_table3(out: Path) -> None:
+    rows = table3.run()
+    table3.table(rows).print()
+    save_experiment(
+        out / "table3.json",
+        "table3",
+        parameters={"height": 32},
+        rows=[
+            {
+                "rounds": row.rounds,
+                "nominal": row.nominal_slots,
+                "measured": row.measured_slots,
+            }
+            for row in rows
+        ],
+    )
+    assert all(r.measured_slots == r.nominal_slots for r in rows)
+    print(f"[{CHECKMARK}] table3: exactly 5 slots per round")
+
+
+def main(argv: list[str]) -> int:
+    fast = "--fast" in argv
+    positional = [a for a in argv if not a.startswith("-")]
+    out = Path(positional[0]) if positional else Path("artifacts")
+    out.mkdir(parents=True, exist_ok=True)
+    runs = 60 if fast else 300
+
+    print(f"Reproducing the PET paper -> {out}/  "
+          f"({'fast' if fast else 'paper'} scale, {runs} runs/point)\n")
+    reproduce_fig3(out)
+    reproduce_table3(out)
+    reproduce_fig4(out, runs)
+    reproduce_tables45(out, runs)
+    reproduce_fig6(out, max(runs, 300))
+    reproduce_fig7(out)
+    print(f"\nAll artifacts written to {out}/ "
+          f"({len(list(out.glob('*.json')))} JSON documents).")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Warehouse inventory: multi-reader cargo counting (paper Sec. 1, 4.6.3).
+
+Scenario: a 120 m x 80 m warehouse holds tens of thousands of tagged
+cargo items.  A grid of readers covers the floor with deliberately
+overlapping ranges, coordinated by a back-end controller.  The task is
+the paper's motivating one — "verifying the amount of products with RFID
+labels in cargo shipping" — where an approximate count with a guarantee
+beats itemizing every tag.
+
+This example demonstrates:
+
+* geometric deployment and coverage computation;
+* duplicate-insensitive aggregation (tags in overlaps count once);
+* an accuracy-planned estimate vs the exact (slow) identification count.
+
+Run with:  python examples/warehouse_inventory.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import AccuracyRequirement, PetConfig, PetEstimator
+from repro.protocols import TreeWalkIdentification
+from repro.reader.controller import ReaderController
+from repro.reader.deployment import Deployment
+from repro.tags.pet_tags import PassivePetTag
+from repro.tags.population import TagPopulation
+
+TREE_HEIGHT = 24
+NUM_ITEMS = 4_000  # slot-level simulation: keep it demo-sized
+
+
+def main() -> None:
+    rng = np.random.default_rng(2011)
+
+    print("Deploying a 3x4 reader grid over a 120m x 80m warehouse...")
+    deployment = Deployment.grid(120.0, 80.0, rows=3, cols=4)
+    population = TagPopulation.random(NUM_ITEMS, rng)
+    field = deployment.scatter_tags(population, rng)
+    duplicated = len(field.duplicated_tags)
+    print(f"  {len(deployment.readers)} readers, "
+          f"{population.size:,} tagged items")
+    print(f"  {duplicated:,} items sit in overlapping coverage "
+          f"({duplicated / population.size:.0%}) — the duplicate-count "
+          f"hazard\n")
+
+    # Passive tags: each carries one preloaded 24-bit PET code.
+    tags_by_id = {
+        int(tag_id): PassivePetTag(int(tag_id), TREE_HEIGHT)
+        for tag_id in population.tag_ids
+    }
+    channels = deployment.build_channels(field, tags_by_id, rng=rng)
+
+    requirement = AccuracyRequirement(epsilon=0.10, delta=0.05)
+    config = PetConfig(tree_height=TREE_HEIGHT, passive_tags=True)
+    estimator = PetEstimator(
+        config=config, requirement=requirement, rng=rng
+    )
+    rounds = estimator.planned_rounds
+    print(f"Accuracy contract: eps={requirement.epsilon:.0%}, "
+          f"delta={requirement.delta:.0%} -> m = {rounds} rounds")
+
+    controller = ReaderController(
+        channels, config=config.with_rounds(rounds), rng=rng
+    )
+    result = PetEstimator(
+        config=config.with_rounds(rounds), rng=rng
+    ).run(controller)
+
+    print(f"\nPET estimate across the controller: "
+          f"{result.n_hat:,.0f} items")
+    print(f"  truth: {population.size:,}  "
+          f"(error {abs(result.n_hat - population.size) / population.size:.2%})")
+    print(f"  wall-clock cost: {result.total_slots:,} slots "
+          f"(readers interrogate concurrently)")
+
+    print("\nFor contrast, exact identification (tree walking, one "
+          "combined reader):")
+    count, slots = TreeWalkIdentification().count(population)
+    print(f"  exact count: {count:,} in {slots:,} slots — "
+          f"{slots / max(result.total_slots, 1):.1f}x the slot cost, "
+          f"and it reveals every tag ID")
+    print("\nPET gets the approximate answer anonymously and "
+          "duplicate-insensitively.")
+
+
+if __name__ == "__main__":
+    main()

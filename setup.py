@@ -1,0 +1,7 @@
+"""Shim for environments without PEP 660 editable-install support
+(e.g. offline boxes missing the wheel package); pyproject.toml is the
+source of truth for all metadata."""
+
+from setuptools import setup
+
+setup()

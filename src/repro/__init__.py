@@ -1,0 +1,115 @@
+"""repro — reproduction of PET: Probabilistic Estimating Tree (Zheng & Li).
+
+PET estimates the cardinality of an RFID tag population in
+``O(log log n)`` time slots per round by locating the *gray node* along
+a random estimating path of a conceptual binary tree of hashed tag
+codes.  This package implements the full system: the PET protocol in
+all its variants, the radio/tag/reader substrates it runs on, the
+baseline estimators it is evaluated against (FNEB, LoF, USE/UPE/EZB)
+and the classical identification protocols it is motivated by, plus
+the analysis, simulation and benchmark machinery that regenerates
+every table and figure of the paper's evaluation.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import PetConfig, SampledSimulator
+>>> rng = np.random.default_rng(7)
+>>> sim = SampledSimulator(50_000, config=PetConfig(rounds=256), rng=rng)
+>>> result = sim.estimate()
+>>> 40_000 < result.n_hat < 60_000
+True
+
+See ``examples/quickstart.py`` for the full tour and ``DESIGN.md`` for
+the system inventory.
+"""
+
+from .config import (
+    AccuracyRequirement,
+    ChannelConfig,
+    PetConfig,
+    TimingConfig,
+)
+from .core import (
+    PHI,
+    SIGMA_H,
+    EstimateResult,
+    EstimatingPath,
+    PetEstimator,
+    PetTree,
+    estimate_from_depths,
+    rounds_required,
+)
+from .core.adaptive import AdaptivePetEstimator, AdaptiveResult
+from .errors import (
+    AnalysisError,
+    ChannelError,
+    ConfigurationError,
+    EstimationError,
+    ProtocolError,
+    ReproError,
+)
+from .protocols import (
+    FnebProtocol,
+    FramedAlohaIdentification,
+    LofProtocol,
+    PetProtocol,
+    TreeWalkIdentification,
+)
+from .monitor import CardinalityMonitor, EpochReport
+from .radio import SlottedChannel
+from .reader import PetReader, ReaderController
+from .sim import (
+    ExperimentRunner,
+    SampledSimulator,
+    SlotLevelSimulator,
+    VectorizedSimulator,
+)
+from .tags import TagPopulation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # configuration
+    "AccuracyRequirement",
+    "PetConfig",
+    "ChannelConfig",
+    "TimingConfig",
+    # core
+    "PHI",
+    "SIGMA_H",
+    "EstimatingPath",
+    "PetTree",
+    "PetEstimator",
+    "EstimateResult",
+    "rounds_required",
+    "estimate_from_depths",
+    "AdaptivePetEstimator",
+    "AdaptiveResult",
+    "CardinalityMonitor",
+    "EpochReport",
+    # substrates
+    "SlottedChannel",
+    "TagPopulation",
+    "PetReader",
+    "ReaderController",
+    # simulators
+    "SlotLevelSimulator",
+    "VectorizedSimulator",
+    "SampledSimulator",
+    "ExperimentRunner",
+    # protocol zoo
+    "PetProtocol",
+    "FnebProtocol",
+    "LofProtocol",
+    "FramedAlohaIdentification",
+    "TreeWalkIdentification",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "ProtocolError",
+    "ChannelError",
+    "EstimationError",
+    "AnalysisError",
+]

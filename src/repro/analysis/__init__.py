@@ -1,0 +1,62 @@
+"""Closed-form analysis of PET and the baseline estimators.
+
+* :mod:`~repro.analysis.mellin` — the exact gray-depth/height PMF and its
+  Mellin-asymptotic moments (Sec. 4.2, Eqs. 5-11).
+* :mod:`~repro.analysis.theory` — the predicted sampling distribution of
+  the PET estimate (the Fig. 6a theoretical overlay) and per-statistic
+  moments for the baselines (FNEB first-nonempty index, LoF first-empty
+  bucket).
+* :mod:`~repro.analysis.stats` — experiment-side summary statistics.
+"""
+
+from .mellin import (
+    gray_depth_cdf,
+    gray_depth_pmf,
+    gray_depth_moments,
+    gray_height_pmf,
+    periodic_fluctuation,
+)
+from .mle import mle_estimate, mle_estimate_censored
+from .saturation import (
+    corrected_estimate,
+    effective_range,
+    estimator_bias,
+    saturation_level,
+)
+from .stats import SeriesSummary, summarize
+from .variance import (
+    EstimateMoments,
+    bias_corrected_estimate,
+    estimate_moments,
+    rounds_for_normalized_rms,
+)
+from .theory import (
+    estimate_distribution,
+    fneb_round_moments,
+    lof_round_moments,
+    within_interval_probability,
+)
+
+__all__ = [
+    "gray_depth_pmf",
+    "gray_depth_cdf",
+    "gray_height_pmf",
+    "gray_depth_moments",
+    "periodic_fluctuation",
+    "estimate_distribution",
+    "within_interval_probability",
+    "fneb_round_moments",
+    "lof_round_moments",
+    "SeriesSummary",
+    "summarize",
+    "saturation_level",
+    "estimator_bias",
+    "corrected_estimate",
+    "effective_range",
+    "mle_estimate",
+    "mle_estimate_censored",
+    "EstimateMoments",
+    "estimate_moments",
+    "bias_corrected_estimate",
+    "rounds_for_normalized_rms",
+]

@@ -1,0 +1,160 @@
+"""Exact and asymptotic distribution of the gray-node position.
+
+The gray node on a random estimating path sits at depth ``d`` (prefix
+length) with CDF
+
+    P(d <= k) = P(no tag matches the (k+1)-bit prefix)
+              = (1 - 2^-(k+1))^n        for 0 <= k < H,
+    P(d <= H) = 1,
+
+because each of the ``n`` independent uniform codes matches a fixed
+``j``-bit prefix with probability ``2^-j``.  Writing ``p = (1-2^-H)^n``
+for the white-leaf fraction and ``h = H - d`` for the node height
+recovers the paper's Eq. 5, ``P(h) = p^(2^(h-1)) (1 - p^(2^(h-1)))``.
+
+The asymptotic moments (paper Eqs. 8-11) come from Mellin-transform
+analysis of the harmonic sum ``E(h) = sum_k e^(-n 2^-k-1)``; this module
+evaluates both the exact finite sums and the asymptotic forms, including
+the tiny periodic fluctuation term ``P(log2 n)`` the paper bounds by
+``1e-5``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..core.accuracy import EULER_GAMMA, PHI, SIGMA_H
+
+
+def _check_inputs(n: int, height: int) -> None:
+    if n < 0:
+        raise AnalysisError(f"n must be >= 0, got {n}")
+    if not 1 <= height <= 64:
+        raise AnalysisError(f"height must lie in [1, 64], got {height}")
+
+
+def gray_depth_cdf(n: int, height: int) -> np.ndarray:
+    """Exact CDF of the gray depth: ``cdf[k] = P(d <= k)``, k = 0..H."""
+    _check_inputs(n, height)
+    ks = np.arange(height + 1, dtype=np.float64)
+    cdf = (1.0 - 2.0 ** -(ks + 1.0)) ** n
+    cdf[height] = 1.0
+    return cdf
+
+
+def gray_depth_pmf(n: int, height: int) -> np.ndarray:
+    """Exact PMF of the gray depth over ``0..H``.
+
+    ``pmf[k] = P(d = k) = P(d <= k) - P(d <= k-1)``; for ``n = 0`` all
+    mass sits at depth 0 (every slot idle).
+    """
+    cdf = gray_depth_cdf(n, height)
+    pmf = np.empty_like(cdf)
+    pmf[0] = cdf[0]
+    pmf[1:] = np.diff(cdf)
+    return pmf
+
+
+def gray_height_pmf(n: int, height: int) -> np.ndarray:
+    """Exact PMF of the gray *height* ``h = H - d`` over ``0..H``.
+
+    Index ``h`` of the result is ``P(height = h)`` — the reversed depth
+    PMF; matches the paper's Eq. 5 in the ``p ~ e^(-n 2^-H)`` regime.
+    """
+    return gray_depth_pmf(n, height)[::-1].copy()
+
+
+@dataclass(frozen=True)
+class GrayMoments:
+    """Exact moments of the gray depth for one ``(n, H)``.
+
+    Attributes
+    ----------
+    mean_depth, std_depth:
+        Exact mean and standard deviation of ``d``.
+    mean_height:
+        ``H - mean_depth`` (the paper's ``E(h)``).
+    asymptotic_mean_depth:
+        The Mellin form ``log2(phi n)``.
+    asymptotic_std:
+        The constant ``sigma(h) = 1.87271...``.
+    """
+
+    mean_depth: float
+    std_depth: float
+    mean_height: float
+    asymptotic_mean_depth: float
+    asymptotic_std: float
+
+
+def gray_depth_moments(n: int, height: int) -> GrayMoments:
+    """Exact and asymptotic moments of the gray-node depth."""
+    if n < 1:
+        raise AnalysisError(f"moments require n >= 1, got {n}")
+    pmf = gray_depth_pmf(n, height)
+    ks = np.arange(height + 1, dtype=np.float64)
+    mean = float((ks * pmf).sum())
+    var = float(((ks - mean) ** 2 * pmf).sum())
+    return GrayMoments(
+        mean_depth=mean,
+        std_depth=math.sqrt(var),
+        mean_height=height - mean,
+        asymptotic_mean_depth=math.log2(PHI * n),
+        asymptotic_std=SIGMA_H,
+    )
+
+
+def periodic_fluctuation(n: float, terms: int = 40) -> float:
+    """The oscillating remainder ``P(log2 n)`` of the Mellin expansion.
+
+    The paper drops this term, noting its amplitude is bounded by
+    ``1e-5``.  We evaluate it from the standard Fourier form of the
+    fluctuation in probabilistic-counting analyses (Kirschenhofer &
+    Prodinger 1990):
+
+        P(x) = (1/ln 2) * sum_{k != 0} Gamma(-chi_k) * exp(2 pi i k x),
+        chi_k = 2 pi i k / ln 2,
+
+    returning the real part.  Tests assert ``|P| < 1e-5``, confirming the
+    paper's bound — and justifying ignoring it in the estimator.
+    """
+    if n <= 0:
+        raise AnalysisError(f"n must be positive, got {n}")
+    try:
+        from scipy.special import gamma as gamma_func
+    except ImportError as exc:  # pragma: no cover - scipy is a dependency
+        raise AnalysisError("scipy is required for the fluctuation") from exc
+
+    x = math.log2(n)
+    log2 = math.log(2.0)
+    total = 0.0 + 0.0j
+    for k in range(1, terms + 1):
+        chi = 2.0j * math.pi * k / log2
+        coefficient = gamma_func(-chi)
+        total += coefficient * np.exp(2.0j * math.pi * k * x)
+        total += np.conj(coefficient) * np.exp(-2.0j * math.pi * k * x)
+    return float(total.real / log2)
+
+
+def expected_height_exact(n: int, height: int) -> float:
+    """Exact ``E(h)`` by finite summation (the paper's Eq. 6)."""
+    return gray_depth_moments(n, height).mean_height
+
+
+def expected_height_asymptotic(n: int, height: int) -> float:
+    """Asymptotic ``E(h) ~ H - log2 n - (gamma/ln2 - 1/2)``.
+
+    Equal to ``H - log2(phi n)`` with ``phi = e^gamma/sqrt 2``, i.e.
+    ``log2 phi = gamma/ln2 - 1/2 = 0.3327...``.  Note the paper's Eq. 8
+    prints the constant with a ``+`` sign, which contradicts both its
+    own estimator ``n_hat = phi^-1 2^(H - h_bar)`` (Eq. 14) and the
+    exact finite sum (:func:`expected_height_exact`, which this
+    function matches to ~1e-2); we follow the self-consistent sign.
+    """
+    if n < 1:
+        raise AnalysisError(f"n must be >= 1, got {n}")
+    return height - math.log2(n) - (EULER_GAMMA / math.log(2.0) - 0.5)

@@ -1,0 +1,174 @@
+"""Maximum-likelihood PET estimation — an alternative to Eq. 14.
+
+The paper estimates by inverting the *mean* gray depth (a method-of-
+moments estimator).  The observations are i.i.d. draws from a known
+one-parameter family (the exact depth law of
+:mod:`repro.analysis.mellin`), so the textbook alternative is maximum
+likelihood over ``n``:
+
+    n_hat_mle = argmax_n  sum_i log P_n(d_i).
+
+The log-likelihood is strictly unimodal in ``log n`` over the relevant
+range (the depth law is stochastically increasing in ``n``), so a
+golden-section search on ``log2 n`` converges fast.  The MLE squeezes a
+few percent of RMS out of the moment estimator at equal rounds — and,
+more importantly for practice, it handles *censored* observations (the
+linear scan truncated at H) gracefully.
+
+This module is an extension; the protocol comparisons in the paper's
+tables all use the paper's own estimator.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import AnalysisError, EstimationError
+from .mellin import gray_depth_pmf
+
+#: Golden ratio step for the section search.
+_INV_PHI = (math.sqrt(5.0) - 1.0) / 2.0
+
+
+def depth_log_likelihood(
+    depths: np.ndarray, n: int, height: int
+) -> float:
+    """``sum_i log P_n(d_i)`` under the exact depth law."""
+    if n < 1:
+        raise AnalysisError(f"n must be >= 1, got {n}")
+    pmf = gray_depth_pmf(n, height)
+    counts = np.bincount(
+        depths.astype(np.int64), minlength=height + 1
+    )
+    with np.errstate(divide="ignore"):
+        log_pmf = np.log(np.maximum(pmf, 1e-300))
+    return float((counts * log_pmf).sum())
+
+
+def mle_estimate(
+    depths: Sequence[int] | np.ndarray,
+    height: int,
+    n_min: int = 1,
+    n_max: int | None = None,
+    tolerance: float = 1e-4,
+) -> float:
+    """Maximum-likelihood cardinality from observed gray depths.
+
+    Parameters
+    ----------
+    depths:
+        Observed gray depths (one per round).
+    height:
+        Tree height ``H``.
+    n_min, n_max:
+        Search bracket; ``n_max`` defaults to ``2^(H+4)``.
+    tolerance:
+        Convergence tolerance on ``log2 n``.
+    """
+    observations = np.asarray(depths, dtype=np.int64)
+    if observations.size == 0:
+        raise EstimationError("cannot estimate from zero rounds")
+    if observations.min() < 0 or observations.max() > height:
+        raise EstimationError(
+            f"depths must lie in [0, {height}]"
+        )
+    if n_max is None:
+        n_max = 1 << min(height + 4, 62)
+    if not 1 <= n_min < n_max:
+        raise AnalysisError("need 1 <= n_min < n_max")
+
+    def objective(log_n: float) -> float:
+        return depth_log_likelihood(
+            observations, max(1, int(round(2.0**log_n))), height
+        )
+
+    low, high = math.log2(n_min), math.log2(n_max)
+    # Golden-section search for the maximum of a unimodal function.
+    inner_low = high - _INV_PHI * (high - low)
+    inner_high = low + _INV_PHI * (high - low)
+    value_low = objective(inner_low)
+    value_high = objective(inner_high)
+    while high - low > tolerance:
+        if value_low < value_high:
+            low = inner_low
+            inner_low = inner_high
+            value_low = value_high
+            inner_high = low + _INV_PHI * (high - low)
+            value_high = objective(inner_high)
+        else:
+            high = inner_high
+            inner_high = inner_low
+            value_high = value_low
+            inner_low = high - _INV_PHI * (high - low)
+            value_low = objective(inner_low)
+    return float(2.0 ** ((low + high) / 2.0))
+
+
+def mle_estimate_censored(
+    depths: Sequence[int] | np.ndarray,
+    height: int,
+    censor_at: int,
+    **kwargs: object,
+) -> float:
+    """MLE when the search was truncated at prefix length ``censor_at``.
+
+    A linear scan stopped early (e.g. a fixed slot budget per round)
+    observes ``min(d, censor_at)``; observations equal to the censor
+    point contribute the *tail* probability ``P(d >= censor_at)``
+    instead of the point mass.  The moment estimator cannot use such
+    rounds at all; the MLE folds them in.
+    """
+    observations = np.asarray(depths, dtype=np.int64)
+    if observations.size == 0:
+        raise EstimationError("cannot estimate from zero rounds")
+    if not 1 <= censor_at <= height:
+        raise AnalysisError(
+            f"censor_at must lie in [1, {height}], got {censor_at}"
+        )
+    if observations.max() > censor_at:
+        raise EstimationError(
+            "observations exceed the declared censoring point"
+        )
+    exact = observations[observations < censor_at]
+    censored_count = int((observations == censor_at).sum())
+
+    n_max = kwargs.pop("n_max", None) or (1 << min(height + 4, 62))
+    n_min = kwargs.pop("n_min", 1)
+    tolerance = kwargs.pop("tolerance", 1e-4)
+
+    def objective(log_n: float) -> float:
+        n = max(1, int(round(2.0**log_n)))
+        pmf = gray_depth_pmf(n, height)
+        total = 0.0
+        if exact.size:
+            counts = np.bincount(exact, minlength=height + 1)
+            with np.errstate(divide="ignore"):
+                total += float(
+                    (counts * np.log(np.maximum(pmf, 1e-300))).sum()
+                )
+        if censored_count:
+            tail = float(pmf[censor_at:].sum())
+            total += censored_count * math.log(max(tail, 1e-300))
+        return total
+
+    low, high = math.log2(n_min), math.log2(n_max)
+    inner_low = high - _INV_PHI * (high - low)
+    inner_high = low + _INV_PHI * (high - low)
+    value_low, value_high = objective(inner_low), objective(inner_high)
+    while high - low > tolerance:
+        if value_low < value_high:
+            low, inner_low, value_low = inner_low, inner_high, value_high
+            inner_high = low + _INV_PHI * (high - low)
+            value_high = objective(inner_high)
+        else:
+            high, inner_high, value_high = (
+                inner_high,
+                inner_low,
+                value_low,
+            )
+            inner_low = high - _INV_PHI * (high - low)
+            value_low = objective(inner_low)
+    return float(2.0 ** ((low + high) / 2.0))

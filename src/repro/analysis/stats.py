@@ -1,0 +1,105 @@
+"""Summary statistics for experiment result series.
+
+Every figure in the paper's evaluation reports one of three quantities
+over repeated runs: the accuracy ``n_hat / n`` (Eq. 22), the standard
+deviation ``sqrt(E[(n_hat - n)^2])`` (Eq. 23, an RMS error around the
+*true* value, not the sample mean), and its normalized form.  This
+module computes them once, consistently, for all experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class SeriesSummary:
+    """Summary of repeated estimates of a known true cardinality.
+
+    Attributes
+    ----------
+    true_n:
+        Ground-truth cardinality.
+    runs:
+        Number of independent estimates summarized.
+    mean_estimate:
+        Sample mean of ``n_hat``.
+    accuracy:
+        The paper's Eq. 22 metric, ``mean(n_hat) / n``.
+    std:
+        The paper's Eq. 23 metric, ``sqrt(mean((n_hat - n)^2))``.
+    normalized_std:
+        ``std / n`` (Fig. 4c's y-axis).
+    within_fraction:
+        Fraction of runs inside ``[(1-eps)n, (1+eps)n]`` for the epsilon
+        recorded in ``epsilon`` (``nan`` when no epsilon was supplied).
+    epsilon:
+        The interval half-width used for ``within_fraction``.
+    """
+
+    true_n: int
+    runs: int
+    mean_estimate: float
+    accuracy: float
+    std: float
+    normalized_std: float
+    within_fraction: float
+    epsilon: float
+
+    def row(self) -> dict[str, float]:
+        """Flat dict rendering, for report tables."""
+        return {
+            "n": self.true_n,
+            "runs": self.runs,
+            "mean_estimate": self.mean_estimate,
+            "accuracy": self.accuracy,
+            "std": self.std,
+            "normalized_std": self.normalized_std,
+            "within_fraction": self.within_fraction,
+        }
+
+
+def summarize(
+    estimates: Sequence[float] | np.ndarray,
+    true_n: int,
+    epsilon: float = float("nan"),
+) -> SeriesSummary:
+    """Summarize repeated estimates against the true cardinality.
+
+    Parameters
+    ----------
+    estimates:
+        The ``n_hat`` values from independent runs.
+    true_n:
+        Ground truth ``n``.
+    epsilon:
+        Optional interval half-width for the within-interval fraction.
+    """
+    values = np.asarray(estimates, dtype=np.float64)
+    if values.size == 0:
+        raise AnalysisError("cannot summarize an empty series")
+    if true_n < 1:
+        raise AnalysisError(f"true_n must be >= 1, got {true_n}")
+    mean_estimate = float(values.mean())
+    std = float(np.sqrt(np.mean((values - true_n) ** 2)))
+    if math.isnan(epsilon):
+        within = float("nan")
+    else:
+        low, high = (1.0 - epsilon) * true_n, (1.0 + epsilon) * true_n
+        within = float(((values >= low) & (values <= high)).mean())
+    return SeriesSummary(
+        true_n=true_n,
+        runs=int(values.size),
+        mean_estimate=mean_estimate,
+        accuracy=mean_estimate / true_n,
+        std=std,
+        normalized_std=std / true_n,
+        within_fraction=within,
+        epsilon=epsilon,
+    )

@@ -1,0 +1,115 @@
+"""Command-line entry point: regenerate any paper table or figure.
+
+Usage::
+
+    python -m repro <experiment> [--runs N]
+    pet-repro <experiment>
+
+where ``<experiment>`` is one of ``fig3``, ``fig4``, ``table3``,
+``table4``, ``table5``, ``fig5a``, ``fig5b``, ``fig6``, ``fig7``,
+``ablations``, or ``all``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable
+
+from .config import PAPER_RUNS_PER_POINT
+from .figures import (
+    ablations,
+    extensions,
+    fig3_trace,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    table3,
+)
+
+
+def _run_fig5a() -> None:
+    fig5.table(
+        fig5.epsilon_sweep(
+            epsilons=fig5.FIG5A_EPSILONS, validation_runs=0
+        ),
+        "Fig. 5a — fine epsilon sweep (delta = 1%)",
+        "epsilon",
+    ).print()
+
+
+def _run_fig5b() -> None:
+    fig5.table(
+        fig5.delta_sweep(deltas=fig5.FIG5B_DELTAS, validation_runs=0),
+        "Fig. 5b — fine delta sweep (epsilon = 5%)",
+        "delta",
+    ).print()
+
+
+def _run_table4() -> None:
+    fig5.table(
+        fig5.epsilon_sweep(),
+        "Table 4 — total slots vs epsilon (delta = 1%, n = 50,000)",
+        "epsilon",
+    ).print()
+
+
+def _run_table5() -> None:
+    fig5.table(
+        fig5.delta_sweep(),
+        "Table 5 — total slots vs delta (epsilon = 5%, n = 50,000)",
+        "delta",
+    ).print()
+
+
+def _experiments(runs: int) -> dict[str, Callable[[], None]]:
+    return {
+        "fig3": fig3_trace.main,
+        "fig4": lambda: fig4.main(runs=runs),
+        "table3": table3.main,
+        "table4": _run_table4,
+        "table5": _run_table5,
+        "fig5a": _run_fig5a,
+        "fig5b": _run_fig5b,
+        "fig6": lambda: fig6.main(runs=max(runs, 100)),
+        "fig7": fig7.main,
+        "ablations": ablations.main,
+        "extensions": extensions.main,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="pet-repro",
+        description=(
+            "Regenerate the tables and figures of 'PET: Probabilistic "
+            "Estimating Tree for Large-Scale RFID Estimation'."
+        ),
+    )
+    experiment_names = sorted(_experiments(1)) + ["all"]
+    parser.add_argument(
+        "experiment",
+        choices=experiment_names,
+        help="which paper artifact to regenerate",
+    )
+    parser.add_argument(
+        "--runs",
+        type=int,
+        default=PAPER_RUNS_PER_POINT,
+        help="simulation repetitions per data point (paper: 300)",
+    )
+    args = parser.parse_args(argv)
+    experiments = _experiments(args.runs)
+    if args.experiment == "all":
+        for name in sorted(experiments):
+            print(f"===== {name} =====")
+            experiments[name]()
+            print()
+    else:
+        experiments[args.experiment]()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,200 @@
+"""Shared configuration dataclasses.
+
+All user-tunable knobs of the library live in small frozen dataclasses
+that validate themselves on construction.  Components accept a config
+object rather than a long list of keyword arguments, which keeps
+experiment definitions (``repro.sim.experiment``) declarative and
+hashable/serialisable for seed bookkeeping.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from .errors import ConfigurationError
+
+#: Default PET tree height used across the paper's evaluation (Sec. 5.1):
+#: each tag carries a 32-bit PET random code.
+DEFAULT_TREE_HEIGHT = 32
+
+#: Default number of repetitions per data point in the paper's simulations
+#: ("To get each simulation result, we take 300 runs", Sec. 5.1).
+PAPER_RUNS_PER_POINT = 300
+
+
+@dataclass(frozen=True)
+class AccuracyRequirement:
+    """The ``(epsilon, delta)`` accuracy contract of Sec. 3.
+
+    An estimator satisfies the contract when
+    ``Pr{|n_hat - n| <= epsilon * n} >= 1 - delta``.
+
+    Attributes
+    ----------
+    epsilon:
+        Confidence-interval half width, relative to the true cardinality
+        (e.g. ``0.05`` for the paper's 5 % default).
+    delta:
+        Error probability (e.g. ``0.01`` for the paper's 1 % default).
+    """
+
+    epsilon: float = 0.05
+    delta: float = 0.01
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.epsilon < 1.0:
+            raise ConfigurationError(
+                f"epsilon must lie in (0, 1), got {self.epsilon!r}"
+            )
+        if not 0.0 < self.delta < 1.0:
+            raise ConfigurationError(
+                f"delta must lie in (0, 1), got {self.delta!r}"
+            )
+
+    def interval(self, n: int) -> tuple[float, float]:
+        """Return the confidence interval ``[(1-eps)n, (1+eps)n]``."""
+        return ((1.0 - self.epsilon) * n, (1.0 + self.epsilon) * n)
+
+    def contains(self, n_hat: float, n: int) -> bool:
+        """Return whether an estimate satisfies ``|n_hat - n| <= eps*n``."""
+        return abs(n_hat - n) <= self.epsilon * n
+
+
+@dataclass(frozen=True)
+class PetConfig:
+    """Parameters of the PET protocol itself.
+
+    Attributes
+    ----------
+    tree_height:
+        ``H``, the number of bits in PET codes and estimating paths.  The
+        conceptual tree has ``2**H`` leaves; the paper uses ``H = 32``.
+    binary_search:
+        When true, use the Algorithm 3 binary search over prefix lengths
+        (``O(log H)`` slots/round); otherwise the Algorithm 1 linear scan.
+    passive_tags:
+        When true, model Sec. 4.5 passive tags: a single preloaded code is
+        reused across all rounds and only the estimating path changes.
+        When false, tags hash a fresh code from the per-round seed
+        (Algorithm 2 behaviour, requires active tags).
+    rounds:
+        Number of estimation rounds ``m``.  ``None`` means "derive from an
+        accuracy requirement" via :func:`repro.core.accuracy.rounds_required`.
+    """
+
+    tree_height: int = DEFAULT_TREE_HEIGHT
+    binary_search: bool = True
+    passive_tags: bool = False
+    rounds: int | None = None
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.tree_height <= 64:
+            raise ConfigurationError(
+                f"tree_height must lie in [1, 64], got {self.tree_height!r}"
+            )
+        if self.rounds is not None and self.rounds < 1:
+            raise ConfigurationError(
+                f"rounds must be >= 1 when given, got {self.rounds!r}"
+            )
+
+    def with_rounds(self, rounds: int) -> "PetConfig":
+        """Return a copy of this config with ``rounds`` fixed."""
+        return dataclasses.replace(self, rounds=rounds)
+
+
+@dataclass(frozen=True)
+class ChannelConfig:
+    """Physical-channel behaviour of the slotted MAC substrate.
+
+    The paper's evaluation assumes a lossless channel where the reader
+    perfectly distinguishes idle from busy slots (Sec. 5.1); those are the
+    defaults.  Loss and capture are provided for robustness ablations.
+
+    Attributes
+    ----------
+    loss_probability:
+        Probability that an individual tag's response is erased before
+        reaching the reader (independent per tag per slot).
+    capture_probability:
+        Probability that a collision of two or more responses is decoded
+        as a singleton (capture effect).  Irrelevant for PET, which only
+        distinguishes idle vs busy, but used by the Aloha identification
+        baseline.
+    detect_collisions:
+        Whether the reader can distinguish collision slots from singleton
+        slots.  PET needs only idle-vs-busy; identification protocols need
+        full three-way classification.
+    """
+
+    loss_probability: float = 0.0
+    capture_probability: float = 0.0
+    detect_collisions: bool = True
+
+    def __post_init__(self) -> None:
+        for name in ("loss_probability", "capture_probability"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(
+                    f"{name} must lie in [0, 1], got {value!r}"
+                )
+
+    @property
+    def lossless(self) -> bool:
+        """Whether the channel matches the paper's ideal assumptions."""
+        return self.loss_probability == 0.0 and self.capture_probability == 0.0
+
+
+@dataclass(frozen=True)
+class TimingConfig:
+    """EPC Gen2-flavoured slot timing, for slots -> wall-clock reporting.
+
+    The paper reports cost in time slots; real deployments care about
+    milliseconds.  These defaults approximate a Gen2 reader at Tari=25 us
+    with FM0 tag encoding, and yield ~1.2 ms per query slot — close to the
+    per-slot figures used in the FNEB and LoF evaluations.
+
+    Attributes
+    ----------
+    reader_bitrate_bps:
+        Reader-to-tag command bitrate (bits/second).
+    tag_bitrate_bps:
+        Tag-to-reader response bitrate.
+    command_overhead_bits:
+        Fixed framing overhead per reader command (preamble, CRC...).
+    response_bits:
+        Length of a tag response burst.  PET responses carry no payload;
+        a short RN16-like burst suffices.
+    turnaround_us:
+        Link turnaround time (T1 + T2 style gaps), per slot, microseconds.
+    """
+
+    reader_bitrate_bps: float = 64_000.0
+    tag_bitrate_bps: float = 64_000.0
+    command_overhead_bits: int = 22
+    response_bits: int = 16
+    turnaround_us: float = 200.0
+
+    def __post_init__(self) -> None:
+        if self.reader_bitrate_bps <= 0 or self.tag_bitrate_bps <= 0:
+            raise ConfigurationError("bitrates must be positive")
+        if self.command_overhead_bits < 0 or self.response_bits < 0:
+            raise ConfigurationError("bit counts must be non-negative")
+        if self.turnaround_us < 0:
+            raise ConfigurationError("turnaround_us must be non-negative")
+
+    def slot_duration_us(self, command_payload_bits: int) -> float:
+        """Microseconds for one Reader-Talks-First slot.
+
+        ``command_payload_bits`` is the protocol-specific payload carried
+        by the reader command in this slot (e.g. 5 bits for a PET ``mid``
+        broadcast, 1 bit with the Sec. 4.6.2 optimization).
+        """
+        if command_payload_bits < 0:
+            raise ConfigurationError(
+                f"command_payload_bits must be >= 0, got {command_payload_bits}"
+            )
+        command_bits = self.command_overhead_bits + command_payload_bits
+        command_us = command_bits / self.reader_bitrate_bps * 1e6
+        response_us = self.response_bits / self.tag_bitrate_bps * 1e6
+        return command_us + response_us + self.turnaround_us

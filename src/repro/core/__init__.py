@@ -1,0 +1,63 @@
+"""PET core: the paper's primary contribution.
+
+This package contains everything specific to the Probabilistic Estimating
+Tree (Sec. 4):
+
+* :mod:`~repro.core.path` — estimating paths and prefix masks;
+* :mod:`~repro.core.messages` — the reader-to-tag command vocabulary;
+* :mod:`~repro.core.tree` — an explicit PET tree (teaching/validation);
+* :mod:`~repro.core.search` — gray-node search strategies (Algorithm 1
+  linear scan, Algorithm 3 binary search);
+* :mod:`~repro.core.accuracy` — the Sec. 4.2 analysis constants, the
+  round planner ``m(epsilon, delta)`` and the depth -> cardinality
+  estimator;
+* :mod:`~repro.core.estimator` — the high-level :class:`PetEstimator`
+  facade most users should start from.
+"""
+
+from .accuracy import (
+    PHI,
+    SIGMA_H,
+    confidence_scale,
+    estimate_from_depths,
+    expected_depth,
+    rounds_required,
+)
+from .estimator import EstimateResult, PetEstimator, RoundRecord
+from .feedback import (
+    FeedbackPetReader,
+    FeedbackPetTag,
+    FeedbackQuery,
+)
+from .messages import PrefixQuery, StartRound
+from .path import EstimatingPath
+from .search import (
+    BinaryGraySearch,
+    GraySearchStrategy,
+    LinearGraySearch,
+    PrefixOracle,
+)
+from .tree import PetTree
+
+__all__ = [
+    "PHI",
+    "SIGMA_H",
+    "confidence_scale",
+    "estimate_from_depths",
+    "expected_depth",
+    "rounds_required",
+    "EstimatingPath",
+    "StartRound",
+    "PrefixQuery",
+    "FeedbackQuery",
+    "FeedbackPetTag",
+    "FeedbackPetReader",
+    "PetTree",
+    "PrefixOracle",
+    "GraySearchStrategy",
+    "LinearGraySearch",
+    "BinaryGraySearch",
+    "PetEstimator",
+    "EstimateResult",
+    "RoundRecord",
+]

@@ -1,0 +1,160 @@
+"""Sec. 4.2 analysis: constants, round planning, and the estimator.
+
+The gray-node height ``h`` on a random path satisfies (paper Eq. 5)
+
+    P(h) = p^(2^(h-1)) * (1 - p^(2^(h-1))),    p = (1 - 2^-H)^n,
+
+whose Mellin-transform asymptotics give (Eqs. 8-11)
+
+    E(h)     ~ H - log2(phi * n),   phi = e^gamma / sqrt(2) = 1.25941...
+    sigma(h) ~ sqrt(pi^2 / (6 ln^2 2) + 1/12) = 1.87271...
+
+Averaging ``m`` independent observations and inverting yields the
+estimator (Eq. 14); the central-limit argument (Eqs. 15-20) produces the
+required number of rounds ``m(epsilon, delta)`` — a constant independent
+of ``n``.
+
+Depth vs height
+---------------
+The protocol *observes* the gray node's depth ``d = H - h`` (the longest
+busy prefix length).  The paper's Algorithm 1 stores exactly this
+quantity (``h_i <- j - 1``) yet feeds it into the height-based formula —
+a notational slip; the two are reconciled by ``2^(H - h) = 2^d``, so this
+module exposes the estimator in its observable form:
+
+    n_hat = phi^-1 * 2^(mean depth).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+from scipy import special
+
+from ..errors import AnalysisError, ConfigurationError
+
+#: Euler-Mascheroni constant ``gamma``.
+EULER_GAMMA = float(np.euler_gamma)
+
+#: The paper's bias constant ``phi = e^gamma / sqrt(2) = 1.25941...``.
+PHI = math.exp(EULER_GAMMA) / math.sqrt(2.0)
+
+#: Asymptotic per-round standard deviation of the gray-node height,
+#: ``sigma(h) = sqrt(pi^2 / (6 ln^2 2) + 1/12) = 1.87271...`` (Eq. 11).
+SIGMA_H = math.sqrt(math.pi**2 / (6.0 * math.log(2.0) ** 2) + 1.0 / 12.0)
+
+
+def confidence_scale(delta: float) -> float:
+    """The constant ``c`` with ``1 - delta = erf(c / sqrt 2)`` (Eq. 17).
+
+    ``c`` is the two-sided standard-normal quantile: the averaged
+    observation must stay within ``c`` standard errors of its mean with
+    probability ``1 - delta``.
+    """
+    if not 0.0 < delta < 1.0:
+        raise AnalysisError(f"delta must lie in (0, 1), got {delta!r}")
+    return math.sqrt(2.0) * float(special.erfinv(1.0 - delta))
+
+
+def rounds_required(
+    epsilon: float,
+    delta: float,
+    sigma: float = SIGMA_H,
+) -> int:
+    """Number of estimation rounds ``m`` meeting the accuracy contract.
+
+    Implements Eq. 20:
+
+        m >= max( (-c sigma / log2(1 - eps))^2 , (c sigma / log2(1 + eps))^2 )
+
+    The second term always dominates (``log2(1+eps) < -log2(1-eps)``),
+    but we evaluate both, as the paper writes it.
+
+    Parameters
+    ----------
+    epsilon, delta:
+        The accuracy contract ``Pr{|n_hat - n| <= eps n} >= 1 - delta``.
+    sigma:
+        Per-round standard deviation of the averaged statistic.  Defaults
+        to PET's ``sigma(h)``; baselines with other per-round statistics
+        (e.g. LoF's first-empty-bucket index) pass their own.
+    """
+    if not 0.0 < epsilon < 1.0:
+        raise AnalysisError(f"epsilon must lie in (0, 1), got {epsilon!r}")
+    if sigma <= 0.0:
+        raise AnalysisError(f"sigma must be positive, got {sigma!r}")
+    c = confidence_scale(delta)
+    lower = (-c * sigma / math.log2(1.0 - epsilon)) ** 2
+    upper = (c * sigma / math.log2(1.0 + epsilon)) ** 2
+    return max(1, math.ceil(max(lower, upper)))
+
+
+def expected_depth(n: int, height: int | None = None) -> float:
+    """Asymptotic expected gray-node depth, ``log2(phi * n)``.
+
+    Valid in the paper's regime ``1 << n << 2^H``; ``height`` (when
+    given) is used only to warn about leaving that regime.
+    """
+    if n < 1:
+        raise AnalysisError(f"n must be >= 1, got {n}")
+    depth = math.log2(PHI * n)
+    if height is not None and depth > height:
+        raise AnalysisError(
+            f"expected depth {depth:.2f} exceeds tree height {height}; "
+            f"increase H (Sec. 4.2 requires 2^H >> n)"
+        )
+    return depth
+
+
+def expected_height(n: int, height: int) -> float:
+    """Asymptotic expected gray-node height, ``H - log2(phi n)`` (Eq. 9)."""
+    return height - expected_depth(n, height)
+
+
+def estimate_from_depths(depths: Sequence[float] | np.ndarray) -> float:
+    """The PET estimator: ``n_hat = phi^-1 * 2^(mean depth)`` (Eq. 14).
+
+    Parameters
+    ----------
+    depths:
+        Observed gray-node depths, one per completed round.
+    """
+    depths = np.asarray(depths, dtype=np.float64)
+    if depths.size == 0:
+        raise AnalysisError("cannot estimate from zero completed rounds")
+    return float(2.0 ** depths.mean() / PHI)
+
+
+def estimate_std(n: int, rounds: int) -> float:
+    """First-order predicted std-dev of ``n_hat`` around ``n``.
+
+    From ``n_hat = phi^-1 2^(d_bar)``: a perturbation ``delta d_bar``
+    scales the estimate by ``2^(delta d_bar)``, so to first order
+    ``sigma(n_hat) ~ n * ln 2 * sigma(h) / sqrt(m)``.  Used for the
+    Fig. 4b/4c theoretical overlays.
+    """
+    if n < 1:
+        raise AnalysisError(f"n must be >= 1, got {n}")
+    if rounds < 1:
+        raise AnalysisError(f"rounds must be >= 1, got {rounds}")
+    return n * math.log(2.0) * SIGMA_H / math.sqrt(rounds)
+
+
+def minimum_height(n_max: int, white_fraction: float = 0.99) -> int:
+    """Smallest ``H`` keeping the white-leaf fraction above a threshold.
+
+    Sec. 4.2: "we can always choose a sufficiently big H such that
+    p = (1 - 2^-H)^n ~ 1" — e.g. ``H = 32`` accommodates 40 million tags
+    with ``p >= 0.99``.
+    """
+    if n_max < 1:
+        raise ConfigurationError(f"n_max must be >= 1, got {n_max}")
+    if not 0.0 < white_fraction < 1.0:
+        raise ConfigurationError(
+            f"white_fraction must lie in (0, 1), got {white_fraction!r}"
+        )
+    # p ~ exp(-n / 2^H) >= white_fraction  <=>  2^H >= n / -ln(white_fraction)
+    needed = n_max / (-math.log(white_fraction))
+    return max(1, math.ceil(math.log2(needed)))

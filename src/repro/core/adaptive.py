@@ -1,0 +1,138 @@
+"""Sequential (early-stopping) PET estimation — an extension.
+
+The paper's planner (Eq. 20) fixes ``m`` up front from the worst-case
+per-round deviation ``sigma(h)``.  But after a handful of rounds the
+reader already *knows* the sample deviation; a sequential design can
+stop as soon as the running confidence interval is tight enough,
+saving slots whenever the observed spread runs below ``sigma(h)``
+(it concentrates tightly around 1.87, so savings are modest but real —
+and the machinery also absorbs extra rounds gracefully when early
+observations are unlucky).
+
+The stopping rule is the standard anytime-valid normal bound with a
+small inflation factor to compensate for peeking; empirical coverage
+is checked by tests and the ablation bench.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import AccuracyRequirement, PetConfig
+from ..errors import EstimationError
+from .accuracy import PHI, SIGMA_H, confidence_scale, rounds_required
+from .estimator import RoundDriver
+from .path import EstimatingPath
+
+
+@dataclass(frozen=True)
+class AdaptiveResult:
+    """Outcome of a sequential estimation.
+
+    Attributes
+    ----------
+    n_hat:
+        Final estimate.
+    rounds_used:
+        Rounds actually executed.
+    rounds_planned:
+        What the fixed Eq. 20 plan would have used.
+    total_slots:
+        Slots consumed.
+    stopped_early:
+        Whether the sequential rule fired before the fixed plan.
+    """
+
+    n_hat: float
+    rounds_used: int
+    rounds_planned: int
+    total_slots: int
+    stopped_early: bool
+
+
+class AdaptivePetEstimator:
+    """PET estimation with a sequential stopping rule.
+
+    Parameters
+    ----------
+    requirement:
+        The ``(epsilon, delta)`` contract.
+    config:
+        PET parameters (tree height, search strategy).
+    min_rounds:
+        Never stop before this many rounds (stabilises the sample
+        deviation estimate).
+    peeking_inflation:
+        Multiplier on the z threshold to pay for continuous peeking.
+    rng:
+        Reader-side randomness.
+    """
+
+    def __init__(
+        self,
+        requirement: AccuracyRequirement,
+        config: PetConfig | None = None,
+        min_rounds: int = 64,
+        peeking_inflation: float = 1.1,
+        rng: np.random.Generator | None = None,
+    ):
+        if min_rounds < 2:
+            raise EstimationError("min_rounds must be >= 2")
+        if peeking_inflation < 1.0:
+            raise EstimationError("peeking_inflation must be >= 1.0")
+        self.requirement = requirement
+        self.config = config or PetConfig()
+        self.min_rounds = min_rounds
+        self.peeking_inflation = peeking_inflation
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def _precision_target(self) -> float:
+        """Required std error of the mean depth (in bits).
+
+        From Eq. 19: the mean depth must resolve ``log2(1 + eps)`` with
+        confidence ``c`` — i.e. ``se(d_bar) <= log2(1+eps)/c``.
+        """
+        c = confidence_scale(self.requirement.delta)
+        return math.log2(1.0 + self.requirement.epsilon) / (
+            c * self.peeking_inflation
+        )
+
+    def run(self, driver: RoundDriver) -> AdaptiveResult:
+        """Execute rounds until the stopping rule fires."""
+        planned = rounds_required(
+            self.requirement.epsilon, self.requirement.delta
+        )
+        target_se = self._precision_target()
+        depths: list[int] = []
+        total_slots = 0
+        # Hard cap: a bad run never exceeds the fixed plan by more than
+        # the sigma ratio squared could justify.
+        cap = max(planned * 2, self.min_rounds)
+        while True:
+            path = EstimatingPath.random(
+                self.config.tree_height, self._rng
+            )
+            depth, slots = driver.run_round(path, len(depths))
+            depths.append(depth)
+            total_slots += slots
+            m = len(depths)
+            if m >= self.min_rounds:
+                sample_std = float(np.std(depths, ddof=1))
+                # Guard against a deceptively small early sample std:
+                # never trust below half the asymptotic value.
+                effective_std = max(sample_std, 0.5 * SIGMA_H)
+                if effective_std / math.sqrt(m) <= target_se:
+                    break
+            if m >= cap:
+                break
+        n_hat = float(2.0 ** np.mean(depths) / PHI)
+        return AdaptiveResult(
+            n_hat=n_hat,
+            rounds_used=len(depths),
+            rounds_planned=planned,
+            total_slots=total_slots,
+            stopped_early=len(depths) < planned,
+        )

@@ -1,0 +1,162 @@
+"""The :class:`PetEstimator` facade.
+
+A PET estimation run is ``m`` independent rounds; each round draws a
+random estimating path, locates the gray node, and records its depth.
+The estimator is agnostic to *how* a round is executed: anything
+implementing :class:`RoundDriver` can power it —
+
+* the slot-level simulator (real tag/reader state machines, channel),
+* the vectorized simulator (numpy code arrays),
+* the sampled simulator (exact gray-depth distribution),
+
+so the aggregation, accounting, and result types live here, once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+import numpy as np
+
+from ..config import AccuracyRequirement, PetConfig
+from ..errors import EstimationError
+from .accuracy import estimate_from_depths, rounds_required
+from .path import EstimatingPath
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """Outcome of one estimation round.
+
+    Attributes
+    ----------
+    path:
+        The estimating path used.
+    gray_depth:
+        Observed depth ``d`` of the gray node, in ``[0, H]``.
+    slots:
+        Time slots the round consumed (search probes).
+    """
+
+    path: EstimatingPath
+    gray_depth: int
+    slots: int
+
+
+@dataclass(frozen=True)
+class EstimateResult:
+    """A completed estimation with full per-round provenance.
+
+    Attributes
+    ----------
+    n_hat:
+        The cardinality estimate ``phi^-1 * 2^(mean depth)``.
+    rounds:
+        Per-round records, length ``m``.
+    """
+
+    n_hat: float
+    rounds: tuple[RoundRecord, ...] = field(repr=False)
+
+    @property
+    def num_rounds(self) -> int:
+        """Number of estimation rounds performed, ``m``."""
+        return len(self.rounds)
+
+    @property
+    def total_slots(self) -> int:
+        """Total time slots across all rounds (the paper's cost metric)."""
+        return sum(record.slots for record in self.rounds)
+
+    @property
+    def depths(self) -> np.ndarray:
+        """Observed gray depths as an array (length ``m``)."""
+        return np.array(
+            [record.gray_depth for record in self.rounds], dtype=np.float64
+        )
+
+    def accuracy(self, true_n: int) -> float:
+        """The paper's accuracy metric ``n_hat / n`` (Eq. 22)."""
+        if true_n < 1:
+            raise EstimationError(f"true_n must be >= 1, got {true_n}")
+        return self.n_hat / true_n
+
+    def within(self, requirement: AccuracyRequirement, true_n: int) -> bool:
+        """Whether this estimate satisfies ``|n_hat - n| <= eps n``."""
+        return requirement.contains(self.n_hat, true_n)
+
+
+class RoundDriver(Protocol):
+    """Executes one PET round for a given path.
+
+    Returns the observed gray depth and the number of slots consumed.
+    """
+
+    def run_round(
+        self, path: EstimatingPath, round_index: int
+    ) -> tuple[int, int]:
+        """Run one round; return ``(gray_depth, slots_used)``."""
+        ...
+
+
+class PetEstimator:
+    """Plans and aggregates a full ``m``-round PET estimation.
+
+    Parameters
+    ----------
+    config:
+        Protocol parameters.  When ``config.rounds`` is ``None`` the
+        round count is derived from ``requirement`` via Eq. 20.
+    requirement:
+        The ``(epsilon, delta)`` accuracy contract; optional when
+        ``config.rounds`` is explicit.
+    rng:
+        Source of the reader-side randomness (estimating paths, seeds).
+    """
+
+    def __init__(
+        self,
+        config: PetConfig | None = None,
+        requirement: AccuracyRequirement | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        self.config = config or PetConfig()
+        self.requirement = requirement
+        self._rng = rng if rng is not None else np.random.default_rng()
+        if self.config.rounds is None and requirement is None:
+            raise EstimationError(
+                "either config.rounds or an accuracy requirement is needed "
+                "to size the estimation"
+            )
+
+    @property
+    def planned_rounds(self) -> int:
+        """The number of rounds ``m`` this estimator will run."""
+        if self.config.rounds is not None:
+            return self.config.rounds
+        assert self.requirement is not None  # guarded in __init__
+        return rounds_required(
+            self.requirement.epsilon, self.requirement.delta
+        )
+
+    def draw_path(self) -> EstimatingPath:
+        """Draw one uniform estimating path of the configured height."""
+        return EstimatingPath.random(self.config.tree_height, self._rng)
+
+    def run(self, driver: RoundDriver) -> EstimateResult:
+        """Execute the full estimation against ``driver``."""
+        records = []
+        for round_index in range(self.planned_rounds):
+            path = self.draw_path()
+            gray_depth, slots = driver.run_round(path, round_index)
+            if not 0 <= gray_depth <= self.config.tree_height:
+                raise EstimationError(
+                    f"driver reported gray depth {gray_depth} outside "
+                    f"[0, {self.config.tree_height}]"
+                )
+            records.append(
+                RoundRecord(path=path, gray_depth=gray_depth, slots=slots)
+            )
+        n_hat = estimate_from_depths([r.gray_depth for r in records])
+        return EstimateResult(n_hat=n_hat, rounds=tuple(records))

@@ -1,0 +1,209 @@
+"""The Sec. 4.6.2 one-bit-feedback variant, as real state machines.
+
+Algorithm 3 as written broadcasts the prefix length (or a full mask)
+every slot.  The paper's final optimization inverts the information
+flow: *tags* maintain the binary-search bounds ``(low, high)`` locally,
+compute ``mid`` themselves, and the reader broadcasts only **one bit**
+per slot — whether the previous slot was busy — which is exactly the
+information tags need to update their bounds in lockstep with the
+reader.
+
+This module implements that variant end to end:
+
+* :class:`FeedbackQuery` — the 1-bit command;
+* :class:`StatefulBoundsMixin` / :func:`update_bounds` — the shared
+  bounds arithmetic, guaranteed identical on both sides;
+* :class:`FeedbackPetTag` — a passive tag running the mirrored search
+  (Sec. 4.6.2: "If tags keep high and low locally, they can compute a
+  new value of mid according to 1-bit information");
+* :class:`FeedbackPetReader` — the reader driving it.
+
+Equivalence with Algorithm 3 is asserted by tests: for every population
+and path, the feedback protocol reaches the same gray depth in the same
+number of slots, with 1-bit commands instead of ``log2 H``-bit ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ProtocolError
+from .messages import StartRound
+from .path import EstimatingPath
+
+
+@dataclass(frozen=True)
+class FeedbackQuery:
+    """One slot of the feedback protocol.
+
+    Attributes
+    ----------
+    previous_busy:
+        Whether the *previous* query slot was busy — the single bit of
+        Sec. 4.6.2.  ``None`` marks the first query slot of a round
+        (nothing to feed back yet).
+    """
+
+    previous_busy: bool | None = None
+
+    @property
+    def payload_bits(self) -> int:
+        """Always one bit on the air."""
+        return 1
+
+
+def update_bounds(
+    low: int, high: int, mid: int, was_busy: bool
+) -> tuple[int, int]:
+    """The Algorithm 3 bounds update, shared by reader and tags.
+
+    Keeping this in one function is what guarantees the two sides stay
+    in lockstep: both apply ``low <- mid`` on busy and
+    ``high <- mid - 1`` on idle.
+    """
+    if was_busy:
+        return mid, high
+    return low, mid - 1
+
+
+def next_mid(low: int, high: int) -> int:
+    """Algorithm 3 line 6: ``mid = ceil((low + high) / 2)``."""
+    return (low + high + 1) // 2
+
+
+class FeedbackPetTag:
+    """A passive tag running the mirrored binary search (Sec. 4.6.2).
+
+    State per round: the estimating path register plus the 5-bit
+    ``low``/``high`` bounds the paper budgets ("the cost of managing
+    high and low (5 bits for each) is small").
+    """
+
+    def __init__(self, tag_id: int, height: int, preloaded_code: int):
+        if not 0 <= preloaded_code < (1 << height):
+            raise ProtocolError(
+                f"preloaded code {preloaded_code} out of range for "
+                f"height {height}"
+            )
+        self._tag_id = tag_id
+        self._height = height
+        self._code = preloaded_code
+        self._path: EstimatingPath | None = None
+        self._low = 1
+        self._high = height
+        self._last_mid: int | None = None
+        #: Bitwise comparisons performed (cost accounting).
+        self.comparisons = 0
+
+    @property
+    def tag_id(self) -> int:
+        """Unique tag identifier."""
+        return self._tag_id
+
+    @property
+    def bounds(self) -> tuple[int, int]:
+        """The tag's current local ``(low, high)`` bounds."""
+        return self._low, self._high
+
+    def hear(self, command: object) -> bool:
+        """Channel-listener hook."""
+        if isinstance(command, StartRound):
+            self._path = command.path
+            self._low, self._high = 1, self._height
+            self._last_mid = None
+            return False
+        if isinstance(command, FeedbackQuery):
+            return self._answer(command)
+        return False
+
+    def _answer(self, query: FeedbackQuery) -> bool:
+        if self._path is None:
+            raise ProtocolError(
+                f"tag {self._tag_id} got FeedbackQuery before StartRound"
+            )
+        if query.previous_busy is not None:
+            if self._last_mid is None:
+                raise ProtocolError(
+                    f"tag {self._tag_id} got feedback before any query"
+                )
+            self._low, self._high = update_bounds(
+                self._low, self._high, self._last_mid,
+                query.previous_busy,
+            )
+        mid = next_mid(self._low, self._high)
+        self._last_mid = mid
+        self.comparisons += 1
+        return self._path.matches_prefix(self._code, mid)
+
+
+class FeedbackPetReader:
+    """Reader side of the 1-bit protocol.
+
+    Drives one :class:`~repro.radio.channel.SlottedChannel` whose
+    listeners are :class:`FeedbackPetTag` instances, mirroring the
+    Algorithm 3 search while broadcasting only the previous slot's
+    busy bit.
+    """
+
+    def __init__(self, channel, height: int):
+        self.channel = channel
+        self.height = height
+
+    def run_round(
+        self, path: EstimatingPath, round_index: int = 0
+    ) -> tuple[int, int]:
+        """One round; returns ``(gray_depth, query_slots)``."""
+        if path.height != self.height:
+            raise ProtocolError(
+                f"path height {path.height} != reader height "
+                f"{self.height}"
+            )
+        start = StartRound(path=path, seed=None)
+        self.channel.broadcast(
+            start, label=f"start r={path}",
+            payload_bits=start.payload_bits,
+        )
+        low, high = 1, self.height
+        previous_busy: bool | None = None
+        slots = 0
+        last_busy_for_depth_check = False
+        while low < high or previous_busy is None:
+            mid = next_mid(low, high)
+            outcome = self.channel.broadcast(
+                FeedbackQuery(previous_busy=previous_busy),
+                label=path.prefix_string(mid),
+                payload_bits=1,
+            )
+            slots += 1
+            previous_busy = outcome.busy
+            last_busy_for_depth_check = outcome.busy
+            low, high = update_bounds(low, high, mid, outcome.busy)
+            if low >= high and slots >= 1:
+                break
+        # Disambiguate depth 0 exactly as BinaryGraySearch does: when
+        # the loop converged to low = 1 without ever observing prefix
+        # length 1 busy, probe it.
+        if low == 1:
+            outcome = self.channel.broadcast(
+                FeedbackQuery(previous_busy=previous_busy),
+                label=path.prefix_string(next_mid(1, 1)),
+                payload_bits=1,
+            )
+            slots += 1
+            if not outcome.busy:
+                return 0, slots
+        return low, slots
+
+
+def build_feedback_channel(codes, height: int, rng=None):
+    """Convenience: a channel with one FeedbackPetTag per code."""
+    from ..radio.channel import SlottedChannel
+
+    channel = SlottedChannel(
+        rng=rng if rng is not None else np.random.default_rng()
+    )
+    for index, code in enumerate(codes):
+        channel.attach(FeedbackPetTag(index, height, int(code)))
+    return channel

@@ -1,0 +1,91 @@
+"""Reader-to-tag command vocabulary for the PET protocols.
+
+Two commands suffice for every PET variant:
+
+* :class:`StartRound` — broadcast once per round, carrying the estimating
+  path and (for active tags, Algorithm 2) the per-round hash seed.
+* :class:`PrefixQuery` — one per slot, asking tags whose code matches the
+  first ``length`` bits of the round's path to respond.
+
+``PrefixQuery.payload_bits`` reflects the Sec. 4.6.2 overhead discussion:
+naively the reader broadcasts a 32-bit mask, but only ``log2 H`` bits of
+information are carried (the prefix length), and with tag-side high/low
+mirroring a single feedback bit suffices.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from .path import EstimatingPath
+
+
+@dataclass(frozen=True)
+class StartRound:
+    """Per-round broadcast: the path, and a seed for active tags.
+
+    Attributes
+    ----------
+    path:
+        This round's estimating path ``r``.
+    seed:
+        Hash seed for Algorithm 2 tags; ``None`` for the Sec. 4.5 passive
+        variant, where tags keep their preloaded code and only the path
+        changes between rounds.
+    """
+
+    path: EstimatingPath
+    seed: int | None = None
+
+    @property
+    def payload_bits(self) -> int:
+        """Broadcast size: the path plus (if present) a 32-bit seed."""
+        seed_bits = 0 if self.seed is None else 32
+        return self.path.height + seed_bits
+
+
+@dataclass(frozen=True)
+class PrefixQuery:
+    """Per-slot query: respond iff your code matches the path's prefix.
+
+    Attributes
+    ----------
+    length:
+        Queried prefix length ``j`` (the number of high mask bits set).
+    encoding:
+        How the command is wired on air, affecting only the overhead
+        accounting: ``"mask"`` broadcasts the full H-bit mask
+        (Algorithm 1 as written), ``"mid"`` broadcasts the 5-bit prefix
+        length, ``"feedback"`` broadcasts the 1-bit busy/idle echo of the
+        Sec. 4.6.2 optimization.
+    height:
+        The tree height ``H``, needed to size the ``"mask"`` encoding.
+    """
+
+    length: int
+    encoding: str = "mid"
+    height: int = 32
+
+    _ENCODINGS = ("mask", "mid", "feedback")
+
+    def __post_init__(self) -> None:
+        if self.encoding not in self._ENCODINGS:
+            raise ConfigurationError(
+                f"encoding must be one of {self._ENCODINGS}, "
+                f"got {self.encoding!r}"
+            )
+        if not 0 <= self.length <= self.height:
+            raise ConfigurationError(
+                f"prefix length {self.length} out of range [0, {self.height}]"
+            )
+
+    @property
+    def payload_bits(self) -> int:
+        """Command payload size under the selected encoding."""
+        if self.encoding == "mask":
+            return self.height
+        if self.encoding == "mid":
+            return max(1, math.ceil(math.log2(self.height + 1)))
+        return 1

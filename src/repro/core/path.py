@@ -1,0 +1,135 @@
+"""Estimating paths: random root-to-leaf routes through the PET tree.
+
+An estimating path is an ``H``-bit string selected uniformly by the
+reader at the start of each round (Sec. 4.1).  Querying the path's
+length-``j`` prefixes partitions the tag set: a tag responds at prefix
+length ``j`` iff the top ``j`` bits of its PET code equal the top ``j``
+bits of the path.
+
+Internally a path is stored as an integer whose *top* ``height`` bits (in
+a ``height``-bit word) are the path labels from the root down — the same
+convention as PET codes, so prefix comparison is a mask-and-XOR.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+class EstimatingPath:
+    """An immutable ``height``-bit estimating path.
+
+    Parameters
+    ----------
+    bits:
+        The path as an integer in ``[0, 2**height)``; bit ``height-1``
+        (the most significant) is the branch taken at the root.
+    height:
+        The PET tree height ``H``.
+    """
+
+    __slots__ = ("_bits", "_height")
+
+    def __init__(self, bits: int, height: int):
+        if not 1 <= height <= 64:
+            raise ConfigurationError(
+                f"path height must lie in [1, 64], got {height}"
+            )
+        if not 0 <= bits < (1 << height):
+            raise ConfigurationError(
+                f"path bits {bits!r} out of range for height {height}"
+            )
+        self._bits = bits
+        self._height = height
+
+    @classmethod
+    def random(
+        cls, height: int, rng: np.random.Generator
+    ) -> "EstimatingPath":
+        """Draw a uniform random path of the given height."""
+        if not 1 <= height <= 64:
+            raise ConfigurationError(
+                f"path height must lie in [1, 64], got {height}"
+            )
+        # Draw 64 bits then truncate, to stay exact for height == 64.
+        bits = int(rng.integers(0, 2**63, dtype=np.int64))
+        bits = (bits << 1) | int(rng.integers(0, 2))
+        return cls(bits >> (64 - height), height)
+
+    @classmethod
+    def from_string(cls, bit_string: str) -> "EstimatingPath":
+        """Build a path from a literal like ``"000011"`` (root first)."""
+        if not bit_string or set(bit_string) - {"0", "1"}:
+            raise ConfigurationError(
+                f"bit string must be nonempty 0/1, got {bit_string!r}"
+            )
+        return cls(int(bit_string, 2), len(bit_string))
+
+    @property
+    def bits(self) -> int:
+        """The path as an integer (top bit = root branch)."""
+        return self._bits
+
+    @property
+    def height(self) -> int:
+        """The PET tree height ``H``."""
+        return self._height
+
+    def prefix(self, length: int) -> int:
+        """Return the top ``length`` bits of the path, right-aligned."""
+        self._check_length(length)
+        if length == 0:
+            return 0
+        return self._bits >> (self._height - length)
+
+    def prefix_mask(self, length: int) -> int:
+        """The Algorithm 1 ``mask``: top ``length`` bits set, rest zero."""
+        self._check_length(length)
+        if length == 0:
+            return 0
+        ones = (1 << length) - 1
+        return ones << (self._height - length)
+
+    def matches_prefix(self, code: int, length: int) -> bool:
+        """Whether ``code`` (same width) shares the top ``length`` bits.
+
+        This is exactly the tag-side test of Algorithm 2 line 5:
+        ``prc AND mask == r AND mask``.
+        """
+        mask = self.prefix_mask(length)
+        return (code & mask) == (self._bits & mask)
+
+    def prefix_string(self, length: int) -> str:
+        """Render a queried prefix like ``"00**"`` (for traces/figures)."""
+        self._check_length(length)
+        full = format(self._bits, f"0{self._height}b")
+        return full[:length] + "*" * (self._height - length)
+
+    def common_prefix_length(self, code: int) -> int:
+        """Longest shared prefix (in bits) between the path and ``code``."""
+        difference = (self._bits ^ code) & ((1 << self._height) - 1)
+        if difference == 0:
+            return self._height
+        return self._height - difference.bit_length()
+
+    def _check_length(self, length: int) -> None:
+        if not 0 <= length <= self._height:
+            raise ConfigurationError(
+                f"prefix length {length} out of range [0, {self._height}]"
+            )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EstimatingPath):
+            return NotImplemented
+        return self._bits == other._bits and self._height == other._height
+
+    def __hash__(self) -> int:
+        return hash((self._bits, self._height))
+
+    def __str__(self) -> str:
+        return format(self._bits, f"0{self._height}b")
+
+    def __repr__(self) -> str:
+        return f"EstimatingPath('{self}')"

@@ -1,0 +1,106 @@
+"""Gray-node search strategies.
+
+Finding the gray node along an estimating path means finding the longest
+prefix length ``d`` at which at least one tag still matches — the
+busy/idle boundary.  Sec. 4.4 observes that node colors are monotone
+along a path, so the boundary can be found either by a linear scan
+(Algorithm 1, ``O(H)`` slots) or by binary search (Algorithm 3,
+``O(log H)`` slots).
+
+Strategies are written against a :class:`PrefixOracle` — anything that
+answers "is prefix length ``j`` busy?" at the cost of one slot — so the
+same code drives the slot-level simulator (the oracle broadcasts a real
+query) and the vectorized simulator (the oracle compares against a code
+array).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Protocol
+
+
+class PrefixOracle(Protocol):
+    """One-slot query: does any tag match the path's first ``j`` bits?"""
+
+    def is_busy(self, prefix_length: int) -> bool:
+        """Issue the slot-``j`` query and return whether it was busy."""
+        ...
+
+
+class GraySearchStrategy(abc.ABC):
+    """A policy for locating the busy/idle boundary on a path."""
+
+    @abc.abstractmethod
+    def find_gray_depth(self, oracle: PrefixOracle, height: int) -> int:
+        """Return the gray-node depth ``d`` in ``[0, height]``.
+
+        ``d`` is the largest ``j`` with ``oracle.is_busy(j)`` true, or 0
+        when even ``j = 1`` is idle (``is_busy(0)`` is vacuously true:
+        the root "matches" every tag).
+        """
+
+    @abc.abstractmethod
+    def worst_case_slots(self, height: int) -> int:
+        """Upper bound on slots consumed per round."""
+
+
+class LinearGraySearch(GraySearchStrategy):
+    """Algorithm 1: query prefix lengths 1, 2, ... until an idle slot.
+
+    Consumes ``d + 1`` slots (``d`` busy slots, one terminating idle
+    slot), except when the whole path is busy (``d = H``, ``H`` slots).
+    Expected cost is ``log2(phi n) + 1`` — the ``O(log n)`` baseline.
+    """
+
+    def find_gray_depth(self, oracle: PrefixOracle, height: int) -> int:
+        for length in range(1, height + 1):
+            if not oracle.is_busy(length):
+                return length - 1
+        return height
+
+    def worst_case_slots(self, height: int) -> int:
+        return height
+
+
+class BinaryGraySearch(GraySearchStrategy):
+    """Algorithm 3: binary-search the boundary over ``[1, H]``.
+
+    For ``H = 32`` the loop takes exactly ``ceil(log2 H) = 5`` probes —
+    the per-round cost Table 3 reports.  The paper's pseudocode keeps
+    ``low = 1`` as an invariant lower bound, which cannot represent
+    ``d = 0`` (a population so sparse that even the path's first branch
+    is empty — e.g. n = 0).  We follow the paper's loop exactly, then
+    spend one disambiguating probe of prefix length 1 in the single case
+    where the loop converged to ``low = 1``; for realistic ``n`` that
+    probe almost never fires and the per-round cost stays at
+    ``ceil(log2 H)``.
+
+    Invariant: ``is_busy(high + 1)`` is false (or ``high == height``);
+    the loop narrows ``[low, high]`` until ``low == high``.
+    """
+
+    def find_gray_depth(self, oracle: PrefixOracle, height: int) -> int:
+        if height == 1:
+            return 1 if oracle.is_busy(1) else 0
+        low, high = 1, height
+        while low < high:
+            mid = (low + high + 1) // 2  # ceil((low+high)/2), as in Alg. 3
+            if oracle.is_busy(mid):
+                low = mid
+            else:
+                high = mid - 1
+        if low == 1 and not oracle.is_busy(1):
+            return 0
+        return low
+
+    def worst_case_slots(self, height: int) -> int:
+        # ceil(log2(height)) loop probes + 1 possible depth-0 check.
+        return max(1, (height - 1).bit_length()) + 1
+
+
+def strategy_for(binary_search: bool) -> GraySearchStrategy:
+    """Return the strategy selected by a :class:`repro.config.PetConfig`."""
+    if binary_search:
+        return BinaryGraySearch()
+    return LinearGraySearch()

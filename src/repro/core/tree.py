@@ -1,0 +1,171 @@
+"""An explicit PET tree.
+
+The paper stresses that PET "is neither created nor maintained at the
+RFID reader" (Sec. 4.1) — it is a conceptual structure.  This module
+builds it anyway, for three purposes:
+
+* **validation** — tests check the protocol implementations against
+  ground truth computed on the explicit tree (gray-node uniqueness,
+  color monotonicity along paths, Table 2's node classification);
+* **teaching** — the quickstart example renders a small PET;
+* **figures** — the Fig. 1/Fig. 2 structure illustrations.
+
+The tree is only materialised for small heights (``H <= 24`` by default);
+production estimation never touches this module.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable
+
+from ..errors import ConfigurationError
+from .path import EstimatingPath
+
+
+class NodeColor(enum.Enum):
+    """Color of a PET node along a given estimating path (Table 2)."""
+
+    WHITE = "white"
+    BLACK = "black"
+    GRAY = "gray"
+
+
+class PetTree:
+    """A height-``H`` binary tree with tag codes mapped to leaves.
+
+    Parameters
+    ----------
+    height:
+        Tree height ``H``; the tree has ``2**height`` leaves.
+    codes:
+        PET codes of the present tags (each in ``[0, 2**height)``).
+        Duplicates are allowed — two tags hashing to the same leaf simply
+        make that leaf black once (hash collision, Sec. 4.2's Eq. 1
+        regime).
+    max_height:
+        Safety bound on materialisable height.
+    """
+
+    def __init__(
+        self, height: int, codes: Iterable[int], max_height: int = 24
+    ):
+        if not 1 <= height <= max_height:
+            raise ConfigurationError(
+                f"explicit PET trees support height 1..{max_height}, "
+                f"got {height}; use the vectorized simulator for larger H"
+            )
+        self._height = height
+        self._leaves = set()
+        for code in codes:
+            if not 0 <= code < (1 << height):
+                raise ConfigurationError(
+                    f"code {code} out of range for height {height}"
+                )
+            self._leaves.add(code)
+
+    @property
+    def height(self) -> int:
+        """Tree height ``H``."""
+        return self._height
+
+    @property
+    def black_leaves(self) -> frozenset[int]:
+        """The set of occupied (black) leaves."""
+        return frozenset(self._leaves)
+
+    @property
+    def white_fraction(self) -> float:
+        """Fraction ``p`` of white leaves (Sec. 4.2)."""
+        return 1.0 - len(self._leaves) / (1 << self._height)
+
+    def subtree_is_black(self, prefix: int, depth: int) -> bool:
+        """Whether the subtree under the ``depth``-bit ``prefix`` has tags.
+
+        ``depth == 0`` denotes the root (prefix ignored).
+        """
+        if not 0 <= depth <= self._height:
+            raise ConfigurationError(
+                f"depth {depth} out of range [0, {self._height}]"
+            )
+        shift = self._height - depth
+        return any((leaf >> shift) == prefix for leaf in self._leaves)
+
+    def node_color(self, path: EstimatingPath, depth: int) -> NodeColor:
+        """Color of the depth-``depth`` node along ``path`` (Table 2).
+
+        * WHITE — no tag in the node's subtree;
+        * GRAY — node black, but its child along the path white;
+        * BLACK — node black and its child along the path also black.
+          (The deepest node on a path with all-black ancestry is the leaf
+          itself; a black leaf is classified GRAY when reached, since its
+          "subtree along the path" is empty/white by convention only when
+          the full code is unmatched — we treat a fully-matched black
+          leaf as BLACK, and the gray node is then the leaf's parent
+          boundary handled by :meth:`gray_depth`.)
+        """
+        self._check_path(path)
+        node_black = self.subtree_is_black(path.prefix(depth), depth)
+        if not node_black:
+            return NodeColor.WHITE
+        if depth == self._height:
+            return NodeColor.BLACK
+        child_black = self.subtree_is_black(
+            path.prefix(depth + 1), depth + 1
+        )
+        if child_black:
+            return NodeColor.BLACK
+        return NodeColor.GRAY
+
+    def gray_depth(self, path: EstimatingPath) -> int:
+        """Depth of the gray node along ``path``.
+
+        Equivalently: the longest prefix length of ``path`` matched by at
+        least one tag code.  Ranges over ``[0, H]``; ``0`` means even the
+        first branch is unoccupied (the root itself is the "gray node"
+        when the population is nonempty on the other side, or the
+        population is empty), ``H`` means the path's own leaf is black.
+        """
+        self._check_path(path)
+        if not self._leaves:
+            return 0
+        return max(
+            path.common_prefix_length(leaf) for leaf in self._leaves
+        )
+
+    def gray_height(self, path: EstimatingPath) -> int:
+        """Height ``h = H - depth`` of the gray node (the paper's ``h``)."""
+        return self._height - self.gray_depth(path)
+
+    def colors_along(self, path: EstimatingPath) -> list[NodeColor]:
+        """Colors of the nodes at depths ``0..H-1`` along ``path``.
+
+        Tests assert the Sec. 4.4 monotonic structure on this list:
+        blacks, then exactly one gray (when tags exist), then whites.
+        """
+        self._check_path(path)
+        return [
+            self.node_color(path, depth) for depth in range(self._height)
+        ]
+
+    def render(self, path: EstimatingPath | None = None) -> str:
+        """ASCII rendering of the leaf row (Fig. 1 style).
+
+        Black leaves are ``#``, white leaves ``.``; if ``path`` is given
+        its leaf position is marked with ``r`` (or ``R`` on black).
+        """
+        cells = []
+        target = path.bits if path is not None else None
+        for leaf in range(1 << self._height):
+            black = leaf in self._leaves
+            if leaf == target:
+                cells.append("R" if black else "r")
+            else:
+                cells.append("#" if black else ".")
+        return "".join(cells)
+
+    def _check_path(self, path: EstimatingPath) -> None:
+        if path.height != self._height:
+            raise ConfigurationError(
+                f"path height {path.height} != tree height {self._height}"
+            )

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the PET reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch a single base class.  Subclasses are grouped by the
+subsystem that raises them; each carries enough context in its message to
+be actionable without a debugger.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is out of range or internally inconsistent.
+
+    Raised eagerly at object-construction time (not lazily at use time) so
+    that experiment sweeps fail before burning simulation cycles.
+    """
+
+
+class ProtocolError(ReproError):
+    """A protocol state machine received an input it cannot handle.
+
+    Examples: a reader observing a response in a slot where no query was
+    issued, or a tag receiving a mask longer than its code.
+    """
+
+
+class ChannelError(ReproError):
+    """The slotted channel was driven outside its contract.
+
+    Examples: a tag transmitting outside the response half-slot, or two
+    concurrent reader commands on a single channel.
+    """
+
+
+class EstimationError(ReproError):
+    """An estimator could not produce a result.
+
+    Examples: zero completed rounds, or an observation outside the
+    representable gray-depth range ``[0, H]``.
+    """
+
+
+class AnalysisError(ReproError):
+    """A closed-form analysis routine was queried outside its domain.
+
+    Examples: asking for the asymptotic expectation with ``n <= 0`` or a
+    confidence parameter outside ``(0, 1)``.
+    """

@@ -1,0 +1,34 @@
+"""Experiment drivers: one module per paper table/figure, plus ablations.
+
+Each driver exposes a ``run(...)`` function returning
+:class:`~repro.sim.report.Table` objects (and raw arrays where useful),
+and is callable through ``python -m repro <experiment>``.  The
+``benchmarks/`` suite calls the same ``run`` functions, so CLI output
+and benchmark output cannot drift apart.
+
+Scaling knobs (``runs=``, ``sizes=``...) default to the paper's settings
+(300 runs per point, n up to 50 000) but accept smaller values so the
+benchmark suite stays fast.
+"""
+
+from . import (
+    ablations,
+    extensions,
+    fig3_trace,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    table3,
+)
+
+__all__ = [
+    "fig3_trace",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "table3",
+    "ablations",
+    "extensions",
+]

@@ -1,0 +1,144 @@
+"""Fig. 3 — protocol execution traces, basic vs binary search.
+
+Recreates the paper's worked example: a height-6 PET, 16 tags, and the
+estimating path ``r = 000011``.  The basic (Algorithm 1) protocol walks
+the path prefix by prefix and needs 5 slots to hit the first idle slot;
+the binary-search (Algorithm 3) protocol converges in 2 slots.
+
+The example is executed on the *slot-level* simulator with explicitly
+preloaded tag codes, so the printed trace is the literal on-air
+exchange, not a re-derivation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import PetConfig
+from ..core.estimator import PetEstimator
+from ..core.path import EstimatingPath
+from ..radio.channel import SlottedChannel
+from ..radio.events import ChannelTrace
+from ..reader.reader import PetReader
+from ..tags.pet_tags import PassivePetTag
+
+#: The paper's example: height-6 codes of the 16 tags.  Chosen so the
+#: gray node for path 000011 sits at depth 4 (prefixes 0, 00, 000, 0000
+#: busy; 00001 idle), reproducing the figure's 5-slot / 2-slot traces.
+EXAMPLE_HEIGHT = 6
+EXAMPLE_PATH = "000011"
+EXAMPLE_CODES = (
+    "000000",
+    "000001",
+    "000100",
+    "000111",
+    "001010",
+    "001101",
+    "010010",
+    "010111",
+    "011001",
+    "011100",
+    "100011",
+    "101001",
+    "101110",
+    "110010",
+    "110111",
+    "111100",
+)
+
+
+@dataclass(frozen=True)
+class TraceComparison:
+    """The two executions of the same round.
+
+    Attributes
+    ----------
+    basic_trace, binary_trace:
+        Full channel traces (round-start broadcast + query slots).
+    basic_slots, binary_slots:
+        Query slots consumed (the figure's headline numbers: 5 vs 2).
+    gray_depth:
+        The gray-node depth both protocols must agree on.
+    """
+
+    basic_trace: ChannelTrace
+    binary_trace: ChannelTrace
+    basic_slots: int
+    binary_slots: int
+    gray_depth: int
+
+
+def _run_variant(binary_search: bool) -> tuple[ChannelTrace, int, int]:
+    channel = SlottedChannel(rng=np.random.default_rng(0))
+    for index, code in enumerate(EXAMPLE_CODES):
+        tag = PassivePetTag(
+            tag_id=index,
+            height=EXAMPLE_HEIGHT,
+            preloaded_code=int(code, 2),
+        )
+        channel.attach(tag)
+    config = PetConfig(
+        tree_height=EXAMPLE_HEIGHT,
+        binary_search=binary_search,
+        passive_tags=True,
+        rounds=1,
+    )
+    reader = PetReader(channel, config=config)
+    path = EstimatingPath.from_string(EXAMPLE_PATH)
+    depth, slots = reader.run_round(path, round_index=0)
+    return channel.trace, slots, depth
+
+
+def run() -> TraceComparison:
+    """Execute the example under both protocols and package the traces."""
+    basic_trace, basic_slots, basic_depth = _run_variant(
+        binary_search=False
+    )
+    binary_trace, binary_slots, binary_depth = _run_variant(
+        binary_search=True
+    )
+    if basic_depth != binary_depth:
+        raise AssertionError(
+            f"protocol disagreement: basic found depth {basic_depth}, "
+            f"binary found {binary_depth}"
+        )
+    return TraceComparison(
+        basic_trace=basic_trace,
+        binary_trace=binary_trace,
+        basic_slots=basic_slots,
+        binary_slots=binary_slots,
+        gray_depth=basic_depth,
+    )
+
+
+def estimate_from_example() -> float:
+    """One-round estimate from the example (illustrative only)."""
+    from ..core.accuracy import estimate_from_depths
+
+    comparison = run()
+    return estimate_from_depths([comparison.gray_depth])
+
+
+def main() -> None:
+    """Print the Fig. 3 reproduction."""
+    comparison = run()
+    print("Fig. 3 — protocol execution on the paper's example")
+    print(f"(H = {EXAMPLE_HEIGHT}, 16 tags, estimating path r = "
+          f"{EXAMPLE_PATH})\n")
+    print("(a) Basic algorithm (linear prefix scan):")
+    print(comparison.basic_trace.render())
+    print(f"\n    query slots used: {comparison.basic_slots} "
+          f"(paper: 5)\n")
+    print("(b) Binary search algorithm:")
+    print(comparison.binary_trace.render())
+    print(f"\n    query slots used: {comparison.binary_slots} "
+          f"(paper: 2)")
+    print(f"\nBoth locate the gray node at depth "
+          f"{comparison.gray_depth} (height "
+          f"{EXAMPLE_HEIGHT - comparison.gray_depth}).")
+
+
+if __name__ == "__main__":
+    main()

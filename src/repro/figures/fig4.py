@@ -1,0 +1,111 @@
+"""Fig. 4 — PET accuracy and deviation vs number of estimation rounds.
+
+Three panels, all over rounds m in {8, 16, 32, 64, 128, 256} and
+populations n in {1 000, 5 000, 10 000, 50 000}, each cell averaged over
+300 independent runs (the paper's setup):
+
+* (a) estimation accuracy ``mean(n_hat) / n`` — approaches 1 by m ~ 32-64
+  and is insensitive to n;
+* (b) standard deviation ``sqrt(E[(n_hat - n)^2])`` — shrinks with
+  ``1/sqrt(m)`` and scales with n;
+* (c) normalized standard deviation — collapses across n, ~0.2 at m = 64.
+
+Runs on the sampled tier (exact gray-depth law), which is what makes
+300 x 24 cells tractable in seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.stats import SeriesSummary
+from ..config import PAPER_RUNS_PER_POINT, PetConfig
+from ..core.accuracy import SIGMA_H, estimate_std
+from ..sim.experiment import ExperimentRunner
+from ..sim.report import Table
+from ..sim.workload import PAPER_TAG_COUNTS
+
+#: Round counts swept by the figure.
+DEFAULT_ROUNDS = (8, 16, 32, 64, 128, 256)
+
+
+@dataclass(frozen=True)
+class Fig4Cell:
+    """One (n, m) cell of the sweep with its summary statistics."""
+
+    n: int
+    rounds: int
+    summary: SeriesSummary
+    predicted_normalized_std: float
+
+
+def run(
+    sizes: tuple[int, ...] = PAPER_TAG_COUNTS,
+    rounds_grid: tuple[int, ...] = DEFAULT_ROUNDS,
+    runs: int = PAPER_RUNS_PER_POINT,
+    base_seed: int = 41,
+) -> list[Fig4Cell]:
+    """Run the full sweep; returns one cell per (n, m) pair."""
+    runner = ExperimentRunner(base_seed=base_seed, repetitions=runs)
+    config = PetConfig()
+    cells = []
+    for n in sizes:
+        for rounds in rounds_grid:
+            repeated = runner.run_sampled(n, config, rounds)
+            cells.append(
+                Fig4Cell(
+                    n=n,
+                    rounds=rounds,
+                    summary=repeated.summary(),
+                    predicted_normalized_std=(
+                        estimate_std(n, rounds) / n
+                    ),
+                )
+            )
+    return cells
+
+
+def tables(cells: list[Fig4Cell]) -> tuple[Table, Table, Table]:
+    """Render the three panels as tables (rows = m, columns = n)."""
+    sizes = sorted({cell.n for cell in cells})
+    rounds_grid = sorted({cell.rounds for cell in cells})
+    by_key = {(cell.n, cell.rounds): cell for cell in cells}
+
+    headers = ["rounds m"] + [f"n={n:,}" for n in sizes]
+    table_a = Table("Fig. 4a — estimation accuracy (n_hat / n)", headers)
+    table_b = Table("Fig. 4b — standard deviation of n_hat", headers)
+    table_c = Table(
+        "Fig. 4c — normalized standard deviation "
+        "(theory: sigma_h ln2 / sqrt(m))",
+        headers + ["theory"],
+    )
+    for rounds in rounds_grid:
+        row_a: list[object] = [rounds]
+        row_b: list[object] = [rounds]
+        row_c: list[object] = [rounds]
+        for n in sizes:
+            cell = by_key[(n, rounds)]
+            row_a.append(cell.summary.accuracy)
+            row_b.append(cell.summary.std)
+            row_c.append(cell.summary.normalized_std)
+        row_c.append(by_key[(sizes[0], rounds)].predicted_normalized_std)
+        table_a.add_row(*row_a)
+        table_b.add_row(*row_b)
+        table_c.add_row(*row_c)
+    return table_a, table_b, table_c
+
+
+def main(runs: int = PAPER_RUNS_PER_POINT) -> None:
+    """Print all three panels at the paper's scale."""
+    cells = run(runs=runs)
+    for table in tables(cells):
+        table.print()
+    print(
+        f"(sigma(h) = {SIGMA_H:.4f}; the paper reports ~0.2 normalized "
+        f"deviation at m = 64 — theory gives "
+        f"{SIGMA_H * 0.6931 / 8:.3f})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,119 @@
+"""Fig. 7 — per-tag memory for preloaded random codes (log scale).
+
+For passive operation, the randomness each protocol needs per round
+must be preloaded at manufacturing.  PET preloads one 32-bit code
+regardless of the accuracy target; FNEB and LoF need one draw per round,
+so their footprint is ``32 x m(epsilon, delta)`` bits and grows as the
+target tightens:
+
+* (a) sweep epsilon at delta = 1 %;
+* (b) sweep delta at epsilon = 5 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import AccuracyRequirement
+from ..protocols.fneb import FnebProtocol
+from ..protocols.lof import LofProtocol
+from ..protocols.pet import PetProtocol
+from ..sim.report import Table
+from ..tags.memory import MemoryModel
+from .fig5 import FIG5A_EPSILONS, FIG5B_DELTAS
+
+
+@dataclass(frozen=True)
+class MemoryRow:
+    """Per-tag preloaded bits for one accuracy requirement."""
+
+    epsilon: float
+    delta: float
+    pet_bits: int
+    fneb_bits: int
+    lof_bits: int
+
+
+def run(requirements: list[AccuracyRequirement]) -> list[MemoryRow]:
+    """Compute preloaded-memory footprints for each requirement."""
+    model = MemoryModel(code_bits=32)
+    pet, fneb, lof = PetProtocol(), FnebProtocol(), LofProtocol()
+    rows = []
+    for requirement in requirements:
+        rows.append(
+            MemoryRow(
+                epsilon=requirement.epsilon,
+                delta=requirement.delta,
+                pet_bits=model.pet(pet.plan_rounds(requirement))
+                .preloaded_bits,
+                fneb_bits=model.fneb(fneb.plan_rounds(requirement))
+                .preloaded_bits,
+                lof_bits=model.lof(lof.plan_rounds(requirement))
+                .preloaded_bits,
+            )
+        )
+    return rows
+
+
+def epsilon_sweep(
+    epsilons: tuple[float, ...] = FIG5A_EPSILONS, delta: float = 0.01
+) -> list[MemoryRow]:
+    """Fig. 7a sweep."""
+    return run([AccuracyRequirement(e, delta) for e in epsilons])
+
+
+def delta_sweep(
+    deltas: tuple[float, ...] = FIG5B_DELTAS, epsilon: float = 0.05
+) -> list[MemoryRow]:
+    """Fig. 7b sweep."""
+    return run([AccuracyRequirement(epsilon, d) for d in deltas])
+
+
+def table(rows: list[MemoryRow], title: str, vary: str) -> Table:
+    """Render one sweep, including the log2 columns the figure plots."""
+    import math
+
+    out = Table(
+        title,
+        [
+            vary,
+            "PET bits",
+            "FNEB bits",
+            "LoF bits",
+            "log2(FNEB/PET)",
+            "log2(LoF/PET)",
+        ],
+    )
+    for row in rows:
+        varied = row.epsilon if vary == "epsilon" else row.delta
+        out.add_row(
+            f"{varied:.3f}",
+            row.pet_bits,
+            row.fneb_bits,
+            row.lof_bits,
+            math.log2(row.fneb_bits / row.pet_bits),
+            math.log2(row.lof_bits / row.pet_bits),
+        )
+    return out
+
+
+def main() -> None:
+    """Print both Fig. 7 panels."""
+    table(
+        epsilon_sweep(),
+        "Fig. 7a — per-tag preloaded memory vs epsilon (delta = 1%)",
+        "epsilon",
+    ).print()
+    table(
+        delta_sweep(),
+        "Fig. 7b — per-tag preloaded memory vs delta (epsilon = 5%)",
+        "delta",
+    ).print()
+    print(
+        "PET stays at one 32-bit code; FNEB/LoF grow linearly with the "
+        "round count (Sec. 4.5 / Fig. 7)."
+    )
+
+
+if __name__ == "__main__":
+    main()

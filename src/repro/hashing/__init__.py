@@ -1,0 +1,41 @@
+"""Hashing substrate for the PET reproduction.
+
+RFID estimation protocols derive per-tag randomness from hash functions:
+
+* PET maps each tag to a uniform ``H``-bit code (Sec. 4.1), either freshly
+  per round from a reader-broadcast seed (active tags, Algorithm 2) or a
+  preloaded MD5/SHA-1-style digest of the tag ID (passive tags, Sec. 4.5).
+* LoF uses a geometric-distribution hash (slot ``j`` with probability
+  ``2^-(j+1)``).
+* FNEB / USE / UPE / EZB use uniform hashes into a frame of slots.
+
+This package provides seeded, reproducible implementations of all of the
+above, with both scalar (per-tag, used by the slot-level simulator) and
+vectorized (numpy, used by the fast simulators) entry points.
+"""
+
+from .family import (
+    HashFamily,
+    Md5HashFamily,
+    Sha1HashFamily,
+    SplitMix64Family,
+    default_family,
+)
+from .geometric import geometric_bucket, geometric_buckets
+from .quality import summarize_family
+from .uniform import uniform_code, uniform_codes, uniform_slot, uniform_slots
+
+__all__ = [
+    "HashFamily",
+    "Md5HashFamily",
+    "Sha1HashFamily",
+    "SplitMix64Family",
+    "default_family",
+    "uniform_code",
+    "uniform_codes",
+    "uniform_slot",
+    "uniform_slots",
+    "geometric_bucket",
+    "geometric_buckets",
+    "summarize_family",
+]

@@ -1,0 +1,140 @@
+"""Seeded hash families producing reproducible 64-bit digests.
+
+A :class:`HashFamily` turns ``(seed, tag_id)`` pairs into uniform 64-bit
+values.  Three concrete families are provided:
+
+* :class:`SplitMix64Family` — a fast integer mixer; the library default.
+  Its vectorized path hashes millions of tags per second with numpy.
+* :class:`Md5HashFamily` / :class:`Sha1HashFamily` — the digest functions
+  the paper names for preloading PET codes during manufacturing
+  (Sec. 4.5: "MD5 and SHA-1 ... trivially convert them to shorter
+  length").  Slower, used in tests and the passive-tag example to match
+  the paper literally.
+
+All families guarantee:
+
+* determinism: the same ``(seed, key)`` always yields the same digest;
+* seed sensitivity: different seeds induce (statistically) independent
+  mappings, which is what makes PET estimation rounds independent.
+"""
+
+from __future__ import annotations
+
+import abc
+import hashlib
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+_MASK64 = (1 << 64) - 1
+
+# SplitMix64 constants (Steele, Lea & Flood 2014, public domain).
+_GOLDEN_GAMMA = 0x9E3779B97F4A7C15
+_MIX_A = 0xBF58476D1CE4E5B9
+_MIX_B = 0x94D049BB133111EB
+
+
+def splitmix64(value: int) -> int:
+    """Mix a 64-bit integer through the SplitMix64 finalizer."""
+    value = (value + _GOLDEN_GAMMA) & _MASK64
+    value = ((value ^ (value >> 30)) * _MIX_A) & _MASK64
+    value = ((value ^ (value >> 27)) * _MIX_B) & _MASK64
+    return value ^ (value >> 31)
+
+
+class HashFamily(abc.ABC):
+    """A keyed family of hash functions ``h_seed: key -> uint64``."""
+
+    @abc.abstractmethod
+    def digest(self, seed: int, key: int) -> int:
+        """Return a uniform 64-bit digest of ``key`` under ``seed``."""
+
+    def digest_many(self, seed: int, keys: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`digest`; returns a ``uint64`` array.
+
+        The base implementation loops in Python; subclasses with a numpy
+        fast path override this.
+        """
+        out = np.empty(len(keys), dtype=np.uint64)
+        for index, key in enumerate(keys):
+            out[index] = self.digest(seed, int(key))
+        return out
+
+    def code(self, seed: int, key: int, bits: int) -> int:
+        """Return the top ``bits`` bits of the digest as a PET-style code.
+
+        Truncation to the top bits mirrors the paper's "trivially convert
+        [a 128-bit digest] to shorter length" (Sec. 4.5).
+        """
+        _check_bits(bits)
+        return self.digest(seed, key) >> (64 - bits)
+
+    def codes(self, seed: int, keys: np.ndarray, bits: int) -> np.ndarray:
+        """Vectorized :meth:`code`; returns a ``uint64`` array."""
+        _check_bits(bits)
+        digests = self.digest_many(seed, keys)
+        return digests >> np.uint64(64 - bits)
+
+
+def _check_bits(bits: int) -> None:
+    if not 1 <= bits <= 64:
+        raise ConfigurationError(f"code width must lie in [1, 64], got {bits}")
+
+
+class SplitMix64Family(HashFamily):
+    """Default fast hash family based on the SplitMix64 finalizer.
+
+    The seed and key are combined with distinct odd multipliers before
+    mixing, so ``h_seed`` and ``h_seed'`` behave as independent functions.
+    """
+
+    def digest(self, seed: int, key: int) -> int:
+        mixed = (splitmix64(seed & _MASK64) ^ (key & _MASK64)) & _MASK64
+        return splitmix64(mixed)
+
+    def digest_many(self, seed: int, keys: np.ndarray) -> np.ndarray:
+        keys64 = np.asarray(keys, dtype=np.uint64)
+        seeded = np.uint64(splitmix64(seed & _MASK64))
+        return _splitmix64_vec(keys64 ^ seeded)
+
+
+def _splitmix64_vec(values: np.ndarray) -> np.ndarray:
+    """Vectorized SplitMix64 finalizer over a ``uint64`` array."""
+    with np.errstate(over="ignore"):
+        values = values + np.uint64(_GOLDEN_GAMMA)
+        values = (values ^ (values >> np.uint64(30))) * np.uint64(_MIX_A)
+        values = (values ^ (values >> np.uint64(27))) * np.uint64(_MIX_B)
+        return values ^ (values >> np.uint64(31))
+
+
+class _DigestFamily(HashFamily):
+    """Shared implementation for hashlib-backed families."""
+
+    _algorithm: str = ""
+
+    def digest(self, seed: int, key: int) -> int:
+        hasher = hashlib.new(self._algorithm)
+        hasher.update(seed.to_bytes(8, "big", signed=False))
+        hasher.update(key.to_bytes(16, "big", signed=False))
+        return int.from_bytes(hasher.digest()[:8], "big")
+
+
+class Md5HashFamily(_DigestFamily):
+    """MD5-based family: the digest function named in Sec. 4.5."""
+
+    _algorithm = "md5"
+
+
+class Sha1HashFamily(_DigestFamily):
+    """SHA-1-based family: the other digest function named in Sec. 4.5."""
+
+    _algorithm = "sha1"
+
+
+_DEFAULT = SplitMix64Family()
+
+
+def default_family() -> HashFamily:
+    """Return the library-wide default hash family (SplitMix64)."""
+    return _DEFAULT

@@ -1,0 +1,96 @@
+"""Geometric-distribution hashing, the primitive behind LoF and FM sketches.
+
+LoF (Qian et al., PerCom 2008) has each tag select frame slot ``j`` with
+probability ``2^-(j+1)`` — i.e. slot index = number of leading zeros of a
+uniform bit string.  The same primitive underlies the Flajolet-Martin
+sketch the paper cites as the ancestry of probabilistic counting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .family import HashFamily, default_family
+
+
+def _leading_zeros64(value: int) -> int:
+    """Number of leading zero bits of a 64-bit integer (64 for zero)."""
+    if value == 0:
+        return 64
+    return 64 - value.bit_length()
+
+
+def geometric_bucket(
+    seed: int,
+    tag_id: int,
+    max_bucket: int,
+    family: HashFamily | None = None,
+) -> int:
+    """Return a geometric bucket index in ``[0, max_bucket]`` for one tag.
+
+    Bucket ``j < max_bucket`` is selected with probability ``2^-(j+1)``;
+    the residual mass lands in ``max_bucket`` (LoF frames clamp the tail
+    into the last slot).
+    """
+    if max_bucket < 0:
+        raise ConfigurationError(f"max_bucket must be >= 0, got {max_bucket}")
+    family = family or default_family()
+    zeros = _leading_zeros64(family.digest(seed, tag_id))
+    return min(zeros, max_bucket)
+
+
+def geometric_buckets(
+    seed: int,
+    tag_ids: np.ndarray,
+    max_bucket: int,
+    family: HashFamily | None = None,
+) -> np.ndarray:
+    """Vectorized :func:`geometric_bucket` over an array of tag IDs."""
+    if max_bucket < 0:
+        raise ConfigurationError(f"max_bucket must be >= 0, got {max_bucket}")
+    family = family or default_family()
+    digests = family.digest_many(seed, np.asarray(tag_ids, dtype=np.uint64))
+    zeros = leading_zeros64_vec(digests)
+    return np.minimum(zeros, max_bucket)
+
+
+def leading_zeros64_vec(values: np.ndarray) -> np.ndarray:
+    """Vectorized, exact leading-zero count over a ``uint64`` array.
+
+    Float conversions are *not* exact here (a value just below a power
+    of two rounds up and misreports its bit length), so this uses pure
+    integer ops: propagate the top bit rightward, then popcount the
+    resulting mask — ``clz = 64 - popcount``.
+    """
+    v = np.array(values, dtype=np.uint64, copy=True)
+    for shift in (1, 2, 4, 8, 16, 32):
+        v |= v >> np.uint64(shift)
+    return (64 - _popcount64(v)).astype(np.int64)
+
+
+def _popcount64(values: np.ndarray) -> np.ndarray:
+    """SWAR popcount over a ``uint64`` array (wraparound is intended)."""
+    m1 = np.uint64(0x5555555555555555)
+    m2 = np.uint64(0x3333333333333333)
+    m4 = np.uint64(0x0F0F0F0F0F0F0F0F)
+    h01 = np.uint64(0x0101010101010101)
+    with np.errstate(over="ignore"):
+        x = values - ((values >> np.uint64(1)) & m1)
+        x = (x & m2) + ((x >> np.uint64(2)) & m2)
+        x = (x + (x >> np.uint64(4))) & m4
+        return ((x * h01) >> np.uint64(56)).astype(np.int64)
+
+
+def geometric_pmf(max_bucket: int) -> np.ndarray:
+    """Exact selection probabilities for buckets ``0..max_bucket``.
+
+    ``P(j) = 2^-(j+1)`` for ``j < max_bucket``; the final bucket absorbs
+    the remaining ``2^-max_bucket`` tail.  Used by the sampled LoF
+    simulator to draw per-bucket occupancy multinomially.
+    """
+    if max_bucket < 0:
+        raise ConfigurationError(f"max_bucket must be >= 0, got {max_bucket}")
+    pmf = np.array([2.0 ** -(j + 1) for j in range(max_bucket + 1)])
+    pmf[max_bucket] = 2.0 ** -max_bucket if max_bucket > 0 else 1.0
+    return pmf

@@ -1,0 +1,150 @@
+"""Hash-quality diagnostics.
+
+PET's analysis assumes the tag codes behave as i.i.d. uniform bits
+(Sec. 4.2); the whole estimator inherits any hash defects.  This module
+provides the statistical checks the test suite (and the validation
+example) run against each hash family:
+
+* :func:`uniformity_chi2` — chi-square of bucketed digests against the
+  uniform law;
+* :func:`avalanche_score` — mean fraction of output bits flipped by a
+  single input-bit flip (ideal: 0.5);
+* :func:`bit_bias` — per-output-bit deviation from the 50/50 law;
+* :func:`prefix_collision_rate` — empirical probability that two tags
+  share a ``j``-bit code prefix (ideal: ``2^-j``), the quantity PET's
+  gray-depth law actually depends on.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import AnalysisError
+from .family import HashFamily, default_family
+
+
+def _digests(
+    family: HashFamily, seed: int, count: int
+) -> np.ndarray:
+    keys = np.arange(count, dtype=np.uint64)
+    return family.digest_many(seed, keys)
+
+
+def uniformity_chi2(
+    family: HashFamily | None = None,
+    seed: int = 1,
+    samples: int = 50_000,
+    buckets: int = 256,
+) -> float:
+    """Chi-square statistic of bucketed digests vs uniform.
+
+    Returns the statistic normalized by its degrees of freedom
+    (``buckets - 1``): values near 1.0 indicate uniformity; values
+    above ~1.5 at these sample sizes indicate structure.
+    """
+    if samples < buckets * 10:
+        raise AnalysisError(
+            f"need >= 10 samples per bucket ({buckets * 10}), "
+            f"got {samples}"
+        )
+    family = family or default_family()
+    digests = _digests(family, seed, samples)
+    assignments = (digests % np.uint64(buckets)).astype(np.int64)
+    counts = np.bincount(assignments, minlength=buckets)
+    expected = samples / buckets
+    chi2 = float(((counts - expected) ** 2 / expected).sum())
+    return chi2 / (buckets - 1)
+
+
+def avalanche_score(
+    family: HashFamily | None = None,
+    seed: int = 1,
+    samples: int = 2_000,
+) -> float:
+    """Mean fraction of the 64 output bits flipped by one input flip.
+
+    For each sample key, flips one random input bit and counts output
+    Hamming distance; a good mixer scores ~0.5.
+    """
+    if samples < 1:
+        raise AnalysisError(f"samples must be >= 1, got {samples}")
+    family = family or default_family()
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(0, 2**63, size=samples, dtype=np.int64).astype(
+        np.uint64
+    )
+    flip_bits = rng.integers(0, 64, size=samples)
+    flipped = keys ^ (np.uint64(1) << flip_bits.astype(np.uint64))
+    base = family.digest_many(seed, keys)
+    perturbed = family.digest_many(seed, flipped)
+    from .geometric import _popcount64
+
+    distances = _popcount64(base ^ perturbed)
+    return float(distances.mean()) / 64.0
+
+
+def bit_bias(
+    family: HashFamily | None = None,
+    seed: int = 1,
+    samples: int = 50_000,
+) -> np.ndarray:
+    """Per-bit deviation of the digest bits from probability 1/2.
+
+    Returns an array of 64 absolute deviations; a good family keeps
+    every entry within a few standard errors (``0.5/sqrt(samples)``).
+    """
+    if samples < 1:
+        raise AnalysisError(f"samples must be >= 1, got {samples}")
+    family = family or default_family()
+    digests = _digests(family, seed, samples)
+    biases = np.empty(64)
+    for bit in range(64):
+        ones = int(
+            ((digests >> np.uint64(bit)) & np.uint64(1)).sum()
+        )
+        biases[bit] = abs(ones / samples - 0.5)
+    return biases
+
+
+def prefix_collision_rate(
+    prefix_bits: int,
+    family: HashFamily | None = None,
+    seed: int = 1,
+    samples: int = 20_000,
+    code_bits: int = 32,
+) -> float:
+    """Empirical ``P(two tags share a j-bit code prefix)``.
+
+    This is the probability PET's gray-depth law is built on
+    (``2^-j`` for uniform codes).  Measured by bucketing codes by their
+    ``j``-bit prefix and counting collisions pairwise.
+    """
+    if not 1 <= prefix_bits <= code_bits:
+        raise AnalysisError(
+            f"prefix_bits must lie in [1, {code_bits}], got {prefix_bits}"
+        )
+    family = family or default_family()
+    keys = np.arange(samples, dtype=np.uint64)
+    codes = family.codes(seed, keys, code_bits)
+    prefixes = codes >> np.uint64(code_bits - prefix_bits)
+    _, counts = np.unique(prefixes, return_counts=True)
+    colliding_pairs = float((counts * (counts - 1) // 2).sum())
+    total_pairs = samples * (samples - 1) / 2
+    return colliding_pairs / total_pairs
+
+
+def summarize_family(
+    family: HashFamily | None = None, seed: int = 1
+) -> dict[str, float]:
+    """All diagnostics in one dict (used by the validation example)."""
+    family = family or default_family()
+    return {
+        "chi2_per_dof": uniformity_chi2(family, seed=seed),
+        "avalanche": avalanche_score(family, seed=seed),
+        "max_bit_bias": float(bit_bias(family, seed=seed).max()),
+        "prefix8_collision_over_ideal": (
+            prefix_collision_rate(8, family, seed=seed) / 2.0**-8
+        ),
+    }

@@ -1,0 +1,81 @@
+"""Uniform hashing helpers: PET codes and Aloha-frame slot selection.
+
+PET assigns each tag a uniform ``H``-bit random code, conceptually a leaf
+of the estimating tree (Sec. 4.1: ``H(tagID) -> [0, 2^H - 1]``).  Framed
+protocols (FNEB, USE, UPE, EZB) map each tag to a uniform slot of a frame.
+Both derive from the same 64-bit hash family.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .family import HashFamily, default_family
+
+
+def uniform_code(
+    seed: int,
+    tag_id: int,
+    bits: int,
+    family: HashFamily | None = None,
+) -> int:
+    """Return a uniform ``bits``-bit PET code for one tag.
+
+    Parameters
+    ----------
+    seed:
+        The per-round random seed broadcast by the reader (Algorithm 2),
+        or a fixed manufacturing seed for preloaded codes (Sec. 4.5).
+    tag_id:
+        The tag's unique ID.
+    bits:
+        Code width ``H``.
+    family:
+        Hash family; defaults to :func:`repro.hashing.default_family`.
+    """
+    family = family or default_family()
+    return family.code(seed, tag_id, bits)
+
+
+def uniform_codes(
+    seed: int,
+    tag_ids: np.ndarray,
+    bits: int,
+    family: HashFamily | None = None,
+) -> np.ndarray:
+    """Vectorized :func:`uniform_code` over an array of tag IDs."""
+    family = family or default_family()
+    return family.codes(seed, np.asarray(tag_ids, dtype=np.uint64), bits)
+
+
+def uniform_slot(
+    seed: int,
+    tag_id: int,
+    frame_size: int,
+    family: HashFamily | None = None,
+) -> int:
+    """Return a uniform slot index in ``[0, frame_size)`` for one tag.
+
+    Used by FNEB (first-nonempty-slot search frame) and the framed-Aloha
+    estimators.  ``frame_size`` need not be a power of two; the 64-bit
+    digest makes modulo bias negligible (< 2^-40 for frames < 2^24).
+    """
+    if frame_size < 1:
+        raise ConfigurationError(f"frame_size must be >= 1, got {frame_size}")
+    family = family or default_family()
+    return family.digest(seed, tag_id) % frame_size
+
+
+def uniform_slots(
+    seed: int,
+    tag_ids: np.ndarray,
+    frame_size: int,
+    family: HashFamily | None = None,
+) -> np.ndarray:
+    """Vectorized :func:`uniform_slot` over an array of tag IDs."""
+    if frame_size < 1:
+        raise ConfigurationError(f"frame_size must be >= 1, got {frame_size}")
+    family = family or default_family()
+    digests = family.digest_many(seed, np.asarray(tag_ids, dtype=np.uint64))
+    return (digests % np.uint64(frame_size)).astype(np.int64)

@@ -1,0 +1,60 @@
+"""The protocol zoo: PET variants, estimation baselines, identification.
+
+Every estimation protocol implements the
+:class:`~repro.protocols.base.CardinalityEstimatorProtocol` interface —
+``plan(epsilon, delta)`` to size the run and ``estimate(population,
+rng)`` to produce a :class:`~repro.protocols.base.ProtocolResult` — so
+benchmarks compare them uniformly.
+
+Estimation protocols
+--------------------
+* :class:`~repro.protocols.pet.PetProtocol` — this paper (all variants).
+* :class:`~repro.protocols.fneb.FnebProtocol` — Han et al., INFOCOM 2010:
+  binary-search the first nonempty slot of a hashed frame.
+* :class:`~repro.protocols.lof.LofProtocol` — Qian et al., PerCom 2008:
+  geometric (lottery) frames, first-empty-slot statistic.
+* :class:`~repro.protocols.framed.UseProtocol` /
+  :class:`~repro.protocols.framed.UpeProtocol` /
+  :class:`~repro.protocols.framed.EzbProtocol` — Kodialam & Nandagopal's
+  framed-Aloha estimators (MobiCom 2006, INFOCOM 2007).
+
+Identification baselines (exact counting, the motivating contrast)
+------------------------------------------------------------------
+* :class:`~repro.protocols.aloha.FramedAlohaIdentification` — EPC-Gen2
+  style framed slotted Aloha with Q-adaptation.
+* :class:`~repro.protocols.treewalk.TreeWalkIdentification` — binary
+  tree-splitting collision arbitration.
+"""
+
+from .aloha import FramedAlohaIdentification
+from .base import (
+    CardinalityEstimatorProtocol,
+    IdentificationResult,
+    ProtocolResult,
+)
+from .fneb import FnebProtocol
+from .fneb_enhanced import EnhancedFnebProtocol
+from .framed import EzbProtocol, UpeProtocol, UseProtocol
+from .lof import LofProtocol
+from .pet import PetProtocol
+from .pet_budgeted import BudgetedPetProtocol
+from .registry import available_protocols, make_protocol
+from .treewalk import TreeWalkIdentification
+
+__all__ = [
+    "CardinalityEstimatorProtocol",
+    "ProtocolResult",
+    "IdentificationResult",
+    "PetProtocol",
+    "BudgetedPetProtocol",
+    "FnebProtocol",
+    "EnhancedFnebProtocol",
+    "LofProtocol",
+    "UseProtocol",
+    "UpeProtocol",
+    "EzbProtocol",
+    "FramedAlohaIdentification",
+    "TreeWalkIdentification",
+    "available_protocols",
+    "make_protocol",
+]

@@ -1,0 +1,110 @@
+"""Framed slotted-Aloha identification with Q-adaptation.
+
+The exact-counting baseline the paper's introduction argues *against*
+for large populations: identify every tag, then count.  This is the
+EPC-Gen2-style flavour — the reader opens a frame of ``2^Q`` slots, each
+unidentified tag picks a uniform slot, singleton slots resolve one tag
+each, and ``Q`` adapts toward the (load ~ 1) throughput optimum from the
+observed idle/collision mix.
+
+The simulation is slot-exact in cost accounting but vectorized in
+execution: a frame's slot choices are drawn in one batch, singletons
+are resolved set-wise, and the per-frame slot count (plus one Query
+command slot) is charged.  Expected total cost is ``~ e * n`` slots —
+linear in ``n``, the scaling PET escapes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..tags.population import TagPopulation
+from .base import IdentificationResult
+
+
+#: Schoute's backlog estimate: each collision slot hides ~2.39 tags on
+#: average at the throughput-optimal operating point.
+SCHOUTE_FACTOR = 2.39
+
+
+class FramedAlohaIdentification:
+    """Framed slotted Aloha with Schoute backlog-driven frame sizing.
+
+    After each frame the reader estimates the remaining backlog from
+    the observed collision count (Schoute 1983: ``~2.39`` tags per
+    collision slot) and sizes the next frame to match — the classic
+    dynamic-frame Aloha policy underlying Gen2's Q adaptation, without
+    Q's per-slot oscillation.  Total cost converges to ``~e * n`` slots.
+
+    Parameters
+    ----------
+    initial_q:
+        Starting frame exponent (frame size ``2^Q``).
+    min_q, max_q:
+        Clamp range for the frame exponent.
+    max_frames:
+        Safety valve against non-termination.
+    """
+
+    name = "Aloha-Q"
+
+    def __init__(
+        self,
+        initial_q: int = 4,
+        min_q: int = 0,
+        max_q: int = 15,
+        max_frames: int = 100_000,
+    ):
+        if not 0 <= min_q <= initial_q <= max_q <= 30:
+            raise ConfigurationError(
+                "need 0 <= min_q <= initial_q <= max_q <= 30"
+            )
+        self.initial_q = initial_q
+        self.min_q = min_q
+        self.max_q = max_q
+        self.max_frames = max_frames
+
+    def identify(
+        self, population: TagPopulation, rng: np.random.Generator
+    ) -> IdentificationResult:
+        """Run frames until every tag is identified."""
+        remaining = np.array(population.tag_ids, dtype=np.uint64)
+        identified: list[int] = []
+        total_slots = 0
+        q = self.initial_q
+        frames = 0
+        while remaining.size > 0:
+            frames += 1
+            if frames > self.max_frames:
+                raise ConfigurationError(
+                    f"identification did not converge within "
+                    f"{self.max_frames} frames"
+                )
+            frame_size = 1 << q
+            total_slots += 1 + frame_size  # Query command + the frame
+            choices = rng.integers(0, frame_size, size=remaining.size)
+            slots, counts = np.unique(choices, return_counts=True)
+            singleton_slots = set(slots[counts == 1].tolist())
+            is_singleton = np.array(
+                [choice in singleton_slots for choice in choices]
+            )
+            identified.extend(int(t) for t in remaining[is_singleton])
+            remaining = remaining[~is_singleton]
+
+            collisions = int((counts >= 2).sum())
+            backlog = max(SCHOUTE_FACTOR * collisions, 1.0)
+            q = int(np.clip(round(np.log2(backlog)), self.min_q,
+                            self.max_q))
+        return IdentificationResult(
+            protocol=self.name,
+            identified=frozenset(identified),
+            total_slots=total_slots,
+        )
+
+    def count(
+        self, population: TagPopulation, rng: np.random.Generator
+    ) -> tuple[int, int]:
+        """Exact count via identification; returns ``(count, slots)``."""
+        result = self.identify(population, rng)
+        return result.count, result.total_slots

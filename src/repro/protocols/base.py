@@ -1,0 +1,109 @@
+"""Common interfaces and result types for the protocol zoo."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import AccuracyRequirement
+from ..errors import ConfigurationError
+from ..tags.population import TagPopulation
+
+
+@dataclass(frozen=True)
+class ProtocolResult:
+    """Outcome of one full estimation run by any protocol.
+
+    Attributes
+    ----------
+    protocol:
+        Display name of the protocol that produced the estimate.
+    n_hat:
+        The cardinality estimate.
+    rounds:
+        Estimation rounds performed.
+    total_slots:
+        Time slots consumed across all rounds — the paper's estimating-
+        time metric.
+    per_round_statistics:
+        Raw per-round observations (gray depths, first-nonempty indices,
+        first-empty buckets ... protocol-specific), kept for diagnostics.
+    """
+
+    protocol: str
+    n_hat: float
+    rounds: int
+    total_slots: int
+    per_round_statistics: np.ndarray = field(repr=False, default=None)  # type: ignore[assignment]
+
+    def accuracy(self, true_n: int) -> float:
+        """The Eq. 22 metric ``n_hat / n``."""
+        if true_n < 1:
+            raise ConfigurationError(f"true_n must be >= 1, got {true_n}")
+        return self.n_hat / true_n
+
+
+@dataclass(frozen=True)
+class IdentificationResult:
+    """Outcome of an exact identification (anti-collision) run.
+
+    Attributes
+    ----------
+    protocol:
+        Display name.
+    identified:
+        IDs the reader resolved; for a correct protocol this is the
+        whole population.
+    total_slots:
+        Slots consumed — grows linearly with ``n``, which is the paper's
+        argument for estimating instead of identifying.
+    """
+
+    protocol: str
+    identified: frozenset[int]
+    total_slots: int
+
+    @property
+    def count(self) -> int:
+        """Exact tag count obtained by identification."""
+        return len(self.identified)
+
+
+class CardinalityEstimatorProtocol(abc.ABC):
+    """Interface every estimation protocol in the zoo implements."""
+
+    #: Display name, overridden by subclasses.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def plan_rounds(self, requirement: AccuracyRequirement) -> int:
+        """Rounds needed to meet ``requirement`` (protocol-specific)."""
+
+    @abc.abstractmethod
+    def slots_per_round(self) -> int:
+        """Deterministic (or worst-case) slots per estimation round."""
+
+    @abc.abstractmethod
+    def estimate(
+        self,
+        population: TagPopulation,
+        rounds: int,
+        rng: np.random.Generator,
+    ) -> ProtocolResult:
+        """Run ``rounds`` rounds against ``population``."""
+
+    def estimate_with_requirement(
+        self,
+        population: TagPopulation,
+        requirement: AccuracyRequirement,
+        rng: np.random.Generator,
+    ) -> ProtocolResult:
+        """Plan rounds from the requirement, then estimate."""
+        rounds = self.plan_rounds(requirement)
+        return self.estimate(population, rounds, rng)
+
+    def planned_slots(self, requirement: AccuracyRequirement) -> int:
+        """Total slot budget to meet ``requirement`` (Tables 4/5)."""
+        return self.plan_rounds(requirement) * self.slots_per_round()

@@ -1,0 +1,52 @@
+"""Protocol registry: build any estimation protocol by name.
+
+Keeps the CLI and the benchmark sweeps decoupled from concrete classes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..config import PetConfig
+from ..errors import ConfigurationError
+from .base import CardinalityEstimatorProtocol
+from .fneb import FnebProtocol
+from .fneb_enhanced import EnhancedFnebProtocol
+from .framed import EzbProtocol, UpeProtocol, UseProtocol
+from .lof import LofProtocol
+from .pet import PetProtocol
+from .pet_budgeted import BudgetedPetProtocol
+
+_BUILDERS: dict[str, Callable[[], CardinalityEstimatorProtocol]] = {
+    "pet": lambda: PetProtocol(),
+    "pet-linear": lambda: PetProtocol(
+        config=PetConfig(binary_search=False)
+    ),
+    "pet-passive": lambda: PetProtocol(
+        config=PetConfig(passive_tags=True)
+    ),
+    "pet-budgeted": lambda: BudgetedPetProtocol.for_max_population(
+        1_000_000
+    ),
+    "fneb": lambda: FnebProtocol(),
+    "fneb-enhanced": lambda: EnhancedFnebProtocol(),
+    "lof": lambda: LofProtocol(),
+    "use": lambda: UseProtocol(),
+    "upe": lambda: UpeProtocol(),
+    "ezb": lambda: EzbProtocol(),
+}
+
+
+def available_protocols() -> list[str]:
+    """Names accepted by :func:`make_protocol`."""
+    return sorted(_BUILDERS)
+
+
+def make_protocol(name: str) -> CardinalityEstimatorProtocol:
+    """Instantiate the named protocol with its default parameters."""
+    key = name.lower()
+    if key not in _BUILDERS:
+        raise ConfigurationError(
+            f"unknown protocol {name!r}; available: {available_protocols()}"
+        )
+    return _BUILDERS[key]()

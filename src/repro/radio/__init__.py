@@ -1,0 +1,31 @@
+"""Slotted MAC / radio substrate.
+
+Models the channel assumptions of Sec. 3: time is divided into slots; in
+each slot the reader transmits first (Reader Talks First), energizing the
+tags and carrying a command, and tags respond in the second half of the
+slot.  The reader classifies each slot as idle, singleton, or collision.
+
+The paper's evaluation assumes a lossless channel with perfect idle/busy
+detection; :class:`~repro.radio.link.LinkModel` adds optional per-response
+erasure and capture for robustness ablations.
+"""
+
+from .channel import SlottedChannel
+from .energy import EnergyBudget, EnergyConfig, EnergyModel
+from .events import ChannelTrace, SlotEvent
+from .link import LinkModel
+from .slots import SlotOutcome, SlotType
+from .timing import SlotTimingModel
+
+__all__ = [
+    "SlottedChannel",
+    "SlotEvent",
+    "ChannelTrace",
+    "LinkModel",
+    "SlotOutcome",
+    "SlotType",
+    "SlotTimingModel",
+    "EnergyConfig",
+    "EnergyModel",
+    "EnergyBudget",
+]

@@ -1,0 +1,127 @@
+"""The slotted Reader-Talks-First channel.
+
+One :class:`SlottedChannel` binds a set of listeners (tag state machines)
+to a link model and a trace.  A slot proceeds in two phases, exactly as
+described in Sec. 3:
+
+1. the reader broadcasts a command (this also energizes passive tags);
+2. every listener decides whether to respond; the channel aggregates the
+   responses through the :class:`~repro.radio.link.LinkModel` into a
+   single :class:`~repro.radio.slots.SlotOutcome`.
+
+The channel is deliberately synchronous and single-threaded — RFID MAC
+protocols are lock-step, and a discrete-event queue would only obscure
+that.  Multi-reader deployments are modelled one channel per reader,
+aggregated by :class:`repro.reader.controller.ReaderController`.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from ..config import ChannelConfig
+from ..errors import ChannelError
+from .events import ChannelTrace, SlotEvent
+from .link import LinkModel
+from .slots import SlotOutcome
+
+
+class ChannelListener(Protocol):
+    """Anything that can hear a reader command and maybe respond.
+
+    Implemented by the tag state machines in :mod:`repro.tags`.
+    """
+
+    @property
+    def tag_id(self) -> int:
+        """Unique identifier of the listener."""
+        ...
+
+    def hear(self, command: object) -> bool:
+        """Process a reader command; return True to respond this slot."""
+        ...
+
+
+class SlottedChannel:
+    """A single reader's interrogation channel."""
+
+    def __init__(
+        self,
+        config: ChannelConfig | None = None,
+        rng: np.random.Generator | None = None,
+        trace: ChannelTrace | None = None,
+    ):
+        self._config = config or ChannelConfig()
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._link = LinkModel(self._config, self._rng)
+        self._listeners: dict[int, ChannelListener] = {}
+        self.trace = trace if trace is not None else ChannelTrace()
+
+    @property
+    def config(self) -> ChannelConfig:
+        """The channel's physical configuration."""
+        return self._config
+
+    @property
+    def listeners(self) -> Sequence[ChannelListener]:
+        """The currently attached listeners, in attach order."""
+        return tuple(self._listeners.values())
+
+    def attach(self, listener: ChannelListener) -> None:
+        """Place a tag inside this reader's interrogation region."""
+        tag_id = listener.tag_id
+        if tag_id in self._listeners:
+            raise ChannelError(
+                f"tag {tag_id} is already attached to this channel"
+            )
+        self._listeners[tag_id] = listener
+
+    def detach(self, tag_id: int) -> None:
+        """Remove a tag from the interrogation region (tag leave/move)."""
+        if tag_id not in self._listeners:
+            raise ChannelError(f"tag {tag_id} is not attached to this channel")
+        del self._listeners[tag_id]
+
+    def attach_all(self, listeners: Sequence[ChannelListener]) -> None:
+        """Attach every listener in ``listeners``."""
+        for listener in listeners:
+            self.attach(listener)
+
+    def broadcast(
+        self,
+        command: object,
+        label: str = "",
+        payload_bits: int = 0,
+    ) -> SlotOutcome:
+        """Run one full slot: deliver ``command``, collect responses.
+
+        Parameters
+        ----------
+        command:
+            Arbitrary command object handed to every listener's ``hear``.
+        label:
+            Human-readable command rendering for the trace.
+        payload_bits:
+            Command payload size for overhead accounting (Sec. 4.6.2).
+
+        Returns
+        -------
+        SlotOutcome
+            The classified outcome after loss/capture.
+        """
+        responders = tuple(
+            listener.tag_id
+            for listener in self._listeners.values()
+            if listener.hear(command)
+        )
+        outcome = self._link.deliver(responders)
+        self.trace.record(label or repr(command), payload_bits, outcome)
+        return outcome
+
+    def last_event(self) -> SlotEvent:
+        """Return the most recent slot event (raises if none yet)."""
+        if not self.trace.events:
+            raise ChannelError("no slots have been exchanged yet")
+        return self.trace.events[-1]

@@ -1,0 +1,177 @@
+"""Tag- and reader-side energy accounting.
+
+The paper's overhead comparison (Sec. 4.6.1) is in computations and
+bits; its citation of Zhou et al. (ISLPED) raises the natural follow-up
+of *energy* per estimation — decisive for battery-powered active tags
+and for reader duty-cycle budgets.  This module converts channel traces
+and protocol plans into energy figures using a simple linear model:
+
+* a tag spends ``rx`` energy per received command bit, ``tx`` energy
+  per transmitted response, and ``hash`` energy per on-chip hash
+  evaluation;
+* a reader spends ``tx`` energy per transmitted command bit and carrier
+  energy proportional to air time (it must power the field for passive
+  tags throughout the slot).
+
+The default constants approximate published Gen2-class figures (order
+of magnitude only — the *comparisons* between protocols are the
+deliverable, not absolute joules).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import TimingConfig
+from ..errors import ConfigurationError
+from .events import ChannelTrace
+
+
+@dataclass(frozen=True)
+class EnergyConfig:
+    """Linear energy model parameters.
+
+    Attributes
+    ----------
+    tag_rx_nj_per_bit:
+        Tag energy to receive and decode one command bit (nJ).
+    tag_tx_nj_per_response:
+        Tag energy for one response burst (nJ).
+    tag_hash_nj:
+        Tag energy for one on-chip hash evaluation (nJ) — the cost the
+        passive variant avoids entirely.
+    reader_tx_mw:
+        Reader transmit power while the carrier is up (mW).
+    """
+
+    tag_rx_nj_per_bit: float = 0.5
+    tag_tx_nj_per_response: float = 20.0
+    tag_hash_nj: float = 150.0
+    reader_tx_mw: float = 825.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "tag_rx_nj_per_bit",
+            "tag_tx_nj_per_response",
+            "tag_hash_nj",
+            "reader_tx_mw",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be >= 0")
+
+
+@dataclass(frozen=True)
+class EnergyBudget:
+    """Computed energy for one estimation run.
+
+    Attributes
+    ----------
+    tag_nj:
+        Energy one (average) tag spends, in nanojoules.
+    reader_mj:
+        Energy the reader spends, in millijoules.
+    """
+
+    tag_nj: float
+    reader_mj: float
+
+
+class EnergyModel:
+    """Computes energy budgets from traces or protocol plans."""
+
+    def __init__(
+        self,
+        config: EnergyConfig | None = None,
+        timing: TimingConfig | None = None,
+    ):
+        self._config = config or EnergyConfig()
+        self._timing = timing or TimingConfig()
+
+    @property
+    def config(self) -> EnergyConfig:
+        """The energy constants in use."""
+        return self._config
+
+    def of_trace(
+        self,
+        trace: ChannelTrace,
+        responses_per_tag: float,
+        hashes_per_tag: float,
+    ) -> EnergyBudget:
+        """Energy for a recorded run.
+
+        Parameters
+        ----------
+        trace:
+            The channel trace (command bits and slot count come from it).
+        responses_per_tag:
+            Mean responses transmitted per tag (from tag cost counters).
+        hashes_per_tag:
+            Mean hash evaluations per tag.
+        """
+        command_bits = trace.total_payload_bits
+        tag_nj = (
+            command_bits * self._config.tag_rx_nj_per_bit
+            + responses_per_tag * self._config.tag_tx_nj_per_response
+            + hashes_per_tag * self._config.tag_hash_nj
+        )
+        air_us = sum(
+            self._timing.slot_duration_us(event.payload_bits)
+            for event in trace.events
+        )
+        reader_mj = self._config.reader_tx_mw * air_us * 1e-6
+        return EnergyBudget(tag_nj=tag_nj, reader_mj=reader_mj)
+
+    def of_plan(
+        self,
+        rounds: int,
+        slots_per_round: int,
+        command_bits_per_slot: int,
+        expected_responses_per_tag: float,
+        hashes_per_round: float,
+    ) -> EnergyBudget:
+        """Energy for a *planned* run (no trace needed).
+
+        Used by protocol-comparison benchmarks: given each protocol's
+        per-round structure, produce comparable budgets.
+        """
+        if rounds < 1 or slots_per_round < 1:
+            raise ConfigurationError(
+                "rounds and slots_per_round must be >= 1"
+            )
+        total_slots = rounds * slots_per_round
+        command_bits = total_slots * command_bits_per_slot
+        tag_nj = (
+            command_bits * self._config.tag_rx_nj_per_bit
+            + expected_responses_per_tag
+            * self._config.tag_tx_nj_per_response
+            + rounds * hashes_per_round * self._config.tag_hash_nj
+        )
+        slot_us = self._timing.slot_duration_us(command_bits_per_slot)
+        reader_mj = (
+            self._config.reader_tx_mw * total_slots * slot_us * 1e-6
+        )
+        return EnergyBudget(tag_nj=tag_nj, reader_mj=reader_mj)
+
+
+def pet_tag_energy(
+    rounds: int,
+    height: int = 32,
+    passive: bool = True,
+    model: EnergyModel | None = None,
+) -> EnergyBudget:
+    """Energy budget of one tag under PET for ``rounds`` rounds.
+
+    A tag responds in expectation to roughly half the probes of each
+    binary-search round early on; we charge a conservative 2 responses
+    per round.  The active variant adds one hash per round.
+    """
+    model = model or EnergyModel()
+    slots_per_round = max(1, (height - 1).bit_length())
+    return model.of_plan(
+        rounds=rounds,
+        slots_per_round=slots_per_round,
+        command_bits_per_slot=1,  # the Sec. 4.6.2 feedback encoding
+        expected_responses_per_tag=2.0 * rounds,
+        hashes_per_round=0.0 if passive else 1.0,
+    )

@@ -1,0 +1,92 @@
+"""Channel event tracing.
+
+A :class:`ChannelTrace` records every slot exchanged over a
+:class:`~repro.radio.channel.SlottedChannel`: the reader command, the
+slot outcome, and the cumulative cost accounting (slots and command
+payload bits).  Traces power the Fig. 3 protocol-execution reproduction
+and the command-overhead analysis of Sec. 4.6.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .slots import SlotOutcome, SlotType
+
+
+@dataclass(frozen=True)
+class SlotEvent:
+    """One fully-resolved time slot.
+
+    Attributes
+    ----------
+    index:
+        Zero-based slot index within the trace.
+    command:
+        Human-readable rendering of the reader command (e.g. the queried
+        prefix ``"00**"`` or an Aloha ``QueryRep``).
+    payload_bits:
+        Command payload length in bits, excluding fixed framing (used for
+        the Sec. 4.6.2 command-overhead comparison).
+    outcome:
+        The :class:`SlotOutcome` the reader observed.
+    """
+
+    index: int
+    command: str
+    payload_bits: int
+    outcome: SlotOutcome
+
+
+@dataclass
+class ChannelTrace:
+    """Append-only record of the slots exchanged on a channel."""
+
+    events: list[SlotEvent] = field(default_factory=list)
+
+    def record(
+        self, command: str, payload_bits: int, outcome: SlotOutcome
+    ) -> SlotEvent:
+        """Append one slot event and return it."""
+        event = SlotEvent(
+            index=len(self.events),
+            command=command,
+            payload_bits=payload_bits,
+            outcome=outcome,
+        )
+        self.events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[SlotEvent]:
+        return iter(self.events)
+
+    @property
+    def total_slots(self) -> int:
+        """Number of slots consumed so far."""
+        return len(self.events)
+
+    @property
+    def total_payload_bits(self) -> int:
+        """Cumulative reader command payload, in bits."""
+        return sum(event.payload_bits for event in self.events)
+
+    def count(self, slot_type: SlotType) -> int:
+        """Number of recorded slots with the given outcome type."""
+        return sum(
+            1 for event in self.events if event.outcome.slot_type is slot_type
+        )
+
+    def render(self) -> str:
+        """Render the trace as an aligned text table (used by Fig. 3)."""
+        lines = [f"{'slot':>4}  {'command':<20} {'outcome':<10} responders"]
+        for event in self.events:
+            responders = ",".join(str(tag) for tag in event.outcome.responders)
+            lines.append(
+                f"{event.index:>4}  {event.command:<20} "
+                f"{event.outcome.slot_type.value:<10} {responders}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,64 @@
+"""Per-slot link effects: response erasure and capture.
+
+The paper's simulations assume an ideal channel ("no transmission loss
+between RFID tags and the reader", Sec. 5.1).  :class:`LinkModel` keeps
+that as the default but lets ablation benchmarks inject independent
+per-response loss and a capture effect, to check how gracefully the
+protocols degrade.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import ChannelConfig
+from .slots import SlotOutcome, classify
+
+
+class LinkModel:
+    """Applies loss and capture to the set of responses in one slot."""
+
+    def __init__(self, config: ChannelConfig, rng: np.random.Generator):
+        self._config = config
+        self._rng = rng
+
+    @property
+    def config(self) -> ChannelConfig:
+        """The channel configuration this model applies."""
+        return self._config
+
+    def deliver(self, responder_ids: tuple[int, ...]) -> SlotOutcome:
+        """Resolve one slot: drop lost responses, apply capture, classify.
+
+        Parameters
+        ----------
+        responder_ids:
+            IDs of all tags that transmitted in the slot.
+        """
+        transmitted = len(responder_ids)
+        survivors = self._apply_loss(responder_ids)
+        survivors = self._apply_capture(survivors)
+        slot_type = classify(len(survivors), self._config.detect_collisions)
+        return SlotOutcome(
+            slot_type=slot_type,
+            responders=survivors,
+            transmitted=transmitted,
+        )
+
+    def _apply_loss(self, responder_ids: tuple[int, ...]) -> tuple[int, ...]:
+        loss = self._config.loss_probability
+        if loss == 0.0 or not responder_ids:
+            return responder_ids
+        keep = self._rng.random(len(responder_ids)) >= loss
+        return tuple(
+            tag_id for tag_id, kept in zip(responder_ids, keep) if kept
+        )
+
+    def _apply_capture(self, survivors: tuple[int, ...]) -> tuple[int, ...]:
+        capture = self._config.capture_probability
+        if capture == 0.0 or len(survivors) < 2:
+            return survivors
+        if self._rng.random() < capture:
+            winner = survivors[self._rng.integers(len(survivors))]
+            return (winner,)
+        return survivors

@@ -1,0 +1,75 @@
+"""Slot outcome types for the slotted Reader-Talks-First channel."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class SlotType(enum.Enum):
+    """Classification of a time slot as observed by the reader.
+
+    PET only needs the idle/busy distinction (a collision is as
+    informative as a singleton: "the reader detects the existence of
+    responsive signal", Sec. 4.1).  Identification protocols additionally
+    distinguish singleton from collision.
+    """
+
+    IDLE = "idle"
+    SINGLETON = "singleton"
+    COLLISION = "collision"
+
+    @property
+    def busy(self) -> bool:
+        """Whether at least one response was detected in the slot."""
+        return self is not SlotType.IDLE
+
+
+@dataclass(frozen=True)
+class SlotOutcome:
+    """The result of one slot, as delivered to the reader.
+
+    Attributes
+    ----------
+    slot_type:
+        Idle / singleton / collision classification after the channel's
+        loss and capture models have been applied.
+    responders:
+        IDs of the tags whose responses actually reached the reader
+        (post-loss).  The reader's protocol logic must *not* consult this
+        beyond what ``slot_type`` reveals — it is carried for tracing,
+        assertions, and the identification baselines, which may read the
+        payload of a decoded singleton.
+    transmitted:
+        Number of tags that transmitted, before loss.  Trace-only.
+    """
+
+    slot_type: SlotType
+    responders: tuple[int, ...] = field(default=())
+    transmitted: int = 0
+
+    @property
+    def busy(self) -> bool:
+        """Whether the reader senses energy in this slot."""
+        return self.slot_type.busy
+
+    @property
+    def decoded_tag(self) -> int | None:
+        """Tag ID decodable from the slot, if it is a clean singleton."""
+        if self.slot_type is SlotType.SINGLETON and len(self.responders) == 1:
+            return self.responders[0]
+        return None
+
+
+def classify(responder_count: int, detect_collisions: bool = True) -> SlotType:
+    """Map a surviving-response count to a :class:`SlotType`.
+
+    When ``detect_collisions`` is false the reader cannot separate
+    singleton from collision; every busy slot is reported as a collision
+    (the conservative reading used by estimation-only protocols).
+    """
+    if responder_count <= 0:
+        return SlotType.IDLE
+    if responder_count == 1 and detect_collisions:
+        return SlotType.SINGLETON
+    return SlotType.COLLISION

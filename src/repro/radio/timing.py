@@ -1,0 +1,65 @@
+"""Slot-to-wall-clock conversion.
+
+Estimation papers report cost in slots; deployments care about seconds.
+:class:`SlotTimingModel` converts a slot budget (plus per-slot command
+payload sizes) into microseconds using the Gen2-flavoured parameters in
+:class:`repro.config.TimingConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import TimingConfig
+from .events import ChannelTrace
+
+
+@dataclass(frozen=True)
+class TimeBudget:
+    """A converted wall-clock budget.
+
+    Attributes
+    ----------
+    slots:
+        Number of slots covered.
+    microseconds:
+        Total estimated air time.
+    """
+
+    slots: int
+    microseconds: float
+
+    @property
+    def milliseconds(self) -> float:
+        """Total air time in milliseconds."""
+        return self.microseconds / 1e3
+
+    @property
+    def seconds(self) -> float:
+        """Total air time in seconds."""
+        return self.microseconds / 1e6
+
+
+class SlotTimingModel:
+    """Translates slot counts and traces to wall-clock time."""
+
+    def __init__(self, config: TimingConfig | None = None):
+        self._config = config or TimingConfig()
+
+    @property
+    def config(self) -> TimingConfig:
+        """The timing parameters in use."""
+        return self._config
+
+    def uniform(self, slots: int, payload_bits_per_slot: int) -> TimeBudget:
+        """Budget for ``slots`` identical slots of given payload size."""
+        per_slot = self._config.slot_duration_us(payload_bits_per_slot)
+        return TimeBudget(slots=slots, microseconds=slots * per_slot)
+
+    def of_trace(self, trace: ChannelTrace) -> TimeBudget:
+        """Budget for a recorded trace, honouring per-slot payload sizes."""
+        total = sum(
+            self._config.slot_duration_us(event.payload_bits)
+            for event in trace.events
+        )
+        return TimeBudget(slots=trace.total_slots, microseconds=total)

@@ -1,0 +1,24 @@
+"""RFID reader substrate.
+
+* :class:`~repro.reader.reader.PetReader` — the reader state machine for
+  Algorithms 1 and 3, driving one slotted channel.
+* :class:`~repro.reader.controller.ReaderController` — the Sec. 4.6.3
+  back-end controller that coordinates multiple readers and aggregates
+  their per-slot observations duplicate-insensitively.
+* :mod:`~repro.reader.deployment` — geometric placement of readers and
+  tags, producing coverage maps for the multireader scenarios.
+"""
+
+from .controller import ReaderController
+from .deployment import Deployment, ReaderPlacement
+from .reader import PetReader
+from .session import EpochResult, EstimationSession
+
+__all__ = [
+    "PetReader",
+    "ReaderController",
+    "Deployment",
+    "ReaderPlacement",
+    "EstimationSession",
+    "EpochResult",
+]

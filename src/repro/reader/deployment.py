@@ -1,0 +1,149 @@
+"""Geometric reader deployment and coverage computation.
+
+Readers have limited interrogation range (Sec. 4.6.3), so large regions
+deploy several.  :class:`Deployment` places readers and tags on a 2-D
+region, derives each tag's covering reader set from distances, and can
+materialise one channel per reader with the right tags attached — the
+input the :class:`~repro.reader.controller.ReaderController` needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import ChannelConfig
+from ..errors import ConfigurationError
+from ..radio.channel import SlottedChannel
+from ..tags.mobility import MobileTagField
+from ..tags.population import TagPopulation
+
+
+@dataclass(frozen=True)
+class ReaderPlacement:
+    """One reader's position and interrogation radius (metres)."""
+
+    x: float
+    y: float
+    radius: float
+
+    def __post_init__(self) -> None:
+        if self.radius <= 0:
+            raise ConfigurationError(
+                f"reader radius must be positive, got {self.radius!r}"
+            )
+
+    def covers(self, x: float, y: float) -> bool:
+        """Whether the point lies inside this reader's range."""
+        return (x - self.x) ** 2 + (y - self.y) ** 2 <= self.radius**2
+
+
+class Deployment:
+    """Readers and tags placed on a rectangular region.
+
+    Parameters
+    ----------
+    width, height:
+        Region dimensions in metres.
+    readers:
+        Reader placements.  :meth:`grid` builds a regular layout that
+        covers the region with a chosen overlap.
+    """
+
+    def __init__(
+        self,
+        width: float,
+        height: float,
+        readers: list[ReaderPlacement],
+    ):
+        if width <= 0 or height <= 0:
+            raise ConfigurationError("region dimensions must be positive")
+        if not readers:
+            raise ConfigurationError("a deployment needs at least one reader")
+        self.width = width
+        self.height = height
+        self.readers = list(readers)
+
+    @classmethod
+    def grid(
+        cls,
+        width: float,
+        height: float,
+        rows: int,
+        cols: int,
+        radius_scale: float = 1.2,
+    ) -> "Deployment":
+        """Regular ``rows x cols`` reader grid with overlapping ranges.
+
+        ``radius_scale`` > 1 inflates each reader's radius beyond the
+        half-diagonal of its cell, guaranteeing full coverage and
+        deliberate overlap between neighbours.
+        """
+        if rows < 1 or cols < 1:
+            raise ConfigurationError("grid needs rows >= 1 and cols >= 1")
+        cell_w, cell_h = width / cols, height / rows
+        radius = radius_scale * 0.5 * float(np.hypot(cell_w, cell_h))
+        readers = [
+            ReaderPlacement(
+                x=(col + 0.5) * cell_w, y=(row + 0.5) * cell_h, radius=radius
+            )
+            for row in range(rows)
+            for col in range(cols)
+        ]
+        return cls(width, height, readers)
+
+    def scatter_tags(
+        self, population: TagPopulation, rng: np.random.Generator
+    ) -> MobileTagField:
+        """Place tags uniformly in the region; compute coverage sets.
+
+        Raises if any tag lands outside all reader ranges — a deployment
+        bug the caller should fix (enlarge radii or add readers) rather
+        than silently under-count.
+        """
+        positions_x = rng.uniform(0.0, self.width, size=population.size)
+        positions_y = rng.uniform(0.0, self.height, size=population.size)
+        coverage: dict[int, frozenset[int]] = {}
+        uncovered = 0
+        for tag_id, x, y in zip(
+            population.tag_ids, positions_x, positions_y
+        ):
+            covering = frozenset(
+                index
+                for index, reader in enumerate(self.readers)
+                if reader.covers(float(x), float(y))
+            )
+            if not covering:
+                uncovered += 1
+            coverage[int(tag_id)] = covering
+        if uncovered:
+            raise ConfigurationError(
+                f"{uncovered} tags fall outside every reader's range; "
+                f"increase reader radii or density"
+            )
+        return MobileTagField(
+            num_readers=len(self.readers), coverage=coverage
+        )
+
+    def build_channels(
+        self,
+        field_map: MobileTagField,
+        tags_by_id: dict[int, object],
+        channel_config: ChannelConfig | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> list[SlottedChannel]:
+        """One channel per reader with its covered tags attached.
+
+        ``tags_by_id`` maps tag ID to a tag state machine; a tag covered
+        by several readers is attached to each of their channels (it
+        hears, and answers, every one of them — the duplicate scenario).
+        """
+        rng = rng if rng is not None else np.random.default_rng()
+        channels = []
+        for reader_index in range(len(self.readers)):
+            channel = SlottedChannel(config=channel_config, rng=rng)
+            for tag_id in field_map.tags_of_reader(reader_index):
+                channel.attach(tags_by_id[tag_id])  # type: ignore[arg-type]
+            channels.append(channel)
+        return channels

@@ -1,0 +1,127 @@
+"""The PET reader state machine (Algorithms 1 and 3).
+
+A :class:`PetReader` owns one slotted channel.  Each round it broadcasts
+``StartRound`` (path + optional seed), then drives a gray-node search
+strategy whose prefix probes become real ``PrefixQuery`` slots on the
+channel.  The reader implements the :class:`repro.core.estimator.RoundDriver`
+protocol, so a :class:`~repro.core.estimator.PetEstimator` can run a full
+estimation against it directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import PetConfig
+from ..core.messages import PrefixQuery, StartRound
+from ..core.path import EstimatingPath
+from ..core.search import GraySearchStrategy, strategy_for
+from ..radio.channel import SlottedChannel
+
+
+class _ChannelPrefixOracle:
+    """Adapts a channel to the search strategies' PrefixOracle protocol.
+
+    Each ``is_busy`` call consumes exactly one slot on the channel.
+    """
+
+    def __init__(
+        self,
+        channel: SlottedChannel,
+        path: EstimatingPath,
+        encoding: str,
+    ):
+        self._channel = channel
+        self._path = path
+        self._encoding = encoding
+        self.slots_used = 0
+
+    def is_busy(self, prefix_length: int) -> bool:
+        query = PrefixQuery(
+            length=prefix_length,
+            encoding=self._encoding,
+            height=self._path.height,
+        )
+        outcome = self._channel.broadcast(
+            query,
+            label=self._path.prefix_string(prefix_length),
+            payload_bits=query.payload_bits,
+        )
+        self.slots_used += 1
+        return outcome.busy
+
+
+class PetReader:
+    """A single RFID reader executing PET estimation rounds.
+
+    Parameters
+    ----------
+    channel:
+        The slotted channel covering this reader's interrogation region
+        (attach tag state machines to it before running rounds).
+    config:
+        PET parameters; selects linear vs binary search and active vs
+        passive tag operation (whether a seed is broadcast per round).
+    rng:
+        Randomness for per-round seeds.
+    query_encoding:
+        On-air encoding of prefix queries, for overhead accounting:
+        ``"mask"`` / ``"mid"`` / ``"feedback"`` (Sec. 4.6.2).
+    """
+
+    def __init__(
+        self,
+        channel: SlottedChannel,
+        config: PetConfig | None = None,
+        rng: np.random.Generator | None = None,
+        query_encoding: str = "mid",
+    ):
+        self.channel = channel
+        self.config = config or PetConfig()
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._strategy: GraySearchStrategy = strategy_for(
+            self.config.binary_search
+        )
+        self._query_encoding = query_encoding
+
+    @property
+    def strategy(self) -> GraySearchStrategy:
+        """The gray-node search strategy in use."""
+        return self._strategy
+
+    def draw_seed(self) -> int | None:
+        """Per-round hash seed; ``None`` in passive-tag operation."""
+        if self.config.passive_tags:
+            return None
+        return int(self._rng.integers(0, 2**63))
+
+    def start_round(self, path: EstimatingPath) -> StartRound:
+        """Broadcast the round-start command (path + seed) to all tags.
+
+        The broadcast occupies the channel but expects no responses; it
+        is recorded in the trace with its payload size so command
+        overhead is accounted end to end.
+        """
+        command = StartRound(path=path, seed=self.draw_seed())
+        self.channel.broadcast(
+            command,
+            label=f"start r={path}",
+            payload_bits=command.payload_bits,
+        )
+        return command
+
+    def run_round(
+        self, path: EstimatingPath, round_index: int
+    ) -> tuple[int, int]:
+        """Execute one full round; return ``(gray_depth, slots_used)``.
+
+        Slot accounting covers only the query slots, matching the
+        paper's cost metric (the round-start broadcast is a command, not
+        a contended slot; its bits are still in the channel trace).
+        """
+        self.start_round(path)
+        oracle = _ChannelPrefixOracle(
+            self.channel, path, self._query_encoding
+        )
+        gray_depth = self._strategy.find_gray_depth(oracle, path.height)
+        return gray_depth, oracle.slots_used

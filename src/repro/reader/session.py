@@ -1,0 +1,174 @@
+"""Estimation sessions: the operational loop around single estimates.
+
+A deployment rarely estimates once.  An :class:`EstimationSession`
+wraps a round driver (single reader, controller, or any simulator tier)
+with the operational concerns:
+
+* repeated epoch estimation with managed seeds,
+* optional continuous change monitoring (:mod:`repro.monitor`),
+* a persistent log of epoch results suitable for
+  :func:`repro.sim.persist.save_experiment`.
+
+This is the API the warehouse/conference examples are built on
+conceptually; it exists so downstream users don't re-wire the pieces
+by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..config import AccuracyRequirement, PetConfig
+from ..core.estimator import PetEstimator, RoundDriver
+from ..errors import ConfigurationError
+from ..monitor import CardinalityMonitor, EpochReport
+
+
+@dataclass(frozen=True)
+class EpochResult:
+    """One epoch of a session.
+
+    Attributes
+    ----------
+    epoch:
+        Epoch index.
+    n_hat:
+        The epoch's estimate.
+    rounds:
+        Rounds used.
+    slots:
+        Slots consumed this epoch.
+    monitor_report:
+        The change-detector verdict (None when monitoring is off).
+    """
+
+    epoch: int
+    n_hat: float
+    rounds: int
+    slots: int
+    monitor_report: EpochReport | None = None
+
+    def row(self) -> dict[str, object]:
+        """Flat rendering for persistence."""
+        return {
+            "epoch": self.epoch,
+            "n_hat": self.n_hat,
+            "rounds": self.rounds,
+            "slots": self.slots,
+            "changed": (
+                self.monitor_report.changed
+                if self.monitor_report
+                else False
+            ),
+        }
+
+
+@dataclass
+class EstimationSession:
+    """Repeated PET estimation with optional change monitoring.
+
+    Parameters
+    ----------
+    driver_factory:
+        ``epoch -> RoundDriver``: builds (or returns) the driver for
+        each epoch.  A factory rather than a fixed driver because in
+        dynamic scenarios the population behind the driver changes
+        between epochs.
+    config:
+        PET parameters; ``rounds`` may be None if ``requirement`` is
+        given.
+    requirement:
+        Accuracy contract used to size each epoch when ``config.rounds``
+        is unset.
+    monitor:
+        Enable EWMA change detection across epochs.
+    base_seed:
+        Root seed for the per-epoch reader randomness.
+    """
+
+    driver_factory: Callable[[int], RoundDriver]
+    config: PetConfig = field(default_factory=PetConfig)
+    requirement: AccuracyRequirement | None = None
+    monitor: bool = True
+    base_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.config.rounds is None and self.requirement is None:
+            raise ConfigurationError(
+                "either config.rounds or a requirement must size epochs"
+            )
+        rounds = self._epoch_rounds()
+        self._monitor = (
+            CardinalityMonitor(rounds_per_epoch=rounds)
+            if self.monitor
+            else None
+        )
+        self._epoch = 0
+        self.history: list[EpochResult] = []
+
+    def _epoch_rounds(self) -> int:
+        if self.config.rounds is not None:
+            return self.config.rounds
+        assert self.requirement is not None  # guarded in __post_init__
+        from ..core.accuracy import rounds_required
+
+        return rounds_required(
+            self.requirement.epsilon, self.requirement.delta
+        )
+
+    def run_epoch(self) -> EpochResult:
+        """Estimate once and fold the result into the session state."""
+        rounds = self._epoch_rounds()
+        estimator = PetEstimator(
+            config=self.config.with_rounds(rounds),
+            rng=np.random.default_rng((self.base_seed, self._epoch)),
+        )
+        driver = self.driver_factory(self._epoch)
+        estimate = estimator.run(driver)
+        report = (
+            self._monitor.observe(max(estimate.n_hat, 1e-9))
+            if self._monitor
+            else None
+        )
+        result = EpochResult(
+            epoch=self._epoch,
+            n_hat=estimate.n_hat,
+            rounds=estimate.num_rounds,
+            slots=estimate.total_slots,
+            monitor_report=report,
+        )
+        self.history.append(result)
+        self._epoch += 1
+        return result
+
+    def run(self, epochs: int) -> list[EpochResult]:
+        """Run several epochs; returns their results."""
+        if epochs < 1:
+            raise ConfigurationError(f"epochs must be >= 1, got {epochs}")
+        return [self.run_epoch() for _ in range(epochs)]
+
+    @property
+    def change_epochs(self) -> list[int]:
+        """Epochs where the monitor flagged a change (empty if off)."""
+        if self._monitor is None:
+            return []
+        return self._monitor.change_epochs
+
+    def save(self, path, name: str = "session"):
+        """Persist the epoch log via :mod:`repro.sim.persist`."""
+        from ..sim.persist import save_experiment
+
+        return save_experiment(
+            path,
+            name,
+            parameters={
+                "rounds_per_epoch": self._epoch_rounds(),
+                "tree_height": self.config.tree_height,
+                "passive_tags": self.config.passive_tags,
+                "monitor": self.monitor,
+            },
+            rows=[result.row() for result in self.history],
+        )

@@ -1,0 +1,51 @@
+"""Simulation engine: three fidelity tiers plus experiment orchestration.
+
+Tiers
+-----
+1. :class:`~repro.sim.slotsim.SlotLevelSimulator` — real tag and reader
+   state machines exchanging commands over the slotted channel.  The
+   gold standard; cost grows with ``n`` per slot.
+2. :class:`~repro.sim.vectorized.VectorizedSimulator` — tag codes as
+   sorted numpy arrays; the gray depth of a path equals the longest
+   common prefix with the path's nearest neighbours in sorted order, so
+   a round costs ``O(log n)`` after an ``O(n log n)`` sort.  Exact for
+   both the active (fresh codes per round) and passive (fixed preloaded
+   codes) variants.
+3. :class:`~repro.sim.sampled.SampledSimulator` — draws the gray depth
+   straight from its exact distribution, ``O(1)`` per round.  Valid for
+   the active variant, where rounds are independent.
+
+All tiers implement the :class:`repro.core.estimator.RoundDriver`
+protocol and therefore compose with :class:`repro.core.PetEstimator`.
+
+Orchestration
+-------------
+:mod:`~repro.sim.experiment` runs repeated estimations with managed
+seeds; :mod:`~repro.sim.metrics` aggregates them; :mod:`~repro.sim.report`
+renders the paper-style tables; :mod:`~repro.sim.workload` synthesizes
+populations and scenarios.
+"""
+
+from .experiment import ExperimentRunner, RepeatedEstimate
+from .multireader import MultiReaderSimulator
+from .persist import load_experiment, save_experiment
+from .report import Table, format_series
+from .sampled import SampledSimulator
+from .slotsim import SlotLevelSimulator
+from .vectorized import VectorizedSimulator
+from .workload import WorkloadSpec, build_population
+
+__all__ = [
+    "SlotLevelSimulator",
+    "VectorizedSimulator",
+    "SampledSimulator",
+    "MultiReaderSimulator",
+    "ExperimentRunner",
+    "RepeatedEstimate",
+    "Table",
+    "format_series",
+    "WorkloadSpec",
+    "build_population",
+    "save_experiment",
+    "load_experiment",
+]

@@ -1,0 +1,166 @@
+"""Repeated-estimation orchestration with managed seeds.
+
+The paper averages every data point over 300 independent runs
+(Sec. 5.1).  :class:`ExperimentRunner` owns the seed bookkeeping: each
+repetition gets an independent child generator spawned from one base
+seed, so any individual run can be reproduced in isolation from
+``(base_seed, repetition_index)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..analysis.stats import SeriesSummary, summarize
+from ..config import PAPER_RUNS_PER_POINT, PetConfig
+from ..errors import ConfigurationError
+from .sampled import SampledSimulator
+from .vectorized import VectorizedSimulator
+from .workload import WorkloadSpec, build_population
+
+
+@dataclass(frozen=True)
+class RepeatedEstimate:
+    """All estimates from one experiment cell.
+
+    Attributes
+    ----------
+    true_n:
+        Ground-truth cardinality of the cell.
+    rounds:
+        Estimation rounds per run.
+    estimates:
+        One ``n_hat`` per repetition.
+    slots_per_run:
+        Mean total slots consumed by one estimation run.
+    """
+
+    true_n: int
+    rounds: int
+    estimates: np.ndarray
+    slots_per_run: float
+
+    def summary(self, epsilon: float = float("nan")) -> SeriesSummary:
+        """Summarize the cell with the shared statistics helpers."""
+        return summarize(self.estimates, self.true_n, epsilon=epsilon)
+
+
+class ExperimentRunner:
+    """Runs repeated estimations for experiment cells.
+
+    Parameters
+    ----------
+    base_seed:
+        Root of the seed tree for every repetition.
+    repetitions:
+        Independent runs per cell (paper default: 300).
+    """
+
+    def __init__(
+        self,
+        base_seed: int = 2011,
+        repetitions: int = PAPER_RUNS_PER_POINT,
+    ):
+        if repetitions < 1:
+            raise ConfigurationError(
+                f"repetitions must be >= 1, got {repetitions}"
+            )
+        self.base_seed = base_seed
+        self.repetitions = repetitions
+
+    def _child_rngs(self, count: int) -> list[np.random.Generator]:
+        seed_seq = np.random.SeedSequence(self.base_seed)
+        return [np.random.default_rng(s) for s in seed_seq.spawn(count)]
+
+    def run_sampled(
+        self, n: int, config: PetConfig, rounds: int
+    ) -> RepeatedEstimate:
+        """Repeated estimation on the sampled tier (active variant).
+
+        Uses the batch sampler: statistically identical to repeated
+        full runs, at a fraction of the cost.
+        """
+        rng = np.random.default_rng(
+            np.random.SeedSequence((self.base_seed, n, rounds))
+        )
+        simulator = SampledSimulator(n, config=config, rng=rng)
+        estimates = simulator.estimate_batch(rounds, self.repetitions)
+        # One representative run for slot accounting (slot counts are
+        # almost surely constant for binary search, d+1 for linear).
+        result = simulator.estimate(rounds=rounds)
+        return RepeatedEstimate(
+            true_n=n,
+            rounds=rounds,
+            estimates=estimates,
+            slots_per_run=float(result.total_slots),
+        )
+
+    def run_vectorized(
+        self,
+        spec: WorkloadSpec,
+        config: PetConfig,
+        rounds: int,
+    ) -> RepeatedEstimate:
+        """Repeated estimation on the vectorized tier (either variant).
+
+        Each repetition rebuilds nothing but the reader-side randomness;
+        for the passive variant the *population* (and hence the preloaded
+        codes) is also resampled per repetition, so the measured spread
+        includes the code-assignment randomness, as in the paper.
+        """
+        rngs = self._child_rngs(self.repetitions)
+        estimates = np.empty(self.repetitions)
+        total_slots = 0
+        for index, rng in enumerate(rngs):
+            population = build_population(
+                WorkloadSpec(
+                    size=spec.size,
+                    id_space=spec.id_space,
+                    seed=spec.seed + index,
+                )
+            )
+            simulator = VectorizedSimulator(
+                population, config=config, rng=rng
+            )
+            result = simulator.estimate(rounds=rounds)
+            estimates[index] = result.n_hat
+            total_slots += result.total_slots
+        return RepeatedEstimate(
+            true_n=spec.size,
+            rounds=rounds,
+            estimates=estimates,
+            slots_per_run=total_slots / self.repetitions,
+        )
+
+    def run_custom(
+        self,
+        true_n: int,
+        rounds: int,
+        one_run: Callable[[np.random.Generator], float],
+    ) -> RepeatedEstimate:
+        """Repeated estimation with a caller-supplied run function.
+
+        Used by the baseline protocols, which have their own simulators;
+        ``one_run`` receives a fresh child generator and returns one
+        estimate.
+        """
+        rngs = self._child_rngs(self.repetitions)
+        estimates = np.array([one_run(rng) for rng in rngs])
+        return RepeatedEstimate(
+            true_n=true_n,
+            rounds=rounds,
+            estimates=estimates,
+            slots_per_run=float("nan"),
+        )
+
+    def sweep(
+        self,
+        sizes: Sequence[int],
+        config: PetConfig,
+        rounds: int,
+    ) -> list[RepeatedEstimate]:
+        """Sampled-tier sweep over population sizes (Fig. 4 driver)."""
+        return [self.run_sampled(n, config, rounds) for n in sizes]

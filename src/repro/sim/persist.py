@@ -1,0 +1,101 @@
+"""Experiment-result persistence.
+
+Benchmarks and the CLI can save their measured rows to JSON so that
+EXPERIMENTS.md and regression comparisons have a machine-readable
+source.  The format is deliberately boring: one document per
+experiment with a name, the library version, the parameters, and a
+list of flat row dicts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+#: Format version written into every document.
+SCHEMA_VERSION = 1
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce numpy scalars/arrays and dataclasses to JSON-safe types."""
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [_jsonable(v) for v in value.tolist()]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            key: _jsonable(val)
+            for key, val in dataclasses.asdict(value).items()
+        }
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise ConfigurationError(
+        f"cannot serialize value of type {type(value).__name__}"
+    )
+
+
+def save_experiment(
+    path: str | Path,
+    name: str,
+    parameters: Mapping[str, Any],
+    rows: Sequence[Mapping[str, Any]],
+) -> Path:
+    """Write one experiment document; returns the path written.
+
+    Parameters
+    ----------
+    path:
+        Output file (parent directories are created).
+    name:
+        Experiment identifier (e.g. ``"table4"``).
+    parameters:
+        The experiment's configuration knobs.
+    rows:
+        Measured rows, each a flat mapping.
+    """
+    from .. import __version__
+
+    if not name:
+        raise ConfigurationError("experiment name must be nonempty")
+    document = {
+        "schema": SCHEMA_VERSION,
+        "library_version": __version__,
+        "experiment": name,
+        "parameters": _jsonable(dict(parameters)),
+        "rows": [_jsonable(dict(row)) for row in rows],
+    }
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(document, indent=2, sort_keys=True))
+    return out
+
+
+def load_experiment(path: str | Path) -> dict[str, Any]:
+    """Read an experiment document back; validates the schema tag."""
+    document = json.loads(Path(path).read_text())
+    if document.get("schema") != SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"unsupported experiment schema {document.get('schema')!r} "
+            f"in {path}"
+        )
+    return document
+
+
+def rows_of(document: Mapping[str, Any]) -> list[dict[str, Any]]:
+    """The measured rows of a loaded document."""
+    rows = document.get("rows")
+    if not isinstance(rows, list):
+        raise ConfigurationError("document has no 'rows' list")
+    return rows

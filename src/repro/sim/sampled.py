@@ -1,0 +1,107 @@
+"""Tier 3: the distribution-sampled simulator.
+
+For active tags each round's gray depth is an independent draw from its
+exact distribution (see :mod:`repro.analysis.mellin`):
+
+    P(d <= k) = (1 - 2^-(k+1))^n,   0 <= k < H;   P(d <= H) = 1.
+
+Sampling the depth by inverse CDF costs ``O(H)`` arithmetic per round —
+independent of ``n`` — which makes the large sweeps of Figs. 4-6
+(hundreds of runs x thousands of rounds x populations up to millions)
+tractable.  The cross-tier tests check that this sampler's depth law
+matches the vectorized simulator empirically.
+
+This tier intentionally refuses passive-tag configs: with fixed codes
+the rounds share the code set and are only *nearly* independent
+(Sec. 4.5); modelling that correlation needs the real codes, i.e.
+tier 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.mellin import gray_depth_cdf
+from ..config import PetConfig
+from ..core.estimator import EstimateResult, PetEstimator
+from ..core.path import EstimatingPath
+from ..core.search import strategy_for
+from ..errors import ConfigurationError
+from .vectorized import replay_slots
+
+
+class SampledSimulator:
+    """Draws gray depths from their exact law; ``O(1)`` per round in n.
+
+    Parameters
+    ----------
+    n:
+        True cardinality being "estimated".
+    config:
+        PET parameters; must have ``passive_tags=False``.
+    rng:
+        Randomness for the depth draws.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        config: PetConfig | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        if n < 0:
+            raise ConfigurationError(f"n must be >= 0, got {n}")
+        self.config = config or PetConfig()
+        if self.config.passive_tags:
+            raise ConfigurationError(
+                "SampledSimulator models independent rounds only; use "
+                "VectorizedSimulator for the passive (fixed-code) variant"
+            )
+        self.n = n
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._strategy = strategy_for(self.config.binary_search)
+        self._cdf = gray_depth_cdf(n, self.config.tree_height)
+
+    def sample_depths(self, count: int) -> np.ndarray:
+        """Draw ``count`` i.i.d. gray depths by inverse CDF."""
+        uniforms = self._rng.random(count)
+        return np.searchsorted(self._cdf, uniforms, side="left").astype(
+            np.int64
+        )
+
+    def run_round(
+        self, path: EstimatingPath, round_index: int
+    ) -> tuple[int, int]:
+        """RoundDriver hook: sampled depth + replayed slot count."""
+        depth = int(self.sample_depths(1)[0])
+        slots = replay_slots(self._strategy, depth, self.config.tree_height)
+        return depth, slots
+
+    def estimate(self, rounds: int | None = None) -> EstimateResult:
+        """Run a complete estimation (path objects are drawn but unused
+        by the depth sampler; they keep the result provenance uniform
+        across tiers)."""
+        config = self.config
+        if rounds is not None:
+            config = config.with_rounds(rounds)
+        estimator = PetEstimator(config=config, rng=self._rng)
+        return estimator.run(self)
+
+    def estimate_batch(self, rounds: int, repetitions: int) -> np.ndarray:
+        """Vectorized repeated estimation: ``repetitions`` estimates.
+
+        Skips per-round bookkeeping entirely: draws a
+        ``repetitions x rounds`` depth matrix and applies Eq. 14 row-wise.
+        Equivalent in law to calling :meth:`estimate` repeatedly; used by
+        the figure sweeps.
+        """
+        if rounds < 1 or repetitions < 1:
+            raise ConfigurationError(
+                "rounds and repetitions must both be >= 1"
+            )
+        depths = self.sample_depths(rounds * repetitions).reshape(
+            repetitions, rounds
+        )
+        from ..core.accuracy import PHI  # local import to avoid cycle
+
+        return 2.0 ** depths.mean(axis=1) / PHI

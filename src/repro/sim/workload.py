@@ -1,0 +1,77 @@
+"""Workload synthesis for experiments.
+
+A :class:`WorkloadSpec` describes a scenario declaratively — population
+size, dynamics, deployment — so experiment definitions stay data-like
+and reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..tags.population import TagPopulation
+
+#: Tag-count grid used by the paper's Fig. 4 sweeps.
+PAPER_TAG_COUNTS = (1_000, 5_000, 10_000, 50_000)
+
+#: The evaluation's headline scenario (Sec. 5.3): 50 000 tags.
+PAPER_HEADLINE_N = 50_000
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Declarative description of a tag-population scenario.
+
+    Attributes
+    ----------
+    size:
+        Number of tags initially present.
+    id_space:
+        ``"random"`` for EPC-like random 64-bit IDs, ``"sequential"``
+        for ``0..size-1`` (deterministic unit tests).  Sequential IDs
+        also stress the hash family: estimation quality must not depend
+        on ID structure.
+    seed:
+        Base seed from which the population (and only the population)
+        is derived.
+    """
+
+    size: int
+    id_space: str = "random"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ConfigurationError(f"size must be >= 0, got {self.size}")
+        if self.id_space not in ("random", "sequential"):
+            raise ConfigurationError(
+                f"id_space must be 'random' or 'sequential', "
+                f"got {self.id_space!r}"
+            )
+
+
+def build_population(spec: WorkloadSpec) -> TagPopulation:
+    """Materialise the population described by ``spec``."""
+    if spec.id_space == "sequential":
+        return TagPopulation.sequential(spec.size)
+    rng = np.random.default_rng(spec.seed)
+    return TagPopulation.random(spec.size, rng)
+
+
+def logarithmic_sizes(
+    smallest: int, largest: int, points: int
+) -> list[int]:
+    """Log-spaced population sizes for scaling sweeps."""
+    if smallest < 1 or largest < smallest or points < 1:
+        raise ConfigurationError(
+            "need 1 <= smallest <= largest and points >= 1"
+        )
+    if points == 1:
+        return [smallest]
+    values = np.logspace(
+        np.log10(smallest), np.log10(largest), num=points
+    )
+    return sorted({int(round(v)) for v in values})

@@ -1,0 +1,36 @@
+"""RFID tag substrate.
+
+Tag state machines implement the tag side of each protocol (PET
+Algorithms 2 and 4, plus the baselines' framed behaviours), with
+per-tag accounting of the computation and memory costs the paper
+compares in Sec. 4.6.1 and Fig. 7.
+
+The population utilities generate tag ID sets, apply dynamics
+(join/leave between rounds) and mobility (movement between reader
+fields), covering the Sec. 4.6.3 scenarios.
+"""
+
+from .base import Tag, TagCostCounters
+from .epc import EpcCode, mixed_cargo_ids, shipment_ids
+from .memory import MemoryModel, TagMemoryProfile, memory_profile
+from .pet_tags import ActivePetTag, PassivePetTag
+from .population import TagPopulation
+from .dynamics import PopulationDynamics
+from .mobility import MobilityModel, MobileTagField
+
+__all__ = [
+    "Tag",
+    "TagCostCounters",
+    "ActivePetTag",
+    "PassivePetTag",
+    "TagPopulation",
+    "PopulationDynamics",
+    "MobilityModel",
+    "MobileTagField",
+    "MemoryModel",
+    "TagMemoryProfile",
+    "memory_profile",
+    "EpcCode",
+    "shipment_ids",
+    "mixed_cargo_ids",
+]

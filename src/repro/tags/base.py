@@ -1,0 +1,106 @@
+"""Base tag abstractions and cost accounting.
+
+A :class:`Tag` is a channel listener with a unique ID and cost counters.
+Protocol-specific subclasses implement ``hear`` — the single entry point
+through which the reader's command reaches the tag in each slot.
+
+Cost counters model the resource comparison of Sec. 4.6.1: the number of
+hash evaluations a tag performs (infeasible on passive tags), the number
+of bitwise prefix comparisons (cheap), and bits of writable state used.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TagCostCounters:
+    """Per-tag computation and state accounting.
+
+    Attributes
+    ----------
+    hash_evaluations:
+        Random-code generations performed on-chip.  The paper's key
+        overhead argument (Sec. 4.5) is that passive tags cannot afford
+        one of these per round.
+    bitwise_comparisons:
+        Prefix comparisons performed (one per heard slot in PET).
+    responses_sent:
+        Slots in which the tag transmitted.
+    state_bits:
+        Writable memory bits the protocol requires on the tag.
+    preloaded_bits:
+        Read-only memory preloaded at manufacturing (PET: one 32-bit
+        code; FNEB/LoF passive operation: one code per round).
+    """
+
+    hash_evaluations: int = 0
+    bitwise_comparisons: int = 0
+    responses_sent: int = 0
+    state_bits: int = 0
+    preloaded_bits: int = 0
+
+
+class Tag(abc.ABC):
+    """Abstract RFID tag: a channel listener with cost accounting."""
+
+    def __init__(self, tag_id: int):
+        self._tag_id = tag_id
+        self.costs = TagCostCounters()
+
+    @property
+    def tag_id(self) -> int:
+        """The tag's unique, manufacturer-assigned ID."""
+        return self._tag_id
+
+    @abc.abstractmethod
+    def hear(self, command: object) -> bool:
+        """Process a reader command; return True to respond this slot."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(tag_id={self._tag_id})"
+
+
+@dataclass(frozen=True)
+class TagDescriptor:
+    """Static description of a tag for population bookkeeping.
+
+    Attributes
+    ----------
+    tag_id:
+        Unique ID.
+    joined_round:
+        Estimation round at which the tag entered the system (0 for the
+        initial population) — used by the dynamic-tag-set scenarios.
+    """
+
+    tag_id: int
+    joined_round: int = 0
+
+
+@dataclass
+class TagInventory:
+    """A mutable set of tag descriptors with join/leave history."""
+
+    descriptors: dict[int, TagDescriptor] = field(default_factory=dict)
+    departures: list[int] = field(default_factory=list)
+
+    def join(self, tag_id: int, round_index: int = 0) -> TagDescriptor:
+        """Register a new tag; returns its descriptor."""
+        descriptor = TagDescriptor(tag_id=tag_id, joined_round=round_index)
+        self.descriptors[tag_id] = descriptor
+        return descriptor
+
+    def leave(self, tag_id: int) -> None:
+        """Remove a tag, recording the departure."""
+        if tag_id in self.descriptors:
+            del self.descriptors[tag_id]
+            self.departures.append(tag_id)
+
+    def __len__(self) -> int:
+        return len(self.descriptors)
+
+    def __contains__(self, tag_id: int) -> bool:
+        return tag_id in self.descriptors

@@ -1,0 +1,110 @@
+"""Dynamic tag sets: joins and leaves between estimation rounds.
+
+Sec. 4.6.3 argues PET handles mobile/dynamic populations because each
+round is a self-contained snapshot whose responses are duplicate
+insensitive.  :class:`PopulationDynamics` drives a population through a
+join/leave schedule so experiments can measure what a changing ground
+truth does to the aggregate estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .population import TagPopulation
+
+
+@dataclass(frozen=True)
+class DynamicsStep:
+    """One evolution step of a dynamic population.
+
+    Attributes
+    ----------
+    round_index:
+        The estimation round *before* which this step applies.
+    joined, left:
+        Number of tags added / removed in the step.
+    size_after:
+        Population cardinality after the step.
+    """
+
+    round_index: int
+    joined: int
+    left: int
+    size_after: int
+
+
+class PopulationDynamics:
+    """Evolves a :class:`TagPopulation` with Poisson-ish churn.
+
+    Parameters
+    ----------
+    join_rate:
+        Expected number of tags joining before each round.
+    leave_rate:
+        Expected number of tags leaving before each round.
+    rng:
+        Randomness source for churn draws and member selection.
+    """
+
+    def __init__(
+        self,
+        join_rate: float,
+        leave_rate: float,
+        rng: np.random.Generator,
+    ):
+        if join_rate < 0 or leave_rate < 0:
+            raise ConfigurationError("churn rates must be non-negative")
+        self._join_rate = join_rate
+        self._leave_rate = leave_rate
+        self._rng = rng
+        self.history: list[DynamicsStep] = []
+
+    def step(
+        self, population: TagPopulation, round_index: int
+    ) -> TagPopulation:
+        """Apply one churn step and return the evolved population."""
+        joins = int(self._rng.poisson(self._join_rate))
+        leaves = int(self._rng.poisson(self._leave_rate))
+        leaves = min(leaves, population.size)
+
+        current = [int(v) for v in population.tag_ids]
+        if leaves:
+            keep_mask = np.ones(len(current), dtype=bool)
+            gone = self._rng.choice(len(current), size=leaves, replace=False)
+            keep_mask[gone] = False
+            current = [
+                tid for tid, keep in zip(current, keep_mask) if keep
+            ]
+
+        existing = set(current)
+        target = len(current) + joins
+        while len(current) < target:
+            candidate = int(self._rng.integers(0, 2**63))
+            if candidate not in existing:
+                current.append(candidate)
+                existing.add(candidate)
+
+        evolved = TagPopulation(current, family=population.family)
+        self.history.append(
+            DynamicsStep(
+                round_index=round_index,
+                joined=joins,
+                left=leaves,
+                size_after=evolved.size,
+            )
+        )
+        return evolved
+
+    @property
+    def total_joined(self) -> int:
+        """Tags that joined across all steps so far."""
+        return sum(step.joined for step in self.history)
+
+    @property
+    def total_left(self) -> int:
+        """Tags that left across all steps so far."""
+        return sum(step.left for step in self.history)

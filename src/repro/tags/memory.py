@@ -1,0 +1,110 @@
+"""Tag memory/computation profiles — the Sec. 4.6.1 / Fig. 7 comparison.
+
+For passive operation every protocol must preload whatever randomness its
+tags would otherwise compute on-chip:
+
+* **PET** preloads one ``H``-bit code, reused across all rounds — a
+  constant 32 bits regardless of the accuracy target.
+* **FNEB** needs a fresh uniform slot draw per round; preloading costs
+  ``code_bits * m`` bits for ``m`` rounds.
+* **LoF** needs a fresh geometric draw per round; likewise ``~ 32 * m``
+  bits when preloaded as raw hash material.
+
+Fig. 7 plots exactly these per-tag bit counts as the accuracy target
+(hence ``m``) varies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TagMemoryProfile:
+    """Per-tag resource footprint of running one protocol passively.
+
+    Attributes
+    ----------
+    protocol:
+        Display name.
+    preloaded_bits:
+        Read-only bits burned in at manufacturing.
+    state_bits:
+        Writable scratch bits used during estimation.
+    hash_evaluations:
+        On-chip hash computations per estimation (0 for passive
+        operation; what preloading buys).
+    """
+
+    protocol: str
+    preloaded_bits: int
+    state_bits: int
+    hash_evaluations: int
+
+    @property
+    def total_bits(self) -> int:
+        """Total on-tag memory footprint in bits."""
+        return self.preloaded_bits + self.state_bits
+
+
+class MemoryModel:
+    """Computes passive-operation memory profiles for each protocol."""
+
+    def __init__(self, code_bits: int = 32):
+        if code_bits < 1:
+            raise ConfigurationError(
+                f"code_bits must be >= 1, got {code_bits}"
+            )
+        self._code_bits = code_bits
+
+    def pet(self, rounds: int) -> TagMemoryProfile:
+        """PET passive tags: one preloaded code, any number of rounds."""
+        self._check_rounds(rounds)
+        return TagMemoryProfile(
+            protocol="PET",
+            preloaded_bits=self._code_bits,
+            state_bits=self._code_bits,  # current-path register
+            hash_evaluations=0,
+        )
+
+    def fneb(self, rounds: int) -> TagMemoryProfile:
+        """FNEB passive tags: one preloaded uniform draw per round."""
+        self._check_rounds(rounds)
+        return TagMemoryProfile(
+            protocol="FNEB",
+            preloaded_bits=self._code_bits * rounds,
+            state_bits=self._code_bits,
+            hash_evaluations=0,
+        )
+
+    def lof(self, rounds: int) -> TagMemoryProfile:
+        """LoF passive tags: one preloaded geometric draw per round."""
+        self._check_rounds(rounds)
+        return TagMemoryProfile(
+            protocol="LoF",
+            preloaded_bits=self._code_bits * rounds,
+            state_bits=self._code_bits,
+            hash_evaluations=0,
+        )
+
+    @staticmethod
+    def _check_rounds(rounds: int) -> None:
+        if rounds < 1:
+            raise ConfigurationError(f"rounds must be >= 1, got {rounds}")
+
+
+def memory_profile(
+    protocol: str, rounds: int, code_bits: int = 32
+) -> TagMemoryProfile:
+    """Convenience lookup: profile of ``protocol`` over ``rounds`` rounds."""
+    model = MemoryModel(code_bits=code_bits)
+    builders = {"pet": model.pet, "fneb": model.fneb, "lof": model.lof}
+    key = protocol.lower()
+    if key not in builders:
+        raise ConfigurationError(
+            f"unknown protocol {protocol!r}; expected one of "
+            f"{sorted(builders)}"
+        )
+    return builders[key](rounds)

@@ -1,0 +1,144 @@
+"""Tag mobility across reader interrogation regions.
+
+Sec. 4.6.3's second scenario: tags attached to mobile objects move
+between the coverage areas of different readers while estimation is in
+progress.  A :class:`MobileTagField` tracks which reader(s) currently
+cover each tag; a :class:`MobilityModel` perturbs those assignments
+between rounds.  The back-end controller's OR-aggregation makes the
+estimate insensitive to where (or how many times) a tag is heard, which
+the multireader tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+@dataclass
+class MobileTagField:
+    """Assignment of tags to (possibly several) reader coverage regions.
+
+    Attributes
+    ----------
+    num_readers:
+        Number of reader regions, indexed ``0..num_readers-1``.
+    coverage:
+        Map from tag ID to the frozenset of reader indices covering it.
+        Every tag must be covered by at least one reader for the
+        controller to count it.
+    """
+
+    num_readers: int
+    coverage: dict[int, frozenset[int]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.num_readers < 1:
+            raise ConfigurationError(
+                f"num_readers must be >= 1, got {self.num_readers}"
+            )
+
+    @classmethod
+    def random(
+        cls,
+        tag_ids: np.ndarray,
+        num_readers: int,
+        overlap_probability: float,
+        rng: np.random.Generator,
+    ) -> "MobileTagField":
+        """Scatter tags over readers with optional overlapping coverage.
+
+        Each tag gets one home reader uniformly; with
+        ``overlap_probability`` it is additionally heard by a second
+        (distinct) reader — the duplicate-count hazard the controller
+        must neutralise.
+        """
+        if not 0.0 <= overlap_probability <= 1.0:
+            raise ConfigurationError(
+                "overlap_probability must lie in [0, 1], "
+                f"got {overlap_probability!r}"
+            )
+        field_map: dict[int, frozenset[int]] = {}
+        for tag_id in tag_ids:
+            home = int(rng.integers(num_readers))
+            readers = {home}
+            if num_readers > 1 and rng.random() < overlap_probability:
+                second = int(rng.integers(num_readers - 1))
+                if second >= home:
+                    second += 1
+                readers.add(second)
+            field_map[int(tag_id)] = frozenset(readers)
+        return cls(num_readers=num_readers, coverage=field_map)
+
+    def tags_of_reader(self, reader_index: int) -> list[int]:
+        """Tag IDs inside reader ``reader_index``'s region."""
+        if not 0 <= reader_index < self.num_readers:
+            raise ConfigurationError(
+                f"reader index {reader_index} out of range "
+                f"[0, {self.num_readers})"
+            )
+        return [
+            tag_id
+            for tag_id, readers in self.coverage.items()
+            if reader_index in readers
+        ]
+
+    @property
+    def covered_tags(self) -> set[int]:
+        """All tags heard by at least one reader."""
+        return {
+            tag_id
+            for tag_id, readers in self.coverage.items()
+            if readers
+        }
+
+    @property
+    def duplicated_tags(self) -> set[int]:
+        """Tags currently heard by two or more readers."""
+        return {
+            tag_id
+            for tag_id, readers in self.coverage.items()
+            if len(readers) >= 2
+        }
+
+
+class MobilityModel:
+    """Moves tags between reader regions with a fixed per-round rate."""
+
+    def __init__(self, move_probability: float, rng: np.random.Generator):
+        if not 0.0 <= move_probability <= 1.0:
+            raise ConfigurationError(
+                f"move_probability must lie in [0, 1], "
+                f"got {move_probability!r}"
+            )
+        self._move_probability = move_probability
+        self._rng = rng
+
+    def step(self, field_map: MobileTagField) -> MobileTagField:
+        """Return a new field with each tag re-homed with the move rate.
+
+        A moving tag transits through the overlap: it is briefly covered
+        by both its old and new reader (the exact situation Sec. 4.6.3
+        says PET tolerates), modelled by assigning both readers for the
+        round in which the move happens.
+        """
+        new_coverage: dict[int, frozenset[int]] = {}
+        for tag_id, readers in field_map.coverage.items():
+            if (
+                field_map.num_readers > 1
+                and self._rng.random() < self._move_probability
+            ):
+                old_home = min(readers)
+                new_home = int(self._rng.integers(field_map.num_readers - 1))
+                if new_home >= old_home:
+                    new_home += 1
+                new_coverage[tag_id] = frozenset({old_home, new_home})
+            else:
+                # Settle into a single home after any transit completes.
+                new_coverage[tag_id] = frozenset({min(readers)})
+        return MobileTagField(
+            num_readers=field_map.num_readers, coverage=new_coverage
+        )

@@ -1,0 +1,143 @@
+"""PET tag state machines (Algorithms 2 and 4).
+
+Both variants hear two commands:
+
+* :class:`~repro.core.messages.StartRound` — begin a round.  An
+  :class:`ActivePetTag` hashes a fresh PET code from the broadcast seed
+  (Algorithm 2 line 2); a :class:`PassivePetTag` keeps its preloaded
+  code (Algorithm 4 line 1) and only notes the new path.
+* :class:`~repro.core.messages.PrefixQuery` — compare the top ``j`` bits
+  of the code against the path and respond on a match (lines 4-10 of
+  both algorithms).
+
+Cost counters are updated exactly where the paper charges cost: one hash
+evaluation per round for the active variant, one bitwise comparison per
+heard query for both.
+"""
+
+from __future__ import annotations
+
+from ..core.messages import PrefixQuery, StartRound
+from ..core.path import EstimatingPath
+from ..errors import ProtocolError
+from ..hashing import HashFamily, default_family, uniform_code
+from .base import Tag
+
+
+class _PetTagBase(Tag):
+    """Shared query-answering logic for both PET tag variants."""
+
+    def __init__(self, tag_id: int, height: int):
+        super().__init__(tag_id)
+        self._height = height
+        self._code: int | None = None
+        self._path: EstimatingPath | None = None
+
+    @property
+    def height(self) -> int:
+        """PET code width ``H`` of this tag."""
+        return self._height
+
+    @property
+    def current_code(self) -> int | None:
+        """The code in effect for the current round (None before any)."""
+        return self._code
+
+    def hear(self, command: object) -> bool:
+        if isinstance(command, StartRound):
+            self._begin_round(command)
+            return False
+        if isinstance(command, PrefixQuery):
+            return self._answer_query(command)
+        # Commands of other protocols energize the tag but do not apply.
+        return False
+
+    def _begin_round(self, command: StartRound) -> None:
+        raise NotImplementedError
+
+    def _answer_query(self, query: PrefixQuery) -> bool:
+        if self._code is None or self._path is None:
+            raise ProtocolError(
+                f"tag {self.tag_id} received PrefixQuery before StartRound"
+            )
+        self.costs.bitwise_comparisons += 1
+        matches = self._path.matches_prefix(self._code, query.length)
+        if matches:
+            self.costs.responses_sent += 1
+        return matches
+
+
+class ActivePetTag(_PetTagBase):
+    """Algorithm 2: hash a fresh code from the per-round seed.
+
+    Requires an active tag — one on-chip hash evaluation per round.
+    """
+
+    def __init__(
+        self,
+        tag_id: int,
+        height: int,
+        family: HashFamily | None = None,
+    ):
+        super().__init__(tag_id, height)
+        self._family = family or default_family()
+        # Writable state: the current code plus the round's path register.
+        self.costs.state_bits = 2 * height
+
+    def _begin_round(self, command: StartRound) -> None:
+        if command.seed is None:
+            raise ProtocolError(
+                f"active tag {self.tag_id} needs a per-round seed "
+                f"(Algorithm 2); use PassivePetTag for seedless rounds"
+            )
+        self.costs.hash_evaluations += 1
+        self._code = uniform_code(
+            command.seed, self.tag_id, self._height, self._family
+        )
+        self._path = command.path
+
+
+class PassivePetTag(_PetTagBase):
+    """Algorithm 4 / Sec. 4.5: one preloaded code reused every round.
+
+    The code is "burned in" at manufacturing by hashing the tag ID with a
+    fixed seed (the paper suggests MD5/SHA-1 truncation); across rounds
+    only the reader's estimating path changes.
+    """
+
+    #: Manufacturing-time seed shared by a production batch.  Any fixed
+    #: value works; estimation randomness comes from the reader's paths.
+    MANUFACTURING_SEED = 0x5EED_C0DE
+
+    def __init__(
+        self,
+        tag_id: int,
+        height: int,
+        family: HashFamily | None = None,
+        preloaded_code: int | None = None,
+    ):
+        super().__init__(tag_id, height)
+        family = family or default_family()
+        if preloaded_code is None:
+            preloaded_code = uniform_code(
+                self.MANUFACTURING_SEED, tag_id, height, family
+            )
+        if not 0 <= preloaded_code < (1 << height):
+            raise ProtocolError(
+                f"preloaded code {preloaded_code} out of range for "
+                f"height {height}"
+            )
+        self._code = preloaded_code
+        self.costs.preloaded_bits = height
+        # Writable state: just the current path register.
+        self.costs.state_bits = height
+
+    @property
+    def preloaded_code(self) -> int:
+        """The immutable manufacturing-time PET code."""
+        assert self._code is not None
+        return self._code
+
+    def _begin_round(self, command: StartRound) -> None:
+        # No hashing, no seed needed: the preloaded code stays in force.
+        self._path = command.path

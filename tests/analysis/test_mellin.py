@@ -1,0 +1,116 @@
+"""Tests for the gray-depth distribution and Mellin asymptotics."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.mellin import (
+    expected_height_asymptotic,
+    expected_height_exact,
+    gray_depth_cdf,
+    gray_depth_moments,
+    gray_depth_pmf,
+    gray_height_pmf,
+    periodic_fluctuation,
+)
+from repro.core.accuracy import PHI, SIGMA_H
+from repro.errors import AnalysisError
+
+
+class TestPmf:
+    @pytest.mark.parametrize("n", [0, 1, 10, 1000, 10**6])
+    def test_sums_to_one(self, n):
+        pmf = gray_depth_pmf(n, 32)
+        assert pmf.sum() == pytest.approx(1.0)
+        assert (pmf >= -1e-12).all()
+
+    def test_empty_population_all_mass_at_zero(self):
+        pmf = gray_depth_pmf(0, 16)
+        assert pmf[0] == pytest.approx(1.0)
+
+    def test_cdf_monotone(self):
+        cdf = gray_depth_cdf(1000, 32)
+        assert (np.diff(cdf) >= -1e-15).all()
+        assert cdf[-1] == pytest.approx(1.0)
+
+    def test_matches_paper_eq5_in_height_form(self):
+        # P(h) = p^(2^(h-1)) (1 - p^(2^(h-1))) with p = (1 - 2^-H)^n,
+        # for heights 1..H (the paper's analysis range).
+        n, height = 1000, 32
+        p = (1.0 - 2.0**-height) ** n
+        pmf_h = gray_height_pmf(n, height)
+        for h in range(1, height + 1):
+            expected = p ** (2.0 ** (h - 1)) * (
+                1.0 - p ** (2.0 ** (h - 1))
+            )
+            # Eq. 5 treats the 2^(h-1) leaves of each subtree as
+            # independently white w.p. p; the exact law differs by the
+            # O(n/2^H) dependence between subtrees.
+            assert pmf_h[h] == pytest.approx(expected, abs=2e-4)
+
+    def test_pmf_mode_near_log2_phi_n(self):
+        n = 50_000
+        pmf = gray_depth_pmf(n, 32)
+        mode = int(pmf.argmax())
+        assert abs(mode - math.log2(PHI * n)) <= 1.0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(AnalysisError):
+            gray_depth_pmf(-1, 32)
+        with pytest.raises(AnalysisError):
+            gray_depth_pmf(10, 0)
+
+
+class TestMoments:
+    def test_exact_mean_close_to_asymptotic(self):
+        # Eq. 8's error terms are O(1e-5) at large n.
+        for n in (1_000, 50_000, 5_000_000):
+            moments = gray_depth_moments(n, 32)
+            assert moments.mean_depth == pytest.approx(
+                moments.asymptotic_mean_depth, abs=0.01
+            )
+
+    def test_exact_std_close_to_sigma_h(self):
+        for n in (1_000, 50_000, 1_000_000):
+            moments = gray_depth_moments(n, 32)
+            assert moments.std_depth == pytest.approx(SIGMA_H, abs=0.01)
+
+    def test_mean_height_complements_depth(self):
+        moments = gray_depth_moments(1000, 32)
+        assert moments.mean_height == pytest.approx(
+            32 - moments.mean_depth
+        )
+
+    def test_expected_height_forms_agree(self):
+        for n in (10_000, 100_000):
+            exact = expected_height_exact(n, 32)
+            asymptotic = expected_height_asymptotic(n, 32)
+            assert exact == pytest.approx(asymptotic, abs=0.01)
+
+    def test_saturation_shrinks_mean_height(self):
+        # When 2^H ~ n the expectation departs from the asymptotic form.
+        moments = gray_depth_moments(50_000, 16)
+        assert moments.mean_depth < moments.asymptotic_mean_depth
+
+    def test_rejects_zero_n(self):
+        with pytest.raises(AnalysisError):
+            gray_depth_moments(0, 32)
+
+
+class TestPeriodicFluctuation:
+    def test_amplitude_below_paper_bound(self):
+        # The paper bounds |P(log2 n)| by 1e-5 (Sec. 4.2).
+        for n in (10, 137, 1_000, 48_611, 10**6):
+            assert abs(periodic_fluctuation(n)) < 1e-5
+
+    def test_periodic_in_log2_n(self):
+        assert periodic_fluctuation(1000) == pytest.approx(
+            periodic_fluctuation(2000), abs=1e-9
+        )
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(AnalysisError):
+            periodic_fluctuation(0)

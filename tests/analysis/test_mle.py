@@ -1,0 +1,99 @@
+"""Tests for the maximum-likelihood estimator extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.mle import (
+    depth_log_likelihood,
+    mle_estimate,
+    mle_estimate_censored,
+)
+from repro.errors import AnalysisError, EstimationError
+from repro.sim.sampled import SampledSimulator
+
+
+def sample_depths(n: int, rounds: int, seed: int) -> np.ndarray:
+    simulator = SampledSimulator(
+        n, rng=np.random.default_rng(seed)
+    )
+    return simulator.sample_depths(rounds)
+
+
+class TestLogLikelihood:
+    def test_peaks_near_truth(self):
+        n = 10_000
+        depths = sample_depths(n, 512, seed=0)
+        at_truth = depth_log_likelihood(depths, n, 32)
+        at_half = depth_log_likelihood(depths, n // 2, 32)
+        at_double = depth_log_likelihood(depths, n * 2, 32)
+        assert at_truth > at_half
+        assert at_truth > at_double
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(AnalysisError):
+            depth_log_likelihood(np.array([5]), 0, 32)
+
+
+class TestMleEstimate:
+    def test_recovers_truth(self):
+        for n in (1_000, 50_000, 1_000_000):
+            depths = sample_depths(n, 1024, seed=n)
+            estimate = mle_estimate(depths, 32)
+            assert 0.9 < estimate / n < 1.1, n
+
+    def test_at_least_as_good_as_moment_estimator(self):
+        from repro.core.accuracy import estimate_from_depths
+
+        n, rounds, trials = 20_000, 64, 60
+        mle_errors, moment_errors = [], []
+        for trial in range(trials):
+            depths = sample_depths(n, rounds, seed=1000 + trial)
+            mle_errors.append(abs(mle_estimate(depths, 32) - n) / n)
+            moment_errors.append(
+                abs(estimate_from_depths(depths) - n) / n
+            )
+        mle_rms = float(np.sqrt(np.mean(np.square(mle_errors))))
+        moment_rms = float(
+            np.sqrt(np.mean(np.square(moment_errors)))
+        )
+        # MLE should not be worse; typically a few % better.
+        assert mle_rms <= moment_rms * 1.05
+
+    def test_rejects_empty_and_out_of_range(self):
+        with pytest.raises(EstimationError):
+            mle_estimate([], 32)
+        with pytest.raises(EstimationError):
+            mle_estimate([33], 32)
+
+    def test_bracket_validation(self):
+        with pytest.raises(AnalysisError):
+            mle_estimate([5], 32, n_min=10, n_max=10)
+
+
+class TestCensoredMle:
+    def test_censored_equals_uncensored_when_no_censoring(self):
+        n = 5_000
+        depths = sample_depths(n, 256, seed=3)
+        censor = 32  # nothing actually censored at H
+        plain = mle_estimate(depths, 32)
+        censored = mle_estimate_censored(depths, 32, censor_at=censor)
+        assert censored == pytest.approx(plain, rel=0.02)
+
+    def test_recovers_truth_under_censoring(self):
+        n = 50_000
+        censor = 14  # below E[d] ~ 15.9: heavy censoring
+        depths = np.minimum(
+            sample_depths(n, 2048, seed=4), censor
+        )
+        estimate = mle_estimate_censored(depths, 32, censor_at=censor)
+        assert 0.85 < estimate / n < 1.15
+
+    def test_rejects_inconsistent_observations(self):
+        with pytest.raises(EstimationError):
+            mle_estimate_censored([10], 32, censor_at=5)
+
+    def test_rejects_bad_censor_point(self):
+        with pytest.raises(AnalysisError):
+            mle_estimate_censored([1], 32, censor_at=0)

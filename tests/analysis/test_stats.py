@@ -1,0 +1,54 @@
+"""Tests for experiment summary statistics."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import summarize
+from repro.errors import AnalysisError
+
+
+class TestSummarize:
+    def test_perfect_estimates(self):
+        summary = summarize([100.0] * 10, true_n=100)
+        assert summary.accuracy == pytest.approx(1.0)
+        assert summary.std == pytest.approx(0.0)
+        assert summary.normalized_std == pytest.approx(0.0)
+        assert summary.runs == 10
+
+    def test_std_is_rms_around_truth(self):
+        # Eq. 23: sqrt(E[(n_hat - n)^2]), not the sample std.
+        summary = summarize([90.0, 110.0], true_n=100)
+        assert summary.std == pytest.approx(10.0)
+        # A biased series has nonzero Eq. 23 std even with zero spread.
+        biased = summarize([110.0, 110.0], true_n=100)
+        assert biased.std == pytest.approx(10.0)
+
+    def test_within_fraction(self):
+        estimates = [95.0, 100.0, 105.0, 120.0]
+        summary = summarize(estimates, true_n=100, epsilon=0.05)
+        assert summary.within_fraction == pytest.approx(0.75)
+
+    def test_within_fraction_nan_without_epsilon(self):
+        summary = summarize([100.0], true_n=100)
+        assert math.isnan(summary.within_fraction)
+
+    def test_row_rendering(self):
+        row = summarize([100.0], true_n=100, epsilon=0.05).row()
+        assert row["n"] == 100
+        assert row["accuracy"] == pytest.approx(1.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(AnalysisError):
+            summarize([], true_n=10)
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(AnalysisError):
+            summarize([1.0], true_n=0)
+
+    def test_numpy_input(self):
+        summary = summarize(np.array([99.0, 101.0]), true_n=100)
+        assert summary.mean_estimate == pytest.approx(100.0)

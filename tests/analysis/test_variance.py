@@ -1,0 +1,111 @@
+"""Tests for the exact finite-m estimate moments."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.variance import (
+    bias_corrected_estimate,
+    estimate_moments,
+    rounds_for_normalized_rms,
+)
+from repro.core.accuracy import SIGMA_H, estimate_std
+from repro.errors import AnalysisError
+
+
+class TestEstimateMoments:
+    def test_bias_positive_and_shrinks_with_m(self):
+        # Log-normal convexity: E[n_hat] > n, with bias ~ c/m.
+        small_m = estimate_moments(10_000, 32, 8)
+        large_m = estimate_moments(10_000, 32, 256)
+        assert small_m.relative_bias > large_m.relative_bias > 0.0
+        assert small_m.relative_bias > 0.05
+        assert large_m.relative_bias < 0.005
+
+    def test_bias_ratio_matches_one_over_m(self):
+        m8 = estimate_moments(10_000, 32, 8).relative_bias
+        m64 = estimate_moments(10_000, 32, 64).relative_bias
+        assert m8 / m64 == pytest.approx(8.0, rel=0.25)
+
+    def test_rms_matches_linearized_theory_at_large_m(self):
+        n, m = 50_000, 1024
+        exact = estimate_moments(n, 32, m)
+        linear = estimate_std(n, m)
+        assert exact.rms_error == pytest.approx(linear, rel=0.1)
+
+    def test_rms_exceeds_linear_theory_at_small_m(self):
+        # The Fig. 4c observation: measured normalized std beats the
+        # first-order line at m = 8.
+        n, m = 50_000, 8
+        exact = estimate_moments(n, 32, m)
+        linear = estimate_std(n, m) / n
+        assert exact.normalized_rms > linear * 1.15
+
+    def test_matches_simulation(self):
+        from repro.sim.sampled import SampledSimulator
+
+        n, m = 10_000, 32
+        simulator = SampledSimulator(
+            n, rng=np.random.default_rng(0)
+        )
+        estimates = simulator.estimate_batch(m, 4_000)
+        exact = estimate_moments(n, 32, m)
+        assert estimates.mean() == pytest.approx(exact.mean, rel=0.02)
+        measured_rms = float(
+            np.sqrt(np.mean((estimates - n) ** 2))
+        )
+        assert measured_rms == pytest.approx(exact.rms_error, rel=0.06)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(AnalysisError):
+            estimate_moments(0, 32, 8)
+        with pytest.raises(AnalysisError):
+            estimate_moments(10, 32, 0)
+
+
+class TestBiasCorrection:
+    def test_correction_removes_bias(self):
+        from repro.sim.sampled import SampledSimulator
+
+        n, m = 10_000, 16
+        simulator = SampledSimulator(
+            n, rng=np.random.default_rng(1)
+        )
+        from repro.core.accuracy import PHI
+
+        depths = simulator.sample_depths(m * 2_000).reshape(2_000, m)
+        mean_depths = depths.mean(axis=1)
+        plain = 2.0**mean_depths / PHI
+        corrected = np.array(
+            [
+                bias_corrected_estimate(d, p, 32, m)
+                for d, p in zip(mean_depths, plain)
+            ]
+        )
+        # Plain estimator biased high at m=16; corrected within 1%.
+        assert plain.mean() / n > 1.02
+        assert corrected.mean() / n == pytest.approx(1.0, abs=0.012)
+
+
+class TestExactPlanner:
+    def test_monotone_in_target(self):
+        loose = rounds_for_normalized_rms(50_000, 32, 0.2)
+        tight = rounds_for_normalized_rms(50_000, 32, 0.05)
+        assert tight > loose
+
+    def test_eq20_is_mildly_conservative(self):
+        # Eq. 20 for (eps=10%, delta=32%) ~ z=1: rounds to reach
+        # normalized sigma ~ 0.1.  The exact-law m for RMS 0.1 should
+        # be in the same ballpark but not larger.
+        from repro.core.accuracy import rounds_required
+
+        exact_m = rounds_for_normalized_rms(50_000, 32, 0.10)
+        linear_m = (SIGMA_H * np.log(2) / 0.10) ** 2
+        assert exact_m == pytest.approx(linear_m, rel=0.25)
+
+    def test_unreachable_target_rejected(self):
+        with pytest.raises(AnalysisError):
+            rounds_for_normalized_rms(
+                50_000, 32, 1e-6, max_rounds=1024
+            )

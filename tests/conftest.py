@@ -1,0 +1,26 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tags.population import TagPopulation
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator; tests re-seed when they need more."""
+    return np.random.default_rng(20110420)  # the paper's submission date
+
+
+@pytest.fixture
+def small_population() -> TagPopulation:
+    """A 50-tag population with deterministic IDs."""
+    return TagPopulation.sequential(50)
+
+
+@pytest.fixture
+def medium_population() -> TagPopulation:
+    """A 2 000-tag population with random IDs (fixed seed)."""
+    return TagPopulation.random(2_000, np.random.default_rng(99))

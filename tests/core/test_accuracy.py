@@ -1,0 +1,155 @@
+"""Tests for the Sec. 4.2 analysis constants and round planner."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.accuracy import (
+    PHI,
+    SIGMA_H,
+    confidence_scale,
+    estimate_from_depths,
+    estimate_std,
+    expected_depth,
+    expected_height,
+    minimum_height,
+    rounds_required,
+)
+from repro.errors import AnalysisError, ConfigurationError
+
+
+class TestConstants:
+    def test_phi_matches_paper(self):
+        # "let phi = e^gamma / sqrt 2 = 1.25941..." (Sec. 4.2)
+        assert PHI == pytest.approx(1.25941, abs=1e-5)
+
+    def test_sigma_matches_paper(self):
+        # sigma(h) = sqrt(pi^2/(6 ln^2 2) + 1/12) = 1.87271... (Eq. 11)
+        assert SIGMA_H == pytest.approx(1.87271, abs=1e-5)
+
+    def test_phi_construction(self):
+        assert PHI == pytest.approx(
+            math.exp(np.euler_gamma) / math.sqrt(2)
+        )
+
+
+class TestConfidenceScale:
+    def test_known_quantiles(self):
+        # delta = 1% -> two-sided 99% normal quantile 2.5758.
+        assert confidence_scale(0.01) == pytest.approx(2.5758, abs=1e-3)
+        # delta = 5% -> 1.9600.
+        assert confidence_scale(0.05) == pytest.approx(1.9600, abs=1e-3)
+        # delta = 31.73% -> exactly 1 sigma.
+        assert confidence_scale(0.3173) == pytest.approx(1.0, abs=1e-3)
+
+    def test_monotone_in_delta(self):
+        assert confidence_scale(0.01) > confidence_scale(0.05) > \
+            confidence_scale(0.20)
+
+    @pytest.mark.parametrize("delta", [0.0, 1.0, -0.5])
+    def test_rejects_bad_delta(self, delta):
+        with pytest.raises(AnalysisError):
+            confidence_scale(delta)
+
+
+class TestRoundsRequired:
+    def test_paper_default_magnitude(self):
+        # eps = 5%, delta = 1%: (2.5758 * 1.8727 / log2 1.05)^2 ~ 4696.
+        m = rounds_required(0.05, 0.01)
+        assert 4600 <= m <= 4800
+
+    def test_independent_of_n(self):
+        # Eq. 20 has no n in it — that's the whole point.
+        assert rounds_required(0.05, 0.01) == rounds_required(0.05, 0.01)
+
+    def test_monotone_in_epsilon(self):
+        assert rounds_required(0.05, 0.01) > rounds_required(0.10, 0.01)
+
+    def test_monotone_in_delta(self):
+        assert rounds_required(0.05, 0.01) > rounds_required(0.05, 0.10)
+
+    def test_scales_with_sigma_squared(self):
+        base = rounds_required(0.05, 0.01, sigma=1.0)
+        doubled = rounds_required(0.05, 0.01, sigma=2.0)
+        assert doubled == pytest.approx(4 * base, rel=1e-3)
+
+    def test_at_least_one(self):
+        assert rounds_required(0.9, 0.9, sigma=1e-6) == 1
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(AnalysisError):
+            rounds_required(0.0, 0.01)
+        with pytest.raises(AnalysisError):
+            rounds_required(0.05, 0.01, sigma=0.0)
+
+
+class TestExpectedDepth:
+    def test_matches_log_formula(self):
+        assert expected_depth(50_000) == pytest.approx(
+            math.log2(PHI * 50_000)
+        )
+
+    def test_height_guard(self):
+        with pytest.raises(AnalysisError):
+            expected_depth(2**40, height=16)
+
+    def test_expected_height_complements(self):
+        assert expected_height(1000, 32) == pytest.approx(
+            32 - expected_depth(1000)
+        )
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(AnalysisError):
+            expected_depth(0)
+
+
+class TestEstimator:
+    def test_inverts_expected_depth(self):
+        # Feeding the exact expected depth back recovers n.
+        for n in (100, 10_000, 5_000_000):
+            depth = math.log2(PHI * n)
+            assert estimate_from_depths([depth]) == pytest.approx(n)
+
+    def test_mean_of_depths_used(self):
+        single = estimate_from_depths([10.0])
+        averaged = estimate_from_depths([9.0, 11.0])
+        # 2^10/phi vs 2^10/phi: the geometric mean equals the midpoint
+        # in exponent space.
+        assert averaged == pytest.approx(single)
+
+    def test_rejects_empty(self):
+        with pytest.raises(AnalysisError):
+            estimate_from_depths([])
+
+    def test_estimate_std_scaling(self):
+        assert estimate_std(1000, 64) == pytest.approx(
+            1000 * math.log(2) * SIGMA_H / 8
+        )
+        # Quadrupling rounds halves the deviation.
+        assert estimate_std(1000, 256) == pytest.approx(
+            estimate_std(1000, 64) / 2
+        )
+
+    def test_estimate_std_rejects_bad_inputs(self):
+        with pytest.raises(AnalysisError):
+            estimate_std(0, 4)
+        with pytest.raises(AnalysisError):
+            estimate_std(10, 0)
+
+
+class TestMinimumHeight:
+    def test_paper_example(self):
+        # "H = 32 can accommodate n = 40,000,000 with p >= 0.99"
+        assert minimum_height(40_000_000, 0.99) <= 32
+
+    def test_monotone_in_n(self):
+        assert minimum_height(10**6) > minimum_height(10**3)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            minimum_height(0)
+        with pytest.raises(ConfigurationError):
+            minimum_height(10, white_fraction=1.0)

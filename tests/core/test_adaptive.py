@@ -1,0 +1,84 @@
+"""Tests for sequential (early-stopping) PET estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import AccuracyRequirement, PetConfig
+from repro.core.adaptive import AdaptivePetEstimator
+from repro.errors import EstimationError
+from repro.sim.sampled import SampledSimulator
+
+
+def make_driver(n: int, seed: int) -> SampledSimulator:
+    return SampledSimulator(
+        n, config=PetConfig(), rng=np.random.default_rng(seed)
+    )
+
+
+class TestValidation:
+    def test_rejects_bad_min_rounds(self):
+        with pytest.raises(EstimationError):
+            AdaptivePetEstimator(
+                AccuracyRequirement(0.1, 0.1), min_rounds=1
+            )
+
+    def test_rejects_deflation(self):
+        with pytest.raises(EstimationError):
+            AdaptivePetEstimator(
+                AccuracyRequirement(0.1, 0.1), peeking_inflation=0.9
+            )
+
+
+class TestSequentialRun:
+    def test_produces_reasonable_estimate(self):
+        requirement = AccuracyRequirement(0.15, 0.05)
+        estimator = AdaptivePetEstimator(
+            requirement, rng=np.random.default_rng(0)
+        )
+        result = estimator.run(make_driver(10_000, seed=1))
+        assert 0.8 < result.n_hat / 10_000 < 1.2
+        assert result.rounds_used >= estimator.min_rounds
+        assert result.total_slots == result.rounds_used * 5
+
+    def test_rounds_comparable_to_fixed_plan(self):
+        # The sample std concentrates near sigma(h): the sequential
+        # rule should use rounds within ~(inflation^2 + slack) of the
+        # fixed plan — not 10x more, not 10x fewer.
+        requirement = AccuracyRequirement(0.20, 0.10)
+        estimator = AdaptivePetEstimator(
+            requirement, rng=np.random.default_rng(2)
+        )
+        result = estimator.run(make_driver(50_000, seed=3))
+        assert result.rounds_planned * 0.3 <= result.rounds_used
+        assert result.rounds_used <= result.rounds_planned * 2
+
+    def test_stopped_early_flag_consistent(self):
+        requirement = AccuracyRequirement(0.20, 0.10)
+        estimator = AdaptivePetEstimator(
+            requirement, rng=np.random.default_rng(4)
+        )
+        result = estimator.run(make_driver(5_000, seed=5))
+        assert result.stopped_early == (
+            result.rounds_used < result.rounds_planned
+        )
+
+    def test_empirical_coverage(self):
+        # The whole point: the sequential design still meets the
+        # contract.  Loose contract keeps the test fast.
+        requirement = AccuracyRequirement(0.25, 0.15)
+        hits = 0
+        trials = 60
+        n = 20_000
+        for trial in range(trials):
+            estimator = AdaptivePetEstimator(
+                requirement,
+                min_rounds=32,
+                rng=np.random.default_rng((7, trial)),
+            )
+            result = estimator.run(make_driver(n, seed=1000 + trial))
+            if abs(result.n_hat - n) <= requirement.epsilon * n:
+                hits += 1
+        coverage = hits / trials
+        assert coverage >= 1.0 - requirement.delta - 0.07

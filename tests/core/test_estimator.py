@@ -1,0 +1,124 @@
+"""Tests for the PetEstimator facade and result types."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import AccuracyRequirement, PetConfig
+from repro.core.accuracy import PHI
+from repro.core.estimator import (
+    EstimateResult,
+    PetEstimator,
+    RoundRecord,
+)
+from repro.core.path import EstimatingPath
+from repro.errors import EstimationError
+
+
+class FixedDepthDriver:
+    """RoundDriver stub returning a constant depth."""
+
+    def __init__(self, depth: int, slots: int = 5):
+        self.depth = depth
+        self.slots = slots
+        self.calls = 0
+
+    def run_round(self, path, round_index):
+        self.calls += 1
+        return self.depth, self.slots
+
+
+class TestPetEstimator:
+    def test_requires_rounds_or_requirement(self):
+        with pytest.raises(EstimationError):
+            PetEstimator(config=PetConfig())
+
+    def test_explicit_rounds_win(self):
+        estimator = PetEstimator(
+            config=PetConfig(rounds=12),
+            requirement=AccuracyRequirement(0.05, 0.01),
+        )
+        assert estimator.planned_rounds == 12
+
+    def test_rounds_derived_from_requirement(self):
+        estimator = PetEstimator(
+            requirement=AccuracyRequirement(0.05, 0.01)
+        )
+        assert 4600 <= estimator.planned_rounds <= 4800
+
+    def test_run_executes_planned_rounds(self):
+        driver = FixedDepthDriver(depth=10)
+        estimator = PetEstimator(
+            config=PetConfig(rounds=20),
+            rng=np.random.default_rng(0),
+        )
+        result = estimator.run(driver)
+        assert driver.calls == 20
+        assert result.num_rounds == 20
+        assert result.total_slots == 100
+
+    def test_estimate_formula(self):
+        driver = FixedDepthDriver(depth=10)
+        estimator = PetEstimator(
+            config=PetConfig(rounds=5), rng=np.random.default_rng(0)
+        )
+        result = estimator.run(driver)
+        assert result.n_hat == pytest.approx(2.0**10 / PHI)
+
+    def test_rejects_out_of_range_depth(self):
+        driver = FixedDepthDriver(depth=33)
+        estimator = PetEstimator(
+            config=PetConfig(rounds=1), rng=np.random.default_rng(0)
+        )
+        with pytest.raises(EstimationError):
+            estimator.run(driver)
+
+    def test_paths_are_fresh_each_round(self):
+        seen = []
+
+        class PathRecorder:
+            def run_round(self, path, round_index):
+                seen.append(path.bits)
+                return 5, 5
+
+        estimator = PetEstimator(
+            config=PetConfig(rounds=50), rng=np.random.default_rng(1)
+        )
+        estimator.run(PathRecorder())
+        assert len(set(seen)) > 45
+
+    def test_draw_path_has_config_height(self):
+        estimator = PetEstimator(
+            config=PetConfig(tree_height=16, rounds=1),
+            rng=np.random.default_rng(2),
+        )
+        assert estimator.draw_path().height == 16
+
+
+class TestEstimateResult:
+    def _result(self) -> EstimateResult:
+        path = EstimatingPath.from_string("0" * 4)
+        records = tuple(
+            RoundRecord(path=path, gray_depth=d, slots=s)
+            for d, s in [(3, 5), (4, 5), (2, 6)]
+        )
+        return EstimateResult(n_hat=10.0, rounds=records)
+
+    def test_totals(self):
+        result = self._result()
+        assert result.num_rounds == 3
+        assert result.total_slots == 16
+        assert result.depths.tolist() == [3.0, 4.0, 2.0]
+
+    def test_accuracy_metric(self):
+        result = self._result()
+        assert result.accuracy(10) == pytest.approx(1.0)
+        with pytest.raises(EstimationError):
+            result.accuracy(0)
+
+    def test_within_requirement(self):
+        result = self._result()
+        requirement = AccuracyRequirement(0.05, 0.01)
+        assert result.within(requirement, 10)
+        assert not result.within(requirement, 100)

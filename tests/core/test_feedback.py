@@ -1,0 +1,131 @@
+"""Tests for the Sec. 4.6.2 one-bit-feedback protocol."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.feedback import (
+    FeedbackPetReader,
+    FeedbackPetTag,
+    FeedbackQuery,
+    build_feedback_channel,
+    next_mid,
+    update_bounds,
+)
+from repro.core.messages import StartRound
+from repro.core.path import EstimatingPath
+from repro.core.tree import PetTree
+from repro.errors import ProtocolError
+
+HEIGHT = 16
+
+
+class TestBoundsArithmetic:
+    def test_update_on_busy_raises_low(self):
+        assert update_bounds(1, 16, 8, was_busy=True) == (8, 16)
+
+    def test_update_on_idle_lowers_high(self):
+        assert update_bounds(1, 16, 8, was_busy=False) == (1, 7)
+
+    def test_next_mid_is_ceil(self):
+        assert next_mid(1, 32) == 17
+        assert next_mid(1, 2) == 2
+        assert next_mid(5, 5) == 5
+
+
+class TestFeedbackTag:
+    def test_rejects_out_of_range_code(self):
+        with pytest.raises(ProtocolError):
+            FeedbackPetTag(1, 4, preloaded_code=16)
+
+    def test_query_before_round_rejected(self):
+        tag = FeedbackPetTag(1, 4, preloaded_code=3)
+        with pytest.raises(ProtocolError):
+            tag.hear(FeedbackQuery(previous_busy=None))
+
+    def test_feedback_before_query_rejected(self):
+        tag = FeedbackPetTag(1, 4, preloaded_code=3)
+        tag.hear(StartRound(path=EstimatingPath(3, 4), seed=None))
+        with pytest.raises(ProtocolError):
+            tag.hear(FeedbackQuery(previous_busy=True))
+
+    def test_round_start_resets_bounds(self):
+        tag = FeedbackPetTag(1, 8, preloaded_code=7)
+        tag.hear(StartRound(path=EstimatingPath(7, 8), seed=None))
+        tag.hear(FeedbackQuery(previous_busy=None))
+        tag.hear(FeedbackQuery(previous_busy=True))
+        assert tag.bounds != (1, 8)
+        tag.hear(StartRound(path=EstimatingPath(7, 8), seed=None))
+        assert tag.bounds == (1, 8)
+
+    def test_payload_is_one_bit(self):
+        assert FeedbackQuery(previous_busy=True).payload_bits == 1
+
+
+class TestProtocolEquivalence:
+    """The 1-bit protocol finds the same gray node as Algorithm 3."""
+
+    @pytest.mark.parametrize("trial", range(12))
+    def test_matches_tree_ground_truth(self, trial):
+        rng = np.random.default_rng(trial)
+        codes = [
+            int(c) for c in rng.integers(0, 1 << HEIGHT, size=20)
+        ]
+        channel = build_feedback_channel(codes, HEIGHT, rng=rng)
+        reader = FeedbackPetReader(channel, height=HEIGHT)
+        tree = PetTree(HEIGHT, codes)
+        for _ in range(10):
+            path = EstimatingPath.random(HEIGHT, rng)
+            depth, slots = reader.run_round(path)
+            assert depth == tree.gray_depth(path)
+
+    def test_slot_cost_matches_binary_search(self):
+        from repro.core.search import BinaryGraySearch
+        from repro.sim.vectorized import replay_slots
+
+        rng = np.random.default_rng(99)
+        codes = [
+            int(c) for c in rng.integers(0, 1 << HEIGHT, size=50)
+        ]
+        channel = build_feedback_channel(codes, HEIGHT, rng=rng)
+        reader = FeedbackPetReader(channel, height=HEIGHT)
+        tree = PetTree(HEIGHT, codes)
+        strategy = BinaryGraySearch()
+        for _ in range(15):
+            path = EstimatingPath.random(HEIGHT, rng)
+            depth, slots = reader.run_round(path)
+            expected_slots = replay_slots(
+                strategy, tree.gray_depth(path), HEIGHT
+            )
+            assert slots == expected_slots
+
+    def test_empty_population_depth_zero(self):
+        channel = build_feedback_channel([], 8)
+        reader = FeedbackPetReader(channel, height=8)
+        path = EstimatingPath.from_string("10110100")
+        depth, _ = reader.run_round(path)
+        assert depth == 0
+
+    def test_full_match_depth_h(self):
+        channel = build_feedback_channel([0b10110100], 8)
+        reader = FeedbackPetReader(channel, height=8)
+        path = EstimatingPath.from_string("10110100")
+        depth, _ = reader.run_round(path)
+        assert depth == 8
+
+    def test_command_payload_total_is_slots_bits(self):
+        rng = np.random.default_rng(7)
+        codes = [int(c) for c in rng.integers(0, 256, size=10)]
+        channel = build_feedback_channel(codes, 8, rng=rng)
+        reader = FeedbackPetReader(channel, height=8)
+        path = EstimatingPath.random(8, rng)
+        _, slots = reader.run_round(path)
+        # Trace: 1 start broadcast (8 bits) + `slots` 1-bit commands.
+        assert channel.trace.total_payload_bits == 8 + slots
+
+    def test_path_height_mismatch_rejected(self):
+        channel = build_feedback_channel([1], 8)
+        reader = FeedbackPetReader(channel, height=8)
+        with pytest.raises(ProtocolError):
+            reader.run_round(EstimatingPath.from_string("01"))

@@ -1,0 +1,54 @@
+"""Tests for the PET command vocabulary."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.messages import PrefixQuery, StartRound
+from repro.core.path import EstimatingPath
+from repro.errors import ConfigurationError
+
+
+class TestStartRound:
+    def test_payload_with_seed(self):
+        path = EstimatingPath.from_string("0" * 32)
+        command = StartRound(path=path, seed=123)
+        assert command.payload_bits == 32 + 32
+
+    def test_payload_without_seed(self):
+        # Passive operation: only the path is broadcast (Sec. 4.5).
+        path = EstimatingPath.from_string("0" * 32)
+        command = StartRound(path=path, seed=None)
+        assert command.payload_bits == 32
+
+
+class TestPrefixQuery:
+    def test_mask_encoding_costs_height_bits(self):
+        query = PrefixQuery(length=5, encoding="mask", height=32)
+        assert query.payload_bits == 32
+
+    def test_mid_encoding_costs_log_height_bits(self):
+        # Sec. 4.6.2: "a 32-bit mask actually carries only log2 32 =
+        # 5-bit information" (6 bits here since length spans 0..32).
+        query = PrefixQuery(length=5, encoding="mid", height=32)
+        assert query.payload_bits == 6
+
+    def test_feedback_encoding_costs_one_bit(self):
+        query = PrefixQuery(length=5, encoding="feedback", height=32)
+        assert query.payload_bits == 1
+
+    def test_encoding_order(self):
+        mask = PrefixQuery(length=3, encoding="mask").payload_bits
+        mid = PrefixQuery(length=3, encoding="mid").payload_bits
+        feedback = PrefixQuery(length=3, encoding="feedback").payload_bits
+        assert feedback < mid < mask
+
+    def test_rejects_unknown_encoding(self):
+        with pytest.raises(ConfigurationError):
+            PrefixQuery(length=1, encoding="morse")
+
+    def test_rejects_out_of_range_length(self):
+        with pytest.raises(ConfigurationError):
+            PrefixQuery(length=33, height=32)
+        with pytest.raises(ConfigurationError):
+            PrefixQuery(length=-1, height=32)

@@ -1,0 +1,132 @@
+"""Tests for estimating paths."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.path import EstimatingPath
+from repro.errors import ConfigurationError
+
+
+class TestConstruction:
+    def test_from_string_round_trips(self):
+        path = EstimatingPath.from_string("000011")
+        assert str(path) == "000011"
+        assert path.height == 6
+        assert path.bits == 0b000011
+
+    def test_rejects_bad_strings(self):
+        with pytest.raises(ConfigurationError):
+            EstimatingPath.from_string("")
+        with pytest.raises(ConfigurationError):
+            EstimatingPath.from_string("01x0")
+
+    def test_rejects_out_of_range_bits(self):
+        with pytest.raises(ConfigurationError):
+            EstimatingPath(bits=4, height=2)
+        with pytest.raises(ConfigurationError):
+            EstimatingPath(bits=-1, height=2)
+
+    def test_rejects_bad_heights(self):
+        with pytest.raises(ConfigurationError):
+            EstimatingPath(bits=0, height=0)
+        with pytest.raises(ConfigurationError):
+            EstimatingPath(bits=0, height=65)
+
+    def test_random_paths_within_range(self):
+        rng = np.random.default_rng(1)
+        for height in (1, 7, 32, 64):
+            path = EstimatingPath.random(height, rng)
+            assert 0 <= path.bits < (1 << height)
+            assert path.height == height
+
+    def test_random_paths_vary(self):
+        rng = np.random.default_rng(2)
+        paths = {EstimatingPath.random(32, rng).bits for _ in range(50)}
+        assert len(paths) > 40
+
+    def test_random_top_bit_balanced(self):
+        rng = np.random.default_rng(3)
+        tops = [
+            EstimatingPath.random(32, rng).prefix(1) for _ in range(2000)
+        ]
+        ones = sum(tops)
+        assert 850 < ones < 1150
+
+
+class TestPrefixOperations:
+    def test_prefix_values(self):
+        path = EstimatingPath.from_string("1010")
+        assert path.prefix(0) == 0
+        assert path.prefix(1) == 0b1
+        assert path.prefix(2) == 0b10
+        assert path.prefix(4) == 0b1010
+
+    def test_prefix_mask(self):
+        path = EstimatingPath.from_string("1010")
+        assert path.prefix_mask(0) == 0b0000
+        assert path.prefix_mask(1) == 0b1000
+        assert path.prefix_mask(3) == 0b1110
+        assert path.prefix_mask(4) == 0b1111
+
+    def test_prefix_rejects_out_of_range(self):
+        path = EstimatingPath.from_string("1010")
+        with pytest.raises(ConfigurationError):
+            path.prefix(5)
+        with pytest.raises(ConfigurationError):
+            path.prefix(-1)
+
+    def test_matches_prefix_is_algorithm2_test(self):
+        # Algorithm 2 line 5: prc AND mask == r AND mask.
+        path = EstimatingPath.from_string("0011")
+        assert path.matches_prefix(0b0001, 2)  # shares "00"
+        assert not path.matches_prefix(0b0101, 2)
+        assert path.matches_prefix(0b0011, 4)
+        # Zero-length prefix matches everything (the root).
+        assert path.matches_prefix(0b1111, 0)
+
+    def test_prefix_string_rendering(self):
+        path = EstimatingPath.from_string("0011")
+        assert path.prefix_string(0) == "****"
+        assert path.prefix_string(2) == "00**"
+        assert path.prefix_string(4) == "0011"
+
+
+class TestCommonPrefix:
+    def test_full_match(self):
+        path = EstimatingPath.from_string("0110")
+        assert path.common_prefix_length(0b0110) == 4
+
+    def test_partial_matches(self):
+        path = EstimatingPath.from_string("0110")
+        assert path.common_prefix_length(0b0111) == 3
+        assert path.common_prefix_length(0b0100) == 2
+        assert path.common_prefix_length(0b0010) == 1
+        assert path.common_prefix_length(0b1110) == 0
+
+    def test_consistent_with_matches_prefix(self):
+        rng = np.random.default_rng(4)
+        path = EstimatingPath.random(16, rng)
+        for _ in range(100):
+            code = int(rng.integers(0, 1 << 16))
+            length = path.common_prefix_length(code)
+            assert path.matches_prefix(code, length)
+            if length < 16:
+                assert not path.matches_prefix(code, length + 1)
+
+
+class TestEquality:
+    def test_equal_paths(self):
+        a = EstimatingPath.from_string("0101")
+        b = EstimatingPath(0b0101, 4)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_height_matters(self):
+        a = EstimatingPath(0b01, 2)
+        b = EstimatingPath(0b01, 3)
+        assert a != b
+
+    def test_not_equal_to_other_types(self):
+        assert EstimatingPath(0, 1) != "0"

@@ -1,0 +1,120 @@
+"""Tests for the gray-node search strategies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.search import (
+    BinaryGraySearch,
+    LinearGraySearch,
+    strategy_for,
+)
+
+
+class RecordingOracle:
+    """Answers from a known depth, recording every probe."""
+
+    def __init__(self, depth: int):
+        self.depth = depth
+        self.probes: list[int] = []
+
+    def is_busy(self, prefix_length: int) -> bool:
+        self.probes.append(prefix_length)
+        return prefix_length <= self.depth
+
+
+@pytest.mark.parametrize(
+    "strategy", [LinearGraySearch(), BinaryGraySearch()],
+    ids=["linear", "binary"],
+)
+class TestCorrectness:
+    def test_finds_every_depth_h32(self, strategy):
+        for depth in range(33):
+            oracle = RecordingOracle(depth)
+            assert strategy.find_gray_depth(oracle, 32) == depth
+
+    def test_finds_every_depth_small_heights(self, strategy):
+        for height in range(1, 9):
+            for depth in range(height + 1):
+                oracle = RecordingOracle(depth)
+                assert strategy.find_gray_depth(oracle, height) == depth
+
+    def test_slots_within_worst_case(self, strategy):
+        for height in (1, 2, 5, 16, 32, 64):
+            for depth in range(height + 1):
+                oracle = RecordingOracle(depth)
+                strategy.find_gray_depth(oracle, height)
+                assert len(oracle.probes) <= strategy.worst_case_slots(
+                    height
+                )
+
+    def test_probes_are_valid_prefix_lengths(self, strategy):
+        oracle = RecordingOracle(17)
+        strategy.find_gray_depth(oracle, 32)
+        assert all(1 <= p <= 32 for p in oracle.probes)
+
+
+class TestLinearCost:
+    def test_costs_depth_plus_one(self):
+        strategy = LinearGraySearch()
+        for depth in range(32):
+            oracle = RecordingOracle(depth)
+            strategy.find_gray_depth(oracle, 32)
+            assert len(oracle.probes) == depth + 1
+
+    def test_full_depth_costs_h(self):
+        oracle = RecordingOracle(32)
+        LinearGraySearch().find_gray_depth(oracle, 32)
+        assert len(oracle.probes) == 32
+
+    def test_probes_ascend(self):
+        oracle = RecordingOracle(9)
+        LinearGraySearch().find_gray_depth(oracle, 32)
+        assert oracle.probes == list(range(1, 11))
+
+
+class TestBinaryCost:
+    def test_exactly_five_probes_for_typical_depths_h32(self):
+        # Table 3: "PET only takes five time slots to complete each
+        # round" at H = 32 — exact for every depth >= 2.
+        strategy = BinaryGraySearch()
+        for depth in range(2, 33):
+            oracle = RecordingOracle(depth)
+            strategy.find_gray_depth(oracle, 32)
+            assert len(oracle.probes) == 5, f"depth {depth}"
+
+    def test_depth_zero_and_one_cost_one_extra(self):
+        strategy = BinaryGraySearch()
+        for depth in (0, 1):
+            oracle = RecordingOracle(depth)
+            assert strategy.find_gray_depth(oracle, 32) == depth
+            assert len(oracle.probes) == 6
+
+    def test_log_log_scaling(self):
+        # Doubling H adds one probe: O(log H) = O(log log n_max).
+        strategy = BinaryGraySearch()
+        costs = {}
+        for height in (8, 16, 32, 64):
+            oracle = RecordingOracle(height // 2)
+            strategy.find_gray_depth(oracle, height)
+            costs[height] = len(oracle.probes)
+        assert costs[16] == costs[8] + 1
+        assert costs[32] == costs[16] + 1
+        assert costs[64] == costs[32] + 1
+
+    def test_matches_linear_on_random_depths(self):
+        rng = np.random.default_rng(5)
+        linear, binary = LinearGraySearch(), BinaryGraySearch()
+        for _ in range(200):
+            height = int(rng.integers(1, 65))
+            depth = int(rng.integers(0, height + 1))
+            d_lin = linear.find_gray_depth(RecordingOracle(depth), height)
+            d_bin = binary.find_gray_depth(RecordingOracle(depth), height)
+            assert d_lin == d_bin == depth
+
+
+class TestStrategyFor:
+    def test_selects_by_flag(self):
+        assert isinstance(strategy_for(True), BinaryGraySearch)
+        assert isinstance(strategy_for(False), LinearGraySearch)

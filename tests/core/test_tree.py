@@ -1,0 +1,129 @@
+"""Tests for the explicit PET tree (ground truth for the protocols)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.path import EstimatingPath
+from repro.core.tree import NodeColor, PetTree
+from repro.errors import ConfigurationError
+
+
+def paper_example_tree() -> PetTree:
+    """The Fig. 1 example: H = 4, codes 0001, 0110, 1011, 1110."""
+    return PetTree(4, [0b0001, 0b0110, 0b1011, 0b1110])
+
+
+class TestConstruction:
+    def test_rejects_excessive_height(self):
+        with pytest.raises(ConfigurationError):
+            PetTree(30, [])
+
+    def test_rejects_out_of_range_codes(self):
+        with pytest.raises(ConfigurationError):
+            PetTree(4, [16])
+        with pytest.raises(ConfigurationError):
+            PetTree(4, [-1])
+
+    def test_duplicates_collapse(self):
+        tree = PetTree(4, [3, 3, 3])
+        assert len(tree.black_leaves) == 1
+
+    def test_white_fraction(self):
+        tree = paper_example_tree()
+        assert tree.white_fraction == pytest.approx(12 / 16)
+        assert PetTree(4, []).white_fraction == 1.0
+
+
+class TestPaperExample:
+    """Walks through the Fig. 1 narrative step by step."""
+
+    def test_gray_node_is_node_a(self):
+        # Path r = 0011: prefix "0" busy (0001, 0110), "00" busy (0001),
+        # "001" idle -> gray node at depth 2 (prefix 00), height 2.
+        tree = paper_example_tree()
+        path = EstimatingPath.from_string("0011")
+        assert tree.gray_depth(path) == 2
+        assert tree.gray_height(path) == 2
+
+    def test_subtree_blackness(self):
+        tree = paper_example_tree()
+        assert tree.subtree_is_black(0b0, 1)       # "0" subtree
+        assert tree.subtree_is_black(0b00, 2)      # "00" subtree
+        assert not tree.subtree_is_black(0b001, 3)  # "001" subtree
+        assert tree.subtree_is_black(0b000, 3)      # "000" holds 0001
+
+    def test_node_colors_along_path(self):
+        tree = paper_example_tree()
+        path = EstimatingPath.from_string("0011")
+        colors = tree.colors_along(path)
+        # Root (depth 0) and depth 1 are black; depth 2 is the gray
+        # node; depth 3 is white.
+        assert colors[0] is NodeColor.BLACK
+        assert colors[1] is NodeColor.BLACK
+        assert colors[2] is NodeColor.GRAY
+        assert colors[3] is NodeColor.WHITE
+
+
+class TestMonotonicity:
+    """Sec. 4.4's structural claims, validated exhaustively."""
+
+    def test_colors_monotone_on_random_trees(self):
+        rng = np.random.default_rng(10)
+        for _ in range(50):
+            height = int(rng.integers(2, 9))
+            n_codes = int(rng.integers(0, 2**height))
+            codes = rng.integers(0, 2**height, size=n_codes)
+            tree = PetTree(height, (int(c) for c in codes))
+            path = EstimatingPath.random(height, rng)
+            colors = tree.colors_along(path)
+            pattern = "".join(
+                {"black": "b", "gray": "g", "white": "w"}[c.value]
+                for c in colors
+            )
+            # Either all white (empty side) or blacks, at most one gray,
+            # then whites; a path ending on a black leaf may be all-b.
+            assert "wb" not in pattern
+            assert "wg" not in pattern
+            assert "gb" not in pattern
+            assert pattern.count("g") <= 1
+
+    def test_gray_depth_is_longest_busy_prefix(self):
+        rng = np.random.default_rng(11)
+        for _ in range(50):
+            height = 6
+            codes = [int(c) for c in rng.integers(0, 64, size=10)]
+            tree = PetTree(height, codes)
+            path = EstimatingPath.random(height, rng)
+            depth = tree.gray_depth(path)
+            assert tree.subtree_is_black(path.prefix(depth), depth)
+            if depth < height:
+                assert not tree.subtree_is_black(
+                    path.prefix(depth + 1), depth + 1
+                )
+
+
+class TestEdgeCases:
+    def test_empty_tree_gray_depth_zero(self):
+        tree = PetTree(4, [])
+        path = EstimatingPath.from_string("0101")
+        assert tree.gray_depth(path) == 0
+
+    def test_full_match_gray_depth_h(self):
+        tree = PetTree(4, [0b0101])
+        path = EstimatingPath.from_string("0101")
+        assert tree.gray_depth(path) == 4
+        assert tree.gray_height(path) == 0
+
+    def test_path_height_mismatch_rejected(self):
+        tree = PetTree(4, [1])
+        with pytest.raises(ConfigurationError):
+            tree.gray_depth(EstimatingPath.from_string("01"))
+
+    def test_render_marks_leaves(self):
+        tree = PetTree(2, [0b01])
+        rendering = tree.render(EstimatingPath.from_string("11"))
+        assert rendering == ".#.r"
+        rendering_on_black = tree.render(EstimatingPath.from_string("01"))
+        assert rendering_on_black == ".R.."

@@ -1,0 +1,61 @@
+"""Tests for the ablation drivers (scaled down)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.figures import ablations
+
+
+class TestAblations:
+    def test_passive_vs_active_renders(self):
+        table = ablations.passive_vs_active(
+            n=500, rounds=32, runs=10
+        )
+        rendering = table.render()
+        assert "active" in rendering
+        assert "passive" in rendering
+        assert len(table.rows) == 2
+
+    def test_height_sensitivity_shows_saturation(self):
+        table = ablations.height_sensitivity(
+            n=50_000, heights=(16, 32), rounds=64, runs=60
+        )
+        accuracy_h16 = float(table.rows[0][2])
+        accuracy_h32 = float(table.rows[1][2])
+        # Saturated tree (2^16 ~ 1.3n) under-estimates badly; H=32 ok.
+        assert accuracy_h16 < 0.8
+        assert 0.9 < accuracy_h32 < 1.1
+
+    def test_search_cost_separation(self):
+        table = ablations.search_cost(
+            sizes=(1_000, 100_000), rounds=80
+        )
+        linear_small = float(table.rows[0][1])
+        linear_large = float(table.rows[1][1])
+        binary_small = float(table.rows[0][2])
+        binary_large = float(table.rows[1][2])
+        # Linear grows by ~log2(100) ~ 6.6 slots; binary stays flat.
+        assert linear_large - linear_small > 4.0
+        assert binary_small == binary_large == 5.0
+
+    def test_loss_robustness_bias_direction(self):
+        table = ablations.loss_robustness(
+            n=300,
+            loss_probabilities=(0.0, 0.3),
+            rounds=48,
+            runs=8,
+        )
+        accuracy_clean = float(table.rows[0][1])
+        accuracy_lossy = float(table.rows[1][1])
+        assert accuracy_lossy < accuracy_clean
+
+    def test_identification_cost_exceeds_estimation_at_scale(self):
+        table = ablations.identification_vs_estimation(
+            sizes=(20_000,)
+        )
+        row = table.rows[0]
+        aloha = float(row[1].replace(",", ""))
+        treewalk = float(row[2].replace(",", ""))
+        pet = float(row[3].replace(",", ""))
+        assert pet < treewalk < aloha

@@ -1,0 +1,47 @@
+"""Smoke tests: every figure driver's main() prints its artifact."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.figures import extensions, fig4, fig5, fig6, fig7, table3
+
+
+class TestDriverMains:
+    def test_fig4_main(self, capsys):
+        fig4.main(runs=25)
+        out = capsys.readouterr().out
+        assert "Fig. 4a" in out
+        assert "Fig. 4b" in out
+        assert "Fig. 4c" in out
+
+    def test_fig5_main(self, capsys):
+        fig5.main()
+        out = capsys.readouterr().out
+        assert "Table 4" in out
+        assert "Table 5" in out
+        assert "Fig. 5a" in out
+        assert "Fig. 5b" in out
+
+    def test_fig6_main(self, capsys):
+        fig6.main(runs=60)
+        out = capsys.readouterr().out
+        assert "Fig. 6" in out
+        assert "histogram" in out
+
+    def test_fig7_main(self, capsys):
+        fig7.main()
+        out = capsys.readouterr().out
+        assert "Fig. 7a" in out
+        assert "Fig. 7b" in out
+
+    def test_table3_main(self, capsys):
+        table3.main()
+        assert "Table 3" in capsys.readouterr().out
+
+    def test_extensions_pieces(self, capsys):
+        extensions.adaptive_vs_fixed(n=2_000, trials=10).print()
+        extensions.energy_comparison().print()
+        out = capsys.readouterr().out
+        assert "sequential" in out
+        assert "tag energy" in out

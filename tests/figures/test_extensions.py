@@ -1,0 +1,41 @@
+"""Tests for the extension experiment drivers (scaled down)."""
+
+from __future__ import annotations
+
+from repro.figures import extensions
+
+
+class TestExtensionDrivers:
+    def test_adaptive_table(self):
+        table = extensions.adaptive_vs_fixed(n=5_000, trials=20)
+        assert len(table.rows) == 2
+        coverage = float(table.rows[1][3])
+        assert 0.7 <= coverage <= 1.0
+
+    def test_energy_table_ordering(self):
+        table = extensions.energy_comparison()
+        labels = [row[0] for row in table.rows]
+        assert "PET passive (1-bit)" in labels
+        assert "FNEB" in labels
+
+    def test_feedback_overhead_measured(self):
+        table = extensions.feedback_overhead(
+            n=50, height=8, rounds=10
+        )
+        bits = {row[0]: float(row[3]) for row in table.rows}
+        assert bits["feedback"] == 1.0
+        assert bits["mask"] == 8.0
+
+    def test_saturation_table(self):
+        table = extensions.saturation_correction(
+            n=20_000, heights=(16, 24), rounds=512
+        )
+        assert len(table.rows) == 2
+
+    def test_monitoring_table(self):
+        table = extensions.monitoring_demo(
+            sizes=(1_000,) * 6 + (3_000,) * 2,
+            rounds_per_epoch=512,
+        )
+        flags = [row[4] for row in table.rows]
+        assert flags[6] == "CHANGE"

@@ -1,0 +1,52 @@
+"""Tests for the Fig. 3 trace reproduction."""
+
+from __future__ import annotations
+
+from repro.figures import fig3_trace
+from repro.radio.slots import SlotType
+
+
+class TestFig3:
+    def test_slot_counts_match_paper(self):
+        comparison = fig3_trace.run()
+        assert comparison.basic_slots == 5
+        assert comparison.binary_slots == 2
+
+    def test_gray_depth_is_four(self):
+        comparison = fig3_trace.run()
+        assert comparison.gray_depth == 4
+
+    def test_basic_trace_ends_idle(self):
+        comparison = fig3_trace.run()
+        query_events = comparison.basic_trace.events[1:]  # skip start
+        assert query_events[-1].outcome.slot_type is SlotType.IDLE
+        for event in query_events[:-1]:
+            assert event.outcome.busy
+
+    def test_binary_trace_probes_prefix_4_then_5(self):
+        comparison = fig3_trace.run()
+        commands = [
+            event.command for event in comparison.binary_trace.events[1:]
+        ]
+        assert commands == ["0000**", "00001*"]
+
+    def test_sixteen_tags_with_unique_codes(self):
+        assert len(set(fig3_trace.EXAMPLE_CODES)) == 16
+
+    def test_first_basic_query_hears_ten_tags(self):
+        # Codes starting with '0': indices 0-9 respond to prefix 0*****.
+        comparison = fig3_trace.run()
+        first_query = comparison.basic_trace.events[1]
+        assert len(first_query.outcome.responders) == 10
+
+    def test_one_round_estimate_order_of_magnitude(self):
+        estimate = fig3_trace.estimate_from_example()
+        # depth 4 -> n_hat = 2^4 / phi ~ 12.7; a one-round estimate of
+        # 16 tags is this coarse by design.
+        assert 5 < estimate < 30
+
+    def test_main_prints_summary(self, capsys):
+        fig3_trace.main()
+        out = capsys.readouterr().out
+        assert "query slots used: 5" in out
+        assert "query slots used: 2" in out

@@ -1,0 +1,59 @@
+"""Tests for the Fig. 4 sweep driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.figures import fig4
+
+
+@pytest.fixture(scope="module")
+def cells():
+    return fig4.run(
+        sizes=(1_000, 10_000),
+        rounds_grid=(8, 32, 128),
+        runs=150,
+        base_seed=123,
+    )
+
+
+class TestFig4:
+    def test_cell_grid_complete(self, cells):
+        keys = {(cell.n, cell.rounds) for cell in cells}
+        assert keys == {
+            (n, m) for n in (1_000, 10_000) for m in (8, 32, 128)
+        }
+
+    def test_accuracy_approaches_one(self, cells):
+        by_key = {(c.n, c.rounds): c for c in cells}
+        for n in (1_000, 10_000):
+            final = by_key[(n, 128)].summary.accuracy
+            assert 0.93 < final < 1.07
+
+    def test_std_decreases_with_rounds(self, cells):
+        by_key = {(c.n, c.rounds): c for c in cells}
+        for n in (1_000, 10_000):
+            assert (
+                by_key[(n, 128)].summary.std
+                < by_key[(n, 8)].summary.std
+            )
+
+    def test_normalized_std_collapses_across_n(self, cells):
+        # Fig. 4c: the normalized curves for different n overlap.
+        by_key = {(c.n, c.rounds): c for c in cells}
+        small = by_key[(1_000, 128)].summary.normalized_std
+        large = by_key[(10_000, 128)].summary.normalized_std
+        assert abs(small - large) < 0.05
+
+    def test_normalized_std_tracks_theory(self, cells):
+        for cell in cells:
+            if cell.rounds >= 32:
+                assert cell.summary.normalized_std == pytest.approx(
+                    cell.predicted_normalized_std, rel=0.45
+                )
+
+    def test_tables_render(self, cells):
+        table_a, table_b, table_c = fig4.tables(cells)
+        assert "Fig. 4a" in table_a.render()
+        assert "Fig. 4b" in table_b.render()
+        assert "theory" in table_c.render()

@@ -1,0 +1,63 @@
+"""Tests for the Tables 4/5 / Fig. 5 planning sweeps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.figures import fig5
+
+
+@pytest.fixture(scope="module")
+def table4_rows():
+    return fig5.epsilon_sweep(validation_runs=200)
+
+
+@pytest.fixture(scope="module")
+def table5_rows():
+    return fig5.delta_sweep(validation_runs=0)
+
+
+class TestTable4:
+    def test_pet_beats_baselines_everywhere(self, table4_rows):
+        for row in table4_rows:
+            assert row.pet_slots < row.fneb_slots
+            assert row.pet_slots < row.lof_slots
+
+    def test_ratio_in_paper_band(self, table4_rows):
+        # "PET outperforms both FNEB and LoF with about 35 to 43
+        # percent of their estimating time" (Sec. 5.3).
+        for row in table4_rows:
+            assert 0.30 < row.pet_over_fneb < 0.50
+            assert 0.35 < row.pet_over_lof < 0.50
+
+    def test_headline_cell(self, table4_rows):
+        # eps = 5%, delta = 1%: m = 4697 rounds, 5 slots each.
+        head = table4_rows[0]
+        assert head.epsilon == 0.05
+        assert 4600 <= head.pet_rounds <= 4800
+        assert head.pet_slots == head.pet_rounds * 5
+
+    def test_validation_meets_confidence(self, table4_rows):
+        for row in table4_rows:
+            assert row.pet_within >= 1.0 - row.delta - 0.02
+
+    def test_slots_decrease_with_epsilon(self, table4_rows):
+        slots = [row.pet_slots for row in table4_rows]
+        assert slots == sorted(slots, reverse=True)
+
+
+class TestTable5:
+    def test_slots_decrease_with_delta(self, table5_rows):
+        slots = [row.pet_slots for row in table5_rows]
+        assert slots == sorted(slots, reverse=True)
+
+    def test_pet_wins_at_every_delta(self, table5_rows):
+        for row in table5_rows:
+            assert row.pet_slots < min(row.fneb_slots, row.lof_slots)
+
+
+class TestRendering:
+    def test_table_includes_ratios(self, table4_rows):
+        rendering = fig5.table(table4_rows, "T", "epsilon").render()
+        assert "PET/FNEB" in rendering
+        assert "PET/LoF" in rendering

@@ -1,0 +1,64 @@
+"""Tests for the Fig. 6 distribution comparison."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.figures import fig6
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig6.run(runs=400, base_seed=17)
+
+
+class TestFig6:
+    def test_equal_slot_budgets(self, result):
+        # FNEB and LoF get (at most) PET's budget.
+        assert result.fneb.slots <= result.pet.slots
+        assert result.lof.slots <= result.pet.slots
+        assert result.fneb.slots > 0.9 * result.pet.slots
+        assert result.lof.slots > 0.9 * result.pet.slots
+
+    def test_pet_meets_confidence(self, result):
+        # Paper: "more than 99 percent estimated results fall into the
+        # confidence interval in PET".
+        assert result.pet.within_fraction >= 0.98
+
+    def test_baselines_lose_coverage(self, result):
+        # Paper: "FNEB and LoF only guarantee about 90 percent".
+        assert result.fneb.within_fraction < result.pet.within_fraction
+        assert result.lof.within_fraction < result.pet.within_fraction
+        assert 0.80 < result.fneb.within_fraction < 0.97
+        assert 0.80 < result.lof.within_fraction < 0.97
+
+    def test_pet_most_concentrated(self, result):
+        assert result.pet.estimates.std() < result.fneb.estimates.std()
+        assert result.pet.estimates.std() < result.lof.estimates.std()
+
+    def test_all_unbiased(self, result):
+        for panel in (result.pet, result.fneb, result.lof):
+            assert panel.estimates.mean() == pytest.approx(
+                result.n, rel=0.02
+            )
+
+    def test_theory_matches_simulation(self, result):
+        # Empirical histogram vs the log-normal overlay: compare the
+        # within-CI mass.
+        assert result.pet.within_fraction == pytest.approx(
+            result.theory_within, abs=0.015
+        )
+        assert result.theory_within >= 0.99
+
+    def test_theory_density_peaks_near_n(self, result):
+        peak = float(
+            result.theory_grid[np.argmax(result.theory_pdf)]
+        )
+        assert abs(peak - result.n) < 0.03 * result.n
+
+    def test_summary_table_renders(self, result):
+        rendering = fig6.summary_table(result).render()
+        assert "PET" in rendering
+        assert "FNEB" in rendering
+        assert "LoF" in rendering

@@ -1,0 +1,42 @@
+"""Tests for the Fig. 7 memory comparison."""
+
+from __future__ import annotations
+
+from repro.figures import fig7
+
+
+class TestFig7:
+    def test_pet_memory_constant(self):
+        rows = fig7.epsilon_sweep()
+        assert all(row.pet_bits == 32 for row in rows)
+        rows_b = fig7.delta_sweep()
+        assert all(row.pet_bits == 32 for row in rows_b)
+
+    def test_baseline_memory_grows_with_tightness(self):
+        rows = fig7.epsilon_sweep()
+        # Epsilon sweeps loosen left to right: memory decreases.
+        fneb = [row.fneb_bits for row in rows]
+        lof = [row.lof_bits for row in rows]
+        assert fneb == sorted(fneb, reverse=True)
+        assert lof == sorted(lof, reverse=True)
+
+    def test_baselines_orders_of_magnitude_above_pet(self):
+        for row in fig7.epsilon_sweep():
+            assert row.fneb_bits > 100 * row.pet_bits
+            assert row.lof_bits > 100 * row.pet_bits
+
+    def test_memory_is_32_per_round(self):
+        from repro.protocols.fneb import FnebProtocol
+        from repro.config import AccuracyRequirement
+
+        rows = fig7.epsilon_sweep(epsilons=(0.05,))
+        planned = FnebProtocol().plan_rounds(
+            AccuracyRequirement(0.05, 0.01)
+        )
+        assert rows[0].fneb_bits == 32 * planned
+
+    def test_table_renders_log_columns(self):
+        rendering = fig7.table(
+            fig7.epsilon_sweep(), "T", "epsilon"
+        ).render()
+        assert "log2(FNEB/PET)" in rendering

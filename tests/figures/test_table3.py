@@ -1,0 +1,21 @@
+"""Tests for the Table 3 slot-count reproduction."""
+
+from __future__ import annotations
+
+from repro.figures import table3
+
+
+class TestTable3:
+    def test_nominal_is_five_per_round(self):
+        rows = table3.run(rounds_grid=(8, 64), n=10_000)
+        assert rows[0].nominal_slots == 40
+        assert rows[1].nominal_slots == 320
+
+    def test_measured_matches_nominal(self):
+        # At n = 10 000 the binary search always takes exactly 5 slots.
+        for row in table3.run(rounds_grid=(16, 128), n=10_000):
+            assert row.measured_slots == row.nominal_slots
+
+    def test_table_renders(self):
+        rendering = table3.table(table3.run(rounds_grid=(8,))).render()
+        assert "Table 3" in rendering

@@ -1,0 +1,90 @@
+"""Tests for geometric-distribution hashing (the LoF primitive)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hashing.geometric import (
+    geometric_bucket,
+    geometric_buckets,
+    geometric_pmf,
+    leading_zeros64_vec,
+)
+
+
+class TestLeadingZeros:
+    def test_zero_maps_to_64(self):
+        values = np.array([0], dtype=np.uint64)
+        assert leading_zeros64_vec(values)[0] == 64
+
+    def test_powers_of_two(self):
+        values = np.array(
+            [1, 2, 2**31, 2**62, 2**63], dtype=np.uint64
+        )
+        zeros = leading_zeros64_vec(values)
+        assert zeros.tolist() == [63, 62, 32, 1, 0]
+
+    def test_matches_python_bit_length(self):
+        rng = np.random.default_rng(0)
+        values = rng.integers(1, 2**63, size=500).astype(np.uint64)
+        zeros = leading_zeros64_vec(values)
+        expected = [64 - int(v).bit_length() for v in values]
+        assert zeros.tolist() == expected
+
+    def test_large_values_near_2_64(self):
+        values = np.array([2**64 - 1, 2**63 + 5], dtype=np.uint64)
+        assert leading_zeros64_vec(values).tolist() == [0, 0]
+
+
+class TestGeometricBucket:
+    def test_within_range(self):
+        for tag in range(100):
+            bucket = geometric_bucket(1, tag, 31)
+            assert 0 <= bucket <= 31
+
+    def test_rejects_negative_max(self):
+        with pytest.raises(ConfigurationError):
+            geometric_bucket(1, 1, -1)
+        with pytest.raises(ConfigurationError):
+            geometric_buckets(1, np.array([1], dtype=np.uint64), -1)
+
+    def test_vectorized_matches_scalar(self):
+        ids = np.arange(300, dtype=np.uint64)
+        vector = geometric_buckets(9, ids, 31)
+        scalar = [geometric_bucket(9, int(i), 31) for i in ids]
+        assert vector.tolist() == scalar
+
+    def test_bucket_zero_gets_about_half(self):
+        ids = np.arange(40_000, dtype=np.uint64)
+        buckets = geometric_buckets(2, ids, 31)
+        fraction_zero = float((buckets == 0).mean())
+        assert 0.47 < fraction_zero < 0.53
+
+    def test_bucket_masses_halve(self):
+        ids = np.arange(80_000, dtype=np.uint64)
+        buckets = geometric_buckets(6, ids, 31)
+        counts = np.bincount(buckets, minlength=32)
+        for j in range(5):
+            ratio = counts[j + 1] / counts[j]
+            assert 0.4 < ratio < 0.6
+
+
+class TestGeometricPmf:
+    def test_sums_to_one(self):
+        for max_bucket in (0, 1, 5, 31):
+            pmf = geometric_pmf(max_bucket)
+            assert pmf.sum() == pytest.approx(1.0)
+
+    def test_shape(self):
+        pmf = geometric_pmf(31)
+        assert len(pmf) == 32
+        assert pmf[0] == pytest.approx(0.5)
+        assert pmf[1] == pytest.approx(0.25)
+        # The tail bucket absorbs the residual 2^-31.
+        assert pmf[31] == pytest.approx(2.0**-31)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            geometric_pmf(-1)

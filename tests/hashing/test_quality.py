@@ -1,0 +1,93 @@
+"""Tests for the hash-quality diagnostics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.hashing.family import (
+    HashFamily,
+    Md5HashFamily,
+    SplitMix64Family,
+)
+from repro.hashing.quality import (
+    avalanche_score,
+    bit_bias,
+    prefix_collision_rate,
+    summarize_family,
+    uniformity_chi2,
+)
+
+
+class _BadHash(HashFamily):
+    """Deliberately broken family: only mixes the low bits."""
+
+    def digest(self, seed: int, key: int) -> int:
+        return (key * 2654435761 + seed) % 65536
+
+
+class TestUniformity:
+    def test_splitmix_uniform(self):
+        assert uniformity_chi2(SplitMix64Family()) < 1.3
+
+    def test_md5_uniform(self):
+        assert uniformity_chi2(Md5HashFamily(), samples=20_000) < 1.3
+
+    def test_bad_hash_flagged_by_avalanche(self):
+        # The broken family may pass bucket-uniformity (it permutes the
+        # low 16 bits) but fails avalanche badly: its top 48 output
+        # bits never change.
+        assert avalanche_score(_BadHash()) < 0.25
+
+    def test_rejects_undersampled(self):
+        with pytest.raises(AnalysisError):
+            uniformity_chi2(samples=100, buckets=256)
+
+
+class TestAvalanche:
+    def test_splitmix_near_half(self):
+        score = avalanche_score(SplitMix64Family())
+        assert 0.47 < score < 0.53
+
+    def test_rejects_bad_samples(self):
+        with pytest.raises(AnalysisError):
+            avalanche_score(samples=0)
+
+
+class TestBitBias:
+    def test_splitmix_unbiased(self):
+        biases = bit_bias(SplitMix64Family())
+        assert len(biases) == 64
+        # 50k samples: standard error ~0.0022; allow 5 sigma.
+        assert biases.max() < 0.012
+
+    def test_bad_hash_has_dead_bits(self):
+        biases = bit_bias(_BadHash(), samples=5_000)
+        # Bits 16..63 are constant zero: bias exactly 0.5.
+        assert biases[16:].max() == pytest.approx(0.5)
+
+
+class TestPrefixCollisions:
+    def test_matches_ideal_rate(self):
+        for prefix_bits in (4, 8, 12):
+            rate = prefix_collision_rate(prefix_bits)
+            ideal = 2.0**-prefix_bits
+            assert rate == pytest.approx(ideal, rel=0.1)
+
+    def test_rejects_bad_prefix(self):
+        with pytest.raises(AnalysisError):
+            prefix_collision_rate(0)
+        with pytest.raises(AnalysisError):
+            prefix_collision_rate(33, code_bits=32)
+
+
+class TestSummary:
+    def test_summary_keys(self):
+        summary = summarize_family(SplitMix64Family())
+        assert set(summary) == {
+            "chi2_per_dof",
+            "avalanche",
+            "max_bit_bias",
+            "prefix8_collision_over_ideal",
+        }
+        assert 0.9 < summary["prefix8_collision_over_ideal"] < 1.1

@@ -1,0 +1,79 @@
+"""Tests for uniform code/slot hashing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hashing.uniform import (
+    uniform_code,
+    uniform_codes,
+    uniform_slot,
+    uniform_slots,
+)
+
+
+class TestUniformCode:
+    def test_within_range(self):
+        for bits in (1, 8, 32, 64):
+            code = uniform_code(1, 99, bits)
+            assert 0 <= code < (1 << bits)
+
+    def test_vectorized_matches_scalar(self):
+        ids = np.array([3, 7, 11, 10_000], dtype=np.uint64)
+        vector = uniform_codes(5, ids, 32)
+        scalar = [uniform_code(5, int(i), 32) for i in ids]
+        assert vector.tolist() == scalar
+
+    def test_different_seeds_give_different_mappings(self):
+        ids = np.arange(100, dtype=np.uint64)
+        codes_a = uniform_codes(1, ids, 32)
+        codes_b = uniform_codes(2, ids, 32)
+        assert (codes_a != codes_b).any()
+
+    def test_codes_cover_both_halves(self):
+        # With 1000 tags, both the 0-subtree and 1-subtree of the PET
+        # root must be populated (overwhelmingly likely).
+        ids = np.arange(1000, dtype=np.uint64)
+        codes = uniform_codes(3, ids, 32)
+        top_bits = codes >> np.uint64(31)
+        assert 0 < int(top_bits.sum()) < 1000
+
+
+class TestUniformSlot:
+    def test_within_frame(self):
+        for frame in (1, 2, 7, 1024):
+            slot = uniform_slot(1, 42, frame)
+            assert 0 <= slot < frame
+
+    def test_rejects_empty_frame(self):
+        with pytest.raises(ConfigurationError):
+            uniform_slot(1, 42, 0)
+        with pytest.raises(ConfigurationError):
+            uniform_slots(1, np.array([1], dtype=np.uint64), 0)
+
+    def test_vectorized_matches_scalar(self):
+        ids = np.array([3, 9, 2**40], dtype=np.uint64)
+        vector = uniform_slots(8, ids, 1000)
+        scalar = [uniform_slot(8, int(i), 1000) for i in ids]
+        assert vector.tolist() == scalar
+
+    def test_slots_roughly_uniform(self):
+        ids = np.arange(50_000, dtype=np.uint64)
+        slots = uniform_slots(4, ids, 100)
+        counts = np.bincount(slots, minlength=100)
+        expected = 500
+        chi2 = float(((counts - expected) ** 2 / expected).sum())
+        assert chi2 < 200  # 99 dof: mean 99, std ~14
+
+    def test_min_slot_statistic_reasonable(self):
+        # FNEB relies on min slot ~ f/n; check the order of magnitude.
+        ids = np.arange(1000, dtype=np.uint64)
+        frame = 2**20
+        minima = [
+            int(uniform_slots(seed, ids, frame).min())
+            for seed in range(200)
+        ]
+        mean_min = float(np.mean(minima)) + 1.0
+        assert frame / 1000 * 0.5 < mean_min < frame / 1000 * 2.0

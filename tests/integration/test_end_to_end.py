@@ -1,0 +1,147 @@
+"""End-to-end integration tests across the whole stack."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    AccuracyRequirement,
+    PetConfig,
+    PetEstimator,
+    SampledSimulator,
+    TagPopulation,
+    VectorizedSimulator,
+)
+from repro.protocols import FnebProtocol, LofProtocol, PetProtocol
+
+
+class TestAccuracyContract:
+    """The headline guarantee: Pr{|n_hat - n| <= eps n} >= 1 - delta."""
+
+    def test_relaxed_contract_met_empirically(self):
+        # Use a loose requirement so the planned rounds stay testable:
+        # eps = 20%, delta = 10% -> m ~ 88 rounds.
+        requirement = AccuracyRequirement(epsilon=0.20, delta=0.10)
+        estimator = PetEstimator(
+            requirement=requirement, rng=np.random.default_rng(0)
+        )
+        rounds = estimator.planned_rounds
+        n = 20_000
+        simulator = SampledSimulator(
+            n, config=PetConfig(), rng=np.random.default_rng(1)
+        )
+        estimates = simulator.estimate_batch(rounds, repetitions=400)
+        low, high = requirement.interval(n)
+        within = float(
+            ((estimates >= low) & (estimates <= high)).mean()
+        )
+        assert within >= 1.0 - requirement.delta - 0.03
+
+    def test_contract_independent_of_scale(self):
+        requirement = AccuracyRequirement(epsilon=0.25, delta=0.15)
+        estimator = PetEstimator(
+            requirement=requirement, rng=np.random.default_rng(2)
+        )
+        rounds = estimator.planned_rounds
+        for n in (500, 50_000, 2_000_000):
+            simulator = SampledSimulator(
+                n, rng=np.random.default_rng(n)
+            )
+            estimates = simulator.estimate_batch(
+                rounds, repetitions=200
+            )
+            low, high = requirement.interval(n)
+            within = float(
+                ((estimates >= low) & (estimates <= high)).mean()
+            )
+            assert within >= 1.0 - requirement.delta - 0.05, f"n={n}"
+
+
+class TestProtocolsOnSamePopulation:
+    def test_all_estimators_converge_to_truth(self):
+        n = 8_000
+        population = TagPopulation.random(
+            n, np.random.default_rng(3)
+        )
+        rng = np.random.default_rng(4)
+        pet = PetProtocol().estimate(population, 1024, rng)
+        fneb = FnebProtocol(frame_size=2**20).estimate(
+            population, 1024, rng
+        )
+        lof = LofProtocol().estimate(population, 1024, rng)
+        for result in (pet, fneb, lof):
+            assert 0.9 < result.accuracy(n) < 1.1, result.protocol
+
+    def test_pet_cheapest_at_equal_rounds_quality(self):
+        # At the same round count, PET consumes the fewest slots.
+        n = 8_000
+        population = TagPopulation.random(
+            n, np.random.default_rng(5)
+        )
+        rng = np.random.default_rng(6)
+        pet = PetProtocol().estimate(population, 256, rng)
+        fneb = FnebProtocol().estimate(population, 256, rng)
+        lof = LofProtocol().estimate(population, 256, rng)
+        # 5 slots/round (PET) < 24 (FNEB binary search) < 32 (LoF frame)
+        assert pet.total_slots < fneb.total_slots < lof.total_slots
+
+
+class TestDynamicPopulation:
+    def test_estimation_tracks_growth(self):
+        # Estimate, grow the population 4x, estimate again.
+        rng = np.random.default_rng(7)
+        small = TagPopulation.random(2_000, rng)
+        big = small.union(TagPopulation.random(6_000, rng))
+        config = PetConfig(rounds=512)
+        est_small = VectorizedSimulator(
+            small, config=config, rng=rng
+        ).estimate()
+        est_big = VectorizedSimulator(
+            big, config=config, rng=rng
+        ).estimate()
+        assert est_big.n_hat > 2.5 * est_small.n_hat
+
+    def test_churned_population_estimates_current_size(self):
+        from repro.tags.dynamics import PopulationDynamics
+
+        rng = np.random.default_rng(9)
+        population = TagPopulation.random(3_000, rng)
+        dynamics = PopulationDynamics(
+            join_rate=50.0, leave_rate=30.0, rng=rng
+        )
+        for round_index in range(20):
+            population = dynamics.step(population, round_index)
+        result = VectorizedSimulator(
+            population, config=PetConfig(rounds=1024), rng=rng
+        ).estimate()
+        # 1024 rounds: relative std ~ ln2 * 1.87 / 32 ~ 4%.
+        assert 0.85 < result.n_hat / population.size < 1.15
+
+
+class TestAnonymity:
+    def test_responses_never_carry_tag_ids(self):
+        # Sec. 4.6.4: during estimation a tag never transmits its ID;
+        # the reader's decisions depend only on slot busy-ness.  We
+        # verify the protocol-level artifact: every reader command is a
+        # StartRound or PrefixQuery (no ID-bearing ACK/select), and the
+        # estimate is computed without reading responder identities.
+        from repro.core.messages import PrefixQuery, StartRound
+        from repro.sim.slotsim import SlotLevelSimulator
+
+        population = TagPopulation.random(
+            100, np.random.default_rng(9)
+        )
+        simulator = SlotLevelSimulator(
+            population,
+            config=PetConfig(rounds=8, passive_tags=True),
+            rng=np.random.default_rng(10),
+        )
+        simulator.estimate()
+        # All trace commands are PET commands rendered as strings;
+        # check none embeds a tag ID (PET commands are prefix patterns
+        # or the round-start banner).
+        for event in simulator.trace:
+            assert event.command.startswith("start") or set(
+                event.command
+            ) <= {"0", "1", "*"}

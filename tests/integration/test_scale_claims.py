@@ -1,0 +1,70 @@
+"""Integration tests for the paper's scale claims."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.saturation import saturation_level
+from repro.config import PetConfig
+from repro.core.accuracy import minimum_height
+from repro.sim.sampled import SampledSimulator
+
+
+class TestMillionsOfTags:
+    def test_ten_million_tags_estimate(self):
+        # "providing the capability to support millions of RFID tags."
+        n = 10_000_000
+        simulator = SampledSimulator(
+            n, config=PetConfig(), rng=np.random.default_rng(0)
+        )
+        result = simulator.estimate(rounds=1024)
+        assert 0.93 < result.n_hat / n < 1.07
+        assert result.total_slots == 1024 * 5
+
+    def test_slots_constant_across_scales(self):
+        slots = set()
+        for n in (1_000, 1_000_000):
+            simulator = SampledSimulator(
+                n, rng=np.random.default_rng(n)
+            )
+            slots.add(simulator.estimate(rounds=64).total_slots)
+        assert len(slots) == 1  # 5 slots/round regardless of n
+
+    def test_forty_million_sizing_claim(self):
+        # "H = 32 can accommodate n = 40,000,000 with p >= 0.99."
+        assert saturation_level(40_000_000, 32) <= 0.01
+        assert minimum_height(40_000_000, 0.99) <= 32
+
+    def test_rounds_planned_do_not_depend_on_n(self):
+        # Eq. 20's independence from n is the scalability core: the
+        # whole plan is computable before knowing anything about the
+        # population.
+        from repro.core.accuracy import rounds_required
+
+        m = rounds_required(0.05, 0.01)
+        assert m == rounds_required(0.05, 0.01)
+        assert 4600 <= m <= 4800
+
+
+class TestLinearVariantScaling:
+    def test_linear_slot_cost_grows_logarithmically(self):
+        import math
+
+        from repro.core.accuracy import PHI
+
+        means = {}
+        for n in (10_000, 10_000_000):
+            simulator = SampledSimulator(
+                n,
+                config=PetConfig(binary_search=False),
+                rng=np.random.default_rng(n),
+            )
+            result = simulator.estimate(rounds=200)
+            means[n] = result.total_slots / 200
+        # +3 decades of n -> ~ +log2(1000) ~ 10 slots/round.
+        growth = means[10_000_000] - means[10_000]
+        assert growth == pytest.approx(math.log2(1000), abs=1.0)
+        for n, mean_slots in means.items():
+            predicted = math.log2(PHI * n) + 1.0
+            assert mean_slots == pytest.approx(predicted, abs=0.8)

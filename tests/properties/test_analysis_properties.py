@@ -1,0 +1,68 @@
+"""Property-based tests on the analysis layer."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.mellin import gray_depth_cdf, gray_depth_pmf
+from repro.analysis.stats import summarize
+from repro.core.accuracy import rounds_required
+
+
+@given(
+    st.integers(min_value=0, max_value=10**7),
+    st.integers(min_value=1, max_value=48),
+)
+@settings(max_examples=200, deadline=None)
+def test_depth_pmf_is_a_distribution(n, height):
+    pmf = gray_depth_pmf(n, height)
+    assert pmf.sum() == pytest.approx(1.0)
+    assert (pmf >= -1e-12).all()
+    cdf = gray_depth_cdf(n, height)
+    assert (cdf[1:] >= cdf[:-1] - 1e-15).all()
+
+
+@given(
+    st.integers(min_value=1, max_value=10**6),
+    st.integers(min_value=1, max_value=48),
+)
+@settings(max_examples=100, deadline=None)
+def test_depth_pmf_shifts_right_with_n(n, height):
+    # Doubling n cannot decrease the CDF anywhere (stochastic order).
+    small = gray_depth_cdf(n, height)
+    large = gray_depth_cdf(2 * n, height)
+    assert (large <= small + 1e-12).all()
+
+
+@given(
+    st.floats(min_value=0.01, max_value=0.5),
+    st.floats(min_value=0.001, max_value=0.5),
+)
+@settings(max_examples=100, deadline=None)
+def test_rounds_required_positive_and_monotone(epsilon, delta):
+    m = rounds_required(epsilon, delta)
+    assert m >= 1
+    # Loosening epsilon can only reduce the rounds.
+    looser = rounds_required(min(epsilon * 1.5, 0.9), delta)
+    assert looser <= m
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=1e6),
+        min_size=1,
+        max_size=100,
+    ),
+    st.integers(min_value=1, max_value=10**6),
+)
+@settings(max_examples=200, deadline=None)
+def test_summary_invariants(estimates, true_n):
+    summary = summarize(estimates, true_n, epsilon=0.1)
+    assert summary.runs == len(estimates)
+    assert summary.std >= 0.0
+    assert 0.0 <= summary.within_fraction <= 1.0
+    assert summary.normalized_std == pytest.approx(
+        summary.std / true_n
+    )

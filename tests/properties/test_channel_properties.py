@@ -1,0 +1,71 @@
+"""Property-based tests for the radio layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import ChannelConfig, TimingConfig
+from repro.radio.link import LinkModel
+from repro.radio.slots import SlotType, classify
+
+
+@given(st.integers(min_value=0, max_value=1000), st.booleans())
+@settings(max_examples=100, deadline=None)
+def test_classify_total_and_consistent(count, detect):
+    slot_type = classify(count, detect_collisions=detect)
+    assert slot_type in (
+        SlotType.IDLE,
+        SlotType.SINGLETON,
+        SlotType.COLLISION,
+    )
+    assert slot_type.busy == (count > 0)
+    if not detect and count > 0:
+        assert slot_type is SlotType.COLLISION
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=10**6), max_size=30,
+             unique=True),
+    st.floats(min_value=0.0, max_value=1.0),
+    st.floats(min_value=0.0, max_value=1.0),
+    st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=150, deadline=None)
+def test_link_delivery_invariants(responders, loss, capture, seed):
+    link = LinkModel(
+        ChannelConfig(
+            loss_probability=loss, capture_probability=capture
+        ),
+        np.random.default_rng(seed),
+    )
+    outcome = link.deliver(tuple(responders))
+    # Survivors are a subset of the transmitters.
+    assert set(outcome.responders) <= set(responders)
+    assert outcome.transmitted == len(responders)
+    # Classification matches the surviving count.
+    assert outcome.busy == (len(outcome.responders) > 0)
+    # Loss and capture can only reduce, never invent, responses.
+    assert len(outcome.responders) <= len(responders)
+    # A decoded tag, when present, really transmitted.
+    if outcome.decoded_tag is not None:
+        assert outcome.decoded_tag in responders
+
+
+@given(
+    st.integers(min_value=0, max_value=256),
+    st.floats(min_value=1_000.0, max_value=10**7),
+    st.floats(min_value=0.0, max_value=10_000.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_slot_duration_monotone_in_payload(payload, bitrate, turnaround):
+    timing = TimingConfig(
+        reader_bitrate_bps=bitrate,
+        tag_bitrate_bps=bitrate,
+        turnaround_us=turnaround,
+    )
+    shorter = timing.slot_duration_us(payload)
+    longer = timing.slot_duration_us(payload + 8)
+    assert 0.0 <= shorter < longer

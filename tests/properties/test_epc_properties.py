@@ -1,0 +1,70 @@
+"""Property-based tests for the EPC codec and MLE unimodality."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.mle import depth_log_likelihood
+from repro.tags.epc import EpcCode
+
+
+@st.composite
+def epc_codes(draw):
+    return EpcCode(
+        filter_value=draw(st.integers(0, 7)),
+        company=draw(st.integers(0, (1 << 24) - 1)),
+        item=draw(st.integers(0, (1 << 20) - 1)),
+        serial=draw(st.integers(0, (1 << 38) - 1)),
+    )
+
+
+@given(epc_codes())
+@settings(max_examples=200, deadline=None)
+def test_epc_round_trip(code):
+    assert EpcCode.decode(code.encode()) == code
+
+
+@given(epc_codes())
+@settings(max_examples=200, deadline=None)
+def test_epc_encode64_preserves_uniqueness_fields(code):
+    # The 64-bit truncation keeps item and serial fully intact
+    # (20 + 38 = 58 bits), so distinct (item, serial) pairs under one
+    # company stay distinct.
+    word64 = code.encode64()
+    assert word64 & ((1 << 38) - 1) == code.serial
+    assert (word64 >> 38) & ((1 << 20) - 1) == code.item
+
+
+@given(epc_codes(), epc_codes())
+@settings(max_examples=100, deadline=None)
+def test_epc_injective_on_fields(a, b):
+    if (a.filter_value, a.company, a.item, a.serial) != (
+        b.filter_value,
+        b.company,
+        b.item,
+        b.serial,
+    ):
+        assert a.encode() != b.encode()
+
+
+@given(
+    st.integers(min_value=64, max_value=1_000_000),
+    st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=25, deadline=None)
+def test_mle_likelihood_prefers_truth_neighbourhood(n, seed):
+    # For a healthy sample, the likelihood at the truth beats the
+    # likelihood at 4x and x/4 — the unimodality the golden-section
+    # search relies on.
+    from repro.sim.sampled import SampledSimulator
+
+    simulator = SampledSimulator(
+        n, rng=np.random.default_rng(seed)
+    )
+    depths = simulator.sample_depths(256)
+    at_truth = depth_log_likelihood(depths, n, 32)
+    assert at_truth >= depth_log_likelihood(depths, max(1, n // 4), 32)
+    assert at_truth >= depth_log_likelihood(depths, n * 4, 32)

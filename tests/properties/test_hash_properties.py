@@ -1,0 +1,66 @@
+"""Property-based tests on the hashing substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing.family import SplitMix64Family, splitmix64
+from repro.hashing.geometric import (
+    geometric_pmf,
+    leading_zeros64_vec,
+)
+from repro.hashing.uniform import uniform_code, uniform_slot
+
+uint64s = st.integers(min_value=0, max_value=2**64 - 1)
+
+
+@given(uint64s)
+@settings(max_examples=300, deadline=None)
+def test_splitmix_stays_in_64_bits(value):
+    assert 0 <= splitmix64(value) < 2**64
+
+
+@given(uint64s, uint64s)
+@settings(max_examples=200, deadline=None)
+def test_digest_deterministic(seed, key):
+    family = SplitMix64Family()
+    assert family.digest(seed, key) == family.digest(seed, key)
+
+
+@given(uint64s)
+@settings(max_examples=300, deadline=None)
+def test_leading_zeros_matches_bit_length(value):
+    zeros = int(
+        leading_zeros64_vec(np.array([value], dtype=np.uint64))[0]
+    )
+    assert zeros == 64 - value.bit_length()
+
+
+@given(
+    uint64s,
+    st.integers(min_value=0, max_value=2**63),
+    st.integers(min_value=1, max_value=64),
+)
+@settings(max_examples=200, deadline=None)
+def test_uniform_code_in_range(seed, tag_id, bits):
+    code = uniform_code(seed, tag_id, bits)
+    assert 0 <= code < (1 << bits)
+
+
+@given(
+    uint64s,
+    st.integers(min_value=0, max_value=2**63),
+    st.integers(min_value=1, max_value=2**24),
+)
+@settings(max_examples=200, deadline=None)
+def test_uniform_slot_in_range(seed, tag_id, frame):
+    assert 0 <= uniform_slot(seed, tag_id, frame) < frame
+
+
+@given(st.integers(min_value=0, max_value=60))
+@settings(max_examples=60, deadline=None)
+def test_geometric_pmf_always_normalized(max_bucket):
+    assert geometric_pmf(max_bucket).sum() == pytest.approx(1.0)

@@ -1,0 +1,128 @@
+"""Property-based tests (hypothesis) on the PET core invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.accuracy import PHI, estimate_from_depths
+from repro.core.path import EstimatingPath
+from repro.core.search import BinaryGraySearch, LinearGraySearch
+from repro.core.tree import PetTree
+from repro.sim.vectorized import gray_depth_of_codes, gray_depth_sorted
+
+
+@st.composite
+def tree_and_path(draw):
+    """A small random PET tree and a path of matching height."""
+    height = draw(st.integers(min_value=1, max_value=10))
+    leaves = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=2**height - 1),
+            max_size=40,
+        )
+    )
+    path_bits = draw(st.integers(min_value=0, max_value=2**height - 1))
+    return PetTree(height, leaves), EstimatingPath(path_bits, height)
+
+
+class _OracleFromTree:
+    def __init__(self, tree: PetTree, path: EstimatingPath):
+        self.tree = tree
+        self.path = path
+        self.probes = 0
+
+    def is_busy(self, prefix_length: int) -> bool:
+        self.probes += 1
+        return self.tree.subtree_is_black(
+            self.path.prefix(prefix_length), prefix_length
+        )
+
+
+@given(tree_and_path())
+@settings(max_examples=150, deadline=None)
+def test_gray_depth_bounds(tp):
+    tree, path = tp
+    depth = tree.gray_depth(path)
+    assert 0 <= depth <= tree.height
+
+
+@given(tree_and_path())
+@settings(max_examples=150, deadline=None)
+def test_gray_depth_is_busy_idle_boundary(tp):
+    tree, path = tp
+    depth = tree.gray_depth(path)
+    if tree.black_leaves:
+        # Every prefix up to `depth` is busy; everything past is idle.
+        for j in range(depth + 1):
+            assert tree.subtree_is_black(path.prefix(j), j)
+    for j in range(depth + 1, tree.height + 1):
+        assert not tree.subtree_is_black(path.prefix(j), j)
+
+
+@given(tree_and_path())
+@settings(max_examples=150, deadline=None)
+def test_search_strategies_agree_with_tree(tp):
+    tree, path = tp
+    expected = tree.gray_depth(path)
+    for strategy in (LinearGraySearch(), BinaryGraySearch()):
+        oracle = _OracleFromTree(tree, path)
+        assert strategy.find_gray_depth(oracle, tree.height) == expected
+        assert oracle.probes <= strategy.worst_case_slots(tree.height)
+
+
+@given(tree_and_path())
+@settings(max_examples=150, deadline=None)
+def test_vectorized_kernels_agree_with_tree(tp):
+    tree, path = tp
+    codes = np.array(sorted(tree.black_leaves), dtype=np.uint64)
+    expected = tree.gray_depth(path)
+    assert gray_depth_of_codes(codes, path.bits, tree.height) == expected
+    assert gray_depth_sorted(codes, path.bits, tree.height) == expected
+
+
+@given(
+    st.integers(min_value=1, max_value=10),
+    st.integers(min_value=0, max_value=2**10 - 1),
+    st.integers(min_value=0, max_value=2**10 - 1),
+)
+@settings(max_examples=200, deadline=None)
+def test_common_prefix_symmetry(height, a, b):
+    a &= (1 << height) - 1
+    b &= (1 << height) - 1
+    path_a = EstimatingPath(a, height)
+    path_b = EstimatingPath(b, height)
+    assert path_a.common_prefix_length(b) == path_b.common_prefix_length(a)
+
+
+@given(
+    st.integers(min_value=1, max_value=16),
+    st.integers(min_value=0, max_value=2**16 - 1),
+)
+@settings(max_examples=200, deadline=None)
+def test_prefix_mask_consistency(height, bits):
+    bits &= (1 << height) - 1
+    path = EstimatingPath(bits, height)
+    for length in range(height + 1):
+        # matches_prefix is reflexive at every length.
+        assert path.matches_prefix(bits, length)
+        # The mask has exactly `length` set bits.
+        assert bin(path.prefix_mask(length)).count("1") == length
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=32.0),
+        min_size=1,
+        max_size=64,
+    )
+)
+@settings(max_examples=200, deadline=None)
+def test_estimator_monotone_in_depths(depths):
+    base = estimate_from_depths(depths)
+    shifted = estimate_from_depths([d + 1.0 for d in depths])
+    # One extra depth bit doubles the estimate.
+    assert shifted == pytest.approx(2.0 * base, rel=1e-9)
+    assert base >= 1.0 / PHI - 1e-12

@@ -1,0 +1,100 @@
+"""Property-based tests across the protocol implementations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.saturation import (
+    corrected_estimate,
+    expected_depth_exact,
+)
+from repro.core.feedback import FeedbackPetReader, build_feedback_channel
+from repro.core.path import EstimatingPath
+from repro.core.tree import PetTree
+from repro.protocols.fneb import FnebProtocol
+from repro.protocols.lof import LofProtocol
+from repro.protocols.treewalk import TreeWalkIdentification
+from repro.tags.population import TagPopulation
+
+
+@st.composite
+def codes_and_path(draw):
+    height = draw(st.integers(min_value=2, max_value=10))
+    codes = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=2**height - 1),
+            max_size=25,
+        )
+    )
+    path_bits = draw(st.integers(min_value=0, max_value=2**height - 1))
+    return height, codes, EstimatingPath(path_bits, height)
+
+
+@given(codes_and_path())
+@settings(max_examples=60, deadline=None)
+def test_feedback_protocol_matches_tree(hcp):
+    height, codes, path = hcp
+    channel = build_feedback_channel(
+        codes, height, rng=np.random.default_rng(0)
+    )
+    reader = FeedbackPetReader(channel, height=height)
+    depth, slots = reader.run_round(path)
+    assert depth == PetTree(height, codes).gray_depth(path)
+    assert slots >= 1
+
+
+@given(
+    st.integers(min_value=100, max_value=200_000),
+    st.integers(min_value=18, max_value=32),
+)
+@settings(max_examples=40, deadline=None)
+def test_saturation_inversion_round_trips(n, height):
+    mean_depth = expected_depth_exact(n, height)
+    recovered = corrected_estimate(mean_depth, height)
+    assert recovered == pytest.approx(n, rel=0.05)
+
+
+@given(
+    st.lists(
+        st.integers(min_value=0, max_value=2**40),
+        min_size=0,
+        max_size=60,
+        unique=True,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_treewalk_identifies_exactly(ids):
+    population = TagPopulation(ids)
+    result = TreeWalkIdentification(id_bits=48).identify(population)
+    assert result.identified == frozenset(ids)
+    # Classic bound: a binary splitting run uses at most 3n - 1 queries
+    # for n >= 1 distinct random IDs... adjacent IDs can exceed it, so
+    # assert the weaker structural bound slots >= n.
+    assert result.total_slots >= max(len(ids), 1)
+
+
+@given(
+    st.integers(min_value=1, max_value=5_000),
+    st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=30, deadline=None)
+def test_fneb_statistic_bounds(n, seed):
+    protocol = FnebProtocol(frame_size=2**16)
+    population = TagPopulation.sequential(n)
+    statistic = protocol.first_nonempty(seed, population)
+    assert 1 <= statistic <= 2**16
+
+
+@given(
+    st.integers(min_value=1, max_value=5_000),
+    st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=30, deadline=None)
+def test_lof_statistic_bounds(n, seed):
+    protocol = LofProtocol()
+    population = TagPopulation.sequential(n)
+    statistic = protocol.first_empty_bucket(seed, population)
+    assert 0 <= statistic <= 32

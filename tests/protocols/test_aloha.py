@@ -1,0 +1,73 @@
+"""Tests for framed-Aloha identification."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.protocols.aloha import FramedAlohaIdentification
+from repro.tags.population import TagPopulation
+
+
+class TestIdentification:
+    def test_identifies_everyone(self):
+        population = TagPopulation.random(
+            500, np.random.default_rng(0)
+        )
+        result = FramedAlohaIdentification().identify(
+            population, np.random.default_rng(1)
+        )
+        assert result.identified == frozenset(
+            int(i) for i in population.tag_ids
+        )
+        assert result.count == 500
+
+    def test_empty_population(self):
+        result = FramedAlohaIdentification().identify(
+            TagPopulation([]), np.random.default_rng(2)
+        )
+        assert result.count == 0
+        assert result.total_slots == 0
+
+    def test_cost_roughly_linear(self):
+        rng = np.random.default_rng(3)
+        protocol = FramedAlohaIdentification()
+        costs = {}
+        for n in (500, 2_000):
+            population = TagPopulation.random(n, rng)
+            costs[n] = protocol.identify(population, rng).total_slots
+        ratio = costs[2_000] / costs[500]
+        assert 2.5 < ratio < 6.0  # ~4x for 4x the tags
+
+    def test_cost_near_theoretical_throughput(self):
+        # Optimal framed Aloha resolves ~1/e tags per slot: expect
+        # roughly e*n slots, within a loose band for Q adaptation.
+        rng = np.random.default_rng(4)
+        n = 3_000
+        population = TagPopulation.random(n, rng)
+        slots = FramedAlohaIdentification().identify(
+            population, rng
+        ).total_slots
+        assert 2.0 * n < slots < 6.0 * n
+
+    def test_count_helper(self):
+        rng = np.random.default_rng(5)
+        population = TagPopulation.random(100, rng)
+        count, slots = FramedAlohaIdentification().count(
+            population, rng
+        )
+        assert count == 100
+        assert slots > 100
+
+
+class TestValidation:
+    def test_rejects_bad_q_range(self):
+        with pytest.raises(ConfigurationError):
+            FramedAlohaIdentification(initial_q=5, max_q=4)
+        with pytest.raises(ConfigurationError):
+            FramedAlohaIdentification(min_q=-1)
+
+    def test_rejects_inverted_clamp(self):
+        with pytest.raises(ConfigurationError):
+            FramedAlohaIdentification(initial_q=2, min_q=3, max_q=8)

@@ -1,0 +1,56 @@
+"""Tests for the shared protocol interface helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import AccuracyRequirement
+from repro.errors import ConfigurationError
+from repro.protocols.base import IdentificationResult, ProtocolResult
+from repro.protocols.pet import PetProtocol
+from repro.tags.population import TagPopulation
+
+
+class TestProtocolResult:
+    def test_accuracy(self):
+        result = ProtocolResult(
+            protocol="X", n_hat=110.0, rounds=1, total_slots=5
+        )
+        assert result.accuracy(100) == pytest.approx(1.1)
+
+    def test_accuracy_rejects_bad_n(self):
+        result = ProtocolResult(
+            protocol="X", n_hat=1.0, rounds=1, total_slots=1
+        )
+        with pytest.raises(ConfigurationError):
+            result.accuracy(0)
+
+
+class TestIdentificationResult:
+    def test_count_is_set_size(self):
+        result = IdentificationResult(
+            protocol="I", identified=frozenset({1, 2, 3}), total_slots=9
+        )
+        assert result.count == 3
+
+
+class TestInterfaceHelpers:
+    def test_estimate_with_requirement_plans_and_runs(self):
+        protocol = PetProtocol()
+        requirement = AccuracyRequirement(0.30, 0.20)  # tiny m
+        population = TagPopulation.random(
+            2_000, np.random.default_rng(0)
+        )
+        result = protocol.estimate_with_requirement(
+            population, requirement, np.random.default_rng(1)
+        )
+        assert result.rounds == protocol.plan_rounds(requirement)
+
+    def test_planned_slots_product(self):
+        protocol = PetProtocol()
+        requirement = AccuracyRequirement(0.10, 0.05)
+        assert protocol.planned_slots(requirement) == (
+            protocol.plan_rounds(requirement)
+            * protocol.slots_per_round()
+        )

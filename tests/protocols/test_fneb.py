@@ -1,0 +1,108 @@
+"""Tests for the FNEB baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import AccuracyRequirement
+from repro.errors import ConfigurationError, EstimationError
+from repro.protocols.fneb import FnebProtocol
+from repro.tags.population import TagPopulation
+
+
+class TestPlanning:
+    def test_slots_per_round_is_log_frame(self):
+        assert FnebProtocol(frame_size=2**24).slots_per_round() == 24
+        assert FnebProtocol(frame_size=2**16).slots_per_round() == 16
+
+    def test_plan_scales_inverse_square_epsilon(self):
+        protocol = FnebProtocol()
+        tight = protocol.plan_rounds(AccuracyRequirement(0.05, 0.01))
+        loose = protocol.plan_rounds(AccuracyRequirement(0.10, 0.01))
+        assert tight == pytest.approx(4 * loose, rel=0.05)
+
+    def test_rejects_tiny_frame(self):
+        with pytest.raises(ConfigurationError):
+            FnebProtocol(frame_size=1)
+
+
+class TestStatistic:
+    def test_first_nonempty_in_range(self):
+        protocol = FnebProtocol(frame_size=2**16)
+        population = TagPopulation.sequential(100)
+        for seed in range(20):
+            x = protocol.first_nonempty(seed, population)
+            assert 1 <= x <= 2**16
+
+    def test_empty_population_rejected(self):
+        protocol = FnebProtocol()
+        with pytest.raises(EstimationError):
+            protocol.first_nonempty(0, TagPopulation([]))
+
+    def test_statistic_mean_near_f_over_n(self):
+        protocol = FnebProtocol(frame_size=2**18)
+        population = TagPopulation.sequential(512)
+        values = [
+            protocol.first_nonempty(seed, population)
+            for seed in range(300)
+        ]
+        mean = float(np.mean(values))
+        assert 0.7 * 2**18 / 512 < mean < 1.4 * 2**18 / 512
+
+
+class TestEstimation:
+    def test_hashed_estimate_reasonable(self):
+        protocol = FnebProtocol(frame_size=2**20)
+        population = TagPopulation.random(
+            10_000, np.random.default_rng(0)
+        )
+        result = protocol.estimate(
+            population, rounds=800, rng=np.random.default_rng(1)
+        )
+        assert 0.9 < result.accuracy(10_000) < 1.1
+        assert result.total_slots == 800 * 20
+
+    def test_sampled_estimate_reasonable(self):
+        protocol = FnebProtocol()
+        result = protocol.estimate_sampled(
+            50_000, rounds=2000, rng=np.random.default_rng(2)
+        )
+        assert 0.92 < result.accuracy(50_000) < 1.08
+
+    def test_sampled_matches_hashed_distribution(self):
+        # Same population size, same rounds: the two paths must agree
+        # in distribution (compare means across repetitions).
+        protocol = FnebProtocol(frame_size=2**18)
+        population = TagPopulation.random(
+            2_000, np.random.default_rng(3)
+        )
+        rng = np.random.default_rng(4)
+        hashed = np.array([
+            protocol.estimate(population, 64, rng).n_hat
+            for _ in range(25)
+        ])
+        sampled = np.array([
+            protocol.estimate_sampled(2_000, 64, rng).n_hat
+            for _ in range(25)
+        ])
+        assert np.mean(hashed) == pytest.approx(
+            np.mean(sampled), rel=0.15
+        )
+
+    def test_saturated_mean_clamps(self):
+        protocol = FnebProtocol(frame_size=2**10)
+        # mean_x <= 1 means every round hit slot 1: clamp, don't blow up.
+        estimate = protocol.estimate_from_mean(1.0)
+        assert np.isfinite(estimate)
+        assert estimate > 2**10
+
+    def test_estimate_rejects_bad_rounds(self):
+        protocol = FnebProtocol()
+        population = TagPopulation.sequential(10)
+        with pytest.raises(ConfigurationError):
+            protocol.estimate(
+                population, 0, np.random.default_rng(0)
+            )
+        with pytest.raises(EstimationError):
+            protocol.estimate_sampled(0, 10, np.random.default_rng(0))

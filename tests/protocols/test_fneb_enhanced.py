@@ -1,0 +1,99 @@
+"""Tests for Enhanced FNEB (adaptive frame shrinking)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import AccuracyRequirement
+from repro.errors import ConfigurationError, EstimationError
+from repro.protocols.fneb import FnebProtocol
+from repro.protocols.fneb_enhanced import EnhancedFnebProtocol
+from repro.tags.population import TagPopulation
+
+
+class TestValidation:
+    def test_rejects_bad_pilot(self):
+        with pytest.raises(ConfigurationError):
+            EnhancedFnebProtocol(pilot_rounds=0)
+
+    def test_rejects_bad_kappa(self):
+        with pytest.raises(ConfigurationError):
+            EnhancedFnebProtocol(kappa=0.0)
+
+    def test_shrunk_bound_requires_positive_estimate(self):
+        with pytest.raises(EstimationError):
+            EnhancedFnebProtocol().shrunk_bound(0.0)
+
+
+class TestShrinking:
+    def test_bound_shrinks_with_n(self):
+        protocol = EnhancedFnebProtocol()
+        assert protocol.shrunk_bound(100_000) < protocol.shrunk_bound(
+            1_000
+        )
+
+    def test_bound_clamped_to_frame(self):
+        protocol = EnhancedFnebProtocol(frame_size=2**16)
+        assert protocol.shrunk_bound(0.001) == 2**16
+        assert protocol.shrunk_bound(10**12) == 2
+
+    def test_shrunk_slots_below_full(self):
+        protocol = EnhancedFnebProtocol()
+        assert protocol.shrunk_slots_per_round(
+            50_000
+        ) < protocol.slots_per_round()
+
+
+class TestEstimation:
+    def test_accuracy_matches_plain_fneb(self):
+        population = TagPopulation.random(
+            10_000, np.random.default_rng(0)
+        )
+        enhanced = EnhancedFnebProtocol(frame_size=2**20)
+        result = enhanced.estimate(
+            population, rounds=600, rng=np.random.default_rng(1)
+        )
+        assert 0.9 < result.accuracy(10_000) < 1.1
+
+    def test_fewer_slots_than_plain(self):
+        population = TagPopulation.random(
+            50_000, np.random.default_rng(2)
+        )
+        rng = np.random.default_rng(3)
+        plain = FnebProtocol().estimate(population, 400, rng)
+        enhanced = EnhancedFnebProtocol().estimate(
+            population, 400, rng
+        )
+        assert enhanced.total_slots < plain.total_slots
+        # The shrink is substantial: bound ~ kappa f / n ~ 4000 slots
+        # searched instead of 2^24.
+        assert enhanced.total_slots < 0.75 * plain.total_slots
+
+    def test_boundary_misses_fall_back(self):
+        # A tiny kappa makes boundary misses common; the protocol must
+        # stay correct (estimate fine), just costlier per miss.
+        population = TagPopulation.random(
+            5_000, np.random.default_rng(4)
+        )
+        protocol = EnhancedFnebProtocol(kappa=0.5)
+        result = protocol.estimate(
+            population, rounds=400, rng=np.random.default_rng(5)
+        )
+        assert 0.85 < result.accuracy(5_000) < 1.15
+
+    def test_pilot_longer_than_rounds_ok(self):
+        population = TagPopulation.random(
+            1_000, np.random.default_rng(6)
+        )
+        protocol = EnhancedFnebProtocol(pilot_rounds=64)
+        result = protocol.estimate(
+            population, rounds=8, rng=np.random.default_rng(7)
+        )
+        assert result.rounds == 8
+
+    def test_plan_rounds_delegates(self):
+        requirement = AccuracyRequirement(0.05, 0.01)
+        assert EnhancedFnebProtocol().plan_rounds(
+            requirement
+        ) == FnebProtocol().plan_rounds(requirement)

@@ -1,0 +1,112 @@
+"""Tests for the USE/UPE/EZB framed-Aloha estimators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import AccuracyRequirement
+from repro.errors import ConfigurationError, EstimationError
+from repro.protocols.framed import EzbProtocol, UpeProtocol, UseProtocol
+from repro.tags.population import TagPopulation
+
+
+class TestUse:
+    def test_estimate_accurate_at_light_load(self):
+        protocol = UseProtocol(frame_size=8192)
+        population = TagPopulation.random(
+            2_000, np.random.default_rng(0)
+        )
+        result = protocol.estimate(
+            population, rounds=20, rng=np.random.default_rng(1)
+        )
+        assert 0.9 < result.accuracy(2_000) < 1.1
+
+    def test_saturated_frame_raises(self):
+        # With n >> f every slot is busy; USE cannot invert.
+        protocol = UseProtocol(frame_size=16)
+        population = TagPopulation.sequential(5_000)
+        with pytest.raises(EstimationError):
+            protocol.estimate(
+                population, rounds=3, rng=np.random.default_rng(2)
+            )
+
+    def test_empty_population_estimates_zero(self):
+        protocol = UseProtocol(frame_size=256)
+        result = protocol.estimate(
+            TagPopulation([]), rounds=4, rng=np.random.default_rng(3)
+        )
+        assert result.n_hat == pytest.approx(0.0)
+
+    def test_slots_per_round_is_frame(self):
+        assert UseProtocol(frame_size=512).slots_per_round() == 512
+
+    def test_plan_rounds_positive(self):
+        assert UseProtocol().plan_rounds(
+            AccuracyRequirement(0.05, 0.01)
+        ) >= 1
+
+
+class TestUpe:
+    def test_persistence_from_prior(self):
+        protocol = UpeProtocol(frame_size=1024, prior_n=4096)
+        assert protocol.persistence == pytest.approx(0.25)
+
+    def test_persistence_caps_at_one(self):
+        protocol = UpeProtocol(frame_size=1024, prior_n=10)
+        assert protocol.persistence == 1.0
+
+    def test_estimate_with_persistence(self):
+        protocol = UpeProtocol(frame_size=1024, prior_n=4096)
+        population = TagPopulation.random(
+            4_000, np.random.default_rng(4)
+        )
+        result = protocol.estimate(
+            population, rounds=40, rng=np.random.default_rng(5)
+        )
+        assert 0.85 < result.accuracy(4_000) < 1.15
+
+    def test_rejects_bad_prior(self):
+        with pytest.raises(ConfigurationError):
+            UpeProtocol(prior_n=0)
+
+
+class TestEzb:
+    def test_slots_include_subframes(self):
+        protocol = EzbProtocol(
+            frame_size=256, frames_per_round=4
+        )
+        assert protocol.slots_per_round() == 1024
+
+    def test_estimate_reasonable(self):
+        protocol = EzbProtocol(frame_size=2048, persistence=0.5)
+        population = TagPopulation.random(
+            2_000, np.random.default_rng(6)
+        )
+        result = protocol.estimate(
+            population, rounds=10, rng=np.random.default_rng(7)
+        )
+        assert 0.85 < result.accuracy(2_000) < 1.15
+
+    def test_rejects_bad_frames_per_round(self):
+        with pytest.raises(ConfigurationError):
+            EzbProtocol(frames_per_round=0)
+
+
+class TestSharedValidation:
+    def test_rejects_bad_frame_size(self):
+        with pytest.raises(ConfigurationError):
+            UseProtocol(frame_size=0)
+
+    def test_rejects_bad_persistence(self):
+        with pytest.raises(ConfigurationError):
+            EzbProtocol(persistence=0.0)
+        with pytest.raises(ConfigurationError):
+            EzbProtocol(persistence=1.5)
+
+    def test_rejects_zero_rounds(self):
+        with pytest.raises(ConfigurationError):
+            UseProtocol().estimate(
+                TagPopulation.sequential(5), 0,
+                np.random.default_rng(0),
+            )

@@ -1,0 +1,118 @@
+"""Tests for the LoF baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import AccuracyRequirement
+from repro.errors import ConfigurationError, EstimationError
+from repro.protocols.lof import KAPPA, LofProtocol
+from repro.tags.population import TagPopulation
+
+
+class TestPlanning:
+    def test_slots_per_round_is_frame(self):
+        assert LofProtocol().slots_per_round() == 32
+        assert LofProtocol(frame_slots=16).slots_per_round() == 16
+
+    def test_plan_monotone(self):
+        protocol = LofProtocol()
+        assert protocol.plan_rounds(
+            AccuracyRequirement(0.05, 0.01)
+        ) > protocol.plan_rounds(AccuracyRequirement(0.10, 0.01))
+
+    def test_rejects_tiny_frame(self):
+        with pytest.raises(ConfigurationError):
+            LofProtocol(frame_slots=1)
+
+
+class TestStatistic:
+    def test_empty_population_statistic_zero(self):
+        assert LofProtocol().first_empty_bucket(
+            0, TagPopulation([])
+        ) == 0
+
+    def test_statistic_in_range(self):
+        protocol = LofProtocol()
+        population = TagPopulation.sequential(1000)
+        for seed in range(20):
+            r = protocol.first_empty_bucket(seed, population)
+            assert 0 <= r <= 32
+
+    def test_statistic_mean_near_theory(self):
+        import math
+
+        protocol = LofProtocol()
+        population = TagPopulation.sequential(5_000)
+        values = [
+            protocol.first_empty_bucket(seed, population)
+            for seed in range(400)
+        ]
+        mean = float(np.mean(values))
+        assert mean == pytest.approx(
+            math.log2(KAPPA * 5_000), abs=0.35
+        )
+
+    def test_statistic_grows_with_n(self):
+        protocol = LofProtocol()
+        small = TagPopulation.sequential(100)
+        large = TagPopulation.sequential(100_000)
+        mean_small = np.mean(
+            [protocol.first_empty_bucket(s, small) for s in range(100)]
+        )
+        mean_large = np.mean(
+            [protocol.first_empty_bucket(s, large) for s in range(100)]
+        )
+        assert mean_large > mean_small + 8  # ~ log2(1000) ~ 10
+
+
+class TestEstimation:
+    def test_hashed_estimate_reasonable(self):
+        protocol = LofProtocol()
+        population = TagPopulation.random(
+            10_000, np.random.default_rng(0)
+        )
+        result = protocol.estimate(
+            population, rounds=1500, rng=np.random.default_rng(1)
+        )
+        assert 0.9 < result.accuracy(10_000) < 1.1
+        assert result.total_slots == 1500 * 32
+
+    def test_sampled_estimate_reasonable(self):
+        protocol = LofProtocol()
+        result = protocol.estimate_sampled(
+            50_000, rounds=1500, rng=np.random.default_rng(2)
+        )
+        assert 0.9 < result.accuracy(50_000) < 1.1
+
+    def test_sampled_matches_hashed_distribution(self):
+        protocol = LofProtocol()
+        population = TagPopulation.random(
+            3_000, np.random.default_rng(3)
+        )
+        rng = np.random.default_rng(4)
+        hashed_stats = np.concatenate([
+            protocol.estimate(population, 50, rng).per_round_statistics
+            for _ in range(10)
+        ])
+        sampled_stats = np.concatenate([
+            protocol.estimate_sampled(
+                3_000, 50, rng
+            ).per_round_statistics
+            for _ in range(10)
+        ])
+        assert hashed_stats.mean() == pytest.approx(
+            sampled_stats.mean(), abs=0.2
+        )
+
+    def test_zero_mean_rejected(self):
+        with pytest.raises(EstimationError):
+            LofProtocol().estimate_from_mean(0.0)
+
+    def test_estimate_rejects_bad_rounds(self):
+        with pytest.raises(ConfigurationError):
+            LofProtocol().estimate(
+                TagPopulation.sequential(5), 0,
+                np.random.default_rng(0),
+            )

@@ -1,0 +1,128 @@
+"""Tests for the budgeted (fixed-slots-per-round) PET variant."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.config import AccuracyRequirement, PetConfig
+from repro.core.accuracy import PHI
+from repro.errors import ConfigurationError
+from repro.protocols.pet_budgeted import BudgetedPetProtocol
+from repro.tags.population import TagPopulation
+
+
+class TestValidation:
+    def test_rejects_bad_budget(self):
+        with pytest.raises(ConfigurationError):
+            BudgetedPetProtocol(slot_budget=0)
+        with pytest.raises(ConfigurationError):
+            BudgetedPetProtocol(slot_budget=33)
+
+    def test_rejects_deflation(self):
+        with pytest.raises(ConfigurationError):
+            BudgetedPetProtocol(slot_budget=16, censor_inflation=0.9)
+
+    def test_for_max_population_sizing(self):
+        protocol = BudgetedPetProtocol.for_max_population(50_000)
+        expected = math.ceil(math.log2(PHI * 50_000)) + 2
+        assert protocol.slot_budget == expected
+
+    def test_for_max_population_clamps_to_height(self):
+        protocol = BudgetedPetProtocol.for_max_population(
+            2**40, config=PetConfig(tree_height=20)
+        )
+        assert protocol.slot_budget == 20
+
+
+class TestCensoring:
+    def test_censored_fraction_monotone(self):
+        protocol = BudgetedPetProtocol(slot_budget=16)
+        assert protocol.censored_fraction(
+            100_000
+        ) > protocol.censored_fraction(1_000)
+
+    def test_sized_budget_keeps_censoring_moderate(self):
+        protocol = BudgetedPetProtocol.for_max_population(50_000)
+        assert protocol.censored_fraction(50_000) < 0.5
+
+    def test_slots_exactly_budget_times_rounds(self):
+        protocol = BudgetedPetProtocol(slot_budget=18)
+        population = TagPopulation.random(
+            5_000, np.random.default_rng(0)
+        )
+        result = protocol.estimate(
+            population, rounds=64, rng=np.random.default_rng(1)
+        )
+        assert result.total_slots == 64 * 18
+        assert (result.per_round_statistics <= 18).all()
+
+
+class TestAccuracy:
+    def test_estimates_truth_active(self):
+        protocol = BudgetedPetProtocol.for_max_population(50_000)
+        population = TagPopulation.random(
+            30_000, np.random.default_rng(2)
+        )
+        result = protocol.estimate(
+            population, rounds=512, rng=np.random.default_rng(3)
+        )
+        assert 0.9 < result.accuracy(30_000) < 1.1
+
+    def test_estimates_truth_passive(self):
+        protocol = BudgetedPetProtocol(
+            slot_budget=16,
+            config=PetConfig(passive_tags=True),
+        )
+        population = TagPopulation.random(
+            8_000, np.random.default_rng(4)
+        )
+        result = protocol.estimate(
+            population, rounds=512, rng=np.random.default_rng(5)
+        )
+        assert 0.85 < result.accuracy(8_000) < 1.15
+
+    def test_unbiased_under_heavy_censoring(self):
+        # Budget well below E[d]: most rounds censored, estimate still
+        # centred (this is what the censored MLE buys).
+        n = 50_000
+        protocol = BudgetedPetProtocol(slot_budget=14)
+        assert protocol.censored_fraction(n) > 0.8
+        population = TagPopulation.random(
+            n, np.random.default_rng(6)
+        )
+        estimates = [
+            protocol.estimate(
+                population, 512, np.random.default_rng((7, t))
+            ).n_hat
+            for t in range(20)
+        ]
+        assert np.mean(estimates) / n == pytest.approx(1.0, abs=0.08)
+
+    def test_meets_relaxed_contract(self):
+        requirement = AccuracyRequirement(0.25, 0.15)
+        protocol = BudgetedPetProtocol.for_max_population(20_000)
+        rounds = protocol.plan_rounds(requirement)
+        n = 10_000
+        population = TagPopulation.random(
+            n, np.random.default_rng(8)
+        )
+        hits = 0
+        trials = 40
+        for trial in range(trials):
+            result = protocol.estimate(
+                population, rounds, np.random.default_rng((9, trial))
+            )
+            hits += abs(result.n_hat - n) <= requirement.epsilon * n
+        assert hits / trials >= 1.0 - requirement.delta - 0.08
+
+    def test_plan_inflates_base(self):
+        from repro.core.accuracy import rounds_required
+
+        requirement = AccuracyRequirement(0.10, 0.05)
+        protocol = BudgetedPetProtocol(slot_budget=16)
+        assert protocol.plan_rounds(requirement) == math.ceil(
+            rounds_required(0.10, 0.05) * 1.5
+        )

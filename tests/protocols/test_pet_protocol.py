@@ -1,0 +1,88 @@
+"""Tests for PET behind the zoo interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import AccuracyRequirement, PetConfig
+from repro.protocols.pet import PetProtocol
+from repro.tags.population import TagPopulation
+
+
+class TestPlanning:
+    def test_plan_matches_eq20(self):
+        from repro.core.accuracy import rounds_required
+
+        protocol = PetProtocol()
+        requirement = AccuracyRequirement(0.05, 0.01)
+        assert protocol.plan_rounds(requirement) == rounds_required(
+            0.05, 0.01
+        )
+
+    def test_slots_per_round_binary(self):
+        assert PetProtocol().slots_per_round() == 5  # H = 32
+
+    def test_slots_per_round_linear(self):
+        protocol = PetProtocol(config=PetConfig(binary_search=False))
+        assert protocol.slots_per_round() == 32
+
+    def test_expected_slots_linear_grows_with_n(self):
+        protocol = PetProtocol(config=PetConfig(binary_search=False))
+        assert protocol.expected_slots_per_round(
+            10**6
+        ) > protocol.expected_slots_per_round(100)
+
+    def test_expected_slots_binary_flat(self):
+        protocol = PetProtocol()
+        assert protocol.expected_slots_per_round(100) == \
+            protocol.expected_slots_per_round(10**6) == 5.0
+
+    def test_planned_slots(self):
+        protocol = PetProtocol()
+        requirement = AccuracyRequirement(0.05, 0.01)
+        assert protocol.planned_slots(requirement) == (
+            protocol.plan_rounds(requirement) * 5
+        )
+
+    def test_rejects_unknown_tier(self):
+        with pytest.raises(ValueError):
+            PetProtocol(tier="quantum")
+
+
+class TestEstimation:
+    @pytest.mark.parametrize("tier", ["vectorized", "sampled"])
+    def test_estimate_close_at_512_rounds(self, tier):
+        protocol = PetProtocol(tier=tier)
+        population = TagPopulation.random(
+            5_000, np.random.default_rng(0)
+        )
+        result = protocol.estimate(
+            population, rounds=512, rng=np.random.default_rng(1)
+        )
+        assert result.protocol == "PET"
+        assert result.rounds == 512
+        assert result.total_slots == 512 * 5
+        assert 0.85 < result.accuracy(5_000) < 1.15
+
+    def test_passive_variant_estimates(self):
+        protocol = PetProtocol(config=PetConfig(passive_tags=True))
+        population = TagPopulation.random(
+            2_000, np.random.default_rng(2)
+        )
+        result = protocol.estimate(
+            population, rounds=512, rng=np.random.default_rng(3)
+        )
+        assert 0.7 < result.accuracy(2_000) < 1.4
+
+    def test_statistics_recorded(self):
+        protocol = PetProtocol()
+        population = TagPopulation.random(
+            1_000, np.random.default_rng(4)
+        )
+        result = protocol.estimate(
+            population, rounds=32, rng=np.random.default_rng(5)
+        )
+        assert result.per_round_statistics.shape == (32,)
+        assert (result.per_round_statistics >= 0).all()
+        assert (result.per_round_statistics <= 32).all()

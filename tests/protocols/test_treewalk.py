@@ -1,0 +1,78 @@
+"""Tests for binary tree-splitting identification."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.protocols.treewalk import TreeWalkIdentification
+from repro.tags.population import TagPopulation
+
+
+class TestIdentification:
+    def test_identifies_everyone(self):
+        population = TagPopulation.random(
+            1_000, np.random.default_rng(0)
+        )
+        result = TreeWalkIdentification().identify(population)
+        assert result.identified == frozenset(
+            int(i) for i in population.tag_ids
+        )
+
+    def test_empty_population_costs_one_slot(self):
+        result = TreeWalkIdentification().identify(TagPopulation([]))
+        assert result.count == 0
+        assert result.total_slots == 1  # the root query hears silence
+
+    def test_single_tag_costs_one_slot(self):
+        result = TreeWalkIdentification().identify(TagPopulation([42]))
+        assert result.count == 1
+        assert result.total_slots == 1
+
+    def test_cost_linear_in_n(self):
+        # Tree walking resolves n tags in ~2.9n slots for random IDs.
+        rng = np.random.default_rng(1)
+        protocol = TreeWalkIdentification()
+        for n in (256, 1024):
+            population = TagPopulation.random(n, rng)
+            slots = protocol.identify(population).total_slots
+            assert 2.0 * n < slots < 4.0 * n
+
+    def test_adjacent_ids_resolved(self):
+        # Dense sequential IDs force deep splits near the leaves.
+        population = TagPopulation.sequential(64)
+        result = TreeWalkIdentification().identify(population)
+        assert result.count == 64
+
+    def test_deterministic_cost(self):
+        population = TagPopulation.sequential(100)
+        protocol = TreeWalkIdentification()
+        first = protocol.identify(population).total_slots
+        second = protocol.identify(population).total_slots
+        assert first == second
+
+    def test_count_helper(self):
+        population = TagPopulation.sequential(33)
+        count, slots = TreeWalkIdentification().count(population)
+        assert count == 33
+        assert slots >= 33
+
+
+class TestValidation:
+    def test_rejects_bad_id_bits(self):
+        with pytest.raises(ConfigurationError):
+            TreeWalkIdentification(id_bits=0)
+        with pytest.raises(ConfigurationError):
+            TreeWalkIdentification(id_bits=65)
+
+    def test_rejects_wide_ids(self):
+        protocol = TreeWalkIdentification(id_bits=4)
+        with pytest.raises(ConfigurationError):
+            protocol.identify(TagPopulation([16]))
+
+    def test_narrow_id_space_works(self):
+        protocol = TreeWalkIdentification(id_bits=6)
+        population = TagPopulation(range(0, 64, 3))
+        result = protocol.identify(population)
+        assert result.count == len(range(0, 64, 3))

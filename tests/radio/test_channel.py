@@ -1,0 +1,103 @@
+"""Tests for the slotted channel."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ChannelError
+from repro.radio.channel import SlottedChannel
+from repro.radio.slots import SlotType
+
+
+class EchoTag:
+    """Responds whenever the command equals its trigger."""
+
+    def __init__(self, tag_id: int, trigger: object):
+        self._tag_id = tag_id
+        self.trigger = trigger
+        self.heard: list[object] = []
+
+    @property
+    def tag_id(self) -> int:
+        return self._tag_id
+
+    def hear(self, command: object) -> bool:
+        self.heard.append(command)
+        return command == self.trigger
+
+
+class TestAttachment:
+    def test_attach_and_broadcast(self):
+        channel = SlottedChannel()
+        channel.attach(EchoTag(1, "go"))
+        outcome = channel.broadcast("go")
+        assert outcome.slot_type is SlotType.SINGLETON
+
+    def test_duplicate_attach_rejected(self):
+        channel = SlottedChannel()
+        channel.attach(EchoTag(1, "go"))
+        with pytest.raises(ChannelError):
+            channel.attach(EchoTag(1, "go"))
+
+    def test_detach(self):
+        channel = SlottedChannel()
+        channel.attach(EchoTag(1, "go"))
+        channel.detach(1)
+        outcome = channel.broadcast("go")
+        assert outcome.slot_type is SlotType.IDLE
+
+    def test_detach_unknown_rejected(self):
+        with pytest.raises(ChannelError):
+            SlottedChannel().detach(5)
+
+    def test_attach_all(self):
+        channel = SlottedChannel()
+        channel.attach_all([EchoTag(i, "go") for i in range(3)])
+        assert len(channel.listeners) == 3
+
+
+class TestBroadcast:
+    def test_every_listener_hears_every_command(self):
+        channel = SlottedChannel()
+        tags = [EchoTag(i, "never") for i in range(4)]
+        channel.attach_all(tags)
+        channel.broadcast("a")
+        channel.broadcast("b")
+        for tag in tags:
+            assert tag.heard == ["a", "b"]
+
+    def test_collision_when_multiple_respond(self):
+        channel = SlottedChannel()
+        channel.attach_all([EchoTag(i, "go") for i in range(3)])
+        outcome = channel.broadcast("go")
+        assert outcome.slot_type is SlotType.COLLISION
+        assert set(outcome.responders) == {0, 1, 2}
+
+    def test_trace_records_slots(self):
+        channel = SlottedChannel()
+        channel.attach(EchoTag(1, "go"))
+        channel.broadcast("go", label="query", payload_bits=6)
+        channel.broadcast("stop", label="other", payload_bits=1)
+        assert channel.trace.total_slots == 2
+        assert channel.trace.total_payload_bits == 7
+        assert channel.trace.count(SlotType.SINGLETON) == 1
+        assert channel.trace.count(SlotType.IDLE) == 1
+
+    def test_last_event(self):
+        channel = SlottedChannel()
+        with pytest.raises(ChannelError):
+            channel.last_event()
+        channel.broadcast("x", label="cmd")
+        assert channel.last_event().command == "cmd"
+
+    def test_loss_applies(self):
+        from repro.config import ChannelConfig
+
+        channel = SlottedChannel(
+            config=ChannelConfig(loss_probability=1.0),
+            rng=np.random.default_rng(0),
+        )
+        channel.attach(EchoTag(1, "go"))
+        outcome = channel.broadcast("go")
+        assert outcome.slot_type is SlotType.IDLE

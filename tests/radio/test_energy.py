@@ -1,0 +1,71 @@
+"""Tests for the energy model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.radio.energy import (
+    EnergyConfig,
+    EnergyModel,
+    pet_tag_energy,
+)
+from repro.radio.events import ChannelTrace
+from repro.radio.slots import SlotOutcome, SlotType
+
+
+class TestEnergyConfig:
+    def test_rejects_negative_constants(self):
+        with pytest.raises(ConfigurationError):
+            EnergyConfig(tag_rx_nj_per_bit=-1.0)
+        with pytest.raises(ConfigurationError):
+            EnergyConfig(reader_tx_mw=-5.0)
+
+
+class TestPlanBudget:
+    def test_scales_with_rounds(self):
+        model = EnergyModel()
+        one = model.of_plan(100, 5, 1, 200.0, 0.0)
+        two = model.of_plan(200, 5, 1, 400.0, 0.0)
+        assert two.tag_nj == pytest.approx(2 * one.tag_nj)
+        assert two.reader_mj == pytest.approx(2 * one.reader_mj)
+
+    def test_hashing_dominates_active_tags(self):
+        model = EnergyModel()
+        passive = model.of_plan(1000, 5, 1, 2000.0, 0.0)
+        active = model.of_plan(1000, 5, 1, 2000.0, 1.0)
+        assert active.tag_nj > passive.tag_nj
+        # 1000 hashes at 150 nJ = 150k nJ extra.
+        assert active.tag_nj - passive.tag_nj == pytest.approx(150_000)
+
+    def test_rejects_degenerate_plans(self):
+        with pytest.raises(ConfigurationError):
+            EnergyModel().of_plan(0, 5, 1, 0.0, 0.0)
+
+
+class TestTraceBudget:
+    def test_reads_bits_from_trace(self):
+        trace = ChannelTrace()
+        idle = SlotOutcome(slot_type=SlotType.IDLE)
+        trace.record("a", 10, idle)
+        trace.record("b", 10, idle)
+        model = EnergyModel()
+        budget = model.of_trace(
+            trace, responses_per_tag=0.0, hashes_per_tag=0.0
+        )
+        assert budget.tag_nj == pytest.approx(
+            20 * model.config.tag_rx_nj_per_bit
+        )
+        assert budget.reader_mj > 0
+
+
+class TestPetTagEnergy:
+    def test_passive_cheaper_than_active(self):
+        passive = pet_tag_energy(1000, passive=True)
+        active = pet_tag_energy(1000, passive=False)
+        assert passive.tag_nj < active.tag_nj
+
+    def test_energy_linear_in_rounds(self):
+        short = pet_tag_energy(100)
+        long = pet_tag_energy(1000)
+        assert long.tag_nj == pytest.approx(10 * short.tag_nj, rel=0.01)

@@ -1,0 +1,56 @@
+"""Tests for channel traces."""
+
+from __future__ import annotations
+
+from repro.radio.events import ChannelTrace
+from repro.radio.slots import SlotOutcome, SlotType
+
+
+def busy_outcome(*responders: int) -> SlotOutcome:
+    slot_type = (
+        SlotType.SINGLETON if len(responders) == 1 else SlotType.COLLISION
+    )
+    return SlotOutcome(
+        slot_type=slot_type,
+        responders=responders,
+        transmitted=len(responders),
+    )
+
+
+class TestChannelTrace:
+    def test_indices_increment(self):
+        trace = ChannelTrace()
+        first = trace.record("a", 1, busy_outcome(1))
+        second = trace.record("b", 2, busy_outcome(1, 2))
+        assert first.index == 0
+        assert second.index == 1
+        assert len(trace) == 2
+
+    def test_totals(self):
+        trace = ChannelTrace()
+        trace.record("a", 5, busy_outcome(1))
+        trace.record("b", 3, SlotOutcome(slot_type=SlotType.IDLE))
+        assert trace.total_slots == 2
+        assert trace.total_payload_bits == 8
+
+    def test_count_by_type(self):
+        trace = ChannelTrace()
+        trace.record("a", 0, busy_outcome(1))
+        trace.record("b", 0, busy_outcome(1, 2))
+        trace.record("c", 0, SlotOutcome(slot_type=SlotType.IDLE))
+        assert trace.count(SlotType.SINGLETON) == 1
+        assert trace.count(SlotType.COLLISION) == 1
+        assert trace.count(SlotType.IDLE) == 1
+
+    def test_render_contains_commands_and_outcomes(self):
+        trace = ChannelTrace()
+        trace.record("00**", 6, busy_outcome(3, 4))
+        rendering = trace.render()
+        assert "00**" in rendering
+        assert "collision" in rendering
+        assert "3,4" in rendering
+
+    def test_iteration(self):
+        trace = ChannelTrace()
+        trace.record("a", 0, busy_outcome(1))
+        assert [event.command for event in trace] == ["a"]

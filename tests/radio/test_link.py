@@ -1,0 +1,85 @@
+"""Tests for the link model (loss and capture)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ChannelConfig
+from repro.radio.link import LinkModel
+from repro.radio.slots import SlotType
+
+
+def make_link(rng_seed: int = 0, **kwargs) -> LinkModel:
+    return LinkModel(
+        ChannelConfig(**kwargs), np.random.default_rng(rng_seed)
+    )
+
+
+class TestLosslessDelivery:
+    def test_idle(self):
+        outcome = make_link().deliver(())
+        assert outcome.slot_type is SlotType.IDLE
+        assert outcome.transmitted == 0
+
+    def test_singleton(self):
+        outcome = make_link().deliver((7,))
+        assert outcome.slot_type is SlotType.SINGLETON
+        assert outcome.responders == (7,)
+
+    def test_collision(self):
+        outcome = make_link().deliver((1, 2, 3))
+        assert outcome.slot_type is SlotType.COLLISION
+        assert outcome.transmitted == 3
+
+
+class TestLoss:
+    def test_total_loss_turns_busy_into_idle(self):
+        link = make_link(loss_probability=1.0)
+        outcome = link.deliver((1, 2, 3))
+        assert outcome.slot_type is SlotType.IDLE
+        assert outcome.transmitted == 3  # trace still sees attempts
+
+    def test_partial_loss_rate(self):
+        link = make_link(rng_seed=3, loss_probability=0.3)
+        survivors = 0
+        trials = 2000
+        for _ in range(trials):
+            outcome = link.deliver((1,))
+            survivors += outcome.busy
+        assert 0.65 < survivors / trials < 0.75
+
+    def test_zero_loss_keeps_everyone(self):
+        link = make_link(loss_probability=0.0)
+        outcome = link.deliver(tuple(range(10)))
+        assert len(outcome.responders) == 10
+
+
+class TestCapture:
+    def test_capture_resolves_collision_to_singleton(self):
+        link = make_link(capture_probability=1.0)
+        outcome = link.deliver((5, 6, 7))
+        assert outcome.slot_type is SlotType.SINGLETON
+        assert outcome.responders[0] in (5, 6, 7)
+
+    def test_capture_does_not_touch_singletons(self):
+        link = make_link(capture_probability=1.0)
+        outcome = link.deliver((5,))
+        assert outcome.responders == (5,)
+
+    def test_capture_rate(self):
+        link = make_link(rng_seed=4, capture_probability=0.5)
+        captures = 0
+        trials = 2000
+        for _ in range(trials):
+            outcome = link.deliver((1, 2))
+            captures += outcome.slot_type is SlotType.SINGLETON
+        assert 0.45 < captures / trials < 0.55
+
+
+class TestDetectCollisions:
+    def test_disabled_detection_reports_collisions(self):
+        link = make_link(detect_collisions=False)
+        outcome = link.deliver((9,))
+        assert outcome.slot_type is SlotType.COLLISION
+        assert outcome.busy

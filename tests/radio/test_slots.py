@@ -1,0 +1,50 @@
+"""Tests for slot outcome classification."""
+
+from __future__ import annotations
+
+from repro.radio.slots import SlotOutcome, SlotType, classify
+
+
+class TestClassify:
+    def test_zero_responders_is_idle(self):
+        assert classify(0) is SlotType.IDLE
+
+    def test_one_responder_is_singleton(self):
+        assert classify(1) is SlotType.SINGLETON
+
+    def test_many_responders_collide(self):
+        assert classify(2) is SlotType.COLLISION
+        assert classify(100) is SlotType.COLLISION
+
+    def test_without_collision_detection_busy_is_collision(self):
+        assert classify(1, detect_collisions=False) is SlotType.COLLISION
+        assert classify(0, detect_collisions=False) is SlotType.IDLE
+
+
+class TestSlotType:
+    def test_busy_property(self):
+        assert not SlotType.IDLE.busy
+        assert SlotType.SINGLETON.busy
+        assert SlotType.COLLISION.busy
+
+
+class TestSlotOutcome:
+    def test_decoded_tag_for_singleton(self):
+        outcome = SlotOutcome(
+            slot_type=SlotType.SINGLETON, responders=(42,), transmitted=1
+        )
+        assert outcome.decoded_tag == 42
+        assert outcome.busy
+
+    def test_no_decoded_tag_for_collision(self):
+        outcome = SlotOutcome(
+            slot_type=SlotType.COLLISION,
+            responders=(1, 2),
+            transmitted=2,
+        )
+        assert outcome.decoded_tag is None
+
+    def test_no_decoded_tag_for_idle(self):
+        outcome = SlotOutcome(slot_type=SlotType.IDLE)
+        assert outcome.decoded_tag is None
+        assert not outcome.busy

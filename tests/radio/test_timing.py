@@ -1,0 +1,57 @@
+"""Tests for the slot timing model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import TimingConfig
+from repro.radio.events import ChannelTrace
+from repro.radio.slots import SlotOutcome, SlotType
+from repro.radio.timing import SlotTimingModel
+
+
+class TestUniformBudget:
+    def test_scales_linearly_with_slots(self):
+        model = SlotTimingModel()
+        one = model.uniform(1, 6)
+        hundred = model.uniform(100, 6)
+        assert hundred.microseconds == pytest.approx(
+            100 * one.microseconds
+        )
+        assert hundred.slots == 100
+
+    def test_unit_conversions(self):
+        budget = SlotTimingModel().uniform(1000, 6)
+        assert budget.milliseconds == pytest.approx(
+            budget.microseconds / 1e3
+        )
+        assert budget.seconds == pytest.approx(budget.microseconds / 1e6)
+
+    def test_larger_payload_costs_more(self):
+        model = SlotTimingModel()
+        assert (
+            model.uniform(10, 32).microseconds
+            > model.uniform(10, 1).microseconds
+        )
+
+
+class TestTraceBudget:
+    def test_respects_per_slot_payloads(self):
+        model = SlotTimingModel(TimingConfig(turnaround_us=0.0))
+        trace = ChannelTrace()
+        idle = SlotOutcome(slot_type=SlotType.IDLE)
+        trace.record("a", 1, idle)
+        trace.record("b", 33, idle)
+        budget = model.of_trace(trace)
+        by_hand = (
+            model.uniform(1, 1).microseconds
+            + model.uniform(1, 33).microseconds
+        )
+        assert budget.microseconds == pytest.approx(by_hand)
+        assert budget.slots == 2
+
+    def test_pet_round_is_milliseconds(self):
+        # Sanity: a 5-slot PET round at default Gen2-ish parameters sits
+        # in the single-digit millisecond range.
+        budget = SlotTimingModel().uniform(5, 6)
+        assert 1.0 < budget.milliseconds < 10.0

@@ -1,0 +1,86 @@
+"""Tests for geometric reader deployment."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import PetConfig
+from repro.core.estimator import PetEstimator
+from repro.errors import ConfigurationError
+from repro.reader.controller import ReaderController
+from repro.reader.deployment import Deployment, ReaderPlacement
+from repro.tags.pet_tags import PassivePetTag
+from repro.tags.population import TagPopulation
+
+
+class TestReaderPlacement:
+    def test_covers_inside(self):
+        reader = ReaderPlacement(x=0.0, y=0.0, radius=5.0)
+        assert reader.covers(3.0, 4.0)  # on the circle
+        assert reader.covers(0.0, 0.0)
+        assert not reader.covers(3.1, 4.1)
+
+    def test_rejects_bad_radius(self):
+        with pytest.raises(ConfigurationError):
+            ReaderPlacement(0, 0, 0)
+
+
+class TestDeployment:
+    def test_grid_counts(self):
+        deployment = Deployment.grid(100, 60, rows=2, cols=3)
+        assert len(deployment.readers) == 6
+
+    def test_grid_covers_region(self):
+        deployment = Deployment.grid(100, 60, rows=2, cols=3)
+        rng = np.random.default_rng(0)
+        population = TagPopulation.random(500, rng)
+        field = deployment.scatter_tags(population, rng)
+        assert field.covered_tags == set(
+            int(i) for i in population.tag_ids
+        )
+
+    def test_overlap_exists_in_grid(self):
+        deployment = Deployment.grid(100, 100, rows=2, cols=2)
+        rng = np.random.default_rng(1)
+        population = TagPopulation.random(2000, rng)
+        field = deployment.scatter_tags(population, rng)
+        assert len(field.duplicated_tags) > 0
+
+    def test_undersized_radius_raises(self):
+        deployment = Deployment(
+            100, 100, [ReaderPlacement(50, 50, 1.0)]
+        )
+        rng = np.random.default_rng(2)
+        population = TagPopulation.random(50, rng)
+        with pytest.raises(ConfigurationError):
+            deployment.scatter_tags(population, rng)
+
+    def test_rejects_degenerate_inputs(self):
+        with pytest.raises(ConfigurationError):
+            Deployment(0, 10, [ReaderPlacement(0, 0, 1)])
+        with pytest.raises(ConfigurationError):
+            Deployment(10, 10, [])
+        with pytest.raises(ConfigurationError):
+            Deployment.grid(10, 10, rows=0, cols=1)
+
+
+class TestEndToEndDeployment:
+    def test_estimation_over_deployed_grid(self):
+        height = 16
+        deployment = Deployment.grid(80, 80, rows=2, cols=2)
+        rng = np.random.default_rng(3)
+        population = TagPopulation.random(300, rng)
+        field = deployment.scatter_tags(population, rng)
+        tags_by_id = {
+            int(tag_id): PassivePetTag(int(tag_id), height)
+            for tag_id in population.tag_ids
+        }
+        channels = deployment.build_channels(field, tags_by_id, rng=rng)
+        config = PetConfig(
+            tree_height=height, passive_tags=True, rounds=128
+        )
+        controller = ReaderController(channels, config=config, rng=rng)
+        result = PetEstimator(config=config, rng=rng).run(controller)
+        # 128 rounds: expect within ~35% of truth with high probability.
+        assert 150 < result.n_hat < 600

@@ -1,0 +1,119 @@
+"""Tests for the PET reader state machine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import PetConfig
+from repro.core.path import EstimatingPath
+from repro.core.tree import PetTree
+from repro.radio.channel import SlottedChannel
+from repro.reader.reader import PetReader
+from repro.tags.pet_tags import PassivePetTag
+from repro.tags.population import TagPopulation
+
+
+def build_channel(codes: list[int], height: int) -> SlottedChannel:
+    channel = SlottedChannel(rng=np.random.default_rng(0))
+    for index, code in enumerate(codes):
+        channel.attach(
+            PassivePetTag(index, height, preloaded_code=code)
+        )
+    return channel
+
+
+class TestRoundExecution:
+    @pytest.mark.parametrize("binary", [False, True])
+    def test_depth_matches_explicit_tree(self, binary):
+        rng = np.random.default_rng(12)
+        height = 8
+        codes = [int(c) for c in rng.integers(0, 256, size=12)]
+        channel = build_channel(codes, height)
+        reader = PetReader(
+            channel,
+            config=PetConfig(
+                tree_height=height,
+                binary_search=binary,
+                passive_tags=True,
+                rounds=1,
+            ),
+            rng=rng,
+        )
+        tree = PetTree(height, codes)
+        for _ in range(20):
+            path = EstimatingPath.random(height, rng)
+            depth, slots = reader.run_round(path, 0)
+            assert depth == tree.gray_depth(path)
+            assert slots >= 1
+
+    def test_empty_population_depth_zero(self):
+        channel = build_channel([], 8)
+        reader = PetReader(
+            channel,
+            config=PetConfig(
+                tree_height=8, passive_tags=True, rounds=1
+            ),
+            rng=np.random.default_rng(0),
+        )
+        path = EstimatingPath.from_string("10101010")
+        depth, _ = reader.run_round(path, 0)
+        assert depth == 0
+
+    def test_active_rounds_broadcast_seed(self):
+        channel = SlottedChannel(rng=np.random.default_rng(0))
+        population = TagPopulation.sequential(10)
+        channel.attach_all(population.build_active_tags(8))
+        reader = PetReader(
+            channel,
+            config=PetConfig(tree_height=8, rounds=1),
+            rng=np.random.default_rng(1),
+        )
+        command = reader.start_round(
+            EstimatingPath.from_string("00000000")
+        )
+        assert command.seed is not None
+
+    def test_passive_rounds_send_no_seed(self):
+        channel = build_channel([1], 8)
+        reader = PetReader(
+            channel,
+            config=PetConfig(
+                tree_height=8, passive_tags=True, rounds=1
+            ),
+            rng=np.random.default_rng(1),
+        )
+        assert reader.draw_seed() is None
+
+
+class TestSlotAccounting:
+    def test_binary_round_is_five_slots_at_h32(self):
+        rng = np.random.default_rng(2)
+        codes = [int(c) for c in rng.integers(0, 2**32, size=200)]
+        channel = build_channel(codes, 32)
+        reader = PetReader(
+            channel,
+            config=PetConfig(passive_tags=True, rounds=1),
+            rng=rng,
+        )
+        path = EstimatingPath.random(32, rng)
+        _, slots = reader.run_round(path, 0)
+        assert slots == 5
+
+    def test_trace_includes_start_and_queries(self):
+        channel = build_channel([0b0001], 4)
+        reader = PetReader(
+            channel,
+            config=PetConfig(
+                tree_height=4,
+                binary_search=False,
+                passive_tags=True,
+                rounds=1,
+            ),
+            rng=np.random.default_rng(0),
+        )
+        path = EstimatingPath.from_string("0001")
+        _, slots = reader.run_round(path, 0)
+        # Trace = 1 start broadcast + the query slots.
+        assert channel.trace.total_slots == slots + 1
+        assert channel.trace.events[0].command.startswith("start")

@@ -1,0 +1,106 @@
+"""Tests for estimation sessions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import AccuracyRequirement, PetConfig
+from repro.errors import ConfigurationError
+from repro.reader.session import EstimationSession
+from repro.sim.persist import load_experiment, rows_of
+from repro.sim.sampled import SampledSimulator
+
+
+def sampled_factory(sizes):
+    """Driver factory over a per-epoch size schedule."""
+
+    def factory(epoch: int):
+        n = sizes[min(epoch, len(sizes) - 1)]
+        return SampledSimulator(
+            n,
+            config=PetConfig(),
+            rng=np.random.default_rng((123, epoch)),
+        )
+
+    return factory
+
+
+class TestSessionBasics:
+    def test_requires_sizing(self):
+        with pytest.raises(ConfigurationError):
+            EstimationSession(driver_factory=sampled_factory([100]))
+
+    def test_epochs_accumulate(self):
+        session = EstimationSession(
+            driver_factory=sampled_factory([1_000]),
+            config=PetConfig(rounds=128),
+        )
+        results = session.run(4)
+        assert [r.epoch for r in results] == [0, 1, 2, 3]
+        assert len(session.history) == 4
+        for result in results:
+            assert result.rounds == 128
+            assert result.slots == 128 * 5
+
+    def test_rounds_from_requirement(self):
+        session = EstimationSession(
+            driver_factory=sampled_factory([1_000]),
+            requirement=AccuracyRequirement(0.2, 0.1),
+        )
+        result = session.run_epoch()
+        assert result.rounds == session._epoch_rounds()
+        assert result.rounds < 200  # loose contract -> small m
+
+    def test_estimates_track_truth(self):
+        session = EstimationSession(
+            driver_factory=sampled_factory([5_000]),
+            config=PetConfig(rounds=512),
+        )
+        results = session.run(3)
+        for result in results:
+            assert 0.85 < result.n_hat / 5_000 < 1.15
+
+    def test_rejects_zero_epochs(self):
+        session = EstimationSession(
+            driver_factory=sampled_factory([100]),
+            config=PetConfig(rounds=8),
+        )
+        with pytest.raises(ConfigurationError):
+            session.run(0)
+
+
+class TestSessionMonitoring:
+    def test_change_detected_on_step(self):
+        sizes = [2_000] * 6 + [6_000] * 3
+        session = EstimationSession(
+            driver_factory=sampled_factory(sizes),
+            config=PetConfig(rounds=512),
+        )
+        session.run(len(sizes))
+        assert any(6 <= e <= 7 for e in session.change_epochs)
+
+    def test_monitor_can_be_disabled(self):
+        session = EstimationSession(
+            driver_factory=sampled_factory([100, 100_000]),
+            config=PetConfig(rounds=64),
+            monitor=False,
+        )
+        session.run(2)
+        assert session.change_epochs == []
+        assert session.history[0].monitor_report is None
+
+
+class TestSessionPersistence:
+    def test_save_round_trips(self, tmp_path):
+        session = EstimationSession(
+            driver_factory=sampled_factory([500]),
+            config=PetConfig(rounds=32),
+        )
+        session.run(3)
+        path = session.save(tmp_path / "session.json", name="demo")
+        document = load_experiment(path)
+        assert document["experiment"] == "demo"
+        rows = rows_of(document)
+        assert len(rows) == 3
+        assert rows[0]["rounds"] == 32

@@ -1,0 +1,127 @@
+"""Cross-tier equivalence: the three simulators agree.
+
+The slot-level simulator is the gold standard; the vectorized tier must
+agree with it *exactly* (same codes, same paths), and the sampled tier
+must agree with both *in distribution*.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.mellin import gray_depth_moments
+from repro.config import PetConfig
+from repro.core.path import EstimatingPath
+from repro.radio.channel import SlottedChannel
+from repro.reader.reader import PetReader
+from repro.sim.sampled import SampledSimulator
+from repro.sim.vectorized import VectorizedSimulator
+from repro.tags.population import TagPopulation
+
+HEIGHT = 16
+
+
+class TestSlotVsVectorizedExact:
+    """Same preloaded codes, same path => identical depth and slots."""
+
+    @pytest.mark.parametrize("binary", [False, True])
+    def test_passive_rounds_identical(self, binary):
+        rng = np.random.default_rng(31)
+        population = TagPopulation.random(150, rng)
+        config = PetConfig(
+            tree_height=HEIGHT,
+            binary_search=binary,
+            passive_tags=True,
+            rounds=1,
+        )
+        channel = SlottedChannel(rng=rng)
+        channel.attach_all(population.build_passive_tags(HEIGHT))
+        reader = PetReader(channel, config=config, rng=rng)
+        vectorized = VectorizedSimulator(population, config=config)
+        for _ in range(25):
+            path = EstimatingPath.random(HEIGHT, rng)
+            slot_depth, slot_cost = reader.run_round(path, 0)
+            vec_depth = vectorized.gray_depth(path, None)
+            from repro.sim.vectorized import replay_slots
+            from repro.core.search import strategy_for
+
+            vec_cost = replay_slots(
+                strategy_for(binary), vec_depth, HEIGHT
+            )
+            assert slot_depth == vec_depth
+            assert slot_cost == vec_cost
+
+    def test_active_rounds_identical_given_seed(self):
+        rng = np.random.default_rng(32)
+        population = TagPopulation.random(100, rng)
+        config = PetConfig(tree_height=HEIGHT, rounds=1)
+        vectorized = VectorizedSimulator(population, config=config)
+        channel = SlottedChannel(rng=rng)
+        tags = population.build_active_tags(HEIGHT)
+        channel.attach_all(tags)
+        from repro.core.messages import PrefixQuery, StartRound
+
+        for trial in range(10):
+            path = EstimatingPath.random(HEIGHT, rng)
+            seed = int(rng.integers(0, 2**62))
+            channel.broadcast(StartRound(path=path, seed=seed))
+            # Walk prefixes manually to find the slot-level depth.
+            depth = 0
+            for length in range(1, HEIGHT + 1):
+                outcome = channel.broadcast(
+                    PrefixQuery(length=length, height=HEIGHT)
+                )
+                if not outcome.busy:
+                    break
+                depth = length
+            assert depth == vectorized.gray_depth(path, seed)
+
+
+class TestSampledVsVectorizedDistribution:
+    """The sampled tier reproduces the vectorized depth law."""
+
+    def test_depth_means_agree(self):
+        n = 3_000
+        population = TagPopulation.random(
+            n, np.random.default_rng(33)
+        )
+        config = PetConfig()
+        rng = np.random.default_rng(34)
+        vectorized = VectorizedSimulator(
+            population, config=config, rng=rng
+        )
+        vec_depths = [
+            vectorized.run_round(
+                EstimatingPath.random(32, rng), i
+            )[0]
+            for i in range(800)
+        ]
+        sampled = SampledSimulator(
+            n, config=config, rng=np.random.default_rng(35)
+        )
+        sam_depths = sampled.sample_depths(20_000)
+        moments = gray_depth_moments(n, 32)
+        assert np.mean(vec_depths) == pytest.approx(
+            moments.mean_depth, abs=0.2
+        )
+        assert np.mean(sam_depths) == pytest.approx(
+            moments.mean_depth, abs=0.05
+        )
+        assert np.mean(vec_depths) == pytest.approx(
+            np.mean(sam_depths), abs=0.25
+        )
+
+    def test_estimates_agree_across_tiers(self):
+        n = 3_000
+        population = TagPopulation.random(
+            n, np.random.default_rng(36)
+        )
+        vec = VectorizedSimulator(
+            population, rng=np.random.default_rng(37)
+        ).estimate(rounds=400)
+        sam = SampledSimulator(
+            n, rng=np.random.default_rng(38)
+        ).estimate(rounds=400)
+        assert vec.n_hat == pytest.approx(sam.n_hat, rel=0.2)
+        assert vec.total_slots == sam.total_slots

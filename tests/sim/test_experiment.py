@@ -1,0 +1,86 @@
+"""Tests for the experiment runner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import PetConfig
+from repro.errors import ConfigurationError
+from repro.sim.experiment import ExperimentRunner
+from repro.sim.workload import WorkloadSpec
+
+
+class TestRunSampled:
+    def test_shape_and_seed_stability(self):
+        runner = ExperimentRunner(base_seed=1, repetitions=50)
+        config = PetConfig()
+        first = runner.run_sampled(1_000, config, rounds=32)
+        second = runner.run_sampled(1_000, config, rounds=32)
+        assert first.estimates.shape == (50,)
+        assert first.estimates.tolist() == second.estimates.tolist()
+
+    def test_different_cells_independent(self):
+        runner = ExperimentRunner(base_seed=1, repetitions=20)
+        config = PetConfig()
+        a = runner.run_sampled(1_000, config, rounds=32)
+        b = runner.run_sampled(2_000, config, rounds=32)
+        assert a.estimates.tolist() != b.estimates.tolist()
+
+    def test_summary_quality(self):
+        runner = ExperimentRunner(base_seed=2, repetitions=200)
+        repeated = runner.run_sampled(10_000, PetConfig(), rounds=256)
+        summary = repeated.summary(epsilon=0.3)
+        assert 0.95 < summary.accuracy < 1.05
+        assert summary.within_fraction > 0.95
+
+    def test_slot_accounting(self):
+        runner = ExperimentRunner(base_seed=3, repetitions=5)
+        repeated = runner.run_sampled(500, PetConfig(), rounds=10)
+        assert repeated.slots_per_run == 50.0
+
+
+class TestRunVectorized:
+    def test_population_resampled_per_repetition(self):
+        runner = ExperimentRunner(base_seed=4, repetitions=30)
+        spec = WorkloadSpec(size=500, seed=9)
+        repeated = runner.run_vectorized(
+            spec, PetConfig(passive_tags=True), rounds=64
+        )
+        assert repeated.estimates.shape == (30,)
+        # Different populations + paths: estimates should vary.
+        assert len(set(repeated.estimates.round(3).tolist())) > 10
+
+    def test_accuracy_reasonable(self):
+        runner = ExperimentRunner(base_seed=5, repetitions=40)
+        spec = WorkloadSpec(size=2_000, seed=1)
+        repeated = runner.run_vectorized(spec, PetConfig(), rounds=128)
+        summary = repeated.summary()
+        assert 0.9 < summary.accuracy < 1.1
+
+
+class TestRunCustom:
+    def test_custom_callable_invoked_per_repetition(self):
+        runner = ExperimentRunner(base_seed=6, repetitions=12)
+        calls = []
+
+        def one_run(rng: np.random.Generator) -> float:
+            calls.append(rng)
+            return float(rng.random())
+
+        repeated = runner.run_custom(100, rounds=1, one_run=one_run)
+        assert len(calls) == 12
+        assert repeated.estimates.shape == (12,)
+        # Child generators differ.
+        assert len(set(repeated.estimates.tolist())) == 12
+
+
+class TestValidation:
+    def test_rejects_zero_repetitions(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentRunner(repetitions=0)
+
+    def test_sweep_covers_sizes(self):
+        runner = ExperimentRunner(base_seed=7, repetitions=5)
+        results = runner.sweep((100, 200), PetConfig(), rounds=8)
+        assert [r.true_n for r in results] == [100, 200]

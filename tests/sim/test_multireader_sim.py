@@ -1,0 +1,138 @@
+"""Tests for the vectorized multi-reader simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import PetConfig
+from repro.core.path import EstimatingPath
+from repro.core.tree import PetTree
+from repro.errors import ConfigurationError
+from repro.sim.multireader import MultiReaderSimulator
+from repro.tags.mobility import MobileTagField, MobilityModel
+from repro.tags.population import TagPopulation
+
+HEIGHT = 12
+
+
+def full_coverage_field(
+    population: TagPopulation, num_readers: int, rng
+) -> MobileTagField:
+    return MobileTagField.random(
+        population.tag_ids, num_readers, 0.3, rng
+    )
+
+
+class TestValidation:
+    def test_rejects_foreign_coverage(self):
+        population = TagPopulation.sequential(5)
+        field = MobileTagField(
+            num_readers=1, coverage={99: frozenset({0})}
+        )
+        with pytest.raises(ConfigurationError):
+            MultiReaderSimulator(population, field)
+
+
+class TestEquivalence:
+    def test_matches_explicit_tree_on_covered_union(self):
+        rng = np.random.default_rng(0)
+        population = TagPopulation.random(60, rng)
+        field = full_coverage_field(population, 3, rng)
+        config = PetConfig(tree_height=HEIGHT, passive_tags=True)
+        simulator = MultiReaderSimulator(
+            population, field, config=config, rng=rng
+        )
+        codes = population.preloaded_codes(HEIGHT)
+        tree = PetTree(HEIGHT, (int(c) for c in codes))
+        for _ in range(20):
+            path = EstimatingPath.random(HEIGHT, rng)
+            depth, _ = simulator.run_round(path, 0)
+            assert depth == tree.gray_depth(path)
+
+    def test_uncovered_tags_invisible(self):
+        population = TagPopulation.sequential(40)
+        # Only the first 10 tags are covered.
+        coverage = {
+            tid: frozenset({0}) if tid < 10 else frozenset()
+            for tid in range(40)
+        }
+        field = MobileTagField(num_readers=1, coverage=coverage)
+        config = PetConfig(tree_height=HEIGHT, passive_tags=True)
+        simulator = MultiReaderSimulator(
+            population, field, config=config,
+            rng=np.random.default_rng(1),
+        )
+        visible_codes = population.preloaded_codes(HEIGHT)[:10]
+        tree = PetTree(HEIGHT, (int(c) for c in visible_codes))
+        rng = np.random.default_rng(2)
+        for _ in range(15):
+            path = EstimatingPath.random(HEIGHT, rng)
+            depth, _ = simulator.run_round(path, 0)
+            assert depth == tree.gray_depth(path)
+
+    def test_matches_slot_level_controller(self):
+        from repro.radio.channel import SlottedChannel
+        from repro.reader.controller import ReaderController
+        from repro.tags.pet_tags import PassivePetTag
+
+        rng = np.random.default_rng(3)
+        population = TagPopulation.random(30, rng)
+        field = full_coverage_field(population, 2, rng)
+        config = PetConfig(
+            tree_height=HEIGHT, passive_tags=True, rounds=1
+        )
+        # Build the slot-level twin from the same coverage.
+        channels = []
+        for reader in range(2):
+            channel = SlottedChannel(rng=rng)
+            for tag_id in field.tags_of_reader(reader):
+                channel.attach(PassivePetTag(tag_id, HEIGHT))
+            channels.append(channel)
+        controller = ReaderController(channels, config=config, rng=rng)
+        simulator = MultiReaderSimulator(
+            population, field, config=config, rng=rng
+        )
+        for _ in range(15):
+            path = EstimatingPath.random(HEIGHT, rng)
+            slot_depth, _ = controller.run_round(path, 0)
+            fast_depth, _ = simulator.run_round(path, 0)
+            assert slot_depth == fast_depth
+
+
+class TestMobility:
+    def test_evolve_hook_applied(self):
+        rng = np.random.default_rng(4)
+        population = TagPopulation.random(200, rng)
+        field = full_coverage_field(population, 3, rng)
+        mobility = MobilityModel(0.3, np.random.default_rng(5))
+        seen_rounds = []
+
+        def evolve(current, round_index):
+            seen_rounds.append(round_index)
+            return mobility.step(current)
+
+        simulator = MultiReaderSimulator(
+            population,
+            field,
+            config=PetConfig(tree_height=16, passive_tags=True),
+            evolve=evolve,
+            rng=rng,
+        )
+        result = simulator.estimate(rounds=32)
+        assert seen_rounds == list(range(32))
+        # Full coverage throughout: estimate tracks the population.
+        assert 0.4 < result.n_hat / 200 < 2.5
+
+    def test_active_variant_estimates(self):
+        rng = np.random.default_rng(6)
+        population = TagPopulation.random(500, rng)
+        field = full_coverage_field(population, 2, rng)
+        simulator = MultiReaderSimulator(
+            population,
+            field,
+            config=PetConfig(tree_height=20),
+            rng=rng,
+        )
+        result = simulator.estimate(rounds=256)
+        assert 0.7 < result.n_hat / 500 < 1.4

@@ -1,0 +1,68 @@
+"""Tests for experiment-result persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.persist import (
+    load_experiment,
+    rows_of,
+    save_experiment,
+)
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        path = save_experiment(
+            tmp_path / "out" / "table4.json",
+            "table4",
+            parameters={"n": 50_000, "delta": 0.01},
+            rows=[{"epsilon": 0.05, "pet_slots": 23_485}],
+        )
+        document = load_experiment(path)
+        assert document["experiment"] == "table4"
+        assert document["parameters"]["n"] == 50_000
+        assert rows_of(document) == [
+            {"epsilon": 0.05, "pet_slots": 23_485}
+        ]
+
+    def test_numpy_values_coerced(self, tmp_path):
+        path = save_experiment(
+            tmp_path / "x.json",
+            "x",
+            parameters={"arr": np.array([1, 2])},
+            rows=[{"v": np.float64(1.5), "k": np.int64(3)}],
+        )
+        document = load_experiment(path)
+        assert document["parameters"]["arr"] == [1, 2]
+        assert rows_of(document)[0] == {"v": 1.5, "k": 3}
+
+    def test_version_recorded(self, tmp_path):
+        from repro import __version__
+
+        path = save_experiment(tmp_path / "v.json", "v", {}, [])
+        assert load_experiment(path)["library_version"] == __version__
+
+
+class TestValidation:
+    def test_empty_name_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            save_experiment(tmp_path / "x.json", "", {}, [])
+
+    def test_unserializable_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            save_experiment(
+                tmp_path / "x.json", "x", {"f": object()}, []
+            )
+
+    def test_bad_schema_rejected(self, tmp_path):
+        out = tmp_path / "bad.json"
+        out.write_text('{"schema": 99, "rows": []}')
+        with pytest.raises(ConfigurationError):
+            load_experiment(out)
+
+    def test_rows_of_requires_list(self):
+        with pytest.raises(ConfigurationError):
+            rows_of({"schema": 1})

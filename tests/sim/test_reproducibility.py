@@ -1,0 +1,108 @@
+"""Reproducibility guarantees across the public API.
+
+A reproduction library lives or dies by determinism: every simulator
+tier and every protocol must return bit-identical results from the
+same seed, and different seeds must actually decorrelate.  These tests
+pin that contract for the whole zoo, so a refactor that silently
+reorders RNG draws fails loudly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import PetConfig
+from repro.protocols.registry import available_protocols, make_protocol
+from repro.sim.multireader import MultiReaderSimulator
+from repro.sim.sampled import SampledSimulator
+from repro.sim.slotsim import SlotLevelSimulator
+from repro.sim.vectorized import VectorizedSimulator
+from repro.tags.mobility import MobileTagField
+from repro.tags.population import TagPopulation
+
+
+def _population(seed: int = 5, size: int = 300) -> TagPopulation:
+    return TagPopulation.random(size, np.random.default_rng(seed))
+
+
+class TestSimulatorDeterminism:
+    def test_sampled_tier(self):
+        runs = [
+            SampledSimulator(
+                1_000, rng=np.random.default_rng(1)
+            ).estimate(rounds=64)
+            for _ in range(2)
+        ]
+        assert runs[0].n_hat == runs[1].n_hat
+        assert runs[0].depths.tolist() == runs[1].depths.tolist()
+
+    def test_vectorized_tier_active_and_passive(self):
+        population = _population()
+        for passive in (False, True):
+            config = PetConfig(passive_tags=passive)
+            results = [
+                VectorizedSimulator(
+                    population,
+                    config=config,
+                    rng=np.random.default_rng(2),
+                ).estimate(rounds=64)
+                for _ in range(2)
+            ]
+            assert results[0].n_hat == results[1].n_hat, passive
+
+    def test_slot_level_tier(self):
+        population = _population(size=60)
+        results = [
+            SlotLevelSimulator(
+                population,
+                config=PetConfig(rounds=16),
+                rng=np.random.default_rng(3),
+            ).estimate()
+            for _ in range(2)
+        ]
+        assert results[0].n_hat == results[1].n_hat
+
+    def test_multireader_tier(self):
+        population = _population()
+        results = []
+        for _ in range(2):
+            field = MobileTagField.random(
+                population.tag_ids, 2, 0.2,
+                np.random.default_rng(4),
+            )
+            simulator = MultiReaderSimulator(
+                population,
+                field,
+                config=PetConfig(passive_tags=True),
+                rng=np.random.default_rng(5),
+            )
+            results.append(simulator.estimate(rounds=32))
+        assert results[0].n_hat == results[1].n_hat
+
+    def test_different_seeds_decorrelate(self):
+        population = _population()
+        a = VectorizedSimulator(
+            population, rng=np.random.default_rng(10)
+        ).estimate(rounds=64)
+        b = VectorizedSimulator(
+            population, rng=np.random.default_rng(11)
+        ).estimate(rounds=64)
+        assert a.depths.tolist() != b.depths.tolist()
+
+
+class TestProtocolDeterminism:
+    @pytest.mark.parametrize("name", available_protocols())
+    def test_every_protocol_deterministic(self, name):
+        if name in ("use", "upe", "ezb"):
+            population = _population(size=200)
+        else:
+            population = _population()
+        results = [
+            make_protocol(name).estimate(
+                population, rounds=8, rng=np.random.default_rng(6)
+            )
+            for _ in range(2)
+        ]
+        assert results[0].n_hat == results[1].n_hat, name
+        assert results[0].total_slots == results[1].total_slots, name

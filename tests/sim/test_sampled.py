@@ -1,0 +1,90 @@
+"""Tests for the distribution-sampled simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.mellin import gray_depth_moments
+from repro.config import PetConfig
+from repro.errors import ConfigurationError
+from repro.sim.sampled import SampledSimulator
+
+
+class TestConstruction:
+    def test_rejects_negative_n(self):
+        with pytest.raises(ConfigurationError):
+            SampledSimulator(-1)
+
+    def test_rejects_passive_config(self):
+        with pytest.raises(ConfigurationError):
+            SampledSimulator(100, config=PetConfig(passive_tags=True))
+
+
+class TestDepthSampling:
+    def test_depths_in_range(self):
+        simulator = SampledSimulator(
+            1000, rng=np.random.default_rng(0)
+        )
+        depths = simulator.sample_depths(5000)
+        assert (depths >= 0).all()
+        assert (depths <= 32).all()
+
+    def test_depth_moments_match_exact_law(self):
+        n = 10_000
+        simulator = SampledSimulator(n, rng=np.random.default_rng(1))
+        depths = simulator.sample_depths(60_000)
+        moments = gray_depth_moments(n, 32)
+        assert depths.mean() == pytest.approx(
+            moments.mean_depth, abs=0.03
+        )
+        assert depths.std() == pytest.approx(moments.std_depth, abs=0.05)
+
+    def test_zero_population_always_depth_zero(self):
+        simulator = SampledSimulator(0, rng=np.random.default_rng(2))
+        assert (simulator.sample_depths(100) == 0).all()
+
+    def test_empirical_pmf_matches_exact(self):
+        from repro.analysis.mellin import gray_depth_pmf
+
+        n = 5_000
+        simulator = SampledSimulator(n, rng=np.random.default_rng(3))
+        depths = simulator.sample_depths(100_000)
+        empirical = np.bincount(depths, minlength=33) / depths.size
+        exact = gray_depth_pmf(n, 32)
+        assert np.abs(empirical - exact).max() < 0.01
+
+
+class TestEstimation:
+    def test_estimate_unbiased_at_scale(self):
+        n = 50_000
+        simulator = SampledSimulator(
+            n, rng=np.random.default_rng(4)
+        )
+        estimates = simulator.estimate_batch(rounds=256, repetitions=200)
+        assert estimates.mean() == pytest.approx(n, rel=0.03)
+
+    def test_batch_matches_loop_in_law(self):
+        n = 5_000
+        sim_a = SampledSimulator(n, rng=np.random.default_rng(5))
+        sim_b = SampledSimulator(n, rng=np.random.default_rng(6))
+        batch = sim_a.estimate_batch(rounds=64, repetitions=100)
+        looped = np.array(
+            [sim_b.estimate(rounds=64).n_hat for _ in range(100)]
+        )
+        assert batch.mean() == pytest.approx(looped.mean(), rel=0.06)
+        assert batch.std() == pytest.approx(looped.std(), rel=0.4)
+
+    def test_slots_accounting(self):
+        simulator = SampledSimulator(
+            1000, rng=np.random.default_rng(7)
+        )
+        result = simulator.estimate(rounds=20)
+        assert result.total_slots == 100  # 5 slots x 20 rounds at H=32
+
+    def test_batch_rejects_bad_shape(self):
+        simulator = SampledSimulator(10)
+        with pytest.raises(ConfigurationError):
+            simulator.estimate_batch(rounds=0, repetitions=5)
+        with pytest.raises(ConfigurationError):
+            simulator.estimate_batch(rounds=5, repetitions=0)

@@ -1,0 +1,106 @@
+"""Tests for the slot-level simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ChannelConfig, PetConfig
+from repro.radio.slots import SlotType
+from repro.sim.slotsim import SlotLevelSimulator
+from repro.tags.population import TagPopulation
+
+
+class TestSlotLevelSimulator:
+    def test_active_estimation(self):
+        population = TagPopulation.random(
+            300, np.random.default_rng(0)
+        )
+        simulator = SlotLevelSimulator(
+            population,
+            config=PetConfig(rounds=128),
+            rng=np.random.default_rng(1),
+        )
+        result = simulator.estimate()
+        assert 0.6 < result.n_hat / 300 < 1.6
+
+    def test_passive_estimation(self):
+        population = TagPopulation.random(
+            300, np.random.default_rng(2)
+        )
+        simulator = SlotLevelSimulator(
+            population,
+            config=PetConfig(rounds=128, passive_tags=True),
+            rng=np.random.default_rng(3),
+        )
+        result = simulator.estimate()
+        assert 0.5 < result.n_hat / 300 < 2.0
+
+    def test_tag_variant_matches_config(self):
+        from repro.tags.pet_tags import ActivePetTag, PassivePetTag
+
+        population = TagPopulation.sequential(5)
+        active = SlotLevelSimulator(population, config=PetConfig())
+        assert all(
+            isinstance(tag, ActivePetTag) for tag in active.tags
+        )
+        passive = SlotLevelSimulator(
+            population, config=PetConfig(passive_tags=True)
+        )
+        assert all(
+            isinstance(tag, PassivePetTag) for tag in passive.tags
+        )
+
+    def test_trace_accumulates(self):
+        population = TagPopulation.sequential(20)
+        simulator = SlotLevelSimulator(
+            population,
+            config=PetConfig(rounds=4),
+            rng=np.random.default_rng(4),
+        )
+        result = simulator.estimate()
+        # Each round adds a start broadcast + its query slots.
+        assert simulator.trace.total_slots == result.total_slots + 4
+
+    def test_rounds_override(self):
+        population = TagPopulation.sequential(10)
+        simulator = SlotLevelSimulator(
+            population,
+            config=PetConfig(rounds=2),
+            rng=np.random.default_rng(5),
+        )
+        result = simulator.estimate(rounds=7)
+        assert result.num_rounds == 7
+
+    def test_lossy_channel_biases_low(self):
+        # Loss flips busy slots to idle, shrinking observed depths.
+        population = TagPopulation.random(
+            400, np.random.default_rng(6)
+        )
+        lossless = SlotLevelSimulator(
+            population,
+            config=PetConfig(rounds=96),
+            rng=np.random.default_rng(7),
+        ).estimate()
+        lossy = SlotLevelSimulator(
+            population,
+            config=PetConfig(rounds=96),
+            channel_config=ChannelConfig(loss_probability=0.5),
+            rng=np.random.default_rng(7),
+        ).estimate()
+        assert lossy.n_hat < lossless.n_hat
+
+    def test_responses_are_collisions_or_singletons(self):
+        population = TagPopulation.sequential(50)
+        simulator = SlotLevelSimulator(
+            population,
+            config=PetConfig(rounds=8),
+            rng=np.random.default_rng(8),
+        )
+        simulator.estimate()
+        busy = [
+            event
+            for event in simulator.trace
+            if event.outcome.slot_type is not SlotType.IDLE
+        ]
+        assert busy  # at least some slots heard tags

@@ -1,0 +1,114 @@
+"""Tests for the vectorized simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import PetConfig
+from repro.core.path import EstimatingPath
+from repro.core.search import BinaryGraySearch
+from repro.core.tree import PetTree
+from repro.errors import ConfigurationError
+from repro.sim.vectorized import (
+    VectorizedSimulator,
+    gray_depth_of_codes,
+    gray_depth_sorted,
+    replay_slots,
+)
+from repro.tags.population import TagPopulation
+
+
+class TestGrayDepthKernels:
+    def test_empty_codes(self):
+        assert gray_depth_of_codes(
+            np.array([], dtype=np.uint64), 5, 8
+        ) == 0
+        assert gray_depth_sorted(
+            np.array([], dtype=np.uint64), 5, 8
+        ) == 0
+
+    def test_kernels_agree_with_tree(self):
+        rng = np.random.default_rng(0)
+        height = 10
+        for _ in range(30):
+            codes = rng.integers(
+                0, 1 << height, size=25
+            ).astype(np.uint64)
+            tree = PetTree(height, (int(c) for c in codes))
+            path = EstimatingPath.random(height, rng)
+            expected = tree.gray_depth(path)
+            assert gray_depth_of_codes(
+                codes, path.bits, height
+            ) == expected
+            assert gray_depth_sorted(
+                np.sort(codes), path.bits, height
+            ) == expected
+
+    def test_exact_match_full_depth(self):
+        codes = np.array([0b1010], dtype=np.uint64)
+        assert gray_depth_of_codes(codes, 0b1010, 4) == 4
+        assert gray_depth_sorted(codes, 0b1010, 4) == 4
+
+    def test_replay_slots_validates_depth(self):
+        assert replay_slots(BinaryGraySearch(), 16, 32) == 5
+
+
+class TestVectorizedSimulator:
+    def test_rejects_too_tall_trees(self):
+        population = TagPopulation.sequential(4)
+        with pytest.raises(ConfigurationError):
+            VectorizedSimulator(
+                population, config=PetConfig(tree_height=63)
+            )
+
+    def test_active_needs_seed(self):
+        population = TagPopulation.sequential(4)
+        simulator = VectorizedSimulator(population)
+        with pytest.raises(ConfigurationError):
+            simulator.gray_depth(
+                EstimatingPath.random(32, np.random.default_rng(0)),
+                seed=None,
+            )
+
+    def test_passive_depths_deterministic_given_path(self):
+        population = TagPopulation.sequential(100)
+        config = PetConfig(passive_tags=True)
+        sim_a = VectorizedSimulator(population, config=config)
+        sim_b = VectorizedSimulator(population, config=config)
+        path = EstimatingPath.random(32, np.random.default_rng(1))
+        assert sim_a.gray_depth(path, None) == sim_b.gray_depth(
+            path, None
+        )
+
+    def test_passive_depth_matches_bruteforce(self):
+        population = TagPopulation.sequential(200)
+        config = PetConfig(tree_height=20, passive_tags=True)
+        simulator = VectorizedSimulator(population, config=config)
+        codes = population.preloaded_codes(20)
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            path = EstimatingPath.random(20, rng)
+            brute = max(
+                path.common_prefix_length(int(c)) for c in codes
+            )
+            assert simulator.gray_depth(path, None) == brute
+
+    def test_estimate_reasonable(self):
+        population = TagPopulation.random(
+            8_000, np.random.default_rng(3)
+        )
+        simulator = VectorizedSimulator(
+            population, rng=np.random.default_rng(4)
+        )
+        result = simulator.estimate(rounds=512)
+        assert 0.85 < result.n_hat / 8_000 < 1.15
+
+    def test_empty_population_estimates_small(self):
+        population = TagPopulation([])
+        simulator = VectorizedSimulator(
+            population, rng=np.random.default_rng(5)
+        )
+        result = simulator.estimate(rounds=16)
+        # All depths 0 -> n_hat = 1/phi ~ 0.79.
+        assert result.n_hat < 1.0

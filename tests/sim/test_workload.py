@@ -1,0 +1,52 @@
+"""Tests for workload specification and synthesis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.workload import (
+    WorkloadSpec,
+    build_population,
+    logarithmic_sizes,
+)
+
+
+class TestWorkloadSpec:
+    def test_sequential_population(self):
+        population = build_population(
+            WorkloadSpec(size=10, id_space="sequential")
+        )
+        assert population.tag_ids.tolist() == list(range(10))
+
+    def test_random_population_deterministic_by_seed(self):
+        a = build_population(WorkloadSpec(size=100, seed=5))
+        b = build_population(WorkloadSpec(size=100, seed=5))
+        c = build_population(WorkloadSpec(size=100, seed=6))
+        assert a.tag_ids.tolist() == b.tag_ids.tolist()
+        assert a.tag_ids.tolist() != c.tag_ids.tolist()
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(size=-1)
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(size=1, id_space="fibonacci")
+
+
+class TestLogarithmicSizes:
+    def test_endpoints_present(self):
+        sizes = logarithmic_sizes(100, 10_000, 5)
+        assert sizes[0] == 100
+        assert sizes[-1] == 10_000
+        assert sizes == sorted(sizes)
+
+    def test_single_point(self):
+        assert logarithmic_sizes(50, 1000, 1) == [50]
+
+    def test_rejects_bad_ranges(self):
+        with pytest.raises(ConfigurationError):
+            logarithmic_sizes(0, 10, 3)
+        with pytest.raises(ConfigurationError):
+            logarithmic_sizes(100, 10, 3)
+        with pytest.raises(ConfigurationError):
+            logarithmic_sizes(1, 10, 0)

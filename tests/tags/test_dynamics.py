@@ -1,0 +1,72 @@
+"""Tests for population dynamics (join/leave churn)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tags.dynamics import PopulationDynamics
+from repro.tags.population import TagPopulation
+
+
+class TestPopulationDynamics:
+    def test_rejects_negative_rates(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            PopulationDynamics(-1.0, 0.0, rng)
+        with pytest.raises(ConfigurationError):
+            PopulationDynamics(0.0, -1.0, rng)
+
+    def test_zero_rates_leave_population_unchanged(self):
+        rng = np.random.default_rng(1)
+        dynamics = PopulationDynamics(0.0, 0.0, rng)
+        population = TagPopulation.sequential(100)
+        evolved = dynamics.step(population, round_index=0)
+        assert evolved.tag_ids.tolist() == population.tag_ids.tolist()
+
+    def test_join_only_growth(self):
+        rng = np.random.default_rng(2)
+        dynamics = PopulationDynamics(10.0, 0.0, rng)
+        population = TagPopulation.sequential(50)
+        for round_index in range(20):
+            population = dynamics.step(population, round_index)
+        assert population.size > 50
+        assert dynamics.total_joined == population.size - 50
+        assert dynamics.total_left == 0
+
+    def test_leave_only_shrink(self):
+        rng = np.random.default_rng(3)
+        dynamics = PopulationDynamics(0.0, 5.0, rng)
+        population = TagPopulation.sequential(200)
+        for round_index in range(10):
+            population = dynamics.step(population, round_index)
+        assert population.size < 200
+        assert dynamics.total_left == 200 - population.size
+
+    def test_never_negative_size(self):
+        rng = np.random.default_rng(4)
+        dynamics = PopulationDynamics(0.0, 50.0, rng)
+        population = TagPopulation.sequential(20)
+        for round_index in range(10):
+            population = dynamics.step(population, round_index)
+        assert population.size >= 0
+
+    def test_history_records_sizes(self):
+        rng = np.random.default_rng(5)
+        dynamics = PopulationDynamics(3.0, 1.0, rng)
+        population = TagPopulation.sequential(30)
+        evolved = dynamics.step(population, round_index=7)
+        step = dynamics.history[0]
+        assert step.round_index == 7
+        assert step.size_after == evolved.size
+        assert step.size_after == 30 + step.joined - step.left
+
+    def test_ids_stay_unique(self):
+        rng = np.random.default_rng(6)
+        dynamics = PopulationDynamics(20.0, 10.0, rng)
+        population = TagPopulation.sequential(100)
+        for round_index in range(15):
+            population = dynamics.step(population, round_index)
+        ids = population.tag_ids.tolist()
+        assert len(ids) == len(set(ids))

@@ -1,0 +1,57 @@
+"""Tests for tag memory profiles (the Fig. 7 comparison)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tags.memory import MemoryModel, memory_profile
+
+
+class TestMemoryModel:
+    def test_pet_constant_in_rounds(self):
+        model = MemoryModel(code_bits=32)
+        assert (
+            model.pet(1).preloaded_bits
+            == model.pet(10_000).preloaded_bits
+            == 32
+        )
+
+    def test_fneb_linear_in_rounds(self):
+        model = MemoryModel(code_bits=32)
+        assert model.fneb(100).preloaded_bits == 3200
+        assert model.fneb(200).preloaded_bits == 6400
+
+    def test_lof_linear_in_rounds(self):
+        model = MemoryModel(code_bits=32)
+        assert model.lof(50).preloaded_bits == 1600
+
+    def test_total_bits_includes_state(self):
+        profile = MemoryModel().pet(10)
+        assert profile.total_bits == (
+            profile.preloaded_bits + profile.state_bits
+        )
+
+    def test_passive_profiles_need_no_hashing(self):
+        model = MemoryModel()
+        for profile in (model.pet(5), model.fneb(5), model.lof(5)):
+            assert profile.hash_evaluations == 0
+
+    def test_rejects_bad_rounds(self):
+        with pytest.raises(ConfigurationError):
+            MemoryModel().pet(0)
+
+    def test_rejects_bad_code_bits(self):
+        with pytest.raises(ConfigurationError):
+            MemoryModel(code_bits=0)
+
+
+class TestMemoryProfileLookup:
+    def test_lookup_by_name(self):
+        assert memory_profile("PET", 100).preloaded_bits == 32
+        assert memory_profile("fneb", 100).preloaded_bits == 3200
+        assert memory_profile("LoF", 100).preloaded_bits == 3200
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ConfigurationError):
+            memory_profile("gen2", 100)

@@ -1,0 +1,111 @@
+"""Tests for mobile tag fields and the mobility model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tags.mobility import MobileTagField, MobilityModel
+
+
+class TestMobileTagField:
+    def test_random_field_covers_everyone(self):
+        ids = np.arange(500, dtype=np.uint64)
+        field = MobileTagField.random(
+            ids, num_readers=4, overlap_probability=0.3,
+            rng=np.random.default_rng(0),
+        )
+        assert field.covered_tags == set(range(500))
+
+    def test_overlap_probability_zero_means_no_duplicates(self):
+        ids = np.arange(300, dtype=np.uint64)
+        field = MobileTagField.random(
+            ids, num_readers=4, overlap_probability=0.0,
+            rng=np.random.default_rng(1),
+        )
+        assert field.duplicated_tags == set()
+
+    def test_overlap_probability_one_duplicates_everyone(self):
+        ids = np.arange(300, dtype=np.uint64)
+        field = MobileTagField.random(
+            ids, num_readers=4, overlap_probability=1.0,
+            rng=np.random.default_rng(2),
+        )
+        assert field.duplicated_tags == set(range(300))
+
+    def test_single_reader_never_duplicates(self):
+        ids = np.arange(50, dtype=np.uint64)
+        field = MobileTagField.random(
+            ids, num_readers=1, overlap_probability=1.0,
+            rng=np.random.default_rng(3),
+        )
+        assert field.duplicated_tags == set()
+
+    def test_tags_of_reader_partition(self):
+        ids = np.arange(200, dtype=np.uint64)
+        field = MobileTagField.random(
+            ids, num_readers=3, overlap_probability=0.0,
+            rng=np.random.default_rng(4),
+        )
+        per_reader = [
+            set(field.tags_of_reader(i)) for i in range(3)
+        ]
+        assert set().union(*per_reader) == set(range(200))
+        assert sum(len(s) for s in per_reader) == 200
+
+    def test_reader_index_validation(self):
+        field = MobileTagField(num_readers=2)
+        with pytest.raises(ConfigurationError):
+            field.tags_of_reader(2)
+        with pytest.raises(ConfigurationError):
+            field.tags_of_reader(-1)
+
+    def test_rejects_zero_readers(self):
+        with pytest.raises(ConfigurationError):
+            MobileTagField(num_readers=0)
+
+    def test_rejects_bad_overlap(self):
+        with pytest.raises(ConfigurationError):
+            MobileTagField.random(
+                np.arange(1, dtype=np.uint64), 2, 1.5,
+                np.random.default_rng(0),
+            )
+
+
+class TestMobilityModel:
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ConfigurationError):
+            MobilityModel(-0.1, np.random.default_rng(0))
+
+    def test_zero_move_rate_settles_tags(self):
+        ids = np.arange(100, dtype=np.uint64)
+        field = MobileTagField.random(
+            ids, 3, 0.5, np.random.default_rng(5)
+        )
+        model = MobilityModel(0.0, np.random.default_rng(6))
+        settled = model.step(field)
+        # After a no-move step every tag has exactly one home.
+        assert settled.duplicated_tags == set()
+        assert settled.covered_tags == set(range(100))
+
+    def test_full_move_rate_transits_through_overlap(self):
+        ids = np.arange(100, dtype=np.uint64)
+        field = MobileTagField.random(
+            ids, 3, 0.0, np.random.default_rng(7)
+        )
+        model = MobilityModel(1.0, np.random.default_rng(8))
+        moved = model.step(field)
+        # A moving tag is covered by old AND new reader for the round.
+        assert moved.duplicated_tags == set(range(100))
+        assert moved.covered_tags == set(range(100))
+
+    def test_coverage_never_lost(self):
+        ids = np.arange(200, dtype=np.uint64)
+        field = MobileTagField.random(
+            ids, 4, 0.3, np.random.default_rng(9)
+        )
+        model = MobilityModel(0.2, np.random.default_rng(10))
+        for _ in range(10):
+            field = model.step(field)
+            assert field.covered_tags == set(range(200))

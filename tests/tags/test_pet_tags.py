@@ -1,0 +1,112 @@
+"""Tests for the PET tag state machines (Algorithms 2 and 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.messages import PrefixQuery, StartRound
+from repro.core.path import EstimatingPath
+from repro.errors import ProtocolError
+from repro.hashing import uniform_code
+from repro.tags.pet_tags import ActivePetTag, PassivePetTag
+
+
+def start(path_bits: str, seed: int | None) -> StartRound:
+    return StartRound(
+        path=EstimatingPath.from_string(path_bits), seed=seed
+    )
+
+
+class TestActivePetTag:
+    def test_hashes_fresh_code_per_round(self):
+        tag = ActivePetTag(tag_id=5, height=32)
+        tag.hear(start("0" * 32, seed=1))
+        code_one = tag.current_code
+        tag.hear(start("0" * 32, seed=2))
+        code_two = tag.current_code
+        assert code_one != code_two
+        assert tag.costs.hash_evaluations == 2
+
+    def test_code_matches_reference_hash(self):
+        tag = ActivePetTag(tag_id=5, height=32)
+        tag.hear(start("0" * 32, seed=77))
+        assert tag.current_code == uniform_code(77, 5, 32)
+
+    def test_requires_seed(self):
+        tag = ActivePetTag(tag_id=5, height=32)
+        with pytest.raises(ProtocolError):
+            tag.hear(start("0" * 32, seed=None))
+
+    def test_query_before_round_rejected(self):
+        tag = ActivePetTag(tag_id=5, height=32)
+        with pytest.raises(ProtocolError):
+            tag.hear(PrefixQuery(length=1, height=32))
+
+    def test_responds_iff_prefix_matches(self):
+        tag = ActivePetTag(tag_id=5, height=4)
+        # Force a known code by choosing the path equal to it.
+        tag.hear(StartRound(path=EstimatingPath(0, 4), seed=9))
+        code = tag.current_code
+        matching_path = EstimatingPath(code, 4)
+        tag.hear(StartRound(path=matching_path, seed=9))
+        for length in range(5):
+            assert tag.hear(PrefixQuery(length=length, height=4))
+        # A path differing in the first bit never matches length >= 1.
+        flipped = EstimatingPath(code ^ 0b1000, 4)
+        tag.hear(StartRound(path=flipped, seed=9))
+        assert tag.hear(PrefixQuery(length=0, height=4))
+        assert not tag.hear(PrefixQuery(length=1, height=4))
+
+    def test_cost_counters(self):
+        tag = ActivePetTag(tag_id=1, height=8)
+        tag.hear(start("0" * 8, seed=3))
+        tag.hear(PrefixQuery(length=1, height=8))
+        tag.hear(PrefixQuery(length=2, height=8))
+        assert tag.costs.bitwise_comparisons == 2
+        assert tag.costs.state_bits == 16  # code + path registers
+
+    def test_ignores_foreign_commands(self):
+        tag = ActivePetTag(tag_id=1, height=8)
+        assert tag.hear("some-other-protocol-frame") is False
+
+
+class TestPassivePetTag:
+    def test_preloaded_code_is_manufacturing_hash(self):
+        tag = PassivePetTag(tag_id=9, height=32)
+        expected = uniform_code(
+            PassivePetTag.MANUFACTURING_SEED, 9, 32
+        )
+        assert tag.preloaded_code == expected
+
+    def test_code_survives_rounds(self):
+        tag = PassivePetTag(tag_id=9, height=32)
+        code = tag.preloaded_code
+        tag.hear(start("0" * 32, seed=None))
+        tag.hear(start("1" * 32, seed=None))
+        assert tag.current_code == code
+        assert tag.costs.hash_evaluations == 0
+
+    def test_explicit_code_override(self):
+        tag = PassivePetTag(tag_id=9, height=6, preloaded_code=0b000111)
+        assert tag.preloaded_code == 0b000111
+
+    def test_rejects_out_of_range_code(self):
+        with pytest.raises(ProtocolError):
+            PassivePetTag(tag_id=9, height=4, preloaded_code=16)
+
+    def test_memory_accounting(self):
+        tag = PassivePetTag(tag_id=9, height=32)
+        assert tag.costs.preloaded_bits == 32
+        assert tag.costs.state_bits == 32  # just the path register
+
+    def test_answers_by_preloaded_code(self):
+        tag = PassivePetTag(tag_id=9, height=4, preloaded_code=0b0110)
+        tag.hear(start("0111", seed=None))
+        assert tag.hear(PrefixQuery(length=3, height=4))   # 011 matches
+        assert not tag.hear(PrefixQuery(length=4, height=4))
+
+    def test_response_counter(self):
+        tag = PassivePetTag(tag_id=9, height=4, preloaded_code=0b0110)
+        tag.hear(start("0110", seed=None))
+        tag.hear(PrefixQuery(length=4, height=4))
+        assert tag.costs.responses_sent == 1

@@ -1,0 +1,91 @@
+"""Tests for tag population generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tags.pet_tags import ActivePetTag, PassivePetTag
+from repro.tags.population import TagPopulation
+
+
+class TestConstruction:
+    def test_sequential(self):
+        population = TagPopulation.sequential(10)
+        assert population.size == 10
+        assert population.tag_ids.tolist() == list(range(10))
+
+    def test_random_ids_unique(self):
+        population = TagPopulation.random(
+            5000, np.random.default_rng(0)
+        )
+        assert population.size == 5000
+        assert len(set(population.tag_ids.tolist())) == 5000
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TagPopulation([1, 1, 2])
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TagPopulation.random(-1, np.random.default_rng(0))
+        with pytest.raises(ConfigurationError):
+            TagPopulation.sequential(-1)
+
+    def test_empty_population(self):
+        population = TagPopulation([])
+        assert population.size == 0
+        assert len(population) == 0
+
+    def test_ids_read_only(self):
+        population = TagPopulation.sequential(3)
+        with pytest.raises(ValueError):
+            population.tag_ids[0] = 99
+
+
+class TestCodes:
+    def test_codes_deterministic_per_seed(self):
+        population = TagPopulation.sequential(100)
+        assert (
+            population.codes(1, 32) == population.codes(1, 32)
+        ).all()
+        assert (
+            population.codes(1, 32) != population.codes(2, 32)
+        ).any()
+
+    def test_preloaded_codes_match_passive_tags(self):
+        population = TagPopulation.sequential(20)
+        codes = population.preloaded_codes(32)
+        tags = population.build_passive_tags(32)
+        assert codes.tolist() == [tag.preloaded_code for tag in tags]
+
+    def test_build_active_tags(self):
+        population = TagPopulation.sequential(5)
+        tags = population.build_active_tags(16)
+        assert all(isinstance(tag, ActivePetTag) for tag in tags)
+        assert [tag.tag_id for tag in tags] == list(range(5))
+
+    def test_build_passive_tags(self):
+        tags = TagPopulation.sequential(5).build_passive_tags(16)
+        assert all(isinstance(tag, PassivePetTag) for tag in tags)
+
+
+class TestSetOperations:
+    def test_subset(self):
+        population = TagPopulation.sequential(10)
+        subset = population.subset([1, 3, 5])
+        assert subset.size == 3
+        assert subset.tag_ids.tolist() == [1, 3, 5]
+
+    def test_subset_rejects_foreign_ids(self):
+        population = TagPopulation.sequential(10)
+        with pytest.raises(ConfigurationError):
+            population.subset([99])
+
+    def test_union(self):
+        a = TagPopulation([1, 2, 3])
+        b = TagPopulation([3, 4])
+        union = a.union(b)
+        assert union.size == 4
+        assert union.tag_ids.tolist() == [1, 2, 3, 4]

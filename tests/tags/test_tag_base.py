@@ -1,0 +1,56 @@
+"""Tests for the base tag abstractions and inventory bookkeeping."""
+
+from __future__ import annotations
+
+from repro.tags.base import (
+    Tag,
+    TagCostCounters,
+    TagDescriptor,
+    TagInventory,
+)
+
+
+class StubTag(Tag):
+    def hear(self, command: object) -> bool:
+        return False
+
+
+class TestTag:
+    def test_identity_and_repr(self):
+        tag = StubTag(42)
+        assert tag.tag_id == 42
+        assert "42" in repr(tag)
+
+    def test_fresh_cost_counters(self):
+        tag = StubTag(1)
+        assert tag.costs == TagCostCounters()
+        assert tag.costs.hash_evaluations == 0
+        assert tag.costs.responses_sent == 0
+
+
+class TestTagInventory:
+    def test_join_registers(self):
+        inventory = TagInventory()
+        descriptor = inventory.join(7, round_index=3)
+        assert descriptor == TagDescriptor(tag_id=7, joined_round=3)
+        assert 7 in inventory
+        assert len(inventory) == 1
+
+    def test_leave_records_departure(self):
+        inventory = TagInventory()
+        inventory.join(7)
+        inventory.leave(7)
+        assert 7 not in inventory
+        assert inventory.departures == [7]
+
+    def test_leave_unknown_is_noop(self):
+        inventory = TagInventory()
+        inventory.leave(99)
+        assert inventory.departures == []
+
+    def test_rejoin_after_leave(self):
+        inventory = TagInventory()
+        inventory.join(7)
+        inventory.leave(7)
+        inventory.join(7, round_index=5)
+        assert inventory.descriptors[7].joined_round == 5

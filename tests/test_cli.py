@@ -1,0 +1,37 @@
+"""Tests for the CLI entry point."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_fig3(self, capsys):
+        assert main(["fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 3" in out
+
+    def test_table3(self, capsys):
+        assert main(["table3"]) == 0
+        assert "Table 3" in capsys.readouterr().out
+
+    def test_fig4_with_small_runs(self, capsys):
+        assert main(["fig4", "--runs", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 4a" in out
+        assert "Fig. 4c" in out
+
+    def test_fig7(self, capsys):
+        assert main(["fig7"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 7a" in out
+
+    def test_fig5a(self, capsys):
+        assert main(["fig5a"]) == 0
+        assert "Fig. 5a" in capsys.readouterr().out
+
+    def test_unknown_experiment_exits_nonzero(self):
+        with pytest.raises(SystemExit):
+            main(["figNaN"])

@@ -1,0 +1,40 @@
+"""CLI coverage for the extension and ablation entry points."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCliExtensionEntries:
+    def test_extensions_listed(self):
+        # argparse help should accept the extensions choice.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+
+    def test_table5(self, capsys):
+        assert main(["table5"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 5" in out
+        assert "PET/FNEB" in out
+
+    def test_fig5b(self, capsys):
+        assert main(["fig5b"]) == 0
+        assert "Fig. 5b" in capsys.readouterr().out
+
+    def test_runs_flag_respected(self, capsys):
+        assert main(["fig4", "--runs", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 4a" in out
+
+
+class TestEntryPoint:
+    def test_module_main_importable(self):
+        import repro.__main__  # noqa: F401  (import side effects only)
+
+    def test_console_script_target(self):
+        from repro.cli import main as entry
+
+        assert callable(entry)

@@ -1,0 +1,114 @@
+"""Tests for the configuration dataclasses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    AccuracyRequirement,
+    ChannelConfig,
+    PetConfig,
+    TimingConfig,
+)
+from repro.errors import ConfigurationError
+
+
+class TestAccuracyRequirement:
+    def test_defaults_match_paper(self):
+        requirement = AccuracyRequirement()
+        assert requirement.epsilon == 0.05
+        assert requirement.delta == 0.01
+
+    def test_interval_scales_with_n(self):
+        requirement = AccuracyRequirement(0.05, 0.01)
+        low, high = requirement.interval(50_000)
+        assert low == pytest.approx(47_500)
+        assert high == pytest.approx(52_500)
+
+    def test_contains_accepts_inside_values(self):
+        requirement = AccuracyRequirement(0.05, 0.01)
+        assert requirement.contains(50_000, 50_000)
+        assert requirement.contains(47_500, 50_000)
+        assert requirement.contains(52_500, 50_000)
+
+    def test_contains_rejects_outside_values(self):
+        requirement = AccuracyRequirement(0.05, 0.01)
+        assert not requirement.contains(47_499, 50_000)
+        assert not requirement.contains(52_501, 50_000)
+
+    @pytest.mark.parametrize("epsilon", [0.0, 1.0, -0.1, 1.5])
+    def test_rejects_bad_epsilon(self, epsilon):
+        with pytest.raises(ConfigurationError):
+            AccuracyRequirement(epsilon=epsilon)
+
+    @pytest.mark.parametrize("delta", [0.0, 1.0, -0.01])
+    def test_rejects_bad_delta(self, delta):
+        with pytest.raises(ConfigurationError):
+            AccuracyRequirement(delta=delta)
+
+
+class TestPetConfig:
+    def test_defaults(self):
+        config = PetConfig()
+        assert config.tree_height == 32
+        assert config.binary_search
+        assert not config.passive_tags
+        assert config.rounds is None
+
+    @pytest.mark.parametrize("height", [0, 65, -3])
+    def test_rejects_bad_height(self, height):
+        with pytest.raises(ConfigurationError):
+            PetConfig(tree_height=height)
+
+    def test_rejects_nonpositive_rounds(self):
+        with pytest.raises(ConfigurationError):
+            PetConfig(rounds=0)
+
+    def test_with_rounds_preserves_other_fields(self):
+        config = PetConfig(tree_height=16, binary_search=False)
+        updated = config.with_rounds(7)
+        assert updated.rounds == 7
+        assert updated.tree_height == 16
+        assert not updated.binary_search
+        # frozen: original unchanged
+        assert config.rounds is None
+
+
+class TestChannelConfig:
+    def test_default_is_lossless(self):
+        assert ChannelConfig().lossless
+
+    def test_loss_makes_not_lossless(self):
+        assert not ChannelConfig(loss_probability=0.1).lossless
+        assert not ChannelConfig(capture_probability=0.1).lossless
+
+    @pytest.mark.parametrize("value", [-0.1, 1.1])
+    def test_rejects_bad_probabilities(self, value):
+        with pytest.raises(ConfigurationError):
+            ChannelConfig(loss_probability=value)
+        with pytest.raises(ConfigurationError):
+            ChannelConfig(capture_probability=value)
+
+
+class TestTimingConfig:
+    def test_slot_duration_positive_and_monotone(self):
+        timing = TimingConfig()
+        short = timing.slot_duration_us(1)
+        long = timing.slot_duration_us(32)
+        assert 0 < short < long
+
+    def test_rejects_negative_payload(self):
+        with pytest.raises(ConfigurationError):
+            TimingConfig().slot_duration_us(-1)
+
+    def test_rejects_bad_bitrates(self):
+        with pytest.raises(ConfigurationError):
+            TimingConfig(reader_bitrate_bps=0)
+        with pytest.raises(ConfigurationError):
+            TimingConfig(tag_bitrate_bps=-1)
+
+    def test_rejects_negative_overheads(self):
+        with pytest.raises(ConfigurationError):
+            TimingConfig(command_overhead_bits=-1)
+        with pytest.raises(ConfigurationError):
+            TimingConfig(turnaround_us=-1.0)

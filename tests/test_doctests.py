@@ -1,0 +1,45 @@
+"""The documented examples actually run.
+
+Executes the doctest embedded in the package docstring (the same
+snippet the README leads with), so the first thing a new user tries is
+continuously verified.
+"""
+
+from __future__ import annotations
+
+import doctest
+
+import repro
+
+
+class TestDocumentedExamples:
+    def test_package_docstring_example(self):
+        results = doctest.testmod(repro, verbose=False)
+        assert results.attempted >= 3
+        assert results.failed == 0
+
+    def test_readme_quickstart_snippet(self):
+        # The README's first code block, executed literally.
+        import numpy as np
+
+        from repro import (
+            AccuracyRequirement,
+            PetConfig,
+            PetEstimator,
+            SampledSimulator,
+        )
+
+        requirement = AccuracyRequirement(epsilon=0.05, delta=0.01)
+        estimator = PetEstimator(
+            requirement=requirement, rng=np.random.default_rng(0)
+        )
+        assert estimator.planned_rounds == 4697
+
+        sim = SampledSimulator(
+            1_000_000,
+            config=PetConfig(rounds=4697),
+            rng=np.random.default_rng(1),
+        )
+        result = sim.estimate()
+        assert abs(result.n_hat - 1_000_000) < 50_000
+        assert result.total_slots == 23_485

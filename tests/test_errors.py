@@ -1,0 +1,68 @@
+"""Tests for the exception hierarchy and package surface."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.errors import (
+    AnalysisError,
+    ChannelError,
+    ConfigurationError,
+    EstimationError,
+    ProtocolError,
+    ReproError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ConfigurationError,
+            ProtocolError,
+            ChannelError,
+            EstimationError,
+            AnalysisError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        assert issubclass(exc, Exception)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise ConfigurationError("boom")
+
+
+class TestPackageSurface:
+    def test_version_is_semver(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(part.isdigit() for part in parts)
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_headline_constants_exported(self):
+        assert 1.25 < repro.PHI < 1.26
+        assert 1.87 < repro.SIGMA_H < 1.88
+
+    def test_subpackages_importable(self):
+        import repro.analysis
+        import repro.core
+        import repro.figures
+        import repro.hashing
+        import repro.protocols
+        import repro.radio
+        import repro.reader
+        import repro.sim
+        import repro.tags
+
+        for module in (
+            repro.core,
+            repro.analysis,
+            repro.protocols,
+        ):
+            assert module.__doc__

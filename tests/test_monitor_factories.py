@@ -1,0 +1,66 @@
+"""Tests for monitor helper wiring (custom estimator factories)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.monitor import CardinalityMonitor, simulate_monitoring
+
+
+class TestCustomFactory:
+    def test_factory_receives_n_and_epoch(self):
+        calls = []
+
+        def factory(n: int, epoch: int) -> float:
+            calls.append((n, epoch))
+            return float(n)
+
+        reports = simulate_monitoring(
+            [100, 200, 300],
+            rounds_per_epoch=64,
+            estimator_factory=factory,
+        )
+        assert calls == [(100, 0), (200, 1), (300, 2)]
+        assert [r.estimate for r in reports] == [100.0, 200.0, 300.0]
+
+    def test_noisy_factory_respects_detection_theory(self):
+        # Estimates drawn at exactly the expected per-epoch sigma must
+        # rarely trip the delta = 1% detector.
+        rng = np.random.default_rng(0)
+        monitor = CardinalityMonitor(
+            rounds_per_epoch=256, delta=0.01
+        )
+        sigma = monitor.epoch_relative_std
+        base = 10_000.0
+        flags = 0
+        epochs = 200
+        for _ in range(epochs):
+            noise = rng.normal(0.0, sigma)
+            report = monitor.observe(base * (1.0 + noise))
+            flags += report.changed
+        # Expected false-positive rate ~1%; EWMA smoothing plus
+        # re-anchoring keeps the realized rate in single digits.
+        assert flags <= 0.06 * epochs
+
+    def test_detected_magnitude_scales_with_rounds(self):
+        # More rounds per epoch -> smaller sigma -> smaller detectable
+        # change.  A +10% step is invisible at m=64 but caught at
+        # m=4096.
+        step_stream = [10_000.0] * 6 + [11_000.0]
+        coarse = simulate_monitoring(
+            [],  # build manually below
+            rounds_per_epoch=64,
+        )
+        assert coarse == []
+
+        def run(rounds: int) -> bool:
+            monitor = CardinalityMonitor(rounds_per_epoch=rounds)
+            last = None
+            for value in step_stream:
+                last = monitor.observe(value)
+            assert last is not None
+            return last.changed
+
+        assert not run(64)
+        assert run(4096)
