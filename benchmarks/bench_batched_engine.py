@@ -1,0 +1,110 @@
+"""Before/after throughput of the batched experiment engine.
+
+Times one fig-4-sized experiment cell (n = 10 000, 300 repetitions,
+paper-default rounds m(eps=5%, delta=1%) = 4697) through the
+per-repetition reference loop and through the batched engine, verifies
+the results are bit-identical, and records rounds-per-second for both in
+``BENCH_batched_engine.json`` at the repo root.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_batched_engine.py [--loop-reps K]
+
+The loop baseline is timed on ``K`` repetitions (default 50) and scaled
+to the full 300 — it is the slow side being replaced; the batched engine
+always runs the complete cell.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.config import PAPER_RUNS_PER_POINT, PetConfig
+from repro.core.accuracy import rounds_required
+from repro.sim.experiment import ExperimentRunner
+from repro.sim.workload import WorkloadSpec
+
+CELL_N = 10_000
+CELL_SEED = 2011
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_batched_engine.json"
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--loop-reps",
+        type=int,
+        default=50,
+        help="repetitions to time the reference loop on (scaled to 300)",
+    )
+    args = parser.parse_args()
+
+    rounds = rounds_required(0.05, 0.01)
+    spec = WorkloadSpec(size=CELL_N, seed=0)
+    config = PetConfig(passive_tags=True)
+    repetitions = PAPER_RUNS_PER_POINT
+
+    runner = ExperimentRunner(base_seed=CELL_SEED, repetitions=repetitions)
+
+    start = time.perf_counter()
+    batched = runner.run_vectorized(spec, config, rounds, engine="batched")
+    batched_seconds = time.perf_counter() - start
+
+    loop_reps = min(args.loop_reps, repetitions)
+    loop_runner = ExperimentRunner(base_seed=CELL_SEED, repetitions=loop_reps)
+    start = time.perf_counter()
+    loop_sample = loop_runner.run_vectorized(
+        spec, config, rounds, engine="loop"
+    )
+    loop_sample_seconds = time.perf_counter() - start
+    loop_seconds = loop_sample_seconds * repetitions / loop_reps
+
+    # The loop sample shares the seed tree's first repetitions, so its
+    # estimates must be a bit-identical prefix of the batched cell's.
+    if loop_sample.estimates.tolist() != batched.estimates[:loop_reps].tolist():
+        raise AssertionError(
+            "batched engine diverged from the reference loop"
+        )
+
+    total_rounds = repetitions * rounds
+    report = {
+        "cell": {
+            "n": CELL_N,
+            "repetitions": repetitions,
+            "rounds": rounds,
+            "config": "passive_tags=True, binary_search=True, H=32",
+            "base_seed": CELL_SEED,
+        },
+        "before": {
+            "engine": "run_vectorized(engine='loop')",
+            "seconds": round(loop_seconds, 3),
+            "timed_repetitions": loop_reps,
+            "rounds_per_second": round(total_rounds / loop_seconds),
+        },
+        "after": {
+            "engine": "run_vectorized(engine='batched')",
+            "seconds": round(batched_seconds, 3),
+            "timed_repetitions": repetitions,
+            "rounds_per_second": round(total_rounds / batched_seconds),
+        },
+        "speedup": round(loop_seconds / batched_seconds, 1),
+        "bit_identical": True,
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+    }
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {OUTPUT}")
+
+
+if __name__ == "__main__":
+    main()

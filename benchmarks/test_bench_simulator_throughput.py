@@ -1,7 +1,10 @@
-"""Microbenchmarks: round throughput of the three simulator tiers.
+"""Microbenchmarks: round throughput of the simulator tiers.
 
 Not a paper artifact — these justify the tiered design documented in
-DESIGN.md by measuring the cost of one estimation round per tier.
+DESIGN.md by measuring the cost of one estimation round per tier, and
+the batched experiment engine against the per-repetition reference
+loop.  ``benchmarks/bench_batched_engine.py`` runs the full fig-4-sized
+before/after comparison and records it in ``BENCH_batched_engine.json``.
 """
 
 from __future__ import annotations
@@ -10,9 +13,13 @@ import numpy as np
 import pytest
 
 from repro.config import PetConfig
+from repro.core.path import EstimatingPath
+from repro.sim.batched import BatchedExperimentEngine
+from repro.sim.experiment import ExperimentRunner
 from repro.sim.sampled import SampledSimulator
 from repro.sim.slotsim import SlotLevelSimulator
 from repro.sim.vectorized import VectorizedSimulator
+from repro.sim.workload import WorkloadSpec
 from repro.tags.population import TagPopulation
 
 N = 5_000
@@ -34,14 +41,11 @@ def test_bench_slot_level_round(benchmark, population):
         config=PetConfig(rounds=1, passive_tags=True),
         rng=np.random.default_rng(1),
     )
-    estimator_path = simulator.reader.config.tree_height
+    height = simulator.reader.config.tree_height
+    rng = np.random.default_rng(2)
 
     def one_round():
-        from repro.core.path import EstimatingPath
-
-        path = EstimatingPath.random(
-            estimator_path, np.random.default_rng(2)
-        )
+        path = EstimatingPath.random(height, rng)
         return simulator.run_round(path, 0)
 
     depth, slots = benchmark(one_round)
@@ -53,8 +57,6 @@ def test_bench_vectorized_round_active(benchmark, population):
     simulator = VectorizedSimulator(
         population, config=PetConfig(), rng=np.random.default_rng(3)
     )
-    from repro.core.path import EstimatingPath
-
     rng = np.random.default_rng(4)
 
     def one_round():
@@ -70,8 +72,6 @@ def test_bench_vectorized_round_passive(benchmark, population):
         config=PetConfig(passive_tags=True),
         rng=np.random.default_rng(5),
     )
-    from repro.core.path import EstimatingPath
-
     rng = np.random.default_rng(6)
 
     def one_round():
@@ -92,3 +92,38 @@ def test_bench_sampled_batch(benchmark):
     estimates = benchmark(batch)
     assert estimates.shape == (10,)
     assert 0.9 < estimates.mean() / 1_000_000 < 1.1
+
+
+# Batched engine vs the per-repetition reference loop.  Reduced scale
+# (50 reps x 512 rounds) so the loop baseline stays benchmarkable; the
+# committed BENCH_batched_engine.json holds the full fig-4-sized cell.
+_CELL_SPEC = WorkloadSpec(size=10_000, seed=0)
+_CELL_CONFIG = PetConfig(passive_tags=True)
+_CELL_REPS = 50
+_CELL_ROUNDS = 512
+
+
+def test_bench_batched_engine_cell(benchmark):
+    engine = BatchedExperimentEngine(
+        base_seed=2011, repetitions=_CELL_REPS
+    )
+
+    def cell():
+        return engine.run_cell(_CELL_SPEC, _CELL_CONFIG, _CELL_ROUNDS)
+
+    repeated = benchmark(cell)
+    assert repeated.estimates.shape == (_CELL_REPS,)
+    assert 0.8 < repeated.estimates.mean() / _CELL_SPEC.size < 1.2
+
+
+def test_bench_repetition_loop_cell(benchmark):
+    runner = ExperimentRunner(base_seed=2011, repetitions=_CELL_REPS)
+
+    def cell():
+        return runner.run_vectorized_loop(
+            _CELL_SPEC, _CELL_CONFIG, _CELL_ROUNDS
+        )
+
+    repeated = benchmark(cell)
+    assert repeated.estimates.shape == (_CELL_REPS,)
+    assert 0.8 < repeated.estimates.mean() / _CELL_SPEC.size < 1.2

@@ -62,10 +62,12 @@ def _run_table5() -> None:
     ).print()
 
 
-def _experiments(runs: int) -> dict[str, Callable[[], None]]:
+def _experiments(
+    runs: int, workers: int | None = None
+) -> dict[str, Callable[[], None]]:
     return {
         "fig3": fig3_trace.main,
-        "fig4": lambda: fig4.main(runs=runs),
+        "fig4": lambda: fig4.main(runs=runs, workers=workers),
         "table3": table3.main,
         "table4": _run_table4,
         "table5": _run_table5,
@@ -99,8 +101,17 @@ def main(argv: list[str] | None = None) -> int:
         default=PAPER_RUNS_PER_POINT,
         help="simulation repetitions per data point (paper: 300)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for sweep experiments (default: serial); "
+            "results are bit-identical for any worker count"
+        ),
+    )
     args = parser.parse_args(argv)
-    experiments = _experiments(args.runs)
+    experiments = _experiments(args.runs, args.workers)
     if args.experiment == "all":
         for name in sorted(experiments):
             print(f"===== {name} =====")

@@ -48,15 +48,20 @@ class EstimatingPath:
     def random(
         cls, height: int, rng: np.random.Generator
     ) -> "EstimatingPath":
-        """Draw a uniform random path of the given height."""
+        """Draw a uniform random path of the given height.
+
+        Consumes exactly one full-range 64-bit word from ``rng`` and
+        keeps the top ``height`` bits, so batch path generation (one
+        array draw covering many rounds) reproduces repeated scalar
+        calls bit-for-bit — the batched experiment engine relies on
+        this.
+        """
         if not 1 <= height <= 64:
             raise ConfigurationError(
                 f"path height must lie in [1, 64], got {height}"
             )
-        # Draw 64 bits then truncate, to stay exact for height == 64.
-        bits = int(rng.integers(0, 2**63, dtype=np.int64))
-        bits = (bits << 1) | int(rng.integers(0, 2))
-        return cls(bits >> (64 - height), height)
+        word = int(rng.integers(0, 2**64, dtype=np.uint64))
+        return cls(word >> (64 - height), height)
 
     @classmethod
     def from_string(cls, bit_string: str) -> "EstimatingPath":

@@ -19,6 +19,8 @@ from __future__ import annotations
 import abc
 from typing import Protocol
 
+import numpy as np
+
 
 class PrefixOracle(Protocol):
     """One-slot query: does any tag match the path's first ``j`` bits?"""
@@ -104,3 +106,62 @@ def strategy_for(binary_search: bool) -> GraySearchStrategy:
     if binary_search:
         return BinaryGraySearch()
     return LinearGraySearch()
+
+
+class _KnownDepthOracle:
+    """Answers prefix probes from a precomputed gray depth."""
+
+    def __init__(self, depth: int):
+        self._depth = depth
+        self.slots_used = 0
+
+    def is_busy(self, prefix_length: int) -> bool:
+        self.slots_used += 1
+        return prefix_length <= self._depth
+
+
+def replay_slots(
+    strategy: GraySearchStrategy, depth: int, height: int
+) -> int:
+    """Slots the strategy would consume to find ``depth`` on this tree."""
+    oracle = _KnownDepthOracle(depth)
+    found = strategy.find_gray_depth(oracle, height)
+    if found != depth:
+        raise AssertionError(
+            f"search strategy returned {found} for known depth {depth}"
+        )
+    return oracle.slots_used
+
+
+#: Cache behind :func:`slots_lookup_table`, keyed by (strategy type, height).
+#: The built-in strategies are stateless, so the slot count for a given
+#: depth is a pure function of the class — one replay per depth, ever.
+_SLOTS_LUT_CACHE: dict[tuple[type, int], np.ndarray] = {}
+
+
+def slots_lookup_table(
+    strategy: GraySearchStrategy, height: int
+) -> np.ndarray:
+    """Depth -> slots-consumed table for ``strategy`` on an ``height`` tree.
+
+    The slots a (deterministic, stateless) search strategy consumes
+    depend only on the depth it ends up finding, so slot accounting for
+    a whole batch of rounds reduces to ``table[depths]`` instead of one
+    oracle replay per round.  The returned array has ``height + 1``
+    entries (depths ``0..height``), is read-only, and is computed once
+    per ``(strategy class, height)`` — repeated calls return the cached
+    object.
+    """
+    key = (type(strategy), height)
+    table = _SLOTS_LUT_CACHE.get(key)
+    if table is None:
+        table = np.array(
+            [
+                replay_slots(strategy, depth, height)
+                for depth in range(height + 1)
+            ],
+            dtype=np.int64,
+        )
+        table.flags.writeable = False
+        _SLOTS_LUT_CACHE[key] = table
+    return table

@@ -44,14 +44,21 @@ def run(
     rounds_grid: tuple[int, ...] = DEFAULT_ROUNDS,
     runs: int = PAPER_RUNS_PER_POINT,
     base_seed: int = 41,
+    workers: int | None = None,
 ) -> list[Fig4Cell]:
-    """Run the full sweep; returns one cell per (n, m) pair."""
+    """Run the full sweep; returns one cell per (n, m) pair.
+
+    ``workers`` fans the per-``n`` cells of each rounds value out over
+    worker processes (see :meth:`ExperimentRunner.sweep`); results are
+    bit-identical for any worker count.
+    """
     runner = ExperimentRunner(base_seed=base_seed, repetitions=runs)
     config = PetConfig()
     cells = []
-    for n in sizes:
-        for rounds in rounds_grid:
-            repeated = runner.run_sampled(n, config, rounds)
+    for rounds in rounds_grid:
+        for n, repeated in zip(
+            sizes, runner.sweep(sizes, config, rounds, workers=workers)
+        ):
             cells.append(
                 Fig4Cell(
                     n=n,
@@ -95,9 +102,11 @@ def tables(cells: list[Fig4Cell]) -> tuple[Table, Table, Table]:
     return table_a, table_b, table_c
 
 
-def main(runs: int = PAPER_RUNS_PER_POINT) -> None:
+def main(
+    runs: int = PAPER_RUNS_PER_POINT, workers: int | None = None
+) -> None:
     """Print all three panels at the paper's scale."""
-    cells = run(runs=runs)
+    cells = run(runs=runs, workers=workers)
     for table in tables(cells):
         table.print()
     print(

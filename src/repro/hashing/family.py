@@ -76,6 +76,28 @@ class HashFamily(abc.ABC):
         digests = self.digest_many(seed, keys)
         return digests >> np.uint64(64 - bits)
 
+    def digest_matrix(self, seeds: np.ndarray, keys: np.ndarray) -> np.ndarray:
+        """Digests for every (seed, key) pair: a ``(len(seeds), len(keys))``
+        ``uint64`` matrix with ``out[i, j] == digest(seeds[i], keys[j])``.
+
+        The base implementation loops over seeds calling
+        :meth:`digest_many`; families with a numpy fast path override it
+        with a single broadcast (the batched experiment engine computes
+        many per-round code sets at once through this hook).
+        """
+        seeds = np.asarray(seeds)
+        out = np.empty((len(seeds), len(keys)), dtype=np.uint64)
+        for index, seed in enumerate(seeds):
+            out[index] = self.digest_many(int(seed), keys)
+        return out
+
+    def code_matrix(
+        self, seeds: np.ndarray, keys: np.ndarray, bits: int
+    ) -> np.ndarray:
+        """Vectorized :meth:`code` over every (seed, key) pair."""
+        _check_bits(bits)
+        return self.digest_matrix(seeds, keys) >> np.uint64(64 - bits)
+
 
 def _check_bits(bits: int) -> None:
     if not 1 <= bits <= 64:
@@ -97,6 +119,13 @@ class SplitMix64Family(HashFamily):
         keys64 = np.asarray(keys, dtype=np.uint64)
         seeded = np.uint64(splitmix64(seed & _MASK64))
         return _splitmix64_vec(keys64 ^ seeded)
+
+    def digest_matrix(self, seeds: np.ndarray, keys: np.ndarray) -> np.ndarray:
+        """One broadcast over the (seeds x keys) grid; no Python loop."""
+        seeds64 = np.asarray(seeds, dtype=np.uint64)
+        keys64 = np.asarray(keys, dtype=np.uint64)
+        seeded = _splitmix64_vec(seeds64)
+        return _splitmix64_vec(keys64[None, :] ^ seeded[:, None])
 
 
 def _splitmix64_vec(values: np.ndarray) -> np.ndarray:

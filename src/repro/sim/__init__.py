@@ -18,14 +18,21 @@ Tiers
 All tiers implement the :class:`repro.core.estimator.RoundDriver`
 protocol and therefore compose with :class:`repro.core.PetEstimator`.
 
+On top of the tiers, :class:`~repro.sim.batched.BatchedExperimentEngine`
+computes entire *experiment cells* (all repetitions x rounds of one data
+point) in batched numpy, bit-identical to the per-repetition reference
+loop.
+
 Orchestration
 -------------
 :mod:`~repro.sim.experiment` runs repeated estimations with managed
-seeds; :mod:`~repro.sim.metrics` aggregates them; :mod:`~repro.sim.report`
+seeds (with process-parallel sweeps via ``workers=``);
+:mod:`~repro.sim.metrics` aggregates them; :mod:`~repro.sim.report`
 renders the paper-style tables; :mod:`~repro.sim.workload` synthesizes
 populations and scenarios.
 """
 
+from .batched import BatchedExperimentEngine
 from .experiment import ExperimentRunner, RepeatedEstimate
 from .multireader import MultiReaderSimulator
 from .persist import load_experiment, save_experiment
@@ -40,6 +47,7 @@ __all__ = [
     "VectorizedSimulator",
     "SampledSimulator",
     "MultiReaderSimulator",
+    "BatchedExperimentEngine",
     "ExperimentRunner",
     "RepeatedEstimate",
     "Table",

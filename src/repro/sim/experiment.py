@@ -103,6 +103,7 @@ class ExperimentRunner:
         spec: WorkloadSpec,
         config: PetConfig,
         rounds: int,
+        engine: str = "batched",
     ) -> RepeatedEstimate:
         """Repeated estimation on the vectorized tier (either variant).
 
@@ -110,6 +111,38 @@ class ExperimentRunner:
         for the passive variant the *population* (and hence the preloaded
         codes) is also resampled per repetition, so the measured spread
         includes the code-assignment randomness, as in the paper.
+
+        ``engine`` selects the execution strategy: ``"batched"`` (the
+        default) computes the whole cell in numpy via
+        :class:`repro.sim.batched.BatchedExperimentEngine`;  ``"loop"``
+        is the per-round reference implementation.  Both consume the
+        same seed tree and return bit-identical results (enforced by the
+        cross-tier equivalence tests).
+        """
+        if engine == "batched":
+            from .batched import BatchedExperimentEngine
+
+            batched = BatchedExperimentEngine(
+                base_seed=self.base_seed, repetitions=self.repetitions
+            )
+            return batched.run_cell(spec, config, rounds)
+        if engine != "loop":
+            raise ConfigurationError(
+                f"engine must be 'batched' or 'loop', got {engine!r}"
+            )
+        return self.run_vectorized_loop(spec, config, rounds)
+
+    def run_vectorized_loop(
+        self,
+        spec: WorkloadSpec,
+        config: PetConfig,
+        rounds: int,
+    ) -> RepeatedEstimate:
+        """Reference per-repetition loop behind :meth:`run_vectorized`.
+
+        Kept as the executable specification the batched engine is
+        tested against (and as the baseline of the throughput
+        benchmark); prefer ``run_vectorized`` everywhere else.
         """
         rngs = self._child_rngs(self.repetitions)
         estimates = np.empty(self.repetitions)
@@ -161,6 +194,47 @@ class ExperimentRunner:
         sizes: Sequence[int],
         config: PetConfig,
         rounds: int,
+        workers: int | None = None,
     ) -> list[RepeatedEstimate]:
-        """Sampled-tier sweep over population sizes (Fig. 4 driver)."""
-        return [self.run_sampled(n, config, rounds) for n in sizes]
+        """Sampled-tier sweep over population sizes (Fig. 4 driver).
+
+        ``workers`` fans the cells out over a
+        :class:`concurrent.futures.ProcessPoolExecutor`.  Every cell
+        seeds its own generator from ``SeedSequence((base_seed, n,
+        rounds))`` (see :meth:`run_sampled`), independent of execution
+        order — so the results are bit-for-bit identical for any worker
+        count, including ``None``/``1`` (in-process serial execution).
+        """
+        if workers is not None and workers < 1:
+            raise ConfigurationError(
+                f"workers must be >= 1 when given, got {workers}"
+            )
+        if workers is None or workers == 1:
+            return [self.run_sampled(n, config, rounds) for n in sizes]
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(
+                    _sweep_cell,
+                    self.base_seed,
+                    self.repetitions,
+                    n,
+                    config,
+                    rounds,
+                )
+                for n in sizes
+            ]
+            return [future.result() for future in futures]
+
+
+def _sweep_cell(
+    base_seed: int,
+    repetitions: int,
+    n: int,
+    config: PetConfig,
+    rounds: int,
+) -> RepeatedEstimate:
+    """Worker-process entry: one sweep cell (module-level, picklable)."""
+    runner = ExperimentRunner(base_seed=base_seed, repetitions=repetitions)
+    return runner.run_sampled(n, config, rounds)

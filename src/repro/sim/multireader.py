@@ -24,11 +24,11 @@ import numpy as np
 from ..config import PetConfig
 from ..core.estimator import EstimateResult, PetEstimator
 from ..core.path import EstimatingPath
-from ..core.search import strategy_for
+from ..core.search import slots_lookup_table, strategy_for
 from ..errors import ConfigurationError
 from ..tags.mobility import MobileTagField
 from ..tags.population import TagPopulation
-from .vectorized import gray_depth_of_codes, replay_slots
+from .vectorized import gray_depth_of_codes
 
 
 class MultiReaderSimulator:
@@ -130,8 +130,10 @@ class MultiReaderSimulator:
         depth = gray_depth_of_codes(
             codes, path.bits, self.config.tree_height
         )
-        slots = replay_slots(
-            self._strategy, depth, self.config.tree_height
+        slots = int(
+            slots_lookup_table(self._strategy, self.config.tree_height)[
+                depth
+            ]
         )
         return depth, slots
 

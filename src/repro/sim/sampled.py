@@ -25,9 +25,8 @@ from ..analysis.mellin import gray_depth_cdf
 from ..config import PetConfig
 from ..core.estimator import EstimateResult, PetEstimator
 from ..core.path import EstimatingPath
-from ..core.search import strategy_for
+from ..core.search import slots_lookup_table, strategy_for
 from ..errors import ConfigurationError
-from .vectorized import replay_slots
 
 
 class SampledSimulator:
@@ -72,9 +71,10 @@ class SampledSimulator:
     def run_round(
         self, path: EstimatingPath, round_index: int
     ) -> tuple[int, int]:
-        """RoundDriver hook: sampled depth + replayed slot count."""
+        """RoundDriver hook: sampled depth + cached slot count."""
         depth = int(self.sample_depths(1)[0])
-        slots = replay_slots(self._strategy, depth, self.config.tree_height)
+        height = self.config.tree_height
+        slots = int(slots_lookup_table(self._strategy, height)[depth])
         return depth, slots
 
     def estimate(self, rounds: int | None = None) -> EstimateResult:

@@ -13,8 +13,9 @@ round's gray depth directly:
   so the depth is taken as ``max`` over a vectorized
   leading-zero count of ``codes XOR r`` — ``O(n)`` per round.
 
-Slot accounting replays the configured search strategy against an oracle
-that answers from the known depth, so the slot counts are exactly those
+Slot accounting uses the depth -> slots lookup table cached in
+:mod:`repro.core.search` (slots consumed by a deterministic search
+depend only on the depth found), so the slot counts are exactly those
 the real reader would consume — this is asserted by the cross-tier
 equivalence tests.
 """
@@ -26,35 +27,14 @@ import numpy as np
 from ..config import PetConfig
 from ..core.estimator import EstimateResult, PetEstimator
 from ..core.path import EstimatingPath
-from ..core.search import GraySearchStrategy, strategy_for
+from ..core.search import (  # noqa: F401  (re-exported for back-compat)
+    replay_slots,
+    slots_lookup_table,
+    strategy_for,
+)
 from ..errors import ConfigurationError
 from ..hashing.geometric import leading_zeros64_vec
 from ..tags.population import TagPopulation
-
-
-class _KnownDepthOracle:
-    """Answers prefix probes from a precomputed gray depth."""
-
-    def __init__(self, depth: int):
-        self._depth = depth
-        self.slots_used = 0
-
-    def is_busy(self, prefix_length: int) -> bool:
-        self.slots_used += 1
-        return prefix_length <= self._depth
-
-
-def replay_slots(
-    strategy: GraySearchStrategy, depth: int, height: int
-) -> int:
-    """Slots the strategy would consume to find ``depth`` on this tree."""
-    oracle = _KnownDepthOracle(depth)
-    found = strategy.find_gray_depth(oracle, height)
-    if found != depth:
-        raise AssertionError(
-            f"search strategy returned {found} for known depth {depth}"
-        )
-    return oracle.slots_used
 
 
 def gray_depth_of_codes(codes: np.ndarray, path_bits: int, height: int) -> int:
@@ -149,7 +129,8 @@ class VectorizedSimulator:
             else int(self._rng.integers(0, 2**63))
         )
         depth = self.gray_depth(path, seed)
-        slots = replay_slots(self._strategy, depth, self.config.tree_height)
+        height = self.config.tree_height
+        slots = int(slots_lookup_table(self._strategy, height)[depth])
         return depth, slots
 
     def estimate(self, rounds: int | None = None) -> EstimateResult:

@@ -50,12 +50,23 @@ class TagPopulation:
         """Synthesize ``size`` tags with distinct random 64-bit IDs."""
         if size < 0:
             raise ConfigurationError(f"size must be >= 0, got {size}")
-        ids: set[int] = set()
+        draw = rng.integers(0, 2**63, size=size, dtype=np.int64)
+        unique = np.unique(draw.astype(np.uint64))
+        if unique.size == size:
+            # Collision-free first draw (probability ~1 - size^2 / 2^64):
+            # np.unique already sorted + deduplicated, so skip the
+            # Python-level set/sort round-trip.  Bit-identical to the
+            # slow path below, which the experiment engines rely on.
+            population = cls.__new__(cls)
+            population._ids = unique
+            population._family = family or default_family()
+            return population
+        ids = set(int(v) for v in draw)
         while len(ids) < size:
-            draw = rng.integers(
+            more = rng.integers(
                 0, 2**63, size=size - len(ids), dtype=np.int64
             )
-            ids.update(int(v) for v in draw)
+            ids.update(int(v) for v in more)
         return cls(ids, family=family)
 
     @classmethod

@@ -8,6 +8,8 @@ import pytest
 from repro.core.search import (
     BinaryGraySearch,
     LinearGraySearch,
+    replay_slots,
+    slots_lookup_table,
     strategy_for,
 )
 
@@ -118,3 +120,42 @@ class TestStrategyFor:
     def test_selects_by_flag(self):
         assert isinstance(strategy_for(True), BinaryGraySearch)
         assert isinstance(strategy_for(False), LinearGraySearch)
+
+
+class TestSlotsLookupTable:
+    """The depth -> slots LUT exactly mirrors oracle replay, cached."""
+
+    @pytest.mark.parametrize(
+        "strategy",
+        [LinearGraySearch(), BinaryGraySearch()],
+        ids=["linear", "binary"],
+    )
+    def test_exhaustive_up_to_height_32(self, strategy):
+        for height in range(1, 33):
+            table = slots_lookup_table(strategy, height)
+            assert table.shape == (height + 1,)
+            for depth in range(height + 1):
+                assert table[depth] == replay_slots(
+                    strategy, depth, height
+                ), (type(strategy).__name__, height, depth)
+
+    def test_computed_once_per_strategy_and_height(self):
+        first = slots_lookup_table(BinaryGraySearch(), 32)
+        second = slots_lookup_table(BinaryGraySearch(), 32)
+        assert first is second  # cache hit: same array object
+        other_height = slots_lookup_table(BinaryGraySearch(), 16)
+        assert other_height is not first
+        other_strategy = slots_lookup_table(LinearGraySearch(), 32)
+        assert other_strategy is not first
+
+    def test_table_is_read_only(self):
+        table = slots_lookup_table(LinearGraySearch(), 8)
+        with pytest.raises(ValueError):
+            table[0] = 99
+
+    def test_bounded_by_worst_case(self):
+        for strategy in (LinearGraySearch(), BinaryGraySearch()):
+            for height in (1, 2, 7, 16, 32):
+                table = slots_lookup_table(strategy, height)
+                assert table.max() <= strategy.worst_case_slots(height)
+                assert table.min() >= 1

@@ -1,8 +1,10 @@
-"""Cross-tier equivalence: the three simulators agree.
+"""Cross-tier equivalence: the simulators and engines agree.
 
 The slot-level simulator is the gold standard; the vectorized tier must
 agree with it *exactly* (same codes, same paths), and the sampled tier
-must agree with both *in distribution*.
+must agree with both *in distribution*.  The batched experiment engine
+must agree with the per-repetition reference loop — and, on small
+populations, with repeated slot-level runs — bit for bit.
 """
 
 from __future__ import annotations
@@ -15,8 +17,11 @@ from repro.config import PetConfig
 from repro.core.path import EstimatingPath
 from repro.radio.channel import SlottedChannel
 from repro.reader.reader import PetReader
+from repro.sim.experiment import ExperimentRunner
 from repro.sim.sampled import SampledSimulator
+from repro.sim.slotsim import SlotLevelSimulator
 from repro.sim.vectorized import VectorizedSimulator
+from repro.sim.workload import WorkloadSpec, build_population
 from repro.tags.population import TagPopulation
 
 HEIGHT = 16
@@ -125,3 +130,68 @@ class TestSampledVsVectorizedDistribution:
         ).estimate(rounds=400)
         assert vec.n_hat == pytest.approx(sam.n_hat, rel=0.2)
         assert vec.total_slots == sam.total_slots
+
+
+class TestBatchedEngineExact:
+    """The batched engine is bit-identical to the reference loop (and,
+    on small populations, to repeated slot-level runs) for equal seeds.
+    """
+
+    @pytest.mark.parametrize("passive", [True, False])
+    @pytest.mark.parametrize("binary", [True, False])
+    def test_matches_reference_loop(self, passive, binary):
+        runner = ExperimentRunner(base_seed=201, repetitions=15)
+        spec = WorkloadSpec(size=600, seed=3)
+        config = PetConfig(
+            tree_height=HEIGHT, passive_tags=passive, binary_search=binary
+        )
+        loop = runner.run_vectorized(spec, config, 48, engine="loop")
+        batched = runner.run_vectorized(spec, config, 48, engine="batched")
+        assert batched.estimates.tolist() == loop.estimates.tolist()
+        assert batched.slots_per_run == loop.slots_per_run
+        assert batched.true_n == loop.true_n
+        assert batched.rounds == loop.rounds
+
+    def test_default_engine_is_batched(self):
+        runner = ExperimentRunner(base_seed=202, repetitions=8)
+        spec = WorkloadSpec(size=300, seed=1)
+        config = PetConfig(tree_height=HEIGHT, passive_tags=True)
+        default = runner.run_vectorized(spec, config, 32)
+        batched = runner.run_vectorized(spec, config, 32, engine="batched")
+        assert default.estimates.tolist() == batched.estimates.tolist()
+
+    @pytest.mark.parametrize("passive", [True, False])
+    def test_matches_slot_level_runs(self, passive):
+        """Repeated slot-level runs over the same seed tree agree.
+
+        The lossless channel consumes no reader-side randomness, so a
+        slot-level repetition draws exactly the word stream the batched
+        engine reconstructs: one path word (plus one seed word, active
+        variant) per round.
+        """
+        repetitions, rounds = 6, 24
+        runner = ExperimentRunner(base_seed=203, repetitions=repetitions)
+        spec = WorkloadSpec(size=80, seed=11)
+        config = PetConfig(
+            tree_height=HEIGHT, passive_tags=passive, rounds=rounds
+        )
+        batched = runner.run_vectorized(
+            spec, config, rounds, engine="batched"
+        )
+        seed_seq = np.random.SeedSequence(203)
+        slot_estimates = []
+        slot_total = 0
+        for index, child in enumerate(seed_seq.spawn(repetitions)):
+            population = build_population(
+                WorkloadSpec(size=spec.size, seed=spec.seed + index)
+            )
+            simulator = SlotLevelSimulator(
+                population,
+                config=config,
+                rng=np.random.default_rng(child),
+            )
+            result = simulator.estimate()
+            slot_estimates.append(result.n_hat)
+            slot_total += result.total_slots
+        assert batched.estimates.tolist() == slot_estimates
+        assert batched.slots_per_run == slot_total / repetitions

@@ -84,3 +84,44 @@ class TestValidation:
         runner = ExperimentRunner(base_seed=7, repetitions=5)
         results = runner.sweep((100, 200), PetConfig(), rounds=8)
         assert [r.true_n for r in results] == [100, 200]
+
+    def test_rejects_unknown_engine(self):
+        runner = ExperimentRunner(base_seed=7, repetitions=2)
+        with pytest.raises(ConfigurationError):
+            runner.run_vectorized(
+                WorkloadSpec(size=100, seed=0),
+                PetConfig(),
+                rounds=4,
+                engine="turbo",
+            )
+
+    def test_rejects_zero_workers(self):
+        runner = ExperimentRunner(base_seed=7, repetitions=2)
+        with pytest.raises(ConfigurationError):
+            runner.sweep((100,), PetConfig(), rounds=4, workers=0)
+
+
+class TestSweepWorkers:
+    """Parallel sweeps are bit-identical for any worker count."""
+
+    SIZES = (500, 1_000, 2_000, 4_000)
+
+    def test_workers_do_not_change_results(self):
+        runner = ExperimentRunner(base_seed=8, repetitions=10)
+        config = PetConfig()
+        serial = runner.sweep(self.SIZES, config, rounds=16)
+        one = runner.sweep(self.SIZES, config, rounds=16, workers=1)
+        four = runner.sweep(self.SIZES, config, rounds=16, workers=4)
+        for a, b, c in zip(serial, one, four):
+            assert a.estimates.tolist() == b.estimates.tolist()
+            assert a.estimates.tolist() == c.estimates.tolist()
+            assert a.true_n == b.true_n == c.true_n
+            assert a.slots_per_run == b.slots_per_run == c.slots_per_run
+
+    def test_more_workers_than_cells(self):
+        runner = ExperimentRunner(base_seed=9, repetitions=5)
+        config = PetConfig()
+        serial = runner.sweep((300, 600), config, rounds=8)
+        wide = runner.sweep((300, 600), config, rounds=8, workers=8)
+        for a, b in zip(serial, wide):
+            assert a.estimates.tolist() == b.estimates.tolist()
