@@ -1,0 +1,143 @@
+#!/usr/bin/env python
+"""CI guard: the instrumented batched engine must stay fast and exact.
+
+Re-times the fig-4-sized cell recorded in ``BENCH_batched_engine.json``
+(n = 10 000, 300 repetitions, m = 4697 rounds) **with metrics enabled**
+and fails when either
+
+* the machine-relative speedup (reference loop vs batched engine, both
+  timed here, on this machine) regresses more than ``--threshold``
+  (default 15 %) below the recorded speedup, or
+* the batched estimates stop being a bit-identical prefix match of the
+  reference loop's, or
+* the registry's slot accounting disagrees with the cell's own
+  ``slots_per_run * repetitions``.
+
+Comparing speedup-against-our-own-loop rather than raw rounds/second
+keeps the guard meaningful across CI hardware generations: both sides
+of the ratio move with the machine, so only a real relative regression
+of the batched path trips it.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_guard.py [--loop-reps K]
+                                                    [--threshold F]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.config import PAPER_RUNS_PER_POINT, PetConfig
+from repro.core.accuracy import rounds_required
+from repro.obs import MetricsRegistry, use_registry
+from repro.sim.experiment import ExperimentRunner
+from repro.sim.workload import WorkloadSpec
+
+BASELINE = (
+    Path(__file__).resolve().parent.parent / "BENCH_batched_engine.json"
+)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--loop-reps",
+        type=int,
+        default=20,
+        help="repetitions to time the reference loop on (scaled up)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        help="allowed relative speedup regression (default 0.15)",
+    )
+    args = parser.parse_args()
+
+    baseline = json.loads(BASELINE.read_text())
+    cell = baseline["cell"]
+    recorded_speedup = float(baseline["speedup"])
+
+    rounds = rounds_required(0.05, 0.01)
+    assert rounds == cell["rounds"], (rounds, cell["rounds"])
+    spec = WorkloadSpec(size=cell["n"], seed=0)
+    config = PetConfig(passive_tags=True)
+    repetitions = PAPER_RUNS_PER_POINT
+
+    registry = MetricsRegistry()
+    runner = ExperimentRunner(
+        base_seed=cell["base_seed"],
+        repetitions=repetitions,
+        registry=registry,
+    )
+    with use_registry(registry):
+        start = time.perf_counter()
+        batched = runner.run_vectorized(
+            spec, config, rounds, engine="batched"
+        )
+        batched_seconds = time.perf_counter() - start
+
+    loop_reps = min(args.loop_reps, repetitions)
+    loop_runner = ExperimentRunner(
+        base_seed=cell["base_seed"], repetitions=loop_reps
+    )
+    start = time.perf_counter()
+    loop_sample = loop_runner.run_vectorized(
+        spec, config, rounds, engine="loop"
+    )
+    loop_seconds = (
+        (time.perf_counter() - start) * repetitions / loop_reps
+    )
+
+    failures: list[str] = []
+
+    prefix = batched.estimates[:loop_reps].tolist()
+    if loop_sample.estimates.tolist() != prefix:
+        failures.append(
+            "instrumented batched engine is no longer bit-identical "
+            "to the reference loop"
+        )
+
+    counters = registry.snapshot()["counters"]
+    expected_slots = int(batched.slots_per_run * repetitions)
+    recorded_slots = counters.get("sim.slots", 0)
+    if recorded_slots != expected_slots:
+        failures.append(
+            f"slot accounting drifted: registry says "
+            f"{recorded_slots}, cell says {expected_slots}"
+        )
+
+    speedup = loop_seconds / batched_seconds
+    floor = recorded_speedup * (1.0 - args.threshold)
+    if speedup < floor:
+        failures.append(
+            f"speedup regressed: {speedup:.1f}x on this machine vs "
+            f"{recorded_speedup:.1f}x recorded "
+            f"(floor {floor:.1f}x at {args.threshold:.0%} tolerance)"
+        )
+
+    print(
+        f"batched: {batched_seconds:.3f}s  "
+        f"loop (scaled from {loop_reps} reps): {loop_seconds:.3f}s  "
+        f"speedup: {speedup:.1f}x (recorded {recorded_speedup:.1f}x, "
+        f"floor {floor:.1f}x)"
+    )
+    print(
+        f"slots recorded: {recorded_slots:,}  "
+        f"bit-identical prefix: {loop_sample.estimates.tolist() == prefix}"
+    )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("bench guard passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,14 +16,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import AccuracyRequirement, TagPopulation
+from repro import AccuracyRequirement, TagPopulation, make_protocol
 from repro.protocols import (
     FramedAlohaIdentification,
     TreeWalkIdentification,
 )
-from repro.protocols.framed import UpeProtocol, UseProtocol, EzbProtocol
-from repro.protocols.registry import make_protocol
-from repro.sim.report import Table
+from repro.sim.report import Table, protocol_results_table
 from repro.tags.memory import memory_profile
 
 N = 20_000
@@ -37,44 +35,41 @@ def main() -> None:
           f"eps={REQUIREMENT.epsilon:.0%}, "
           f"delta={REQUIREMENT.delta:.0%}\n")
 
-    table = Table(
-        "Estimation protocols (rounds planned per protocol)",
-        ["protocol", "rounds", "slots", "estimate", "error",
-         "tag memory (bits)"],
-    )
+    results = []
     zoo = ["pet", "pet-linear", "pet-passive", "fneb", "lof"]
     for name in zoo:
         protocol = make_protocol(name)
         rounds = protocol.plan_rounds(REQUIREMENT)
-        result = protocol.estimate(population, rounds, rng)
-        memory_key = "pet" if name.startswith("pet") else name
-        memory = memory_profile(memory_key, rounds).preloaded_bits
-        table.add_row(
-            name,
-            rounds,
-            result.total_slots,
-            result.n_hat,
-            f"{abs(result.n_hat - N) / N:.2%}",
-            memory,
-        )
+        results.append(protocol.estimate(population, rounds, rng))
 
-    # Framed estimators need frames sized near the population.
-    for protocol in (
-        UseProtocol(frame_size=65_536),
-        UpeProtocol(frame_size=4_096, prior_n=N),
-        EzbProtocol(frame_size=16_384, persistence=0.5),
+    # Framed estimators need frames sized near the population; their
+    # configuration goes straight through make_protocol keywords.
+    for name, config in (
+        ("use", {"frame_size": 65_536}),
+        ("upe", {"frame_size": 4_096, "prior_n": N}),
+        ("ezb", {"frame_size": 16_384, "persistence": 0.5}),
     ):
+        protocol = make_protocol(name, **config)
         rounds = min(protocol.plan_rounds(REQUIREMENT), 50)
-        result = protocol.estimate(population, rounds, rng)
-        table.add_row(
-            protocol.name.lower(),
-            rounds,
-            result.total_slots,
-            result.n_hat,
-            f"{abs(result.n_hat - N) / N:.2%}",
-            "n/a (frame-local)",
+        results.append(protocol.estimate(population, rounds, rng))
+
+    protocol_results_table(
+        results,
+        true_n=N,
+        title="Estimation protocols (rounds planned per protocol)",
+    ).print()
+
+    memory = Table(
+        "Per-tag memory footprint",
+        ["protocol", "preloaded bits"],
+    )
+    for name in zoo:
+        key = "pet" if name.startswith("pet") else name
+        rounds = make_protocol(name).plan_rounds(REQUIREMENT)
+        memory.add_row(
+            name, memory_profile(key, rounds).preloaded_bits
         )
-    table.print()
+    memory.print()
 
     print("Exact identification, for contrast:")
     aloha_count, aloha_slots = FramedAlohaIdentification().count(

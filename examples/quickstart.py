@@ -1,12 +1,14 @@
 #!/usr/bin/env python
 """Quickstart: estimate an RFID tag population with PET.
 
-Walks the library's three levels of abstraction:
+Walks the library's four levels of abstraction:
 
-1. the explicit PET tree on a toy population (Fig. 1's mental model);
-2. a full slot-level protocol run — real tags, a real channel, a real
+1. the one-call facade — ``repro.estimate`` — which is all most users
+   need;
+2. the explicit PET tree on a toy population (Fig. 1's mental model);
+3. a full slot-level protocol run — real tags, a real channel, a real
    reader — small enough to read the trace;
-3. production-scale estimation with the fast simulators, planned from an
+4. production-scale estimation with the fast simulators, planned from an
    ``(epsilon, delta)`` accuracy contract.
 
 Run with:  python examples/quickstart.py
@@ -16,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+import repro
 from repro import (
     AccuracyRequirement,
     EstimatingPath,
@@ -26,6 +29,25 @@ from repro import (
     SlotLevelSimulator,
     TagPopulation,
 )
+
+
+def demo_facade() -> None:
+    """Level 0: the one-call facade."""
+    print("=" * 64)
+    print("0. One call: repro.estimate")
+    print("=" * 64)
+    result = repro.estimate(50_000, protocol="pet", seed=7, rounds=256)
+    print(f"true n = 50,000, n_hat = {result.n_hat:,.0f} "
+          f"({result.rounds} rounds, {result.total_slots:,} slots)")
+    # Any registered protocol, any of its constructor keywords:
+    result = repro.estimate(
+        50_000, protocol="fneb", seed=7, rounds=64, frame_size=2**16
+    )
+    print(f"fneb with a 2^16 frame: n_hat = {result.n_hat:,.0f}")
+    print("protocols available by name:")
+    for name, summary in repro.available_protocols():
+        print(f"  {name:<14} {summary}")
+    print()
 
 
 def demo_tree() -> None:
@@ -105,6 +127,7 @@ def demo_planned_estimation() -> None:
 
 
 if __name__ == "__main__":
+    demo_facade()
     demo_tree()
     demo_slot_level()
     demo_planned_estimation()

@@ -12,18 +12,19 @@ every table and figure of the paper's evaluation.
 
 Quickstart
 ----------
->>> import numpy as np
->>> from repro import PetConfig, SampledSimulator
->>> rng = np.random.default_rng(7)
->>> sim = SampledSimulator(50_000, config=PetConfig(rounds=256), rng=rng)
->>> result = sim.estimate()
+>>> import repro
+>>> result = repro.estimate(50_000, protocol="pet", seed=7, rounds=256)
 >>> 40_000 < result.n_hat < 60_000
 True
 
-See ``examples/quickstart.py`` for the full tour and ``DESIGN.md`` for
-the system inventory.
+:func:`estimate` is the one-call facade over population synthesis, the
+protocol registry, and round planning; the simulators and protocol
+classes below are the full-control API behind it.  See
+``examples/quickstart.py`` for the tour, ``DESIGN.md`` for the system
+inventory, and ``docs/OBSERVABILITY.md`` for the metrics subsystem.
 """
 
+from .api import estimate
 from .config import (
     AccuracyRequirement,
     ChannelConfig,
@@ -49,12 +50,25 @@ from .errors import (
     ProtocolError,
     ReproError,
 )
+from .obs import (
+    ConsoleSummaryExporter,
+    InMemoryExporter,
+    JsonLinesExporter,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+    use_registry,
+)
 from .protocols import (
     FnebProtocol,
     FramedAlohaIdentification,
     LofProtocol,
     PetProtocol,
+    ProtocolResult,
     TreeWalkIdentification,
+    available_protocols,
+    make_protocol,
+    protocol_names,
 )
 from .monitor import CardinalityMonitor, EpochReport
 from .radio import SlottedChannel
@@ -71,6 +85,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # the one-call facade
+    "estimate",
     # configuration
     "AccuracyRequirement",
     "PetConfig",
@@ -103,8 +119,20 @@ __all__ = [
     "PetProtocol",
     "FnebProtocol",
     "LofProtocol",
+    "ProtocolResult",
     "FramedAlohaIdentification",
     "TreeWalkIdentification",
+    "make_protocol",
+    "available_protocols",
+    "protocol_names",
+    # observability
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    "InMemoryExporter",
+    "JsonLinesExporter",
+    "ConsoleSummaryExporter",
     # errors
     "ReproError",
     "ConfigurationError",

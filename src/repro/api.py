@@ -1,0 +1,124 @@
+"""The one-call estimation facade: :func:`repro.estimate`.
+
+Everything the library does — population synthesis, protocol
+construction through the registry, round planning from an accuracy
+contract, optional instrumentation — behind a single call::
+
+    import repro
+
+    result = repro.estimate(50_000, seed=7)
+    result = repro.estimate(50_000, protocol="fneb", frame_size=2**16)
+    result = repro.estimate(
+        my_population,
+        protocol="pet",
+        accuracy=repro.AccuracyRequirement(0.05, 0.01),
+    )
+
+The first argument is either a true cardinality (a population of that
+many random tags is synthesized from ``seed``), an existing
+:class:`~repro.tags.population.TagPopulation`, or an iterable of tag
+IDs.  Remaining keywords are forwarded to
+:func:`repro.protocols.registry.make_protocol`, so every protocol's
+constructor configuration is reachable from here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from .config import AccuracyRequirement
+from .errors import ConfigurationError
+from .obs.registry import MetricsRegistry
+from .protocols.base import ProtocolResult
+from .protocols.registry import make_protocol
+from .tags.population import TagPopulation
+
+
+def _resolve_population(
+    tags_or_n: int | TagPopulation | Iterable[int],
+    rng: np.random.Generator,
+) -> TagPopulation:
+    if isinstance(tags_or_n, TagPopulation):
+        return tags_or_n
+    if isinstance(tags_or_n, (int, np.integer)):
+        if tags_or_n < 0:
+            raise ConfigurationError(
+                f"population size must be >= 0, got {tags_or_n}"
+            )
+        return TagPopulation.random(int(tags_or_n), rng)
+    return TagPopulation(tags_or_n)
+
+
+def estimate(
+    tags_or_n: int | TagPopulation | Iterable[int],
+    protocol: str = "pet",
+    *,
+    seed: int | None = None,
+    rng: np.random.Generator | None = None,
+    rounds: int | None = None,
+    accuracy: AccuracyRequirement | None = None,
+    registry: MetricsRegistry | None = None,
+    **config: object,
+) -> ProtocolResult:
+    """Estimate a tag population's cardinality in one call.
+
+    Parameters
+    ----------
+    tags_or_n:
+        A true cardinality (random tags are synthesized), a
+        :class:`~repro.tags.population.TagPopulation`, or an iterable
+        of tag IDs.
+    protocol:
+        Registry name (see
+        :func:`repro.protocols.registry.available_protocols`).
+    seed:
+        Seed for all randomness (population synthesis and the
+        estimation run).  Two calls with the same arguments and seed
+        return identical results.  Ignored when ``rng`` is given.
+    rng:
+        Alternative to ``seed``: bring your own generator.
+    rounds:
+        Estimation rounds.  Defaults to the protocol's own plan for
+        ``accuracy`` (or the paper's 5 %/1 % contract when neither is
+        given).
+    accuracy:
+        ``(epsilon, delta)`` contract used to plan ``rounds`` when they
+        are not pinned explicitly.
+    registry:
+        Metrics registry the run is recorded against (see
+        :mod:`repro.obs`); defaults to the process-wide active one.
+    **config:
+        Forwarded to the protocol constructor via
+        :func:`~repro.protocols.registry.make_protocol` —
+        ``frame_size=`` for FNEB, ``tree_height=`` for PET, ...
+
+    Returns
+    -------
+    ProtocolResult
+        The estimate with its round/slot accounting.
+    """
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    estimator = make_protocol(protocol, **config)
+    if registry is not None:
+        estimator.instrument(registry)
+    population = _resolve_population(tags_or_n, rng)
+    if rounds is None:
+        configured = getattr(
+            getattr(estimator, "config", None), "rounds", None
+        )
+        if configured is not None:
+            rounds = int(configured)
+        else:
+            rounds = estimator.plan_rounds(
+                accuracy
+                if accuracy is not None
+                else AccuracyRequirement()
+            )
+    if rounds < 1:
+        raise ConfigurationError(
+            f"rounds must be >= 1, got {rounds}"
+        )
+    return estimator.estimate(population, rounds, rng)

@@ -8,6 +8,12 @@ Usage::
 where ``<experiment>`` is one of ``fig3``, ``fig4``, ``table3``,
 ``table4``, ``table5``, ``fig5a``, ``fig5b``, ``fig6``, ``fig7``,
 ``ablations``, or ``all``.
+
+With ``--metrics-out PATH`` the run is instrumented: every simulator
+and protocol records into a :class:`~repro.obs.MetricsRegistry`, the
+full metric/span/event stream is appended to ``PATH`` as JSON lines,
+and a console summary is printed at the end.  Without the flag the
+no-op registry is active and nothing is recorded.
 """
 
 from __future__ import annotations
@@ -16,6 +22,12 @@ import argparse
 from typing import Callable
 
 from .config import PAPER_RUNS_PER_POINT
+from .obs import (
+    ConsoleSummaryExporter,
+    JsonLinesExporter,
+    MetricsRegistry,
+    use_registry,
+)
 from .figures import (
     ablations,
     extensions,
@@ -110,15 +122,47 @@ def main(argv: list[str] | None = None) -> int:
             "results are bit-identical for any worker count"
         ),
     )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "record metrics/spans/events and append them to PATH as "
+            "JSON lines; also prints a console summary at the end"
+        ),
+    )
+    parser.add_argument(
+        "--metrics-summary",
+        action="store_true",
+        help=(
+            "print the end-of-run metrics summary without writing a "
+            "file (implied by --metrics-out)"
+        ),
+    )
     args = parser.parse_args(argv)
     experiments = _experiments(args.runs, args.workers)
-    if args.experiment == "all":
-        for name in sorted(experiments):
-            print(f"===== {name} =====")
-            experiments[name]()
-            print()
-    else:
-        experiments[args.experiment]()
+
+    def run_selected() -> None:
+        if args.experiment == "all":
+            for name in sorted(experiments):
+                print(f"===== {name} =====")
+                experiments[name]()
+                print()
+        else:
+            experiments[args.experiment]()
+
+    if args.metrics_out is None and not args.metrics_summary:
+        run_selected()
+        return 0
+
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        run_selected()
+    if args.metrics_out is not None:
+        JsonLinesExporter(args.metrics_out).export(registry)
+        print(f"metrics written to {args.metrics_out}")
+    print()
+    print(ConsoleSummaryExporter().render(registry))
     return 0
 
 

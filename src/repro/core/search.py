@@ -114,10 +114,14 @@ class _KnownDepthOracle:
     def __init__(self, depth: int):
         self._depth = depth
         self.slots_used = 0
+        self.busy_slots = 0
 
     def is_busy(self, prefix_length: int) -> bool:
         self.slots_used += 1
-        return prefix_length <= self._depth
+        busy = prefix_length <= self._depth
+        if busy:
+            self.busy_slots += 1
+        return busy
 
 
 def replay_slots(
@@ -165,3 +169,46 @@ def slots_lookup_table(
         table.flags.writeable = False
         _SLOTS_LUT_CACHE[key] = table
     return table
+
+
+#: Cache behind :func:`slot_outcome_tables`, same keying as the slots LUT.
+_OUTCOME_LUT_CACHE: dict[
+    tuple[type, int], tuple[np.ndarray, np.ndarray]
+] = {}
+
+
+def slot_outcome_tables(
+    strategy: GraySearchStrategy, height: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Depth -> (busy slots, idle slots) tables for ``strategy``.
+
+    Companion of :func:`slots_lookup_table` for slot-*outcome*
+    accounting: a deterministic search's probe sequence — and hence how
+    many of its probes come back busy vs idle — is a pure function of
+    the depth it finds, so per-round outcome counts reduce to two table
+    gathers.  Both returned arrays are read-only, have ``height + 1``
+    entries, and satisfy ``busy + idle == slots_lookup_table(...)``
+    elementwise.  Used by the instrumented simulators to feed the
+    ``sim.slots.busy`` / ``sim.slots.idle`` counters without replaying
+    any search.
+    """
+    key = (type(strategy), height)
+    tables = _OUTCOME_LUT_CACHE.get(key)
+    if tables is None:
+        busy = np.empty(height + 1, dtype=np.int64)
+        idle = np.empty(height + 1, dtype=np.int64)
+        for depth in range(height + 1):
+            oracle = _KnownDepthOracle(depth)
+            found = strategy.find_gray_depth(oracle, height)
+            if found != depth:
+                raise AssertionError(
+                    f"search strategy returned {found} for known "
+                    f"depth {depth}"
+                )
+            busy[depth] = oracle.busy_slots
+            idle[depth] = oracle.slots_used - oracle.busy_slots
+        busy.flags.writeable = False
+        idle.flags.writeable = False
+        tables = (busy, idle)
+        _OUTCOME_LUT_CACHE[key] = tables
+    return tables

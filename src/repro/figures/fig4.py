@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from ..analysis.stats import SeriesSummary
 from ..config import PAPER_RUNS_PER_POINT, PetConfig
 from ..core.accuracy import SIGMA_H, estimate_std
+from ..obs.registry import get_registry
 from ..sim.experiment import ExperimentRunner
 from ..sim.report import Table
 from ..sim.workload import PAPER_TAG_COUNTS
@@ -52,23 +53,30 @@ def run(
     worker processes (see :meth:`ExperimentRunner.sweep`); results are
     bit-identical for any worker count.
     """
+    registry = get_registry()
     runner = ExperimentRunner(base_seed=base_seed, repetitions=runs)
     config = PetConfig()
     cells = []
-    for rounds in rounds_grid:
-        for n, repeated in zip(
-            sizes, runner.sweep(sizes, config, rounds, workers=workers)
-        ):
-            cells.append(
-                Fig4Cell(
-                    n=n,
-                    rounds=rounds,
-                    summary=repeated.summary(),
-                    predicted_normalized_std=(
-                        estimate_std(n, rounds) / n
-                    ),
+    with registry.span(
+        "figure.fig4",
+        cells=len(sizes) * len(rounds_grid),
+        runs=runs,
+    ):
+        for rounds in rounds_grid:
+            for n, repeated in zip(
+                sizes,
+                runner.sweep(sizes, config, rounds, workers=workers),
+            ):
+                cells.append(
+                    Fig4Cell(
+                        n=n,
+                        rounds=rounds,
+                        summary=repeated.summary(),
+                        predicted_normalized_std=(
+                            estimate_std(n, rounds) / n
+                        ),
+                    )
                 )
-            )
     return cells
 
 

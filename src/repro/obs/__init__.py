@@ -1,0 +1,50 @@
+"""repro.obs — the zero-dependency observability subsystem.
+
+Counters, gauges, and histogram timers in a :class:`MetricsRegistry`;
+nested :class:`Span` timing (experiment -> cell -> round -> slot-batch);
+pluggable exporters (in-memory, JSON lines, console summary).  Every
+instrumented component defaults to the no-op :data:`NULL_REGISTRY`, so
+recording only happens when a real registry is passed in or installed
+with :func:`set_registry` / :func:`use_registry`.
+
+See docs/OBSERVABILITY.md for metric names, exporter formats, and how
+to wire a custom exporter.
+"""
+
+from .export import (
+    ConsoleSummaryExporter,
+    Exporter,
+    InMemoryExporter,
+    JsonLinesExporter,
+    iter_records,
+)
+from .metrics import Counter, Gauge, Histogram
+from .registry import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    NullRegistry,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from .span import NullSpan, Span, SpanRecord
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    "Span",
+    "NullSpan",
+    "SpanRecord",
+    "Exporter",
+    "InMemoryExporter",
+    "JsonLinesExporter",
+    "ConsoleSummaryExporter",
+    "iter_records",
+]

@@ -1,0 +1,143 @@
+"""Exporters: turn a registry's contents into something consumable.
+
+Three built-ins, each a single ``export(registry)`` call:
+
+* :class:`InMemoryExporter` — keeps structured records on the object;
+  the natural choice for tests and programmatic post-processing.
+* :class:`JsonLinesExporter` — one JSON object per line, ``kind``-tagged
+  (``counter`` / ``gauge`` / ``histogram`` / ``span`` / ``event``),
+  appended to a file or file-like object.  This is what the CLI's
+  ``--metrics-out PATH`` writes.
+* :class:`ConsoleSummaryExporter` — a compact human table of counters,
+  gauges, and histogram summaries on stdout (or any stream).
+
+A custom exporter is anything with ``export(registry)``; build it on
+:meth:`repro.obs.registry.MetricsRegistry.snapshot`, ``registry.trace``
+and ``registry.events`` (see docs/OBSERVABILITY.md for a worked
+example).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import asdict
+from typing import IO, Iterable, Iterator, Protocol
+
+from .registry import MetricsRegistry
+
+
+class Exporter(Protocol):
+    """The exporter interface: consume one registry, produce output."""
+
+    def export(self, registry: MetricsRegistry) -> None:
+        """Emit everything currently recorded in ``registry``."""
+        ...
+
+
+def iter_records(
+    registry: MetricsRegistry,
+) -> Iterator[dict[str, object]]:
+    """Flatten a registry into ``kind``-tagged plain-dict records.
+
+    The shared record stream behind the in-memory and JSON-lines
+    exporters; order is counters, gauges, histograms (each
+    name-sorted), then spans and events in completion order.
+    """
+    snapshot = registry.snapshot()
+    for name, value in snapshot["counters"].items():  # type: ignore[union-attr]
+        yield {"kind": "counter", "name": name, "value": value}
+    for name, value in snapshot["gauges"].items():  # type: ignore[union-attr]
+        yield {"kind": "gauge", "name": name, "value": value}
+    for name, stats in snapshot["histograms"].items():  # type: ignore[union-attr]
+        yield {"kind": "histogram", "name": name, **stats}
+    for record in registry.trace:
+        yield {"kind": "span", **asdict(record)}
+    for event in registry.events:
+        yield {"kind": "event", **event}
+
+
+class InMemoryExporter:
+    """Collects the record stream on ``self.records``."""
+
+    def __init__(self) -> None:
+        self.records: list[dict[str, object]] = []
+
+    def export(self, registry: MetricsRegistry) -> None:
+        self.records.extend(iter_records(registry))
+
+    def of_kind(self, kind: str) -> list[dict[str, object]]:
+        """The collected records of one ``kind``, in export order."""
+        return [r for r in self.records if r["kind"] == kind]
+
+
+class JsonLinesExporter:
+    """Writes the record stream as JSON lines to a path or stream."""
+
+    def __init__(self, destination: str | IO[str]):
+        self._destination = destination
+
+    def export(self, registry: MetricsRegistry) -> None:
+        records = iter_records(registry)
+        if isinstance(self._destination, str):
+            with open(self._destination, "a", encoding="utf-8") as sink:
+                _write_lines(sink, records)
+        else:
+            _write_lines(self._destination, records)
+
+
+def _json_safe(value: object) -> object:
+    """NaN/inf have no JSON spelling; export them as null."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value
+
+
+def _write_lines(
+    sink: IO[str], records: Iterable[dict[str, object]]
+) -> None:
+    for record in records:
+        safe = {key: _json_safe(value) for key, value in record.items()}
+        sink.write(json.dumps(safe, default=str) + "\n")
+
+
+class ConsoleSummaryExporter:
+    """Prints a human-readable end-of-run summary."""
+
+    def __init__(self, stream: IO[str] | None = None):
+        self._stream = stream
+
+    def export(self, registry: MetricsRegistry) -> None:
+        print(self.render(registry), file=self._stream)
+
+    def render(self, registry: MetricsRegistry) -> str:
+        """The summary as a string (exposed for tests)."""
+        snapshot = registry.snapshot()
+        lines = ["metrics summary", "==============="]
+        counters = snapshot["counters"]
+        gauges = snapshot["gauges"]
+        histograms = snapshot["histograms"]
+        if counters:
+            lines.append("counters:")
+            width = max(len(name) for name in counters)  # type: ignore[arg-type]
+            for name, value in counters.items():  # type: ignore[union-attr]
+                lines.append(f"  {name:<{width}}  {value:,}")
+        if gauges:
+            lines.append("gauges:")
+            width = max(len(name) for name in gauges)  # type: ignore[arg-type]
+            for name, value in gauges.items():  # type: ignore[union-attr]
+                lines.append(f"  {name:<{width}}  {value:,.3f}")
+        if histograms:
+            lines.append(
+                "histograms (count / mean / std / min / max):"
+            )
+            width = max(len(name) for name in histograms)  # type: ignore[arg-type]
+            for name, stats in histograms.items():  # type: ignore[union-attr]
+                lines.append(
+                    f"  {name:<{width}}  {stats['count']:,} / "
+                    f"{stats['mean']:.4g} / {stats['std']:.4g} / "
+                    f"{stats['min']:.4g} / {stats['max']:.4g}"
+                )
+        if not (counters or gauges or histograms):
+            lines.append("(no metrics recorded)")
+        return "\n".join(lines)

@@ -1,0 +1,173 @@
+"""Metric primitives and the registry that owns them.
+
+Zero-dependency by design: the whole :mod:`repro.obs` subsystem uses
+only the standard library, so it can be imported by every layer (radio,
+protocols, sim, figures, CLI) without widening the dependency surface.
+Numpy arrays are still first-class *inputs* — :meth:`Histogram.observe_many`
+duck-types on ``.size``/``.sum`` so a batch of gray depths is reduced by
+numpy itself, not a Python loop — but nothing here imports numpy.
+
+Three metric kinds, mirroring the usual Prometheus-style taxonomy:
+
+* :class:`Counter` — monotone event count (slot outcomes, rounds run);
+* :class:`Gauge` — last-written value (throughput of the latest cell);
+* :class:`Histogram` — streaming moments + extrema of a distribution
+  (gray depths, cell wall-clock), with a :meth:`Histogram.time` context
+  manager for use as a timer.
+
+Everything defaults to the process-wide :data:`NULL_REGISTRY`, a
+:class:`NullRegistry` whose metric objects are shared do-nothing
+singletons — instrumented hot paths pay one no-op method call and
+nothing else, which keeps the batched engine bit-identical and within
+noise of its uninstrumented benchmark numbers.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from ..errors import ConfigurationError
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the count."""
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name!r} cannot decrease (got {amount})"
+            )
+        self.value += amount
+
+
+class Gauge:
+    """A value that can be set to anything at any time."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current level of the tracked quantity."""
+        self.value = float(value)
+
+
+class Histogram:
+    """Streaming distribution summary: count, mean, std, min, max.
+
+    Keeps running moments instead of samples, so observing millions of
+    values costs O(1) memory.  Doubles as a timer via :meth:`time`.
+    """
+
+    __slots__ = ("name", "count", "total", "sum_squares", "min", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.sum_squares = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.sum_squares += value * value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def observe_many(self, values: object) -> None:
+        """Record a batch of observations.
+
+        Numpy arrays (anything exposing ``size``/``sum``/``min``/``max``)
+        are reduced natively; other iterables fall back to a loop.
+        """
+        try:
+            count = int(values.size)  # type: ignore[attr-defined]
+            if count == 0:
+                return
+            total = float(values.sum())  # type: ignore[attr-defined]
+            low = float(values.min())  # type: ignore[attr-defined]
+            high = float(values.max())  # type: ignore[attr-defined]
+            sum_squares = float((values * values).sum())  # type: ignore[operator]
+        except AttributeError:
+            for value in values:  # type: ignore[attr-defined]
+                self.observe(value)
+            return
+        self.count += count
+        self.total += total
+        self.sum_squares += sum_squares
+        if low < self.min:
+            self.min = low
+        if high > self.max:
+            self.max = high
+
+    @property
+    def mean(self) -> float:
+        """Mean of all observations (NaN when empty)."""
+        if self.count == 0:
+            return math.nan
+        return self.total / self.count
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation (NaN when empty)."""
+        if self.count == 0:
+            return math.nan
+        variance = self.sum_squares / self.count - self.mean**2
+        return math.sqrt(max(variance, 0.0))
+
+    @contextmanager
+    def time(self) -> Iterator[None]:
+        """Context manager observing the elapsed seconds of its body."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(time.perf_counter() - start)
+
+
+class _NullCounter(Counter):
+    """Shared do-nothing counter handed out by :class:`NullRegistry`."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int | float = 1) -> None:  # noqa: ARG002
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:  # noqa: ARG002
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:  # noqa: ARG002
+        pass
+
+    def observe_many(self, values: object) -> None:  # noqa: ARG002
+        pass
+
+    @contextmanager
+    def time(self) -> Iterator[None]:
+        yield

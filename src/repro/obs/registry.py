@@ -1,0 +1,192 @@
+"""The metrics registry and the process-wide active-registry switch.
+
+:class:`MetricsRegistry` is the single object instrumented code talks
+to: it creates/looks up named metrics, opens :class:`~repro.obs.span.Span`
+regions, and records free-form events (one dict per event — used for
+per-cell results so exporters can emit final estimates next to the
+counters).
+
+Instrumented components resolve their registry at construction time:
+
+    registry = registry if registry is not None else get_registry()
+
+The default active registry is :data:`NULL_REGISTRY` — a
+:class:`NullRegistry` whose metrics, spans, and events are all no-ops —
+so nothing is recorded (and effectively nothing is paid) until a caller
+opts in, either by passing a registry explicitly or by installing one
+with :func:`set_registry` / :func:`use_registry` (what the CLI's
+``--metrics-out`` does).  Registries are truthy, the null registry is
+falsy, so batch code can gate optional aggregate computations with
+``if registry:``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    _NullCounter,
+    _NullGauge,
+    _NullHistogram,
+)
+from .span import NULL_SPAN, NullSpan, Span, SpanRecord
+
+
+class MetricsRegistry:
+    """Owns every named metric, the span trace, and the event log.
+
+    Parameters
+    ----------
+    max_trace:
+        Upper bound on retained span records and events (each counted
+        separately).  Excess records are dropped, not stored, and the
+        drop count appears in the ``obs.spans.dropped`` /
+        ``obs.events.dropped`` counters.
+    """
+
+    def __init__(self, max_trace: int = 10_000):
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._span_stack: list[Span] = []
+        self.trace: list[SpanRecord] = []
+        self.events: list[dict[str, object]] = []
+        self.max_trace = max_trace
+
+    def __bool__(self) -> bool:
+        return True
+
+    # -- metric lookup/creation ------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """Return the named counter, creating it on first use."""
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        """Return the named gauge, creating it on first use."""
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        """Return the named histogram, creating it on first use."""
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(name)
+        return metric
+
+    # -- spans and events ------------------------------------------------
+
+    def span(self, name: str, **attributes: object) -> Span | NullSpan:
+        """Open a nested timed region (use as a context manager)."""
+        return Span(self, name, **attributes)
+
+    def _finish_span(self, record: SpanRecord) -> None:
+        if len(self.trace) < self.max_trace:
+            self.trace.append(record)
+        else:
+            self.counter("obs.spans.dropped").inc()
+        self.histogram(f"span.{record.path}.seconds").observe(
+            record.seconds
+        )
+
+    def event(self, name: str, **fields: object) -> None:
+        """Record one structured event row (e.g. a finished cell)."""
+        if len(self.events) < self.max_trace:
+            self.events.append({"name": name, **fields})
+        else:
+            self.counter("obs.events.dropped").inc()
+
+    # -- export ----------------------------------------------------------
+
+    def snapshot(self) -> dict[str, object]:
+        """Plain-dict view of every metric, for exporters and tests."""
+        return {
+            "counters": {
+                name: metric.value
+                for name, metric in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: metric.value
+                for name, metric in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: {
+                    "count": metric.count,
+                    "mean": metric.mean,
+                    "std": metric.std,
+                    "min": metric.min,
+                    "max": metric.max,
+                    "total": metric.total,
+                }
+                for name, metric in sorted(self._histograms.items())
+            },
+        }
+
+
+class NullRegistry(MetricsRegistry):
+    """The default registry: accepts everything, records nothing.
+
+    All metric factories return shared do-nothing singletons and
+    :meth:`span` returns the shared no-op span, so instrumentation left
+    in place costs one attribute lookup and one no-op call.
+    """
+
+    _NULL_COUNTER = _NullCounter("null")
+    _NULL_GAUGE = _NullGauge("null")
+    _NULL_HISTOGRAM = _NullHistogram("null")
+
+    def __bool__(self) -> bool:
+        return False
+
+    def counter(self, name: str) -> Counter:  # noqa: ARG002
+        return self._NULL_COUNTER
+
+    def gauge(self, name: str) -> Gauge:  # noqa: ARG002
+        return self._NULL_GAUGE
+
+    def histogram(self, name: str) -> Histogram:  # noqa: ARG002
+        return self._NULL_HISTOGRAM
+
+    def span(self, name: str, **attributes: object) -> NullSpan:  # noqa: ARG002
+        return NULL_SPAN
+
+    def event(self, name: str, **fields: object) -> None:  # noqa: ARG002
+        pass
+
+
+#: The process-wide default: instrumentation wired to this records nothing.
+NULL_REGISTRY = NullRegistry()
+
+_active: MetricsRegistry = NULL_REGISTRY
+
+
+def get_registry() -> MetricsRegistry:
+    """The currently active registry (the null registry by default)."""
+    return _active
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install ``registry`` as the process default; returns the previous."""
+    global _active
+    previous = _active
+    _active = registry
+    return previous
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Scoped :func:`set_registry`: restores the previous on exit."""
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)

@@ -1,0 +1,113 @@
+"""Nested-timing spans: experiment -> cell -> round -> slot-batch.
+
+A :class:`Span` measures one timed region and knows its place in the
+nesting: the registry keeps a stack of open spans, so a span opened
+while another is active records a dotted path like
+``experiment.cell.round``.  Completed spans become immutable
+:class:`SpanRecord` rows in the registry's trace, and every span also
+feeds a histogram named ``span.<path>.seconds`` — so exporters get both
+the individual timeline and the aggregate timing distribution.
+
+Spans are context managers::
+
+    with registry.span("experiment"):
+        with registry.span("cell", n=10_000):
+            ...
+
+The trace is bounded (:attr:`repro.obs.registry.MetricsRegistry.max_trace`);
+once full, further records are dropped and counted in the
+``obs.spans.dropped`` counter rather than growing without limit —
+per-round spans in a million-round run must not become the new hot path.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from types import TracebackType
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One completed timed region.
+
+    Attributes
+    ----------
+    name:
+        The span's own label (``"cell"``).
+    path:
+        Dot-joined ancestry including the name (``"experiment.cell"``).
+    start:
+        ``time.perf_counter()`` at entry — a monotonic offset, useful
+        for ordering and gaps, not a wall-clock date.
+    seconds:
+        Duration of the region.
+    attributes:
+        Free-form key/value context given at :meth:`Span.__init__`
+        (population size, rounds, ...).
+    """
+
+    name: str
+    path: str
+    start: float
+    seconds: float
+    attributes: dict[str, object] = field(default_factory=dict)
+
+
+class Span:
+    """A timed region; created via ``registry.span(name, **attributes)``."""
+
+    __slots__ = ("name", "attributes", "_registry", "_start", "path")
+
+    def __init__(self, registry: object, name: str, **attributes: object):
+        self.name = name
+        self.attributes = attributes
+        self._registry = registry
+        self._start = 0.0
+        self.path = name
+
+    def __enter__(self) -> "Span":
+        registry = self._registry
+        stack = registry._span_stack  # type: ignore[attr-defined]
+        if stack:
+            self.path = f"{stack[-1].path}.{self.name}"
+        stack.append(self)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        traceback: TracebackType | None,
+    ) -> None:
+        seconds = time.perf_counter() - self._start
+        registry = self._registry
+        stack = registry._span_stack  # type: ignore[attr-defined]
+        if stack and stack[-1] is self:
+            stack.pop()
+        registry._finish_span(  # type: ignore[attr-defined]
+            SpanRecord(
+                name=self.name,
+                path=self.path,
+                start=self._start,
+                seconds=seconds,
+                attributes=dict(self.attributes),
+            )
+        )
+
+
+class NullSpan:
+    """Do-nothing span handed out by the null registry."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+
+#: Shared no-op span instance (spans carry no per-use state when null).
+NULL_SPAN = NullSpan()

@@ -38,7 +38,12 @@ from .framed import EzbProtocol, UpeProtocol, UseProtocol
 from .lof import LofProtocol
 from .pet import PetProtocol
 from .pet_budgeted import BudgetedPetProtocol
-from .registry import available_protocols, make_protocol
+from .registry import (
+    ProtocolSpec,
+    available_protocols,
+    make_protocol,
+    protocol_names,
+)
 from .treewalk import TreeWalkIdentification
 
 __all__ = [
@@ -56,5 +61,7 @@ __all__ = [
     "FramedAlohaIdentification",
     "TreeWalkIdentification",
     "available_protocols",
+    "protocol_names",
+    "ProtocolSpec",
     "make_protocol",
 ]

@@ -9,6 +9,7 @@ import numpy as np
 
 from ..config import AccuracyRequirement
 from ..errors import ConfigurationError
+from ..obs.registry import MetricsRegistry, get_registry
 from ..tags.population import TagPopulation
 
 
@@ -29,20 +30,49 @@ class ProtocolResult:
         time metric.
     per_round_statistics:
         Raw per-round observations (gray depths, first-nonempty indices,
-        first-empty buckets ... protocol-specific), kept for diagnostics.
+        first-empty buckets ... protocol-specific), kept for diagnostics;
+        ``None`` when the protocol records none.
     """
 
     protocol: str
     n_hat: float
     rounds: int
     total_slots: int
-    per_round_statistics: np.ndarray = field(repr=False, default=None)  # type: ignore[assignment]
+    per_round_statistics: np.ndarray | None = field(
+        repr=False, default=None
+    )
 
     def accuracy(self, true_n: int) -> float:
         """The Eq. 22 metric ``n_hat / n``."""
         if true_n < 1:
             raise ConfigurationError(f"true_n must be >= 1, got {true_n}")
         return self.n_hat / true_n
+
+    def to_dict(
+        self, include_statistics: bool = False
+    ) -> dict[str, object]:
+        """Plain-type view for exporters, reports, and JSON sinks.
+
+        ``per_round_statistics`` is summarised (count only) unless
+        ``include_statistics`` is set, in which case the raw
+        observations are included as a list of floats.
+        """
+        record: dict[str, object] = {
+            "protocol": self.protocol,
+            "n_hat": float(self.n_hat),
+            "rounds": int(self.rounds),
+            "total_slots": int(self.total_slots),
+            "observations": (
+                0
+                if self.per_round_statistics is None
+                else int(len(self.per_round_statistics))
+            ),
+        }
+        if include_statistics and self.per_round_statistics is not None:
+            record["per_round_statistics"] = [
+                float(value) for value in self.per_round_statistics
+            ]
+        return record
 
 
 @dataclass(frozen=True)
@@ -72,10 +102,46 @@ class IdentificationResult:
 
 
 class CardinalityEstimatorProtocol(abc.ABC):
-    """Interface every estimation protocol in the zoo implements."""
+    """Interface every estimation protocol in the zoo implements.
+
+    Protocols are observable: :meth:`instrument` attaches a
+    :class:`~repro.obs.registry.MetricsRegistry`, and every concrete
+    ``estimate`` implementation funnels its result through
+    :meth:`_observe_result`, which records runs, rounds, slots, and the
+    per-round statistic distribution under ``protocol.<name>.*``.  The
+    default registry is the process-wide active one (the no-op null
+    registry unless something installed a real one), so uninstrumented
+    use pays nothing.
+    """
 
     #: Display name, overridden by subclasses.
     name: str = "abstract"
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The metrics registry results are recorded against."""
+        attached = getattr(self, "_registry", None)
+        return attached if attached is not None else get_registry()
+
+    def instrument(
+        self, registry: MetricsRegistry
+    ) -> "CardinalityEstimatorProtocol":
+        """Attach ``registry`` for result recording; returns ``self``."""
+        self._registry = registry
+        return self
+
+    def _observe_result(self, result: ProtocolResult) -> ProtocolResult:
+        """Record ``result`` against the registry and pass it through."""
+        registry = self.registry
+        prefix = f"protocol.{self.name}"
+        registry.counter(f"{prefix}.runs").inc()
+        registry.counter(f"{prefix}.rounds").inc(result.rounds)
+        registry.counter(f"{prefix}.slots").inc(result.total_slots)
+        if result.per_round_statistics is not None:
+            registry.histogram(f"{prefix}.round_statistic").observe_many(
+                result.per_round_statistics
+            )
+        return result
 
     @abc.abstractmethod
     def plan_rounds(self, requirement: AccuracyRequirement) -> int:

@@ -106,12 +106,14 @@ class FnebProtocol(CardinalityEstimatorProtocol):
             seed = int(rng.integers(0, 2**63))
             statistics[round_index] = self.first_nonempty(seed, population)
         n_hat = self.estimate_from_mean(float(statistics.mean()))
-        return ProtocolResult(
-            protocol=self.name,
-            n_hat=n_hat,
-            rounds=rounds,
-            total_slots=rounds * self.slots_per_round(),
-            per_round_statistics=statistics,
+        return self._observe_result(
+            ProtocolResult(
+                protocol=self.name,
+                n_hat=n_hat,
+                rounds=rounds,
+                total_slots=rounds * self.slots_per_round(),
+                per_round_statistics=statistics,
+            )
         )
 
     def estimate_sampled(
@@ -132,10 +134,12 @@ class FnebProtocol(CardinalityEstimatorProtocol):
         )
         xs = np.clip(xs, 1, self.frame_size)
         n_hat = self.estimate_from_mean(float(xs.mean()))
-        return ProtocolResult(
-            protocol=self.name,
-            n_hat=n_hat,
-            rounds=rounds,
-            total_slots=rounds * self.slots_per_round(),
-            per_round_statistics=xs,
+        return self._observe_result(
+            ProtocolResult(
+                protocol=self.name,
+                n_hat=n_hat,
+                rounds=rounds,
+                total_slots=rounds * self.slots_per_round(),
+                per_round_statistics=xs,
+            )
         )

@@ -128,10 +128,12 @@ class EnhancedFnebProtocol(CardinalityEstimatorProtocol):
                 # empty" and falls back to a full-range search.
                 total_slots += shrunk_cost + full_cost
         n_hat = self._plain.estimate_from_mean(float(statistics.mean()))
-        return ProtocolResult(
-            protocol=self.name,
-            n_hat=n_hat,
-            rounds=rounds,
-            total_slots=total_slots,
-            per_round_statistics=statistics,
+        return self._observe_result(
+            ProtocolResult(
+                protocol=self.name,
+                n_hat=n_hat,
+                rounds=rounds,
+                total_slots=total_slots,
+                per_round_statistics=statistics,
+            )
         )

@@ -123,12 +123,14 @@ class _ZeroFrameEstimator(CardinalityEstimatorProtocol):
             zeros[round_index] = self.empty_slots(seed, population)
         zero_fraction = float(zeros.mean()) / self.frame_size
         n_hat = self.estimate_from_zero_fraction(zero_fraction)
-        return ProtocolResult(
-            protocol=self.name,
-            n_hat=n_hat,
-            rounds=rounds,
-            total_slots=rounds * self.slots_per_round(),
-            per_round_statistics=zeros,
+        return self._observe_result(
+            ProtocolResult(
+                protocol=self.name,
+                n_hat=n_hat,
+                rounds=rounds,
+                total_slots=rounds * self.slots_per_round(),
+                per_round_statistics=zeros,
+            )
         )
 
 
@@ -200,10 +202,12 @@ class EzbProtocol(_ZeroFrameEstimator):
             zeros[index] = self.empty_slots(seed, population)
         zero_fraction = float(zeros.mean()) / self.frame_size
         n_hat = self.estimate_from_zero_fraction(zero_fraction)
-        return ProtocolResult(
-            protocol=self.name,
-            n_hat=n_hat,
-            rounds=rounds,
-            total_slots=rounds * self.slots_per_round(),
-            per_round_statistics=zeros,
+        return self._observe_result(
+            ProtocolResult(
+                protocol=self.name,
+                n_hat=n_hat,
+                rounds=rounds,
+                total_slots=rounds * self.slots_per_round(),
+                per_round_statistics=zeros,
+            )
         )

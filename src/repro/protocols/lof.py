@@ -110,12 +110,14 @@ class LofProtocol(CardinalityEstimatorProtocol):
                 seed, population
             )
         n_hat = self.estimate_from_mean(float(statistics.mean()))
-        return ProtocolResult(
-            protocol=self.name,
-            n_hat=n_hat,
-            rounds=rounds,
-            total_slots=rounds * self.slots_per_round(),
-            per_round_statistics=statistics,
+        return self._observe_result(
+            ProtocolResult(
+                protocol=self.name,
+                n_hat=n_hat,
+                rounds=rounds,
+                total_slots=rounds * self.slots_per_round(),
+                per_round_statistics=statistics,
+            )
         )
 
     def estimate_sampled(
@@ -143,10 +145,12 @@ class LofProtocol(CardinalityEstimatorProtocol):
                 float(empty[0]) if empty.size else float(self.frame_slots)
             )
         n_hat = self.estimate_from_mean(float(statistics.mean()))
-        return ProtocolResult(
-            protocol=self.name,
-            n_hat=n_hat,
-            rounds=rounds,
-            total_slots=rounds * self.slots_per_round(),
-            per_round_statistics=statistics,
+        return self._observe_result(
+            ProtocolResult(
+                protocol=self.name,
+                n_hat=n_hat,
+                rounds=rounds,
+                total_slots=rounds * self.slots_per_round(),
+                per_round_statistics=statistics,
+            )
         )

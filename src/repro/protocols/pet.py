@@ -88,10 +88,12 @@ class PetProtocol(CardinalityEstimatorProtocol):
         else:
             vec = VectorizedSimulator(population, config=config, rng=rng)
             result = vec.estimate()
-        return ProtocolResult(
-            protocol=self.name,
-            n_hat=result.n_hat,
-            rounds=result.num_rounds,
-            total_slots=result.total_slots,
-            per_round_statistics=result.depths,
+        return self._observe_result(
+            ProtocolResult(
+                protocol=self.name,
+                n_hat=result.n_hat,
+                rounds=result.num_rounds,
+                total_slots=result.total_slots,
+                per_round_statistics=result.depths,
+            )
         )

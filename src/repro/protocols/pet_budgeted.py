@@ -134,12 +134,14 @@ class BudgetedPetProtocol(CardinalityEstimatorProtocol):
             self.config.tree_height,
             censor_at=self.slot_budget,
         )
-        return ProtocolResult(
-            protocol=self.name,
-            n_hat=n_hat,
-            rounds=rounds,
-            total_slots=rounds * self.slot_budget,
-            per_round_statistics=observations.astype(np.float64),
+        return self._observe_result(
+            ProtocolResult(
+                protocol=self.name,
+                n_hat=n_hat,
+                rounds=rounds,
+                total_slots=rounds * self.slot_budget,
+                per_round_statistics=observations.astype(np.float64),
+            )
         )
 
     def censored_fraction(self, n: int) -> float:

@@ -1,13 +1,32 @@
 """Protocol registry: build any estimation protocol by name.
 
-Keeps the CLI and the benchmark sweeps decoupled from concrete classes.
+Keeps the CLI, the benchmark sweeps, and the :func:`repro.estimate`
+facade decoupled from concrete classes.  Every entry carries a factory
+*and* a one-line summary, and :func:`make_protocol` forwards keyword
+configuration to the underlying constructor::
+
+    make_protocol("fneb", frame_size=2**16)
+    make_protocol("pet", rounds=256, tree_height=16)
+    make_protocol("pet", accuracy=AccuracyRequirement(0.05, 0.01))
+
+PET-family entries accept the :class:`~repro.config.PetConfig` fields
+directly (``tree_height=``, ``rounds=``, ...), a whole ``config=``
+object, a ``tier=`` selector, and ``accuracy=`` — an
+:class:`~repro.config.AccuracyRequirement` translated into the Eq. 20
+round count when ``rounds`` was not pinned explicitly.  Unknown keywords
+raise :class:`~repro.errors.ConfigurationError` naming the offending
+keys and the accepted ones.  The old one-argument call keeps working.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import inspect
+from dataclasses import dataclass
 from typing import Callable
 
-from ..config import PetConfig
+from ..config import AccuracyRequirement, PetConfig
+from ..core.accuracy import rounds_required
 from ..errors import ConfigurationError
 from .base import CardinalityEstimatorProtocol
 from .fneb import FnebProtocol
@@ -17,36 +36,210 @@ from .lof import LofProtocol
 from .pet import PetProtocol
 from .pet_budgeted import BudgetedPetProtocol
 
-_BUILDERS: dict[str, Callable[[], CardinalityEstimatorProtocol]] = {
-    "pet": lambda: PetProtocol(),
-    "pet-linear": lambda: PetProtocol(
-        config=PetConfig(binary_search=False)
-    ),
-    "pet-passive": lambda: PetProtocol(
-        config=PetConfig(passive_tags=True)
-    ),
-    "pet-budgeted": lambda: BudgetedPetProtocol.for_max_population(
-        1_000_000
-    ),
-    "fneb": lambda: FnebProtocol(),
-    "fneb-enhanced": lambda: EnhancedFnebProtocol(),
-    "lof": lambda: LofProtocol(),
-    "use": lambda: UseProtocol(),
-    "upe": lambda: UpeProtocol(),
-    "ezb": lambda: EzbProtocol(),
+_PET_CONFIG_FIELDS = tuple(
+    f.name for f in dataclasses.fields(PetConfig)
+)
+
+
+def _merge_pet_config(
+    preset: dict[str, object],
+    config: PetConfig | None,
+    fields: dict[str, object],
+    accuracy: AccuracyRequirement | None,
+) -> PetConfig:
+    """Resolve a PetConfig from preset defaults + caller configuration.
+
+    Precedence: explicit ``fields`` > ``config=`` object > preset.
+    ``accuracy`` fills ``rounds`` (Eq. 20) only when nothing pinned it.
+    """
+    if config is not None:
+        merged = (
+            dataclasses.replace(config, **fields)  # type: ignore[arg-type]
+            if fields
+            else config
+        )
+    else:
+        merged = PetConfig(**{**preset, **fields})  # type: ignore[arg-type]
+    if accuracy is not None and merged.rounds is None:
+        merged = merged.with_rounds(
+            rounds_required(accuracy.epsilon, accuracy.delta)
+        )
+    return merged
+
+
+def _pet_factory(
+    **preset: object,
+) -> Callable[..., CardinalityEstimatorProtocol]:
+    def build(
+        config: PetConfig | None = None,
+        tier: str = "vectorized",
+        accuracy: AccuracyRequirement | None = None,
+        **fields: object,
+    ) -> CardinalityEstimatorProtocol:
+        return PetProtocol(
+            config=_merge_pet_config(preset, config, fields, accuracy),
+            tier=tier,
+        )
+
+    build.accepted = (  # type: ignore[attr-defined]
+        "config",
+        "tier",
+        "accuracy",
+        *_PET_CONFIG_FIELDS,
+    )
+    return build
+
+
+def _budgeted_pet_factory(
+    n_max: int = 1_000_000,
+    slot_budget: int | None = None,
+    censor_inflation: float = 1.5,
+    margin: int = 2,
+    config: PetConfig | None = None,
+    accuracy: AccuracyRequirement | None = None,
+    **fields: object,
+) -> CardinalityEstimatorProtocol:
+    merged = _merge_pet_config({}, config, fields, accuracy)
+    if slot_budget is None:
+        slot_budget = BudgetedPetProtocol.for_max_population(
+            n_max, config=merged, margin=margin
+        ).slot_budget
+    return BudgetedPetProtocol(
+        slot_budget=slot_budget,
+        config=merged,
+        censor_inflation=censor_inflation,
+    )
+
+
+_budgeted_pet_factory.accepted = (  # type: ignore[attr-defined]
+    "n_max",
+    "slot_budget",
+    "censor_inflation",
+    "margin",
+    "config",
+    "accuracy",
+    *_PET_CONFIG_FIELDS,
+)
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """One registry entry: display summary + configurable factory."""
+
+    name: str
+    summary: str
+    factory: Callable[..., CardinalityEstimatorProtocol]
+
+    @property
+    def accepted_config(self) -> tuple[str, ...]:
+        """Keyword names :func:`make_protocol` forwards to the factory."""
+        accepted = getattr(self.factory, "accepted", None)
+        if accepted is not None:
+            return tuple(accepted)
+        parameters = inspect.signature(self.factory).parameters
+        return tuple(
+            name
+            for name, parameter in parameters.items()
+            if name != "self"
+            and parameter.kind
+            in (
+                inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                inspect.Parameter.KEYWORD_ONLY,
+            )
+        )
+
+
+_SPECS: dict[str, ProtocolSpec] = {
+    spec.name: spec
+    for spec in (
+        ProtocolSpec(
+            "pet",
+            "PET with Algorithm 3 binary search — O(log log n) "
+            "slots/round",
+            _pet_factory(),
+        ),
+        ProtocolSpec(
+            "pet-linear",
+            "PET with the Algorithm 1 linear prefix scan — O(log n)",
+            _pet_factory(binary_search=False),
+        ),
+        ProtocolSpec(
+            "pet-passive",
+            "PET over Sec. 4.5 passive tags (one preloaded code)",
+            _pet_factory(passive_tags=True),
+        ),
+        ProtocolSpec(
+            "pet-budgeted",
+            "PET with a hard per-round slot budget + censored MLE",
+            _budgeted_pet_factory,
+        ),
+        ProtocolSpec(
+            "fneb",
+            "First-nonempty-slot estimation (Han et al. 2010)",
+            FnebProtocol,
+        ),
+        ProtocolSpec(
+            "fneb-enhanced",
+            "FNEB with pilot-phase frame shrinking",
+            EnhancedFnebProtocol,
+        ),
+        ProtocolSpec(
+            "lof",
+            "Lottery-Frame / Flajolet-Martin estimation (Qian et al.)",
+            LofProtocol,
+        ),
+        ProtocolSpec(
+            "use",
+            "Unified Simple Estimator — empty slots of one Aloha frame",
+            UseProtocol,
+        ),
+        ProtocolSpec(
+            "upe",
+            "Unified Probabilistic Estimator — load-matched USE",
+            UpeProtocol,
+        ),
+        ProtocolSpec(
+            "ezb",
+            "Enhanced Zero-Based — zero statistic over k sub-frames",
+            EzbProtocol,
+        ),
+    )
 }
 
 
-def available_protocols() -> list[str]:
-    """Names accepted by :func:`make_protocol`."""
-    return sorted(_BUILDERS)
+def protocol_names() -> list[str]:
+    """Sorted names accepted by :func:`make_protocol`."""
+    return sorted(_SPECS)
 
 
-def make_protocol(name: str) -> CardinalityEstimatorProtocol:
-    """Instantiate the named protocol with its default parameters."""
+def available_protocols() -> list[tuple[str, str]]:
+    """``(name, summary)`` pairs for every registered protocol."""
+    return [
+        (name, _SPECS[name].summary) for name in protocol_names()
+    ]
+
+
+def make_protocol(
+    name: str, **config: object
+) -> CardinalityEstimatorProtocol:
+    """Instantiate the named protocol, forwarding ``config`` keywords.
+
+    With no keywords this builds the protocol with its default
+    parameters, exactly as before.  Unknown protocol names and unknown
+    keywords both raise :class:`~repro.errors.ConfigurationError`; the
+    latter lists the keywords the protocol accepts.
+    """
     key = name.lower()
-    if key not in _BUILDERS:
+    spec = _SPECS.get(key)
+    if spec is None:
         raise ConfigurationError(
-            f"unknown protocol {name!r}; available: {available_protocols()}"
+            f"unknown protocol {name!r}; available: {protocol_names()}"
         )
-    return _BUILDERS[key]()
+    accepted = spec.accepted_config
+    unknown = sorted(set(config) - set(accepted))
+    if unknown:
+        raise ConfigurationError(
+            f"protocol {name!r} got unknown configuration "
+            f"{unknown}; accepted keywords: {sorted(accepted)}"
+        )
+    return spec.factory(**config)

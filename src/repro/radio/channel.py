@@ -23,9 +23,10 @@ import numpy as np
 
 from ..config import ChannelConfig
 from ..errors import ChannelError
+from ..obs.registry import MetricsRegistry, get_registry
 from .events import ChannelTrace, SlotEvent
 from .link import LinkModel
-from .slots import SlotOutcome
+from .slots import SlotOutcome, SlotType
 
 
 class ChannelListener(Protocol):
@@ -45,19 +46,36 @@ class ChannelListener(Protocol):
 
 
 class SlottedChannel:
-    """A single reader's interrogation channel."""
+    """A single reader's interrogation channel.
+
+    When a real :class:`~repro.obs.registry.MetricsRegistry` is passed
+    (or installed as the active registry), every slot outcome is counted
+    under ``radio.slots[.idle|.busy|.singleton|.collision]``; the link
+    model adds ``radio.responses.erased`` and ``radio.slots.captured``.
+    With the default null registry all of this is a no-op.
+    """
 
     def __init__(
         self,
         config: ChannelConfig | None = None,
         rng: np.random.Generator | None = None,
         trace: ChannelTrace | None = None,
+        registry: MetricsRegistry | None = None,
     ):
         self._config = config or ChannelConfig()
         self._rng = rng if rng is not None else np.random.default_rng()
-        self._link = LinkModel(self._config, self._rng)
+        registry = registry if registry is not None else get_registry()
+        self._link = LinkModel(self._config, self._rng, registry=registry)
         self._listeners: dict[int, ChannelListener] = {}
         self.trace = trace if trace is not None else ChannelTrace()
+        # Bound once: broadcast() is the innermost slot loop.
+        self._slot_counters = {
+            SlotType.IDLE: registry.counter("radio.slots.idle"),
+            SlotType.SINGLETON: registry.counter("radio.slots.singleton"),
+            SlotType.COLLISION: registry.counter("radio.slots.collision"),
+        }
+        self._slots_total = registry.counter("radio.slots")
+        self._slots_busy = registry.counter("radio.slots.busy")
 
     @property
     def config(self) -> ChannelConfig:
@@ -117,6 +135,10 @@ class SlottedChannel:
             if listener.hear(command)
         )
         outcome = self._link.deliver(responders)
+        self._slots_total.inc()
+        self._slot_counters[outcome.slot_type].inc()
+        if outcome.busy:
+            self._slots_busy.inc()
         self.trace.record(label or repr(command), payload_bits, outcome)
         return outcome
 

@@ -12,15 +12,30 @@ from __future__ import annotations
 import numpy as np
 
 from ..config import ChannelConfig
+from ..obs.registry import MetricsRegistry, get_registry
 from .slots import SlotOutcome, classify
 
 
 class LinkModel:
-    """Applies loss and capture to the set of responses in one slot."""
+    """Applies loss and capture to the set of responses in one slot.
 
-    def __init__(self, config: ChannelConfig, rng: np.random.Generator):
+    When given a real metrics registry, counts the link effects it
+    injects: ``radio.responses.erased`` (individual responses lost
+    before reaching the reader) and ``radio.slots.captured`` (collisions
+    decoded as singletons by the capture effect).
+    """
+
+    def __init__(
+        self,
+        config: ChannelConfig,
+        rng: np.random.Generator,
+        registry: MetricsRegistry | None = None,
+    ):
         self._config = config
         self._rng = rng
+        registry = registry if registry is not None else get_registry()
+        self._erased = registry.counter("radio.responses.erased")
+        self._captured = registry.counter("radio.slots.captured")
 
     @property
     def config(self) -> ChannelConfig:
@@ -50,9 +65,11 @@ class LinkModel:
         if loss == 0.0 or not responder_ids:
             return responder_ids
         keep = self._rng.random(len(responder_ids)) >= loss
-        return tuple(
+        survivors = tuple(
             tag_id for tag_id, kept in zip(responder_ids, keep) if kept
         )
+        self._erased.inc(len(responder_ids) - len(survivors))
+        return survivors
 
     def _apply_capture(self, survivors: tuple[int, ...]) -> tuple[int, ...]:
         capture = self._config.capture_probability
@@ -60,5 +77,6 @@ class LinkModel:
             return survivors
         if self._rng.random() < capture:
             winner = survivors[self._rng.integers(len(survivors))]
+            self._captured.inc()
             return (winner,)
         return survivors

@@ -34,14 +34,21 @@ populations, the slot-level simulator) is enforced by
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from ..config import PAPER_RUNS_PER_POINT, PetConfig
 from ..core.accuracy import estimate_from_depths
-from ..core.search import slots_lookup_table, strategy_for
+from ..core.search import (
+    slot_outcome_tables,
+    slots_lookup_table,
+    strategy_for,
+)
 from ..errors import ConfigurationError
 from ..hashing.family import HashFamily
 from ..hashing.geometric import leading_zeros64_vec
+from ..obs.registry import MetricsRegistry, get_registry
 from .experiment import RepeatedEstimate
 from .workload import WorkloadSpec, build_population
 
@@ -124,12 +131,19 @@ class BatchedExperimentEngine:
         Root of the seed tree for every repetition.
     repetitions:
         Independent runs per cell (paper default: 300).
+    registry:
+        Metrics registry for cell timing, slot-outcome counters, and
+        the gray-depth histogram; defaults to the process-wide active
+        registry.  Instrumentation reads the computed depth arrays and
+        the wall clock only — never the seed tree — so results stay
+        bit-identical to the reference loop with any registry.
     """
 
     def __init__(
         self,
         base_seed: int = 2011,
         repetitions: int = PAPER_RUNS_PER_POINT,
+        registry: MetricsRegistry | None = None,
     ):
         if repetitions < 1:
             raise ConfigurationError(
@@ -137,6 +151,9 @@ class BatchedExperimentEngine:
             )
         self.base_seed = base_seed
         self.repetitions = repetitions
+        self.registry = (
+            registry if registry is not None else get_registry()
+        )
 
     def run_cell(
         self,
@@ -154,48 +171,96 @@ class BatchedExperimentEngine:
             )
         strategy = strategy_for(config.binary_search)
         slots_table = slots_lookup_table(strategy, height)
-        children = np.random.SeedSequence(self.base_seed).spawn(
-            self.repetitions
-        )
-        words_per_round = 1 if config.passive_tags else 2
-        estimates = np.empty(self.repetitions)
-        total_slots = 0
-        for index, child in enumerate(children):
-            rng = np.random.default_rng(child)
-            population = build_population(
-                WorkloadSpec(
-                    size=spec.size,
-                    id_space=spec.id_space,
-                    seed=spec.seed + index,
-                )
+        registry = self.registry
+        if registry:
+            busy_table, idle_table = slot_outcome_tables(
+                strategy, height
             )
-            # One array draw reproduces the reference loop's per-round
-            # scalar draws: path word (then seed word, active variant)
-            # in round order — see EstimatingPath.random.
-            words = rng.integers(
-                0, 2**64, size=(rounds, words_per_round), dtype=np.uint64
+            depth_histogram = registry.histogram("pet.gray_depth")
+            busy_slots = 0
+            idle_slots = 0
+        start = time.perf_counter()
+        with registry.span(
+            "cell", tier="batched", n=spec.size, rounds=rounds
+        ):
+            children = np.random.SeedSequence(self.base_seed).spawn(
+                self.repetitions
             )
-            path_bits = words[:, 0] >> np.uint64(64 - height)
-            if config.passive_tags:
-                codes = np.sort(population.preloaded_codes(height))
-                depths = batched_gray_depths_sorted(
-                    codes, path_bits, height
+            words_per_round = 1 if config.passive_tags else 2
+            estimates = np.empty(self.repetitions)
+            total_slots = 0
+            for index, child in enumerate(children):
+                rng = np.random.default_rng(child)
+                population = build_population(
+                    WorkloadSpec(
+                        size=spec.size,
+                        id_space=spec.id_space,
+                        seed=spec.seed + index,
+                    )
                 )
-            else:
-                # integers(0, 2**63) is a one-word Lemire draw: word >> 1.
-                seeds = words[:, 1] >> np.uint64(1)
-                depths = batched_gray_depths_fresh(
-                    population.tag_ids,
-                    seeds,
-                    path_bits,
-                    height,
-                    population.family,
+                # One array draw reproduces the reference loop's
+                # per-round scalar draws: path word (then seed word,
+                # active variant) in round order — see
+                # EstimatingPath.random.
+                words = rng.integers(
+                    0,
+                    2**64,
+                    size=(rounds, words_per_round),
+                    dtype=np.uint64,
                 )
-            estimates[index] = estimate_from_depths(depths)
-            total_slots += int(slots_table[depths].sum())
-        return RepeatedEstimate(
+                path_bits = words[:, 0] >> np.uint64(64 - height)
+                if config.passive_tags:
+                    codes = np.sort(population.preloaded_codes(height))
+                    depths = batched_gray_depths_sorted(
+                        codes, path_bits, height
+                    )
+                else:
+                    # integers(0, 2**63) is a one-word Lemire draw:
+                    # word >> 1.
+                    seeds = words[:, 1] >> np.uint64(1)
+                    depths = batched_gray_depths_fresh(
+                        population.tag_ids,
+                        seeds,
+                        path_bits,
+                        height,
+                        population.family,
+                    )
+                estimates[index] = estimate_from_depths(depths)
+                total_slots += int(slots_table[depths].sum())
+                if registry:
+                    busy_slots += int(busy_table[depths].sum())
+                    idle_slots += int(idle_table[depths].sum())
+                    depth_histogram.observe_many(depths)
+        seconds = time.perf_counter() - start
+        repeated = RepeatedEstimate(
             true_n=spec.size,
             rounds=rounds,
             estimates=estimates,
             slots_per_run=total_slots / self.repetitions,
         )
+        if registry:
+            rounds_done = rounds * self.repetitions
+            registry.counter("experiment.cells").inc()
+            registry.counter("experiment.rounds").inc(rounds_done)
+            registry.counter("sim.rounds").inc(rounds_done)
+            registry.counter("sim.slots").inc(total_slots)
+            registry.counter("sim.slots.busy").inc(busy_slots)
+            registry.counter("sim.slots.idle").inc(idle_slots)
+            registry.histogram("experiment.cell_seconds").observe(
+                seconds
+            )
+            if seconds > 0:
+                registry.gauge("experiment.rounds_per_second").set(
+                    rounds_done / seconds
+                )
+            registry.event(
+                "cell",
+                tier="batched",
+                n=spec.size,
+                rounds=rounds,
+                repetitions=self.repetitions,
+                mean_estimate=float(estimates.mean()),
+                slots_per_run=repeated.slots_per_run,
+                seconds=seconds,
+            )
+        return repeated

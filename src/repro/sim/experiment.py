@@ -9,6 +9,7 @@ seed, so any individual run can be reproduced in isolation from
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -17,6 +18,7 @@ import numpy as np
 from ..analysis.stats import SeriesSummary, summarize
 from ..config import PAPER_RUNS_PER_POINT, PetConfig
 from ..errors import ConfigurationError
+from ..obs.registry import MetricsRegistry, get_registry
 from .sampled import SampledSimulator
 from .vectorized import VectorizedSimulator
 from .workload import WorkloadSpec, build_population
@@ -57,12 +59,18 @@ class ExperimentRunner:
         Root of the seed tree for every repetition.
     repetitions:
         Independent runs per cell (paper default: 300).
+    registry:
+        Metrics registry cells are timed and counted against; defaults
+        to the process-wide active registry (no-op unless installed).
+        Instrumentation never touches the seed tree, so results are
+        bit-identical with or without a real registry.
     """
 
     def __init__(
         self,
         base_seed: int = 2011,
         repetitions: int = PAPER_RUNS_PER_POINT,
+        registry: MetricsRegistry | None = None,
     ):
         if repetitions < 1:
             raise ConfigurationError(
@@ -70,10 +78,40 @@ class ExperimentRunner:
             )
         self.base_seed = base_seed
         self.repetitions = repetitions
+        self.registry = (
+            registry if registry is not None else get_registry()
+        )
 
     def _child_rngs(self, count: int) -> list[np.random.Generator]:
         seed_seq = np.random.SeedSequence(self.base_seed)
         return [np.random.default_rng(s) for s in seed_seq.spawn(count)]
+
+    def _record_cell(
+        self, tier: str, result: RepeatedEstimate, seconds: float
+    ) -> None:
+        """Count/time one finished cell and log its outcome event."""
+        registry = self.registry
+        rounds_done = result.rounds * len(result.estimates)
+        registry.counter("experiment.cells").inc()
+        registry.counter("experiment.rounds").inc(rounds_done)
+        if seconds == seconds:  # cells timed in *this* process only
+            registry.histogram("experiment.cell_seconds").observe(
+                seconds
+            )
+            if seconds > 0:
+                registry.gauge("experiment.rounds_per_second").set(
+                    rounds_done / seconds
+                )
+        registry.event(
+            "cell",
+            tier=tier,
+            n=result.true_n,
+            rounds=result.rounds,
+            repetitions=len(result.estimates),
+            mean_estimate=float(result.estimates.mean()),
+            slots_per_run=result.slots_per_run,
+            seconds=seconds,
+        )
 
     def run_sampled(
         self, n: int, config: PetConfig, rounds: int
@@ -83,20 +121,28 @@ class ExperimentRunner:
         Uses the batch sampler: statistically identical to repeated
         full runs, at a fraction of the cost.
         """
-        rng = np.random.default_rng(
-            np.random.SeedSequence((self.base_seed, n, rounds))
-        )
-        simulator = SampledSimulator(n, config=config, rng=rng)
-        estimates = simulator.estimate_batch(rounds, self.repetitions)
-        # One representative run for slot accounting (slot counts are
-        # almost surely constant for binary search, d+1 for linear).
-        result = simulator.estimate(rounds=rounds)
-        return RepeatedEstimate(
+        start = time.perf_counter()
+        with self.registry.span("cell", tier="sampled", n=n):
+            rng = np.random.default_rng(
+                np.random.SeedSequence((self.base_seed, n, rounds))
+            )
+            simulator = SampledSimulator(
+                n, config=config, rng=rng, registry=self.registry
+            )
+            estimates = simulator.estimate_batch(rounds, self.repetitions)
+            # One representative run for slot accounting (slot counts are
+            # almost surely constant for binary search, d+1 for linear).
+            result = simulator.estimate(rounds=rounds)
+        repeated = RepeatedEstimate(
             true_n=n,
             rounds=rounds,
             estimates=estimates,
             slots_per_run=float(result.total_slots),
         )
+        self._record_cell(
+            "sampled", repeated, time.perf_counter() - start
+        )
+        return repeated
 
     def run_vectorized(
         self,
@@ -123,7 +169,9 @@ class ExperimentRunner:
             from .batched import BatchedExperimentEngine
 
             batched = BatchedExperimentEngine(
-                base_seed=self.base_seed, repetitions=self.repetitions
+                base_seed=self.base_seed,
+                repetitions=self.repetitions,
+                registry=self.registry,
             )
             return batched.run_cell(spec, config, rounds)
         if engine != "loop":
@@ -144,29 +192,33 @@ class ExperimentRunner:
         tested against (and as the baseline of the throughput
         benchmark); prefer ``run_vectorized`` everywhere else.
         """
-        rngs = self._child_rngs(self.repetitions)
-        estimates = np.empty(self.repetitions)
-        total_slots = 0
-        for index, rng in enumerate(rngs):
-            population = build_population(
-                WorkloadSpec(
-                    size=spec.size,
-                    id_space=spec.id_space,
-                    seed=spec.seed + index,
+        start = time.perf_counter()
+        with self.registry.span("cell", tier="loop", n=spec.size):
+            rngs = self._child_rngs(self.repetitions)
+            estimates = np.empty(self.repetitions)
+            total_slots = 0
+            for index, rng in enumerate(rngs):
+                population = build_population(
+                    WorkloadSpec(
+                        size=spec.size,
+                        id_space=spec.id_space,
+                        seed=spec.seed + index,
+                    )
                 )
-            )
-            simulator = VectorizedSimulator(
-                population, config=config, rng=rng
-            )
-            result = simulator.estimate(rounds=rounds)
-            estimates[index] = result.n_hat
-            total_slots += result.total_slots
-        return RepeatedEstimate(
+                simulator = VectorizedSimulator(
+                    population, config=config, rng=rng
+                )
+                result = simulator.estimate(rounds=rounds)
+                estimates[index] = result.n_hat
+                total_slots += result.total_slots
+        repeated = RepeatedEstimate(
             true_n=spec.size,
             rounds=rounds,
             estimates=estimates,
             slots_per_run=total_slots / self.repetitions,
         )
+        self._record_cell("loop", repeated, time.perf_counter() - start)
+        return repeated
 
     def run_custom(
         self,
@@ -180,14 +232,20 @@ class ExperimentRunner:
         ``one_run`` receives a fresh child generator and returns one
         estimate.
         """
-        rngs = self._child_rngs(self.repetitions)
-        estimates = np.array([one_run(rng) for rng in rngs])
-        return RepeatedEstimate(
+        start = time.perf_counter()
+        with self.registry.span("cell", tier="custom", n=true_n):
+            rngs = self._child_rngs(self.repetitions)
+            estimates = np.array([one_run(rng) for rng in rngs])
+        repeated = RepeatedEstimate(
             true_n=true_n,
             rounds=rounds,
             estimates=estimates,
             slots_per_run=float("nan"),
         )
+        self._record_cell(
+            "custom", repeated, time.perf_counter() - start
+        )
+        return repeated
 
     def sweep(
         self,
@@ -209,23 +267,40 @@ class ExperimentRunner:
             raise ConfigurationError(
                 f"workers must be >= 1 when given, got {workers}"
             )
-        if workers is None or workers == 1:
-            return [self.run_sampled(n, config, rounds) for n in sizes]
-        from concurrent.futures import ProcessPoolExecutor
+        start = time.perf_counter()
+        with self.registry.span(
+            "sweep", cells=len(sizes), workers=workers or 1
+        ):
+            if workers is None or workers == 1:
+                results = [
+                    self.run_sampled(n, config, rounds) for n in sizes
+                ]
+            else:
+                from concurrent.futures import ProcessPoolExecutor
 
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(
-                    _sweep_cell,
-                    self.base_seed,
-                    self.repetitions,
-                    n,
-                    config,
-                    rounds,
-                )
-                for n in sizes
-            ]
-            return [future.result() for future in futures]
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    futures = [
+                        pool.submit(
+                            _sweep_cell,
+                            self.base_seed,
+                            self.repetitions,
+                            n,
+                            config,
+                            rounds,
+                        )
+                        for n in sizes
+                    ]
+                    results = [future.result() for future in futures]
+                # Worker processes carry their own (null) registries, so
+                # cells computed remotely are recorded here instead.
+                for repeated in results:
+                    self._record_cell("sampled", repeated, float("nan"))
+        seconds = time.perf_counter() - start
+        if seconds > 0:
+            self.registry.gauge("experiment.cells_per_second").set(
+                len(sizes) / seconds
+            )
+        return results
 
 
 def _sweep_cell(

@@ -7,9 +7,12 @@ the output format is uniform and diffable against EXPERIMENTS.md.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from ..errors import ConfigurationError
+
+if TYPE_CHECKING:
+    from ..protocols.base import ProtocolResult
 
 
 @dataclass
@@ -74,6 +77,38 @@ def _format_cell(value: object) -> str:
             return f"{value:.2f}"
         return f"{value:.4f}"
     return str(value)
+
+
+def protocol_results_table(
+    results: Sequence["ProtocolResult"],
+    true_n: int | None = None,
+    title: str = "Protocol results",
+) -> Table:
+    """Tabulate protocol runs through their :meth:`to_dict` records.
+
+    The single rendering path for
+    :class:`~repro.protocols.base.ProtocolResult` sequences (the CLI
+    summary and the comparison examples use it), built on the result's
+    own dict view rather than attribute poking.  With ``true_n`` the
+    table gains a relative-error column.
+    """
+    columns = ["protocol", "rounds", "slots", "estimate"]
+    if true_n is not None:
+        columns.append("error")
+    table = Table(title, columns)
+    for result in results:
+        record = result.to_dict()
+        row: list[object] = [
+            record["protocol"],
+            record["rounds"],
+            record["total_slots"],
+            record["n_hat"],
+        ]
+        if true_n is not None:
+            n_hat = float(record["n_hat"])  # type: ignore[arg-type]
+            row.append(f"{abs(n_hat - true_n) / true_n:.2%}")
+        table.add_row(*row)
+    return table
 
 
 def format_series(

@@ -25,8 +25,13 @@ from ..analysis.mellin import gray_depth_cdf
 from ..config import PetConfig
 from ..core.estimator import EstimateResult, PetEstimator
 from ..core.path import EstimatingPath
-from ..core.search import slots_lookup_table, strategy_for
+from ..core.search import (
+    slot_outcome_tables,
+    slots_lookup_table,
+    strategy_for,
+)
 from ..errors import ConfigurationError
+from ..obs.registry import MetricsRegistry, get_registry
 
 
 class SampledSimulator:
@@ -47,6 +52,7 @@ class SampledSimulator:
         n: int,
         config: PetConfig | None = None,
         rng: np.random.Generator | None = None,
+        registry: MetricsRegistry | None = None,
     ):
         if n < 0:
             raise ConfigurationError(f"n must be >= 0, got {n}")
@@ -58,6 +64,9 @@ class SampledSimulator:
             )
         self.n = n
         self._rng = rng if rng is not None else np.random.default_rng()
+        self._registry = (
+            registry if registry is not None else get_registry()
+        )
         self._strategy = strategy_for(self.config.binary_search)
         self._cdf = gray_depth_cdf(n, self.config.tree_height)
 
@@ -102,6 +111,27 @@ class SampledSimulator:
         depths = self.sample_depths(rounds * repetitions).reshape(
             repetitions, rounds
         )
+        if self._registry:
+            # Exact whole-batch slot-outcome accounting: the depth
+            # matrix is in hand, so outcomes are two table gathers.
+            height = self.config.tree_height
+            busy_table, idle_table = slot_outcome_tables(
+                self._strategy, height
+            )
+            slots_table = slots_lookup_table(self._strategy, height)
+            self._registry.counter("sim.rounds").inc(depths.size)
+            self._registry.counter("sim.slots").inc(
+                int(slots_table[depths].sum())
+            )
+            self._registry.counter("sim.slots.busy").inc(
+                int(busy_table[depths].sum())
+            )
+            self._registry.counter("sim.slots.idle").inc(
+                int(idle_table[depths].sum())
+            )
+            self._registry.histogram("pet.gray_depth").observe_many(
+                depths
+            )
         from ..core.accuracy import PHI  # local import to avoid cycle
 
         return 2.0 ** depths.mean(axis=1) / PHI

@@ -1,0 +1,110 @@
+"""Tests for the exporters (in-memory, JSON-lines, console summary)."""
+
+from __future__ import annotations
+
+import io
+import json
+import math
+
+from repro.obs import (
+    ConsoleSummaryExporter,
+    InMemoryExporter,
+    JsonLinesExporter,
+    MetricsRegistry,
+)
+from repro.obs.export import iter_records
+
+
+def _populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("sim.slots").inc(100)
+    registry.gauge("experiment.rounds_per_second").set(1234.5)
+    registry.histogram("pet.gray_depth").observe_many([3, 4, 5])
+    with registry.span("cell", tier="batched", n=50):
+        pass
+    registry.event("cell", n=50, n_hat=51.25)
+    return registry
+
+
+#: Record kinds in export order — the finished span contributes both a
+#: ``span.cell.seconds`` histogram and the span record itself.
+EXPECTED_KINDS = [
+    "counter", "gauge", "histogram", "histogram", "span", "event",
+]
+
+
+class TestIterRecords:
+    def test_all_kinds_present_and_tagged(self):
+        kinds = [r["kind"] for r in iter_records(_populated_registry())]
+        assert kinds == EXPECTED_KINDS
+
+
+class TestInMemoryExporter:
+    def test_collects_and_filters_by_kind(self):
+        exporter = InMemoryExporter()
+        exporter.export(_populated_registry())
+        assert len(exporter.records) == len(EXPECTED_KINDS)
+        (counter,) = exporter.of_kind("counter")
+        assert counter == {
+            "kind": "counter", "name": "sim.slots", "value": 100,
+        }
+        (span,) = exporter.of_kind("span")
+        assert span["path"] == "cell"
+        assert span["attributes"] == {"tier": "batched", "n": 50}
+        (event,) = exporter.of_kind("event")
+        assert event["n_hat"] == 51.25
+
+
+class TestJsonLinesExporter:
+    def test_stream_round_trip(self):
+        sink = io.StringIO()
+        JsonLinesExporter(sink).export(_populated_registry())
+        lines = sink.getvalue().strip().split("\n")
+        records = [json.loads(line) for line in lines]
+        assert [r["kind"] for r in records] == EXPECTED_KINDS
+        histogram = records[2]
+        assert histogram["name"] == "pet.gray_depth"
+        assert histogram["count"] == 3
+        assert histogram["mean"] == 4.0
+
+    def test_file_destination_appends(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        exporter = JsonLinesExporter(str(path))
+        exporter.export(_populated_registry())
+        exporter.export(_populated_registry())
+        lines = path.read_text().strip().split("\n")
+        assert len(lines) == 2 * len(EXPECTED_KINDS)  # appended, not truncated
+
+    def test_non_finite_floats_become_null(self):
+        registry = MetricsRegistry()
+        registry.gauge("bad").set(math.nan)
+        registry.event("e", seconds=math.inf)
+        sink = io.StringIO()
+        JsonLinesExporter(sink).export(registry)
+        records = [
+            json.loads(line)
+            for line in sink.getvalue().strip().split("\n")
+        ]
+        by_kind = {r["kind"]: r for r in records}
+        assert by_kind["gauge"]["value"] is None
+        assert by_kind["event"]["seconds"] is None
+
+
+class TestConsoleSummaryExporter:
+    def test_render_mentions_every_metric(self):
+        rendered = ConsoleSummaryExporter().render(
+            _populated_registry()
+        )
+        assert "sim.slots" in rendered
+        assert "100" in rendered
+        assert "experiment.rounds_per_second" in rendered
+        assert "pet.gray_depth" in rendered
+
+    def test_export_writes_to_stream(self):
+        sink = io.StringIO()
+        ConsoleSummaryExporter(sink).export(_populated_registry())
+        assert "metrics summary" in sink.getvalue()
+
+    def test_empty_registry_renders_placeholder(self):
+        rendered = ConsoleSummaryExporter().render(MetricsRegistry())
+        assert "no metrics recorded" in rendered

@@ -1,0 +1,112 @@
+"""Tests for the metric primitives (Counter/Gauge/Histogram)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import Counter, Gauge, Histogram
+from repro.obs.registry import NULL_REGISTRY
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("slots")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(41)
+        assert counter.value == 42
+
+    def test_cannot_decrease(self):
+        counter = Counter("slots")
+        with pytest.raises(ConfigurationError, match="cannot decrease"):
+            counter.inc(-1)
+        assert counter.value == 0
+
+    def test_zero_increment_allowed(self):
+        counter = Counter("slots")
+        counter.inc(0)
+        assert counter.value == 0
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        gauge = Gauge("throughput")
+        gauge.set(10)
+        gauge.set(3.5)
+        assert gauge.value == 3.5
+
+
+class TestHistogram:
+    def test_streaming_moments_match_numpy(self):
+        values = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        histogram = Histogram("depths")
+        for value in values:
+            histogram.observe(value)
+        assert histogram.count == len(values)
+        assert histogram.mean == pytest.approx(np.mean(values))
+        assert histogram.std == pytest.approx(np.std(values))
+        assert histogram.min == min(values)
+        assert histogram.max == max(values)
+
+    def test_empty_histogram_has_nan_moments(self):
+        histogram = Histogram("depths")
+        assert histogram.count == 0
+        assert math.isnan(histogram.mean)
+        assert math.isnan(histogram.std)
+
+    def test_observe_many_numpy_fast_path(self):
+        values = np.array([2.0, 8.0, 5.0, 11.0])
+        fast = Histogram("fast")
+        fast.observe_many(values)
+        slow = Histogram("slow")
+        for value in values:
+            slow.observe(float(value))
+        assert fast.count == slow.count
+        assert fast.total == pytest.approx(slow.total)
+        assert fast.sum_squares == pytest.approx(slow.sum_squares)
+        assert (fast.min, fast.max) == (slow.min, slow.max)
+
+    def test_observe_many_plain_iterable(self):
+        histogram = Histogram("depths")
+        histogram.observe_many([1, 2, 3])
+        assert histogram.count == 3
+        assert histogram.mean == pytest.approx(2.0)
+
+    def test_observe_many_empty_array_is_noop(self):
+        histogram = Histogram("depths")
+        histogram.observe_many(np.array([]))
+        assert histogram.count == 0
+
+    def test_time_context_manager_observes_elapsed(self):
+        histogram = Histogram("seconds")
+        with histogram.time():
+            pass
+        assert histogram.count == 1
+        assert histogram.min >= 0.0
+
+
+class TestNullMetrics:
+    def test_null_metrics_record_nothing(self):
+        counter = NULL_REGISTRY.counter("anything")
+        counter.inc(1000)
+        assert counter.value == 0
+        gauge = NULL_REGISTRY.gauge("anything")
+        gauge.set(7)
+        assert gauge.value == 0.0
+        histogram = NULL_REGISTRY.histogram("anything")
+        histogram.observe(1.0)
+        histogram.observe_many(np.arange(5))
+        with histogram.time():
+            pass
+        assert histogram.count == 0
+
+    def test_null_metrics_are_shared_singletons(self):
+        assert NULL_REGISTRY.counter("a") is NULL_REGISTRY.counter("b")
+        assert NULL_REGISTRY.gauge("a") is NULL_REGISTRY.gauge("b")
+        assert (
+            NULL_REGISTRY.histogram("a") is NULL_REGISTRY.histogram("b")
+        )

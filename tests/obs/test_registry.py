@@ -1,0 +1,138 @@
+"""Tests for MetricsRegistry, spans, events, and the active switch."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from repro.obs.registry import NULL_REGISTRY, NullRegistry
+
+
+class TestMetricLookup:
+    def test_same_name_returns_same_metric(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+
+    def test_kinds_are_separate_namespaces(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        registry.gauge("x").set(2)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["x"] == 1
+        assert snapshot["gauges"]["x"] == 2.0
+
+    def test_snapshot_is_sorted_and_plain(self):
+        registry = MetricsRegistry()
+        registry.counter("zebra").inc()
+        registry.counter("aard").inc(2)
+        registry.histogram("h").observe(3.0)
+        snapshot = registry.snapshot()
+        assert list(snapshot["counters"]) == ["aard", "zebra"]
+        stats = snapshot["histograms"]["h"]
+        assert stats["count"] == 1
+        assert stats["mean"] == 3.0
+        assert stats["total"] == 3.0
+
+
+class TestSpans:
+    def test_nested_spans_build_dotted_paths(self):
+        registry = MetricsRegistry()
+        with registry.span("experiment"):
+            with registry.span("cell", n=100):
+                with registry.span("round"):
+                    pass
+        paths = [record.path for record in registry.trace]
+        assert paths == [
+            "experiment.cell.round",
+            "experiment.cell",
+            "experiment",
+        ]  # completion order: innermost first
+
+    def test_span_records_attributes_and_timing_histogram(self):
+        registry = MetricsRegistry()
+        with registry.span("cell", tier="batched", n=10):
+            pass
+        record = registry.trace[0]
+        assert record.name == "cell"
+        assert record.attributes == {"tier": "batched", "n": 10}
+        assert record.seconds >= 0.0
+        stats = registry.snapshot()["histograms"]["span.cell.seconds"]
+        assert stats["count"] == 1
+
+    def test_trace_is_bounded_and_drops_are_counted(self):
+        registry = MetricsRegistry(max_trace=2)
+        for _ in range(5):
+            with registry.span("s"):
+                pass
+        assert len(registry.trace) == 2
+        assert registry.snapshot()["counters"]["obs.spans.dropped"] == 3
+        # The timing histogram still sees every span.
+        assert (
+            registry.snapshot()["histograms"]["span.s.seconds"]["count"]
+            == 5
+        )
+
+    def test_span_stack_unwinds_on_exception(self):
+        registry = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with registry.span("outer"):
+                raise RuntimeError("boom")
+        with registry.span("next"):
+            pass
+        assert registry.trace[-1].path == "next"
+
+
+class TestEvents:
+    def test_events_record_fields_in_order(self):
+        registry = MetricsRegistry()
+        registry.event("cell", n=100, n_hat=101.5)
+        assert registry.events == [
+            {"name": "cell", "n": 100, "n_hat": 101.5}
+        ]
+
+    def test_events_are_bounded_and_drops_are_counted(self):
+        registry = MetricsRegistry(max_trace=3)
+        for index in range(5):
+            registry.event("e", index=index)
+        assert len(registry.events) == 3
+        assert registry.snapshot()["counters"]["obs.events.dropped"] == 2
+
+
+class TestActiveRegistry:
+    def test_default_is_the_null_registry(self):
+        assert get_registry() is NULL_REGISTRY
+
+    def test_use_registry_scopes_and_restores(self):
+        registry = MetricsRegistry()
+        with use_registry(registry) as active:
+            assert active is registry
+            assert get_registry() is registry
+        assert get_registry() is NULL_REGISTRY
+
+    def test_use_registry_restores_on_exception(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            with use_registry(registry):
+                raise ValueError
+        assert get_registry() is NULL_REGISTRY
+
+    def test_set_registry_returns_previous(self):
+        registry = MetricsRegistry()
+        previous = set_registry(registry)
+        try:
+            assert previous is NULL_REGISTRY
+            assert get_registry() is registry
+        finally:
+            set_registry(previous)
+
+    def test_truthiness_gates_optional_work(self):
+        assert MetricsRegistry()
+        assert not NullRegistry()
+        assert not NULL_REGISTRY

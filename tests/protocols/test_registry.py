@@ -5,20 +5,31 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.config import AccuracyRequirement
+from repro.config import AccuracyRequirement, PetConfig
+from repro.core.accuracy import rounds_required
 from repro.errors import ConfigurationError
-from repro.protocols.registry import available_protocols, make_protocol
+from repro.protocols.registry import (
+    available_protocols,
+    make_protocol,
+    protocol_names,
+)
 from repro.tags.population import TagPopulation
 
 
 class TestRegistry:
     def test_lists_all_protocols(self):
-        names = available_protocols()
+        names = protocol_names()
         for expected in (
             "pet", "pet-linear", "pet-passive", "fneb", "lof",
             "use", "upe", "ezb",
         ):
             assert expected in names
+
+    def test_available_protocols_are_name_summary_pairs(self):
+        pairs = available_protocols()
+        assert [name for name, _ in pairs] == protocol_names()
+        for name, summary in pairs:
+            assert isinstance(summary, str) and summary, name
 
     def test_names_case_insensitive(self):
         assert make_protocol("PET").name == "PET"
@@ -41,7 +52,7 @@ class TestRegistry:
             500, np.random.default_rng(0)
         )
         rng = np.random.default_rng(1)
-        for name in available_protocols():
+        for name in protocol_names():
             protocol = make_protocol(name)
             rounds = protocol.plan_rounds(requirement)
             assert rounds >= 1
@@ -55,3 +66,83 @@ class TestRegistry:
                 population, min(rounds, 64), rng
             )
             assert result.n_hat > 0
+
+
+class TestMakeProtocolConfig:
+    def test_fneb_frame_size_forwarded(self):
+        protocol = make_protocol("fneb", frame_size=2**16)
+        assert protocol.frame_size == 2**16
+        assert protocol.slots_per_round() == 16
+
+    def test_fneb_enhanced_kwargs_forwarded(self):
+        protocol = make_protocol(
+            "fneb-enhanced", frame_size=2**12, pilot_rounds=4
+        )
+        assert protocol.frame_size == 2**12
+        assert protocol.pilot_rounds == 4
+
+    def test_lof_frame_slots_forwarded(self):
+        assert make_protocol("lof", frame_slots=48).frame_slots == 48
+
+    def test_pet_config_fields_forwarded(self):
+        protocol = make_protocol(
+            "pet", tree_height=16, rounds=128, binary_search=False
+        )
+        assert protocol.config.tree_height == 16
+        assert protocol.config.rounds == 128
+        assert not protocol.config.binary_search
+
+    def test_pet_config_object_forwarded(self):
+        config = PetConfig(tree_height=24, passive_tags=True)
+        protocol = make_protocol("pet", config=config)
+        assert protocol.config is config
+
+    def test_pet_config_object_plus_field_override(self):
+        config = PetConfig(tree_height=24)
+        protocol = make_protocol("pet", config=config, rounds=64)
+        assert protocol.config.tree_height == 24
+        assert protocol.config.rounds == 64
+
+    def test_pet_accuracy_plans_rounds(self):
+        requirement = AccuracyRequirement(epsilon=0.05, delta=0.01)
+        protocol = make_protocol("pet", accuracy=requirement)
+        assert protocol.config.rounds == rounds_required(0.05, 0.01)
+
+    def test_pet_explicit_rounds_beat_accuracy(self):
+        protocol = make_protocol(
+            "pet",
+            rounds=32,
+            accuracy=AccuracyRequirement(epsilon=0.05, delta=0.01),
+        )
+        assert protocol.config.rounds == 32
+
+    def test_pet_tier_forwarded(self):
+        assert make_protocol("pet", tier="sampled").tier == "sampled"
+
+    def test_pet_budgeted_slot_budget(self):
+        protocol = make_protocol("pet-budgeted", slot_budget=12)
+        assert protocol.slot_budget == 12
+
+    def test_pet_budgeted_n_max(self):
+        small = make_protocol("pet-budgeted", n_max=1_000)
+        large = make_protocol("pet-budgeted", n_max=1_000_000)
+        assert small.slot_budget < large.slot_budget
+
+    def test_unknown_kwarg_rejected_with_accepted_list(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            make_protocol("fneb", frame_sise=64)
+        message = str(excinfo.value)
+        assert "fneb" in message
+        assert "frame_sise" in message
+        assert "frame_size" in message  # the accepted-keywords list
+
+    def test_unknown_kwarg_rejected_for_pet(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            make_protocol("pet", frame_size=64)
+        message = str(excinfo.value)
+        assert "frame_size" in message
+        assert "tree_height" in message
+
+    def test_invalid_value_surfaces_as_configuration_error(self):
+        with pytest.raises(ConfigurationError):
+            make_protocol("fneb", frame_size=1)

@@ -1,0 +1,114 @@
+"""Instrumentation must observe, never perturb.
+
+The regression contract of the obs layer: running any experiment tier
+with a real :class:`~repro.obs.MetricsRegistry` attached produces
+bit-identical results to the uninstrumented run, and the recorded slot
+accounting agrees exactly with the results' own bookkeeping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import PetConfig
+from repro.obs import MetricsRegistry, use_registry
+from repro.sim.experiment import ExperimentRunner
+from repro.sim.sampled import SampledSimulator
+from repro.sim.workload import WorkloadSpec
+
+N = 2_000
+ROUNDS = 128
+REPETITIONS = 40
+SEED = 99
+
+
+def _cell(registry=None, engine="batched"):
+    runner = ExperimentRunner(
+        base_seed=SEED, repetitions=REPETITIONS, registry=registry
+    )
+    spec = WorkloadSpec(size=N, seed=0)
+    return runner.run_vectorized(
+        spec, PetConfig(passive_tags=True), ROUNDS, engine=engine
+    )
+
+
+class TestBitIdentity:
+    def test_instrumented_batched_matches_uninstrumented(self):
+        plain = _cell()
+        instrumented = _cell(registry=MetricsRegistry())
+        assert (
+            plain.estimates.tolist() == instrumented.estimates.tolist()
+        )
+        assert plain.slots_per_run == instrumented.slots_per_run
+
+    def test_instrumented_batched_matches_instrumented_loop(self):
+        batched = _cell(registry=MetricsRegistry(), engine="batched")
+        loop = _cell(registry=MetricsRegistry(), engine="loop")
+        assert batched.estimates.tolist() == loop.estimates.tolist()
+
+    def test_active_registry_does_not_perturb_sampled(self):
+        def run() -> list[float]:
+            simulator = SampledSimulator(
+                N,
+                config=PetConfig(rounds=ROUNDS),
+                rng=np.random.default_rng(SEED),
+            )
+            return [simulator.estimate().n_hat for _ in range(3)]
+
+        plain = run()
+        with use_registry(MetricsRegistry()):
+            instrumented = run()
+        assert plain == instrumented
+
+
+class TestSlotAccounting:
+    @pytest.mark.parametrize("engine", ["batched", "loop"])
+    def test_counters_agree_with_result_bookkeeping(self, engine):
+        registry = MetricsRegistry()
+        result = _cell(registry=registry, engine=engine)
+        counters = registry.snapshot()["counters"]
+        assert counters["experiment.cells"] == 1
+        assert (
+            counters["experiment.rounds"] == ROUNDS * REPETITIONS
+        )
+        if engine == "batched":
+            expected = int(result.slots_per_run * REPETITIONS)
+            assert counters["sim.slots"] == expected
+            assert (
+                counters["sim.slots.busy"] + counters["sim.slots.idle"]
+                == counters["sim.slots"]
+            )
+            depths = registry.snapshot()["histograms"][
+                "pet.gray_depth"
+            ]
+            assert depths["count"] == ROUNDS * REPETITIONS
+
+    def test_cell_event_carries_final_estimate(self):
+        registry = MetricsRegistry()
+        result = _cell(registry=registry)
+        (event,) = [
+            e for e in registry.events if e["name"] == "cell"
+        ]
+        assert event["n"] == N
+        assert event["mean_estimate"] == pytest.approx(
+            float(result.estimates.mean())
+        )
+        assert event["seconds"] > 0
+
+    def test_cell_span_recorded(self):
+        registry = MetricsRegistry()
+        _cell(registry=registry)
+        assert any(
+            record.name == "cell"
+            and record.attributes.get("tier") == "batched"
+            for record in registry.trace
+        )
+
+    def test_null_registry_records_nothing(self):
+        _cell()  # default: process-wide null registry
+        from repro.obs.registry import NULL_REGISTRY
+
+        assert NULL_REGISTRY.snapshot()["counters"] == {}
+        assert NULL_REGISTRY.trace == []
+        assert NULL_REGISTRY.events == []

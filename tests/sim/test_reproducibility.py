@@ -13,7 +13,7 @@ import numpy as np
 import pytest
 
 from repro.config import PetConfig
-from repro.protocols.registry import available_protocols, make_protocol
+from repro.protocols.registry import make_protocol, protocol_names
 from repro.sim.multireader import MultiReaderSimulator
 from repro.sim.sampled import SampledSimulator
 from repro.sim.slotsim import SlotLevelSimulator
@@ -92,7 +92,7 @@ class TestSimulatorDeterminism:
 
 
 class TestProtocolDeterminism:
-    @pytest.mark.parametrize("name", available_protocols())
+    @pytest.mark.parametrize("name", protocol_names())
     def test_every_protocol_deterministic(self, name):
         if name in ("use", "upe", "ezb"):
             population = _population(size=200)

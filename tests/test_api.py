@@ -1,0 +1,117 @@
+"""Tests for the repro.estimate one-call facade."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.config import AccuracyRequirement
+from repro.core.accuracy import rounds_required
+from repro.errors import ConfigurationError
+from repro.obs import MetricsRegistry
+from repro.tags.population import TagPopulation
+
+
+class TestEstimate:
+    def test_exported_from_package_root(self):
+        assert repro.estimate is not None
+        assert "estimate" in repro.__all__
+
+    def test_integer_population_synthesized(self):
+        result = repro.estimate(5_000, seed=1, rounds=256)
+        assert result.protocol == "PET"
+        assert result.rounds == 256
+        assert 3_000 < result.n_hat < 7_000
+
+    def test_seed_makes_runs_reproducible(self):
+        first = repro.estimate(5_000, seed=1, rounds=64)
+        second = repro.estimate(5_000, seed=1, rounds=64)
+        assert first.n_hat == second.n_hat
+
+    def test_existing_population_used_as_is(self):
+        population = TagPopulation.random(
+            1_000, np.random.default_rng(0)
+        )
+        result = repro.estimate(population, seed=3, rounds=128)
+        assert 500 < result.n_hat < 2_000
+
+    def test_iterable_of_tag_ids(self):
+        result = repro.estimate(range(500), seed=3, rounds=128)
+        assert 200 < result.n_hat < 1_200
+
+    def test_protocol_and_config_forwarded(self):
+        result = repro.estimate(
+            5_000,
+            protocol="fneb",
+            seed=1,
+            rounds=32,
+            frame_size=2**14,
+        )
+        assert result.protocol == "FNEB"
+        assert result.total_slots == 32 * 14
+
+    def test_default_rounds_follow_paper_contract(self):
+        result = repro.estimate(1_000, seed=1)
+        assert result.rounds == rounds_required(
+            AccuracyRequirement().epsilon, AccuracyRequirement().delta
+        )
+
+    def test_accuracy_plans_rounds(self):
+        result = repro.estimate(
+            1_000, seed=1, accuracy=AccuracyRequirement(0.10, 0.05)
+        )
+        assert result.rounds == rounds_required(0.10, 0.05)
+
+    def test_explicit_rounds_beat_accuracy(self):
+        result = repro.estimate(
+            1_000,
+            seed=1,
+            rounds=48,
+            accuracy=AccuracyRequirement(0.10, 0.05),
+        )
+        assert result.rounds == 48
+
+    def test_protocol_config_rounds_used_when_not_pinned(self):
+        from repro.config import PetConfig
+
+        result = repro.estimate(
+            1_000, seed=1, config=PetConfig(rounds=100)
+        )
+        assert result.rounds == 100
+
+    def test_registry_records_the_run(self):
+        registry = MetricsRegistry()
+        result = repro.estimate(
+            2_000, seed=5, rounds=64, registry=registry
+        )
+        counters = registry.snapshot()["counters"]
+        assert counters["protocol.PET.runs"] == 1
+        assert counters["protocol.PET.rounds"] == result.rounds
+        assert counters["protocol.PET.slots"] == result.total_slots
+
+    def test_negative_population_rejected(self):
+        with pytest.raises(ConfigurationError):
+            repro.estimate(-1, seed=1)
+
+    def test_zero_rounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            repro.estimate(1_000, seed=1, rounds=0)
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ConfigurationError):
+            repro.estimate(1_000, protocol="chirp", seed=1)
+
+    def test_unknown_config_keyword_rejected(self):
+        with pytest.raises(ConfigurationError, match="frame_size"):
+            repro.estimate(1_000, seed=1, frame_size=64)
+
+    def test_result_to_dict_round_trips(self):
+        result = repro.estimate(2_000, seed=5, rounds=64)
+        record = result.to_dict()
+        assert record["protocol"] == "PET"
+        assert record["n_hat"] == result.n_hat
+        assert record["rounds"] == 64
+        assert "observations" in record
+        full = result.to_dict(include_statistics=True)
+        assert len(full["per_round_statistics"]) == 64

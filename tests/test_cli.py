@@ -2,9 +2,13 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import main
+from repro.obs import get_registry
+from repro.obs.registry import NULL_REGISTRY
 
 
 class TestCli:
@@ -35,3 +39,61 @@ class TestCli:
     def test_unknown_experiment_exits_nonzero(self):
         with pytest.raises(SystemExit):
             main(["figNaN"])
+
+
+class TestCliMetrics:
+    def test_metrics_out_writes_jsonl_and_prints_summary(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "metrics.jsonl"
+        assert main(
+            ["fig4", "--runs", "5", "--metrics-out", str(path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "metrics summary" in out
+        assert f"metrics written to {path}" in out
+
+        records = [
+            json.loads(line)
+            for line in path.read_text().strip().split("\n")
+        ]
+        counters = {
+            r["name"]: r["value"]
+            for r in records
+            if r["kind"] == "counter"
+        }
+        # Slot-outcome accounting from the sampled tier.
+        assert counters["sim.slots"] > 0
+        assert (
+            counters["sim.slots.busy"] + counters["sim.slots.idle"]
+            == counters["sim.slots"]
+        )
+        # Per-cell timings (spans) and final estimates (cell events).
+        spans = [r for r in records if r["kind"] == "span"]
+        assert any(r["name"] == "cell" for r in spans)
+        cells = [
+            r
+            for r in records
+            if r["kind"] == "event" and r["name"] == "cell"
+        ]
+        assert cells and all(
+            cell["mean_estimate"] > 0 for cell in cells
+        )
+
+    def test_metrics_summary_flag_without_file(self, capsys):
+        assert main(["fig3", "--metrics-summary"]) == 0
+        assert "metrics summary" in capsys.readouterr().out
+
+    def test_registry_restored_after_instrumented_run(self, tmp_path):
+        main(
+            [
+                "fig3",
+                "--metrics-out",
+                str(tmp_path / "m.jsonl"),
+            ]
+        )
+        assert get_registry() is NULL_REGISTRY
+
+    def test_no_flag_keeps_null_registry(self, capsys):
+        assert main(["fig3"]) == 0
+        assert "metrics summary" not in capsys.readouterr().out
