@@ -18,29 +18,59 @@ keeps the guard meaningful across CI hardware generations: both sides
 of the ratio move with the machine, so only a real relative regression
 of the batched path trips it.
 
+With ``--diagnostics`` the guard re-runs the same cell a second time
+with the full diagnostics stack attached (round-trace recorder in
+``outliers_only`` mode + estimator-health monitor) and additionally
+fails when
+
+* the diagnosed run is more than ``--diag-threshold`` (default 25 %)
+  slower than the plain instrumented run on the same machine,
+* the diagnosed estimates are not bit-identical to the plain run's, or
+* any recorded outlier round fails deterministic replay.
+
+``--json-out`` writes the diagnostics measurements as JSON (the
+committed ``BENCH_obs_diag.json``); ``--metrics-out`` dumps the
+diagnosed run's metric stream as JSON lines (uploaded as a CI
+artifact).
+
 Run with::
 
     PYTHONPATH=src python benchmarks/bench_guard.py [--loop-reps K]
-                                                    [--threshold F]
+        [--threshold F] [--diagnostics] [--diag-threshold F]
+        [--json-out PATH] [--metrics-out PATH]
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import platform
 import sys
 import time
 from pathlib import Path
 
 from repro.config import PAPER_RUNS_PER_POINT, PetConfig
 from repro.core.accuracy import rounds_required
-from repro.obs import MetricsRegistry, use_registry
+from repro.obs import (
+    EstimatorHealth,
+    JsonLinesExporter,
+    MetricsRegistry,
+    RoundTraceRecorder,
+    SamplingPolicy,
+    use_registry,
+    verify_replay,
+)
 from repro.sim.experiment import ExperimentRunner
 from repro.sim.workload import WorkloadSpec
 
 BASELINE = (
     Path(__file__).resolve().parent.parent / "BENCH_batched_engine.json"
 )
+
+#: Outlier records replay-verified per guard run (each replay rebuilds
+#: its repetition's population, so the full set would dominate the
+#: guard's runtime without adding coverage).
+MAX_REPLAYS = 200
 
 
 def main() -> int:
@@ -56,6 +86,38 @@ def main() -> int:
         type=float,
         default=0.15,
         help="allowed relative speedup regression (default 0.15)",
+    )
+    parser.add_argument(
+        "--diagnostics",
+        action="store_true",
+        help=(
+            "also time the cell with the diagnostics stack attached "
+            "(outliers_only trace + health monitor) and verify replay"
+        ),
+    )
+    parser.add_argument(
+        "--diag-threshold",
+        type=float,
+        default=0.25,
+        help=(
+            "allowed slowdown of the diagnosed run relative to the "
+            "plain instrumented run (default 0.25)"
+        ),
+    )
+    parser.add_argument(
+        "--json-out",
+        metavar="PATH",
+        default=None,
+        help="write the diagnostics measurements as JSON to PATH",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write the diagnosed run's metric stream as JSON lines "
+            "to PATH"
+        ),
     )
     args = parser.parse_args()
 
@@ -131,6 +193,110 @@ def main() -> int:
         f"slots recorded: {recorded_slots:,}  "
         f"bit-identical prefix: {loop_sample.estimates.tolist() == prefix}"
     )
+
+    if args.diagnostics:
+        diag_registry = MetricsRegistry()
+        recorder = RoundTraceRecorder(
+            policy=SamplingPolicy(mode="outliers_only"),
+            registry=diag_registry,
+        )
+        health = EstimatorHealth(registry=diag_registry)
+        diag_registry.attach_diagnostics(
+            round_trace=recorder, health=health
+        )
+        diag_runner = ExperimentRunner(
+            base_seed=cell["base_seed"],
+            repetitions=repetitions,
+            registry=diag_registry,
+        )
+        with use_registry(diag_registry):
+            start = time.perf_counter()
+            diagnosed = diag_runner.run_vectorized(
+                spec, config, rounds, engine="batched"
+            )
+            diag_seconds = time.perf_counter() - start
+
+        if diagnosed.estimates.tolist() != batched.estimates.tolist():
+            failures.append(
+                "diagnostics perturbed the estimates: diagnosed run "
+                "is no longer bit-identical to the plain batched run"
+            )
+
+        overhead = diag_seconds / batched_seconds - 1.0
+        if diag_seconds > batched_seconds * (1.0 + args.diag_threshold):
+            failures.append(
+                f"diagnostics overhead too high: {diag_seconds:.3f}s "
+                f"vs {batched_seconds:.3f}s plain "
+                f"({overhead:+.1%}, bound {args.diag_threshold:.0%})"
+            )
+
+        outliers = recorder.outlier_records()
+        replayed = outliers[:MAX_REPLAYS]
+        replay_failures = sum(
+            1 for record in replayed if not verify_replay(record)
+        )
+        if replay_failures:
+            failures.append(
+                f"{replay_failures}/{len(replayed)} recorded outlier "
+                f"rounds failed deterministic replay"
+            )
+
+        print(
+            f"diagnosed: {diag_seconds:.3f}s "
+            f"({overhead:+.1%} vs plain, bound "
+            f"{args.diag_threshold:.0%})  outlier records: "
+            f"{len(outliers)}  replays verified: {len(replayed)}"
+        )
+        print(
+            f"health: n_hat={health.n_hat:,.0f}  "
+            f"rounds={health.rounds_observed:,}  "
+            f"converged={health.converged}"
+        )
+
+        if args.json_out is not None:
+            Path(args.json_out).write_text(
+                json.dumps(
+                    {
+                        "cell": cell,
+                        "reference_seconds": baseline["after"][
+                            "seconds"
+                        ],
+                        "plain": {"seconds": round(batched_seconds, 3)},
+                        "diagnosed": {
+                            "seconds": round(diag_seconds, 3),
+                            "overhead": round(overhead, 4),
+                            "bound": args.diag_threshold,
+                            "trace_policy": "outliers_only",
+                            "rounds_seen": recorder.rounds_seen,
+                            "outlier_records": len(outliers),
+                            "replays_verified": len(replayed),
+                            "replays_exact": replay_failures == 0,
+                            "bit_identical": diagnosed.estimates.tolist()
+                            == batched.estimates.tolist(),
+                        },
+                        "health": {
+                            "n_hat": round(health.n_hat, 2),
+                            "rounds_observed": health.rounds_observed,
+                            "required_rounds": health.required_rounds,
+                            "converged": health.converged,
+                            "outlier_rounds": health.outlier_rounds,
+                        },
+                        "environment": {
+                            "python": platform.python_version(),
+                            "machine": platform.machine(),
+                        },
+                    },
+                    indent=2,
+                )
+                + "\n"
+            )
+            print(f"diagnostics measurements written to {args.json_out}")
+
+        if args.metrics_out is not None:
+            with JsonLinesExporter(args.metrics_out) as exporter:
+                exporter.export(diag_registry)
+            print(f"metrics stream written to {args.metrics_out}")
+
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)

@@ -12,8 +12,23 @@ where ``<experiment>`` is one of ``fig3``, ``fig4``, ``table3``,
 With ``--metrics-out PATH`` the run is instrumented: every simulator
 and protocol records into a :class:`~repro.obs.MetricsRegistry`, the
 full metric/span/event stream is appended to ``PATH`` as JSON lines,
-and a console summary is printed at the end.  Without the flag the
-no-op registry is active and nothing is recorded.
+and a console summary is printed at the end.  Without any
+observability flag the no-op registry is active and nothing is
+recorded.
+
+The diagnostics flags build on the same registry:
+
+* ``--diagnose [PATH]`` attaches an
+  :class:`~repro.obs.EstimatorHealth` monitor and a
+  :class:`~repro.obs.RoundTraceRecorder`, prints the terminal
+  diagnostics report, and writes the self-contained HTML report to
+  ``PATH`` (default ``diagnostics.html``);
+* ``--trace-out PATH`` writes the retained round-trace records (each
+  deterministically replayable) as JSON lines;
+* ``--trace-sample POLICY`` picks which rounds are retained —
+  ``all``, ``every_k:K``, or ``outliers_only[:THRESHOLD]`` (default);
+* ``--prom-out PATH`` writes the final metrics in OpenMetrics text
+  format for Prometheus scrapes / textfile collectors.
 """
 
 from __future__ import annotations
@@ -24,9 +39,16 @@ from typing import Callable
 from .config import PAPER_RUNS_PER_POINT
 from .obs import (
     ConsoleSummaryExporter,
+    EstimatorHealth,
     JsonLinesExporter,
     MetricsRegistry,
+    PrometheusExporter,
+    RoundTraceRecorder,
+    SamplingPolicy,
+    render_text_report,
     use_registry,
+    write_html_report,
+    write_trace,
 )
 from .figures import (
     ablations,
@@ -139,6 +161,46 @@ def main(argv: list[str] | None = None) -> int:
             "file (implied by --metrics-out)"
         ),
     )
+    parser.add_argument(
+        "--diagnose",
+        metavar="HTML_PATH",
+        nargs="?",
+        const="diagnostics.html",
+        default=None,
+        help=(
+            "attach the estimator-health monitor and round-trace "
+            "recorder, print the terminal diagnostics report, and "
+            "write the HTML report to HTML_PATH "
+            "(default: diagnostics.html)"
+        ),
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write the retained round-trace records (replayable) to "
+            "PATH as JSON lines; implies the trace recorder"
+        ),
+    )
+    parser.add_argument(
+        "--trace-sample",
+        metavar="POLICY",
+        default="outliers_only",
+        help=(
+            "round-trace sampling policy: 'all', 'every_k:K', or "
+            "'outliers_only[:THRESHOLD]' (default: outliers_only)"
+        ),
+    )
+    parser.add_argument(
+        "--prom-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write the final metrics in OpenMetrics (Prometheus) text "
+            "format to PATH"
+        ),
+    )
     args = parser.parse_args(argv)
     experiments = _experiments(args.runs, args.workers)
 
@@ -151,18 +213,60 @@ def main(argv: list[str] | None = None) -> int:
         else:
             experiments[args.experiment]()
 
-    if args.metrics_out is None and not args.metrics_summary:
+    diagnostics_on = (
+        args.diagnose is not None or args.trace_out is not None
+    )
+    observing = (
+        args.metrics_out is not None
+        or args.metrics_summary
+        or args.prom_out is not None
+        or diagnostics_on
+    )
+    if not observing:
         run_selected()
         return 0
 
     registry = MetricsRegistry()
+    recorder = None
+    health = None
+    if diagnostics_on:
+        recorder = RoundTraceRecorder(
+            policy=SamplingPolicy.parse(args.trace_sample),
+            registry=registry,
+        )
+        health = EstimatorHealth(registry=registry)
+        registry.attach_diagnostics(
+            round_trace=recorder, health=health
+        )
     with use_registry(registry):
         run_selected()
     if args.metrics_out is not None:
-        JsonLinesExporter(args.metrics_out).export(registry)
+        with JsonLinesExporter(args.metrics_out) as exporter:
+            exporter.export(registry)
         print(f"metrics written to {args.metrics_out}")
-    print()
-    print(ConsoleSummaryExporter().render(registry))
+    if args.prom_out is not None:
+        PrometheusExporter(args.prom_out).export(registry)
+        print(f"OpenMetrics written to {args.prom_out}")
+    if args.trace_out is not None:
+        assert recorder is not None
+        written = write_trace(args.trace_out, recorder.records)
+        print(
+            f"{written} round-trace records written to {args.trace_out}"
+        )
+    if args.diagnose is not None:
+        print()
+        print(
+            render_text_report(
+                registry, health=health, recorder=recorder
+            )
+        )
+        write_html_report(
+            args.diagnose, registry, health=health, recorder=recorder
+        )
+        print(f"HTML diagnostics report written to {args.diagnose}")
+    if args.metrics_out is not None or args.metrics_summary:
+        print()
+        print(ConsoleSummaryExporter().render(registry))
     return 0
 
 

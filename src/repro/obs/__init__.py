@@ -2,23 +2,55 @@
 
 Counters, gauges, and histogram timers in a :class:`MetricsRegistry`;
 nested :class:`Span` timing (experiment -> cell -> round -> slot-batch);
-pluggable exporters (in-memory, JSON lines, console summary).  Every
-instrumented component defaults to the no-op :data:`NULL_REGISTRY`, so
-recording only happens when a real registry is passed in or installed
-with :func:`set_registry` / :func:`use_registry`.
+pluggable exporters (in-memory, JSON lines, console summary, and
+OpenMetrics/Prometheus text).  Every instrumented component defaults to
+the no-op :data:`NULL_REGISTRY`, so recording only happens when a real
+registry is passed in or installed with :func:`set_registry` /
+:func:`use_registry`.
+
+On top of the metrics layer sit the round-level diagnostics:
+
+* :class:`RoundTraceRecorder` / :func:`replay_round`
+  (:mod:`repro.obs.trace`) — per-round records carrying their seed
+  material, with bit-exact deterministic replay;
+* :class:`EstimatorHealth` (:mod:`repro.obs.diag`) — streaming
+  ``n_hat``, theory CI, rounds-remaining countdown, outlier flags, and
+  drift alerts;
+* :class:`CardinalityMonitor` (:mod:`repro.obs.monitor`) — the EWMA
+  population-change detector, emitting ``monitor.drift`` events;
+* :func:`render_text_report` / :func:`render_html_report`
+  (:mod:`repro.obs.report`) — the ``--diagnose`` reports.
+
+Attach diagnostics to a registry with
+:meth:`MetricsRegistry.attach_diagnostics`; instrumented simulators
+feed whatever is attached.
 
 See docs/OBSERVABILITY.md for metric names, exporter formats, and how
 to wire a custom exporter.
 """
 
+from .diag import DEFAULT_WARMUP_ROUNDS, EstimatorHealth, HealthReport
 from .export import (
     ConsoleSummaryExporter,
     Exporter,
     InMemoryExporter,
     JsonLinesExporter,
+    decode_value,
     iter_records,
 )
 from .metrics import Counter, Gauge, Histogram
+from .monitor import (
+    CardinalityMonitor,
+    EpochReport,
+    monitor_population,
+    simulate_monitoring,
+)
+from .prom import (
+    PrometheusExporter,
+    parse_openmetrics,
+    render_openmetrics,
+    write_openmetrics,
+)
 from .registry import (
     NULL_REGISTRY,
     MetricsRegistry,
@@ -27,7 +59,25 @@ from .registry import (
     set_registry,
     use_registry,
 )
+from .report import (
+    render_html_report,
+    render_text_report,
+    write_html_report,
+)
 from .span import NullSpan, Span, SpanRecord
+from .trace import (
+    DEFAULT_TAIL_THRESHOLD,
+    DEFAULT_TRACE_CAPACITY,
+    ReplayedRound,
+    RoundTraceRecord,
+    RoundTraceRecorder,
+    SamplingPolicy,
+    depth_tail_tables,
+    read_trace,
+    replay_round,
+    verify_replay,
+    write_trace,
+)
 
 __all__ = [
     "Counter",
@@ -47,4 +97,34 @@ __all__ = [
     "JsonLinesExporter",
     "ConsoleSummaryExporter",
     "iter_records",
+    "decode_value",
+    # trace / replay
+    "DEFAULT_TAIL_THRESHOLD",
+    "DEFAULT_TRACE_CAPACITY",
+    "SamplingPolicy",
+    "RoundTraceRecord",
+    "RoundTraceRecorder",
+    "ReplayedRound",
+    "depth_tail_tables",
+    "replay_round",
+    "verify_replay",
+    "read_trace",
+    "write_trace",
+    # health diagnostics
+    "DEFAULT_WARMUP_ROUNDS",
+    "EstimatorHealth",
+    "HealthReport",
+    # drift monitor
+    "CardinalityMonitor",
+    "EpochReport",
+    "monitor_population",
+    "simulate_monitoring",
+    # prometheus / reports
+    "PrometheusExporter",
+    "render_openmetrics",
+    "write_openmetrics",
+    "parse_openmetrics",
+    "render_text_report",
+    "render_html_report",
+    "write_html_report",
 ]

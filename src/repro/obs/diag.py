@@ -1,0 +1,342 @@
+"""Online estimator-health diagnostics.
+
+:class:`EstimatorHealth` answers, live, the questions an operator of a
+production PET deployment asks about a running estimation:
+
+* **What is the estimate right now?** — a streaming ``n_hat`` over
+  every observed gray depth (Eq. 14 on the running mean).
+* **How tight is it?** — the theory-derived confidence-interval
+  half-width from the paper's accuracy analysis: with ``m`` rounds the
+  averaged depth has standard error ``SIGMA_H / sqrt(m)`` (Eq. 15-16),
+  so to first order ``n_hat`` sits within
+  ``n_hat * ln2 * SIGMA_H * c(delta) / sqrt(m)`` of the truth with
+  probability ``1 - delta`` (``c`` from
+  :func:`repro.core.accuracy.confidence_scale`, Eq. 17).
+* **When will it converge?** — a rounds-remaining countdown against
+  the Eq. 20 round budget ``m(epsilon, delta)``
+  (:func:`repro.core.accuracy.rounds_required`).
+* **Is this round anomalous?** — per-round outlier flags via the
+  two-sided tail probability of the exact gray-depth law
+  (:mod:`repro.analysis.mellin`), evaluated at the current running
+  estimate (tables are cached and rebuilt only when ``n_hat`` moves).
+* **Did the population drift?** — per-epoch estimates are fed to the
+  :class:`repro.obs.monitor.CardinalityMonitor` EWMA detector, whose
+  alerts land in the obs event stream as ``monitor.drift`` events.
+
+Everything is recorded against a registry (gauges ``diag.n_hat``,
+``diag.ci_halfwidth``, ``diag.rounds_remaining``; counters
+``diag.rounds``, ``diag.outlier_rounds``; ``diag.outlier`` events), so
+the monitor's state is visible through every exporter — including the
+Prometheus one — without extra plumbing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from ..config import AccuracyRequirement, DEFAULT_TREE_HEIGHT
+from ..core.accuracy import PHI, SIGMA_H, confidence_scale, rounds_required
+from ..errors import ConfigurationError
+from .monitor import CardinalityMonitor
+from .registry import MetricsRegistry, get_registry
+from .trace import DEFAULT_TAIL_THRESHOLD, depth_tail_tables
+
+#: Rounds observed before outlier flagging arms (the running ``n_hat``
+#: is too noisy to define a meaningful depth law earlier).
+DEFAULT_WARMUP_ROUNDS = 16
+
+#: Relative movement of ``n_hat`` that triggers an outlier-table rebuild.
+_TABLE_REBUILD_RATIO = 1.25
+
+#: ``diag.outlier`` events emitted per ingested batch.  The counter
+#: still counts every flagged round; the cap only bounds the Python
+#: event loop when a whole batch is anomalous (e.g. the population
+#: jumped between epochs).
+_MAX_OUTLIER_EVENTS_PER_BATCH = 16
+
+
+@dataclass(frozen=True)
+class HealthReport:
+    """Point-in-time snapshot of an :class:`EstimatorHealth` monitor."""
+
+    rounds_observed: int
+    n_hat: float
+    mean_depth: float
+    epsilon: float
+    delta: float
+    required_rounds: int
+    rounds_remaining: int
+    converged: bool
+    ci_halfwidth: float
+    ci_lower: float
+    ci_upper: float
+    outlier_rounds: int
+    drift_alerts: int
+    epochs_observed: int
+
+    def to_dict(self) -> dict[str, object]:
+        """Plain-dict view for JSON sinks and reports."""
+        return asdict(self)
+
+
+class EstimatorHealth:
+    """Streaming convergence/outlier/drift monitor for PET estimations.
+
+    Parameters
+    ----------
+    tree_height:
+        ``H`` of the monitored estimation (sets the depth-law support).
+    epsilon, delta:
+        The accuracy contract the countdown and CI are computed
+        against (paper defaults 5 % / 1 %).
+    registry:
+        Registry gauges/counters/events are recorded against; defaults
+        to the process-wide active registry at construction time.
+    outlier_tail:
+        Two-sided tail-probability cutoff for flagging a round's depth
+        as anomalous.
+    warmup_rounds:
+        Observed rounds before outlier flagging arms.
+    """
+
+    def __init__(
+        self,
+        tree_height: int = DEFAULT_TREE_HEIGHT,
+        epsilon: float = 0.05,
+        delta: float = 0.01,
+        registry: MetricsRegistry | None = None,
+        outlier_tail: float = DEFAULT_TAIL_THRESHOLD,
+        warmup_rounds: int = DEFAULT_WARMUP_ROUNDS,
+    ):
+        if not 1 <= tree_height <= 64:
+            raise ConfigurationError(
+                f"tree_height must lie in [1, 64], got {tree_height}"
+            )
+        # Validates epsilon/delta ranges as a side effect.
+        self.requirement = AccuracyRequirement(
+            epsilon=epsilon, delta=delta
+        )
+        if warmup_rounds < 1:
+            raise ConfigurationError(
+                f"warmup_rounds must be >= 1, got {warmup_rounds}"
+            )
+        self.tree_height = tree_height
+        self.required_rounds = rounds_required(epsilon, delta)
+        self.outlier_tail = outlier_tail
+        self.warmup_rounds = warmup_rounds
+        self._scale = confidence_scale(delta)
+        self._registry = (
+            registry if registry is not None else get_registry()
+        )
+        self._count = 0
+        self._depth_total = 0.0
+        self._outlier_rounds = 0
+        self._drift_alerts = 0
+        self._epochs = 0
+        self._monitor: CardinalityMonitor | None = None
+        self._monitor_rounds: int | None = None
+        self._table_n: int | None = None
+        self._outlier_table: np.ndarray | None = None
+        self._tail_table: np.ndarray | None = None
+
+    # -- streaming state ---------------------------------------------------
+
+    @property
+    def rounds_observed(self) -> int:
+        """Gray-depth observations ingested so far, ``m``."""
+        return self._count
+
+    @property
+    def mean_depth(self) -> float:
+        """Running mean gray depth (NaN before the first round)."""
+        if self._count == 0:
+            return math.nan
+        return self._depth_total / self._count
+
+    @property
+    def n_hat(self) -> float:
+        """The streaming Eq. 14 estimate (NaN before the first round)."""
+        if self._count == 0:
+            return math.nan
+        return 2.0 ** self.mean_depth / PHI
+
+    @property
+    def ci_halfwidth(self) -> float:
+        """First-order ``1 - delta`` CI half-width around ``n_hat``.
+
+        ``n_hat * ln2 * SIGMA_H * c(delta) / sqrt(m)`` — the Eq. 15-17
+        propagation of the averaged-depth standard error through the
+        exponential estimator.
+        """
+        if self._count == 0:
+            return math.inf
+        return (
+            self.n_hat
+            * math.log(2.0)
+            * SIGMA_H
+            * self._scale
+            / math.sqrt(self._count)
+        )
+
+    @property
+    def rounds_remaining(self) -> int:
+        """Rounds still needed to meet the ``(epsilon, delta)`` budget."""
+        return max(0, self.required_rounds - self._count)
+
+    @property
+    def converged(self) -> bool:
+        """Whether the Eq. 20 round budget has been met."""
+        return self._count >= self.required_rounds
+
+    @property
+    def outlier_rounds(self) -> int:
+        """Rounds flagged as depth-law outliers so far."""
+        return self._outlier_rounds
+
+    @property
+    def drift_alerts(self) -> int:
+        """Epochs the EWMA detector flagged as population changes."""
+        return self._drift_alerts
+
+    # -- ingestion ---------------------------------------------------------
+
+    def _refresh_tables(self) -> None:
+        """(Re)build the outlier tables when ``n_hat`` moved enough."""
+        n_ref = max(1, int(round(self.n_hat)))
+        if self._table_n is not None:
+            ratio = n_ref / self._table_n
+            if 1.0 / _TABLE_REBUILD_RATIO < ratio < _TABLE_REBUILD_RATIO:
+                return
+        self._outlier_table, self._tail_table = depth_tail_tables(
+            n_ref, self.tree_height, self.outlier_tail
+        )
+        self._table_n = n_ref
+
+    def observe_depths(self, depths: np.ndarray) -> None:
+        """Ingest a batch of observed gray depths (one per round)."""
+        depths = np.asarray(depths)
+        if depths.size == 0:
+            return
+        flat = depths.reshape(-1).astype(np.int64, copy=False)
+        self._count += int(flat.size)
+        self._depth_total += float(flat.sum())
+        registry = self._registry
+        registry.counter("diag.rounds").inc(int(flat.size))
+        if self._count >= self.warmup_rounds:
+            self._refresh_tables()
+            assert self._outlier_table is not None
+            outliers = self._outlier_table[flat]
+            flagged = int(outliers.sum())
+            if flagged:
+                self._outlier_rounds += flagged
+                registry.counter("diag.outlier_rounds").inc(flagged)
+                assert self._tail_table is not None
+                positions = np.flatnonzero(outliers)
+                for position in positions[
+                    :_MAX_OUTLIER_EVENTS_PER_BATCH
+                ].tolist():
+                    depth = int(flat[position])
+                    registry.event(
+                        "diag.outlier",
+                        depth=depth,
+                        tail_probability=float(
+                            self._tail_table[depth]
+                        ),
+                        n_ref=self._table_n,
+                        round=self._count - flat.size + position,
+                    )
+        registry.gauge("diag.n_hat").set(self.n_hat)
+        registry.gauge("diag.ci_halfwidth").set(self.ci_halfwidth)
+        registry.gauge("diag.rounds_remaining").set(
+            self.rounds_remaining
+        )
+
+    def observe_round(self, depth: int) -> None:
+        """Scalar convenience for :meth:`observe_depths`."""
+        self.observe_depths(np.array([depth], dtype=np.int64))
+
+    def observe_estimate(
+        self, estimate: float, rounds: int
+    ) -> None:
+        """Ingest one epoch-level estimate for drift detection.
+
+        ``rounds`` is the number of PET rounds backing the estimate —
+        it sets the epoch's expected standard error.  The EWMA monitor
+        is built on first use and rebuilt when ``rounds`` changes
+        (alert counts accumulate across rebuilds).  Non-positive
+        estimates are ignored (the detector has nothing to say about
+        them).
+        """
+        if not estimate > 0 or not math.isfinite(estimate):
+            return
+        if rounds < 1:
+            return
+        if self._monitor is None or self._monitor_rounds != rounds:
+            self._monitor = CardinalityMonitor(
+                rounds_per_epoch=rounds, registry=self._registry
+            )
+            self._monitor_rounds = rounds
+        report = self._monitor.observe(float(estimate))
+        self._epochs += 1
+        if report.changed:
+            self._drift_alerts += 1
+
+    def observe_estimates(
+        self, estimates: np.ndarray, rounds: int
+    ) -> None:
+        """Feed a batch of epoch estimates to the drift detector."""
+        for value in np.asarray(estimates, dtype=np.float64).reshape(-1):
+            self.observe_estimate(float(value), rounds)
+
+    def observe_protocol_result(
+        self, result: object, statistic_kind: str = "generic"
+    ) -> None:
+        """Ingest a :class:`~repro.protocols.base.ProtocolResult`.
+
+        Called by
+        :meth:`repro.protocols.base.CardinalityEstimatorProtocol._observe_result`
+        when a health monitor is attached to the active registry.  The
+        per-round statistics are ingested as gray depths only when the
+        protocol declares them as such (``statistic_kind ==
+        "gray_depth"`` — PET's); every protocol's final estimate feeds
+        the drift detector.
+        """
+        statistics = getattr(result, "per_round_statistics", None)
+        if statistic_kind == "gray_depth" and statistics is not None:
+            self.observe_depths(
+                np.asarray(statistics).astype(np.int64)
+            )
+        n_hat = getattr(result, "n_hat", None)
+        rounds = getattr(result, "rounds", 0)
+        if n_hat is not None:
+            self.observe_estimate(float(n_hat), int(rounds))
+
+    # -- reporting ---------------------------------------------------------
+
+    def snapshot(self) -> HealthReport:
+        """Immutable point-in-time view of the monitor."""
+        n_hat = self.n_hat
+        halfwidth = self.ci_halfwidth
+        return HealthReport(
+            rounds_observed=self._count,
+            n_hat=n_hat,
+            mean_depth=self.mean_depth,
+            epsilon=self.requirement.epsilon,
+            delta=self.requirement.delta,
+            required_rounds=self.required_rounds,
+            rounds_remaining=self.rounds_remaining,
+            converged=self.converged,
+            ci_halfwidth=halfwidth,
+            ci_lower=(
+                n_hat - halfwidth if self._count else math.nan
+            ),
+            ci_upper=(
+                n_hat + halfwidth if self._count else math.nan
+            ),
+            outlier_rounds=self._outlier_rounds,
+            drift_alerts=self._drift_alerts,
+            epochs_observed=self._epochs,
+        )

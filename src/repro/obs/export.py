@@ -11,6 +11,11 @@ Three built-ins, each a single ``export(registry)`` call:
 * :class:`ConsoleSummaryExporter` — a compact human table of counters,
   gauges, and histogram summaries on stdout (or any stream).
 
+Every record in the stream carries the schema triplet ``type`` (alias
+of ``kind``), ``name``, and ``ts`` (UNIX seconds stamped at export
+time), so downstream log pipelines can route records without knowing
+the per-kind payloads.
+
 A custom exporter is anything with ``export(registry)``; build it on
 :meth:`repro.obs.registry.MetricsRegistry.snapshot`, ``registry.trace``
 and ``registry.events`` (see docs/OBSERVABILITY.md for a worked
@@ -21,6 +26,7 @@ from __future__ import annotations
 
 import json
 import math
+import time
 from dataclasses import asdict
 from typing import IO, Iterable, Iterator, Protocol
 
@@ -42,19 +48,35 @@ def iter_records(
 
     The shared record stream behind the in-memory and JSON-lines
     exporters; order is counters, gauges, histograms (each
-    name-sorted), then spans and events in completion order.
+    name-sorted), then spans and events in completion order.  All
+    records of one export share a single ``ts`` stamp (the export is a
+    snapshot, not a replay of when each value was written).
     """
+    ts = time.time()
+
+    def _stamp(
+        kind: str, name: object, payload: dict[str, object]
+    ) -> dict[str, object]:
+        return {
+            "kind": kind,
+            "type": kind,
+            "name": name,
+            "ts": ts,
+            **payload,
+        }
+
     snapshot = registry.snapshot()
     for name, value in snapshot["counters"].items():  # type: ignore[union-attr]
-        yield {"kind": "counter", "name": name, "value": value}
+        yield _stamp("counter", name, {"value": value})
     for name, value in snapshot["gauges"].items():  # type: ignore[union-attr]
-        yield {"kind": "gauge", "name": name, "value": value}
+        yield _stamp("gauge", name, {"value": value})
     for name, stats in snapshot["histograms"].items():  # type: ignore[union-attr]
-        yield {"kind": "histogram", "name": name, **stats}
+        yield _stamp("histogram", name, dict(stats))
     for record in registry.trace:
-        yield {"kind": "span", **asdict(record)}
+        span = asdict(record)
+        yield _stamp("span", span["path"], span)
     for event in registry.events:
-        yield {"kind": "event", **event}
+        yield _stamp("event", event.get("name", ""), dict(event))
 
 
 class InMemoryExporter:
@@ -72,24 +94,94 @@ class InMemoryExporter:
 
 
 class JsonLinesExporter:
-    """Writes the record stream as JSON lines to a path or stream."""
+    """Writes the record stream as JSON lines to a path or stream.
+
+    Given a path, the file is opened lazily in append mode on first
+    :meth:`export` and kept open until :meth:`close`; the class is also
+    a context manager, so the natural shape is::
+
+        with JsonLinesExporter("metrics.jsonl") as exporter:
+            ...
+            exporter.export(registry)
+
+    Given a file-like object, the exporter writes to it but never
+    closes it (the caller owns its lifecycle).
+    """
 
     def __init__(self, destination: str | IO[str]):
         self._destination = destination
+        self._handle: IO[str] | None = None
+        self._owns_handle = isinstance(destination, str)
+
+    def _sink(self) -> IO[str]:
+        if self._handle is None:
+            if isinstance(self._destination, str):
+                self._handle = open(
+                    self._destination, "a", encoding="utf-8"
+                )
+            else:
+                self._handle = self._destination
+        return self._handle
 
     def export(self, registry: MetricsRegistry) -> None:
-        records = iter_records(registry)
-        if isinstance(self._destination, str):
-            with open(self._destination, "a", encoding="utf-8") as sink:
-                _write_lines(sink, records)
-        else:
-            _write_lines(self._destination, records)
+        sink = self._sink()
+        _write_lines(sink, iter_records(registry))
+        self.flush()
+
+    def flush(self) -> None:
+        """Flush the underlying stream (no-op before the first write)."""
+        if self._handle is not None:
+            self._handle.flush()
+
+    def close(self) -> None:
+        """Flush and, if this exporter opened the file, close it."""
+        if self._handle is None:
+            return
+        self._handle.flush()
+        if self._owns_handle:
+            self._handle.close()
+        self._handle = None
+
+    def __enter__(self) -> "JsonLinesExporter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+#: JSON spellings of the non-finite floats (JSON itself has none).
+_NONFINITE = {
+    math.inf: "Infinity",
+    -math.inf: "-Infinity",
+}
 
 
 def _json_safe(value: object) -> object:
-    """NaN/inf have no JSON spelling; export them as null."""
+    """Map non-finite floats onto round-trippable string sentinels.
+
+    ``json.dumps`` would emit bare ``NaN`` / ``Infinity`` — *invalid*
+    JSON that strict parsers reject — so non-finite floats are encoded
+    as the strings ``"NaN"`` / ``"Infinity"`` / ``"-Infinity"``
+    instead (:func:`decode_value` restores them).  Containers are
+    converted recursively.
+    """
     if isinstance(value, float) and not math.isfinite(value):
-        return None
+        return _NONFINITE.get(value, "NaN")
+    if isinstance(value, dict):
+        return {key: _json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(item) for item in value]
+    return value
+
+
+def decode_value(value: object) -> object:
+    """Inverse of :func:`_json_safe` for scalar fields."""
+    if value == "NaN":
+        return math.nan
+    if value == "Infinity":
+        return math.inf
+    if value == "-Infinity":
+        return -math.inf
     return value
 
 

@@ -1,0 +1,213 @@
+"""Prometheus / OpenMetrics text exposition for a metrics registry.
+
+:func:`render_openmetrics` turns a :class:`~repro.obs.registry.MetricsRegistry`
+snapshot into the OpenMetrics text format — ``# TYPE`` metadata lines,
+``_total``-suffixed counters, gauges, and histograms rendered as
+summaries (``_count`` / ``_sum``) plus ``_min`` / ``_max`` / ``_mean``
+gauges — terminated by the mandatory ``# EOF`` marker.  The output is
+what a Prometheus scrape endpoint or node-exporter textfile collector
+expects, so a CLI run with ``--prom-out`` drops straight into an
+existing monitoring stack.
+
+Metric names are sanitized to the Prometheus grammar
+(``[a-zA-Z_:][a-zA-Z0-9_:]*``): the registry's dotted names map
+``pet.rounds`` → ``pet_rounds``, prefixed with ``repro_``.  Non-finite
+values use the spec's ``NaN`` / ``+Inf`` / ``-Inf`` literals.
+
+:func:`parse_openmetrics` is a small validating reader for the subset
+this module emits — enough for tests (and smoke checks) to assert that
+``--prom-out`` files are well-formed and carry the expected samples.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Mapping
+
+from ..errors import ConfigurationError
+from .registry import MetricsRegistry
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Prefix on every exported metric, namespacing them in a shared scrape.
+METRIC_PREFIX = "repro_"
+
+
+def sanitize_metric_name(name: str, prefix: str = METRIC_PREFIX) -> str:
+    """Map a registry metric name onto the Prometheus name grammar."""
+    candidate = prefix + _SANITIZE.sub("_", name)
+    if not _NAME_OK.match(candidate):
+        candidate = "_" + candidate
+    return candidate
+
+
+def _format_value(value: float) -> str:
+    """One sample value, using the spec's non-finite literals."""
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def render_openmetrics(
+    registry: MetricsRegistry, prefix: str = METRIC_PREFIX
+) -> str:
+    """Render the registry's metrics in OpenMetrics text format."""
+    snapshot = registry.snapshot()
+    lines: list[str] = []
+
+    counters = snapshot["counters"]
+    assert isinstance(counters, dict)
+    for name, value in counters.items():
+        metric = sanitize_metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric}_total {_format_value(value)}")
+
+    gauges = snapshot["gauges"]
+    assert isinstance(gauges, dict)
+    for name, value in gauges.items():
+        metric = sanitize_metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(value)}")
+
+    histograms = snapshot["histograms"]
+    assert isinstance(histograms, dict)
+    for name, stats in histograms.items():
+        metric = sanitize_metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} summary")
+        lines.append(f"{metric}_count {_format_value(stats['count'])}")
+        lines.append(f"{metric}_sum {_format_value(stats['total'])}")
+        for suffix in ("min", "max", "mean"):
+            aggregate = f"{metric}_{suffix}"
+            lines.append(f"# TYPE {aggregate} gauge")
+            lines.append(
+                f"{aggregate} {_format_value(stats[suffix])}"
+            )
+
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def write_openmetrics(
+    dest: object, registry: MetricsRegistry, prefix: str = METRIC_PREFIX
+) -> None:
+    """Write :func:`render_openmetrics` output to a path or handle."""
+    text = render_openmetrics(registry, prefix)
+    if hasattr(dest, "write"):
+        dest.write(text)  # type: ignore[attr-defined]
+    else:
+        with open(dest, "w", encoding="utf-8") as handle:  # type: ignore[arg-type]
+            handle.write(text)
+
+
+class PrometheusExporter:
+    """Exporter-shaped wrapper over :func:`render_openmetrics`.
+
+    Mirrors the call surface of the JSON exporters in
+    :mod:`repro.obs.export` (``export(registry)``) so the CLI can treat
+    all sinks uniformly.
+    """
+
+    def __init__(self, path: str, prefix: str = METRIC_PREFIX):
+        self.path = path
+        self.prefix = prefix
+
+    def export(self, registry: MetricsRegistry) -> None:
+        """Render the registry to ``self.path``, replacing the file."""
+        write_openmetrics(self.path, registry, self.prefix)
+
+
+def _parse_value(token: str, line_no: int) -> float:
+    if token == "NaN":
+        return math.nan
+    if token == "+Inf":
+        return math.inf
+    if token == "-Inf":
+        return -math.inf
+    try:
+        return float(token)
+    except ValueError as exc:
+        raise ConfigurationError(
+            f"line {line_no}: invalid sample value {token!r}"
+        ) from exc
+
+
+def parse_openmetrics(
+    text: str,
+) -> tuple[dict[str, float], dict[str, str]]:
+    """Parse (and validate) the subset of OpenMetrics this module emits.
+
+    Returns ``(samples, types)``: sample name → value, and declared
+    metric name → type.  Raises
+    :class:`~repro.errors.ConfigurationError` on malformed lines, an
+    undeclared sample's metric, or a missing ``# EOF`` terminator.
+    """
+    samples: dict[str, float] = {}
+    types: dict[str, str] = {}
+    saw_eof = False
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if saw_eof:
+            raise ConfigurationError(
+                f"line {line_no}: content after # EOF"
+            )
+        if line == "# EOF":
+            saw_eof = True
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                raise ConfigurationError(
+                    f"line {line_no}: malformed TYPE line {raw!r}"
+                )
+            _, _, metric, kind = parts
+            if not _NAME_OK.match(metric):
+                raise ConfigurationError(
+                    f"line {line_no}: invalid metric name {metric!r}"
+                )
+            if kind not in {"counter", "gauge", "summary", "histogram"}:
+                raise ConfigurationError(
+                    f"line {line_no}: unknown metric type {kind!r}"
+                )
+            types[metric] = kind
+            continue
+        if line.startswith("#"):
+            # Other comments (HELP, UNIT) are legal; skip them.
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise ConfigurationError(
+                f"line {line_no}: malformed sample line {raw!r}"
+            )
+        sample_name, token = parts
+        if not _NAME_OK.match(sample_name):
+            raise ConfigurationError(
+                f"line {line_no}: invalid sample name {sample_name!r}"
+            )
+        if not _sample_declared(sample_name, types):
+            raise ConfigurationError(
+                f"line {line_no}: sample {sample_name!r} has no"
+                " preceding # TYPE declaration"
+            )
+        samples[sample_name] = _parse_value(token, line_no)
+    if not saw_eof:
+        raise ConfigurationError("missing # EOF terminator")
+    return samples, types
+
+
+def _sample_declared(
+    sample_name: str, types: Mapping[str, str]
+) -> bool:
+    """Whether a sample line belongs to a declared metric family."""
+    if sample_name in types:
+        return True
+    for suffix in ("_total", "_count", "_sum", "_bucket"):
+        if sample_name.endswith(suffix):
+            if sample_name[: -len(suffix)] in types:
+                return True
+    return False

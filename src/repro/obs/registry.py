@@ -56,6 +56,29 @@ class MetricsRegistry:
         self.trace: list[SpanRecord] = []
         self.events: list[dict[str, object]] = []
         self.max_trace = max_trace
+        #: Optional round-level diagnostics attached to this registry
+        #: (see :mod:`repro.obs.trace` / :mod:`repro.obs.diag`).
+        #: Instrumented simulators read these attributes and feed them
+        #: when set; both stay ``None`` on the null registry, so the
+        #: uninstrumented fast path is unaffected.
+        self.round_trace: object | None = None
+        self.health: object | None = None
+
+    def attach_diagnostics(
+        self,
+        round_trace: object | None = None,
+        health: object | None = None,
+    ) -> "MetricsRegistry":
+        """Attach a round-trace recorder and/or health monitor.
+
+        Returns ``self`` so construction chains:
+        ``MetricsRegistry().attach_diagnostics(recorder, health)``.
+        """
+        if round_trace is not None:
+            self.round_trace = round_trace
+        if health is not None:
+            self.health = health
+        return self
 
     def __bool__(self) -> bool:
         return True
@@ -161,6 +184,14 @@ class NullRegistry(MetricsRegistry):
 
     def event(self, name: str, **fields: object) -> None:  # noqa: ARG002
         pass
+
+    def attach_diagnostics(
+        self,
+        round_trace: object | None = None,  # noqa: ARG002
+        health: object | None = None,  # noqa: ARG002
+    ) -> "MetricsRegistry":
+        """No-op: the shared null registry never carries diagnostics."""
+        return self
 
 
 #: The process-wide default: instrumentation wired to this records nothing.

@@ -1,0 +1,468 @@
+"""Terminal and HTML diagnostics reports.
+
+One function pair — :func:`render_text_report` for the terminal,
+:func:`render_html_report` (and :func:`write_html_report`) for a
+self-contained HTML file — renders the same five sections from the same
+inputs:
+
+* **Convergence** — the streaming estimate against the paper's
+  accuracy contract: ``n_hat``, mean gray depth, rounds observed, the
+  Eq. 20 round budget from :func:`repro.core.accuracy.rounds_required`,
+  rounds remaining, and the theory CI.  Sourced from an
+  :class:`~repro.obs.diag.EstimatorHealth` snapshot when one is
+  available, otherwise reconstructed from the registry's
+  ``pet.gray_depth`` histogram.
+* **Outliers** — rounds whose depth was improbable under the depth
+  law, from the :class:`~repro.obs.trace.RoundTraceRecorder`.
+* **Drift** — ``monitor.drift`` events from the registry event log.
+* **Metrics** — counter/gauge/histogram summary tables.
+* **Trace** — recorder occupancy and sampling-policy statistics.
+
+The HTML output embeds its own minimal CSS (no external assets, no
+scripts) so the file can be attached to a bug report or CI artifact
+and opened anywhere.
+"""
+
+from __future__ import annotations
+
+import html
+import math
+from typing import Sequence
+
+from ..core.accuracy import PHI, rounds_required
+from .registry import MetricsRegistry
+
+#: Outlier rows rendered before the table is elided.
+MAX_OUTLIER_ROWS = 20
+
+#: Drift rows rendered before the table is elided.
+MAX_DRIFT_ROWS = 20
+
+_CSS = """
+body { font-family: system-ui, sans-serif; margin: 2rem auto;
+       max-width: 60rem; color: #1a2330; }
+h1 { border-bottom: 2px solid #2b5d8a; padding-bottom: .3rem; }
+h2 { color: #2b5d8a; margin-top: 2rem; }
+table { border-collapse: collapse; margin: .6rem 0; }
+th, td { border: 1px solid #c3ccd6; padding: .25rem .6rem;
+         text-align: left; font-variant-numeric: tabular-nums; }
+th { background: #eef2f6; }
+.ok { color: #1b7f3b; font-weight: 600; }
+.warn { color: #b33a1e; font-weight: 600; }
+.muted { color: #69758a; }
+""".strip()
+
+
+def _fmt(value: object) -> str:
+    """Human-oriented scalar formatting shared by both renderers."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "n/a"
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        if value and (abs(value) >= 1e6 or abs(value) < 1e-3):
+            return f"{value:.4g}"
+        return f"{value:,.3f}".rstrip("0").rstrip(".")
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def _health_rows(health: object) -> list[tuple[str, object]]:
+    snap = health.snapshot()  # type: ignore[attr-defined]
+    return [
+        ("rounds observed", snap.rounds_observed),
+        ("mean gray depth", snap.mean_depth),
+        ("streaming n_hat", snap.n_hat),
+        (
+            f"CI half-width (delta={snap.delta:g})",
+            snap.ci_halfwidth,
+        ),
+        ("CI lower", snap.ci_lower),
+        ("CI upper", snap.ci_upper),
+        (
+            f"required rounds (eps={snap.epsilon:g},"
+            f" delta={snap.delta:g})",
+            snap.required_rounds,
+        ),
+        ("rounds remaining", snap.rounds_remaining),
+        ("converged", snap.converged),
+        ("outlier rounds", snap.outlier_rounds),
+        ("drift alerts", snap.drift_alerts),
+        ("epochs observed", snap.epochs_observed),
+    ]
+
+
+def _fallback_rows(
+    registry: MetricsRegistry,
+    epsilon: float,
+    delta: float,
+) -> list[tuple[str, object]]:
+    """Convergence rows reconstructed from the ``pet.gray_depth``
+    histogram when no health monitor was attached."""
+    snapshot = registry.snapshot()
+    histograms = snapshot["histograms"]
+    assert isinstance(histograms, dict)
+    stats = histograms.get("pet.gray_depth")
+    required = rounds_required(epsilon, delta)
+    if not stats or not stats["count"]:
+        return [
+            ("rounds observed", 0),
+            (
+                f"required rounds (eps={epsilon:g}, delta={delta:g})",
+                required,
+            ),
+            ("rounds remaining", required),
+            ("converged", False),
+            ("note", "no gray-depth observations recorded"),
+        ]
+    count = int(stats["count"])
+    mean_depth = float(stats["mean"])
+    n_hat = 2.0 ** mean_depth / PHI
+    return [
+        ("rounds observed", count),
+        ("mean gray depth", mean_depth),
+        ("streaming n_hat", n_hat),
+        (
+            f"required rounds (eps={epsilon:g}, delta={delta:g})",
+            required,
+        ),
+        ("rounds remaining", max(0, required - count)),
+        ("converged", count >= required),
+        ("source", "pet.gray_depth histogram (no health monitor)"),
+    ]
+
+
+def _convergence_rows(
+    registry: MetricsRegistry,
+    health: object | None,
+    epsilon: float,
+    delta: float,
+) -> list[tuple[str, object]]:
+    if health is None:
+        health = registry.health
+    if health is not None:
+        return _health_rows(health)
+    return _fallback_rows(registry, epsilon, delta)
+
+
+def _outlier_rows(
+    recorder: object | None,
+) -> list[tuple[object, ...]]:
+    if recorder is None:
+        return []
+    records = recorder.outlier_records()  # type: ignore[attr-defined]
+    return [
+        (
+            record.run_index,
+            record.round_index,
+            record.gray_depth,
+            record.tail_probability,
+            record.tier,
+        )
+        for record in records
+    ]
+
+
+def _drift_rows(
+    registry: MetricsRegistry,
+) -> list[tuple[object, ...]]:
+    return [
+        (
+            event.get("epoch"),
+            event.get("estimate"),
+            event.get("smoothed"),
+            event.get("z_score"),
+        )
+        for event in registry.events
+        if event.get("name") == "monitor.drift"
+    ]
+
+
+def _trace_rows(
+    recorder: object | None,
+) -> list[tuple[str, object]]:
+    if recorder is None:
+        return [("recorder", "not attached")]
+    policy = recorder.policy  # type: ignore[attr-defined]
+    rows: list[tuple[str, object]] = [
+        ("sampling policy", policy.mode),
+        ("records held", len(recorder)),  # type: ignore[arg-type]
+        ("capacity", recorder.capacity),  # type: ignore[attr-defined]
+        ("rounds seen", recorder.rounds_seen),  # type: ignore[attr-defined]
+        ("rounds recorded", recorder.rounds_recorded),  # type: ignore[attr-defined]
+        ("records evicted", recorder.records_evicted),  # type: ignore[attr-defined]
+    ]
+    if policy.mode == "every_k":
+        rows.insert(1, ("every k", policy.every_k))
+    if policy.mode == "outliers_only":
+        rows.insert(1, ("tail threshold", policy.tail_threshold))
+    return rows
+
+
+# -- terminal renderer -----------------------------------------------------
+
+
+def _text_table(
+    rows: Sequence[Sequence[object]],
+    headers: Sequence[str] | None = None,
+) -> str:
+    table = [
+        [_fmt(cell) for cell in row] for row in rows
+    ]
+    if headers:
+        table.insert(0, list(headers))
+    widths = [
+        max(len(row[col]) for row in table)
+        for col in range(len(table[0]))
+    ]
+    lines = []
+    for index, row in enumerate(table):
+        lines.append(
+            "  ".join(
+                cell.ljust(width)
+                for cell, width in zip(row, widths)
+            ).rstrip()
+        )
+        if headers and index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def render_text_report(
+    registry: MetricsRegistry,
+    health: object | None = None,
+    recorder: object | None = None,
+    title: str = "PET estimation diagnostics",
+    epsilon: float = 0.05,
+    delta: float = 0.01,
+) -> str:
+    """Render the diagnostics report as plain terminal text."""
+    if recorder is None:
+        recorder = registry.round_trace
+    sections: list[str] = [title, "=" * len(title)]
+
+    sections.append("\nConvergence\n-----------")
+    sections.append(
+        _text_table(_convergence_rows(registry, health, epsilon, delta))
+    )
+
+    outliers = _outlier_rows(recorder)
+    sections.append("\nOutlier rounds\n--------------")
+    if outliers:
+        shown = outliers[:MAX_OUTLIER_ROWS]
+        sections.append(
+            _text_table(
+                shown,
+                headers=("run", "round", "depth", "tail prob", "tier"),
+            )
+        )
+        if len(outliers) > len(shown):
+            sections.append(
+                f"... {len(outliers) - len(shown)} more not shown"
+            )
+    else:
+        sections.append("none recorded")
+
+    drift = _drift_rows(registry)
+    sections.append("\nDrift alerts\n------------")
+    if drift:
+        shown = drift[:MAX_DRIFT_ROWS]
+        sections.append(
+            _text_table(
+                shown,
+                headers=("epoch", "estimate", "smoothed", "z score"),
+            )
+        )
+        if len(drift) > len(shown):
+            sections.append(
+                f"... {len(drift) - len(shown)} more not shown"
+            )
+    else:
+        sections.append("none")
+
+    snapshot = registry.snapshot()
+    counters = snapshot["counters"]
+    gauges = snapshot["gauges"]
+    assert isinstance(counters, dict) and isinstance(gauges, dict)
+    sections.append("\nMetrics\n-------")
+    scalar_rows = [
+        (name, value) for name, value in counters.items()
+    ] + [(name, value) for name, value in gauges.items()]
+    if scalar_rows:
+        sections.append(
+            _text_table(scalar_rows, headers=("metric", "value"))
+        )
+    else:
+        sections.append("no metrics recorded")
+    histograms = snapshot["histograms"]
+    assert isinstance(histograms, dict)
+    if histograms:
+        sections.append(
+            _text_table(
+                [
+                    (
+                        name,
+                        stats["count"],
+                        stats["mean"],
+                        stats["min"],
+                        stats["max"],
+                    )
+                    for name, stats in histograms.items()
+                ],
+                headers=("histogram", "count", "mean", "min", "max"),
+            )
+        )
+
+    sections.append("\nRound trace\n-----------")
+    sections.append(_text_table(_trace_rows(recorder)))
+    return "\n".join(sections) + "\n"
+
+
+# -- HTML renderer ---------------------------------------------------------
+
+
+def _html_table(
+    rows: Sequence[Sequence[object]],
+    headers: Sequence[str] | None = None,
+) -> str:
+    parts = ["<table>"]
+    if headers:
+        parts.append(
+            "<tr>"
+            + "".join(
+                f"<th>{html.escape(str(h))}</th>" for h in headers
+            )
+            + "</tr>"
+        )
+    for row in rows:
+        parts.append(
+            "<tr>"
+            + "".join(
+                f"<td>{html.escape(_fmt(cell))}</td>" for cell in row
+            )
+            + "</tr>"
+        )
+    parts.append("</table>")
+    return "".join(parts)
+
+
+def render_html_report(
+    registry: MetricsRegistry,
+    health: object | None = None,
+    recorder: object | None = None,
+    title: str = "PET estimation diagnostics",
+    epsilon: float = 0.05,
+    delta: float = 0.01,
+) -> str:
+    """Render the diagnostics report as one self-contained HTML page."""
+    if recorder is None:
+        recorder = registry.round_trace
+    convergence = _convergence_rows(registry, health, epsilon, delta)
+    converged = next(
+        (value for label, value in convergence if label == "converged"),
+        False,
+    )
+    badge = (
+        '<span class="ok">converged</span>'
+        if converged
+        else '<span class="warn">not converged</span>'
+    )
+
+    body: list[str] = [
+        f"<h1>{html.escape(title)}</h1>",
+        f"<p>Status: {badge}</p>",
+        '<h2 id="convergence">Convergence</h2>',
+        _html_table(convergence),
+    ]
+
+    body.append('<h2 id="outliers">Outlier rounds</h2>')
+    outliers = _outlier_rows(recorder)
+    if outliers:
+        body.append(
+            _html_table(
+                outliers[:MAX_OUTLIER_ROWS],
+                headers=("run", "round", "depth", "tail prob", "tier"),
+            )
+        )
+        if len(outliers) > MAX_OUTLIER_ROWS:
+            body.append(
+                f'<p class="muted">{len(outliers) - MAX_OUTLIER_ROWS}'
+                " more not shown</p>"
+            )
+    else:
+        body.append('<p class="muted">none recorded</p>')
+
+    body.append('<h2 id="drift">Drift alerts</h2>')
+    drift = _drift_rows(registry)
+    if drift:
+        body.append(
+            _html_table(
+                drift[:MAX_DRIFT_ROWS],
+                headers=("epoch", "estimate", "smoothed", "z score"),
+            )
+        )
+        if len(drift) > MAX_DRIFT_ROWS:
+            body.append(
+                f'<p class="muted">{len(drift) - MAX_DRIFT_ROWS}'
+                " more not shown</p>"
+            )
+    else:
+        body.append('<p class="muted">none</p>')
+
+    snapshot = registry.snapshot()
+    counters = snapshot["counters"]
+    gauges = snapshot["gauges"]
+    histograms = snapshot["histograms"]
+    assert isinstance(counters, dict)
+    assert isinstance(gauges, dict)
+    assert isinstance(histograms, dict)
+    body.append('<h2 id="metrics">Metrics</h2>')
+    scalar_rows = [
+        (name, value) for name, value in counters.items()
+    ] + [(name, value) for name, value in gauges.items()]
+    if scalar_rows:
+        body.append(
+            _html_table(scalar_rows, headers=("metric", "value"))
+        )
+    else:
+        body.append('<p class="muted">no metrics recorded</p>')
+    if histograms:
+        body.append(
+            _html_table(
+                [
+                    (
+                        name,
+                        stats["count"],
+                        stats["mean"],
+                        stats["min"],
+                        stats["max"],
+                    )
+                    for name, stats in histograms.items()
+                ],
+                headers=("histogram", "count", "mean", "min", "max"),
+            )
+        )
+
+    body.append('<h2 id="trace">Round trace</h2>')
+    body.append(_html_table(_trace_rows(recorder)))
+
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">'
+        f"<title>{html.escape(title)}</title>"
+        f"<style>{_CSS}</style></head>\n"
+        "<body>\n" + "\n".join(body) + "\n</body></html>\n"
+    )
+
+
+def write_html_report(dest: object, *args: object, **kwargs: object) -> None:
+    """Write :func:`render_html_report` output to a path or handle."""
+    text = render_html_report(*args, **kwargs)  # type: ignore[arg-type]
+    if hasattr(dest, "write"):
+        dest.write(text)  # type: ignore[attr-defined]
+    else:
+        with open(dest, "w", encoding="utf-8") as handle:  # type: ignore[arg-type]
+            handle.write(text)

@@ -1,0 +1,582 @@
+"""Round-level tracing with deterministic replay.
+
+A :class:`RoundTraceRecord` captures one estimation round — which tier
+ran it, where in the experiment it sits, the observed gray depth and
+slot outcomes, and (crucially) the *seed material* the round was
+computed from.  That last part is what makes a trace more than a log:
+:func:`replay_round` re-executes the recorded round through the scalar
+simulation helpers and must reproduce the recorded depth bit-for-bit,
+so any anomalous round an operator spots in production can be pulled
+out of the ring buffer and re-run in isolation.
+
+Two tiers record today:
+
+* ``tier="batched"`` / ``tier="loop"`` — rounds over an explicit tag
+  population.  Seed material: the population's :class:`WorkloadSpec`
+  fields (size, id-space, per-repetition seed), the reader's path bits,
+  and (active variant) the per-round hash seed.  Replay rebuilds the
+  population with :func:`repro.sim.workload.build_population` (default
+  hash family) and recomputes the depth with the scalar vectorized-tier
+  helpers.
+* ``tier="sampled"`` — distribution-sampled rounds.  Seed material: the
+  true ``n``, the tree height, and the round's inverse-CDF uniform.
+  Replay re-applies ``searchsorted`` on the exact gray-depth CDF.
+
+Recording is governed by a :class:`SamplingPolicy` so the batched numpy
+tier stays fast: ``all`` keeps every round (ring-buffer bounded),
+``every_k`` keeps one round in ``k``, and ``outliers_only`` keeps only
+rounds whose depth is in the far tails of the exact depth law for the
+cell's population — the rounds an operator actually wants to replay.
+Outlier classification is two table gathers per batch, so even the
+fig-4-sized cells pay a few percent, not a slowdown.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import asdict, dataclass
+from typing import IO, Iterable, Iterator
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .registry import MetricsRegistry, get_registry
+
+#: Default ring-buffer capacity of a recorder.
+DEFAULT_TRACE_CAPACITY = 10_000
+
+#: Two-sided tail probability below which a round counts as an outlier.
+DEFAULT_TAIL_THRESHOLD = 1e-3
+
+_POLICY_MODES = ("all", "every_k", "outliers_only")
+
+
+@dataclass(frozen=True)
+class SamplingPolicy:
+    """Which rounds a :class:`RoundTraceRecorder` keeps.
+
+    Attributes
+    ----------
+    mode:
+        ``"all"`` — every round (ring-buffer bounded);
+        ``"every_k"`` — rounds whose index is a multiple of ``every_k``;
+        ``"outliers_only"`` — only rounds whose depth sits in a tail of
+        probability ``<= tail_threshold`` under the exact depth law.
+    every_k:
+        Stride for ``every_k`` mode.
+    tail_threshold:
+        Two-sided tail-probability cutoff for ``outliers_only`` mode
+        (also the cutoff used to *flag* outliers in every mode).
+    """
+
+    mode: str = "all"
+    every_k: int = 1
+    tail_threshold: float = DEFAULT_TAIL_THRESHOLD
+
+    def __post_init__(self) -> None:
+        if self.mode not in _POLICY_MODES:
+            raise ConfigurationError(
+                f"sampling mode must be one of {_POLICY_MODES}, "
+                f"got {self.mode!r}"
+            )
+        if self.every_k < 1:
+            raise ConfigurationError(
+                f"every_k must be >= 1, got {self.every_k}"
+            )
+        if not 0.0 < self.tail_threshold < 0.5:
+            raise ConfigurationError(
+                f"tail_threshold must lie in (0, 0.5), "
+                f"got {self.tail_threshold!r}"
+            )
+
+    @classmethod
+    def parse(cls, spec: str) -> "SamplingPolicy":
+        """Parse a CLI-style policy spec.
+
+        Accepted forms: ``"all"``, ``"every_k:32"``,
+        ``"outliers_only"``, ``"outliers_only:1e-4"``.
+        """
+        head, _, argument = spec.partition(":")
+        head = head.strip()
+        if head == "all":
+            return cls(mode="all")
+        if head == "every_k":
+            if not argument:
+                raise ConfigurationError(
+                    "every_k needs a stride, e.g. 'every_k:32'"
+                )
+            return cls(mode="every_k", every_k=int(argument))
+        if head == "outliers_only":
+            if argument:
+                return cls(
+                    mode="outliers_only",
+                    tail_threshold=float(argument),
+                )
+            return cls(mode="outliers_only")
+        raise ConfigurationError(
+            f"unknown sampling policy {spec!r}; expected 'all', "
+            f"'every_k:K', or 'outliers_only[:THRESHOLD]'"
+        )
+
+
+@dataclass(frozen=True)
+class RoundTraceRecord:
+    """One recorded estimation round with its replay seed material.
+
+    ``tier`` selects which seed fields are meaningful: population-backed
+    tiers (``batched`` / ``loop``) carry ``path_bits`` +
+    ``population_*`` (+ ``round_seed`` for the active variant);
+    the ``sampled`` tier carries ``true_n`` + ``uniform``.
+    """
+
+    tier: str
+    protocol: str
+    run_index: int
+    round_index: int
+    tree_height: int
+    binary_search: bool
+    passive_tags: bool
+    gray_depth: int
+    slots: int
+    busy_slots: int
+    idle_slots: int
+    # -- replay seed material (tier-dependent) ------------------------
+    path_bits: int | None = None
+    round_seed: int | None = None
+    population_size: int | None = None
+    population_id_space: str | None = None
+    population_seed: int | None = None
+    true_n: int | None = None
+    uniform: float | None = None
+    # -- diagnostics --------------------------------------------------
+    outlier: bool = False
+    tail_probability: float | None = None
+
+    def to_dict(self) -> dict[str, object]:
+        """Plain-dict view (JSONL trace files round-trip through this)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, record: dict[str, object]) -> "RoundTraceRecord":
+        """Inverse of :meth:`to_dict`; ignores unknown keys."""
+        fields = {
+            name: record[name]
+            for name in cls.__dataclass_fields__
+            if name in record
+        }
+        return cls(**fields)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class ReplayedRound:
+    """Outcome of re-executing a recorded round."""
+
+    gray_depth: int
+    slots: int
+
+    def matches(self, record: RoundTraceRecord) -> bool:
+        """Whether the replay reproduced the record bit-for-bit."""
+        return (
+            self.gray_depth == record.gray_depth
+            and self.slots == record.slots
+        )
+
+
+def depth_tail_tables(
+    n: int, height: int, threshold: float = DEFAULT_TAIL_THRESHOLD
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-depth outlier flag + two-sided tail probability tables.
+
+    For the exact gray-depth law of a population of ``n`` tags on an
+    ``height`` tree, returns ``(is_outlier, tail_probability)`` arrays
+    indexed by depth: ``tail_probability[d] = min(P(depth <= d),
+    P(depth >= d))`` and ``is_outlier[d] = tail_probability[d] <=
+    threshold``.  Both arrays are read-only; whole batches classify via
+    two gathers (``is_outlier[depths]``).
+    """
+    from ..analysis.mellin import gray_depth_cdf
+
+    cdf = gray_depth_cdf(n, height)
+    lower = cdf  # P(depth <= d)
+    upper = np.empty_like(cdf)  # P(depth >= d)
+    upper[0] = 1.0
+    upper[1:] = 1.0 - cdf[:-1]
+    tail = np.minimum(lower, upper)
+    is_outlier = tail <= threshold
+    tail.flags.writeable = False
+    is_outlier.flags.writeable = False
+    return is_outlier, tail
+
+
+class RoundTraceRecorder:
+    """Bounded, policy-sampled store of :class:`RoundTraceRecord` rows.
+
+    Parameters
+    ----------
+    policy:
+        Which rounds to keep (default: every round).
+    capacity:
+        Ring-buffer bound; once full, the oldest record is evicted per
+        append (evictions are counted in ``trace.records.evicted``).
+    registry:
+        Registry the recorder's own accounting counters
+        (``trace.rounds.seen`` / ``trace.rounds.recorded`` /
+        ``trace.records.evicted``) are recorded against; defaults to
+        the process-wide active registry.
+    """
+
+    def __init__(
+        self,
+        policy: SamplingPolicy | None = None,
+        capacity: int = DEFAULT_TRACE_CAPACITY,
+        registry: MetricsRegistry | None = None,
+    ):
+        if capacity < 1:
+            raise ConfigurationError(
+                f"capacity must be >= 1, got {capacity}"
+            )
+        self.policy = policy or SamplingPolicy()
+        self.capacity = capacity
+        #: Local accounting (mirrors the ``trace.*`` registry counters,
+        #: but survives a null registry so reports can always show it).
+        self.rounds_seen = 0
+        self.rounds_recorded = 0
+        self.records_evicted = 0
+        self._buffer: deque[RoundTraceRecord] = deque(maxlen=capacity)
+        self._registry = (
+            registry if registry is not None else get_registry()
+        )
+        self._tail_cache: dict[
+            tuple[int, int, float], tuple[np.ndarray, np.ndarray]
+        ] = {}
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def records(self) -> list[RoundTraceRecord]:
+        """The retained records, oldest first."""
+        return list(self._buffer)
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def outlier_records(self) -> list[RoundTraceRecord]:
+        """The retained records flagged as depth-law outliers."""
+        return [record for record in self._buffer if record.outlier]
+
+    def clear(self) -> None:
+        """Drop every retained record (counters are left untouched)."""
+        self._buffer.clear()
+
+    # -- selection --------------------------------------------------------
+
+    def _tail_tables(
+        self, n: int, height: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        key = (n, height, self.policy.tail_threshold)
+        tables = self._tail_cache.get(key)
+        if tables is None:
+            tables = depth_tail_tables(
+                n, height, self.policy.tail_threshold
+            )
+            self._tail_cache[key] = tables
+        return tables
+
+    def _selection(
+        self,
+        depths: np.ndarray,
+        round_indices: np.ndarray,
+        n_for_law: int,
+        height: int,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Indices to keep + per-round (outlier, tail-prob) columns."""
+        is_outlier_table, tail_table = self._tail_tables(
+            n_for_law, height
+        )
+        outliers = is_outlier_table[depths]
+        tails = tail_table[depths]
+        if self.policy.mode == "all":
+            keep = np.arange(depths.size)
+        elif self.policy.mode == "every_k":
+            keep = np.flatnonzero(
+                round_indices % self.policy.every_k == 0
+            )
+        else:  # outliers_only
+            keep = np.flatnonzero(outliers)
+        return keep, outliers, tails
+
+    def _append(self, record: RoundTraceRecord) -> None:
+        if len(self._buffer) == self.capacity:
+            self.records_evicted += 1
+            self._registry.counter("trace.records.evicted").inc()
+        self._buffer.append(record)
+
+    def _account(self, seen: int, recorded: int) -> None:
+        self.rounds_seen += seen
+        self.rounds_recorded += recorded
+        registry = self._registry
+        registry.counter("trace.rounds.seen").inc(seen)
+        if recorded:
+            registry.counter("trace.rounds.recorded").inc(recorded)
+
+    # -- recording: population-backed tiers -------------------------------
+
+    def record_population_run(
+        self,
+        tier: str,
+        run_index: int,
+        depths: np.ndarray,
+        path_bits: np.ndarray,
+        round_seeds: np.ndarray | None,
+        population_size: int,
+        population_id_space: str,
+        population_seed: int,
+        tree_height: int,
+        binary_search: bool,
+        slots_table: np.ndarray,
+        busy_table: np.ndarray,
+        idle_table: np.ndarray,
+        protocol: str = "PET",
+    ) -> int:
+        """Record one repetition of a population-backed tier.
+
+        ``depths``/``path_bits`` (and ``round_seeds`` for the active
+        variant) are the whole repetition's per-round arrays; the policy
+        selects which rounds materialise as records.  Returns the number
+        of records appended.
+        """
+        rounds = int(depths.size)
+        keep, outliers, tails = self._selection(
+            depths,
+            np.arange(rounds),
+            population_size,
+            tree_height,
+        )
+        for index in keep.tolist():
+            depth = int(depths[index])
+            self._append(
+                RoundTraceRecord(
+                    tier=tier,
+                    protocol=protocol,
+                    run_index=run_index,
+                    round_index=index,
+                    tree_height=tree_height,
+                    binary_search=binary_search,
+                    passive_tags=round_seeds is None,
+                    gray_depth=depth,
+                    slots=int(slots_table[depth]),
+                    busy_slots=int(busy_table[depth]),
+                    idle_slots=int(idle_table[depth]),
+                    path_bits=int(path_bits[index]),
+                    round_seed=(
+                        None
+                        if round_seeds is None
+                        else int(round_seeds[index])
+                    ),
+                    population_size=population_size,
+                    population_id_space=population_id_space,
+                    population_seed=population_seed,
+                    outlier=bool(outliers[index]),
+                    tail_probability=float(tails[index]),
+                )
+            )
+        self._account(rounds, len(keep))
+        return len(keep)
+
+    # -- recording: sampled tier ------------------------------------------
+
+    def record_sampled_run(
+        self,
+        run_index: int,
+        depths: np.ndarray,
+        uniforms: np.ndarray,
+        true_n: int,
+        tree_height: int,
+        binary_search: bool,
+        slots_table: np.ndarray,
+        busy_table: np.ndarray,
+        idle_table: np.ndarray,
+        protocol: str = "PET",
+    ) -> int:
+        """Record one repetition of the distribution-sampled tier."""
+        rounds = int(depths.size)
+        keep, outliers, tails = self._selection(
+            depths, np.arange(rounds), true_n, tree_height
+        )
+        for index in keep.tolist():
+            depth = int(depths[index])
+            self._append(
+                RoundTraceRecord(
+                    tier="sampled",
+                    protocol=protocol,
+                    run_index=run_index,
+                    round_index=index,
+                    tree_height=tree_height,
+                    binary_search=binary_search,
+                    passive_tags=False,
+                    gray_depth=depth,
+                    slots=int(slots_table[depth]),
+                    busy_slots=int(busy_table[depth]),
+                    idle_slots=int(idle_table[depth]),
+                    true_n=true_n,
+                    uniform=float(uniforms[index]),
+                    outlier=bool(outliers[index]),
+                    tail_probability=float(tails[index]),
+                )
+            )
+        self._account(rounds, len(keep))
+        return len(keep)
+
+    def record_sampled_round(
+        self,
+        round_index: int,
+        depth: int,
+        uniform: float,
+        true_n: int,
+        tree_height: int,
+        binary_search: bool,
+        slots: int,
+        busy_slots: int,
+        idle_slots: int,
+        run_index: int = -1,
+        protocol: str = "PET",
+    ) -> bool:
+        """Scalar companion of :meth:`record_sampled_run` (one round)."""
+        depths = np.array([depth], dtype=np.int64)
+        keep, outliers, tails = self._selection(
+            depths,
+            np.array([round_index]),
+            true_n,
+            tree_height,
+        )
+        recorded = bool(keep.size)
+        if recorded:
+            self._append(
+                RoundTraceRecord(
+                    tier="sampled",
+                    protocol=protocol,
+                    run_index=run_index,
+                    round_index=round_index,
+                    tree_height=tree_height,
+                    binary_search=binary_search,
+                    passive_tags=False,
+                    gray_depth=int(depth),
+                    slots=int(slots),
+                    busy_slots=int(busy_slots),
+                    idle_slots=int(idle_slots),
+                    true_n=true_n,
+                    uniform=float(uniform),
+                    outlier=bool(outliers[0]),
+                    tail_probability=float(tails[0]),
+                )
+            )
+        self._account(1, int(recorded))
+        return recorded
+
+
+# -- replay ---------------------------------------------------------------
+
+
+def replay_round(record: RoundTraceRecord) -> ReplayedRound:
+    """Re-execute a recorded round from its seed material.
+
+    Runs the recorded round back through the *scalar* simulation path:
+    sampled-tier records re-apply the inverse-CDF draw on the exact
+    depth law; population-backed records rebuild the population (same
+    workload spec, default hash family) and recompute the gray depth
+    with the scalar vectorized-tier helpers.  The result must match the
+    record bit-for-bit — :func:`verify_replay` asserts exactly that.
+    """
+    from ..core.search import slots_lookup_table, strategy_for
+
+    height = record.tree_height
+    if record.tier == "sampled":
+        if record.true_n is None or record.uniform is None:
+            raise ConfigurationError(
+                "sampled trace record is missing true_n/uniform seed "
+                "material; cannot replay"
+            )
+        from ..analysis.mellin import gray_depth_cdf
+
+        cdf = gray_depth_cdf(record.true_n, height)
+        depth = int(
+            np.searchsorted(cdf, record.uniform, side="left")
+        )
+    else:
+        if (
+            record.path_bits is None
+            or record.population_size is None
+            or record.population_id_space is None
+            or record.population_seed is None
+        ):
+            raise ConfigurationError(
+                f"{record.tier!r} trace record is missing population/"
+                f"path seed material; cannot replay"
+            )
+        from ..sim.vectorized import (
+            gray_depth_of_codes,
+            gray_depth_sorted,
+        )
+        from ..sim.workload import WorkloadSpec, build_population
+
+        population = build_population(
+            WorkloadSpec(
+                size=record.population_size,
+                id_space=record.population_id_space,
+                seed=record.population_seed,
+            )
+        )
+        if record.passive_tags:
+            codes = np.sort(population.preloaded_codes(height))
+            depth = gray_depth_sorted(
+                codes, record.path_bits, height
+            )
+        else:
+            if record.round_seed is None:
+                raise ConfigurationError(
+                    "active-tag trace record is missing its per-round "
+                    "hash seed; cannot replay"
+                )
+            codes = population.codes(record.round_seed, height)
+            depth = gray_depth_of_codes(
+                codes, record.path_bits, height
+            )
+    strategy = strategy_for(record.binary_search)
+    slots = int(slots_lookup_table(strategy, height)[depth])
+    return ReplayedRound(gray_depth=depth, slots=slots)
+
+
+def verify_replay(record: RoundTraceRecord) -> bool:
+    """Replay ``record`` and check it reproduces depth and slots."""
+    return replay_round(record).matches(record)
+
+
+# -- trace persistence ----------------------------------------------------
+
+
+def write_trace(
+    destination: str | IO[str],
+    records: Iterable[RoundTraceRecord],
+) -> int:
+    """Write records as JSON lines; returns the number written."""
+    if isinstance(destination, str):
+        with open(destination, "w", encoding="utf-8") as sink:
+            return write_trace(sink, records)
+    written = 0
+    for record in records:
+        destination.write(json.dumps(record.to_dict()) + "\n")
+        written += 1
+    return written
+
+
+def read_trace(source: str | IO[str]) -> Iterator[RoundTraceRecord]:
+    """Read a JSONL trace back as :class:`RoundTraceRecord` rows."""
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as stream:
+            yield from read_trace(stream)
+        return
+    for line in source:
+        line = line.strip()
+        if line:
+            yield RoundTraceRecord.from_dict(json.loads(line))

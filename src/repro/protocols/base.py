@@ -117,6 +117,13 @@ class CardinalityEstimatorProtocol(abc.ABC):
     #: Display name, overridden by subclasses.
     name: str = "abstract"
 
+    #: What a ``per_round_statistics`` entry *is* — protocols whose
+    #: rounds observe PET gray depths declare ``"gray_depth"`` so an
+    #: attached :class:`~repro.obs.diag.EstimatorHealth` can fold them
+    #: into its streaming estimate; other statistics stay ``"generic"``
+    #: and feed only the drift detector (via the final estimate).
+    round_statistic_kind: str = "generic"
+
     @property
     def registry(self) -> MetricsRegistry:
         """The metrics registry results are recorded against."""
@@ -140,6 +147,11 @@ class CardinalityEstimatorProtocol(abc.ABC):
         if result.per_round_statistics is not None:
             registry.histogram(f"{prefix}.round_statistic").observe_many(
                 result.per_round_statistics
+            )
+        health = registry.health
+        if health is not None:
+            health.observe_protocol_result(
+                result, self.round_statistic_kind
             )
         return result
 

@@ -41,6 +41,7 @@ class PetProtocol(CardinalityEstimatorProtocol):
     """
 
     name = "PET"
+    round_statistic_kind = "gray_depth"
 
     def __init__(
         self,

@@ -172,6 +172,8 @@ class BatchedExperimentEngine:
         strategy = strategy_for(config.binary_search)
         slots_table = slots_lookup_table(strategy, height)
         registry = self.registry
+        recorder = registry.round_trace if registry else None
+        health = registry.health if registry else None
         if registry:
             busy_table, idle_table = slot_outcome_tables(
                 strategy, height
@@ -231,6 +233,26 @@ class BatchedExperimentEngine:
                     busy_slots += int(busy_table[depths].sum())
                     idle_slots += int(idle_table[depths].sum())
                     depth_histogram.observe_many(depths)
+                    if recorder is not None:
+                        recorder.record_population_run(
+                            tier="batched",
+                            run_index=index,
+                            depths=depths,
+                            path_bits=path_bits,
+                            round_seeds=(
+                                None if config.passive_tags else seeds
+                            ),
+                            population_size=spec.size,
+                            population_id_space=spec.id_space,
+                            population_seed=spec.seed + index,
+                            tree_height=height,
+                            binary_search=config.binary_search,
+                            slots_table=slots_table,
+                            busy_table=busy_table,
+                            idle_table=idle_table,
+                        )
+                    if health is not None:
+                        health.observe_depths(depths)
         seconds = time.perf_counter() - start
         repeated = RepeatedEstimate(
             true_n=spec.size,
@@ -253,6 +275,8 @@ class BatchedExperimentEngine:
                 registry.gauge("experiment.rounds_per_second").set(
                     rounds_done / seconds
                 )
+            if health is not None:
+                health.observe_estimates(estimates, rounds)
             registry.event(
                 "cell",
                 tier="batched",

@@ -102,6 +102,9 @@ class ExperimentRunner:
                 registry.gauge("experiment.rounds_per_second").set(
                     rounds_done / seconds
                 )
+        health = registry.health if registry else None
+        if health is not None:
+            health.observe_estimates(result.estimates, result.rounds)
         registry.event(
             "cell",
             tier=tier,

@@ -70,20 +70,48 @@ class SampledSimulator:
         self._strategy = strategy_for(self.config.binary_search)
         self._cdf = gray_depth_cdf(n, self.config.tree_height)
 
+    def _draw(self, count: int) -> tuple[np.ndarray, np.ndarray]:
+        """Inverse-CDF draw, returning ``(depths, uniforms)``.
+
+        The uniforms are the rounds' complete seed material on this
+        tier: re-applying ``searchsorted`` on the same CDF reproduces
+        the depths bit-for-bit, which is exactly what trace replay
+        (:func:`repro.obs.trace.replay_round`) does.
+        """
+        uniforms = self._rng.random(count)
+        depths = np.searchsorted(
+            self._cdf, uniforms, side="left"
+        ).astype(np.int64)
+        return depths, uniforms
+
     def sample_depths(self, count: int) -> np.ndarray:
         """Draw ``count`` i.i.d. gray depths by inverse CDF."""
-        uniforms = self._rng.random(count)
-        return np.searchsorted(self._cdf, uniforms, side="left").astype(
-            np.int64
-        )
+        return self._draw(count)[0]
 
     def run_round(
         self, path: EstimatingPath, round_index: int
     ) -> tuple[int, int]:
         """RoundDriver hook: sampled depth + cached slot count."""
-        depth = int(self.sample_depths(1)[0])
+        depths, uniforms = self._draw(1)
+        depth = int(depths[0])
         height = self.config.tree_height
         slots = int(slots_lookup_table(self._strategy, height)[depth])
+        recorder = self._registry.round_trace
+        if recorder is not None:
+            busy_table, idle_table = slot_outcome_tables(
+                self._strategy, height
+            )
+            recorder.record_sampled_round(
+                round_index=round_index,
+                depth=depth,
+                uniform=float(uniforms[0]),
+                true_n=self.n,
+                tree_height=height,
+                binary_search=self.config.binary_search,
+                slots=slots,
+                busy_slots=int(busy_table[depth]),
+                idle_slots=int(idle_table[depth]),
+            )
         return depth, slots
 
     def estimate(self, rounds: int | None = None) -> EstimateResult:
@@ -108,9 +136,9 @@ class SampledSimulator:
             raise ConfigurationError(
                 "rounds and repetitions must both be >= 1"
             )
-        depths = self.sample_depths(rounds * repetitions).reshape(
-            repetitions, rounds
-        )
+        depths, uniforms = self._draw(rounds * repetitions)
+        depths = depths.reshape(repetitions, rounds)
+        uniforms = uniforms.reshape(repetitions, rounds)
         if self._registry:
             # Exact whole-batch slot-outcome accounting: the depth
             # matrix is in hand, so outcomes are two table gathers.
@@ -134,4 +162,23 @@ class SampledSimulator:
             )
         from ..core.accuracy import PHI  # local import to avoid cycle
 
-        return 2.0 ** depths.mean(axis=1) / PHI
+        estimates = 2.0 ** depths.mean(axis=1) / PHI
+        if self._registry:
+            recorder = self._registry.round_trace
+            if recorder is not None:
+                for run_index in range(repetitions):
+                    recorder.record_sampled_run(
+                        run_index=run_index,
+                        depths=depths[run_index],
+                        uniforms=uniforms[run_index],
+                        true_n=self.n,
+                        tree_height=height,
+                        binary_search=self.config.binary_search,
+                        slots_table=slots_table,
+                        busy_table=busy_table,
+                        idle_table=idle_table,
+                    )
+            health = self._registry.health
+            if health is not None:
+                health.observe_depths(depths)
+        return estimates

@@ -1,0 +1,222 @@
+"""Tests for the online estimator-health monitor."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.mellin import gray_depth_cdf
+from repro.core.accuracy import (
+    PHI,
+    SIGMA_H,
+    confidence_scale,
+    rounds_required,
+)
+from repro.errors import ConfigurationError
+from repro.obs import EstimatorHealth, MetricsRegistry
+from repro.sim.sampled import SampledSimulator
+
+
+def _depths(n: int, count: int, seed: int = 0, height: int = 32):
+    rng = np.random.default_rng(seed)
+    return np.searchsorted(
+        gray_depth_cdf(n, height), rng.random(count), side="left"
+    ).astype(np.int64)
+
+
+class TestStreamingState:
+    def test_empty_monitor_is_nan_and_unconverged(self):
+        health = EstimatorHealth(registry=MetricsRegistry())
+        assert math.isnan(health.n_hat)
+        assert math.isnan(health.mean_depth)
+        assert health.ci_halfwidth == math.inf
+        assert not health.converged
+        assert health.rounds_remaining == rounds_required(0.05, 0.01)
+
+    def test_n_hat_matches_eq14_on_the_running_mean(self):
+        health = EstimatorHealth(registry=MetricsRegistry())
+        depths = _depths(1000, 500)
+        health.observe_depths(depths)
+        assert health.rounds_observed == 500
+        assert health.mean_depth == pytest.approx(depths.mean())
+        assert health.n_hat == pytest.approx(
+            2.0 ** depths.mean() / PHI
+        )
+
+    def test_streaming_equals_batch_ingestion(self):
+        batch = EstimatorHealth(registry=MetricsRegistry())
+        stream = EstimatorHealth(registry=MetricsRegistry())
+        depths = _depths(5000, 300, seed=2)
+        batch.observe_depths(depths)
+        for depth in depths:
+            stream.observe_round(int(depth))
+        assert stream.n_hat == pytest.approx(batch.n_hat)
+        assert stream.rounds_observed == batch.rounds_observed
+
+    def test_ci_halfwidth_matches_theory_formula(self):
+        health = EstimatorHealth(registry=MetricsRegistry())
+        health.observe_depths(_depths(1000, 400))
+        m = health.rounds_observed
+        expected = (
+            health.n_hat
+            * math.log(2.0)
+            * SIGMA_H
+            * confidence_scale(0.01)
+            / math.sqrt(m)
+        )
+        assert health.ci_halfwidth == pytest.approx(expected)
+
+    def test_ci_shrinks_with_rounds(self):
+        health = EstimatorHealth(registry=MetricsRegistry())
+        health.observe_depths(_depths(1000, 100))
+        wide = health.ci_halfwidth
+        health.observe_depths(_depths(1000, 4000, seed=9))
+        assert health.ci_halfwidth < wide
+
+    def test_countdown_reaches_convergence(self):
+        health = EstimatorHealth(registry=MetricsRegistry())
+        required = health.required_rounds
+        assert required == rounds_required(0.05, 0.01)
+        health.observe_depths(_depths(1000, required - 10))
+        assert health.rounds_remaining == 10
+        assert not health.converged
+        health.observe_depths(_depths(1000, 10, seed=5))
+        assert health.rounds_remaining == 0
+        assert health.converged
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            EstimatorHealth(tree_height=0)
+        with pytest.raises(ConfigurationError):
+            EstimatorHealth(epsilon=2.0)
+        with pytest.raises(ConfigurationError):
+            EstimatorHealth(warmup_rounds=0)
+
+
+class TestOutlierFlags:
+    def test_extreme_depths_flagged_after_warmup(self):
+        registry = MetricsRegistry()
+        health = EstimatorHealth(registry=registry)
+        health.observe_depths(_depths(1000, 100))
+        assert health.outlier_rounds == 0
+        health.observe_round(31)  # absurd depth for n=1000
+        assert health.outlier_rounds == 1
+        counters = registry.snapshot()["counters"]
+        assert counters["diag.outlier_rounds"] == 1
+        events = [
+            e for e in registry.events if e["name"] == "diag.outlier"
+        ]
+        assert len(events) == 1
+        assert events[0]["depth"] == 31
+        assert events[0]["tail_probability"] < 1e-3
+
+    def test_no_flags_during_warmup(self):
+        health = EstimatorHealth(
+            registry=MetricsRegistry(), warmup_rounds=50
+        )
+        health.observe_depths(
+            np.full(30, 31, dtype=np.int64)
+        )  # before warmup
+        assert health.outlier_rounds == 0
+
+    def test_gauges_track_state(self):
+        registry = MetricsRegistry()
+        health = EstimatorHealth(registry=registry)
+        health.observe_depths(_depths(1000, 200))
+        gauges = registry.snapshot()["gauges"]
+        assert gauges["diag.n_hat"] == pytest.approx(health.n_hat)
+        assert gauges["diag.rounds_remaining"] == pytest.approx(
+            health.rounds_remaining
+        )
+
+
+class TestDriftWiring:
+    def test_step_change_raises_drift_alert_and_event(self):
+        registry = MetricsRegistry()
+        health = EstimatorHealth(registry=registry)
+        for _ in range(8):
+            health.observe_estimate(1000.0, rounds=4697)
+        health.observe_estimate(5000.0, rounds=4697)
+        assert health.drift_alerts == 1
+        counters = registry.snapshot()["counters"]
+        assert counters["monitor.drift.alerts"] == 1
+        drift_events = [
+            e for e in registry.events if e["name"] == "monitor.drift"
+        ]
+        assert len(drift_events) == 1
+        assert drift_events[0]["estimate"] == 5000.0
+
+    def test_nonpositive_and_nonfinite_estimates_ignored(self):
+        health = EstimatorHealth(registry=MetricsRegistry())
+        health.observe_estimate(0.0, rounds=100)
+        health.observe_estimate(-5.0, rounds=100)
+        health.observe_estimate(math.nan, rounds=100)
+        health.observe_estimate(math.inf, rounds=100)
+        assert health.snapshot().epochs_observed == 0
+
+    def test_observe_estimates_batch(self):
+        health = EstimatorHealth(registry=MetricsRegistry())
+        health.observe_estimates(
+            np.full(5, 1000.0), rounds=4697
+        )
+        assert health.snapshot().epochs_observed == 5
+
+
+class TestProtocolResultIngestion:
+    def test_gray_depth_statistics_feed_the_stream(self):
+        from repro.protocols.base import ProtocolResult
+
+        health = EstimatorHealth(registry=MetricsRegistry())
+        depths = _depths(1000, 50)
+        result = ProtocolResult(
+            protocol="PET",
+            n_hat=1000.0,
+            rounds=50,
+            total_slots=300,
+            per_round_statistics=depths,
+        )
+        health.observe_protocol_result(result, "gray_depth")
+        assert health.rounds_observed == 50
+        assert health.snapshot().epochs_observed == 1
+
+    def test_generic_statistics_feed_only_the_drift_detector(self):
+        from repro.protocols.base import ProtocolResult
+
+        health = EstimatorHealth(registry=MetricsRegistry())
+        result = ProtocolResult(
+            protocol="UPE",
+            n_hat=900.0,
+            rounds=40,
+            total_slots=700,
+            per_round_statistics=np.arange(40),
+        )
+        health.observe_protocol_result(result, "generic")
+        assert health.rounds_observed == 0
+        assert health.snapshot().epochs_observed == 1
+
+
+class TestSnapshot:
+    def test_snapshot_round_trips_to_dict(self):
+        health = EstimatorHealth(registry=MetricsRegistry())
+        health.observe_depths(_depths(1000, 100))
+        snap = health.snapshot()
+        record = snap.to_dict()
+        assert record["rounds_observed"] == 100
+        assert record["n_hat"] == pytest.approx(health.n_hat)
+        assert record["ci_lower"] < record["n_hat"] < record["ci_upper"]
+
+
+class TestEndToEnd:
+    def test_sampled_batch_feeds_health_through_registry(self):
+        registry = MetricsRegistry()
+        health = EstimatorHealth(registry=registry)
+        registry.attach_diagnostics(health=health)
+        simulator = SampledSimulator(
+            1000, rng=np.random.default_rng(4), registry=registry
+        )
+        simulator.estimate_batch(rounds=100, repetitions=3)
+        assert health.rounds_observed == 300
+        # n_hat of 300 pooled rounds lands near the truth.
+        assert health.n_hat == pytest.approx(1000, rel=0.5)

@@ -11,6 +11,7 @@ from repro.obs import (
     InMemoryExporter,
     JsonLinesExporter,
     MetricsRegistry,
+    decode_value,
 )
 from repro.obs.export import iter_records
 
@@ -38,6 +39,12 @@ class TestIterRecords:
         kinds = [r["kind"] for r in iter_records(_populated_registry())]
         assert kinds == EXPECTED_KINDS
 
+    def test_schema_triplet_on_every_record(self):
+        for record in iter_records(_populated_registry()):
+            assert record["type"] == record["kind"]
+            assert "name" in record
+            assert isinstance(record["ts"], float)
+
 
 class TestInMemoryExporter:
     def test_collects_and_filters_by_kind(self):
@@ -46,7 +53,11 @@ class TestInMemoryExporter:
         assert len(exporter.records) == len(EXPECTED_KINDS)
         (counter,) = exporter.of_kind("counter")
         assert counter == {
-            "kind": "counter", "name": "sim.slots", "value": 100,
+            "kind": "counter",
+            "type": "counter",
+            "name": "sim.slots",
+            "ts": counter["ts"],
+            "value": 100,
         }
         (span,) = exporter.of_kind("span")
         assert span["path"] == "cell"
@@ -75,10 +86,10 @@ class TestJsonLinesExporter:
         lines = path.read_text().strip().split("\n")
         assert len(lines) == 2 * len(EXPECTED_KINDS)  # appended, not truncated
 
-    def test_non_finite_floats_become_null(self):
+    def test_non_finite_floats_round_trip_as_sentinels(self):
         registry = MetricsRegistry()
         registry.gauge("bad").set(math.nan)
-        registry.event("e", seconds=math.inf)
+        registry.event("e", seconds=math.inf, drop=-math.inf)
         sink = io.StringIO()
         JsonLinesExporter(sink).export(registry)
         records = [
@@ -86,8 +97,42 @@ class TestJsonLinesExporter:
             for line in sink.getvalue().strip().split("\n")
         ]
         by_kind = {r["kind"]: r for r in records}
-        assert by_kind["gauge"]["value"] is None
-        assert by_kind["event"]["seconds"] is None
+        assert by_kind["gauge"]["value"] == "NaN"
+        assert math.isnan(decode_value(by_kind["gauge"]["value"]))
+        assert decode_value(by_kind["event"]["seconds"]) == math.inf
+        assert decode_value(by_kind["event"]["drop"]) == -math.inf
+
+    def test_histogram_with_non_finite_stats_round_trips(self):
+        # An empty histogram's min/max are +/-inf and mean/std NaN;
+        # the JSONL encoding must survive a strict JSON parse and
+        # decode back to the same non-finite values.
+        registry = MetricsRegistry()
+        registry.histogram("empty")
+        sink = io.StringIO()
+        JsonLinesExporter(sink).export(registry)
+        (line,) = sink.getvalue().strip().split("\n")
+        record = json.loads(line)  # strict parse: no bare NaN/Infinity
+        assert record["kind"] == "histogram"
+        assert math.isnan(decode_value(record["mean"]))
+        assert decode_value(record["min"]) == math.inf
+        assert decode_value(record["max"]) == -math.inf
+
+    def test_context_manager_closes_file(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        with JsonLinesExporter(str(path)) as exporter:
+            exporter.export(_populated_registry())
+            handle = exporter._handle
+            assert handle is not None and not handle.closed
+        assert handle.closed
+        assert exporter._handle is None
+        lines = path.read_text().strip().split("\n")
+        assert len(lines) == len(EXPECTED_KINDS)
+
+    def test_close_leaves_caller_streams_open(self):
+        sink = io.StringIO()
+        with JsonLinesExporter(sink) as exporter:
+            exporter.export(_populated_registry())
+        assert not sink.closed  # caller owns the stream's lifecycle
 
 
 class TestConsoleSummaryExporter:

@@ -1,0 +1,134 @@
+"""Tests for the terminal and HTML diagnostics reports."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.mellin import gray_depth_cdf
+from repro.core.accuracy import rounds_required
+from repro.core.search import (
+    slot_outcome_tables,
+    slots_lookup_table,
+    strategy_for,
+)
+from repro.obs import (
+    EstimatorHealth,
+    MetricsRegistry,
+    RoundTraceRecorder,
+    render_html_report,
+    render_text_report,
+    write_html_report,
+)
+
+
+def _diagnosed_registry(
+    n: int = 1000, rounds: int = 500
+) -> MetricsRegistry:
+    registry = MetricsRegistry()
+    recorder = RoundTraceRecorder(registry=registry)
+    health = EstimatorHealth(registry=registry)
+    registry.attach_diagnostics(round_trace=recorder, health=health)
+    height = 32
+    rng = np.random.default_rng(13)
+    uniforms = rng.random(rounds)
+    depths = np.searchsorted(
+        gray_depth_cdf(n, height), uniforms, side="left"
+    ).astype(np.int64)
+    depths[-1] = 31  # plant one unmistakable outlier
+    strategy = strategy_for(True)
+    slots = slots_lookup_table(strategy, height)
+    busy, idle = slot_outcome_tables(strategy, height)
+    recorder.record_sampled_run(
+        0, depths, uniforms, n, height, True, slots, busy, idle
+    )
+    health.observe_depths(depths)
+    registry.histogram("pet.gray_depth").observe_many(depths)
+    for _ in range(8):
+        health.observe_estimate(float(n), rounds=4697)
+    health.observe_estimate(5.0 * n, rounds=4697)  # drift
+    return registry
+
+
+class TestTextReport:
+    def test_all_sections_present(self):
+        text = render_text_report(_diagnosed_registry())
+        for section in (
+            "Convergence",
+            "Outlier rounds",
+            "Drift alerts",
+            "Metrics",
+            "Round trace",
+        ):
+            assert section in text
+
+    def test_convergence_matches_accuracy_predictions(self):
+        text = render_text_report(_diagnosed_registry(rounds=500))
+        required = rounds_required(0.05, 0.01)
+        assert f"{required:,}" in text
+        assert f"{required - 500:,}" in text  # rounds remaining
+
+    def test_outlier_and_drift_rows_rendered(self):
+        text = render_text_report(_diagnosed_registry())
+        assert "none recorded" not in text
+        assert "tail prob" in text
+        assert "z score" in text
+
+    def test_empty_registry_renders_gracefully(self):
+        text = render_text_report(MetricsRegistry())
+        assert "no gray-depth observations recorded" in text
+        assert "not attached" in text
+
+
+class TestHtmlReport:
+    def test_self_contained_document(self):
+        html_text = render_html_report(_diagnosed_registry())
+        assert html_text.startswith("<!DOCTYPE html>")
+        assert "<style>" in html_text
+        assert "src=" not in html_text  # no external assets
+        assert "<script" not in html_text
+
+    def test_convergence_section_matches_accuracy_predictions(self):
+        html_text = render_html_report(_diagnosed_registry(rounds=500))
+        required = rounds_required(0.05, 0.01)
+        assert 'id="convergence"' in html_text
+        assert f"{required:,}" in html_text
+        assert f"{required - 500:,}" in html_text
+
+    def test_converged_badge_flips_with_round_count(self):
+        not_converged = render_html_report(
+            _diagnosed_registry(rounds=500)
+        )
+        assert "not converged" in not_converged
+        converged = render_html_report(
+            _diagnosed_registry(rounds=rounds_required(0.05, 0.01))
+        )
+        assert '<span class="ok">converged</span>' in converged
+
+    def test_fallback_convergence_from_histogram(self):
+        # No health monitor attached: the section is reconstructed
+        # from the pet.gray_depth histogram.
+        registry = MetricsRegistry()
+        registry.histogram("pet.gray_depth").observe_many(
+            np.full(100, 10)
+        )
+        html_text = render_html_report(registry)
+        assert "pet.gray_depth histogram" in html_text
+        assert f"{rounds_required(0.05, 0.01):,}" in html_text
+
+    def test_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.event(
+            "monitor.drift",
+            epoch=1,
+            estimate="<img src=x>",
+            smoothed=1.0,
+            z_score=9.0,
+        )
+        html_text = render_html_report(registry)
+        assert "<img" not in html_text
+        assert "&lt;img" in html_text
+
+    def test_write_html_report(self, tmp_path):
+        path = tmp_path / "report.html"
+        write_html_report(str(path), _diagnosed_registry())
+        assert path.read_text().startswith("<!DOCTYPE html>")

@@ -1,0 +1,176 @@
+"""Property tests: trace replay is deterministic and bit-exact.
+
+The contract under test (ISSUE: trace + deterministic replay): for any
+recorded round — any tier, any seed, any tree height, outlier or not —
+:func:`repro.obs.trace.replay_round` re-derives exactly the recorded
+gray depth and slot count from the record's seed material alone.
+
+Small tree heights are swept exhaustively (every height, every depth in
+the support reachable by inverse CDF); large heights and the
+population-backed tiers are driven by hypothesis-randomized seeds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.mellin import gray_depth_cdf
+from repro.config import PetConfig
+from repro.core.search import (
+    slot_outcome_tables,
+    slots_lookup_table,
+    strategy_for,
+)
+from repro.obs import (
+    MetricsRegistry,
+    RoundTraceRecord,
+    RoundTraceRecorder,
+    SamplingPolicy,
+    replay_round,
+    verify_replay,
+)
+from repro.sim.batched import BatchedExperimentEngine
+from repro.sim.workload import WorkloadSpec
+
+
+def _record_sampled(
+    n: int,
+    height: int,
+    uniforms: np.ndarray,
+    binary_search: bool = True,
+) -> list[RoundTraceRecord]:
+    recorder = RoundTraceRecorder(registry=MetricsRegistry())
+    depths = np.searchsorted(
+        gray_depth_cdf(n, height), uniforms, side="left"
+    ).astype(np.int64)
+    strategy = strategy_for(binary_search)
+    slots = slots_lookup_table(strategy, height)
+    busy, idle = slot_outcome_tables(strategy, height)
+    recorder.record_sampled_run(
+        run_index=0,
+        depths=depths,
+        uniforms=uniforms,
+        true_n=n,
+        tree_height=height,
+        binary_search=binary_search,
+        slots_table=slots,
+        busy_table=busy,
+        idle_table=idle,
+    )
+    return recorder.records
+
+
+class TestSampledTierExhaustiveSmallHeights:
+    @pytest.mark.parametrize("height", range(1, 9))
+    @pytest.mark.parametrize("n", [1, 3, 17, 200])
+    def test_every_reachable_depth_replays(self, height, n):
+        # Uniforms straddling every CDF step reach every depth in the
+        # support; each must replay bit-for-bit.
+        cdf = gray_depth_cdf(n, height)
+        probes = np.clip(
+            np.concatenate(
+                [cdf - 1e-12, cdf + 1e-12, [0.0, 0.5, 1.0 - 1e-12]]
+            ),
+            0.0,
+            1.0 - 1e-15,
+        )
+        for record in _record_sampled(n, height, probes):
+            assert verify_replay(record)
+
+
+class TestSampledTierRandomizedLargeHeights:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=2_000_000),
+        height=st.integers(min_value=9, max_value=64),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        binary_search=st.booleans(),
+    )
+    def test_random_records_replay(self, n, height, seed, binary_search):
+        uniforms = np.random.default_rng(seed).random(32)
+        for record in _record_sampled(
+            n, height, uniforms, binary_search
+        ):
+            assert verify_replay(record)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        n=st.integers(min_value=100, max_value=100_000),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_outlier_records_replay(self, n, seed):
+        # Push uniforms into both extreme tails so the recorded rounds
+        # are exactly the anomalies outliers_only mode would keep.
+        recorder = RoundTraceRecorder(
+            policy=SamplingPolicy(mode="outliers_only"),
+            registry=MetricsRegistry(),
+        )
+        rng = np.random.default_rng(seed)
+        height = 32
+        uniforms = np.concatenate(
+            [rng.random(64) * 1e-9, 1.0 - rng.random(64) * 1e-12]
+        )
+        depths = np.searchsorted(
+            gray_depth_cdf(n, height), uniforms, side="left"
+        ).astype(np.int64)
+        strategy = strategy_for(True)
+        slots = slots_lookup_table(strategy, height)
+        busy, idle = slot_outcome_tables(strategy, height)
+        recorder.record_sampled_run(
+            0, depths, uniforms, n, height, True, slots, busy, idle
+        )
+        assert recorder.records  # the tails really were kept
+        for record in recorder.records:
+            assert record.outlier
+            assert verify_replay(record)
+
+
+class TestPopulationTiersRandomized:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        size=st.integers(min_value=1, max_value=400),
+        base_seed=st.integers(min_value=0, max_value=2**31 - 1),
+        pop_seed=st.integers(min_value=0, max_value=2**31 - 1),
+        height=st.sampled_from([8, 16, 32, 62]),
+        passive=st.booleans(),
+        id_space=st.sampled_from(["random", "sequential"]),
+    )
+    def test_batched_records_replay(
+        self, size, base_seed, pop_seed, height, passive, id_space
+    ):
+        registry = MetricsRegistry()
+        recorder = RoundTraceRecorder(registry=registry)
+        registry.attach_diagnostics(round_trace=recorder)
+        engine = BatchedExperimentEngine(
+            base_seed=base_seed, repetitions=2, registry=registry
+        )
+        engine.run_cell(
+            WorkloadSpec(size=size, id_space=id_space, seed=pop_seed),
+            PetConfig(tree_height=height, passive_tags=passive),
+            rounds=8,
+        )
+        assert len(recorder) == 16
+        for record in recorder.records:
+            replayed = replay_round(record)
+            assert replayed.gray_depth == record.gray_depth
+            assert replayed.slots == record.slots
+
+
+class TestRecordSerializationRoundTrip:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=10_000),
+        height=st.integers(min_value=4, max_value=64),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_dict_round_trip_preserves_replayability(
+        self, n, height, seed
+    ):
+        uniforms = np.random.default_rng(seed).random(4)
+        for record in _record_sampled(n, height, uniforms):
+            clone = RoundTraceRecord.from_dict(record.to_dict())
+            assert clone == record
+            assert verify_replay(clone)

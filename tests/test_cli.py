@@ -97,3 +97,78 @@ class TestCliMetrics:
     def test_no_flag_keeps_null_registry(self, capsys):
         assert main(["fig3"]) == 0
         assert "metrics summary" not in capsys.readouterr().out
+
+    def test_metrics_out_schema(self, tmp_path):
+        # Contract for downstream log pipelines: every JSONL record
+        # carries the routing triplet type / name / ts.
+        path = tmp_path / "metrics.jsonl"
+        assert main(
+            ["fig3", "--metrics-out", str(path)]
+        ) == 0
+        lines = path.read_text().strip().split("\n")
+        assert lines
+        for line in lines:
+            record = json.loads(line)
+            assert record["type"] in {
+                "counter", "gauge", "histogram", "span", "event",
+            }
+            assert record["type"] == record["kind"]
+            assert isinstance(record["name"], str) and record["name"]
+            assert isinstance(record["ts"], float)
+
+
+class TestCliDiagnostics:
+    def test_diagnose_prom_trace_end_to_end(self, tmp_path, capsys):
+        from repro.core.accuracy import rounds_required
+        from repro.obs import parse_openmetrics, read_trace, verify_replay
+
+        html_path = tmp_path / "diag.html"
+        prom_path = tmp_path / "metrics.prom"
+        trace_path = tmp_path / "trace.jsonl"
+        assert main(
+            [
+                "fig4",
+                "--runs", "3",
+                "--diagnose", str(html_path),
+                "--prom-out", str(prom_path),
+                "--trace-out", str(trace_path),
+                "--trace-sample", "every_k:997",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Convergence" in out  # terminal report printed
+
+        # The OpenMetrics file is valid and carries the health gauges.
+        samples, types = parse_openmetrics(prom_path.read_text())
+        assert types["repro_diag_n_hat"] == "gauge"
+        assert samples["repro_sim_rounds_total"] > 0
+        assert samples["repro_diag_rounds_total"] > 0
+
+        # Every written trace record replays bit-for-bit.
+        records = list(read_trace(str(trace_path)))
+        assert records
+        for record in records[:200]:
+            assert verify_replay(record)
+
+        # The HTML convergence section quotes the Eq. 20 round budget
+        # from core/accuracy.
+        html_text = html_path.read_text()
+        assert 'id="convergence"' in html_text
+        assert f"{rounds_required(0.05, 0.01):,}" in html_text
+
+    def test_diagnose_defaults_to_outliers_only(self, tmp_path, capsys):
+        import os
+
+        html_default = tmp_path / "diagnostics.html"
+        cwd = os.getcwd()
+        os.chdir(tmp_path)
+        try:
+            assert main(["fig3", "--diagnose"]) == 0
+        finally:
+            os.chdir(cwd)
+        assert html_default.exists()
+        assert "<!DOCTYPE html>" in html_default.read_text()
+
+    def test_registry_restored_after_diagnosed_run(self, tmp_path):
+        main(["fig3", "--diagnose", str(tmp_path / "d.html")])
+        assert get_registry() is NULL_REGISTRY

@@ -98,3 +98,61 @@ class TestHelpers:
         flagged = [r.epoch for r in reports if r.changed]
         assert any(12 <= e <= 13 for e in flagged)
         assert not any(5 <= e < 12 for e in flagged)
+
+
+class TestObsIntegration:
+    """Satellite: the monitor is part of the obs surface now."""
+
+    def test_shim_and_obs_expose_the_same_class(self):
+        import repro.monitor as shim
+        import repro.obs as obs
+        import repro.obs.monitor as home
+
+        assert shim.CardinalityMonitor is home.CardinalityMonitor
+        assert obs.CardinalityMonitor is home.CardinalityMonitor
+        assert shim.EpochReport is home.EpochReport
+
+    def test_drift_emits_event_and_counter(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        monitor = CardinalityMonitor(
+            rounds_per_epoch=256, registry=registry
+        )
+        for _ in range(6):
+            monitor.observe(100.0)
+        monitor.observe(500.0)
+        counters = registry.snapshot()["counters"]
+        assert counters["monitor.drift.alerts"] == 1
+        (event,) = [
+            e for e in registry.events if e["name"] == "monitor.drift"
+        ]
+        assert event["estimate"] == 500.0
+        assert abs(event["z_score"]) > 0
+
+    def test_steady_stream_emits_nothing(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        monitor = CardinalityMonitor(
+            rounds_per_epoch=256, registry=registry
+        )
+        for _ in range(10):
+            monitor.observe(100.0)
+        assert not registry.events
+        assert "monitor.drift.alerts" not in (
+            registry.snapshot()["counters"]
+        )
+
+    def test_active_registry_is_default(self):
+        from repro.obs import MetricsRegistry, use_registry
+
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            monitor = CardinalityMonitor(rounds_per_epoch=256)
+        for _ in range(6):
+            monitor.observe(100.0)
+        monitor.observe(500.0)
+        assert any(
+            e["name"] == "monitor.drift" for e in registry.events
+        )
