@@ -33,11 +33,30 @@ committed ``BENCH_obs_diag.json``); ``--metrics-out`` dumps the
 diagnosed run's metric stream as JSON lines (uploaded as a CI
 artifact).
 
+With ``--protocols`` the guard instead checks the cross-protocol
+batched comparison engine against ``BENCH_protocol_batched.json``:
+every cell of :mod:`bench_protocol_batched` is re-measured on this
+machine and the guard fails when
+
+* any batched protocol cell stops being bit-identical to its scalar
+  reference loop (or the sampled fig6 batch to its per-run loops),
+* any cell's registry slot accounting disagrees with
+  ``slots_per_run * repetitions``,
+* a cell's machine-relative speedup regresses more than the threshold
+  (default 30 % in this mode — cross-protocol cells are smaller and
+  noisier than the fig-4 cell) below its committed figure, or
+* the committed record itself no longer claims >= 10x on the
+  ``fig6_fneb``, ``fig6_lof`` and ``table3_sweep`` cells (the PR's
+  stated floor).
+
+``--json-out`` in this mode writes the fresh measurements (same shape
+as the committed record) for upload as a CI artifact.
+
 Run with::
 
     PYTHONPATH=src python benchmarks/bench_guard.py [--loop-reps K]
         [--threshold F] [--diagnostics] [--diag-threshold F]
-        [--json-out PATH] [--metrics-out PATH]
+        [--protocols] [--json-out PATH] [--metrics-out PATH]
 """
 
 from __future__ import annotations
@@ -67,10 +86,89 @@ BASELINE = (
     Path(__file__).resolve().parent.parent / "BENCH_batched_engine.json"
 )
 
+PROTOCOL_BASELINE = (
+    Path(__file__).resolve().parent.parent
+    / "BENCH_protocol_batched.json"
+)
+
+#: Cells whose *committed* speedup must stay at or above 10x (the
+#: cross-protocol engine's stated performance floor).
+PROTOCOL_TENX_CELLS = ("fig6_fneb", "fig6_lof", "table3_sweep")
+
 #: Outlier records replay-verified per guard run (each replay rebuilds
 #: its repetition's population, so the full set would dominate the
 #: guard's runtime without adding coverage).
 MAX_REPLAYS = 200
+
+
+def run_protocol_guard(args: argparse.Namespace) -> int:
+    """``--protocols`` mode: guard the cross-protocol batched engine."""
+    import bench_protocol_batched as bench
+
+    threshold = (
+        args.threshold if args.threshold is not None else 0.30
+    )
+    baseline = json.loads(PROTOCOL_BASELINE.read_text())
+    recorded_cells = baseline["cells"]
+    failures: list[str] = []
+
+    for name in PROTOCOL_TENX_CELLS:
+        recorded = float(recorded_cells[name]["speedup"])
+        if recorded < 10.0:
+            failures.append(
+                f"committed record claims only {recorded:.1f}x on "
+                f"{name}; the engine's floor is 10x"
+            )
+
+    fresh = bench.measure_all(loop_reps=args.loop_reps)
+    for name, cell in fresh["cells"].items():
+        recorded_cell = recorded_cells.get(name)
+        if recorded_cell is None:
+            failures.append(
+                f"cell {name} is measured but missing from the "
+                f"committed record (re-run bench_protocol_batched)"
+            )
+            continue
+        if cell.get("bit_identical") is False:
+            failures.append(
+                f"{name}: batched path is no longer bit-identical to "
+                f"the scalar reference"
+            )
+        if cell.get("slots_exact") is False:
+            failures.append(
+                f"{name}: registry slot accounting disagrees with "
+                f"slots_per_run * repetitions"
+            )
+        recorded = float(recorded_cell["speedup"])
+        floor = recorded * (1.0 - threshold)
+        if cell["speedup"] < floor:
+            failures.append(
+                f"{name}: speedup regressed to {cell['speedup']:.1f}x "
+                f"vs {recorded:.1f}x recorded "
+                f"(floor {floor:.1f}x at {threshold:.0%} tolerance)"
+            )
+        checks = "".join(
+            f"  {key}={cell[key]}"
+            for key in ("bit_identical", "slots_exact")
+            if key in cell
+        )
+        print(
+            f"{name:14s} {cell['speedup']:6.1f}x on this machine "
+            f"(recorded {recorded:.1f}x, floor {floor:.1f}x){checks}"
+        )
+
+    if args.json_out is not None:
+        Path(args.json_out).write_text(
+            json.dumps(fresh, indent=2) + "\n"
+        )
+        print(f"fresh measurements written to {args.json_out}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("protocol bench guard passed")
+    return 0
 
 
 def main() -> int:
@@ -84,8 +182,20 @@ def main() -> int:
     parser.add_argument(
         "--threshold",
         type=float,
-        default=0.15,
-        help="allowed relative speedup regression (default 0.15)",
+        default=None,
+        help=(
+            "allowed relative speedup regression (default 0.15; "
+            "0.30 in --protocols mode)"
+        ),
+    )
+    parser.add_argument(
+        "--protocols",
+        action="store_true",
+        help=(
+            "guard the cross-protocol batched comparison engine "
+            "against BENCH_protocol_batched.json instead of the PET "
+            "fig-4 cell"
+        ),
     )
     parser.add_argument(
         "--diagnostics",
@@ -120,6 +230,10 @@ def main() -> int:
         ),
     )
     args = parser.parse_args()
+
+    if args.protocols:
+        return run_protocol_guard(args)
+    threshold = args.threshold if args.threshold is not None else 0.15
 
     baseline = json.loads(BASELINE.read_text())
     cell = baseline["cell"]
@@ -175,12 +289,12 @@ def main() -> int:
         )
 
     speedup = loop_seconds / batched_seconds
-    floor = recorded_speedup * (1.0 - args.threshold)
+    floor = recorded_speedup * (1.0 - threshold)
     if speedup < floor:
         failures.append(
             f"speedup regressed: {speedup:.1f}x on this machine vs "
             f"{recorded_speedup:.1f}x recorded "
-            f"(floor {floor:.1f}x at {args.threshold:.0%} tolerance)"
+            f"(floor {floor:.1f}x at {threshold:.0%} tolerance)"
         )
 
     print(
@@ -188,6 +302,14 @@ def main() -> int:
         f"loop (scaled from {loop_reps} reps): {loop_seconds:.3f}s  "
         f"speedup: {speedup:.1f}x (recorded {recorded_speedup:.1f}x, "
         f"floor {floor:.1f}x)"
+    )
+    # The canonical speedup figure is machine-relative: this machine's
+    # loop over this machine's batched engine.  The committed number in
+    # BENCH_batched_engine.json (17.1x) is the same ratio on the
+    # machine that recorded it, not a portable constant.
+    print(
+        f"canonical batched-engine speedup (machine-relative): "
+        f"{speedup:.1f}x here; committed record {recorded_speedup:.1f}x"
     )
     print(
         f"slots recorded: {recorded_slots:,}  "

@@ -1,0 +1,395 @@
+#!/usr/bin/env python
+"""Measure the batched comparison engines against the scalar loops.
+
+Produces ``BENCH_protocol_batched.json``: the committed speedup record
+``bench_guard --protocols`` enforces.  Three kinds of cells:
+
+* one population-tier cell per protocol with a batched engine (the fig6
+  equal-budget round counts for FNEB/LoF, representative counts for the
+  zero-frame family and ALOHA) — scalar ``estimate`` loop vs
+  :func:`repro.sim.protocol_batched.run_protocol_cell`;
+* ``table3_sweep`` — the whole baseline comparison grid (the
+  ``repro.figures.table3`` protocol-sweep shape at the bench
+  population, with the cells' load-matched frame configs) as one
+  aggregate measurement;
+* ``fig6_driver`` — the sampled-tier fig6 panels at the paper's real
+  size (n = 50 000, 1 000 runs): historical per-run sampler loops
+  (multinomial LoF) vs the batched samplers (inverse-CDF LoF).
+
+The population-tier cells use a small population (``BENCH_N = 128``) on
+purpose: at fig6/table3 round counts the scalar paths are dominated by
+per-round Python dispatch, which is exactly the overhead the batched
+engines delete; the guard's bit-identity checks make sure the speed
+comes with unchanged numbers.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_protocol_batched.py
+        [--loop-reps K] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.config import PAPER_RUNS_PER_POINT, AccuracyRequirement
+from repro.obs import MetricsRegistry
+from repro.protocols.fneb import FnebProtocol
+from repro.protocols.lof import LofProtocol
+from repro.protocols.pet import PetProtocol
+from repro.sim.experiment import ExperimentRunner
+from repro.sim.protocol_batched import (
+    ProtocolCellSpec,
+    run_protocol_cell,
+    sweep_protocol_cells,
+)
+
+DEFAULT_OUT = (
+    Path(__file__).resolve().parent.parent
+    / "BENCH_protocol_batched.json"
+)
+
+#: Bench population size: small enough that the scalar paths' per-round
+#: Python overhead dominates (the fig6/table3 regime the engines target).
+BENCH_N = 128
+
+#: Seed of the bench population (ProtocolCellSpec default).
+POPULATION_SEED = 7
+
+BASE_SEED = 2011
+
+#: Runs of the sampled-tier fig6 driver cell.
+DRIVER_N = 50_000
+DRIVER_RUNS = 1_000
+
+
+def fig6_equal_budget_rounds() -> tuple[int, int]:
+    """FNEB and LoF round counts under fig6's equal-slot budget."""
+    requirement = AccuracyRequirement(0.05, 0.01)
+    pet = PetProtocol()
+    budget = pet.plan_rounds(requirement) * pet.slots_per_round()
+    fneb = max(1, budget // FnebProtocol().slots_per_round())
+    lof = max(1, budget // LofProtocol().slots_per_round())
+    return fneb, lof
+
+
+def protocol_cells() -> dict[str, ProtocolCellSpec]:
+    """The per-protocol bench cells, keyed by bench-cell name."""
+    fneb_rounds, lof_rounds = fig6_equal_budget_rounds()
+    return {
+        "fig6_fneb": ProtocolCellSpec("fneb", BENCH_N, fneb_rounds),
+        "fig6_lof": ProtocolCellSpec("lof", BENCH_N, lof_rounds),
+        # The framed estimators run load-matched frames (f = n), their
+        # design point; a frame much wider than the population would
+        # just measure how fast numpy zeroes empty bincount columns.
+        "use": ProtocolCellSpec(
+            "use", BENCH_N, 256, config={"frame_size": BENCH_N}
+        ),
+        # frame_size < prior_n exercises the persistence-masking branch.
+        "upe": ProtocolCellSpec(
+            "upe", BENCH_N, 256,
+            config={"frame_size": 64, "prior_n": 256},
+        ),
+        "ezb": ProtocolCellSpec(
+            "ezb", BENCH_N, 64, config={"frame_size": BENCH_N}
+        ),
+        "aloha": ProtocolCellSpec(
+            "aloha", BENCH_N, 256, config={"frame_size": BENCH_N}
+        ),
+    }
+
+
+def sweep_specs() -> list[ProtocolCellSpec]:
+    """The table3 comparison grid shape at the bench population.
+
+    Same 6-protocol x 3-round-count grid as
+    :func:`repro.figures.table3.protocol_sweep_specs`, but carrying the
+    bench cells' load-matched frame configs.
+    """
+    from repro.figures.table3 import SWEEP_ROUNDS
+
+    return [
+        ProtocolCellSpec(
+            cell.protocol, BENCH_N, rounds, config=dict(cell.config)
+        )
+        for cell in protocol_cells().values()
+        for rounds in SWEEP_ROUNDS
+    ]
+
+
+#: Timing repeats per measurement; the minimum is kept.  Scalar-loop
+#: wall times vary by up to ~2x run to run (frequency scaling, cache
+#: state), and the guard's floors are relative to the committed number,
+#: so a single-shot timing would be too fragile to enforce.
+TIMING_REPEATS = 3
+
+
+def _scalar_loop_seconds(
+    spec: ProtocolCellSpec,
+    repetitions: int,
+    loop_reps: int,
+    base_seed: int,
+    repeats: int = TIMING_REPEATS,
+) -> tuple[float, np.ndarray]:
+    """Best-of-``repeats`` time of ``loop_reps`` scalar runs, scaled."""
+    protocol, population = spec.build()
+    best = float("inf")
+    reference = None
+    for _ in range(repeats):
+        runner = ExperimentRunner(
+            base_seed=base_seed, repetitions=loop_reps
+        )
+        start = time.perf_counter()
+        result = runner.run_custom(
+            spec.n,
+            spec.rounds,
+            lambda rng: protocol.estimate(
+                population, spec.rounds, rng
+            ).n_hat,
+        )
+        best = min(best, time.perf_counter() - start)
+        reference = result.estimates
+    return best * repetitions / loop_reps, reference
+
+
+def measure_protocol_cell(
+    name: str,
+    spec: ProtocolCellSpec,
+    repetitions: int = PAPER_RUNS_PER_POINT,
+    loop_reps: int = 20,
+    base_seed: int = BASE_SEED,
+) -> dict:
+    """One population-tier cell: loop vs engine, with exactness checks."""
+    loop_reps = min(loop_reps, repetitions)
+    protocol, population = spec.build()
+    registry = MetricsRegistry()
+    batched_seconds = float("inf")
+    cell = None
+    for repeat in range(TIMING_REPEATS):
+        # A fresh registry per repeat keeps the slot counters exact.
+        repeat_registry = MetricsRegistry() if repeat else registry
+        start = time.perf_counter()
+        result = run_protocol_cell(
+            protocol,
+            population,
+            rounds=spec.rounds,
+            repetitions=repetitions,
+            base_seed=base_seed,
+            registry=repeat_registry,
+        )
+        batched_seconds = min(
+            batched_seconds, time.perf_counter() - start
+        )
+        cell = result
+    loop_seconds, reference = _scalar_loop_seconds(
+        spec, repetitions, loop_reps, base_seed
+    )
+    counters = registry.snapshot()["counters"]
+    expected_slots = cell.slots_per_run * repetitions
+    recorded_slots = counters.get(
+        f"protocol.{cell.protocol}.slots", 0
+    )
+    return {
+        "name": name,
+        "protocol": cell.protocol,
+        "n": spec.n,
+        "rounds": spec.rounds,
+        "config": dict(spec.config),
+        "repetitions": repetitions,
+        "timed_loop_repetitions": loop_reps,
+        "before_seconds": round(loop_seconds, 3),
+        "after_seconds": round(batched_seconds, 3),
+        "speedup": round(loop_seconds / batched_seconds, 1),
+        "bit_identical": (
+            cell.estimates[:loop_reps].tolist() == reference.tolist()
+        ),
+        "slots_exact": recorded_slots == expected_slots,
+    }
+
+
+def measure_table3_sweep(
+    repetitions: int = PAPER_RUNS_PER_POINT,
+    loop_reps: int = 20,
+    base_seed: int = BASE_SEED,
+) -> dict:
+    """The whole comparison grid as one aggregate measurement."""
+    loop_reps = min(loop_reps, repetitions)
+    specs = sweep_specs()
+    batched_seconds = float("inf")
+    for _ in range(TIMING_REPEATS):
+        start = time.perf_counter()
+        sweep_protocol_cells(
+            specs, repetitions=repetitions, base_seed=base_seed
+        )
+        batched_seconds = min(
+            batched_seconds, time.perf_counter() - start
+        )
+    loop_seconds = 0.0
+    for spec in specs:
+        seconds, _ = _scalar_loop_seconds(
+            spec, repetitions, loop_reps, base_seed
+        )
+        loop_seconds += seconds
+    return {
+        "name": "table3_sweep",
+        "n": BENCH_N,
+        "cells": len(specs),
+        "repetitions": repetitions,
+        "timed_loop_repetitions": loop_reps,
+        "before_seconds": round(loop_seconds, 3),
+        "after_seconds": round(batched_seconds, 3),
+        "speedup": round(loop_seconds / batched_seconds, 1),
+    }
+
+
+def measure_fig6_driver(
+    n: int = DRIVER_N,
+    runs: int = DRIVER_RUNS,
+    loop_runs: int = 100,
+    base_seed: int = 6,
+) -> dict:
+    """The sampled-tier fig6 panels: historical loops vs batched.
+
+    ``before`` replays the historical driver (per-run
+    ``estimate_sampled`` loop for FNEB, per-run multinomial sampler for
+    LoF) on ``loop_runs`` runs scaled up; ``after`` is the batched
+    samplers at full size.  Also asserts the batched samplers are
+    bit-identical to per-run loops of the *current* scalar laws.
+    """
+    loop_runs = min(loop_runs, runs)
+    fneb, lof = FnebProtocol(), LofProtocol()
+    fneb_rounds, lof_rounds = fig6_equal_budget_rounds()
+
+    before_seconds = float("inf")
+    for _ in range(TIMING_REPEATS):
+        rng = np.random.default_rng((base_seed, n))
+        start = time.perf_counter()
+        for _ in range(loop_runs):
+            fneb.estimate_sampled(n, fneb_rounds, rng)
+        for _ in range(loop_runs):
+            lof.estimate_sampled_multinomial(n, lof_rounds, rng)
+        before_seconds = min(
+            before_seconds,
+            (time.perf_counter() - start) * runs / loop_runs,
+        )
+
+    after_seconds = float("inf")
+    for _ in range(TIMING_REPEATS):
+        rng = np.random.default_rng((base_seed, n))
+        start = time.perf_counter()
+        fneb_batch = fneb.estimate_sampled_batch(
+            n, fneb_rounds, runs, rng
+        )
+        lof_batch = lof.estimate_sampled_batch(n, lof_rounds, runs, rng)
+        after_seconds = min(
+            after_seconds, time.perf_counter() - start
+        )
+
+    # Bit-identity check on independent per-protocol seed streams (the
+    # timed paths above share one rng across protocols, so their word
+    # positions cannot line up with short per-protocol loops).
+    fneb_check = fneb.estimate_sampled_batch(
+        n, fneb_rounds, loop_runs,
+        np.random.default_rng((base_seed, n, 1)),
+    )
+    check_rng = np.random.default_rng((base_seed, n, 1))
+    fneb_loop = [
+        fneb.estimate_sampled(n, fneb_rounds, check_rng).n_hat
+        for _ in range(loop_runs)
+    ]
+    lof_check = lof.estimate_sampled_batch(
+        n, lof_rounds, loop_runs,
+        np.random.default_rng((base_seed, n, 2)),
+    )
+    check_rng = np.random.default_rng((base_seed, n, 2))
+    lof_loop = []
+    for _ in range(loop_runs):
+        try:
+            lof_loop.append(
+                lof.estimate_sampled(n, lof_rounds, check_rng).n_hat
+            )
+        except Exception:
+            lof_loop.append(float("nan"))
+    bit_identical = (
+        fneb_check.estimates.tolist() == fneb_loop
+        and lof_check.estimates.tolist() == lof_loop
+    )
+    return {
+        "name": "fig6_driver",
+        "n": n,
+        "runs": runs,
+        "fneb_rounds": fneb_rounds,
+        "lof_rounds": lof_rounds,
+        "timed_loop_runs": loop_runs,
+        "before": "per-run estimate_sampled loops (multinomial LoF)",
+        "after": "estimate_sampled_batch (inverse-CDF LoF)",
+        "before_seconds": round(before_seconds, 3),
+        "after_seconds": round(after_seconds, 3),
+        "speedup": round(before_seconds / after_seconds, 1),
+        "bit_identical": bit_identical,
+        "saturated_runs": (
+            fneb_batch.saturated_runs + lof_batch.saturated_runs
+        ),
+    }
+
+
+def measure_all(loop_reps: int = 20) -> dict:
+    """Every bench cell, in the committed-JSON shape."""
+    cells: dict[str, dict] = {}
+    for name, spec in protocol_cells().items():
+        cells[name] = measure_protocol_cell(
+            name, spec, loop_reps=loop_reps
+        )
+    cells["table3_sweep"] = measure_table3_sweep(loop_reps=loop_reps)
+    cells["fig6_driver"] = measure_fig6_driver()
+    return {
+        "bench_n": BENCH_N,
+        "repetitions": PAPER_RUNS_PER_POINT,
+        "base_seed": BASE_SEED,
+        "cells": cells,
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--loop-reps",
+        type=int,
+        default=20,
+        help="repetitions to time the scalar loops on (scaled up)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        default=str(DEFAULT_OUT),
+        help="where to write the measurements JSON",
+    )
+    args = parser.parse_args()
+    record = measure_all(loop_reps=args.loop_reps)
+    for name, cell in record["cells"].items():
+        extra = ""
+        if "bit_identical" in cell:
+            extra = f"  bit_identical={cell['bit_identical']}"
+        print(
+            f"{name:14s} before={cell['before_seconds']:8.3f}s  "
+            f"after={cell['after_seconds']:7.3f}s  "
+            f"speedup={cell['speedup']:6.1f}x{extra}"
+        )
+    Path(args.out).write_text(json.dumps(record, indent=2) + "\n")
+    print(f"measurements written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

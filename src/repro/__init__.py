@@ -70,7 +70,7 @@ from .protocols import (
     make_protocol,
     protocol_names,
 )
-from .monitor import CardinalityMonitor, EpochReport
+from .obs.monitor import CardinalityMonitor, EpochReport
 from .radio import SlottedChannel
 from .reader import PetReader, ReaderController
 from .sim import (

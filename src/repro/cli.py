@@ -7,7 +7,8 @@ Usage::
 
 where ``<experiment>`` is one of ``fig3``, ``fig4``, ``table3``,
 ``table4``, ``table5``, ``fig5a``, ``fig5b``, ``fig6``, ``fig7``,
-``ablations``, or ``all``.
+``ablations``, ``extensions``, ``protocols`` (the batched baseline
+comparison sweep), or ``all``.
 
 With ``--metrics-out PATH`` the run is instrumented: every simulator
 and protocol records into a :class:`~repro.obs.MetricsRegistry`, the
@@ -111,6 +112,9 @@ def _experiments(
         "fig7": fig7.main,
         "ablations": ablations.main,
         "extensions": extensions.main,
+        "protocols": lambda: table3.protocol_main(
+            runs=runs, workers=workers
+        ),
     }
 
 

@@ -46,9 +46,14 @@ class DistributionPanel:
     slots:
         Total slots actually consumed.
     estimates:
-        One estimate per simulated run.
+        One estimate per simulated run; saturated runs (the estimator's
+        inversion undefined, e.g. LoF's mean-zero case) are flagged
+        ``NaN`` rather than aborting the figure.
     within_fraction:
-        Fraction inside the requirement's confidence interval.
+        Fraction inside the requirement's confidence interval
+        (``NaN`` estimates count as outside).
+    saturated:
+        Number of ``NaN``-flagged runs.
     """
 
     protocol: str
@@ -56,6 +61,7 @@ class DistributionPanel:
     slots: int
     estimates: np.ndarray
     within_fraction: float
+    saturated: int = 0
 
 
 @dataclass(frozen=True)
@@ -99,17 +105,14 @@ def run(
     pet_sim = SampledSimulator(n, config=PetConfig(), rng=rng)
     pet_estimates = pet_sim.estimate_batch(pet_rounds, runs)
 
-    fneb_estimates = np.array(
-        [
-            fneb_protocol.estimate_sampled(n, fneb_rounds, rng).n_hat
-            for _ in range(runs)
-        ]
+    # Batched samplers: bit-identical to the historical per-run loops
+    # (same word stream from the shared rng), with saturated runs
+    # flagged NaN instead of aborting the figure.
+    fneb_batch = fneb_protocol.estimate_sampled_batch(
+        n, fneb_rounds, runs, rng
     )
-    lof_estimates = np.array(
-        [
-            lof_protocol.estimate_sampled(n, lof_rounds, rng).n_hat
-            for _ in range(runs)
-        ]
+    lof_batch = lof_protocol.estimate_sampled_batch(
+        n, lof_rounds, runs, rng
     )
 
     height = PetConfig().tree_height
@@ -129,15 +132,19 @@ def run(
             protocol="FNEB",
             rounds=fneb_rounds,
             slots=fneb_rounds * fneb_protocol.slots_per_round(),
-            estimates=fneb_estimates,
-            within_fraction=_within(fneb_estimates, requirement, n),
+            estimates=fneb_batch.estimates,
+            within_fraction=_within(
+                fneb_batch.estimates, requirement, n
+            ),
+            saturated=fneb_batch.saturated_runs,
         ),
         lof=DistributionPanel(
             protocol="LoF",
             rounds=lof_rounds,
             slots=lof_rounds * lof_protocol.slots_per_round(),
-            estimates=lof_estimates,
-            within_fraction=_within(lof_estimates, requirement, n),
+            estimates=lof_batch.estimates,
+            within_fraction=_within(lof_batch.estimates, requirement, n),
+            saturated=lof_batch.saturated_runs,
         ),
         theory_grid=grid,
         theory_pdf=pdf,
@@ -160,6 +167,7 @@ def summary_table(result: Fig6Result) -> Table:
             "mean estimate",
             "std",
             "within-CI",
+            "saturated",
         ],
     )
     for panel in (result.pet, result.fneb, result.lof):
@@ -167,9 +175,10 @@ def summary_table(result: Fig6Result) -> Table:
             panel.protocol,
             panel.rounds,
             panel.slots,
-            float(panel.estimates.mean()),
-            float(panel.estimates.std()),
+            float(np.nanmean(panel.estimates)),
+            float(np.nanstd(panel.estimates)),
             panel.within_fraction,
+            panel.saturated,
         )
     return out
 
@@ -185,11 +194,17 @@ def main(runs: int = DEFAULT_RUNS) -> None:
     )
     lo, hi = 0.85 * result.n, 1.15 * result.n
     for panel in (result.pet, result.fneb, result.lof):
+        saturation = (
+            f", {panel.saturated} saturated run(s) flagged NaN"
+            if panel.saturated
+            else ""
+        )
         print(
             f"({panel.protocol}) histogram of {panel.estimates.size} "
-            f"estimates, CI = [{low:,.0f}, {high:,.0f}]"
+            f"estimates, CI = [{low:,.0f}, {high:,.0f}]{saturation}"
         )
-        print(ascii_histogram(panel.estimates, lo=lo, hi=hi))
+        finite = panel.estimates[np.isfinite(panel.estimates)]
+        print(ascii_histogram(finite, lo=lo, hi=hi))
         print()
 
 

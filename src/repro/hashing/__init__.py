@@ -21,9 +21,20 @@ from .family import (
     SplitMix64Family,
     default_family,
 )
-from .geometric import geometric_bucket, geometric_buckets
+from .geometric import (
+    geometric_bucket,
+    geometric_bucket_matrix,
+    geometric_buckets,
+)
 from .quality import summarize_family
-from .uniform import uniform_code, uniform_codes, uniform_slot, uniform_slots
+from .uniform import (
+    uniform_code,
+    uniform_codes,
+    uniform_min_slots,
+    uniform_slot,
+    uniform_slot_matrix,
+    uniform_slots,
+)
 
 __all__ = [
     "HashFamily",
@@ -35,7 +46,10 @@ __all__ = [
     "uniform_codes",
     "uniform_slot",
     "uniform_slots",
+    "uniform_slot_matrix",
+    "uniform_min_slots",
     "geometric_bucket",
     "geometric_buckets",
+    "geometric_bucket_matrix",
     "summarize_family",
 ]

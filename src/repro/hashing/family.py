@@ -129,12 +129,24 @@ class SplitMix64Family(HashFamily):
 
 
 def _splitmix64_vec(values: np.ndarray) -> np.ndarray:
-    """Vectorized SplitMix64 finalizer over a ``uint64`` array."""
+    """Vectorized SplitMix64 finalizer over a ``uint64`` array.
+
+    Identical arithmetic to the naive expression chain, but with the
+    mixing steps applied in place on one working copy plus one scratch
+    buffer — the naive form allocates ~8 intermediates per call, which
+    dominates the batched engines' runtime on cache-sized chunks.
+    """
     with np.errstate(over="ignore"):
-        values = values + np.uint64(_GOLDEN_GAMMA)
-        values = (values ^ (values >> np.uint64(30))) * np.uint64(_MIX_A)
-        values = (values ^ (values >> np.uint64(27))) * np.uint64(_MIX_B)
-        return values ^ (values >> np.uint64(31))
+        v = values + np.uint64(_GOLDEN_GAMMA)  # fresh working copy
+        scratch = v >> np.uint64(30)
+        v ^= scratch
+        v *= np.uint64(_MIX_A)
+        np.right_shift(v, np.uint64(27), out=scratch)
+        v ^= scratch
+        v *= np.uint64(_MIX_B)
+        np.right_shift(v, np.uint64(31), out=scratch)
+        v ^= scratch
+        return v
 
 
 class _DigestFamily(HashFamily):

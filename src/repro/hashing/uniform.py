@@ -78,4 +78,65 @@ def uniform_slots(
         raise ConfigurationError(f"frame_size must be >= 1, got {frame_size}")
     family = family or default_family()
     digests = family.digest_many(seed, np.asarray(tag_ids, dtype=np.uint64))
-    return (digests % np.uint64(frame_size)).astype(np.int64)
+    return _slots_from_digests(digests, frame_size)
+
+
+def uniform_slot_matrix(
+    seeds: np.ndarray,
+    tag_ids: np.ndarray,
+    frame_size: int,
+    family: HashFamily | None = None,
+) -> np.ndarray:
+    """:func:`uniform_slots` for every seed of a vector at once.
+
+    Returns a ``(len(seeds), len(tag_ids))`` ``int64`` matrix whose row
+    ``i`` is bit-identical to ``uniform_slots(seeds[i], ...)`` — the
+    batched comparison engine relies on this to match the scalar
+    protocols' per-round draws exactly.
+    """
+    if frame_size < 1:
+        raise ConfigurationError(f"frame_size must be >= 1, got {frame_size}")
+    family = family or default_family()
+    digests = family.digest_matrix(
+        np.asarray(seeds, dtype=np.uint64),
+        np.asarray(tag_ids, dtype=np.uint64),
+    )
+    return _slots_from_digests(digests, frame_size)
+
+
+def _slots_from_digests(digests: np.ndarray, frame_size: int) -> np.ndarray:
+    """Reduce digests mod ``frame_size``; ``d % 2^k == d & (2^k - 1)``
+    exactly, and the AND form is markedly cheaper than uint64 division
+    on the batched engines' hot path.  ``digests`` is consumed in place
+    (every caller passes a freshly built array)."""
+    if frame_size & (frame_size - 1) == 0:
+        digests &= np.uint64(frame_size - 1)
+    else:
+        digests %= np.uint64(frame_size)
+    return digests.astype(np.int64)
+
+
+def uniform_min_slots(
+    seeds: np.ndarray,
+    tag_ids: np.ndarray,
+    frame_size: int,
+    family: HashFamily | None = None,
+) -> np.ndarray:
+    """Per-seed minimum slot index: FNEB's sufficient statistic.
+
+    Equivalent to ``uniform_slot_matrix(...).min(axis=1)`` but reduces
+    before the int64 conversion, so the full-size slot matrix is never
+    copied — the batched FNEB engine's hot path.
+    """
+    if frame_size < 1:
+        raise ConfigurationError(f"frame_size must be >= 1, got {frame_size}")
+    family = family or default_family()
+    digests = family.digest_matrix(
+        np.asarray(seeds, dtype=np.uint64),
+        np.asarray(tag_ids, dtype=np.uint64),
+    )
+    if frame_size & (frame_size - 1) == 0:
+        digests &= np.uint64(frame_size - 1)
+    else:
+        digests %= np.uint64(frame_size)
+    return digests.min(axis=1).astype(np.int64)

@@ -5,12 +5,22 @@ EWMA change detector is now part of the obs surface (it emits
 ``monitor.drift`` events through the active registry) and is
 re-exported from :mod:`repro.obs`.  This module remains so existing
 imports — ``from repro.monitor import CardinalityMonitor`` — keep
-working unchanged.
+working, but emits a :class:`DeprecationWarning` on import; migrate to
+:mod:`repro.obs.monitor`.
 """
 
 from __future__ import annotations
 
-from .obs.monitor import (
+import warnings
+
+warnings.warn(
+    "repro.monitor is deprecated; import from repro.obs.monitor "
+    "instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
+
+from .obs.monitor import (  # noqa: E402
     CardinalityMonitor,
     EpochReport,
     monitor_population,

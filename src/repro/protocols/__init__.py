@@ -26,11 +26,13 @@ Identification baselines (exact counting, the motivating contrast)
   tree-splitting collision arbitration.
 """
 
-from .aloha import FramedAlohaIdentification
+from .aloha import AlohaEstimatorProtocol, FramedAlohaIdentification
 from .base import (
+    BatchedRoundEngine,
     CardinalityEstimatorProtocol,
     IdentificationResult,
     ProtocolResult,
+    SampledBatch,
 )
 from .fneb import FnebProtocol
 from .fneb_enhanced import EnhancedFnebProtocol
@@ -48,8 +50,11 @@ from .treewalk import TreeWalkIdentification
 
 __all__ = [
     "CardinalityEstimatorProtocol",
+    "BatchedRoundEngine",
     "ProtocolResult",
+    "SampledBatch",
     "IdentificationResult",
+    "AlohaEstimatorProtocol",
     "PetProtocol",
     "BudgetedPetProtocol",
     "FnebProtocol",

@@ -16,11 +16,21 @@ linear in ``n``, the scaling PET escapes.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
+from ..config import AccuracyRequirement
+from ..core.accuracy import confidence_scale
 from ..errors import ConfigurationError
+from ..hashing import uniform_slot_matrix, uniform_slots
 from ..tags.population import TagPopulation
-from .base import IdentificationResult
+from .base import (
+    BatchedRoundEngine,
+    CardinalityEstimatorProtocol,
+    IdentificationResult,
+    ProtocolResult,
+)
 
 
 #: Schoute's backlog estimate: each collision slot hides ~2.39 tags on
@@ -84,11 +94,10 @@ class FramedAlohaIdentification:
             frame_size = 1 << q
             total_slots += 1 + frame_size  # Query command + the frame
             choices = rng.integers(0, frame_size, size=remaining.size)
-            slots, counts = np.unique(choices, return_counts=True)
-            singleton_slots = set(slots[counts == 1].tolist())
-            is_singleton = np.array(
-                [choice in singleton_slots for choice in choices]
+            _, inverse, counts = np.unique(
+                choices, return_inverse=True, return_counts=True
             )
+            is_singleton = counts[inverse] == 1
             identified.extend(int(t) for t in remaining[is_singleton])
             remaining = remaining[~is_singleton]
 
@@ -108,3 +117,130 @@ class FramedAlohaIdentification:
         """Exact count via identification; returns ``(count, slots)``."""
         result = self.identify(population, rng)
         return result.count, result.total_slots
+
+
+class AlohaEstimatorProtocol(CardinalityEstimatorProtocol):
+    """Single-frame Schoute estimator: ``n_hat = S + 2.39 C`` per round.
+
+    The estimation-flavoured cousin of :class:`FramedAlohaIdentification`
+    (and Gen2's Q loop): open one fixed frame per round, count singleton
+    slots ``S`` (one tag each) and collision slots ``C`` (~2.39 hidden
+    tags each at the throughput-optimal load), and read the backlog
+    estimate straight off.  At design load ``t = n/f = 1`` the statistic
+    is essentially unbiased (``E[S + 2.39 C]/n = 0.9995``); the round
+    planner prices its deviation from the multinomial slot-category
+    covariances at that load.
+    """
+
+    name = "ALOHA"
+
+    def __init__(self, frame_size: int = 1024):
+        if frame_size < 1:
+            raise ConfigurationError(
+                f"frame_size must be >= 1, got {frame_size}"
+            )
+        self.frame_size = frame_size
+
+    def slots_per_round(self) -> int:
+        """One frame per round."""
+        return self.frame_size
+
+    def plan_rounds(self, requirement: AccuracyRequirement) -> int:
+        """CLT planner on ``S + 2.39 C`` at design load ``t = 1``.
+
+        Slot categories are multinomial-ish; with per-slot category
+        probabilities ``p0 = e^-t`` (idle), ``p1 = t e^-t`` (singleton),
+        ``p2 = 1 - p0 - p1`` (collision), the round statistic's variance
+        is ``f (p1(1-p1) + 2.39^2 p2(1-p2) - 2*2.39 p1 p2)`` and its
+        mean is ``~ f t``.
+        """
+        c = confidence_scale(requirement.delta)
+        t = 1.0
+        p0 = math.exp(-t)
+        p1 = t * math.exp(-t)
+        p2 = 1.0 - p0 - p1
+        variance = self.frame_size * (
+            p1 * (1.0 - p1)
+            + SCHOUTE_FACTOR**2 * p2 * (1.0 - p2)
+            - 2.0 * SCHOUTE_FACTOR * p1 * p2
+        )
+        relative_sigma = math.sqrt(variance) / (self.frame_size * t)
+        rounds = (c * relative_sigma / requirement.epsilon) ** 2
+        return max(1, math.ceil(rounds))
+
+    def round_statistic(
+        self, seed: int, population: TagPopulation
+    ) -> float:
+        """One frame's backlog reading ``S + 2.39 C``."""
+        if population.size == 0:
+            return 0.0
+        slots = uniform_slots(
+            seed, population.tag_ids, self.frame_size, population.family
+        )
+        counts = np.bincount(slots, minlength=self.frame_size)
+        singletons = int((counts == 1).sum())
+        collisions = int((counts >= 2).sum())
+        return singletons + SCHOUTE_FACTOR * collisions
+
+    def estimate_from_mean(self, mean_statistic: float) -> float:
+        """The Schoute statistic estimates ``n`` directly."""
+        return float(mean_statistic)
+
+    def estimate(
+        self,
+        population: TagPopulation,
+        rounds: int,
+        rng: np.random.Generator,
+    ) -> ProtocolResult:
+        if rounds < 1:
+            raise ConfigurationError(f"rounds must be >= 1, got {rounds}")
+        statistics = np.empty(rounds)
+        for round_index in range(rounds):
+            seed = int(rng.integers(0, 2**63))
+            statistics[round_index] = self.round_statistic(
+                seed, population
+            )
+        n_hat = self.estimate_from_mean(float(statistics.mean()))
+        return self._observe_result(
+            ProtocolResult(
+                protocol=self.name,
+                n_hat=n_hat,
+                rounds=rounds,
+                total_slots=rounds * self.slots_per_round(),
+                per_round_statistics=statistics,
+            )
+        )
+
+    def batched_engine(self) -> "AlohaBatchedEngine":
+        """ALOHA's vectorized cell executor (slot-category counts)."""
+        return AlohaBatchedEngine(self)
+
+
+class AlohaBatchedEngine(BatchedRoundEngine):
+    """Whole-cell Schoute statistic via one offset bincount per chunk."""
+
+    protocol: AlohaEstimatorProtocol
+
+    def round_statistics(
+        self, seeds: np.ndarray, population: TagPopulation
+    ) -> np.ndarray:
+        frame_size = self.protocol.frame_size
+        if population.size == 0:
+            return np.zeros(len(seeds))
+        slots = uniform_slot_matrix(
+            seeds, population.tag_ids, frame_size, population.family
+        )
+        rows = len(seeds)
+        offsets = np.arange(rows, dtype=np.int64)[:, None] * frame_size
+        counts = np.bincount(
+            (slots + offsets).ravel(), minlength=rows * frame_size
+        ).reshape(rows, frame_size)
+        singletons = (counts == 1).sum(axis=1)
+        collisions = (counts >= 2).sum(axis=1)
+        return singletons + SCHOUTE_FACTOR * collisions
+
+    def reduce(self, statistics: np.ndarray) -> float:
+        return self.protocol.estimate_from_mean(float(statistics.mean()))
+
+    def work_per_seed(self, population: TagPopulation) -> int:
+        return max(1, population.size + self.protocol.frame_size)

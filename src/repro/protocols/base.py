@@ -76,6 +76,36 @@ class ProtocolResult:
 
 
 @dataclass(frozen=True)
+class SampledBatch:
+    """Estimates from a batch of independent sampled-tier runs.
+
+    Returned by the batched sampled-law entry points
+    (``estimate_sampled_batch``): one estimate per run, with runs that
+    saturated the estimator's inversion flagged as ``NaN`` instead of
+    aborting the whole batch.
+
+    Attributes
+    ----------
+    protocol:
+        Display name of the protocol.
+    rounds:
+        Estimation rounds per run.
+    estimates:
+        One ``n_hat`` per run; ``NaN`` where the run saturated.
+    slots_per_run:
+        Slots one run would consume on air.
+    saturated_runs:
+        Number of ``NaN``-flagged entries in ``estimates``.
+    """
+
+    protocol: str
+    rounds: int
+    estimates: np.ndarray
+    slots_per_run: int
+    saturated_runs: int = 0
+
+
+@dataclass(frozen=True)
 class IdentificationResult:
     """Outcome of an exact identification (anti-collision) run.
 
@@ -155,6 +185,47 @@ class CardinalityEstimatorProtocol(abc.ABC):
             )
         return result
 
+    def _observe_batch(
+        self, batch: SampledBatch, statistics: np.ndarray | None
+    ) -> SampledBatch:
+        """Record a whole batch against the registry; pass it through.
+
+        Feeds the same ``protocol.<name>.*`` counters and
+        ``round_statistic`` histogram a loop of single runs would, in
+        one call each — so instrumented batch paths stay no-op-free on
+        the null registry and bit-identical either way.
+        """
+        registry = self.registry
+        if not registry:
+            return batch
+        prefix = f"protocol.{self.name}"
+        runs = len(batch.estimates)
+        registry.counter(f"{prefix}.runs").inc(runs)
+        registry.counter(f"{prefix}.rounds").inc(runs * batch.rounds)
+        registry.counter(f"{prefix}.slots").inc(
+            runs * batch.slots_per_run
+        )
+        if statistics is not None:
+            registry.histogram(f"{prefix}.round_statistic").observe_many(
+                statistics
+            )
+        health = registry.health
+        if health is not None:
+            finite = batch.estimates[np.isfinite(batch.estimates)]
+            if finite.size:
+                health.observe_estimates(finite, batch.rounds)
+        return batch
+
+    def batched_engine(self) -> "BatchedRoundEngine | None":
+        """The protocol's vectorized cell executor, if it has one.
+
+        Protocols whose per-round statistic admits a whole-cell numpy
+        program return a :class:`BatchedRoundEngine`;
+        :func:`repro.sim.protocol_batched.run_protocol_cell` drives it.
+        The default is ``None`` — scalar :meth:`estimate` only.
+        """
+        return None
+
     @abc.abstractmethod
     def plan_rounds(self, requirement: AccuracyRequirement) -> int:
         """Rounds needed to meet ``requirement`` (protocol-specific)."""
@@ -185,3 +256,62 @@ class CardinalityEstimatorProtocol(abc.ABC):
     def planned_slots(self, requirement: AccuracyRequirement) -> int:
         """Total slot budget to meet ``requirement`` (Tables 4/5)."""
         return self.plan_rounds(requirement) * self.slots_per_round()
+
+
+class BatchedRoundEngine(abc.ABC):
+    """Vectorized whole-cell executor for one estimation protocol.
+
+    A batched engine turns a protocol's per-round scalar statistic
+    (``first_nonempty``, ``first_empty_bucket``, ``empty_slots`` ...)
+    into an array program over a *vector of seeds*, so an experiment
+    cell of ``repetitions x rounds`` rounds is a handful of numpy passes
+    instead of hundreds of thousands of Python round trips.
+
+    The contract is **bit-identity**: :meth:`round_statistics` must
+    equal the scalar statistic evaluated seed by seed, and
+    :meth:`reduce` must be the protocol's scalar inversion applied to
+    one repetition's statistic row — so batched cell estimates match the
+    per-repetition reference loop exactly (``bench_guard --protocols``
+    enforces this).
+
+    Engines are stateless views over their protocol; obtain one from
+    :meth:`CardinalityEstimatorProtocol.batched_engine` and drive it
+    with :func:`repro.sim.protocol_batched.run_protocol_cell`.
+    """
+
+    #: Statistic draws consumed per protocol round (EZB averages
+    #: ``frames_per_round`` sub-frame statistics per round; every other
+    #: protocol draws one).
+    draws_per_round: int = 1
+
+    def __init__(self, protocol: CardinalityEstimatorProtocol):
+        self.protocol = protocol
+
+    @abc.abstractmethod
+    def round_statistics(
+        self, seeds: np.ndarray, population: TagPopulation
+    ) -> np.ndarray:
+        """Per-seed sufficient statistic for a vector of round seeds.
+
+        Returns a ``float64`` array of ``len(seeds)`` entries,
+        bit-identical to the protocol's scalar per-round statistic at
+        each seed.
+        """
+
+    @abc.abstractmethod
+    def reduce(self, statistics: np.ndarray) -> float:
+        """One repetition's estimate from its statistic row.
+
+        Must raise :class:`~repro.errors.EstimationError` exactly when
+        the scalar path would (saturation); the cell driver maps that to
+        a flagged ``NaN`` when asked to.
+        """
+
+    def work_per_seed(self, population: TagPopulation) -> int:
+        """Rough array elements touched per seed; drives caller chunking.
+
+        Engines whose scratch arrays scale with something other than the
+        population (frame-occupancy bincounts, for example) override
+        this so the driver keeps chunks cache-sized.
+        """
+        return max(1, population.size)

@@ -33,9 +33,14 @@ from ..analysis.theory import fneb_round_moments
 from ..config import AccuracyRequirement
 from ..core.accuracy import confidence_scale
 from ..errors import ConfigurationError, EstimationError
-from ..hashing import uniform_slots
+from ..hashing import uniform_min_slots, uniform_slots
 from ..tags.population import TagPopulation
-from .base import CardinalityEstimatorProtocol, ProtocolResult
+from .base import (
+    BatchedRoundEngine,
+    CardinalityEstimatorProtocol,
+    ProtocolResult,
+    SampledBatch,
+)
 
 #: Default conceptual frame size (prior upper bound on n).
 DEFAULT_FRAME_SIZE = 2**24
@@ -143,3 +148,68 @@ class FnebProtocol(CardinalityEstimatorProtocol):
                 per_round_statistics=xs,
             )
         )
+
+    def estimate_sampled_batch(
+        self, n: int, rounds: int, runs: int, rng: np.random.Generator
+    ) -> SampledBatch:
+        """A whole batch of :meth:`estimate_sampled` runs at once.
+
+        Bit-identical to ``runs`` sequential ``estimate_sampled`` calls
+        sharing ``rng``: ``rng.random((runs, rounds))`` yields the same
+        word stream row by row as ``runs`` separate ``rng.random(rounds)``
+        calls, and every later step is elementwise or a per-row mean.
+        FNEB's inversion handles saturation internally (``mean <= 1``
+        reports the frame's saturation point), so no run is flagged.
+        """
+        if n < 1:
+            raise EstimationError(f"sampled FNEB requires n >= 1, got {n}")
+        if rounds < 1:
+            raise ConfigurationError(f"rounds must be >= 1, got {rounds}")
+        if runs < 1:
+            raise ConfigurationError(f"runs must be >= 1, got {runs}")
+        uniforms = rng.random((runs, rounds))
+        xs = np.ceil(
+            self.frame_size * (1.0 - (1.0 - uniforms) ** (1.0 / n))
+        )
+        xs = np.clip(xs, 1, self.frame_size)
+        estimates = np.array(
+            [self.estimate_from_mean(float(row.mean())) for row in xs]
+        )
+        return self._observe_batch(
+            SampledBatch(
+                protocol=self.name,
+                rounds=rounds,
+                estimates=estimates,
+                slots_per_run=rounds * self.slots_per_round(),
+            ),
+            xs,
+        )
+
+    def batched_engine(self) -> "FnebBatchedEngine":
+        """FNEB's vectorized cell executor (first nonempty slot)."""
+        return FnebBatchedEngine(self)
+
+
+class FnebBatchedEngine(BatchedRoundEngine):
+    """Whole-cell FNEB: minimum hashed slot per seed, one matrix pass."""
+
+    protocol: FnebProtocol
+
+    def round_statistics(
+        self, seeds: np.ndarray, population: TagPopulation
+    ) -> np.ndarray:
+        if population.size == 0:
+            raise EstimationError(
+                "FNEB's statistic is undefined for an empty population "
+                "(every slot is empty)"
+            )
+        mins = uniform_min_slots(
+            seeds,
+            population.tag_ids,
+            self.protocol.frame_size,
+            population.family,
+        )
+        return (mins + 1).astype(np.float64)
+
+    def reduce(self, statistics: np.ndarray) -> float:
+        return self.protocol.estimate_from_mean(float(statistics.mean()))

@@ -31,9 +31,13 @@ import numpy as np
 from ..config import AccuracyRequirement
 from ..core.accuracy import confidence_scale
 from ..errors import ConfigurationError, EstimationError
-from ..hashing import uniform_slots
+from ..hashing import uniform_slot_matrix, uniform_slots
 from ..tags.population import TagPopulation
-from .base import CardinalityEstimatorProtocol, ProtocolResult
+from .base import (
+    BatchedRoundEngine,
+    CardinalityEstimatorProtocol,
+    ProtocolResult,
+)
 
 
 class _ZeroFrameEstimator(CardinalityEstimatorProtocol):
@@ -132,6 +136,66 @@ class _ZeroFrameEstimator(CardinalityEstimatorProtocol):
                 per_round_statistics=zeros,
             )
         )
+
+    def batched_engine(self) -> "ZeroFrameBatchedEngine":
+        """The shared zero-frame vectorized cell executor."""
+        return ZeroFrameBatchedEngine(self)
+
+
+class ZeroFrameBatchedEngine(BatchedRoundEngine):
+    """Whole-cell zero-frame statistic for USE/UPE/EZB.
+
+    Per-seed empty-slot counts via a single offset bincount: tags masked
+    out by the persistence draw are parked in a sentinel slot
+    ``frame_size`` (one column past the frame) so a ``(rows,
+    frame_size + 1)``-wide count matrix yields occupied counts without
+    any per-row filtering.
+    """
+
+    protocol: _ZeroFrameEstimator
+
+    def __init__(self, protocol: _ZeroFrameEstimator):
+        super().__init__(protocol)
+        # EZB averages frames_per_round sub-frame statistics per round.
+        self.draws_per_round = getattr(protocol, "frames_per_round", 1)
+
+    def round_statistics(
+        self, seeds: np.ndarray, population: TagPopulation
+    ) -> np.ndarray:
+        frame_size = self.protocol.frame_size
+        if population.size == 0:
+            return np.full(len(seeds), float(frame_size))
+        slots = uniform_slot_matrix(
+            seeds, population.tag_ids, frame_size, population.family
+        )
+        if self.protocol.persistence < 1.0:
+            participation = uniform_slot_matrix(
+                np.asarray(seeds, dtype=np.uint64)
+                ^ np.uint64(0xA5A5_A5A5),
+                population.tag_ids,
+                1 << 20,
+                population.family,
+            )
+            mask = participation < self.protocol.persistence * (1 << 20)
+            slots = np.where(mask, slots, frame_size)
+        rows = len(seeds)
+        width = frame_size + 1
+        offsets = np.arange(rows, dtype=np.int64)[:, None] * width
+        counts = np.bincount(
+            (slots + offsets).ravel(), minlength=rows * width
+        ).reshape(rows, width)
+        occupied = np.count_nonzero(counts[:, :frame_size], axis=1)
+        return (frame_size - occupied).astype(np.float64)
+
+    def reduce(self, statistics: np.ndarray) -> float:
+        zero_fraction = float(statistics.mean()) / self.protocol.frame_size
+        return self.protocol.estimate_from_zero_fraction(zero_fraction)
+
+    def work_per_seed(self, population: TagPopulation) -> int:
+        hashes = population.size * (
+            2 if self.protocol.persistence < 1.0 else 1
+        )
+        return max(1, hashes + self.protocol.frame_size + 1)
 
 
 class UseProtocol(_ZeroFrameEstimator):

@@ -28,6 +28,7 @@ from typing import Callable
 from ..config import AccuracyRequirement, PetConfig
 from ..core.accuracy import rounds_required
 from ..errors import ConfigurationError
+from .aloha import AlohaEstimatorProtocol
 from .base import CardinalityEstimatorProtocol
 from .fneb import FnebProtocol
 from .fneb_enhanced import EnhancedFnebProtocol
@@ -202,6 +203,11 @@ _SPECS: dict[str, ProtocolSpec] = {
             "ezb",
             "Enhanced Zero-Based — zero statistic over k sub-frames",
             EzbProtocol,
+        ),
+        ProtocolSpec(
+            "aloha",
+            "Schoute backlog estimator — S + 2.39 C of one Aloha frame",
+            AlohaEstimatorProtocol,
         ),
     )
 }

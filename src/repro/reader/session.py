@@ -24,7 +24,7 @@ import numpy as np
 from ..config import AccuracyRequirement, PetConfig
 from ..core.estimator import PetEstimator, RoundDriver
 from ..errors import ConfigurationError
-from ..monitor import CardinalityMonitor, EpochReport
+from ..obs.monitor import CardinalityMonitor, EpochReport
 
 
 @dataclass(frozen=True)

@@ -36,6 +36,13 @@ from .batched import BatchedExperimentEngine
 from .experiment import ExperimentRunner, RepeatedEstimate
 from .multireader import MultiReaderSimulator
 from .persist import load_experiment, save_experiment
+from .protocol_batched import (
+    ProtocolCellResult,
+    ProtocolCellSpec,
+    run_protocol_cell,
+    seed_matrix,
+    sweep_protocol_cells,
+)
 from .report import Table, format_series
 from .sampled import SampledSimulator
 from .slotsim import SlotLevelSimulator
@@ -50,6 +57,11 @@ __all__ = [
     "BatchedExperimentEngine",
     "ExperimentRunner",
     "RepeatedEstimate",
+    "ProtocolCellResult",
+    "ProtocolCellSpec",
+    "run_protocol_cell",
+    "seed_matrix",
+    "sweep_protocol_cells",
     "Table",
     "format_series",
     "WorkloadSpec",

@@ -250,6 +250,55 @@ class ExperimentRunner:
         )
         return repeated
 
+    def run_protocol(
+        self,
+        protocol: "CardinalityEstimatorProtocol",
+        population: "TagPopulation",
+        rounds: int,
+        on_error: str = "raise",
+    ) -> "ProtocolCellResult":
+        """One comparison-protocol cell through its batched engine.
+
+        Bit-identical to driving the protocol's scalar ``estimate``
+        through :meth:`run_custom` with the same seeds; raises
+        :class:`~repro.errors.ConfigurationError` for protocols without
+        a batched engine (PET cells go through :meth:`run_sampled` /
+        :meth:`run_vectorized` instead).
+        """
+        from .protocol_batched import run_protocol_cell
+
+        return run_protocol_cell(
+            protocol,
+            population,
+            rounds=rounds,
+            repetitions=self.repetitions,
+            base_seed=self.base_seed,
+            registry=self.registry,
+            on_error=on_error,
+        )
+
+    def sweep_protocols(
+        self,
+        specs: "Sequence[ProtocolCellSpec]",
+        workers: int | None = None,
+        on_error: str = "nan",
+    ) -> "list[ProtocolCellResult]":
+        """Batched comparison-cell sweep (table-3 style drivers).
+
+        Same worker semantics as :meth:`sweep`: results are bit-for-bit
+        identical for any ``workers`` count.
+        """
+        from .protocol_batched import sweep_protocol_cells
+
+        return sweep_protocol_cells(
+            specs,
+            repetitions=self.repetitions,
+            base_seed=self.base_seed,
+            workers=workers,
+            registry=self.registry,
+            on_error=on_error,
+        )
+
     def sweep(
         self,
         sizes: Sequence[int],

@@ -39,3 +39,12 @@ class TestExtensionDrivers:
         )
         flags = [row[4] for row in table.rows]
         assert flags[6] == "CHANGE"
+
+    def test_protocol_comparison_table(self):
+        table = extensions.protocol_comparison(
+            n=500, repetitions=10, base_seed=4
+        )
+        labels = [row[0] for row in table.rows]
+        assert "FNEB" in labels
+        assert "ALOHA" in labels
+        assert len(table.rows) == 6

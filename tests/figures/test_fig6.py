@@ -62,3 +62,31 @@ class TestFig6:
         assert "PET" in rendering
         assert "FNEB" in rendering
         assert "LoF" in rendering
+
+
+class TestSaturationRobustness:
+    """Satellite: saturated runs are flagged, counted, and rendered."""
+
+    def test_panels_count_their_nan_runs(self, result):
+        for panel in (result.pet, result.fneb, result.lof):
+            assert panel.saturated == int(
+                np.isnan(panel.estimates).sum()
+            )
+
+    def test_summary_table_has_saturated_column(self, result):
+        table = fig6.summary_table(result)
+        assert "saturated" in table.columns
+        rendering = table.render()
+        assert "saturated" in rendering
+
+    def test_within_counts_nan_as_outside(self, result):
+        estimates = np.array([float("nan"), float(result.n)])
+        assert fig6._within(
+            estimates, result.requirement, result.n
+        ) == 0.5
+
+    def test_main_renders_with_finite_histograms(self, capsys):
+        fig6.main(runs=100)
+        out = capsys.readouterr().out
+        assert "Fig. 6" in out
+        assert "histogram of" in out

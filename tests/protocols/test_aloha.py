@@ -6,7 +6,12 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.protocols.aloha import FramedAlohaIdentification
+from repro.config import AccuracyRequirement
+from repro.protocols.aloha import (
+    AlohaEstimatorProtocol,
+    FramedAlohaIdentification,
+)
+from repro.protocols.registry import make_protocol
 from repro.tags.population import TagPopulation
 
 
@@ -71,3 +76,50 @@ class TestValidation:
     def test_rejects_inverted_clamp(self):
         with pytest.raises(ConfigurationError):
             FramedAlohaIdentification(initial_q=2, min_q=3, max_q=8)
+
+
+class TestEstimator:
+    def test_accurate_at_design_load(self):
+        # Schoute at t = n/f = 1 is essentially unbiased.
+        protocol = AlohaEstimatorProtocol(frame_size=1024)
+        population = TagPopulation.random(
+            1_000, np.random.default_rng(21)
+        )
+        result = protocol.estimate(
+            population, rounds=30, rng=np.random.default_rng(22)
+        )
+        assert 0.9 < result.accuracy(1_000) < 1.1
+
+    def test_plan_rounds_positive_and_monotone(self):
+        protocol = AlohaEstimatorProtocol()
+        tight = protocol.plan_rounds(AccuracyRequirement(0.05, 0.01))
+        loose = protocol.plan_rounds(AccuracyRequirement(0.10, 0.01))
+        assert tight >= loose >= 1
+
+    def test_empty_population_statistic_zero(self):
+        protocol = AlohaEstimatorProtocol(frame_size=64)
+        assert protocol.round_statistic(5, TagPopulation([])) == 0.0
+
+    def test_registry_entry(self):
+        protocol = make_protocol("aloha", frame_size=256)
+        assert isinstance(protocol, AlohaEstimatorProtocol)
+        assert protocol.frame_size == 256
+
+    def test_rejects_bad_frame_size(self):
+        with pytest.raises(ConfigurationError):
+            AlohaEstimatorProtocol(frame_size=0)
+
+    def test_batched_engine_matches_scalar_statistic(self):
+        protocol = AlohaEstimatorProtocol(frame_size=128)
+        population = TagPopulation.random(
+            128, np.random.default_rng(23)
+        )
+        seeds = np.arange(50, dtype=np.uint64)
+        batched = protocol.batched_engine().round_statistics(
+            seeds, population
+        )
+        scalar = [
+            protocol.round_statistic(int(seed), population)
+            for seed in seeds
+        ]
+        assert batched.tolist() == scalar

@@ -106,3 +106,29 @@ class TestEstimation:
             )
         with pytest.raises(EstimationError):
             protocol.estimate_sampled(0, 10, np.random.default_rng(0))
+
+
+class TestSampledBatch:
+    def test_bit_identical_to_sequential_runs(self):
+        protocol = FnebProtocol()
+        batch = protocol.estimate_sampled_batch(
+            50_000, 24, 25, np.random.default_rng(5)
+        )
+        rng = np.random.default_rng(5)
+        sequential = [
+            protocol.estimate_sampled(50_000, 24, rng).n_hat
+            for _ in range(25)
+        ]
+        assert batch.estimates.tolist() == sequential
+        assert batch.saturated_runs == 0
+
+    def test_rejects_bad_arguments(self):
+        protocol = FnebProtocol()
+        with pytest.raises(EstimationError):
+            protocol.estimate_sampled_batch(
+                0, 4, 4, np.random.default_rng(0)
+            )
+        with pytest.raises(ConfigurationError):
+            protocol.estimate_sampled_batch(
+                100, 0, 4, np.random.default_rng(0)
+            )

@@ -93,6 +93,73 @@ class TestEzb:
             EzbProtocol(frames_per_round=0)
 
 
+class TestEmptySlotsEdges:
+    """Edge branches of ``_ZeroFrameEstimator.empty_slots``."""
+
+    def test_persistence_mask_thins_participation(self):
+        # persistence = 64/128 = 0.5: roughly half the tags answer, so
+        # a frame the population would saturate at p=1 keeps empties.
+        protocol = UpeProtocol(frame_size=64, prior_n=128)
+        assert protocol.persistence == pytest.approx(0.5)
+        population = TagPopulation.random(
+            128, np.random.default_rng(11)
+        )
+        full = UseProtocol(frame_size=64)
+        empties = [
+            protocol.empty_slots(seed, population)
+            for seed in range(200)
+        ]
+        empties_full = [
+            full.empty_slots(seed, population) for seed in range(200)
+        ]
+        assert all(0 <= e <= 64 for e in empties)
+        # Thinning leaves strictly more slots empty on average.
+        assert np.mean(empties) > np.mean(empties_full)
+
+    def test_empty_population_returns_whole_frame(self):
+        protocol = UseProtocol(frame_size=96)
+        assert protocol.empty_slots(123, TagPopulation([])) == 96
+
+    def test_all_tags_masked_returns_whole_frame(self):
+        # persistence ~ 1e-6: the participation threshold is ~1 of
+        # 2^20 buckets, so every tag of a small population sits out.
+        protocol = EzbProtocol(
+            frame_size=32, persistence=1e-6, frames_per_round=1
+        )
+        population = TagPopulation.random(
+            50, np.random.default_rng(12)
+        )
+        for seed in range(20):
+            assert protocol.empty_slots(seed, population) == 32
+
+    def test_batched_engine_matches_edges(self):
+        # The batched statistic must agree with the scalar branch on
+        # the same edge cases, seed for seed.
+        seeds = np.arange(20, dtype=np.uint64)
+        for protocol, population in [
+            (
+                UpeProtocol(frame_size=64, prior_n=128),
+                TagPopulation.random(128, np.random.default_rng(13)),
+            ),
+            (UseProtocol(frame_size=96), TagPopulation([])),
+            (
+                EzbProtocol(
+                    frame_size=32,
+                    persistence=1e-6,
+                    frames_per_round=1,
+                ),
+                TagPopulation.random(50, np.random.default_rng(14)),
+            ),
+        ]:
+            engine = protocol.batched_engine()
+            batched = engine.round_statistics(seeds, population)
+            scalar = [
+                float(protocol.empty_slots(int(seed), population))
+                for seed in seeds
+            ]
+            assert batched.tolist() == scalar
+
+
 class TestSharedValidation:
     def test_rejects_bad_frame_size(self):
         with pytest.raises(ConfigurationError):

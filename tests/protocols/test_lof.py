@@ -116,3 +116,71 @@ class TestEstimation:
                 TagPopulation.sequential(5), 0,
                 np.random.default_rng(0),
             )
+
+
+class TestSampledLaw:
+    def test_pmf_sums_to_one_exactly(self):
+        for n in (1, 100, 50_000):
+            pmf = LofProtocol().round_statistic_pmf(n)
+            assert pmf.shape == (33,)
+            assert (pmf >= 0).all()
+            assert pmf.sum() == pytest.approx(1.0, abs=1e-12)
+
+    def test_pmf_rejects_empty_population(self):
+        with pytest.raises(EstimationError):
+            LofProtocol().round_statistic_pmf(0)
+
+    def test_inverse_cdf_matches_multinomial_reference(self):
+        # The two samplers draw from the same law (up to the
+        # independent-bucket approximation): their mean statistics
+        # agree within Monte-Carlo noise.
+        protocol = LofProtocol()
+        rng = np.random.default_rng(31)
+        fast = np.array([
+            protocol.estimate_sampled(5_000, 64, rng).n_hat
+            for _ in range(40)
+        ])
+        reference = np.array([
+            protocol.estimate_sampled_multinomial(5_000, 64, rng).n_hat
+            for _ in range(40)
+        ])
+        assert fast.mean() == pytest.approx(reference.mean(), rel=0.05)
+
+
+class TestSampledBatch:
+    def test_bit_identical_to_sequential_runs(self):
+        protocol = LofProtocol()
+        batch = protocol.estimate_sampled_batch(
+            5_000, 48, 30, np.random.default_rng(8)
+        )
+        rng = np.random.default_rng(8)
+        sequential = [
+            protocol.estimate_sampled(5_000, 48, rng).n_hat
+            for _ in range(30)
+        ]
+        assert batch.estimates.tolist() == sequential
+        assert batch.saturated_runs == 0
+        assert batch.slots_per_run == 48 * protocol.slots_per_round()
+
+    def test_saturated_runs_flagged_nan(self):
+        # n = 1, one round: R = 0 happens with probability 1/2, and a
+        # zero mean is exactly the case the scalar path raises on.
+        protocol = LofProtocol()
+        batch = protocol.estimate_sampled_batch(
+            1, 1, 400, np.random.default_rng(9)
+        )
+        assert batch.saturated_runs > 0
+        assert np.isnan(batch.estimates).sum() == batch.saturated_runs
+        finite = batch.estimates[np.isfinite(batch.estimates)]
+        assert finite.size == 400 - batch.saturated_runs
+
+    def test_rejects_bad_arguments(self):
+        protocol = LofProtocol()
+        with pytest.raises(ConfigurationError):
+            protocol.estimate_sampled_batch(
+                100, 0, 5, np.random.default_rng(0)
+            )
+        with pytest.raises(ConfigurationError):
+            protocol.estimate_sampled_batch(
+                100, 5, 0, np.random.default_rng(0)
+            )

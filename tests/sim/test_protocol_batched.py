@@ -1,0 +1,254 @@
+"""Tests for the cross-protocol batched comparison engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, EstimationError
+from repro.obs import MetricsRegistry
+from repro.obs.registry import NULL_REGISTRY
+from repro.protocols import make_protocol
+from repro.protocols.pet import PetProtocol
+from repro.sim.experiment import ExperimentRunner
+from repro.sim.protocol_batched import (
+    ProtocolCellSpec,
+    run_protocol_cell,
+    seed_matrix,
+    sweep_protocol_cells,
+)
+from repro.sim.workload import WorkloadSpec, build_population
+
+#: Every protocol with a batched engine, with configs small enough for
+#: fast cells (UPE's frame < prior exercises the persistence mask).
+ENGINE_CASES = [
+    ("fneb", {}),
+    ("lof", {}),
+    ("use", {"frame_size": 256}),
+    ("upe", {"frame_size": 64, "prior_n": 256}),
+    ("ezb", {"frame_size": 128}),
+    ("aloha", {"frame_size": 256}),
+]
+
+
+@pytest.fixture(scope="module")
+def population():
+    return build_population(WorkloadSpec(size=200, seed=7))
+
+
+class TestSeedMatrix:
+    def test_rows_match_scalar_seed_stream(self):
+        seeds = seed_matrix(base_seed=123, repetitions=4, draws=16)
+        children = np.random.SeedSequence(123).spawn(4)
+        for row, child in zip(seeds, children):
+            rng = np.random.default_rng(child)
+            scalar = [int(rng.integers(0, 2**63)) for _ in range(16)]
+            assert row.tolist() == scalar
+
+    def test_validates_arguments(self):
+        with pytest.raises(ConfigurationError):
+            seed_matrix(1, repetitions=0, draws=4)
+        with pytest.raises(ConfigurationError):
+            seed_matrix(1, repetitions=4, draws=0)
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("name,config", ENGINE_CASES)
+    def test_cell_matches_scalar_reference_loop(
+        self, name, config, population
+    ):
+        protocol = make_protocol(name, **config)
+        cell = run_protocol_cell(
+            protocol, population, rounds=12, repetitions=6, base_seed=99
+        )
+        reference = ExperimentRunner(
+            base_seed=99, repetitions=6
+        ).run_custom(
+            population.size,
+            12,
+            lambda rng: protocol.estimate(population, 12, rng).n_hat,
+        )
+        assert cell.estimates.tolist() == reference.estimates.tolist()
+
+    def test_statistics_shape_accounts_for_multi_frame_rounds(
+        self, population
+    ):
+        ezb = make_protocol("ezb", frame_size=64, frames_per_round=3)
+        cell = run_protocol_cell(
+            ezb, population, rounds=5, repetitions=4, base_seed=1
+        )
+        assert cell.statistics.shape == (4, 15)
+        assert cell.slots_per_run == 5 * ezb.slots_per_round()
+
+
+class TestSaturationPolicy:
+    def test_raise_propagates_like_the_scalar_loop(self):
+        # n >> f: every slot busy, the zero inversion is undefined.
+        saturated_pop = build_population(WorkloadSpec(size=60, seed=3))
+        use = make_protocol("use", frame_size=4)
+        with pytest.raises(EstimationError):
+            run_protocol_cell(
+                use, saturated_pop, rounds=3, repetitions=4, base_seed=5
+            )
+
+    def test_nan_flags_and_counts_saturated_runs(self):
+        saturated_pop = build_population(WorkloadSpec(size=60, seed=3))
+        use = make_protocol("use", frame_size=4)
+        cell = run_protocol_cell(
+            use,
+            saturated_pop,
+            rounds=3,
+            repetitions=4,
+            base_seed=5,
+            on_error="nan",
+        )
+        assert cell.saturated_runs == 4
+        assert np.isnan(cell.estimates).all()
+
+    def test_rejects_unknown_policy(self, population):
+        with pytest.raises(ConfigurationError):
+            run_protocol_cell(
+                make_protocol("fneb"),
+                population,
+                rounds=2,
+                on_error="ignore",
+            )
+
+
+class TestValidation:
+    def test_pet_has_no_protocol_engine(self, population):
+        assert PetProtocol().batched_engine() is None
+        with pytest.raises(ConfigurationError, match="batched engine"):
+            run_protocol_cell(
+                PetProtocol(), population, rounds=4, repetitions=2
+            )
+
+    def test_rejects_bad_rounds(self, population):
+        with pytest.raises(ConfigurationError):
+            run_protocol_cell(make_protocol("fneb"), population, rounds=0)
+
+
+class TestSweep:
+    SPECS = [
+        ProtocolCellSpec("fneb", 150, 6),
+        ProtocolCellSpec("lof", 150, 6),
+        ProtocolCellSpec("use", 150, 6, config={"frame_size": 256}),
+    ]
+
+    def test_workers_do_not_change_results(self):
+        serial = sweep_protocol_cells(
+            self.SPECS, repetitions=5, base_seed=21
+        )
+        parallel = sweep_protocol_cells(
+            self.SPECS, repetitions=5, base_seed=21, workers=2
+        )
+        for a, b in zip(serial, parallel):
+            assert a.protocol == b.protocol
+            assert a.estimates.tolist() == b.estimates.tolist()
+
+    def test_parallel_cells_are_recorded_in_parent_registry(self):
+        registry = MetricsRegistry()
+        sweep_protocol_cells(
+            self.SPECS,
+            repetitions=5,
+            base_seed=21,
+            workers=2,
+            registry=registry,
+        )
+        counters = registry.snapshot()["counters"]
+        assert counters["experiment.cells"] == len(self.SPECS)
+        assert counters["protocol.FNEB.runs"] == 5
+
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ConfigurationError):
+            sweep_protocol_cells(self.SPECS, repetitions=2, workers=0)
+
+    def test_spec_label_and_build(self):
+        spec = ProtocolCellSpec("lof", 99, 4)
+        assert spec.label == "lof@n=99"
+        protocol, pop = spec.build()
+        assert protocol.name == "LoF"
+        assert pop.size == 99
+
+
+class TestObservability:
+    def test_counters_match_the_scalar_paths(self, population):
+        protocol = make_protocol("lof")
+        batched_registry = MetricsRegistry()
+        cell = run_protocol_cell(
+            protocol,
+            population,
+            rounds=7,
+            repetitions=5,
+            base_seed=31,
+            registry=batched_registry,
+        )
+
+        scalar_registry = MetricsRegistry()
+        instrumented = make_protocol("lof")
+        instrumented.instrument(scalar_registry)
+        runner = ExperimentRunner(base_seed=31, repetitions=5)
+        runner.run_custom(
+            population.size,
+            7,
+            lambda rng: instrumented.estimate(population, 7, rng).n_hat,
+        )
+
+        batched = batched_registry.snapshot()["counters"]
+        scalar = scalar_registry.snapshot()["counters"]
+        for key in (
+            "protocol.LoF.runs",
+            "protocol.LoF.rounds",
+            "protocol.LoF.slots",
+        ):
+            assert batched[key] == scalar[key], key
+        assert (
+            batched["protocol.LoF.slots"]
+            == cell.slots_per_run * cell.repetitions
+        )
+
+    def test_histogram_sees_every_round_statistic(self, population):
+        registry = MetricsRegistry()
+        cell = run_protocol_cell(
+            make_protocol("fneb"),
+            population,
+            rounds=9,
+            repetitions=4,
+            base_seed=8,
+            registry=registry,
+        )
+        histogram = registry.snapshot()["histograms"][
+            "protocol.FNEB.round_statistic"
+        ]
+        assert histogram["count"] == 9 * 4
+        assert histogram["total"] == pytest.approx(cell.statistics.sum())
+
+    def test_cell_event_carries_saturation(self):
+        saturated_pop = build_population(WorkloadSpec(size=60, seed=3))
+        registry = MetricsRegistry()
+        run_protocol_cell(
+            make_protocol("use", frame_size=4),
+            saturated_pop,
+            rounds=3,
+            repetitions=2,
+            base_seed=5,
+            registry=registry,
+            on_error="nan",
+        )
+        (event,) = [
+            e for e in registry.events if e["name"] == "cell"
+        ]
+        assert event["tier"] == "protocol-batched"
+        assert event["saturated_runs"] == 2
+
+    def test_null_registry_records_nothing(self, population):
+        cell = run_protocol_cell(
+            make_protocol("fneb"),
+            population,
+            rounds=4,
+            repetitions=2,
+            base_seed=8,
+            registry=NULL_REGISTRY,
+        )
+        assert cell.repetitions == 2
+        assert not NULL_REGISTRY  # stays falsy / no-op

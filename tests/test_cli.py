@@ -172,3 +172,18 @@ class TestCliDiagnostics:
     def test_registry_restored_after_diagnosed_run(self, tmp_path):
         main(["fig3", "--diagnose", str(tmp_path / "d.html")])
         assert get_registry() is NULL_REGISTRY
+
+
+class TestCliProtocols:
+    def test_protocols_sweep_prints_table(self, capsys):
+        assert main(["protocols", "--runs", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Baseline-protocol comparison sweep" in out
+        assert "FNEB" in out
+        assert "ALOHA" in out
+
+    def test_protocols_with_workers(self, capsys):
+        assert main(
+            ["protocols", "--runs", "5", "--workers", "2"]
+        ) == 0
+        assert "ALOHA" in capsys.readouterr().out

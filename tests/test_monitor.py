@@ -7,7 +7,7 @@ import math
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.monitor import (
+from repro.obs.monitor import (
     CardinalityMonitor,
     monitor_population,
     simulate_monitoring,
@@ -104,7 +104,13 @@ class TestObsIntegration:
     """Satellite: the monitor is part of the obs surface now."""
 
     def test_shim_and_obs_expose_the_same_class(self):
-        import repro.monitor as shim
+        import warnings
+
+        with warnings.catch_warnings():
+            # The shim's DeprecationWarning is asserted in
+            # test_monitor_shim.py; here we only need its attributes.
+            warnings.simplefilter("ignore", DeprecationWarning)
+            import repro.monitor as shim
         import repro.obs as obs
         import repro.obs.monitor as home
 

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.monitor import CardinalityMonitor, simulate_monitoring
+from repro.obs.monitor import CardinalityMonitor, simulate_monitoring
 
 
 class TestCustomFactory:

@@ -1,0 +1,42 @@
+"""The deprecated ``repro.monitor`` shim: warns once, still re-exports."""
+
+from __future__ import annotations
+
+import importlib
+import warnings
+
+import pytest
+
+
+def test_importing_the_shim_warns():
+    import repro.monitor as shim
+
+    with pytest.warns(DeprecationWarning, match="repro.obs.monitor"):
+        importlib.reload(shim)
+
+
+def test_shim_reexports_stay_importable():
+    import repro.monitor as shim
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        shim = importlib.reload(shim)
+    import repro.obs.monitor as home
+
+    for name in (
+        "CardinalityMonitor",
+        "EpochReport",
+        "monitor_population",
+        "simulate_monitoring",
+    ):
+        assert getattr(shim, name) is getattr(home, name)
+
+
+def test_canonical_homes_do_not_warn():
+    # The library itself must import the monitor from its new home —
+    # only user imports of the shim should see the deprecation.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        import repro  # noqa: F401
+        import repro.obs.monitor  # noqa: F401
+        import repro.reader.session  # noqa: F401
