@@ -33,6 +33,25 @@ committed ``BENCH_obs_diag.json``); ``--metrics-out`` dumps the
 diagnosed run's metric stream as JSON lines (uploaded as a CI
 artifact).
 
+With ``--profile`` the guard instead times the same fig-4 cell twice —
+once plain-instrumented, once with a
+:class:`~repro.obs.PhaseProfiler` attached — taking the best of
+``--profile-reps`` runs each, and fails when
+
+* the profiled run is more than ``--threshold`` (default 5 %) slower
+  than the plain instrumented run,
+* the profiled estimates are not bit-identical to the plain run's,
+* any canonical kernel phase (seed_matrix, hash_passes, reduction,
+  finalize) is missing from the profile, or
+* a small workers=2 sampled sweep's merged parent registry does not
+  equal the serial run's on the deterministic parity view
+  (:func:`repro.obs.parity_view` — counters, histogram buckets, event
+  multiset).
+
+``--profile-out`` writes the per-phase wall-time artifact;
+``--json-out`` writes the guard's measurements (the committed
+``BENCH_obs_parallel.json``).
+
 With ``--protocols`` the guard instead checks the cross-protocol
 batched comparison engine against ``BENCH_protocol_batched.json``:
 every cell of :mod:`bench_protocol_batched` is re-measured on this
@@ -171,6 +190,193 @@ def run_protocol_guard(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_profile_guard(args: argparse.Namespace) -> int:
+    """``--profile`` mode: phase-profiler overhead + merge parity."""
+    from repro.obs import PhaseProfiler, parity_view
+    from repro.obs.profile import (
+        KERNEL_PHASES,
+        registry_phase_report,
+        write_phase_json,
+    )
+
+    threshold = args.threshold if args.threshold is not None else 0.05
+    baseline = json.loads(BASELINE.read_text())
+    cell = baseline["cell"]
+    rounds = rounds_required(0.05, 0.01)
+    spec = WorkloadSpec(size=cell["n"], seed=0)
+    config = PetConfig(passive_tags=True)
+    repetitions = PAPER_RUNS_PER_POINT
+    failures: list[str] = []
+
+    def timed_cell(with_profiler: bool):
+        registry = MetricsRegistry()
+        if with_profiler:
+            registry.attach_diagnostics(
+                profiler=PhaseProfiler(registry=registry)
+            )
+        runner = ExperimentRunner(
+            base_seed=cell["base_seed"],
+            repetitions=repetitions,
+            registry=registry,
+        )
+        with use_registry(registry):
+            start = time.perf_counter()
+            result = runner.run_vectorized(
+                spec, config, rounds, engine="batched"
+            )
+            seconds = time.perf_counter() - start
+        return seconds, result, registry
+
+    # Best-of-N on both sides: the bound is tight (5 %), so a single
+    # noisy run on shared CI hardware must not trip it.
+    plain_seconds = profiled_seconds = float("inf")
+    plain_result = profiled_result = profiled_registry = None
+    for _ in range(args.profile_reps):
+        seconds, result, _ = timed_cell(with_profiler=False)
+        if seconds < plain_seconds:
+            plain_seconds = seconds
+        plain_result = result
+        seconds, result, registry = timed_cell(with_profiler=True)
+        if seconds < profiled_seconds:
+            profiled_seconds = seconds
+        profiled_result = result
+        profiled_registry = registry
+    assert plain_result is not None and profiled_result is not None
+    assert profiled_registry is not None
+
+    if (
+        profiled_result.estimates.tolist()
+        != plain_result.estimates.tolist()
+    ):
+        failures.append(
+            "profiling perturbed the estimates: profiled run is no "
+            "longer bit-identical to the plain instrumented run"
+        )
+
+    overhead = profiled_seconds / plain_seconds - 1.0
+    if profiled_seconds > plain_seconds * (1.0 + threshold):
+        failures.append(
+            f"profiler overhead too high: {profiled_seconds:.3f}s vs "
+            f"{plain_seconds:.3f}s plain ({overhead:+.1%}, bound "
+            f"{threshold:.0%})"
+        )
+
+    report = registry_phase_report(profiled_registry)
+    missing = [
+        phase for phase in KERNEL_PHASES if phase not in report
+    ]
+    if missing:
+        failures.append(
+            f"kernel phases missing from the profile: {missing}"
+        )
+
+    print(
+        f"plain: {plain_seconds:.3f}s  profiled: "
+        f"{profiled_seconds:.3f}s  overhead: {overhead:+.1%} "
+        f"(bound {threshold:.0%}, best of {args.profile_reps})"
+    )
+    for name, row in report.items():
+        print(
+            f"  {name:12s} {row['seconds']:8.3f}s  "
+            f"{row['fraction']:6.1%}  ({row['calls']} calls)"
+        )
+
+    # Snapshot/merge parity: a small workers=2 sampled sweep must land
+    # the parent registry exactly where a serial sweep does.
+    sweep_sizes = [200, 400, 800, 1600]
+    sweep_rounds = 40
+    serial_registry = MetricsRegistry()
+    serial = ExperimentRunner(
+        base_seed=cell["base_seed"],
+        repetitions=20,
+        registry=serial_registry,
+    ).sweep(sweep_sizes, PetConfig(), sweep_rounds)
+    parallel_registry = MetricsRegistry()
+    parallel = ExperimentRunner(
+        base_seed=cell["base_seed"],
+        repetitions=20,
+        registry=parallel_registry,
+    ).sweep(sweep_sizes, PetConfig(), sweep_rounds, workers=2)
+    sweep_identical = all(
+        a.estimates.tolist() == b.estimates.tolist()
+        for a, b in zip(serial, parallel)
+    )
+    if not sweep_identical:
+        failures.append(
+            "workers=2 sweep estimates diverged from the serial sweep"
+        )
+    serial_view = parity_view(serial_registry.snapshot())
+    parallel_view = parity_view(parallel_registry.snapshot())
+    parity_keys_off = [
+        key
+        for key in serial_view
+        if serial_view[key] != parallel_view[key]
+    ]
+    if parity_keys_off:
+        failures.append(
+            "workers=2 merged registry diverged from the serial "
+            f"registry on: {parity_keys_off}"
+        )
+    print(
+        f"merge parity (workers=2 vs serial, {len(sweep_sizes)} "
+        f"cells): estimates identical={sweep_identical}  "
+        f"registry parity={'ok' if not parity_keys_off else parity_keys_off}"
+    )
+
+    if args.profile_out is not None:
+        write_phase_json(
+            args.profile_out,
+            profiled_registry,
+            extra={"cell": cell, "guard": "profile"},
+        )
+        print(f"per-phase timings written to {args.profile_out}")
+
+    if args.json_out is not None:
+        Path(args.json_out).write_text(
+            json.dumps(
+                {
+                    "cell": cell,
+                    "plain": {"seconds": round(plain_seconds, 3)},
+                    "profiled": {
+                        "seconds": round(profiled_seconds, 3),
+                        "overhead": round(overhead, 4),
+                        "bound": threshold,
+                        "bit_identical": profiled_result.estimates.tolist()
+                        == plain_result.estimates.tolist(),
+                    },
+                    "phases": {
+                        name: {
+                            "seconds": round(row["seconds"], 4),
+                            "fraction": round(row["fraction"], 4),
+                            "calls": int(row["calls"]),
+                        }
+                        for name, row in report.items()
+                    },
+                    "merge_parity": {
+                        "workers": 2,
+                        "cells": len(sweep_sizes),
+                        "estimates_identical": sweep_identical,
+                        "registry_parity": not parity_keys_off,
+                    },
+                    "environment": {
+                        "python": platform.python_version(),
+                        "machine": platform.machine(),
+                    },
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+        print(f"profile measurements written to {args.json_out}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("profile bench guard passed")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -195,6 +401,33 @@ def main() -> int:
             "guard the cross-protocol batched comparison engine "
             "against BENCH_protocol_batched.json instead of the PET "
             "fig-4 cell"
+        ),
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "guard the phase profiler: overhead vs the plain "
+            "instrumented cell (default bound 5%%), kernel-phase "
+            "coverage, and workers=2 snapshot/merge parity"
+        ),
+    )
+    parser.add_argument(
+        "--profile-reps",
+        type=int,
+        default=3,
+        help=(
+            "timing repetitions per variant in --profile mode (best "
+            "of N; default 3)"
+        ),
+    )
+    parser.add_argument(
+        "--profile-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "in --profile mode, write the per-phase wall-time "
+            "artifact as JSON to PATH"
         ),
     )
     parser.add_argument(
@@ -233,6 +466,8 @@ def main() -> int:
 
     if args.protocols:
         return run_protocol_guard(args)
+    if args.profile:
+        return run_profile_guard(args)
     threshold = args.threshold if args.threshold is not None else 0.15
 
     baseline = json.loads(BASELINE.read_text())

@@ -29,7 +29,13 @@ The diagnostics flags build on the same registry:
 * ``--trace-sample POLICY`` picks which rounds are retained —
   ``all``, ``every_k:K``, or ``outliers_only[:THRESHOLD]`` (default);
 * ``--prom-out PATH`` writes the final metrics in OpenMetrics text
-  format for Prometheus scrapes / textfile collectors.
+  format for Prometheus scrapes / textfile collectors;
+* ``--progress`` renders a live stderr status line for sweep
+  experiments (``fig4``, ``protocols``) with per-cell throughput and
+  ETA — parallel sweeps stream worker heartbeats back to the parent;
+* ``--profile-out PATH`` attaches the batched-kernel phase profiler
+  (seed_matrix / hash_passes / reduction / finalize) and writes the
+  per-phase wall-time report to PATH as JSON.
 """
 
 from __future__ import annotations
@@ -43,6 +49,7 @@ from .obs import (
     EstimatorHealth,
     JsonLinesExporter,
     MetricsRegistry,
+    PhaseProfiler,
     PrometheusExporter,
     RoundTraceRecorder,
     SamplingPolicy,
@@ -51,6 +58,7 @@ from .obs import (
     write_html_report,
     write_trace,
 )
+from .obs.profile import write_phase_json
 from .figures import (
     ablations,
     extensions,
@@ -98,11 +106,15 @@ def _run_table5() -> None:
 
 
 def _experiments(
-    runs: int, workers: int | None = None
+    runs: int,
+    workers: int | None = None,
+    progress: bool = False,
 ) -> dict[str, Callable[[], None]]:
     return {
         "fig3": fig3_trace.main,
-        "fig4": lambda: fig4.main(runs=runs, workers=workers),
+        "fig4": lambda: fig4.main(
+            runs=runs, workers=workers, progress=progress
+        ),
         "table3": table3.main,
         "table4": _run_table4,
         "table5": _run_table5,
@@ -113,7 +125,7 @@ def _experiments(
         "ablations": ablations.main,
         "extensions": extensions.main,
         "protocols": lambda: table3.protocol_main(
-            runs=runs, workers=workers
+            runs=runs, workers=workers, progress=progress
         ),
     }
 
@@ -205,8 +217,27 @@ def main(argv: list[str] | None = None) -> int:
             "format to PATH"
         ),
     )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help=(
+            "render a live stderr status line (throughput, ETA) for "
+            "sweep experiments; parallel sweeps stream worker "
+            "heartbeats back to the parent"
+        ),
+    )
+    parser.add_argument(
+        "--profile-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "profile the batched-kernel phases (seed_matrix, "
+            "hash_passes, reduction, finalize) and write per-phase "
+            "wall-time totals to PATH as JSON"
+        ),
+    )
     args = parser.parse_args(argv)
-    experiments = _experiments(args.runs, args.workers)
+    experiments = _experiments(args.runs, args.workers, args.progress)
 
     def run_selected() -> None:
         if args.experiment == "all":
@@ -224,6 +255,7 @@ def main(argv: list[str] | None = None) -> int:
         args.metrics_out is not None
         or args.metrics_summary
         or args.prom_out is not None
+        or args.profile_out is not None
         or diagnostics_on
     )
     if not observing:
@@ -233,17 +265,33 @@ def main(argv: list[str] | None = None) -> int:
     registry = MetricsRegistry()
     recorder = None
     health = None
+    profiler = None
     if diagnostics_on:
         recorder = RoundTraceRecorder(
             policy=SamplingPolicy.parse(args.trace_sample),
             registry=registry,
         )
         health = EstimatorHealth(registry=registry)
+    if args.profile_out is not None:
+        profiler = PhaseProfiler(registry=registry)
+    if diagnostics_on or profiler is not None:
         registry.attach_diagnostics(
-            round_trace=recorder, health=health
+            round_trace=recorder, health=health, profiler=profiler
         )
     with use_registry(registry):
         run_selected()
+    if args.profile_out is not None:
+        # The registry holds the merged cross-process phase timings
+        # (worker profilers mirror into profile.*.seconds histograms,
+        # which snapshot/merge carries back); the local profiler only
+        # saw this process.
+        write_phase_json(
+            args.profile_out,
+            registry,
+            profiler=profiler,
+            extra={"experiment": args.experiment},
+        )
+        print(f"phase profile written to {args.profile_out}")
     if args.metrics_out is not None:
         with JsonLinesExporter(args.metrics_out) as exporter:
             exporter.export(registry)

@@ -46,12 +46,14 @@ def run(
     runs: int = PAPER_RUNS_PER_POINT,
     base_seed: int = 41,
     workers: int | None = None,
+    progress: bool = False,
 ) -> list[Fig4Cell]:
     """Run the full sweep; returns one cell per (n, m) pair.
 
     ``workers`` fans the per-``n`` cells of each rounds value out over
     worker processes (see :meth:`ExperimentRunner.sweep`); results are
-    bit-identical for any worker count.
+    bit-identical for any worker count.  ``progress`` renders a live
+    status line per sweep (one sweep per rounds value).
     """
     registry = get_registry()
     runner = ExperimentRunner(base_seed=base_seed, repetitions=runs)
@@ -65,7 +67,13 @@ def run(
         for rounds in rounds_grid:
             for n, repeated in zip(
                 sizes,
-                runner.sweep(sizes, config, rounds, workers=workers),
+                runner.sweep(
+                    sizes,
+                    config,
+                    rounds,
+                    workers=workers,
+                    progress=progress,
+                ),
             ):
                 cells.append(
                     Fig4Cell(
@@ -111,10 +119,12 @@ def tables(cells: list[Fig4Cell]) -> tuple[Table, Table, Table]:
 
 
 def main(
-    runs: int = PAPER_RUNS_PER_POINT, workers: int | None = None
+    runs: int = PAPER_RUNS_PER_POINT,
+    workers: int | None = None,
+    progress: bool = False,
 ) -> None:
     """Print all three panels at the paper's scale."""
-    cells = run(runs=runs, workers=workers)
+    cells = run(runs=runs, workers=workers, progress=progress)
     for table in tables(cells):
         table.print()
     print(

@@ -116,6 +116,7 @@ def protocol_sweep(
     rounds_grid: tuple[int, ...] = SWEEP_ROUNDS,
     base_seed: int = 42,
     workers: int | None = None,
+    progress: bool = False,
 ) -> list[ProtocolCellResult]:
     """Run the baseline-protocol comparison sweep on the batched tier."""
     return sweep_protocol_cells(
@@ -123,6 +124,7 @@ def protocol_sweep(
         repetitions=runs,
         base_seed=base_seed,
         workers=workers,
+        progress=progress,
     )
 
 
@@ -165,9 +167,14 @@ def protocol_main(
     n: int = SWEEP_N,
     runs: int = PAPER_RUNS_PER_POINT,
     workers: int | None = None,
+    progress: bool = False,
 ) -> None:
     """Print the baseline comparison sweep (CLI ``protocols`` entry)."""
-    protocol_table(protocol_sweep(n=n, runs=runs, workers=workers)).print()
+    protocol_table(
+        protocol_sweep(
+            n=n, runs=runs, workers=workers, progress=progress
+        )
+    ).print()
 
 
 if __name__ == "__main__":

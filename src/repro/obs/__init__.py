@@ -25,6 +25,17 @@ Attach diagnostics to a registry with
 :meth:`MetricsRegistry.attach_diagnostics`; instrumented simulators
 feed whatever is attached.
 
+Cross-process telemetry (parallel sweeps) builds on three pieces:
+
+* :meth:`MetricsRegistry.snapshot` / :meth:`MetricsRegistry.merge` —
+  picklable :class:`RegistrySnapshot` objects that merge associatively,
+  so worker registries fold into the parent losslessly;
+* :class:`ProgressTracker` / :class:`ProgressReporter`
+  (:mod:`repro.obs.progress`) — worker heartbeats, live status line,
+  ETA, and the ``sweep.progress.*`` gauges;
+* :class:`PhaseProfiler` (:mod:`repro.obs.profile`) — named wall-time
+  sampling around the batched-kernel phases.
+
 See docs/OBSERVABILITY.md for metric names, exporter formats, and how
 to wire a custom exporter.
 """
@@ -36,7 +47,9 @@ from .export import (
     InMemoryExporter,
     JsonLinesExporter,
     decode_value,
+    heartbeat_record,
     iter_records,
+    snapshot_record,
 )
 from .metrics import Counter, Gauge, Histogram
 from .monitor import (
@@ -45,8 +58,22 @@ from .monitor import (
     monitor_population,
     simulate_monitoring,
 )
+from .profile import (
+    KERNEL_PHASES,
+    NULL_PROFILER,
+    NullPhaseProfiler,
+    PhaseProfiler,
+    active_profiler,
+)
+from .progress import (
+    Heartbeat,
+    ProgressReporter,
+    ProgressTracker,
+    default_worker_id,
+)
 from .prom import (
     PrometheusExporter,
+    histogram_buckets,
     parse_openmetrics,
     render_openmetrics,
     write_openmetrics,
@@ -55,7 +82,9 @@ from .registry import (
     NULL_REGISTRY,
     MetricsRegistry,
     NullRegistry,
+    RegistrySnapshot,
     get_registry,
+    parity_view,
     set_registry,
     use_registry,
 )
@@ -86,7 +115,9 @@ __all__ = [
     "MetricsRegistry",
     "NullRegistry",
     "NULL_REGISTRY",
+    "RegistrySnapshot",
     "get_registry",
+    "parity_view",
     "set_registry",
     "use_registry",
     "Span",
@@ -98,6 +129,18 @@ __all__ = [
     "ConsoleSummaryExporter",
     "iter_records",
     "decode_value",
+    "snapshot_record",
+    "heartbeat_record",
+    # cross-process progress + profiling
+    "Heartbeat",
+    "ProgressReporter",
+    "ProgressTracker",
+    "default_worker_id",
+    "KERNEL_PHASES",
+    "PhaseProfiler",
+    "NullPhaseProfiler",
+    "NULL_PROFILER",
+    "active_profiler",
     # trace / replay
     "DEFAULT_TAIL_THRESHOLD",
     "DEFAULT_TRACE_CAPACITY",
@@ -124,6 +167,7 @@ __all__ = [
     "render_openmetrics",
     "write_openmetrics",
     "parse_openmetrics",
+    "histogram_buckets",
     "render_text_report",
     "render_html_report",
     "write_html_report",

@@ -5,8 +5,9 @@ Three built-ins, each a single ``export(registry)`` call:
 * :class:`InMemoryExporter` — keeps structured records on the object;
   the natural choice for tests and programmatic post-processing.
 * :class:`JsonLinesExporter` — one JSON object per line, ``kind``-tagged
-  (``counter`` / ``gauge`` / ``histogram`` / ``span`` / ``event``),
-  appended to a file or file-like object.  This is what the CLI's
+  (``counter`` / ``gauge`` / ``histogram`` / ``span`` / ``event``, plus
+  ``snapshot`` / ``heartbeat`` for the cross-process records), appended
+  to a file or file-like object.  This is what the CLI's
   ``--metrics-out PATH`` writes.
 * :class:`ConsoleSummaryExporter` — a compact human table of counters,
   gauges, and histogram summaries on stdout (or any stream).
@@ -30,7 +31,7 @@ import time
 from dataclasses import asdict
 from typing import IO, Iterable, Iterator, Protocol
 
-from .registry import MetricsRegistry
+from .registry import MetricsRegistry, RegistrySnapshot
 
 
 class Exporter(Protocol):
@@ -79,6 +80,46 @@ def iter_records(
         yield _stamp("event", event.get("name", ""), dict(event))
 
 
+def snapshot_record(
+    snapshot: RegistrySnapshot, ts: float | None = None
+) -> dict[str, object]:
+    """One ``kind="snapshot"`` record for a worker registry snapshot.
+
+    Carries the full :meth:`~RegistrySnapshot.to_dict` payload under the
+    same ``type`` / ``name`` / ``ts`` routing triplet as every other
+    record (``name`` is the snapshot's worker id, empty for the parent).
+    """
+    return {
+        "kind": "snapshot",
+        "type": "snapshot",
+        "name": snapshot.worker_id or "",
+        "ts": time.time() if ts is None else ts,
+        **snapshot.to_dict(),
+    }
+
+
+def heartbeat_record(
+    heartbeat: object, ts: float | None = None
+) -> dict[str, object]:
+    """One ``kind="heartbeat"`` record for a worker progress beat.
+
+    Accepts a :class:`repro.obs.progress.Heartbeat` (any dataclass with
+    its fields works); the record's ``ts`` is the beat's own emission
+    time when it carries one.
+    """
+    payload = asdict(heartbeat)  # type: ignore[call-overload]
+    beat_ts = payload.get("ts") or None
+    if ts is None:
+        ts = beat_ts if beat_ts else time.time()
+    return {
+        "kind": "heartbeat",
+        "type": "heartbeat",
+        "name": payload.get("worker_id", ""),
+        "ts": ts,
+        **payload,
+    }
+
+
 class InMemoryExporter:
     """Collects the record stream on ``self.records``."""
 
@@ -87,6 +128,16 @@ class InMemoryExporter:
 
     def export(self, registry: MetricsRegistry) -> None:
         self.records.extend(iter_records(registry))
+
+    def export_snapshot(self, snapshot: RegistrySnapshot) -> None:
+        """Collect one worker snapshot as a ``snapshot`` record."""
+        self.records.append(snapshot_record(snapshot))
+
+    def export_heartbeats(self, heartbeats: Iterable[object]) -> None:
+        """Collect progress beats as ``heartbeat`` records."""
+        self.records.extend(
+            heartbeat_record(beat) for beat in heartbeats
+        )
 
     def of_kind(self, kind: str) -> list[dict[str, object]]:
         """The collected records of one ``kind``, in export order."""
@@ -126,6 +177,19 @@ class JsonLinesExporter:
     def export(self, registry: MetricsRegistry) -> None:
         sink = self._sink()
         _write_lines(sink, iter_records(registry))
+        self.flush()
+
+    def export_snapshot(self, snapshot: RegistrySnapshot) -> None:
+        """Append one worker snapshot as a ``snapshot`` record."""
+        _write_lines(self._sink(), [snapshot_record(snapshot)])
+        self.flush()
+
+    def export_heartbeats(self, heartbeats: Iterable[object]) -> None:
+        """Append progress beats as ``heartbeat`` records."""
+        _write_lines(
+            self._sink(),
+            (heartbeat_record(beat) for beat in heartbeats),
+        )
         self.flush()
 
     def flush(self) -> None:

@@ -5,7 +5,8 @@ only the standard library, so it can be imported by every layer (radio,
 protocols, sim, figures, CLI) without widening the dependency surface.
 Numpy arrays are still first-class *inputs* — :meth:`Histogram.observe_many`
 duck-types on ``.size``/``.sum`` so a batch of gray depths is reduced by
-numpy itself, not a Python loop — but nothing here imports numpy.
+numpy itself, not a Python loop — and numpy is only imported lazily on
+that path, never at module import time.
 
 Three metric kinds, mirroring the usual Prometheus-style taxonomy:
 
@@ -31,6 +32,56 @@ from typing import Iterator
 
 from ..errors import ConfigurationError
 
+#: Exponent of the smallest dedicated log2 bucket: values in
+#: ``(0, 2**(BUCKET_LOW_EXP + 1))`` all land in bucket 1.
+BUCKET_LOW_EXP = -20
+
+#: Exponent of the overflow boundary: values ``>= 2**BUCKET_HIGH_EXP``
+#: land in the last (overflow) bucket.
+BUCKET_HIGH_EXP = 34
+
+#: Total bucket count: one non-positive bucket (index 0), one bucket per
+#: power of two between the low and high exponents, one overflow bucket.
+BUCKET_COUNT = BUCKET_HIGH_EXP - BUCKET_LOW_EXP + 1
+
+#: Cached upper bounds (see :func:`bucket_upper_bounds`).
+_BUCKET_BOUNDS: tuple[float, ...] | None = None
+
+
+def bucket_upper_bounds() -> tuple[float, ...]:
+    """Inclusive upper bound of each histogram bucket.
+
+    Bucket 0 collects ``value <= 0`` (bound ``0.0``); bucket ``i`` for
+    ``1 <= i < BUCKET_COUNT - 1`` collects positive values below
+    ``2.0 ** (BUCKET_LOW_EXP + i)``; the last bucket is the overflow
+    (bound ``inf``).  The grid is fixed, so bucket arrays from any two
+    processes merge by elementwise addition — the property the
+    cross-process snapshot/merge algebra rests on.
+    """
+    global _BUCKET_BOUNDS
+    if _BUCKET_BOUNDS is None:
+        _BUCKET_BOUNDS = (
+            (0.0,)
+            + tuple(
+                2.0 ** (BUCKET_LOW_EXP + index)
+                for index in range(1, BUCKET_COUNT - 1)
+            )
+            + (math.inf,)
+        )
+    return _BUCKET_BOUNDS
+
+
+def bucket_index(value: float) -> int:
+    """The fixed-grid bucket a single observation falls into."""
+    if value <= 0:
+        return 0
+    if math.isinf(value):
+        return BUCKET_COUNT - 1
+    # frexp(v) = (m, e) with v = m * 2**e and 0.5 <= m < 1, so v lies in
+    # [2**(e-1), 2**e) and its (exclusive) bucket bound is 2**e.
+    exponent = math.frexp(value)[1]
+    return min(max(exponent - BUCKET_LOW_EXP, 1), BUCKET_COUNT - 1)
+
 
 class Counter:
     """A monotonically increasing event count."""
@@ -51,27 +102,47 @@ class Counter:
 
 
 class Gauge:
-    """A value that can be set to anything at any time."""
+    """A value that can be set to anything at any time.
 
-    __slots__ = ("name", "value")
+    Every write stamps :attr:`ts` with ``time.time()`` so gauges from
+    different processes merge last-write-wins: whichever process wrote
+    most recently owns the merged value (``ts == 0.0`` means never
+    written, and always loses).
+    """
+
+    __slots__ = ("name", "value", "ts")
 
     def __init__(self, name: str):
         self.name = name
         self.value: float = 0.0
+        self.ts: float = 0.0
 
     def set(self, value: float) -> None:
         """Record the current level of the tracked quantity."""
         self.value = float(value)
+        self.ts = time.time()
 
 
 class Histogram:
-    """Streaming distribution summary: count, mean, std, min, max.
+    """Streaming distribution summary: count, mean, std, min, max,
+    plus a fixed log2 bucket array.
 
-    Keeps running moments instead of samples, so observing millions of
-    values costs O(1) memory.  Doubles as a timer via :meth:`time`.
+    Keeps running moments and the fixed-grid bucket counts instead of
+    samples, so observing millions of values costs O(1) memory.  The
+    bucket grid (:func:`bucket_upper_bounds`) is identical in every
+    process, which makes worker snapshots mergeable by elementwise
+    addition.  Doubles as a timer via :meth:`time`.
     """
 
-    __slots__ = ("name", "count", "total", "sum_squares", "min", "max")
+    __slots__ = (
+        "name",
+        "count",
+        "total",
+        "sum_squares",
+        "min",
+        "max",
+        "buckets",
+    )
 
     def __init__(self, name: str):
         self.name = name
@@ -80,6 +151,7 @@ class Histogram:
         self.sum_squares = 0.0
         self.min = math.inf
         self.max = -math.inf
+        self.buckets = [0] * BUCKET_COUNT
 
     def observe(self, value: float) -> None:
         """Record one observation."""
@@ -87,6 +159,7 @@ class Histogram:
         self.count += 1
         self.total += value
         self.sum_squares += value * value
+        self.buckets[bucket_index(value)] += 1
         if value < self.min:
             self.min = value
         if value > self.max:
@@ -96,7 +169,9 @@ class Histogram:
         """Record a batch of observations.
 
         Numpy arrays (anything exposing ``size``/``sum``/``min``/``max``)
-        are reduced natively; other iterables fall back to a loop.
+        are reduced natively — including the bucket counts, computed
+        with one ``frexp``/``bincount`` pass; other iterables fall back
+        to a loop.
         """
         try:
             count = int(values.size)  # type: ignore[attr-defined]
@@ -110,6 +185,22 @@ class Histogram:
             for value in values:  # type: ignore[attr-defined]
                 self.observe(value)
             return
+        import numpy as np  # lazy: repro.obs stays importable without it
+
+        data = np.asarray(values, dtype=np.float64).ravel()
+        exponents = np.frexp(data)[1]
+        indices = np.where(
+            data <= 0,
+            0,
+            np.clip(exponents - BUCKET_LOW_EXP, 1, BUCKET_COUNT - 1),
+        )
+        # np.frexp(+inf) reports exponent 0; route +inf to the overflow
+        # bucket exactly as the scalar bucket_index does.
+        indices[data == math.inf] = BUCKET_COUNT - 1
+        bucketed = np.bincount(indices, minlength=BUCKET_COUNT)
+        buckets = self.buckets
+        for index in np.nonzero(bucketed)[0]:
+            buckets[index] += int(bucketed[index])
         self.count += count
         self.total += total
         self.sum_squares += sum_squares

@@ -2,9 +2,11 @@
 
 :func:`render_openmetrics` turns a :class:`~repro.obs.registry.MetricsRegistry`
 snapshot into the OpenMetrics text format — ``# TYPE`` metadata lines,
-``_total``-suffixed counters, gauges, and histograms rendered as
-summaries (``_count`` / ``_sum``) plus ``_min`` / ``_max`` / ``_mean``
-gauges — terminated by the mandatory ``# EOF`` marker.  The output is
+``_total``-suffixed counters, gauges, and histograms rendered as true
+``histogram`` families (cumulative ``_bucket{le="..."}`` lines over the
+registry's fixed log2 grid, ``_count`` / ``_sum``) plus ``_min`` /
+``_max`` / ``_mean`` gauges — terminated by the mandatory ``# EOF``
+marker.  The output is
 what a Prometheus scrape endpoint or node-exporter textfile collector
 expects, so a CLI run with ``--prom-out`` drops straight into an
 existing monitoring stack.
@@ -17,6 +19,9 @@ values use the spec's ``NaN`` / ``+Inf`` / ``-Inf`` literals.
 :func:`parse_openmetrics` is a small validating reader for the subset
 this module emits — enough for tests (and smoke checks) to assert that
 ``--prom-out`` files are well-formed and carry the expected samples.
+:func:`histogram_buckets` inverts the cumulative ``_bucket`` samples
+back onto the registry's bucket array, so parsed histograms round-trip
+through :meth:`~repro.obs.registry.MetricsRegistry.merge` losslessly.
 """
 
 from __future__ import annotations
@@ -26,6 +31,7 @@ import re
 from typing import Mapping
 
 from ..errors import ConfigurationError
+from .metrics import BUCKET_COUNT, bucket_upper_bounds
 from .registry import MetricsRegistry
 
 _NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
@@ -75,9 +81,23 @@ def render_openmetrics(
 
     histograms = snapshot["histograms"]
     assert isinstance(histograms, dict)
+    bounds = bucket_upper_bounds()
     for name, stats in histograms.items():
         metric = sanitize_metric_name(name, prefix)
-        lines.append(f"# TYPE {metric} summary")
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for index, count in enumerate(stats.get("buckets") or ()):
+            bound = bounds[index]
+            if count == 0 or math.isinf(bound):
+                continue
+            cumulative += int(count)
+            lines.append(
+                f'{metric}_bucket{{le="{bound!r}"}} {cumulative}'
+            )
+        # The +Inf bucket is mandatory and must equal _count.
+        lines.append(
+            f'{metric}_bucket{{le="+Inf"}} {int(stats["count"])}'
+        )
         lines.append(f"{metric}_count {_format_value(stats['count'])}")
         lines.append(f"{metric}_sum {_format_value(stats['total'])}")
         for suffix in ("min", "max", "mean"):
@@ -185,11 +205,12 @@ def parse_openmetrics(
                 f"line {line_no}: malformed sample line {raw!r}"
             )
         sample_name, token = parts
-        if not _NAME_OK.match(sample_name):
+        bare_name = _split_labels(sample_name, line_no)
+        if not _NAME_OK.match(bare_name):
             raise ConfigurationError(
                 f"line {line_no}: invalid sample name {sample_name!r}"
             )
-        if not _sample_declared(sample_name, types):
+        if not _sample_declared(bare_name, types):
             raise ConfigurationError(
                 f"line {line_no}: sample {sample_name!r} has no"
                 " preceding # TYPE declaration"
@@ -200,10 +221,31 @@ def parse_openmetrics(
     return samples, types
 
 
+#: One or more ``key="value"`` pairs in braces; values may not contain
+#: quotes or braces (true of everything this module emits).
+_LABELS_OK = re.compile(
+    r'^\{[a-zA-Z_][a-zA-Z0-9_]*="[^"{}]*"'
+    r'(,[a-zA-Z_][a-zA-Z0-9_]*="[^"{}]*")*\}$'
+)
+
+
+def _split_labels(sample_name: str, line_no: int) -> str:
+    """Strip (and validate) a sample name's ``{...}`` label block."""
+    brace = sample_name.find("{")
+    if brace == -1:
+        return sample_name
+    labels = sample_name[brace:]
+    if not _LABELS_OK.match(labels):
+        raise ConfigurationError(
+            f"line {line_no}: malformed labels {labels!r}"
+        )
+    return sample_name[:brace]
+
+
 def _sample_declared(
     sample_name: str, types: Mapping[str, str]
 ) -> bool:
-    """Whether a sample line belongs to a declared metric family."""
+    """Whether a (label-stripped) sample belongs to a declared family."""
     if sample_name in types:
         return True
     for suffix in ("_total", "_count", "_sum", "_bucket"):
@@ -211,3 +253,46 @@ def _sample_declared(
             if sample_name[: -len(suffix)] in types:
                 return True
     return False
+
+
+_LE_VALUE = re.compile(r'le="([^"]+)"')
+
+
+def histogram_buckets(
+    samples: Mapping[str, float], metric: str
+) -> list[int]:
+    """Reconstruct a histogram's bucket array from parsed samples.
+
+    Inverts the cumulative ``<metric>_bucket{le="..."}`` samples of
+    :func:`render_openmetrics` back onto the registry's fixed log2
+    bucket grid (:func:`repro.obs.metrics.bucket_upper_bounds`), so the
+    result is elementwise-addable with other parsed or live bucket
+    arrays — the same merge the registry itself performs.
+    """
+    bounds = bucket_upper_bounds()
+    index_of = {bound: index for index, bound in enumerate(bounds)}
+    prefix = f"{metric}_bucket{{"
+    entries: list[tuple[float, float]] = []
+    for sample_name, value in samples.items():
+        if not sample_name.startswith(prefix):
+            continue
+        match = _LE_VALUE.search(sample_name[len(prefix) - 1 :])
+        if match is None:
+            raise ConfigurationError(
+                f"bucket sample {sample_name!r} has no le label"
+            )
+        token = match.group(1)
+        upper = math.inf if token == "+Inf" else float(token)
+        entries.append((upper, value))
+    entries.sort()
+    buckets = [0] * BUCKET_COUNT
+    previous = 0.0
+    for upper, cumulative in entries:
+        index = index_of.get(upper)
+        if index is None:
+            raise ConfigurationError(
+                f"bucket bound {upper!r} is not on the registry grid"
+            )
+        buckets[index] = int(cumulative - previous)
+        previous = cumulative
+    return buckets

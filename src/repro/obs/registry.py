@@ -22,7 +22,10 @@ falsy, so batch code can gate optional aggregate computations with
 
 from __future__ import annotations
 
+import json
+import math
 from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
 from typing import Iterator
 
 from .metrics import (
@@ -34,6 +37,145 @@ from .metrics import (
     _NullHistogram,
 )
 from .span import NULL_SPAN, NullSpan, Span, SpanRecord
+
+
+@dataclass
+class RegistrySnapshot:
+    """Picklable point-in-time copy of a registry's full contents.
+
+    This is what worker processes ship back to the sweep parent: plain
+    dicts, lists, and :class:`~repro.obs.span.SpanRecord` rows — nothing
+    that references the live registry — so the object pickles cleanly
+    across a ``ProcessPoolExecutor`` boundary and feeds
+    :meth:`MetricsRegistry.merge` on the other side.
+
+    For backwards compatibility the snapshot also supports the old
+    plain-dict access pattern: ``snapshot["counters"]`` /
+    ``snapshot["gauges"]`` / ``snapshot["histograms"]`` return the same
+    mappings the dict-returning ``snapshot()`` of earlier versions did
+    (histogram stats dicts additionally carry ``sum_squares`` and the
+    fixed-grid ``buckets`` array).
+
+    Attributes
+    ----------
+    counters:
+        Metric name → monotone total.
+    gauges:
+        Metric name → last-written value.
+    gauge_ts:
+        Metric name → ``time.time()`` of the last write (``0.0`` =
+        never written); drives last-write-wins merging.
+    histograms:
+        Metric name → stats dict (``count`` / ``total`` /
+        ``sum_squares`` / ``min`` / ``max`` / ``mean`` / ``std`` /
+        ``buckets``).
+    spans:
+        The registry's completed-span trace (tagged with ``worker.id``
+        when the snapshot was taken with a ``worker_id``).
+    events:
+        The registry's event rows (same ``worker.id`` tagging).
+    worker_id:
+        Identity of the process that took the snapshot, or ``None``.
+    """
+
+    counters: dict[str, float] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    gauge_ts: dict[str, float] = field(default_factory=dict)
+    histograms: dict[str, dict[str, object]] = field(
+        default_factory=dict
+    )
+    spans: list[SpanRecord] = field(default_factory=list)
+    events: list[dict[str, object]] = field(default_factory=list)
+    worker_id: str | None = None
+
+    def __getitem__(self, key: str) -> dict:
+        if key in ("counters", "gauges", "histograms"):
+            return getattr(self, key)
+        raise KeyError(key)
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready plain-dict view (spans become attribute dicts)."""
+        from dataclasses import asdict
+
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "gauge_ts": dict(self.gauge_ts),
+            "histograms": {
+                name: dict(stats)
+                for name, stats in self.histograms.items()
+            },
+            "spans": [asdict(record) for record in self.spans],
+            "events": [dict(event) for event in self.events],
+            "worker_id": self.worker_id,
+        }
+
+
+def _gauge_wins(
+    ts_new: float, value_new: float, ts_old: float, value_old: float
+) -> bool:
+    """Last-write-wins with a total tie-break order.
+
+    Later timestamp wins; equal timestamps break toward the larger
+    value (NaN loses to everything) — a total order, so merging any
+    number of snapshots in any order converges to the same gauge.
+    """
+    if ts_new != ts_old:
+        return ts_new > ts_old
+    if math.isnan(value_new):
+        return False
+    if math.isnan(value_old):
+        return True
+    return value_new > value_old
+
+
+def _strip_volatile(event: dict[str, object]) -> dict[str, object]:
+    """An event row minus its timing and worker-identity fields."""
+    return {
+        key: value
+        for key, value in event.items()
+        if key not in ("seconds", "worker.id", "ts")
+    }
+
+
+def parity_view(
+    snapshot: "RegistrySnapshot | MetricsRegistry",
+) -> dict[str, object]:
+    """The deterministic projection of a snapshot, for equality tests.
+
+    Parallel and serial sweeps must agree *bit-for-bit* on everything
+    that is not a wall-clock measurement: counters, histogram counts /
+    extrema / bucket arrays, and the event multiset up to worker-id and
+    timing tags.  Gauges (throughput), ``*.seconds`` histograms (cell
+    and span timings), and the span trace itself are machine-timed and
+    excluded.  Histogram ``total`` / ``sum_squares`` are float sums
+    whose grouping differs between the merged and the serial order, so
+    they are rounded to 12 significant digits rather than compared
+    exactly.
+    """
+    if isinstance(snapshot, MetricsRegistry):
+        snapshot = snapshot.snapshot()
+    histograms = {}
+    for name, stats in sorted(snapshot.histograms.items()):
+        if name.endswith(".seconds") or name.endswith("_seconds"):
+            continue
+        histograms[name] = {
+            "count": stats["count"],
+            "min": stats["min"],
+            "max": stats["max"],
+            "buckets": list(stats["buckets"]),
+            "total": float(f"{stats['total']:.12g}"),
+            "sum_squares": float(f"{stats['sum_squares']:.12g}"),
+        }
+    events = sorted(
+        json.dumps(_strip_volatile(event), sort_keys=True, default=str)
+        for event in snapshot.events
+    )
+    return {
+        "counters": dict(sorted(snapshot.counters.items())),
+        "histograms": histograms,
+        "events": events,
+    }
 
 
 class MetricsRegistry:
@@ -59,17 +201,22 @@ class MetricsRegistry:
         #: Optional round-level diagnostics attached to this registry
         #: (see :mod:`repro.obs.trace` / :mod:`repro.obs.diag`).
         #: Instrumented simulators read these attributes and feed them
-        #: when set; both stay ``None`` on the null registry, so the
+        #: when set; all stay ``None`` on the null registry, so the
         #: uninstrumented fast path is unaffected.
         self.round_trace: object | None = None
         self.health: object | None = None
+        #: Optional :class:`~repro.obs.profile.PhaseProfiler`; batched
+        #: kernels wrap their phases with it when attached (the shared
+        #: no-op profiler otherwise).
+        self.profiler: object | None = None
 
     def attach_diagnostics(
         self,
         round_trace: object | None = None,
         health: object | None = None,
+        profiler: object | None = None,
     ) -> "MetricsRegistry":
-        """Attach a round-trace recorder and/or health monitor.
+        """Attach a round-trace recorder, health monitor, or profiler.
 
         Returns ``self`` so construction chains:
         ``MetricsRegistry().attach_diagnostics(recorder, health)``.
@@ -78,6 +225,8 @@ class MetricsRegistry:
             self.round_trace = round_trace
         if health is not None:
             self.health = health
+        if profiler is not None:
+            self.profiler = profiler
         return self
 
     def __bool__(self) -> bool:
@@ -130,18 +279,46 @@ class MetricsRegistry:
 
     # -- export ----------------------------------------------------------
 
-    def snapshot(self) -> dict[str, object]:
-        """Plain-dict view of every metric, for exporters and tests."""
-        return {
-            "counters": {
+    def snapshot(self, worker_id: str | None = None) -> RegistrySnapshot:
+        """Picklable copy of every metric, span, and event.
+
+        The returned :class:`RegistrySnapshot` still supports the old
+        mapping access (``snapshot()["counters"]`` ...), so exporters
+        and tests written against the plain-dict shape keep working.
+
+        ``worker_id`` tags every span and event with a ``worker.id``
+        attribute — worker processes pass their pid so the parent's
+        merged trace records which process timed what.
+        """
+        spans = list(self.trace)
+        events = [dict(event) for event in self.events]
+        if worker_id is not None:
+            spans = [
+                replace(
+                    record,
+                    attributes={
+                        **record.attributes,
+                        "worker.id": worker_id,
+                    },
+                )
+                for record in spans
+            ]
+            for event in events:
+                event["worker.id"] = worker_id
+        return RegistrySnapshot(
+            counters={
                 name: metric.value
                 for name, metric in sorted(self._counters.items())
             },
-            "gauges": {
+            gauges={
                 name: metric.value
                 for name, metric in sorted(self._gauges.items())
             },
-            "histograms": {
+            gauge_ts={
+                name: metric.ts
+                for name, metric in sorted(self._gauges.items())
+            },
+            histograms={
                 name: {
                     "count": metric.count,
                     "mean": metric.mean,
@@ -149,10 +326,63 @@ class MetricsRegistry:
                     "min": metric.min,
                     "max": metric.max,
                     "total": metric.total,
+                    "sum_squares": metric.sum_squares,
+                    "buckets": list(metric.buckets),
                 }
                 for name, metric in sorted(self._histograms.items())
             },
-        }
+            spans=spans,
+            events=events,
+            worker_id=worker_id,
+        )
+
+    # -- cross-process merge ---------------------------------------------
+
+    def merge(self, snapshot: RegistrySnapshot) -> "MetricsRegistry":
+        """Fold a worker's :class:`RegistrySnapshot` into this registry.
+
+        The merge is associative and order-independent over the metric
+        state: counters add, histogram moments/extrema/buckets combine
+        exactly, and gauges resolve last-write-wins on their write
+        timestamps (ties break toward the larger value so the outcome
+        does not depend on merge order).  Spans and events append under
+        the usual ``max_trace`` cap, each tagged with the snapshot's
+        ``worker.id``; note the *retained subset* near the cap does
+        depend on merge order even though the drop counters do not.
+
+        Span timings arrive pre-aggregated in the snapshot's
+        ``span.*.seconds`` histograms, so merging the trace does not
+        re-observe them.  Returns ``self`` for chaining.
+        """
+        for name, value in snapshot.counters.items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.gauges.items():
+            ts = snapshot.gauge_ts.get(name, 0.0)
+            gauge = self.gauge(name)
+            if _gauge_wins(ts, value, gauge.ts, gauge.value):
+                gauge.value = float(value)
+                gauge.ts = ts
+        for name, stats in snapshot.histograms.items():
+            histogram = self.histogram(name)
+            histogram.count += int(stats["count"])  # type: ignore[call-overload]
+            histogram.total += float(stats["total"])  # type: ignore[arg-type]
+            histogram.sum_squares += float(stats["sum_squares"])  # type: ignore[arg-type]
+            histogram.min = min(histogram.min, stats["min"])  # type: ignore[type-var]
+            histogram.max = max(histogram.max, stats["max"])  # type: ignore[type-var]
+            buckets = stats["buckets"]
+            for index, count in enumerate(buckets):  # type: ignore[arg-type]
+                histogram.buckets[index] += count
+        for record in snapshot.spans:
+            if len(self.trace) < self.max_trace:
+                self.trace.append(record)
+            else:
+                self.counter("obs.spans.dropped").inc()
+        for event in snapshot.events:
+            if len(self.events) < self.max_trace:
+                self.events.append(dict(event))
+            else:
+                self.counter("obs.events.dropped").inc()
+        return self
 
 
 class NullRegistry(MetricsRegistry):
@@ -189,8 +419,13 @@ class NullRegistry(MetricsRegistry):
         self,
         round_trace: object | None = None,  # noqa: ARG002
         health: object | None = None,  # noqa: ARG002
+        profiler: object | None = None,  # noqa: ARG002
     ) -> "MetricsRegistry":
         """No-op: the shared null registry never carries diagnostics."""
+        return self
+
+    def merge(self, snapshot: RegistrySnapshot) -> "MetricsRegistry":  # noqa: ARG002
+        """No-op: merging into the null registry records nothing."""
         return self
 
 

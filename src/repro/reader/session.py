@@ -5,7 +5,7 @@ wraps a round driver (single reader, controller, or any simulator tier)
 with the operational concerns:
 
 * repeated epoch estimation with managed seeds,
-* optional continuous change monitoring (:mod:`repro.monitor`),
+* optional continuous change monitoring (:mod:`repro.obs.monitor`),
 * a persistent log of epoch results suitable for
   :func:`repro.sim.persist.save_experiment`.
 

@@ -48,6 +48,7 @@ from ..core.search import (
 from ..errors import ConfigurationError
 from ..hashing.family import HashFamily
 from ..hashing.geometric import leading_zeros64_vec
+from ..obs.profile import active_profiler
 from ..obs.registry import MetricsRegistry, get_registry
 from .experiment import RepeatedEstimate
 from .workload import WorkloadSpec, build_population
@@ -172,6 +173,7 @@ class BatchedExperimentEngine:
         strategy = strategy_for(config.binary_search)
         slots_table = slots_lookup_table(strategy, height)
         registry = self.registry
+        profiler = active_profiler(registry)
         recorder = registry.round_trace if registry else None
         health = registry.health if registry else None
         if registry:
@@ -192,47 +194,53 @@ class BatchedExperimentEngine:
             estimates = np.empty(self.repetitions)
             total_slots = 0
             for index, child in enumerate(children):
-                rng = np.random.default_rng(child)
-                population = build_population(
-                    WorkloadSpec(
-                        size=spec.size,
-                        id_space=spec.id_space,
-                        seed=spec.seed + index,
+                with profiler.phase("seed_matrix"):
+                    rng = np.random.default_rng(child)
+                    # One array draw reproduces the reference loop's
+                    # per-round scalar draws: path word (then seed word,
+                    # active variant) in round order — see
+                    # EstimatingPath.random.
+                    words = rng.integers(
+                        0,
+                        2**64,
+                        size=(rounds, words_per_round),
+                        dtype=np.uint64,
                     )
-                )
-                # One array draw reproduces the reference loop's
-                # per-round scalar draws: path word (then seed word,
-                # active variant) in round order — see
-                # EstimatingPath.random.
-                words = rng.integers(
-                    0,
-                    2**64,
-                    size=(rounds, words_per_round),
-                    dtype=np.uint64,
-                )
-                path_bits = words[:, 0] >> np.uint64(64 - height)
-                if config.passive_tags:
-                    codes = np.sort(population.preloaded_codes(height))
-                    depths = batched_gray_depths_sorted(
-                        codes, path_bits, height
+                    path_bits = words[:, 0] >> np.uint64(64 - height)
+                with profiler.phase("hash_passes"):
+                    population = build_population(
+                        WorkloadSpec(
+                            size=spec.size,
+                            id_space=spec.id_space,
+                            seed=spec.seed + index,
+                        )
                     )
-                else:
-                    # integers(0, 2**63) is a one-word Lemire draw:
-                    # word >> 1.
-                    seeds = words[:, 1] >> np.uint64(1)
-                    depths = batched_gray_depths_fresh(
-                        population.tag_ids,
-                        seeds,
-                        path_bits,
-                        height,
-                        population.family,
-                    )
-                estimates[index] = estimate_from_depths(depths)
-                total_slots += int(slots_table[depths].sum())
-                if registry:
-                    busy_slots += int(busy_table[depths].sum())
-                    idle_slots += int(idle_table[depths].sum())
-                    depth_histogram.observe_many(depths)
+                    if config.passive_tags:
+                        codes = np.sort(
+                            population.preloaded_codes(height)
+                        )
+                        depths = batched_gray_depths_sorted(
+                            codes, path_bits, height
+                        )
+                    else:
+                        # integers(0, 2**63) is a one-word Lemire draw:
+                        # word >> 1.
+                        seeds = words[:, 1] >> np.uint64(1)
+                        depths = batched_gray_depths_fresh(
+                            population.tag_ids,
+                            seeds,
+                            path_bits,
+                            height,
+                            population.family,
+                        )
+                with profiler.phase("finalize"):
+                    estimates[index] = estimate_from_depths(depths)
+                with profiler.phase("reduction"):
+                    total_slots += int(slots_table[depths].sum())
+                    if registry:
+                        busy_slots += int(busy_table[depths].sum())
+                        idle_slots += int(idle_table[depths].sum())
+                        depth_histogram.observe_many(depths)
                     if recorder is not None:
                         recorder.record_population_run(
                             tier="batched",

@@ -18,7 +18,18 @@ import numpy as np
 from ..analysis.stats import SeriesSummary, summarize
 from ..config import PAPER_RUNS_PER_POINT, PetConfig
 from ..errors import ConfigurationError
-from ..obs.registry import MetricsRegistry, get_registry
+from ..obs.profile import active_profiler
+from ..obs.progress import (
+    ProgressReporter,
+    ProgressTracker,
+    default_worker_id,
+)
+from ..obs.registry import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    RegistrySnapshot,
+    get_registry,
+)
 from .sampled import SampledSimulator
 from .vectorized import VectorizedSimulator
 from .workload import WorkloadSpec, build_population
@@ -125,17 +136,23 @@ class ExperimentRunner:
         full runs, at a fraction of the cost.
         """
         start = time.perf_counter()
+        profiler = active_profiler(self.registry)
         with self.registry.span("cell", tier="sampled", n=n):
-            rng = np.random.default_rng(
-                np.random.SeedSequence((self.base_seed, n, rounds))
-            )
-            simulator = SampledSimulator(
-                n, config=config, rng=rng, registry=self.registry
-            )
-            estimates = simulator.estimate_batch(rounds, self.repetitions)
+            with profiler.phase("seed_matrix"):
+                rng = np.random.default_rng(
+                    np.random.SeedSequence((self.base_seed, n, rounds))
+                )
+                simulator = SampledSimulator(
+                    n, config=config, rng=rng, registry=self.registry
+                )
+            with profiler.phase("hash_passes"):
+                estimates = simulator.estimate_batch(
+                    rounds, self.repetitions
+                )
             # One representative run for slot accounting (slot counts are
             # almost surely constant for binary search, d+1 for linear).
-            result = simulator.estimate(rounds=rounds)
+            with profiler.phase("reduction"):
+                result = simulator.estimate(rounds=rounds)
         repeated = RepeatedEstimate(
             true_n=n,
             rounds=rounds,
@@ -305,6 +322,7 @@ class ExperimentRunner:
         config: PetConfig,
         rounds: int,
         workers: int | None = None,
+        progress: "bool | ProgressTracker | None" = None,
     ) -> list[RepeatedEstimate]:
         """Sampled-tier sweep over population sizes (Fig. 4 driver).
 
@@ -314,45 +332,148 @@ class ExperimentRunner:
         rounds))`` (see :meth:`run_sampled`), independent of execution
         order — so the results are bit-for-bit identical for any worker
         count, including ``None``/``1`` (in-process serial execution).
+
+        When this runner carries a real registry, each worker records
+        into a private :class:`~repro.obs.registry.MetricsRegistry` and
+        returns a :class:`~repro.obs.registry.RegistrySnapshot`, which
+        the parent merges — counters, histogram buckets, spans, and
+        events aggregate to the same totals as a serial run (verified
+        by the parity tests), and cells are timed where they actually
+        ran rather than re-recorded with ``NaN``.
+
+        ``progress`` turns on live reporting: pass ``True`` for a
+        stderr status line with throughput and ETA, or a configured
+        :class:`~repro.obs.progress.ProgressTracker`.  Worker processes
+        stream heartbeats back over a ``multiprocessing`` queue; the
+        serial path updates the tracker directly.
         """
         if workers is not None and workers < 1:
             raise ConfigurationError(
                 f"workers must be >= 1 when given, got {workers}"
             )
+        tracker = _make_tracker(progress, len(sizes), self.registry)
         start = time.perf_counter()
         with self.registry.span(
             "sweep", cells=len(sizes), workers=workers or 1
         ):
             if workers is None or workers == 1:
-                results = [
-                    self.run_sampled(n, config, rounds) for n in sizes
-                ]
+                results = []
+                for n in sizes:
+                    repeated = self.run_sampled(n, config, rounds)
+                    if tracker is not None:
+                        tracker.cell_done(
+                            n=n,
+                            slots=int(
+                                repeated.slots_per_run
+                                * self.repetitions
+                            ),
+                            rounds=rounds * self.repetitions,
+                        )
+                    results.append(repeated)
             else:
-                from concurrent.futures import ProcessPoolExecutor
-
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    futures = [
-                        pool.submit(
+                pairs = _run_pool(
+                    workers,
+                    [
+                        (
                             _sweep_cell,
                             self.base_seed,
                             self.repetitions,
                             n,
                             config,
                             rounds,
+                            bool(self.registry),
+                            self.registry.profiler is not None,
                         )
                         for n in sizes
-                    ]
-                    results = [future.result() for future in futures]
-                # Worker processes carry their own (null) registries, so
-                # cells computed remotely are recorded here instead.
-                for repeated in results:
-                    self._record_cell("sampled", repeated, float("nan"))
+                    ],
+                    tracker,
+                )
+                results = []
+                for repeated, snapshot in pairs:
+                    if snapshot is not None:
+                        self.registry.merge(snapshot)
+                    results.append(repeated)
+                # Worker registries cannot carry the parent's health
+                # monitor; feed it here so diagnostics see every cell.
+                health = self.registry.health if self.registry else None
+                if health is not None:
+                    for repeated in results:
+                        health.observe_estimates(
+                            repeated.estimates, repeated.rounds
+                        )
         seconds = time.perf_counter() - start
         if seconds > 0:
             self.registry.gauge("experiment.cells_per_second").set(
                 len(sizes) / seconds
             )
+        if tracker is not None:
+            tracker.finish()
         return results
+
+
+def _make_tracker(
+    progress: "bool | ProgressTracker | None",
+    total_cells: int,
+    registry: MetricsRegistry,
+) -> "ProgressTracker | None":
+    """Resolve a sweep's ``progress`` argument to a tracker (or None)."""
+    if progress is None or progress is False:
+        return None
+    if progress is True:
+        import sys
+
+        return ProgressTracker(
+            total_cells, registry=registry, stream=sys.stderr
+        )
+    return progress
+
+
+def _run_pool(
+    workers: int,
+    submissions: "list[tuple]",
+    tracker: "ProgressTracker | None",
+) -> list:
+    """Fan submissions out over a process pool, draining heartbeats.
+
+    Each submission is ``(fn, *args)``; the worker function's final
+    argument slot receives the :class:`ProgressReporter` (or ``None``
+    when no tracker is active).  Results come back in submission order.
+    A ``multiprocessing.Manager`` queue carries the heartbeats — plain
+    ``multiprocessing.Queue`` objects cannot cross a
+    ``ProcessPoolExecutor`` submit boundary.
+    """
+    from concurrent.futures import ProcessPoolExecutor, wait
+
+    manager = None
+    queue = None
+    reporter = None
+    if tracker is not None:
+        import multiprocessing
+
+        manager = multiprocessing.Manager()
+        queue = manager.Queue()
+        reporter = ProgressReporter(queue)
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(fn, *args, reporter)
+                for fn, *args in submissions
+            ]
+            pending = set(futures)
+            while pending:
+                _, pending = wait(
+                    pending,
+                    timeout=0.2 if queue is not None else None,
+                )
+                if tracker is not None and queue is not None:
+                    tracker.drain(queue)
+            results = [future.result() for future in futures]
+        if tracker is not None and queue is not None:
+            tracker.drain(queue)
+        return results
+    finally:
+        if manager is not None:
+            manager.shutdown()
 
 
 def _sweep_cell(
@@ -361,7 +482,43 @@ def _sweep_cell(
     n: int,
     config: PetConfig,
     rounds: int,
-) -> RepeatedEstimate:
-    """Worker-process entry: one sweep cell (module-level, picklable)."""
-    runner = ExperimentRunner(base_seed=base_seed, repetitions=repetitions)
-    return runner.run_sampled(n, config, rounds)
+    collect: bool = False,
+    profile: bool = False,
+    reporter: "ProgressReporter | None" = None,
+) -> "tuple[RepeatedEstimate, RegistrySnapshot | None]":
+    """Worker-process entry: one sweep cell (module-level, picklable).
+
+    Returns the cell result plus, when ``collect`` is set, a snapshot
+    of everything the worker's private registry recorded — the parent
+    merges it so no worker-side telemetry is lost.  ``profile``
+    mirrors the parent having a profiler attached: the worker's phase
+    timings land in ``profile.*.seconds`` histograms, which merge up.
+    """
+    registry = MetricsRegistry() if collect else NULL_REGISTRY
+    if profile and collect:
+        from ..obs.profile import PhaseProfiler
+
+        registry.attach_diagnostics(
+            profiler=PhaseProfiler(registry=registry)
+        )
+    runner = ExperimentRunner(
+        base_seed=base_seed, repetitions=repetitions, registry=registry
+    )
+    if reporter is not None:
+        reporter.emit(phase="start", n=n, force=True)
+    repeated = runner.run_sampled(n, config, rounds)
+    if reporter is not None:
+        reporter.emit(
+            phase="done",
+            cells_done=1,
+            slots=int(repeated.slots_per_run * repetitions),
+            rounds=rounds * repetitions,
+            n=n,
+            force=True,
+        )
+    snapshot = (
+        registry.snapshot(worker_id=default_worker_id())
+        if collect
+        else None
+    )
+    return repeated, snapshot

@@ -37,6 +37,7 @@ import numpy as np
 from ..analysis.stats import SeriesSummary, summarize
 from ..config import PAPER_RUNS_PER_POINT
 from ..errors import ConfigurationError, EstimationError
+from ..obs.profile import active_profiler
 from ..obs.registry import MetricsRegistry, get_registry
 from ..protocols.base import (
     BatchedRoundEngine,
@@ -160,6 +161,7 @@ def run_protocol_cell(
         )
     if registry is None:
         registry = get_registry()
+    profiler = active_profiler(registry)
     start = time.perf_counter()
     with registry.span(
         "cell",
@@ -167,19 +169,24 @@ def run_protocol_cell(
         protocol=protocol.name,
         n=population.size,
     ):
-        draws = rounds * engine.draws_per_round
-        seeds = seed_matrix(base_seed, repetitions, draws)
-        statistics = _chunked_statistics(engine, seeds, population)
-        estimates = np.empty(repetitions)
-        saturated = 0
-        for index in range(repetitions):
-            try:
-                estimates[index] = engine.reduce(statistics[index])
-            except EstimationError:
-                if on_error == "raise":
-                    raise
-                estimates[index] = np.nan
-                saturated += 1
+        with profiler.phase("seed_matrix"):
+            draws = rounds * engine.draws_per_round
+            seeds = seed_matrix(base_seed, repetitions, draws)
+        with profiler.phase("hash_passes"):
+            statistics = _chunked_statistics(engine, seeds, population)
+        with profiler.phase("finalize"):
+            estimates = np.empty(repetitions)
+            saturated = 0
+            for index in range(repetitions):
+                try:
+                    estimates[index] = engine.reduce(
+                        statistics[index]
+                    )
+                except EstimationError:
+                    if on_error == "raise":
+                        raise
+                    estimates[index] = np.nan
+                    saturated += 1
     result = ProtocolCellResult(
         protocol=protocol.name,
         true_n=population.size,
@@ -229,14 +236,17 @@ def _observe_cell(
         return
     prefix = f"protocol.{result.protocol}"
     repetitions = result.repetitions
-    registry.counter(f"{prefix}.runs").inc(repetitions)
-    registry.counter(f"{prefix}.rounds").inc(repetitions * result.rounds)
-    registry.counter(f"{prefix}.slots").inc(
-        repetitions * result.slots_per_run
-    )
-    registry.histogram(f"{prefix}.round_statistic").observe_many(
-        result.statistics
-    )
+    with active_profiler(registry).phase("reduction"):
+        registry.counter(f"{prefix}.runs").inc(repetitions)
+        registry.counter(f"{prefix}.rounds").inc(
+            repetitions * result.rounds
+        )
+        registry.counter(f"{prefix}.slots").inc(
+            repetitions * result.slots_per_run
+        )
+        registry.histogram(f"{prefix}.round_statistic").observe_many(
+            result.statistics
+        )
     rounds_done = result.rounds * repetitions
     registry.counter("experiment.cells").inc()
     registry.counter("experiment.rounds").inc(rounds_done)
@@ -307,22 +317,30 @@ def sweep_protocol_cells(
     workers: int | None = None,
     registry: MetricsRegistry | None = None,
     on_error: str = "nan",
+    progress: object = None,
 ) -> list[ProtocolCellResult]:
     """Run many comparison cells, optionally process-parallel.
 
     Every cell derives its seeds from ``base_seed`` alone (independent
     of execution order), so results are bit-for-bit identical for any
     ``workers`` count, including ``None``/``1`` (in-process serial
-    execution).  Worker processes carry their own (null) registries;
-    remotely-computed cells are recorded here with ``seconds=NaN``,
-    mirroring :meth:`ExperimentRunner.sweep`.
+    execution).  Worker processes record into private registries and
+    return :class:`~repro.obs.registry.RegistrySnapshot` objects that
+    the parent merges, so counters, histogram buckets, and cell timings
+    aggregate to the same totals as a serial run — mirroring
+    :meth:`ExperimentRunner.sweep`, which also documents the
+    ``progress`` argument (``True`` for a stderr status line, or a
+    :class:`~repro.obs.progress.ProgressTracker`).
     """
+    from .experiment import _make_tracker, _run_pool
+
     if workers is not None and workers < 1:
         raise ConfigurationError(
             f"workers must be >= 1 when given, got {workers}"
         )
     if registry is None:
         registry = get_registry()
+    tracker = _make_tracker(progress, len(specs), registry)
     start = time.perf_counter()
     with registry.span(
         "sweep",
@@ -331,8 +349,9 @@ def sweep_protocol_cells(
         workers=workers or 1,
     ):
         if workers is None or workers == 1:
-            results = [
-                run_protocol_cell(
+            results = []
+            for spec in specs:
+                result = run_protocol_cell(
                     *spec.build(),
                     rounds=spec.rounds,
                     repetitions=repetitions,
@@ -340,30 +359,52 @@ def sweep_protocol_cells(
                     registry=registry,
                     on_error=on_error,
                 )
-                for spec in specs
-            ]
+                if tracker is not None:
+                    tracker.cell_done(
+                        n=spec.n,
+                        slots=result.slots_per_run * repetitions,
+                        rounds=spec.rounds * repetitions,
+                    )
+                results.append(result)
         else:
-            from concurrent.futures import ProcessPoolExecutor
-
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [
-                    pool.submit(
+            pairs = _run_pool(
+                workers,
+                [
+                    (
                         _sweep_protocol_cell,
                         spec,
                         repetitions,
                         base_seed,
                         on_error,
+                        bool(registry),
+                        registry.profiler is not None,
                     )
                     for spec in specs
-                ]
-                results = [future.result() for future in futures]
-            for result in results:
-                _observe_cell(registry, result, float("nan"))
+                ],
+                tracker,
+            )
+            results = []
+            for result, snapshot in pairs:
+                if snapshot is not None:
+                    registry.merge(snapshot)
+                results.append(result)
+            # Worker registries cannot carry the parent's health
+            # monitor; feed it here so diagnostics see every cell.
+            health = registry.health if registry else None
+            if health is not None:
+                for result in results:
+                    finite = result.estimates[
+                        np.isfinite(result.estimates)
+                    ]
+                    if finite.size:
+                        health.observe_estimates(finite, result.rounds)
     seconds = time.perf_counter() - start
     if seconds > 0:
         registry.gauge("experiment.cells_per_second").set(
             len(specs) / seconds
         )
+    if tracker is not None:
+        tracker.finish()
     return results
 
 
@@ -372,14 +413,52 @@ def _sweep_protocol_cell(
     repetitions: int,
     base_seed: int,
     on_error: str,
-) -> ProtocolCellResult:
-    """Worker-process entry: one sweep cell (module-level, picklable)."""
+    collect: bool = False,
+    profile: bool = False,
+    reporter: object = None,
+) -> tuple[ProtocolCellResult, object]:
+    """Worker-process entry: one sweep cell (module-level, picklable).
+
+    Returns the cell result plus, when ``collect`` is set, a snapshot
+    of everything the worker's private registry recorded — the parent
+    merges it so no worker-side telemetry is lost.  ``profile``
+    mirrors the parent having a profiler attached: the worker's phase
+    timings land in ``profile.*.seconds`` histograms, which merge up.
+    """
+    from ..obs.progress import default_worker_id
+    from ..obs.registry import NULL_REGISTRY
+
+    worker_registry = MetricsRegistry() if collect else NULL_REGISTRY
+    if profile and collect:
+        from ..obs.profile import PhaseProfiler
+
+        worker_registry.attach_diagnostics(
+            profiler=PhaseProfiler(registry=worker_registry)
+        )
     protocol, population = spec.build()
-    return run_protocol_cell(
+    if reporter is not None:
+        reporter.emit(phase="start", n=spec.n, force=True)
+    result = run_protocol_cell(
         protocol,
         population,
         rounds=spec.rounds,
         repetitions=repetitions,
         base_seed=base_seed,
+        registry=worker_registry,
         on_error=on_error,
     )
+    if reporter is not None:
+        reporter.emit(
+            phase="done",
+            cells_done=1,
+            slots=result.slots_per_run * repetitions,
+            rounds=spec.rounds * repetitions,
+            n=spec.n,
+            force=True,
+        )
+    snapshot = (
+        worker_registry.snapshot(worker_id=default_worker_id())
+        if collect
+        else None
+    )
+    return result, snapshot

@@ -78,6 +78,54 @@ class TestJsonLinesExporter:
         assert histogram["count"] == 3
         assert histogram["mean"] == 4.0
 
+    def test_histogram_records_carry_bucket_arrays(self):
+        from repro.obs.metrics import BUCKET_COUNT
+
+        sink = io.StringIO()
+        JsonLinesExporter(sink).export(_populated_registry())
+        records = [
+            json.loads(line)
+            for line in sink.getvalue().strip().split("\n")
+        ]
+        histogram = next(
+            r for r in records if r.get("name") == "pet.gray_depth"
+        )
+        assert len(histogram["buckets"]) == BUCKET_COUNT
+        assert sum(histogram["buckets"]) == 3
+
+    def test_snapshot_record_kind(self):
+        sink = io.StringIO()
+        snapshot = _populated_registry().snapshot(worker_id="pid:3")
+        JsonLinesExporter(sink).export_snapshot(snapshot)
+        (record,) = [
+            json.loads(line)
+            for line in sink.getvalue().strip().split("\n")
+        ]
+        assert record["kind"] == "snapshot"
+        assert record["name"] == "pid:3"
+        assert record["counters"] == {"sim.slots": 100}
+        assert record["histograms"]["pet.gray_depth"]["count"] == 3
+
+    def test_heartbeat_record_kind(self):
+        from repro.obs import Heartbeat
+
+        sink = io.StringIO()
+        beats = [
+            Heartbeat(
+                worker_id="pid:5", cells_done=1, n=100, ts=12.5
+            ),
+            Heartbeat(worker_id="pid:6", cells_done=1, n=200),
+        ]
+        JsonLinesExporter(sink).export_heartbeats(beats)
+        records = [
+            json.loads(line)
+            for line in sink.getvalue().strip().split("\n")
+        ]
+        assert [r["kind"] for r in records] == ["heartbeat"] * 2
+        assert records[0]["worker_id"] == "pid:5"
+        assert records[0]["ts"] == 12.5
+        assert records[1]["n"] == 200
+
     def test_file_destination_appends(self, tmp_path):
         path = tmp_path / "metrics.jsonl"
         exporter = JsonLinesExporter(str(path))

@@ -1,0 +1,147 @@
+"""Live sweep progress: reporter throttling, tracker ETA, rendering."""
+
+from __future__ import annotations
+
+import io
+import pickle
+import queue
+
+from repro.obs.progress import (
+    DEFAULT_THROTTLE_SECONDS,
+    Heartbeat,
+    ProgressReporter,
+    ProgressTracker,
+    default_worker_id,
+)
+from repro.obs.registry import MetricsRegistry
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestReporter:
+    def test_emit_puts_a_heartbeat(self):
+        sink: "queue.Queue[Heartbeat]" = queue.Queue()
+        reporter = ProgressReporter(sink, worker_id="pid:1")
+        assert reporter.emit(
+            phase="done", cells_done=1, slots=64, rounds=8, n=100
+        )
+        beat = sink.get_nowait()
+        assert beat.worker_id == "pid:1"
+        assert beat.cells_done == 1
+        assert beat.slots == 64
+        assert beat.n == 100
+        assert beat.ts > 0
+
+    def test_unforced_emissions_are_throttled(self):
+        sink: "queue.Queue[Heartbeat]" = queue.Queue()
+        reporter = ProgressReporter(sink, worker_id="w")
+        assert reporter.emit()
+        assert not reporter.emit()  # inside the throttle window
+        assert reporter.emit(force=True)  # force bypasses it
+        assert sink.qsize() == 2
+
+    def test_worker_id_defaults_to_pid_tag(self):
+        reporter = ProgressReporter(queue.Queue())
+        assert reporter.worker_id == default_worker_id()
+        assert reporter.worker_id.startswith("pid:")
+
+    def test_pickle_resets_throttle_state(self):
+        reporter = ProgressReporter(None, worker_id="w")
+        reporter._last_emit = 123.0
+        clone = pickle.loads(pickle.dumps(reporter))
+        assert clone._last_emit == 0.0
+        assert clone.min_interval == DEFAULT_THROTTLE_SECONDS
+
+
+class TestTracker:
+    def test_aggregates_and_eta(self):
+        clock = FakeClock()
+        tracker = ProgressTracker(
+            4, registry=MetricsRegistry(), clock=clock
+        )
+        clock.advance(2.0)
+        tracker.cell_done(n=100, slots=64, rounds=8)
+        tracker.cell_done(n=200, slots=64, rounds=8)
+        assert tracker.cells_done == 2
+        assert tracker.slots_done == 128
+        assert tracker.rounds_done == 16
+        assert tracker.current_n == 200
+        assert tracker.fraction_done == 0.5
+        assert tracker.cells_per_second == 1.0
+        assert tracker.eta_seconds == 2.0
+
+    def test_eta_unknown_before_first_cell(self):
+        tracker = ProgressTracker(4, registry=MetricsRegistry())
+        assert tracker.eta_seconds == float("inf")
+        assert tracker.cells_per_second == 0.0
+
+    def test_gauges_mirror_the_aggregates(self):
+        clock = FakeClock()
+        registry = MetricsRegistry()
+        tracker = ProgressTracker(2, registry=registry, clock=clock)
+        clock.advance(1.0)
+        tracker.cell_done(n=50, slots=32, rounds=4)
+        gauges = registry.snapshot()["gauges"]
+        assert gauges["sweep.progress.cells_total"] == 2
+        assert gauges["sweep.progress.cells_done"] == 1
+        assert gauges["sweep.progress.fraction"] == 0.5
+        assert gauges["sweep.progress.slots_done"] == 32
+        assert gauges["sweep.progress.cells_per_second"] == 1.0
+        assert gauges["sweep.progress.eta_seconds"] == 1.0
+
+    def test_drain_consumes_everything_nonblocking(self):
+        source: "queue.Queue[Heartbeat]" = queue.Queue()
+        for index in range(3):
+            source.put(
+                Heartbeat(worker_id="w", cells_done=1, n=index)
+            )
+        tracker = ProgressTracker(3, registry=MetricsRegistry())
+        assert tracker.drain(source) == 3
+        assert tracker.drain(source) == 0
+        assert tracker.cells_done == 3
+
+    def test_render_throttles_and_finish_forces(self):
+        clock = FakeClock()
+        stream = io.StringIO()
+        tracker = ProgressTracker(
+            3,
+            registry=MetricsRegistry(),
+            stream=stream,
+            clock=clock,
+        )
+        tracker.cell_done(n=10)
+        first = stream.getvalue()
+        assert "1/3" in first
+        tracker.cell_done(n=20)  # same clock tick: throttled
+        assert stream.getvalue() == first
+        clock.advance(1.0)
+        tracker.cell_done(n=30)
+        assert "3/3" in stream.getvalue()
+        tracker.finish()
+        assert stream.getvalue().endswith("\n")
+
+    def test_status_line_contents(self):
+        clock = FakeClock()
+        tracker = ProgressTracker(
+            8, registry=MetricsRegistry(), clock=clock
+        )
+        clock.advance(2.0)
+        tracker.cell_done(n=25_000, slots=1_000, rounds=100)
+        line = tracker.status_line()
+        assert "1/8 cells" in line
+        assert "eta" in line
+        assert "n=25,000" in line
+
+    def test_no_stream_means_no_rendering(self):
+        tracker = ProgressTracker(1, registry=MetricsRegistry())
+        tracker.cell_done()
+        tracker.finish()  # must not raise

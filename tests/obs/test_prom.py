@@ -13,7 +13,7 @@ from repro.obs import (
     parse_openmetrics,
     render_openmetrics,
 )
-from repro.obs.prom import sanitize_metric_name
+from repro.obs.prom import histogram_buckets, sanitize_metric_name
 
 
 def _populated_registry() -> MetricsRegistry:
@@ -45,13 +45,19 @@ class TestRenderOpenmetrics:
         assert "# TYPE repro_sim_rounds counter" in text
         assert "repro_sim_rounds_total 4697" in text
 
-    def test_gauge_and_summary_rendered(self):
+    def test_gauge_and_histogram_rendered(self):
         text = render_openmetrics(_populated_registry())
         assert "# TYPE repro_diag_n_hat gauge" in text
         assert "repro_diag_n_hat 987.5" in text
-        assert "# TYPE repro_pet_gray_depth summary" in text
+        assert "# TYPE repro_pet_gray_depth histogram" in text
         assert "repro_pet_gray_depth_count 3" in text
         assert "repro_pet_gray_depth_sum 30" in text
+
+    def test_histogram_buckets_cumulative_with_inf_terminator(self):
+        text = render_openmetrics(_populated_registry())
+        # 9, 10, 11 land in the (8, 16] log2 bucket.
+        assert 'repro_pet_gray_depth_bucket{le="16.0"} 3' in text
+        assert 'repro_pet_gray_depth_bucket{le="+Inf"} 3' in text
 
     def test_terminated_by_eof(self):
         assert render_openmetrics(_populated_registry()).endswith(
@@ -80,7 +86,34 @@ class TestParseOpenmetrics:
         assert samples["repro_pet_gray_depth_count"] == 3
         assert samples["repro_pet_gray_depth_mean"] == 10.0
         assert types["repro_sim_rounds"] == "counter"
-        assert types["repro_pet_gray_depth"] == "summary"
+        assert types["repro_pet_gray_depth"] == "histogram"
+
+    def test_histogram_bucket_array_round_trips(self):
+        registry = _populated_registry()
+        samples, _ = parse_openmetrics(render_openmetrics(registry))
+        buckets = histogram_buckets(samples, "repro_pet_gray_depth")
+        assert buckets == registry.histogram("pet.gray_depth").buckets
+
+    def test_parsed_bucket_arrays_merge_like_the_registry(self):
+        left = MetricsRegistry()
+        left.histogram("h").observe_many([0.5, 3.0, 100.0])
+        right = MetricsRegistry()
+        right.histogram("h").observe_many([-1.0, 0.5, 7.5])
+        parsed_left = histogram_buckets(
+            parse_openmetrics(render_openmetrics(left))[0], "repro_h"
+        )
+        parsed_right = histogram_buckets(
+            parse_openmetrics(render_openmetrics(right))[0], "repro_h"
+        )
+        merged = [a + b for a, b in zip(parsed_left, parsed_right)]
+        left.merge(right.snapshot())
+        assert merged == left.histogram("h").buckets
+
+    def test_malformed_labels_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_openmetrics(
+                '# TYPE a histogram\na_bucket{le=0.5} 1\n# EOF\n'
+            )
 
     def test_non_finite_round_trip(self):
         registry = MetricsRegistry()

@@ -1,0 +1,218 @@
+"""Registry snapshot/merge: the cross-process aggregation contract.
+
+The parallel sweeps rely on ``snapshot()`` → pickle → ``merge()``
+being lossless for everything deterministic and order-independent for
+everything else; these tests pin the algebra (associativity,
+commutativity on the parity view), the worker tagging, the pickle
+round-trip, and the trace-cap accounting.
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+import random
+
+import pytest
+
+from repro.obs.metrics import BUCKET_COUNT, bucket_index
+from repro.obs.registry import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    RegistrySnapshot,
+    parity_view,
+)
+
+
+def _random_registry(rng: random.Random) -> MetricsRegistry:
+    registry = MetricsRegistry()
+    for name in ("a", "b", "c"):
+        if rng.random() < 0.8:
+            registry.counter(f"count.{name}").inc(rng.randrange(1, 50))
+    for name in ("x", "y"):
+        if rng.random() < 0.8:
+            registry.gauge(f"gauge.{name}").set(rng.uniform(-5, 5))
+    histogram = registry.histogram("h")
+    for _ in range(rng.randrange(0, 12)):
+        histogram.observe(rng.uniform(-2, 1e6))
+    if rng.random() < 0.5:
+        registry.event("cell", n=rng.randrange(1, 100))
+    with registry.span("cell", n=rng.randrange(1, 100)):
+        pass
+    return registry
+
+
+def _merged(
+    snapshots: "list[RegistrySnapshot]",
+) -> MetricsRegistry:
+    parent = MetricsRegistry()
+    for snapshot in snapshots:
+        parent.merge(snapshot)
+    return parent
+
+
+class TestSnapshot:
+    def test_snapshot_is_picklable_and_faithful(self):
+        registry = _random_registry(random.Random(7))
+        snapshot = registry.snapshot(worker_id="pid:42")
+        clone = pickle.loads(pickle.dumps(snapshot))
+        assert clone.counters == snapshot.counters
+        assert clone.gauges == snapshot.gauges
+        assert clone.histograms == snapshot.histograms
+        assert clone.events == snapshot.events
+        assert clone.worker_id == "pid:42"
+
+    def test_histogram_stats_carry_bucket_arrays(self):
+        registry = MetricsRegistry()
+        registry.histogram("h").observe_many([0.5, 3.0, -1.0])
+        stats = registry.snapshot()["histograms"]["h"]
+        assert len(stats["buckets"]) == BUCKET_COUNT
+        assert stats["buckets"][bucket_index(0.5)] >= 1
+        assert sum(stats["buckets"]) == 3
+
+    def test_worker_id_tags_spans_and_events(self):
+        registry = MetricsRegistry()
+        registry.event("cell", n=5)
+        with registry.span("cell"):
+            pass
+        snapshot = registry.snapshot(worker_id="pid:9")
+        assert snapshot.events[0]["worker.id"] == "pid:9"
+        assert snapshot.spans[0].attributes["worker.id"] == "pid:9"
+
+    def test_untagged_snapshot_leaves_records_alone(self):
+        registry = MetricsRegistry()
+        registry.event("cell", n=5)
+        snapshot = registry.snapshot()
+        assert "worker.id" not in snapshot.events[0]
+
+    def test_mapping_access_backwards_compatible(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"c": 3}
+        with pytest.raises(KeyError):
+            snapshot["nonsense"]
+
+
+class TestMergeAlgebra:
+    def test_counters_and_buckets_add(self):
+        left = MetricsRegistry()
+        left.counter("c").inc(2)
+        left.histogram("h").observe(1.5)
+        right = MetricsRegistry()
+        right.counter("c").inc(5)
+        right.histogram("h").observe(1.5)
+        left.merge(right.snapshot())
+        assert left.counter("c").value == 7
+        assert left.histogram("h").count == 2
+        assert left.histogram("h").buckets[bucket_index(1.5)] == 2
+
+    def test_gauge_last_write_wins_regardless_of_merge_order(self):
+        early = MetricsRegistry()
+        early.gauge("g").set(1.0)
+        late = MetricsRegistry()
+        late.gauge("g").set(2.0)
+        snap_early, snap_late = early.snapshot(), late.snapshot()
+        # Force a strict timestamp order.
+        snap_early.gauge_ts["g"] = 100.0
+        snap_late.gauge_ts["g"] = 200.0
+        one = _merged([snap_early, snap_late])
+        other = _merged([snap_late, snap_early])
+        assert one.gauge("g").value == 2.0
+        assert other.gauge("g").value == 2.0
+
+    def test_nan_gauge_loses_timestamp_ties(self):
+        # Strict last-write-wins: a *later* NaN still wins (that is
+        # what a serial run would hold), but on a timestamp tie the
+        # real value beats NaN, keeping the tie-break a total order.
+        real = MetricsRegistry()
+        real.gauge("g").set(3.0)
+        broken = MetricsRegistry()
+        broken.gauge("g").set(float("nan"))
+        snap_real, snap_broken = real.snapshot(), broken.snapshot()
+        snap_real.gauge_ts["g"] = 100.0
+        snap_broken.gauge_ts["g"] = 100.0  # tie: NaN must lose
+        one = _merged([snap_real, snap_broken])
+        other = _merged([snap_broken, snap_real])
+        assert one.gauge("g").value == 3.0
+        assert other.gauge("g").value == 3.0
+
+    def test_merge_associative_and_commutative_on_parity_view(self):
+        rng = random.Random(2011)
+        for _ in range(10):
+            snapshots = [
+                _random_registry(rng).snapshot(worker_id=f"pid:{i}")
+                for i in range(3)
+            ]
+            a, b, c = snapshots
+            orders = [[a, b, c], [c, a, b], [b, c, a], [c, b, a]]
+            views = [
+                parity_view(_merged(order).snapshot())
+                for order in orders
+            ]
+            for view in views[1:]:
+                assert view == views[0]
+
+    def test_merged_moments_match_direct_observation(self):
+        values_left = [1.0, 2.0, 3.0]
+        values_right = [10.0, 20.0]
+        left = MetricsRegistry()
+        left.histogram("h").observe_many(values_left)
+        right = MetricsRegistry()
+        right.histogram("h").observe_many(values_right)
+        left.merge(right.snapshot())
+        direct = MetricsRegistry()
+        direct.histogram("h").observe_many(values_left + values_right)
+        merged_h = left.histogram("h")
+        direct_h = direct.histogram("h")
+        assert merged_h.count == direct_h.count
+        assert merged_h.min == direct_h.min
+        assert merged_h.max == direct_h.max
+        assert math.isclose(merged_h.mean, direct_h.mean)
+        assert math.isclose(merged_h.std, direct_h.std)
+
+    def test_merge_respects_trace_cap_and_counts_drops(self):
+        parent = MetricsRegistry(max_trace=2)
+        worker = MetricsRegistry()
+        for index in range(5):
+            worker.event("cell", n=index)
+        parent.merge(worker.snapshot())
+        assert len(parent.events) == 2
+        dropped = parent.snapshot()["counters"]["obs.events.dropped"]
+        assert dropped == 3
+
+    def test_null_registry_merge_is_inert(self):
+        worker = MetricsRegistry()
+        worker.counter("c").inc(5)
+        worker.histogram("h").observe(1.0)
+        NULL_REGISTRY.merge(worker.snapshot())
+        assert NULL_REGISTRY.snapshot()["counters"] == {}
+        # The shared null histogram must not have been mutated.
+        assert NULL_REGISTRY.histogram("h").count == 0
+
+
+class TestParityView:
+    def test_accepts_registry_or_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(1)
+        assert parity_view(registry) == parity_view(
+            registry.snapshot()
+        )
+
+    def test_excludes_machine_timed_series(self):
+        registry = MetricsRegistry()
+        registry.histogram("experiment.cell_seconds").observe(0.5)
+        registry.histogram("pet.gray_depth").observe(3)
+        registry.gauge("sweep.progress.eta_seconds").set(1.0)
+        view = parity_view(registry)
+        assert "experiment.cell_seconds" not in view["histograms"]
+        assert "pet.gray_depth" in view["histograms"]
+        assert "gauges" not in view
+
+    def test_events_compared_without_volatile_fields(self):
+        one = MetricsRegistry()
+        one.event("cell", n=5, seconds=0.123)
+        two = MetricsRegistry()
+        two.event("cell", n=5, seconds=9.876)
+        two.events[0]["worker.id"] = "pid:7"
+        assert parity_view(one) == parity_view(two)

@@ -125,3 +125,55 @@ class TestSweepWorkers:
         wide = runner.sweep((300, 600), config, rounds=8, workers=8)
         for a, b in zip(serial, wide):
             assert a.estimates.tolist() == b.estimates.tolist()
+
+
+class TestSweepTelemetryParity:
+    """Worker snapshots merge to the same registry as a serial run."""
+
+    SIZES = (200, 400, 800)
+
+    def _swept_registry(self, workers):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        runner = ExperimentRunner(
+            base_seed=11, repetitions=6, registry=registry
+        )
+        runner.sweep(self.SIZES, PetConfig(), rounds=12, workers=workers)
+        return registry
+
+    def test_parallel_registry_equals_serial_on_parity_view(self):
+        from repro.obs import parity_view
+
+        serial = parity_view(self._swept_registry(None))
+        parallel = parity_view(self._swept_registry(4))
+        assert serial == parallel
+
+    def test_counter_totals_identical(self):
+        serial = self._swept_registry(None).snapshot()["counters"]
+        parallel = self._swept_registry(4).snapshot()["counters"]
+        assert serial == parallel
+        # Cells were actually counted, not dropped.
+        assert serial["experiment.cells"] == len(self.SIZES)
+
+    def test_remote_cells_are_timed_not_nan(self):
+        # Satellite: the old parallel path re-recorded remote cells
+        # with seconds=NaN; merged snapshots carry the real timings.
+        import math
+
+        registry = self._swept_registry(2)
+        stats = registry.snapshot()["histograms"][
+            "experiment.cell_seconds"
+        ]
+        assert stats["count"] == len(self.SIZES)
+        assert math.isfinite(stats["total"])
+        assert stats["total"] > 0
+
+    def test_worker_count_does_not_change_merged_registry(self):
+        from repro.obs import parity_view
+
+        views = {
+            workers: parity_view(self._swept_registry(workers))
+            for workers in (1, 2, 4)
+        }
+        assert views[1] == views[2] == views[4]

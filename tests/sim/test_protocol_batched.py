@@ -163,6 +163,43 @@ class TestSweep:
         with pytest.raises(ConfigurationError):
             sweep_protocol_cells(self.SPECS, repetitions=2, workers=0)
 
+    def test_parallel_registry_matches_serial_on_parity_view(self):
+        from repro.obs import parity_view
+
+        views = {}
+        for workers in (None, 2):
+            registry = MetricsRegistry()
+            results = sweep_protocol_cells(
+                self.SPECS,
+                repetitions=5,
+                base_seed=21,
+                workers=workers,
+                registry=registry,
+            )
+            views[workers] = (
+                parity_view(registry),
+                [r.estimates.tolist() for r in results],
+            )
+        assert views[None] == views[2]
+
+    def test_remote_cells_are_timed_not_nan(self):
+        import math
+
+        registry = MetricsRegistry()
+        sweep_protocol_cells(
+            self.SPECS,
+            repetitions=5,
+            base_seed=21,
+            workers=2,
+            registry=registry,
+        )
+        stats = registry.snapshot()["histograms"][
+            "experiment.cell_seconds"
+        ]
+        assert stats["count"] == len(self.SPECS)
+        assert math.isfinite(stats["total"])
+        assert stats["total"] > 0
+
     def test_spec_label_and_build(self):
         spec = ProtocolCellSpec("lof", 99, 4)
         assert spec.label == "lof@n=99"
