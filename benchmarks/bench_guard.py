@@ -71,6 +71,25 @@ machine and the guard fails when
 ``--json-out`` in this mode writes the fresh measurements (same shape
 as the committed record) for upload as a CI artifact.
 
+With ``--backends`` the guard checks the kernel-backend tier against
+``BENCH_backends.json``: every cell of :mod:`bench_backends` is
+re-measured on this machine and the guard fails when
+
+* any installed backend's kernels stop being bit-identical to the
+  numpy reference (numba is *skipped*, not failed, when it is not
+  installed — numpy-only environments stay green),
+* numba, when installed, falls below the 1.5x microbench floor,
+* the shared-seed sweep paths stop being bit-identical to their
+  per-cell re-derive baselines,
+* the shared rounds-grid sweep falls below its absolute 1.2x floor or
+  regresses more than the threshold (default 50 % in this mode — the
+  worker-pool leg is scheduling-noisy on small cells and the absolute
+  floor is the binding contract) below the committed figure, or
+* the committed record itself claims a non-bit-identical cell.
+
+``--json-out`` in this mode writes the fresh measurements for upload
+as a CI artifact.
+
 Run with::
 
     PYTHONPATH=src python benchmarks/bench_guard.py [--loop-reps K]
@@ -110,6 +129,10 @@ PROTOCOL_BASELINE = (
     / "BENCH_protocol_batched.json"
 )
 
+BACKENDS_BASELINE = (
+    Path(__file__).resolve().parent.parent / "BENCH_backends.json"
+)
+
 #: Cells whose *committed* speedup must stay at or above 10x (the
 #: cross-protocol engine's stated performance floor).
 PROTOCOL_TENX_CELLS = ("fig6_fneb", "fig6_lof", "table3_sweep")
@@ -120,6 +143,46 @@ PROTOCOL_TENX_CELLS = ("fig6_fneb", "fig6_lof", "table3_sweep")
 MAX_REPLAYS = 200
 
 
+# ---------------------------------------------------------------------
+# Helpers shared by every guard mode
+
+
+def _environment() -> dict:
+    """Interpreter/platform fingerprint stamped into every artifact."""
+    return {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+
+
+def _load_baseline(path: Path, regenerate_hint: str) -> dict:
+    """Load a committed benchmark record or fail with the fix."""
+    if not path.exists():
+        print(
+            f"FAIL: committed record {path.name} is missing; "
+            f"regenerate it with `{regenerate_hint}`",
+            file=sys.stderr,
+        )
+        raise SystemExit(1)
+    return json.loads(path.read_text())
+
+
+def _write_json(path: str, payload: dict, label: str) -> None:
+    """Write a guard artifact as indented JSON and say where it went."""
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"{label} written to {path}")
+
+
+def _finish(failures: list[str], label: str) -> int:
+    """Print every failure to stderr; report success otherwise."""
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"{label} passed")
+    return 0
+
+
 def run_protocol_guard(args: argparse.Namespace) -> int:
     """``--protocols`` mode: guard the cross-protocol batched engine."""
     import bench_protocol_batched as bench
@@ -127,7 +190,10 @@ def run_protocol_guard(args: argparse.Namespace) -> int:
     threshold = (
         args.threshold if args.threshold is not None else 0.30
     )
-    baseline = json.loads(PROTOCOL_BASELINE.read_text())
+    baseline = _load_baseline(
+        PROTOCOL_BASELINE,
+        "PYTHONPATH=src python benchmarks/bench_protocol_batched.py",
+    )
     recorded_cells = baseline["cells"]
     failures: list[str] = []
 
@@ -177,17 +243,9 @@ def run_protocol_guard(args: argparse.Namespace) -> int:
         )
 
     if args.json_out is not None:
-        Path(args.json_out).write_text(
-            json.dumps(fresh, indent=2) + "\n"
-        )
-        print(f"fresh measurements written to {args.json_out}")
+        _write_json(args.json_out, fresh, "fresh measurements")
 
-    if failures:
-        for failure in failures:
-            print(f"FAIL: {failure}", file=sys.stderr)
-        return 1
-    print("protocol bench guard passed")
-    return 0
+    return _finish(failures, "protocol bench guard")
 
 
 def run_profile_guard(args: argparse.Namespace) -> int:
@@ -200,7 +258,9 @@ def run_profile_guard(args: argparse.Namespace) -> int:
     )
 
     threshold = args.threshold if args.threshold is not None else 0.05
-    baseline = json.loads(BASELINE.read_text())
+    baseline = _load_baseline(
+        BASELINE, "PYTHONPATH=src python benchmarks/bench_batched_engine.py"
+    )
     cell = baseline["cell"]
     rounds = rounds_required(0.05, 0.01)
     spec = WorkloadSpec(size=cell["n"], seed=0)
@@ -332,49 +392,157 @@ def run_profile_guard(args: argparse.Namespace) -> int:
         print(f"per-phase timings written to {args.profile_out}")
 
     if args.json_out is not None:
-        Path(args.json_out).write_text(
-            json.dumps(
-                {
-                    "cell": cell,
-                    "plain": {"seconds": round(plain_seconds, 3)},
-                    "profiled": {
-                        "seconds": round(profiled_seconds, 3),
-                        "overhead": round(overhead, 4),
-                        "bound": threshold,
-                        "bit_identical": profiled_result.estimates.tolist()
-                        == plain_result.estimates.tolist(),
-                    },
-                    "phases": {
-                        name: {
-                            "seconds": round(row["seconds"], 4),
-                            "fraction": round(row["fraction"], 4),
-                            "calls": int(row["calls"]),
-                        }
-                        for name, row in report.items()
-                    },
-                    "merge_parity": {
-                        "workers": 2,
-                        "cells": len(sweep_sizes),
-                        "estimates_identical": sweep_identical,
-                        "registry_parity": not parity_keys_off,
-                    },
-                    "environment": {
-                        "python": platform.python_version(),
-                        "machine": platform.machine(),
-                    },
+        _write_json(
+            args.json_out,
+            {
+                "cell": cell,
+                "plain": {"seconds": round(plain_seconds, 3)},
+                "profiled": {
+                    "seconds": round(profiled_seconds, 3),
+                    "overhead": round(overhead, 4),
+                    "bound": threshold,
+                    "bit_identical": profiled_result.estimates.tolist()
+                    == plain_result.estimates.tolist(),
                 },
-                indent=2,
-            )
-            + "\n"
+                "phases": {
+                    name: {
+                        "seconds": round(row["seconds"], 4),
+                        "fraction": round(row["fraction"], 4),
+                        "calls": int(row["calls"]),
+                    }
+                    for name, row in report.items()
+                },
+                "merge_parity": {
+                    "workers": 2,
+                    "cells": len(sweep_sizes),
+                    "estimates_identical": sweep_identical,
+                    "registry_parity": not parity_keys_off,
+                },
+                "environment": _environment(),
+            },
+            "profile measurements",
         )
-        print(f"profile measurements written to {args.json_out}")
 
-    if failures:
-        for failure in failures:
-            print(f"FAIL: {failure}", file=sys.stderr)
-        return 1
-    print("profile bench guard passed")
-    return 0
+    return _finish(failures, "profile bench guard")
+
+
+def run_backends_guard(args: argparse.Namespace) -> int:
+    """``--backends`` mode: kernel tier bit-identity + speedup floors."""
+    import bench_backends as bench
+
+    from repro.sim.backends import available_backends
+
+    # Default tolerance is looser here than in --protocols: the shared
+    # sweep's "after" leg runs a worker pool, and pool scheduling noise
+    # on small cells swings the ratio; the absolute 1.2x floor is the
+    # binding contract.
+    threshold = (
+        args.threshold if args.threshold is not None else 0.50
+    )
+    baseline = _load_baseline(
+        BACKENDS_BASELINE,
+        "PYTHONPATH=src python benchmarks/bench_backends.py",
+    )
+    recorded_cells = baseline["cells"]
+    failures: list[str] = []
+
+    fresh = bench.measure_all()
+    installed = set(available_backends())
+
+    # --- microbenchmark: per-backend bit-identity + the numba floor.
+    micro = fresh["cells"]["splitmix_clz_micro"]
+    for name, row in micro["backends"].items():
+        if not row["bit_identical"]:
+            failures.append(
+                f"backend {name!r} is no longer bit-identical to the "
+                f"numpy reference kernels"
+            )
+        print(
+            f"micro[{name:5s}] {row['seconds']:7.4f}s  "
+            f"{row['speedup_vs_numpy']:5.2f}x vs numpy  "
+            f"bit_identical={row['bit_identical']}"
+        )
+    if "numba" in installed:
+        numba_speedup = micro["backends"]["numba"]["speedup_vs_numpy"]
+        if numba_speedup < bench.NUMBA_MICRO_FLOOR:
+            failures.append(
+                f"numba microbench speedup {numba_speedup:.2f}x is "
+                f"below the {bench.NUMBA_MICRO_FLOOR:.1f}x floor"
+            )
+    else:
+        print(
+            "numba not installed here; microbench floor skipped "
+            "(install the [jit] extra to exercise it)"
+        )
+
+    # --- sweep cells: bit-identity always; the grid cell also has an
+    # absolute floor plus a relative bound against the committed record.
+    for name in ("fig4_grid_shared", "protocol_sweep_shared"):
+        cell = fresh["cells"][name]
+        if not cell["bit_identical"]:
+            failures.append(
+                f"{name}: shared-seed path is no longer bit-identical "
+                f"to the per-cell re-derive baseline"
+            )
+        recorded_cell = recorded_cells.get(name)
+        recorded = (
+            float(recorded_cell["speedup"]) if recorded_cell else None
+        )
+        line = (
+            f"{name:22s} {cell['speedup']:5.2f}x on this machine  "
+            f"bit_identical={cell['bit_identical']}"
+        )
+        if name == "fig4_grid_shared":
+            floor = bench.GRID_SHARED_FLOOR
+            if cell["speedup"] < floor:
+                failures.append(
+                    f"{name}: speedup {cell['speedup']:.2f}x is below "
+                    f"the absolute {floor:.1f}x floor"
+                )
+            if recorded is not None:
+                relative_floor = recorded * (1.0 - threshold)
+                if cell["speedup"] < relative_floor:
+                    failures.append(
+                        f"{name}: speedup regressed to "
+                        f"{cell['speedup']:.2f}x vs {recorded:.2f}x "
+                        f"recorded (floor {relative_floor:.2f}x at "
+                        f"{threshold:.0%} tolerance)"
+                    )
+                line += (
+                    f"  (recorded {recorded:.2f}x, "
+                    f"floors {floor:.1f}x abs / "
+                    f"{recorded * (1.0 - threshold):.2f}x rel)"
+                )
+        if recorded_cell is None:
+            failures.append(
+                f"cell {name} is measured but missing from the "
+                f"committed record (re-run bench_backends)"
+            )
+        print(line)
+
+    # The committed record itself must assert bit-identity everywhere —
+    # a record regenerated from a broken tree must not pass review.
+    for name, recorded_cell in recorded_cells.items():
+        if name == "splitmix_clz_micro":
+            bad = [
+                backend
+                for backend, row in recorded_cell["backends"].items()
+                if not row["bit_identical"]
+            ]
+            if bad:
+                failures.append(
+                    f"committed record claims non-bit-identical "
+                    f"backends: {bad}"
+                )
+        elif recorded_cell.get("bit_identical") is False:
+            failures.append(
+                f"committed record claims {name} is not bit-identical"
+            )
+
+    if args.json_out is not None:
+        _write_json(args.json_out, fresh, "fresh measurements")
+
+    return _finish(failures, "backends bench guard")
 
 
 def main() -> int:
@@ -391,7 +559,7 @@ def main() -> int:
         default=None,
         help=(
             "allowed relative speedup regression (default 0.15; "
-            "0.30 in --protocols mode)"
+            "0.30 in --protocols mode; 0.50 in --backends mode)"
         ),
     )
     parser.add_argument(
@@ -401,6 +569,16 @@ def main() -> int:
             "guard the cross-protocol batched comparison engine "
             "against BENCH_protocol_batched.json instead of the PET "
             "fig-4 cell"
+        ),
+    )
+    parser.add_argument(
+        "--backends",
+        action="store_true",
+        help=(
+            "guard the kernel-backend tier against BENCH_backends.json: "
+            "per-backend bit-identity, the numba microbench floor "
+            "(skipped when numba is not installed), and the "
+            "shared-memory sweep floors"
         ),
     )
     parser.add_argument(
@@ -466,11 +644,15 @@ def main() -> int:
 
     if args.protocols:
         return run_protocol_guard(args)
+    if args.backends:
+        return run_backends_guard(args)
     if args.profile:
         return run_profile_guard(args)
     threshold = args.threshold if args.threshold is not None else 0.15
 
-    baseline = json.loads(BASELINE.read_text())
+    baseline = _load_baseline(
+        BASELINE, "PYTHONPATH=src python benchmarks/bench_batched_engine.py"
+    )
     cell = baseline["cell"]
     recorded_speedup = float(baseline["speedup"])
 
@@ -611,55 +793,42 @@ def main() -> int:
         )
 
         if args.json_out is not None:
-            Path(args.json_out).write_text(
-                json.dumps(
-                    {
-                        "cell": cell,
-                        "reference_seconds": baseline["after"][
-                            "seconds"
-                        ],
-                        "plain": {"seconds": round(batched_seconds, 3)},
-                        "diagnosed": {
-                            "seconds": round(diag_seconds, 3),
-                            "overhead": round(overhead, 4),
-                            "bound": args.diag_threshold,
-                            "trace_policy": "outliers_only",
-                            "rounds_seen": recorder.rounds_seen,
-                            "outlier_records": len(outliers),
-                            "replays_verified": len(replayed),
-                            "replays_exact": replay_failures == 0,
-                            "bit_identical": diagnosed.estimates.tolist()
-                            == batched.estimates.tolist(),
-                        },
-                        "health": {
-                            "n_hat": round(health.n_hat, 2),
-                            "rounds_observed": health.rounds_observed,
-                            "required_rounds": health.required_rounds,
-                            "converged": health.converged,
-                            "outlier_rounds": health.outlier_rounds,
-                        },
-                        "environment": {
-                            "python": platform.python_version(),
-                            "machine": platform.machine(),
-                        },
+            _write_json(
+                args.json_out,
+                {
+                    "cell": cell,
+                    "reference_seconds": baseline["after"]["seconds"],
+                    "plain": {"seconds": round(batched_seconds, 3)},
+                    "diagnosed": {
+                        "seconds": round(diag_seconds, 3),
+                        "overhead": round(overhead, 4),
+                        "bound": args.diag_threshold,
+                        "trace_policy": "outliers_only",
+                        "rounds_seen": recorder.rounds_seen,
+                        "outlier_records": len(outliers),
+                        "replays_verified": len(replayed),
+                        "replays_exact": replay_failures == 0,
+                        "bit_identical": diagnosed.estimates.tolist()
+                        == batched.estimates.tolist(),
                     },
-                    indent=2,
-                )
-                + "\n"
+                    "health": {
+                        "n_hat": round(health.n_hat, 2),
+                        "rounds_observed": health.rounds_observed,
+                        "required_rounds": health.required_rounds,
+                        "converged": health.converged,
+                        "outlier_rounds": health.outlier_rounds,
+                    },
+                    "environment": _environment(),
+                },
+                "diagnostics measurements",
             )
-            print(f"diagnostics measurements written to {args.json_out}")
 
         if args.metrics_out is not None:
             with JsonLinesExporter(args.metrics_out) as exporter:
                 exporter.export(diag_registry)
             print(f"metrics stream written to {args.metrics_out}")
 
-    if failures:
-        for failure in failures:
-            print(f"FAIL: {failure}", file=sys.stderr)
-        return 1
-    print("bench guard passed")
-    return 0
+    return _finish(failures, "bench guard")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,32 @@
+"""Warn-once bookkeeping for deprecation shims.
+
+Deprecated modules warn from module level, so a plain
+``warnings.warn`` fires again every time the module object is
+re-executed — notably under ``importlib.reload``, which test harnesses
+and long-lived notebook sessions do routinely.  The seen-set lives
+*here*, in a module the shims import but never reload, so each
+deprecation key warns exactly once per process no matter how many
+times the shim itself is re-imported.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+_SEEN: "set[str]" = set()
+
+
+def warn_once(
+    key: str, message: str, stacklevel: int = 3
+) -> bool:
+    """Emit ``message`` as a :class:`DeprecationWarning` once per ``key``.
+
+    Returns whether the warning actually fired, which the shim tests
+    use to assert the once-only contract.  ``stacklevel`` defaults to
+    3: through this helper and the shim's module body to the importer.
+    """
+    if key in _SEEN:
+        return False
+    _SEEN.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+    return True

@@ -44,6 +44,7 @@ import argparse
 from typing import Callable
 
 from .config import PAPER_RUNS_PER_POINT
+from .errors import ReproError
 from .obs import (
     ConsoleSummaryExporter,
     EstimatorHealth,
@@ -236,7 +237,25 @@ def main(argv: list[str] | None = None) -> int:
             "wall-time totals to PATH as JSON"
         ),
     )
+    parser.add_argument(
+        "--backend",
+        metavar="NAME",
+        default=None,
+        help=(
+            "kernel backend for the vectorized hash passes "
+            "(overrides the REPRO_BACKEND environment variable; "
+            "default: numpy). All backends are bit-identical; see "
+            "docs/BACKENDS.md"
+        ),
+    )
     args = parser.parse_args(argv)
+    if args.backend is not None:
+        from .sim.backends import set_active_backend
+
+        try:
+            set_active_backend(args.backend)
+        except ReproError as error:
+            parser.error(str(error))
     experiments = _experiments(args.runs, args.workers, args.progress)
 
     def run_selected() -> None:

@@ -35,6 +35,16 @@ _MIX_A = 0xBF58476D1CE4E5B9
 _MIX_B = 0x94D049BB133111EB
 
 
+def _normalized_seed(seed: int) -> int:
+    """Reduce an arbitrary Python int seed to its canonical 64-bit form.
+
+    Every hash path used to re-apply ``seed & _MASK64`` inline; this is
+    the single place that normalization now happens, so the scalar and
+    vectorized paths cannot drift apart on out-of-range seeds.
+    """
+    return seed & _MASK64
+
+
 def splitmix64(value: int) -> int:
     """Mix a 64-bit integer through the SplitMix64 finalizer."""
     value = (value + _GOLDEN_GAMMA) & _MASK64
@@ -112,12 +122,14 @@ class SplitMix64Family(HashFamily):
     """
 
     def digest(self, seed: int, key: int) -> int:
-        mixed = (splitmix64(seed & _MASK64) ^ (key & _MASK64)) & _MASK64
+        mixed = (
+            splitmix64(_normalized_seed(seed)) ^ (key & _MASK64)
+        ) & _MASK64
         return splitmix64(mixed)
 
     def digest_many(self, seed: int, keys: np.ndarray) -> np.ndarray:
         keys64 = np.asarray(keys, dtype=np.uint64)
-        seeded = np.uint64(splitmix64(seed & _MASK64))
+        seeded = np.uint64(splitmix64(_normalized_seed(seed)))
         return _splitmix64_vec(keys64 ^ seeded)
 
     def digest_matrix(self, seeds: np.ndarray, keys: np.ndarray) -> np.ndarray:
@@ -129,24 +141,35 @@ class SplitMix64Family(HashFamily):
 
 
 def _splitmix64_vec(values: np.ndarray) -> np.ndarray:
-    """Vectorized SplitMix64 finalizer over a ``uint64`` array.
+    """Vectorized SplitMix64 finalizer, routed through the active
+    kernel backend.
 
-    Identical arithmetic to the naive expression chain, but with the
-    mixing steps applied in place on one working copy plus one scratch
-    buffer — the naive form allocates ~8 intermediates per call, which
-    dominates the batched engines' runtime on cache-sized chunks.
+    The reference (numpy) implementation lives in
+    :mod:`repro.sim.backends.numpy_backend`; selecting another backend
+    (``--backend``, ``REPRO_BACKEND``) swaps the execution substrate of
+    every hash pass while keeping the bit pattern — the backend
+    contract tests enforce element-wise equality with the scalar
+    :func:`splitmix64`.
     """
-    with np.errstate(over="ignore"):
-        v = values + np.uint64(_GOLDEN_GAMMA)  # fresh working copy
-        scratch = v >> np.uint64(30)
-        v ^= scratch
-        v *= np.uint64(_MIX_A)
-        np.right_shift(v, np.uint64(27), out=scratch)
-        v ^= scratch
-        v *= np.uint64(_MIX_B)
-        np.right_shift(v, np.uint64(31), out=scratch)
-        v ^= scratch
-        return v
+    return _active_backend().splitmix64_vec(values)
+
+
+def _active_backend():
+    """The process-wide kernel backend (lazily imported).
+
+    The import happens at call time, not module-import time, because
+    :mod:`repro.sim` sits above the hashing layer; by the first hash
+    pass it is always importable.
+    """
+    global _backend_resolver
+    if _backend_resolver is None:
+        from ..sim.backends import active_backend
+
+        _backend_resolver = active_backend
+    return _backend_resolver()
+
+
+_backend_resolver = None
 
 
 class _DigestFamily(HashFamily):

@@ -78,76 +78,52 @@ def geometric_bucket_matrix(
 
 
 def _clamped_buckets(digests: np.ndarray, max_bucket: int) -> np.ndarray:
-    """Exact ``min(clz(digest), max_bucket)`` over a ``uint64`` array.
+    """Exact ``min(clz(digest), max_bucket)``, on the active backend.
 
-    For clamps below 53 the count only depends on the top ``max_bucket``
-    bits, whose bit length a float64 conversion encodes *exactly* in its
-    exponent field (integers < 2^53 are representable):
-
-        min(clz(v), B) == B - bit_length(v >> (64 - B))
-
-    This costs ~7 array passes instead of the ~24 of the general
-    popcount-based clz, which matters on the batched LoF hot path.
-    Wider clamps fall back to :func:`leading_zeros64_vec`.
+    The reference implementation (float-exponent trick for clamps below
+    53, ~7 array passes instead of ~24) lives in
+    :mod:`repro.sim.backends.numpy_backend`; JIT backends fuse the
+    whole clamp into one pass.  Every backend must match it
+    bit-for-bit — this sits on the batched LoF hot path.
     """
-    if max_bucket == 0:
-        return np.zeros(digests.shape, dtype=np.int64)
-    if max_bucket > 52:
-        return np.minimum(leading_zeros64_vec(digests), max_bucket)
-    top = digests >> np.uint64(64 - max_bucket)
-    exponents = top.astype(np.float64).view(np.uint64)
-    exponents >>= np.uint64(52)
-    # exponent field = bit_length + 1022 for top >= 1, 0 for top == 0
-    bit_lengths = exponents.view(np.int64)
-    bit_lengths -= 1022
-    np.maximum(bit_lengths, 0, out=bit_lengths)
-    np.subtract(max_bucket, bit_lengths, out=bit_lengths)
-    return bit_lengths
+    return _active_backend().clamped_buckets(digests, max_bucket)
 
 
 def leading_zeros64_vec(values: np.ndarray) -> np.ndarray:
     """Vectorized, exact leading-zero count over a ``uint64`` array.
 
+    Routed through the active kernel backend (see
+    :mod:`repro.sim.backends`); the numpy reference propagates the top
+    bit rightward then popcounts, JIT backends count per element.
     Float conversions are *not* exact here (a value just below a power
-    of two rounds up and misreports its bit length), so this uses pure
-    integer ops: propagate the top bit rightward, then popcount the
-    resulting mask — ``clz = 64 - popcount``.
+    of two rounds up and misreports its bit length), so every backend
+    uses pure integer ops.
     """
-    v = np.array(values, dtype=np.uint64, copy=True)
-    scratch = np.empty_like(v)
-    for shift in (1, 2, 4, 8, 16, 32):
-        np.right_shift(v, np.uint64(shift), out=scratch)
-        v |= scratch
-    counts = _popcount64(v)
-    np.subtract(64, counts, out=counts)
-    return counts
+    return _active_backend().leading_zeros64_vec(values)
+
+
+def _active_backend():
+    """The process-wide kernel backend (lazily imported; see family)."""
+    global _backend_resolver
+    if _backend_resolver is None:
+        from ..sim.backends import active_backend
+
+        _backend_resolver = active_backend
+    return _backend_resolver()
+
+
+_backend_resolver = None
 
 
 def _popcount64(values: np.ndarray) -> np.ndarray:
     """SWAR popcount over a ``uint64`` array (wraparound is intended).
 
-    Same arithmetic as the textbook expression chain, restructured to
-    reuse one scratch buffer — the batched LoF engine runs this on
-    every hash word, where per-step allocations dominate.
+    Kept as a stable import point for the hash-quality diagnostics;
+    the implementation is the reference backend's.
     """
-    m1 = np.uint64(0x5555555555555555)
-    m2 = np.uint64(0x3333333333333333)
-    m4 = np.uint64(0x0F0F0F0F0F0F0F0F)
-    h01 = np.uint64(0x0101010101010101)
-    with np.errstate(over="ignore"):
-        scratch = values >> np.uint64(1)
-        scratch &= m1
-        x = values - scratch
-        np.right_shift(x, np.uint64(2), out=scratch)
-        scratch &= m2
-        x &= m2
-        x += scratch
-        np.right_shift(x, np.uint64(4), out=scratch)
-        x += scratch
-        x &= m4
-        x *= h01
-        x >>= np.uint64(56)
-        return x.astype(np.int64)
+    from ..sim.backends.numpy_backend import popcount64
+
+    return popcount64(values)
 
 
 def geometric_pmf(max_bucket: int) -> np.ndarray:

@@ -5,19 +5,19 @@ EWMA change detector is now part of the obs surface (it emits
 ``monitor.drift`` events through the active registry) and is
 re-exported from :mod:`repro.obs`.  This module remains so existing
 imports — ``from repro.monitor import CardinalityMonitor`` — keep
-working, but emits a :class:`DeprecationWarning` on import; migrate to
+working, but emits a :class:`DeprecationWarning` on first import
+(once per process, even across ``importlib.reload``); migrate to
 :mod:`repro.obs.monitor`.
 """
 
 from __future__ import annotations
 
-import warnings
+from ._deprecation import warn_once
 
-warnings.warn(
+warn_once(
+    "repro.monitor",
     "repro.monitor is deprecated; import from repro.obs.monitor "
     "instead",
-    DeprecationWarning,
-    stacklevel=2,
 )
 
 from .obs.monitor import (  # noqa: E402

@@ -30,9 +30,23 @@ seeds (with process-parallel sweeps via ``workers=``);
 :mod:`~repro.sim.metrics` aggregates them; :mod:`~repro.sim.report`
 renders the paper-style tables; :mod:`~repro.sim.workload` synthesizes
 populations and scenarios.
+
+Execution substrate
+-------------------
+:mod:`~repro.sim.backends` selects the kernel backend every vectorized
+hash pass runs on (``numpy`` reference, optional ``numba`` JIT);
+:mod:`~repro.sim.shm` provides the zero-copy shared-memory arrays the
+parallel sweeps ship seed and depth matrices through.
 """
 
+from .backends import (
+    available_backends,
+    get_backend,
+    set_active_backend,
+    use_backend,
+)
 from .batched import BatchedExperimentEngine
+from .shm import SharedArray, SharedArraySpec
 from .experiment import ExperimentRunner, RepeatedEstimate
 from .multireader import MultiReaderSimulator
 from .persist import load_experiment, save_experiment
@@ -68,4 +82,10 @@ __all__ = [
     "build_population",
     "save_experiment",
     "load_experiment",
+    "available_backends",
+    "get_backend",
+    "set_active_backend",
+    "use_backend",
+    "SharedArray",
+    "SharedArraySpec",
 ]

@@ -1,0 +1,125 @@
+"""Optional numba JIT backend for the splitmix/clz hot passes.
+
+Compiles the three kernel primitives with ``@njit(parallel=True,
+nogil=True)``: one fused pass per element instead of numpy's ~8 array
+sweeps, and thread-parallel across cores.  All arithmetic is 64-bit
+integer (adds, xors, shifts, multiplies with wraparound), so the output
+is **bit-identical** to the numpy reference — the contract tests assert
+this on every call shape the engines use.
+
+numba is an optional dependency (the ``jit`` extra in
+``pyproject.toml``).  This module imports cleanly without it;
+:data:`HAVE_NUMBA` reports availability and the registry only offers
+the backend when the import succeeded.  Nothing in the library imports
+numba at interpreter start — the JIT compile cost is paid on first use
+of the backend, never on ``import repro``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import ConfigurationError
+from .base import KernelBackend
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba as _numba
+except ImportError:  # numba is optional; the registry reports absence
+    _numba = None
+
+#: Whether the optional numba dependency imported successfully.
+HAVE_NUMBA = _numba is not None
+
+#: How to get the backend when it is missing.
+INSTALL_HINT = "pip install 'repro[jit]'"
+
+_GOLDEN_GAMMA = np.uint64(0x9E3779B97F4A7C15)
+_MIX_A = np.uint64(0xBF58476D1CE4E5B9)
+_MIX_B = np.uint64(0x94D049BB133111EB)
+_TOP_BIT = np.uint64(1 << 63)
+_ONE = np.uint64(1)
+
+if HAVE_NUMBA:  # pragma: no cover - exercised only where numba is installed
+
+    @_numba.njit(cache=True, parallel=True, nogil=True)
+    def _splitmix64_flat(values, out):  # pragma: no cover
+        for index in _numba.prange(values.size):
+            value = values[index] + _GOLDEN_GAMMA
+            value = (value ^ (value >> np.uint64(30))) * _MIX_A
+            value = (value ^ (value >> np.uint64(27))) * _MIX_B
+            out[index] = value ^ (value >> np.uint64(31))
+
+    @_numba.njit(cache=True, parallel=True, nogil=True)
+    def _leading_zeros64_flat(values, out):  # pragma: no cover
+        for index in _numba.prange(values.size):
+            value = values[index]
+            if value == np.uint64(0):
+                out[index] = 64
+            else:
+                count = 0
+                while (value & _TOP_BIT) == np.uint64(0):
+                    value = value << _ONE
+                    count += 1
+                out[index] = count
+
+    @_numba.njit(cache=True, parallel=True, nogil=True)
+    def _clamped_buckets_flat(values, max_bucket, out):  # pragma: no cover
+        for index in _numba.prange(values.size):
+            value = values[index]
+            if value == np.uint64(0):
+                out[index] = max_bucket
+            else:
+                count = 0
+                while (
+                    count < max_bucket
+                    and (value & _TOP_BIT) == np.uint64(0)
+                ):
+                    value = value << _ONE
+                    count += 1
+                out[index] = count
+
+
+class NumbaBackend(KernelBackend):
+    """JIT-compiled kernels; bit-identical to the numpy reference.
+
+    Raises :class:`~repro.errors.ConfigurationError` at construction
+    when numba is not importable, so a half-working backend can never
+    be handed out.
+    """
+
+    name = "numba"
+    bit_identical = True
+
+    def __init__(self) -> None:
+        if not HAVE_NUMBA:
+            raise ConfigurationError(
+                "the 'numba' backend needs the optional numba "
+                f"dependency ({INSTALL_HINT})"
+            )
+
+    @staticmethod
+    def _flat(values: np.ndarray) -> np.ndarray:
+        return np.ascontiguousarray(values, dtype=np.uint64).ravel()
+
+    def splitmix64_vec(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.uint64)
+        flat = self._flat(values)
+        out = np.empty(flat.size, dtype=np.uint64)
+        _splitmix64_flat(flat, out)
+        return out.reshape(values.shape)
+
+    def leading_zeros64_vec(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.uint64)
+        flat = self._flat(values)
+        out = np.empty(flat.size, dtype=np.int64)
+        _leading_zeros64_flat(flat, out)
+        return out.reshape(values.shape)
+
+    def clamped_buckets(
+        self, digests: np.ndarray, max_bucket: int
+    ) -> np.ndarray:
+        digests = np.asarray(digests, dtype=np.uint64)
+        flat = self._flat(digests)
+        out = np.empty(flat.size, dtype=np.int64)
+        _clamped_buckets_flat(flat, max_bucket, out)
+        return out.reshape(digests.shape)

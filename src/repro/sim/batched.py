@@ -296,3 +296,376 @@ class BatchedExperimentEngine:
                 seconds=seconds,
             )
         return repeated
+
+    def run_rounds_grid(
+        self,
+        spec: WorkloadSpec,
+        config: PetConfig,
+        rounds_grid: "Sequence[int]",
+        workers: "int | None" = None,
+        progress: object = None,
+    ) -> "list[RepeatedEstimate]":
+        """Every rounds-grid cell of one workload from a single depth pass.
+
+        The fig-4 drivers evaluate one population size at many round
+        counts.  Calling :meth:`run_cell` per count re-derives the same
+        per-repetition populations, sorted code arrays, and word
+        streams for every grid value; this method exploits two prefix
+        facts to pay for them exactly once:
+
+        * word streams: ``rng.integers(0, 2**64, size=(m, k))`` is a
+          row-prefix of the ``size=(max_m, k)`` draw from the same
+          child (C-order full-range draws consume the stream
+          identically), and
+        * depths: per-round gray depths are elementwise independent,
+          so the ``(repetitions, max_m)`` depth matrix computed at the
+          widest grid value yields every narrower cell as the column
+          prefix ``depths[:, :m]``.
+
+        Each returned :class:`RepeatedEstimate` is therefore
+        **bit-identical** to ``run_cell(spec, config, m)`` (enforced by
+        the grid-equivalence tests), at roughly ``max_m / sum(grid)``
+        of the work.
+
+        ``workers`` fans the repetitions out over a process pool: the
+        parent derives the word matrix into a zero-copy
+        :class:`~repro.sim.shm.SharedArray`, workers fill disjoint row
+        shards of a shared depth matrix, and the parent reduces every
+        grid cell.  ``None``/``0``/``1`` runs serially in-process and
+        never allocates a shared-memory segment.  ``progress`` is a
+        sweep-style tracker (``True`` or a
+        :class:`~repro.obs.progress.ProgressTracker`); cells tick as
+        they are reduced.
+
+        Telemetry is cell-equivalent for counters (``experiment.*``,
+        ``sim.*``, the gray-depth histogram) but grid-level for
+        timing: the shared depth pass cannot be attributed to single
+        cells, so per-cell ``cell_seconds`` are not recorded.
+        """
+        from .experiment import _make_tracker
+
+        grid = [int(rounds) for rounds in rounds_grid]
+        if not grid:
+            raise ConfigurationError("rounds_grid must be non-empty")
+        for rounds in grid:
+            if rounds < 1:
+                raise ConfigurationError(
+                    f"rounds must be >= 1, got {rounds}"
+                )
+        if workers is not None and workers < 0:
+            raise ConfigurationError(
+                f"workers must be >= 0 when given, got {workers}"
+            )
+        height = config.tree_height
+        if spec.size > 0 and height > 62:
+            raise ConfigurationError(
+                "vectorized simulation supports tree heights up to 62"
+            )
+        max_rounds = max(grid)
+        registry = self.registry
+        strategy = strategy_for(config.binary_search)
+        slots_table = slots_lookup_table(strategy, height)
+        start = time.perf_counter()
+        with registry.span(
+            "grid",
+            tier="batched",
+            n=spec.size,
+            cells=len(grid),
+            max_rounds=max_rounds,
+            workers=workers or 1,
+        ):
+            if workers is None or workers <= 1:
+                depths = self._grid_depths_serial(
+                    spec, config, max_rounds
+                )
+            else:
+                depths = self._grid_depths_parallel(
+                    spec, config, max_rounds, workers
+                )
+            tracker = _make_tracker(progress, len(grid), registry)
+            results = self._reduce_grid(
+                spec, grid, depths, slots_table, strategy, tracker
+            )
+            if tracker is not None:
+                tracker.finish()
+        seconds = time.perf_counter() - start
+        if registry:
+            if seconds > 0:
+                registry.gauge("experiment.cells_per_second").set(
+                    len(grid) / seconds
+                )
+            registry.event(
+                "grid",
+                tier="batched",
+                n=spec.size,
+                cells=len(grid),
+                max_rounds=max_rounds,
+                repetitions=self.repetitions,
+                workers=workers or 1,
+                seconds=seconds,
+            )
+        return results
+
+    def _grid_words(self, max_rounds: int, words_per_round: int):
+        """Yield ``(index, words)`` per repetition — the widest draw."""
+        children = np.random.SeedSequence(self.base_seed).spawn(
+            self.repetitions
+        )
+        for index, child in enumerate(children):
+            rng = np.random.default_rng(child)
+            yield index, rng.integers(
+                0,
+                2**64,
+                size=(max_rounds, words_per_round),
+                dtype=np.uint64,
+            )
+
+    def _grid_depths_serial(
+        self, spec: WorkloadSpec, config: PetConfig, max_rounds: int
+    ) -> np.ndarray:
+        """The ``(repetitions, max_rounds)`` depth matrix, in-process."""
+        words_per_round = 1 if config.passive_tags else 2
+        depths = np.empty(
+            (self.repetitions, max_rounds), dtype=np.int64
+        )
+        profiler = active_profiler(self.registry)
+        for index, words in self._grid_words(
+            max_rounds, words_per_round
+        ):
+            with profiler.phase("hash_passes"):
+                depths[index] = _grid_repetition_depths(
+                    spec, config, words, index
+                )
+        return depths
+
+    def _grid_depths_parallel(
+        self,
+        spec: WorkloadSpec,
+        config: PetConfig,
+        max_rounds: int,
+        workers: int,
+    ) -> np.ndarray:
+        """The depth matrix via worker shards over shared memory.
+
+        The parent derives the full word tensor once (seed discipline
+        stays parent-side), shares it read-only, and shares a writable
+        depth matrix that workers fill in disjoint repetition shards —
+        both segments are cleaned up even when a worker dies
+        mid-shard.
+        """
+        from .experiment import _run_pool
+        from .shm import SharedArray
+
+        words_per_round = 1 if config.passive_tags else 2
+        registry = self.registry
+        profiler = active_profiler(registry)
+        with profiler.phase("seed_matrix"):
+            words_all = np.empty(
+                (self.repetitions, max_rounds, words_per_round),
+                dtype=np.uint64,
+            )
+            for index, words in self._grid_words(
+                max_rounds, words_per_round
+            ):
+                words_all[index] = words
+        words_segment = None
+        depths_segment = None
+        try:
+            words_segment = SharedArray.create(
+                words_all, registry=registry
+            )
+            del words_all
+            depths_segment = SharedArray.zeros(
+                (self.repetitions, max_rounds),
+                np.int64,
+                registry=registry,
+            )
+            shards = _shard_ranges(self.repetitions, workers)
+            with profiler.phase("hash_passes"):
+                _run_pool(
+                    workers,
+                    [
+                        (
+                            _grid_depths_worker,
+                            words_segment.spec,
+                            depths_segment.spec,
+                            shard_start,
+                            shard_stop,
+                            spec,
+                            config,
+                        )
+                        for shard_start, shard_stop in shards
+                    ],
+                    None,
+                )
+            # Copy out before the segment disappears.
+            return depths_segment.array.copy()
+        finally:
+            for segment in (words_segment, depths_segment):
+                if segment is not None:
+                    segment.close()
+                    segment.unlink(registry=registry)
+
+    def _reduce_grid(
+        self,
+        spec: WorkloadSpec,
+        grid: "list[int]",
+        depths: np.ndarray,
+        slots_table: np.ndarray,
+        strategy: object,
+        tracker: object,
+    ) -> "list[RepeatedEstimate]":
+        """Reduce the shared depth matrix into one result per grid cell."""
+        registry = self.registry
+        profiler = active_profiler(registry)
+        health = registry.health if registry else None
+        if registry:
+            busy_table, idle_table = slot_outcome_tables(
+                strategy, int(slots_table.size - 1)
+            )
+            depth_histogram = registry.histogram("pet.gray_depth")
+        # Per-repetition running slot sums: cumulative along rounds, so
+        # cell m's total is one column read instead of a fresh sum.
+        slot_cumulative = slots_table[depths].cumsum(axis=1)
+        results = []
+        for rounds in grid:
+            with profiler.phase("finalize"):
+                cell_depths = depths[:, :rounds]
+                estimates = np.array(
+                    [
+                        estimate_from_depths(cell_depths[index])
+                        for index in range(self.repetitions)
+                    ]
+                )
+                total_slots = int(
+                    slot_cumulative[:, rounds - 1].sum()
+                )
+            repeated = RepeatedEstimate(
+                true_n=spec.size,
+                rounds=rounds,
+                estimates=estimates,
+                slots_per_run=total_slots / self.repetitions,
+            )
+            with profiler.phase("reduction"):
+                if registry:
+                    rounds_done = rounds * self.repetitions
+                    registry.counter("experiment.cells").inc()
+                    registry.counter("experiment.rounds").inc(
+                        rounds_done
+                    )
+                    registry.counter("sim.rounds").inc(rounds_done)
+                    registry.counter("sim.slots").inc(total_slots)
+                    registry.counter("sim.slots.busy").inc(
+                        int(busy_table[cell_depths].sum())
+                    )
+                    registry.counter("sim.slots.idle").inc(
+                        int(idle_table[cell_depths].sum())
+                    )
+                    depth_histogram.observe_many(cell_depths.ravel())
+                    if health is not None:
+                        health.observe_estimates(estimates, rounds)
+                    registry.event(
+                        "cell",
+                        tier="batched-grid",
+                        n=spec.size,
+                        rounds=rounds,
+                        repetitions=self.repetitions,
+                        mean_estimate=float(estimates.mean()),
+                        slots_per_run=repeated.slots_per_run,
+                        seconds=float("nan"),
+                    )
+            if tracker is not None:
+                tracker.cell_done(
+                    n=spec.size,
+                    slots=total_slots,
+                    rounds=rounds * self.repetitions,
+                )
+            results.append(repeated)
+        return results
+
+
+def _shard_ranges(
+    total: int, shards: int
+) -> "list[tuple[int, int]]":
+    """Split ``range(total)`` into at most ``shards`` contiguous runs."""
+    shards = max(1, min(shards, total))
+    base, extra = divmod(total, shards)
+    ranges = []
+    start = 0
+    for index in range(shards):
+        stop = start + base + (1 if index < extra else 0)
+        ranges.append((start, stop))
+        start = stop
+    return ranges
+
+
+def _grid_repetition_depths(
+    spec: WorkloadSpec,
+    config: PetConfig,
+    words: np.ndarray,
+    index: int,
+) -> np.ndarray:
+    """Gray depths of one repetition's rounds (the run_cell inner body).
+
+    ``words`` is the repetition's ``(rounds, words_per_round)`` word
+    draw; the population resampling (``spec.seed + index``) matches
+    :meth:`BatchedExperimentEngine.run_cell` exactly.
+    """
+    height = config.tree_height
+    path_bits = words[:, 0] >> np.uint64(64 - height)
+    population = build_population(
+        WorkloadSpec(
+            size=spec.size,
+            id_space=spec.id_space,
+            seed=spec.seed + index,
+        )
+    )
+    if config.passive_tags:
+        codes = np.sort(population.preloaded_codes(height))
+        return batched_gray_depths_sorted(codes, path_bits, height)
+    seeds = words[:, 1] >> np.uint64(1)
+    return batched_gray_depths_fresh(
+        population.tag_ids,
+        seeds,
+        path_bits,
+        height,
+        population.family,
+    )
+
+
+def _grid_depths_worker(
+    words_spec: object,
+    depths_spec: object,
+    start: int,
+    stop: int,
+    spec: WorkloadSpec,
+    config: PetConfig,
+    reporter: object = None,
+) -> None:
+    """Worker-process entry: fill one repetition shard of the grid.
+
+    Attaches both parent-owned segments, writes depth rows
+    ``start:stop``, and detaches; never copies the word tensor or
+    unlinks anything (module-level so it pickles into the pool).
+    """
+    from ..obs.registry import NULL_REGISTRY
+    from .shm import SharedArray
+
+    words_segment = SharedArray.attach(
+        words_spec, registry=NULL_REGISTRY
+    )
+    try:
+        depths_segment = SharedArray.attach(
+            depths_spec, registry=NULL_REGISTRY
+        )
+        try:
+            words = words_segment.array
+            depths = depths_segment.array
+            for index in range(start, stop):
+                depths[index] = _grid_repetition_depths(
+                    spec, config, words[index], index
+                )
+        finally:
+            depths_segment.close()
+    finally:
+        words_segment.close()

@@ -299,11 +299,15 @@ class ExperimentRunner:
         specs: "Sequence[ProtocolCellSpec]",
         workers: int | None = None,
         on_error: str = "nan",
+        share_seeds: bool = False,
     ) -> "list[ProtocolCellResult]":
         """Batched comparison-cell sweep (table-3 style drivers).
 
         Same worker semantics as :meth:`sweep`: results are bit-for-bit
-        identical for any ``workers`` count.
+        identical for any ``workers`` count.  ``share_seeds`` derives
+        one wide seed matrix that every cell prefix-slices (zero-copy
+        shared memory under a worker pool); see
+        :func:`~repro.sim.protocol_batched.sweep_protocol_cells`.
         """
         from .protocol_batched import sweep_protocol_cells
 
@@ -314,6 +318,40 @@ class ExperimentRunner:
             workers=workers,
             registry=self.registry,
             on_error=on_error,
+            share_seeds=share_seeds,
+        )
+
+    def sweep_rounds(
+        self,
+        spec: "WorkloadSpec",
+        config: PetConfig,
+        rounds_grid: Sequence[int],
+        workers: int | None = None,
+        progress: "bool | ProgressTracker | None" = None,
+    ) -> list[RepeatedEstimate]:
+        """Vectorized-tier sweep over round counts (fig-4 grid driver).
+
+        One :class:`~repro.sim.batched.BatchedExperimentEngine` depth
+        pass at the widest grid value serves every cell as a prefix
+        reduction — bit-identical to calling :meth:`run_vectorized`
+        per grid value, at a fraction of the work.  ``workers`` shards
+        the repetitions over a process pool with zero-copy
+        shared-memory word/depth matrices; ``None``/``0``/``1`` runs
+        serially and never allocates a segment.
+        """
+        from .batched import BatchedExperimentEngine
+
+        engine = BatchedExperimentEngine(
+            base_seed=self.base_seed,
+            repetitions=self.repetitions,
+            registry=self.registry,
+        )
+        return engine.run_rounds_grid(
+            spec,
+            config,
+            rounds_grid,
+            workers=workers,
+            progress=progress,
         )
 
     def sweep(

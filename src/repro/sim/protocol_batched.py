@@ -134,6 +134,7 @@ def run_protocol_cell(
     base_seed: int = 2011,
     registry: MetricsRegistry | None = None,
     on_error: str = "raise",
+    seeds: np.ndarray | None = None,
 ) -> ProtocolCellResult:
     """Run one whole comparison cell through the protocol's engine.
 
@@ -146,6 +147,12 @@ def run_protocol_cell(
     scalar loop would, ``"nan"`` flags the repetition's estimate as
     ``NaN`` and counts it in ``saturated_runs`` so one saturated run
     cannot abort a whole figure.
+
+    ``seeds`` optionally supplies the seed matrix (or a prefix slice of
+    a wider shared one — see :func:`sweep_protocol_cells`'s
+    ``share_seeds``) instead of re-deriving it; it must be exactly what
+    :func:`seed_matrix` would return, which the word-stream prefix
+    property guarantees for column slices of a max-draws matrix.
     """
     if rounds < 1:
         raise ConfigurationError(f"rounds must be >= 1, got {rounds}")
@@ -171,7 +178,13 @@ def run_protocol_cell(
     ):
         with profiler.phase("seed_matrix"):
             draws = rounds * engine.draws_per_round
-            seeds = seed_matrix(base_seed, repetitions, draws)
+            if seeds is None:
+                seeds = seed_matrix(base_seed, repetitions, draws)
+            elif seeds.shape != (repetitions, draws):
+                raise ConfigurationError(
+                    f"supplied seed matrix has shape {seeds.shape}, "
+                    f"cell needs {(repetitions, draws)}"
+                )
         with profiler.phase("hash_passes"):
             statistics = _chunked_statistics(engine, seeds, population)
         with profiler.phase("finalize"):
@@ -310,6 +323,20 @@ class ProtocolCellSpec:
         return protocol, population
 
 
+def _cell_draws(spec: ProtocolCellSpec) -> int:
+    """Seed draws one cell consumes (without building its population)."""
+    from ..protocols.registry import make_protocol
+
+    protocol = make_protocol(spec.protocol, **spec.config)
+    engine = protocol.batched_engine()
+    if engine is None:
+        raise ConfigurationError(
+            f"protocol {spec.protocol!r} has no batched engine; use "
+            f"the scalar estimate path"
+        )
+    return spec.rounds * engine.draws_per_round
+
+
 def sweep_protocol_cells(
     specs: Sequence[ProtocolCellSpec],
     repetitions: int = PAPER_RUNS_PER_POINT,
@@ -318,6 +345,7 @@ def sweep_protocol_cells(
     registry: MetricsRegistry | None = None,
     on_error: str = "nan",
     progress: object = None,
+    share_seeds: bool = False,
 ) -> list[ProtocolCellResult]:
     """Run many comparison cells, optionally process-parallel.
 
@@ -331,6 +359,15 @@ def sweep_protocol_cells(
     :meth:`ExperimentRunner.sweep`, which also documents the
     ``progress`` argument (``True`` for a stderr status line, or a
     :class:`~repro.obs.progress.ProgressTracker`).
+
+    ``share_seeds`` derives one seed matrix wide enough for the widest
+    cell and lets every cell slice its prefix — bit-identical to
+    per-cell derivation because full-range ``uint64`` draws are
+    stream-prefix-stable (pinned by the seed-discipline tests).  With a
+    worker pool the matrix travels as a zero-copy
+    :class:`~repro.sim.shm.SharedArray` segment instead of being
+    re-derived (or pickled) per cell; serial sweeps slice a plain
+    in-process array and never touch shared memory.
     """
     from .experiment import _make_tracker, _run_pool
 
@@ -341,6 +378,9 @@ def sweep_protocol_cells(
     if registry is None:
         registry = get_registry()
     tracker = _make_tracker(progress, len(specs), registry)
+    draws_by_spec = (
+        [_cell_draws(spec) for spec in specs] if share_seeds else None
+    )
     start = time.perf_counter()
     with registry.span(
         "sweep",
@@ -349,8 +389,20 @@ def sweep_protocol_cells(
         workers=workers or 1,
     ):
         if workers is None or workers == 1:
+            shared_seeds = None
+            if draws_by_spec is not None and specs:
+                # Serial share path: one plain in-process matrix, no
+                # shared-memory segment (asserted by lifecycle tests).
+                shared_seeds = seed_matrix(
+                    base_seed, repetitions, max(draws_by_spec)
+                )
             results = []
-            for spec in specs:
+            for index, spec in enumerate(specs):
+                seeds = (
+                    shared_seeds[:, : draws_by_spec[index]]
+                    if shared_seeds is not None
+                    else None
+                )
                 result = run_protocol_cell(
                     *spec.build(),
                     rounds=spec.rounds,
@@ -358,6 +410,7 @@ def sweep_protocol_cells(
                     base_seed=base_seed,
                     registry=registry,
                     on_error=on_error,
+                    seeds=seeds,
                 )
                 if tracker is not None:
                     tracker.cell_done(
@@ -367,22 +420,41 @@ def sweep_protocol_cells(
                     )
                 results.append(result)
         else:
-            pairs = _run_pool(
-                workers,
-                [
-                    (
-                        _sweep_protocol_cell,
-                        spec,
-                        repetitions,
-                        base_seed,
-                        on_error,
-                        bool(registry),
-                        registry.profiler is not None,
-                    )
-                    for spec in specs
-                ],
-                tracker,
-            )
+            segment = None
+            if draws_by_spec is not None and specs:
+                from .shm import SharedArray
+
+                segment = SharedArray.create(
+                    seed_matrix(
+                        base_seed, repetitions, max(draws_by_spec)
+                    ),
+                    registry=registry,
+                )
+            try:
+                pairs = _run_pool(
+                    workers,
+                    [
+                        (
+                            _sweep_protocol_cell,
+                            spec,
+                            repetitions,
+                            base_seed,
+                            on_error,
+                            bool(registry),
+                            registry.profiler is not None,
+                            segment.spec if segment else None,
+                            draws_by_spec[index]
+                            if draws_by_spec is not None
+                            else 0,
+                        )
+                        for index, spec in enumerate(specs)
+                    ],
+                    tracker,
+                )
+            finally:
+                if segment is not None:
+                    segment.close()
+                    segment.unlink(registry=registry)
             results = []
             for result, snapshot in pairs:
                 if snapshot is not None:
@@ -415,6 +487,8 @@ def _sweep_protocol_cell(
     on_error: str,
     collect: bool = False,
     profile: bool = False,
+    seeds_spec: object = None,
+    draws: int = 0,
     reporter: object = None,
 ) -> tuple[ProtocolCellResult, object]:
     """Worker-process entry: one sweep cell (module-level, picklable).
@@ -424,6 +498,9 @@ def _sweep_protocol_cell(
     merges it so no worker-side telemetry is lost.  ``profile``
     mirrors the parent having a profiler attached: the worker's phase
     timings land in ``profile.*.seconds`` histograms, which merge up.
+    ``seeds_spec`` optionally names a parent-owned shared-memory seed
+    matrix; the worker attaches, slices this cell's ``draws``-column
+    prefix, and detaches — it never copies or unlinks the segment.
     """
     from ..obs.progress import default_worker_id
     from ..obs.registry import NULL_REGISTRY
@@ -438,15 +515,29 @@ def _sweep_protocol_cell(
     protocol, population = spec.build()
     if reporter is not None:
         reporter.emit(phase="start", n=spec.n, force=True)
-    result = run_protocol_cell(
-        protocol,
-        population,
-        rounds=spec.rounds,
-        repetitions=repetitions,
-        base_seed=base_seed,
-        registry=worker_registry,
-        on_error=on_error,
-    )
+    segment = None
+    seeds = None
+    if seeds_spec is not None:
+        from .shm import SharedArray
+
+        segment = SharedArray.attach(
+            seeds_spec, registry=worker_registry
+        )
+        seeds = segment.array[:, :draws]
+    try:
+        result = run_protocol_cell(
+            protocol,
+            population,
+            rounds=spec.rounds,
+            repetitions=repetitions,
+            base_seed=base_seed,
+            registry=worker_registry,
+            on_error=on_error,
+            seeds=seeds,
+        )
+    finally:
+        if segment is not None:
+            segment.close()
     if reporter is not None:
         reporter.emit(
             phase="done",

@@ -7,7 +7,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.hashing.family import SplitMix64Family, splitmix64
+from repro.hashing.family import (
+    SplitMix64Family,
+    _normalized_seed,
+    _splitmix64_vec,
+    splitmix64,
+)
 from repro.hashing.geometric import (
     geometric_pmf,
     leading_zeros64_vec,
@@ -21,6 +26,29 @@ uint64s = st.integers(min_value=0, max_value=2**64 - 1)
 @settings(max_examples=300, deadline=None)
 def test_splitmix_stays_in_64_bits(value):
     assert 0 <= splitmix64(value) < 2**64
+
+
+@given(st.lists(uint64s, min_size=1, max_size=64))
+@settings(max_examples=200, deadline=None)
+def test_vectorized_splitmix_matches_scalar_elementwise(values):
+    # Force the 64-bit boundary into every batch: the wraparound word
+    # is where a backend's integer arithmetic would first diverge.
+    values = values + [2**64 - 1, 0]
+    out = _splitmix64_vec(np.array(values, dtype=np.uint64))
+    assert out.dtype == np.uint64
+    assert [int(word) for word in out] == [
+        splitmix64(value) for value in values
+    ]
+
+
+@given(st.integers(min_value=-(2**80), max_value=2**80))
+@settings(max_examples=200, deadline=None)
+def test_normalized_seed_is_canonical_64_bit(seed):
+    normalized = _normalized_seed(seed)
+    assert 0 <= normalized < 2**64
+    assert _normalized_seed(normalized) == normalized
+    family = SplitMix64Family()
+    assert family.digest(seed, 42) == family.digest(normalized, 42)
 
 
 @given(uint64s, uint64s)

@@ -1,0 +1,235 @@
+"""The kernel-backend registry and the per-backend kernel contract."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hashing.family import splitmix64
+from repro.sim import backends
+from repro.sim.backends import (
+    DEFAULT_BACKEND,
+    ENV_VAR,
+    available_backends,
+    backend_summaries,
+    get_backend,
+    known_backends,
+    register_backend,
+    set_active_backend,
+    use_backend,
+)
+from repro.sim.backends.base import KernelBackend
+from repro.sim.backends.numpy_backend import NumpyBackend
+
+
+@pytest.fixture(autouse=True)
+def _no_explicit_selection():
+    """Keep the process-global selection clean around every test."""
+    set_active_backend(None)
+    yield
+    set_active_backend(None)
+
+
+# ---------------------------------------------------------------------
+# Registry resolution
+
+
+def test_numpy_is_always_known_available_and_default():
+    assert DEFAULT_BACKEND == "numpy"
+    assert "numpy" in known_backends()
+    assert "numpy" in available_backends()
+    assert backends.active_backend().name == "numpy"
+
+
+def test_numba_is_registered_even_when_uninstalled():
+    # The registry lists it either way; availability is probed.
+    assert "numba" in known_backends()
+
+
+def test_unknown_backend_raises_with_known_names():
+    with pytest.raises(ConfigurationError, match="numpy"):
+        get_backend("no-such-backend")
+
+
+def test_unavailable_backend_error_names_alternatives():
+    try:
+        import numba  # noqa: F401
+
+        pytest.skip("numba installed; unavailability path not testable")
+    except ImportError:
+        pass
+    with pytest.raises(ConfigurationError, match="not available"):
+        get_backend("numba")
+
+
+def test_env_var_selects_backend(monkeypatch):
+    monkeypatch.setenv(ENV_VAR, "numpy")
+    assert backends.active_backend().name == "numpy"
+    monkeypatch.setenv(ENV_VAR, "no-such-backend")
+    with pytest.raises(ConfigurationError):
+        backends.active_backend()
+
+
+def test_explicit_selection_beats_env(monkeypatch):
+    monkeypatch.setenv(ENV_VAR, "no-such-backend")
+    set_active_backend("numpy")
+    assert backends.active_backend().name == "numpy"
+    set_active_backend(None)
+    with pytest.raises(ConfigurationError):
+        backends.active_backend()
+
+
+def test_instances_are_cached():
+    assert get_backend("numpy") is get_backend("numpy")
+
+
+def test_backend_summaries_report_availability():
+    rows = {name: available for name, _, available in backend_summaries()}
+    assert rows["numpy"] is True
+
+
+# ---------------------------------------------------------------------
+# Dispatch: the hashing layer actually routes through the selection
+
+
+class _TracingBackend(NumpyBackend):
+    name = "tracing"
+
+    def __init__(self):
+        self.calls = []
+
+    def splitmix64_vec(self, values):
+        self.calls.append("splitmix64_vec")
+        return super().splitmix64_vec(values)
+
+    def leading_zeros64_vec(self, values):
+        self.calls.append("leading_zeros64_vec")
+        return super().leading_zeros64_vec(values)
+
+    def clamped_buckets(self, digests, max_bucket):
+        self.calls.append("clamped_buckets")
+        return super().clamped_buckets(digests, max_bucket)
+
+
+def test_hashing_layer_dispatches_to_selected_backend():
+    from repro.hashing.family import _splitmix64_vec
+    from repro.hashing.geometric import (
+        _clamped_buckets,
+        leading_zeros64_vec,
+    )
+
+    tracer = _TracingBackend()
+    register_backend("tracing", lambda: tracer)
+    try:
+        with use_backend("tracing"):
+            values = np.arange(8, dtype=np.uint64)
+            _splitmix64_vec(values)
+            leading_zeros64_vec(values)
+            _clamped_buckets(values, 4)
+        assert tracer.calls == [
+            "splitmix64_vec",
+            "leading_zeros64_vec",
+            "clamped_buckets",
+        ]
+    finally:
+        backends._REGISTRY.pop("tracing", None)
+        backends._INSTANCES.pop("tracing", None)
+
+
+def test_use_backend_restores_prior_selection():
+    set_active_backend("numpy")
+    selected = backends.active_backend()
+    with use_backend("numpy"):
+        pass
+    assert backends.active_backend() is selected
+
+
+# ---------------------------------------------------------------------
+# Kernel contract, parametrized over whatever is installed here
+
+
+def _contract_words() -> np.ndarray:
+    """Adversarial words: edges, near powers of two, random fill."""
+    edge = [0, 1, 2, (1 << 64) - 1, 1 << 63, (1 << 63) - 1]
+    for bits in range(1, 64):
+        edge.extend(
+            [(1 << bits) - 1, 1 << bits, (1 << bits) + 1]
+        )
+    rng = np.random.default_rng(7)
+    random = rng.integers(0, 2**64, size=4096, dtype=np.uint64)
+    return np.concatenate(
+        [np.array(edge, dtype=np.uint64) & np.uint64((1 << 64) - 1), random]
+    )
+
+
+@pytest.fixture(params=available_backends())
+def backend(request) -> KernelBackend:
+    return get_backend(request.param)
+
+
+def test_backend_is_a_kernel_backend(backend):
+    assert isinstance(backend, KernelBackend)
+    description = backend.describe()
+    assert description["name"] == backend.name
+    assert description["bit_identical"] is True
+
+
+def test_splitmix64_matches_scalar_reference(backend):
+    words = _contract_words()
+    out = backend.splitmix64_vec(words)
+    assert out.dtype == np.uint64
+    expected = np.array(
+        [splitmix64(int(w)) for w in words], dtype=np.uint64
+    )
+    np.testing.assert_array_equal(out, expected)
+
+
+def test_leading_zeros_matches_bit_length(backend):
+    words = _contract_words()
+    out = backend.leading_zeros64_vec(words)
+    expected = np.array(
+        [64 - int(w).bit_length() for w in words], dtype=np.int64
+    )
+    np.testing.assert_array_equal(out, expected)
+
+
+@pytest.mark.parametrize("max_bucket", [0, 1, 7, 32, 52, 53, 64])
+def test_clamped_buckets_matches_reference(backend, max_bucket):
+    words = _contract_words()
+    out = backend.clamped_buckets(words, max_bucket)
+    expected = np.minimum(
+        np.array(
+            [64 - int(w).bit_length() for w in words], dtype=np.int64
+        ),
+        max_bucket,
+    )
+    np.testing.assert_array_equal(out, expected)
+
+
+def test_kernels_preserve_input_shape(backend):
+    matrix = np.arange(12, dtype=np.uint64).reshape(3, 4)
+    assert backend.splitmix64_vec(matrix).shape == (3, 4)
+    assert backend.leading_zeros64_vec(matrix).shape == (3, 4)
+    assert backend.clamped_buckets(matrix, 8).shape == (3, 4)
+
+
+def test_backends_agree_pairwise():
+    """Every available backend reproduces the numpy bit patterns."""
+    words = _contract_words()
+    reference = get_backend("numpy")
+    for name in available_backends():
+        other = get_backend(name)
+        np.testing.assert_array_equal(
+            other.splitmix64_vec(words),
+            reference.splitmix64_vec(words),
+        )
+        np.testing.assert_array_equal(
+            other.leading_zeros64_vec(words),
+            reference.leading_zeros64_vec(words),
+        )
+        for max_bucket in (4, 52, 60):
+            np.testing.assert_array_equal(
+                other.clamped_buckets(words, max_bucket),
+                reference.clamped_buckets(words, max_bucket),
+            )

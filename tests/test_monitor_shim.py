@@ -5,14 +5,34 @@ from __future__ import annotations
 import importlib
 import warnings
 
-import pytest
+from repro import _deprecation
 
 
-def test_importing_the_shim_warns():
+def _forget_shim_warning(monkeypatch):
+    """Give this test a fresh once-per-process warning budget."""
+    monkeypatch.setattr(
+        _deprecation,
+        "_SEEN",
+        set(_deprecation._SEEN) - {"repro.monitor"},
+    )
+
+
+def test_importing_the_shim_warns_exactly_once(monkeypatch):
     import repro.monitor as shim
 
-    with pytest.warns(DeprecationWarning, match="repro.obs.monitor"):
+    _forget_shim_warning(monkeypatch)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
         importlib.reload(shim)
+        importlib.reload(shim)
+        importlib.reload(shim)
+    deprecations = [
+        w
+        for w in caught
+        if issubclass(w.category, DeprecationWarning)
+        and "repro.obs.monitor" in str(w.message)
+    ]
+    assert len(deprecations) == 1
 
 
 def test_shim_reexports_stay_importable():
