@@ -90,6 +90,26 @@ re-measured on this machine and the guard fails when
 ``--json-out`` in this mode writes the fresh measurements for upload
 as a CI artifact.
 
+With ``--serve`` the guard checks the micro-batching estimation
+service against ``BENCH_serve.json``: the acceptance workload (128
+multi-tenant requests at concurrency 32) is re-served on this machine
+— sequentially through the facade path and coalesced through
+:func:`repro.serve.run_requests` — and the guard fails when
+
+* any coalesced response stops being bit-identical to the sequential
+  result for the same seed (coalescing must be semantically lossless),
+* the coalesced/sequential speedup falls below the absolute 3x floor
+  or regresses more than the threshold (default 50 % — asyncio
+  scheduling is noisy on shared CI hardware; the absolute floor is the
+  binding contract) below the committed figure,
+* the p99 latency read from the service's obs histogram is not a
+  finite positive figure, or
+* the committed record itself claims a sub-floor speedup or a
+  non-bit-identical run.
+
+``--json-out`` in this mode writes the fresh measurements for upload
+as a CI artifact.
+
 Run with::
 
     PYTHONPATH=src python benchmarks/bench_guard.py [--loop-reps K]
@@ -131,6 +151,10 @@ PROTOCOL_BASELINE = (
 
 BACKENDS_BASELINE = (
     Path(__file__).resolve().parent.parent / "BENCH_backends.json"
+)
+
+SERVE_BASELINE = (
+    Path(__file__).resolve().parent.parent / "BENCH_serve.json"
 )
 
 #: Cells whose *committed* speedup must stay at or above 10x (the
@@ -545,6 +569,84 @@ def run_backends_guard(args: argparse.Namespace) -> int:
     return _finish(failures, "backends bench guard")
 
 
+def run_serve_guard(args: argparse.Namespace) -> int:
+    """``--serve`` mode: coalescing identity + the 3x throughput floor."""
+    import math
+
+    import bench_serve as bench
+
+    # Same rationale as --backends: the coalesced leg runs an asyncio
+    # scheduler and a worker thread, both scheduling-noisy on shared CI
+    # hardware; the absolute floor is the binding contract.
+    threshold = (
+        args.threshold if args.threshold is not None else 0.50
+    )
+    baseline = _load_baseline(
+        SERVE_BASELINE,
+        "PYTHONPATH=src python benchmarks/bench_serve.py",
+    )
+    failures: list[str] = []
+
+    recorded_speedup = float(baseline["speedup"])
+    if baseline.get("bit_identical") is not True:
+        failures.append(
+            "committed record claims the coalesced run is not "
+            "bit-identical to sequential serving"
+        )
+    if recorded_speedup < bench.SERVE_FLOOR:
+        failures.append(
+            f"committed record claims only {recorded_speedup:.2f}x; "
+            f"the service's floor is {bench.SERVE_FLOOR:.1f}x"
+        )
+
+    fresh = bench.measure_all()
+    coalesced = fresh["coalesced"]
+    if not fresh["bit_identical"]:
+        failures.append(
+            "coalesced responses are no longer bit-identical to the "
+            "sequential facade results"
+        )
+    if fresh["speedup"] < bench.SERVE_FLOOR:
+        failures.append(
+            f"coalesced speedup {fresh['speedup']:.2f}x is below the "
+            f"absolute {bench.SERVE_FLOOR:.1f}x floor"
+        )
+    relative_floor = recorded_speedup * (1.0 - threshold)
+    if fresh["speedup"] < relative_floor:
+        failures.append(
+            f"coalesced speedup regressed to {fresh['speedup']:.2f}x "
+            f"vs {recorded_speedup:.2f}x recorded "
+            f"(floor {relative_floor:.2f}x at {threshold:.0%} "
+            f"tolerance)"
+        )
+    p99 = float(coalesced["p99_seconds"])
+    if not (math.isfinite(p99) and p99 > 0):
+        failures.append(
+            f"p99 latency from the obs histogram is not a finite "
+            f"positive figure: {p99!r}"
+        )
+
+    print(
+        f"sequential {fresh['sequential']['seconds']:.3f}s  "
+        f"coalesced {coalesced['seconds']:.3f}s  "
+        f"speedup {fresh['speedup']:.2f}x on this machine "
+        f"(recorded {recorded_speedup:.2f}x, floors "
+        f"{bench.SERVE_FLOOR:.1f}x abs / {relative_floor:.2f}x rel)  "
+        f"bit_identical={fresh['bit_identical']}"
+    )
+    print(
+        f"latency p50={coalesced['p50_seconds'] * 1e3:.2f}ms "
+        f"p99={p99 * 1e3:.2f}ms  fused "
+        f"{coalesced['fused_requests']} requests into "
+        f"{coalesced['fusion_groups']} kernel groups"
+    )
+
+    if args.json_out is not None:
+        _write_json(args.json_out, fresh, "fresh measurements")
+
+    return _finish(failures, "serve bench guard")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -579,6 +681,16 @@ def main() -> int:
             "per-backend bit-identity, the numba microbench floor "
             "(skipped when numba is not installed), and the "
             "shared-memory sweep floors"
+        ),
+    )
+    parser.add_argument(
+        "--serve",
+        action="store_true",
+        help=(
+            "guard the micro-batching estimation service against "
+            "BENCH_serve.json: coalesced/sequential bit-identity, the "
+            "absolute 3x throughput floor at concurrency 32, and the "
+            "obs-histogram latency percentiles"
         ),
     )
     parser.add_argument(
@@ -646,6 +758,8 @@ def main() -> int:
         return run_protocol_guard(args)
     if args.backends:
         return run_backends_guard(args)
+    if args.serve:
+        return run_serve_guard(args)
     if args.profile:
         return run_profile_guard(args)
     threshold = args.threshold if args.threshold is not None else 0.15

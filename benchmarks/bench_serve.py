@@ -1,0 +1,195 @@
+#!/usr/bin/env python
+"""Benchmark the micro-batching service against sequential serving.
+
+The workload is the ISSUE's acceptance shape: 32-way concurrency over
+a multi-tenant request mix (4 reader fields, shared populations per
+field, distinct request seeds).  Two legs serve the *same* requests:
+
+* **sequential** — the thin-facade path, one
+  ``execute_request(resolve_request(...))`` at a time with a shared
+  population cache (so the comparison isolates kernel coalescing, not
+  population synthesis);
+* **coalesced** — :func:`repro.serve.run_requests` at concurrency 32:
+  submissions land in the service queue, the scheduler drains ticks,
+  and compatible requests fuse into shared batched-kernel calls.
+
+Because coalescing is bit-identical by construction, the benchmark
+also *verifies* it: every coalesced response's estimate must equal the
+sequential result for the same seed, and the record refuses a
+``speedup`` claim when identity fails.  Latency percentiles come from
+the service's own ``serve.request.latency_seconds`` histogram (the
+fixed log2 obs grid), not from ad-hoc timing, so the committed p99 is
+the same figure a Prometheus scrape would report.
+
+Run to regenerate the committed record::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py
+
+``bench_guard --serve`` re-measures this workload and enforces the
+absolute >= 3x floor plus a machine-relative bound against
+``BENCH_serve.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.api import EstimateRequest, execute_request, resolve_request
+from repro.obs import MetricsRegistry
+from repro.serve import ServiceConfig, run_requests
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+#: The ISSUE's stated throughput floor: coalesced serving must beat
+#: sequential serving by at least this factor at concurrency 32.
+SERVE_FLOOR = 3.0
+
+#: The acceptance workload.
+WORKLOAD = {
+    "requests": 128,
+    "concurrency": 32,
+    "tenants": 4,
+    "population": 600,
+    "rounds": 64,
+    "protocol": "pet",
+    "base_seed": 2011,
+}
+
+
+def build_requests() -> list[EstimateRequest]:
+    """The deterministic benchmark request mix."""
+    return [
+        EstimateRequest(
+            population=WORKLOAD["population"],
+            protocol=WORKLOAD["protocol"],
+            seed=WORKLOAD["base_seed"] + index,
+            population_seed=1_000 + index % WORKLOAD["tenants"],
+            rounds=WORKLOAD["rounds"],
+            tenant=f"tenant-{index % WORKLOAD['tenants']}",
+            request_id=f"bench-{index:04d}",
+        )
+        for index in range(WORKLOAD["requests"])
+    ]
+
+
+def time_sequential(requests: list[EstimateRequest]):
+    """One request at a time through the facade's resolve/execute path."""
+    cache: dict = {}
+    start = time.perf_counter()
+    results = [
+        execute_request(
+            resolve_request(request, population_cache=cache)
+        )
+        for request in requests
+    ]
+    return time.perf_counter() - start, results
+
+
+def time_coalesced(requests: list[EstimateRequest]):
+    """The same requests through the micro-batching service."""
+    registry = MetricsRegistry()
+    config = ServiceConfig(
+        max_queue_depth=WORKLOAD["requests"],
+        max_batch_size=WORKLOAD["concurrency"],
+        tenant_quota=WORKLOAD["requests"],
+        tick_seconds=0.001,
+    )
+    start = time.perf_counter()
+    responses = run_requests(
+        requests,
+        config=config,
+        registry=registry,
+        concurrency=WORKLOAD["concurrency"],
+    )
+    return time.perf_counter() - start, responses, registry
+
+
+def measure_all(repeats: int = 3) -> dict:
+    """Best-of-``repeats`` timings for both legs, plus identity checks."""
+    requests = build_requests()
+
+    sequential_seconds = float("inf")
+    results = None
+    for _ in range(repeats):
+        seconds, fresh_results = time_sequential(requests)
+        sequential_seconds = min(sequential_seconds, seconds)
+        results = fresh_results
+    assert results is not None
+
+    coalesced_seconds = float("inf")
+    responses = registry = None
+    for _ in range(repeats):
+        seconds, fresh_responses, fresh_registry = time_coalesced(
+            requests
+        )
+        coalesced_seconds = min(coalesced_seconds, seconds)
+        responses = fresh_responses
+        registry = fresh_registry
+    assert responses is not None and registry is not None
+
+    bit_identical = all(
+        response.status == "ok"
+        and response.result.n_hat == result.n_hat
+        and response.result.total_slots == result.total_slots
+        for response, result in zip(responses, results)
+    )
+    latency = registry.histogram("serve.request.latency_seconds")
+    snapshot = registry.snapshot()["counters"]
+    return {
+        "workload": dict(WORKLOAD),
+        "sequential": {
+            "seconds": round(sequential_seconds, 4),
+            "requests_per_second": round(
+                len(requests) / sequential_seconds, 1
+            ),
+        },
+        "coalesced": {
+            "seconds": round(coalesced_seconds, 4),
+            "requests_per_second": round(
+                len(requests) / coalesced_seconds, 1
+            ),
+            "p50_seconds": round(latency.quantile(0.50), 5),
+            "p99_seconds": round(latency.quantile(0.99), 5),
+            "fused_requests": int(
+                snapshot.get("serve.batch.fused_requests", 0)
+            ),
+            "fusion_groups": int(
+                snapshot.get("serve.batch.groups", 0)
+            ),
+        },
+        "speedup": round(sequential_seconds / coalesced_seconds, 2),
+        "bit_identical": bit_identical,
+        "floor": SERVE_FLOOR,
+        "environment": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+    }
+
+
+def main() -> int:
+    record = measure_all()
+    OUTPUT.write_text(json.dumps(record, indent=2) + "\n")
+    coalesced = record["coalesced"]
+    print(
+        f"sequential: {record['sequential']['seconds']:.3f}s  "
+        f"coalesced: {coalesced['seconds']:.3f}s  "
+        f"speedup: {record['speedup']:.2f}x "
+        f"(floor {record['floor']:.1f}x)  "
+        f"bit_identical={record['bit_identical']}"
+    )
+    print(
+        f"latency p50={coalesced['p50_seconds'] * 1e3:.2f}ms  "
+        f"p99={coalesced['p99_seconds'] * 1e3:.2f}ms  "
+        f"fused {coalesced['fused_requests']} requests into "
+        f"{coalesced['fusion_groups']} kernel groups"
+    )
+    print(f"record written to {OUTPUT}")
+    return 0 if record["bit_identical"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,7 +24,14 @@ classes below are the full-control API behind it.  See
 inventory, and ``docs/OBSERVABILITY.md`` for the metrics subsystem.
 """
 
-from .api import estimate
+from .api import (
+    EstimateRequest,
+    EstimateResponse,
+    ResolvedRequest,
+    estimate,
+    execute_request,
+    resolve_request,
+)
 from .config import (
     AccuracyRequirement,
     ChannelConfig,
@@ -85,8 +92,13 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
-    # the one-call facade
+    # the one-call facade and the request model behind it
     "estimate",
+    "EstimateRequest",
+    "EstimateResponse",
+    "ResolvedRequest",
+    "resolve_request",
+    "execute_request",
     # configuration
     "AccuracyRequirement",
     "PetConfig",

@@ -10,6 +10,11 @@ where ``<experiment>`` is one of ``fig3``, ``fig4``, ``table3``,
 ``ablations``, ``extensions``, ``protocols`` (the batched baseline
 comparison sweep), or ``all``.
 
+Two service commands dispatch to :mod:`repro.serve.cli` before the
+experiment parser: ``python -m repro serve`` (JSON-lines estimation
+service on stdin/stdout) and ``python -m repro loadgen`` (traffic
+generator + SLO report).  See docs/SERVING.md.
+
 With ``--metrics-out PATH`` the run is instrumented: every simulator
 and protocol records into a :class:`~repro.obs.MetricsRegistry`, the
 full metric/span/event stream is appended to ``PATH`` as JSON lines,
@@ -133,6 +138,16 @@ def _experiments(
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry; returns a process exit code."""
+    if argv is None:
+        import sys
+
+        argv = sys.argv[1:]
+    # Service commands live in their own sub-CLI with their own flag
+    # surface; dispatch before the experiment parser sees them.
+    if argv and argv[0] in ("serve", "loadgen"):
+        from .serve.cli import main as serve_main
+
+        return serve_main(argv)
     parser = argparse.ArgumentParser(
         prog="pet-repro",
         description=(

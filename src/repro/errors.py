@@ -51,3 +51,13 @@ class AnalysisError(ReproError):
     Examples: asking for the asymptotic expectation with ``n <= 0`` or a
     confidence parameter outside ``(0, 1)``.
     """
+
+
+class ServiceError(ReproError):
+    """The estimation service was driven outside its contract.
+
+    Examples: submitting to a service that was never started or is
+    already shut down.  Load conditions (full queue, exceeded quota,
+    expired deadline) are *not* errors — the service answers those with
+    explicit ``rejected``/``expired`` responses instead of raising.
+    """

@@ -224,6 +224,32 @@ class Histogram:
         variance = self.sum_squares / self.count - self.mean**2
         return math.sqrt(max(variance, 0.0))
 
+    def quantile(self, q: float) -> float:
+        """Approximate ``q``-quantile from the fixed log2 bucket grid.
+
+        Walks the cumulative bucket counts to the first bucket covering
+        rank ``ceil(q * count)`` and reports that bucket's upper bound
+        — the same resolution Prometheus would give for this grid, so
+        service SLO p50/p99 readings match what the exported
+        OpenMetrics buckets imply.  Clamped to the observed extrema
+        (the first/last buckets are open-ended); ``NaN`` when empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(
+                f"quantile must be in [0, 1], got {q}"
+            )
+        if self.count == 0:
+            return math.nan
+        rank = max(1, math.ceil(q * self.count))
+        seen = 0
+        bounds = bucket_upper_bounds()
+        for index, bucket_count in enumerate(self.buckets):
+            seen += bucket_count
+            if seen >= rank:
+                bound = bounds[index]
+                return min(max(bound, self.min), self.max)
+        return self.max
+
     @contextmanager
     def time(self) -> Iterator[None]:
         """Context manager observing the elapsed seconds of its body."""

@@ -13,6 +13,38 @@ from ..obs.registry import MetricsRegistry, get_registry
 from ..tags.population import TagPopulation
 
 
+def result_summary(
+    protocol: str,
+    estimate: float,
+    rounds: int,
+    total_slots: int,
+    seed_provenance: str | None = None,
+    true_n: int | None = None,
+) -> dict[str, object]:
+    """The one result schema every serialization path shares.
+
+    Single runs (:class:`ProtocolResult`), batched comparison cells
+    (:class:`~repro.sim.protocol_batched.ProtocolCellResult`), and
+    service responses (:class:`~repro.api.EstimateResponse`) all embed
+    this shape, so figures, reports, and JSON sinks read one set of
+    keys: ``protocol``, ``estimate``, ``true_n``, ``relative_error``
+    (signed, ``None`` without ground truth), ``rounds``,
+    ``total_slots``, and ``seed_provenance``.
+    """
+    relative_error: float | None = None
+    if true_n is not None and true_n > 0 and estimate == estimate:
+        relative_error = (float(estimate) - true_n) / true_n
+    return {
+        "protocol": protocol,
+        "estimate": float(estimate),
+        "true_n": int(true_n) if true_n is not None else None,
+        "relative_error": relative_error,
+        "rounds": int(rounds),
+        "total_slots": int(total_slots),
+        "seed_provenance": seed_provenance,
+    }
+
+
 @dataclass(frozen=True)
 class ProtocolResult:
     """Outcome of one full estimation run by any protocol.
@@ -32,6 +64,10 @@ class ProtocolResult:
         Raw per-round observations (gray depths, first-nonempty indices,
         first-empty buckets ... protocol-specific), kept for diagnostics;
         ``None`` when the protocol records none.
+    seed_provenance:
+        Where the run's randomness came from (``"seed=7"``, ``"rng"``,
+        ...); stamped by the request path, ``None`` for direct
+        protocol calls.
     """
 
     protocol: str
@@ -41,6 +77,7 @@ class ProtocolResult:
     per_round_statistics: np.ndarray | None = field(
         repr=False, default=None
     )
+    seed_provenance: str | None = None
 
     def accuracy(self, true_n: int) -> float:
         """The Eq. 22 metric ``n_hat / n``."""
@@ -48,26 +85,34 @@ class ProtocolResult:
             raise ConfigurationError(f"true_n must be >= 1, got {true_n}")
         return self.n_hat / true_n
 
+    def summary(self, true_n: int | None = None) -> dict[str, object]:
+        """The common :func:`result_summary` record for this run."""
+        return result_summary(
+            protocol=self.protocol,
+            estimate=self.n_hat,
+            rounds=self.rounds,
+            total_slots=self.total_slots,
+            seed_provenance=self.seed_provenance,
+            true_n=true_n,
+        )
+
     def to_dict(
-        self, include_statistics: bool = False
+        self,
+        include_statistics: bool = False,
+        true_n: int | None = None,
     ) -> dict[str, object]:
         """Plain-type view for exporters, reports, and JSON sinks.
 
-        ``per_round_statistics`` is summarised (count only) unless
-        ``include_statistics`` is set, in which case the raw
-        observations are included as a list of floats.
+        The :func:`result_summary` schema plus an ``observations``
+        count; ``include_statistics`` additionally inlines the raw
+        per-round observations as floats.
         """
-        record: dict[str, object] = {
-            "protocol": self.protocol,
-            "n_hat": float(self.n_hat),
-            "rounds": int(self.rounds),
-            "total_slots": int(self.total_slots),
-            "observations": (
-                0
-                if self.per_round_statistics is None
-                else int(len(self.per_round_statistics))
-            ),
-        }
+        record = self.summary(true_n=true_n)
+        record["observations"] = (
+            0
+            if self.per_round_statistics is None
+            else int(len(self.per_round_statistics))
+        )
         if include_statistics and self.per_round_statistics is not None:
             record["per_round_statistics"] = [
                 float(value) for value in self.per_round_statistics

@@ -1,0 +1,361 @@
+"""CLI entries for the estimation service: ``serve`` and ``loadgen``.
+
+``python -m repro serve`` runs the micro-batching service as a
+JSON-lines server on stdin/stdout: every input line is one request
+object, every output line one response.  Concurrent lines coalesce
+into shared kernel calls exactly as library submissions do::
+
+    $ echo '{"population": 50000, "seed": 7, "rounds": 128}' \\
+        | python -m repro serve
+    {"status": "ok", "tenant": "default", ... "result": {...}}
+
+Request lines accept the :class:`~repro.api.EstimateRequest` fields
+(``population`` is required; ``protocol``, ``seed``,
+``population_seed``, ``rounds``, ``accuracy`` as ``[epsilon, delta]``,
+``tenant``, ``deadline``, ``request_id``, plus a ``config`` object of
+protocol keywords).  EOF shuts the service down gracefully — every
+accepted request is answered first.
+
+``python -m repro loadgen`` generates a Poisson or bursty workload
+(see :mod:`repro.serve.loadgen`), drives it through an in-process
+service, and prints the SLO report; the exit code is non-zero when
+any response is ``error``-class, which is what the CI smoke step
+asserts.  ``--dry-run`` prints the schedule instead of running it.
+
+Both commands take ``--prom-out PATH`` to write the final metrics in
+OpenMetrics text format (queue gauges, latency histogram, per-tenant
+counters — the catalogue in ``docs/SERVING.md``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+
+from ..api import EstimateRequest
+from ..config import AccuracyRequirement
+from ..errors import ReproError
+from ..obs import ConsoleSummaryExporter, MetricsRegistry
+from .loadgen import (
+    PATTERNS,
+    LoadgenConfig,
+    build_schedule,
+    run_load,
+)
+from .service import EstimationService, ServiceConfig
+
+
+def request_from_record(record: dict) -> EstimateRequest:
+    """Build an :class:`~repro.api.EstimateRequest` from a JSON object."""
+    if not isinstance(record, dict):
+        raise ReproError(
+            f"request line must be a JSON object, got {type(record).__name__}"
+        )
+    if "population" not in record:
+        raise ReproError("request object needs a 'population' field")
+    accuracy = record.get("accuracy")
+    if accuracy is not None:
+        epsilon, delta = accuracy
+        accuracy = AccuracyRequirement(float(epsilon), float(delta))
+    known = {
+        "population",
+        "protocol",
+        "config",
+        "seed",
+        "population_seed",
+        "rounds",
+        "accuracy",
+        "tenant",
+        "deadline",
+        "request_id",
+    }
+    unknown = sorted(set(record) - known)
+    if unknown:
+        raise ReproError(f"unknown request fields: {unknown}")
+    return EstimateRequest(
+        population=record["population"],
+        protocol=record.get("protocol", "pet"),
+        config=record.get("config", {}),
+        seed=record.get("seed"),
+        population_seed=record.get("population_seed"),
+        rounds=record.get("rounds"),
+        accuracy=accuracy,
+        tenant=record.get("tenant", "default"),
+        deadline=record.get("deadline"),
+        request_id=record.get("request_id"),
+    )
+
+
+def _service_config(args: argparse.Namespace) -> ServiceConfig:
+    return ServiceConfig(
+        max_queue_depth=args.max_queue_depth,
+        max_batch_size=args.max_batch_size,
+        tick_seconds=args.tick,
+        tenant_quota=args.tenant_quota,
+        retry_after_seconds=args.retry_after,
+    )
+
+
+def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=ServiceConfig.max_queue_depth,
+        help="pending-request bound before backpressure rejections",
+    )
+    parser.add_argument(
+        "--max-batch-size",
+        type=int,
+        default=ServiceConfig.max_batch_size,
+        help="most requests coalesced into one scheduler tick",
+    )
+    parser.add_argument(
+        "--tick",
+        type=float,
+        default=ServiceConfig.tick_seconds,
+        help="coalescing window in seconds",
+    )
+    parser.add_argument(
+        "--tenant-quota",
+        type=int,
+        default=ServiceConfig.tenant_quota,
+        help="most pending requests any one tenant may hold",
+    )
+    parser.add_argument(
+        "--retry-after",
+        type=float,
+        default=ServiceConfig.retry_after_seconds,
+        help="back-off hint (seconds) on backpressure rejections",
+    )
+    parser.add_argument(
+        "--prom-out",
+        metavar="PATH",
+        default=None,
+        help="write final metrics in OpenMetrics text format to PATH",
+    )
+
+
+async def _serve_stdin(
+    service: EstimationService, lines
+) -> tuple[int, int]:
+    """Submit every stdin line concurrently; write answers as lines.
+
+    Returns ``(answered, parse_failures)``.  Output lines may
+    interleave out of input order — ``request_id`` is the correlation
+    handle, exactly as on a network transport.
+    """
+    loop = asyncio.get_running_loop()
+    tasks = []
+    parse_failures = 0
+
+    async def _one(request: EstimateRequest) -> None:
+        response = await service.submit(request)
+        print(json.dumps(response.to_dict()), flush=True)
+
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            request = request_from_record(json.loads(line))
+        except (ValueError, ReproError) as error:
+            parse_failures += 1
+            print(
+                json.dumps(
+                    {"status": "error", "detail": str(error)}
+                ),
+                flush=True,
+            )
+            continue
+        tasks.append(loop.create_task(_one(request)))
+        # Yield so the scheduler can interleave with line ingestion.
+        await asyncio.sleep(0)
+    if tasks:
+        await asyncio.gather(*tasks)
+    return len(tasks), parse_failures
+
+
+def _write_prom(path: str | None, registry: MetricsRegistry) -> None:
+    if path is None:
+        return
+    from ..obs import PrometheusExporter
+
+    PrometheusExporter(path).export(registry)
+    print(f"OpenMetrics written to {path}", file=sys.stderr)
+
+
+def serve_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="pet-repro serve",
+        description=(
+            "Run the micro-batching estimation service as a "
+            "JSON-lines server on stdin/stdout."
+        ),
+    )
+    _add_service_arguments(parser)
+    parser.add_argument(
+        "--summary",
+        action="store_true",
+        help="print the metrics summary to stderr on shutdown",
+    )
+    args = parser.parse_args(argv)
+    registry = MetricsRegistry()
+    service_config = _service_config(args)
+
+    async def _main() -> tuple[int, int]:
+        service = EstimationService(
+            config=service_config, registry=registry
+        )
+        async with service:
+            return await _serve_stdin(service, sys.stdin)
+
+    try:
+        answered, parse_failures = asyncio.run(_main())
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(
+        f"served {answered} requests "
+        f"({parse_failures} malformed lines)",
+        file=sys.stderr,
+    )
+    _write_prom(args.prom_out, registry)
+    if args.summary:
+        print(ConsoleSummaryExporter().render(registry), file=sys.stderr)
+    return 0
+
+
+def loadgen_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="pet-repro loadgen",
+        description=(
+            "Generate service traffic (Poisson or bursty arrivals) "
+            "and drive it through an in-process estimation service."
+        ),
+    )
+    parser.add_argument(
+        "--requests", type=int, default=200, help="total requests"
+    )
+    parser.add_argument(
+        "--pattern",
+        choices=PATTERNS,
+        default="poisson",
+        help="arrival process",
+    )
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=500.0,
+        help="mean arrivals/second (poisson)",
+    )
+    parser.add_argument(
+        "--burst-size",
+        type=int,
+        default=16,
+        help="requests per burst (bursty)",
+    )
+    parser.add_argument(
+        "--burst-interval",
+        type=float,
+        default=0.02,
+        help="seconds between bursts (bursty)",
+    )
+    parser.add_argument(
+        "--tenants", type=int, default=4, help="reader fields"
+    )
+    parser.add_argument(
+        "--population",
+        type=int,
+        default=2_000,
+        help="true cardinality per reader field",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=64, help="rounds per request"
+    )
+    parser.add_argument(
+        "--protocol", default="pet", help="protocol registry name"
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="relative deadline (seconds) stamped on every request",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, help="schedule seed"
+    )
+    parser.add_argument(
+        "--time-scale",
+        type=float,
+        default=1.0,
+        help="compress (<1) or stretch (>1) the arrival schedule",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the report as JSON instead of text",
+    )
+    parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the generated schedule without running a service",
+    )
+    _add_service_arguments(parser)
+    args = parser.parse_args(argv)
+    config = LoadgenConfig(
+        requests=args.requests,
+        pattern=args.pattern,
+        rate=args.rate,
+        burst_size=args.burst_size,
+        burst_interval=args.burst_interval,
+        tenants=args.tenants,
+        population=args.population,
+        rounds=args.rounds,
+        protocol=args.protocol,
+        deadline=args.deadline,
+        seed=args.seed,
+    )
+    if args.dry_run:
+        for arrival, request in build_schedule(config):
+            print(
+                json.dumps(
+                    {
+                        "arrival": round(arrival, 6),
+                        "request_id": request.request_id,
+                        "tenant": request.tenant,
+                        "population": request.population,
+                        "seed": request.seed,
+                        "population_seed": request.population_seed,
+                    }
+                )
+            )
+        return 0
+    registry = MetricsRegistry()
+    try:
+        report = run_load(
+            config,
+            service_config=_service_config(args),
+            registry=registry,
+            time_scale=args.time_scale,
+        )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    _write_prom(args.prom_out, registry)
+    return 1 if report.failures else 0
+
+
+def main(argv: list[str]) -> int:
+    """Dispatch ``serve``/``loadgen`` (called from :mod:`repro.cli`)."""
+    command, rest = argv[0], argv[1:]
+    if command == "serve":
+        return serve_main(rest)
+    if command == "loadgen":
+        return loadgen_main(rest)
+    raise ReproError(f"unknown serve command {command!r}")

@@ -1,0 +1,300 @@
+"""Traffic generation for the estimation service.
+
+Two arrival processes, following the RFID-simulation idiom of
+uncoordinated versus alarm traffic:
+
+* ``poisson`` — independent arrivals at a mean ``rate`` per second
+  (exponential inter-arrival times), the steady-state many-readers
+  model;
+* ``bursty`` — ``burst_size`` simultaneous arrivals every
+  ``burst_interval`` seconds, the synchronized alarm/inventory-sweep
+  model that stresses the coalescing scheduler hardest (and rewards
+  it most: one burst is one micro-batch).
+
+Schedules are deterministic functions of the config seed: request
+seeds, tenants, and arrival times all derive from one generator, so a
+load run is replayable.  Tenants model independent reader fields —
+each tenant's requests share a ``population_seed``, which is what lets
+the service cache the synthesized population per field and fuse that
+tenant's requests into shared kernel calls.
+
+Use :func:`run_load` from synchronous code (the CLI and CI smoke test
+do), or :func:`build_schedule` + :func:`drive` against an already
+running service.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..api import EstimateRequest, EstimateResponse
+from ..errors import ConfigurationError
+from ..obs.registry import MetricsRegistry
+from .service import EstimationService, ServiceConfig
+
+#: Arrival patterns :func:`build_schedule` understands.
+PATTERNS = ("poisson", "bursty")
+
+
+@dataclass(frozen=True)
+class LoadgenConfig:
+    """One load-generation run.
+
+    Attributes
+    ----------
+    requests:
+        Total requests to generate.
+    pattern:
+        Arrival process, one of :data:`PATTERNS`.
+    rate:
+        Mean arrivals per second (``poisson``).
+    burst_size / burst_interval:
+        Requests per burst and seconds between bursts (``bursty``).
+    tenants:
+        Number of reader fields; requests round-robin across them and
+        each field shares one ``population_seed``.
+    population:
+        True cardinality per reader field.
+    rounds:
+        Estimation rounds per request.
+    protocol:
+        Registry name every request uses.
+    deadline:
+        Optional relative deadline stamped on every request.
+    seed:
+        Root of all schedule randomness (arrivals and request seeds).
+    """
+
+    requests: int = 200
+    pattern: str = "poisson"
+    rate: float = 500.0
+    burst_size: int = 16
+    burst_interval: float = 0.02
+    tenants: int = 4
+    population: int = 2_000
+    rounds: int = 64
+    protocol: str = "pet"
+    deadline: float | None = None
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.requests < 1:
+            raise ConfigurationError(
+                f"requests must be >= 1, got {self.requests}"
+            )
+        if self.pattern not in PATTERNS:
+            raise ConfigurationError(
+                f"pattern must be one of {PATTERNS}, "
+                f"got {self.pattern!r}"
+            )
+        if self.rate <= 0:
+            raise ConfigurationError(
+                f"rate must be > 0, got {self.rate}"
+            )
+        if self.burst_size < 1:
+            raise ConfigurationError(
+                f"burst_size must be >= 1, got {self.burst_size}"
+            )
+        if self.burst_interval < 0:
+            raise ConfigurationError(
+                f"burst_interval must be >= 0, got {self.burst_interval}"
+            )
+        if self.tenants < 1:
+            raise ConfigurationError(
+                f"tenants must be >= 1, got {self.tenants}"
+            )
+
+
+def build_schedule(
+    config: LoadgenConfig,
+) -> list[tuple[float, EstimateRequest]]:
+    """The deterministic ``(arrival_time, request)`` schedule."""
+    rng = np.random.default_rng(config.seed)
+    if config.pattern == "poisson":
+        gaps = rng.exponential(1.0 / config.rate, size=config.requests)
+        arrivals = np.cumsum(gaps)
+    else:
+        bursts = math.ceil(config.requests / config.burst_size)
+        arrivals = np.repeat(
+            np.arange(bursts) * config.burst_interval,
+            config.burst_size,
+        )[: config.requests]
+    request_seeds = rng.integers(
+        0, 2**63, size=config.requests, dtype=np.int64
+    )
+    schedule = []
+    for index in range(config.requests):
+        tenant_index = index % config.tenants
+        request = EstimateRequest(
+            population=config.population,
+            protocol=config.protocol,
+            seed=int(request_seeds[index]),
+            population_seed=1_000 + tenant_index,
+            rounds=config.rounds,
+            tenant=f"tenant-{tenant_index}",
+            deadline=config.deadline,
+            request_id=f"req-{index:05d}",
+        )
+        schedule.append((float(arrivals[index]), request))
+    return schedule
+
+
+async def drive(
+    service: EstimationService,
+    schedule: list[tuple[float, EstimateRequest]],
+    time_scale: float = 1.0,
+) -> list[EstimateResponse]:
+    """Submit a schedule against a running service at its own pace.
+
+    Each request is submitted when its (scaled) arrival time comes up,
+    from its own task — so a burst genuinely lands concurrently.
+    ``time_scale`` compresses (<1) or stretches (>1) the schedule.
+    """
+    start = time.perf_counter()
+
+    async def _one(
+        arrival: float, request: EstimateRequest
+    ) -> EstimateResponse:
+        delay = arrival * time_scale - (time.perf_counter() - start)
+        if delay > 0:
+            await asyncio.sleep(delay)
+        return await service.submit(request)
+
+    return list(
+        await asyncio.gather(
+            *(
+                _one(arrival, request)
+                for arrival, request in schedule
+            )
+        )
+    )
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one load run: the request-level SLO view.
+
+    ``p50_seconds``/``p99_seconds`` are read from the registry's
+    ``serve.request.latency_seconds`` histogram — the same fixed log2
+    bucket grid the OpenMetrics export carries, so the report and a
+    Prometheus scrape agree.
+    """
+
+    requests: int
+    wall_seconds: float
+    by_status: dict[str, int] = field(default_factory=dict)
+    by_tenant: dict[str, int] = field(default_factory=dict)
+    p50_seconds: float = float("nan")
+    p99_seconds: float = float("nan")
+
+    @property
+    def throughput(self) -> float:
+        """Answered requests per second of wall time."""
+        if self.wall_seconds <= 0:
+            return float("nan")
+        return self.requests / self.wall_seconds
+
+    @property
+    def failures(self) -> int:
+        """Responses that carried neither an estimate nor backpressure.
+
+        ``error`` is the service's 5xx class; ``ok``, ``degraded``,
+        ``rejected``, and ``expired`` are all deliberate answers.
+        """
+        return self.by_status.get("error", 0)
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready view (the CLI and CI smoke step print this)."""
+        return {
+            "requests": self.requests,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "throughput_per_second": round(self.throughput, 2),
+            "by_status": dict(sorted(self.by_status.items())),
+            "by_tenant": dict(sorted(self.by_tenant.items())),
+            "p50_seconds": self.p50_seconds,
+            "p99_seconds": self.p99_seconds,
+            "failures": self.failures,
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"load report: {self.requests} requests in "
+            f"{self.wall_seconds:.3f}s "
+            f"({self.throughput:,.0f} req/s)",
+            "  status: "
+            + ", ".join(
+                f"{status}={count}"
+                for status, count in sorted(self.by_status.items())
+            ),
+            "  tenants: "
+            + ", ".join(
+                f"{tenant}={count}"
+                for tenant, count in sorted(self.by_tenant.items())
+            ),
+            f"  latency: p50={self.p50_seconds * 1e3:.2f}ms  "
+            f"p99={self.p99_seconds * 1e3:.2f}ms",
+        ]
+        return "\n".join(lines)
+
+
+def summarize(
+    responses: list[EstimateResponse],
+    wall_seconds: float,
+    registry: MetricsRegistry,
+) -> LoadReport:
+    """Fold responses plus the registry's histogram into a report."""
+    by_status: dict[str, int] = {}
+    by_tenant: dict[str, int] = {}
+    for response in responses:
+        by_status[response.status] = (
+            by_status.get(response.status, 0) + 1
+        )
+        by_tenant[response.tenant] = (
+            by_tenant.get(response.tenant, 0) + 1
+        )
+    latency = registry.histogram("serve.request.latency_seconds")
+    return LoadReport(
+        requests=len(responses),
+        wall_seconds=wall_seconds,
+        by_status=by_status,
+        by_tenant=by_tenant,
+        p50_seconds=latency.quantile(0.50),
+        p99_seconds=latency.quantile(0.99),
+    )
+
+
+def run_load(
+    config: LoadgenConfig | None = None,
+    service_config: ServiceConfig | None = None,
+    registry: MetricsRegistry | None = None,
+    time_scale: float = 1.0,
+) -> LoadReport:
+    """Generate, drive, and summarize one load run (sync entry).
+
+    Builds the schedule, runs a fresh service for its duration, and
+    reports the SLO view.  A real registry is attached even when the
+    caller passes none, so the latency percentiles always exist.
+    """
+    config = config or LoadgenConfig()
+    if registry is None:
+        registry = MetricsRegistry()
+    schedule = build_schedule(config)
+
+    async def _main() -> tuple[list[EstimateResponse], float]:
+        service = EstimationService(
+            config=service_config, registry=registry
+        )
+        async with service:
+            start = time.perf_counter()
+            responses = await drive(
+                service, schedule, time_scale=time_scale
+            )
+            return responses, time.perf_counter() - start
+
+    responses, wall_seconds = asyncio.run(_main())
+    return summarize(responses, wall_seconds, registry)

@@ -1,0 +1,500 @@
+"""The asyncio estimation service: coalesce concurrent requests.
+
+:class:`EstimationService` accepts :class:`~repro.api.EstimateRequest`
+submissions from many concurrent tasks (tenants, reader fields) and
+answers each with an :class:`~repro.api.EstimateResponse`.  Instead of
+executing requests one by one, a scheduler task runs a *micro-batching
+loop*: it sleeps one coalescing tick, drains the pending queue, and
+hands the whole batch to :func:`repro.serve.batching.execute_micro_batch`,
+which fuses compatible requests into single batched-kernel calls.
+Under the same seed a request answered from a fused batch is
+bit-identical to :func:`repro.estimate` — coalescing is a pure
+throughput optimisation, never a semantics change.
+
+Robustness semantics (the degradation ladder, top to bottom):
+
+1. **Fused vectorized execution** — the normal path.
+2. **Degraded sampled execution** — when the backlog at drain time
+   exceeds ``degrade_queue_depth``, requests the sampled tier can
+   serve (active-variant PET) are answered from the exact gray-depth
+   law instead: ``O(1)`` per round in the population size, marked
+   ``status="degraded"``.
+3. **Backpressure rejection** — submissions beyond the per-tenant
+   quota or the global queue bound are answered immediately with
+   ``status="rejected"`` and a ``retry_after`` hint; they are never
+   enqueued.
+4. **Deadline expiry** — a request that waited in the queue past its
+   relative ``deadline`` is answered ``status="expired"`` at drain
+   time and never reaches a kernel.
+
+Nothing on this ladder raises into the caller except programming
+errors (:class:`~repro.errors.ServiceError` for submitting to a
+stopped service); load conditions always produce a response.
+
+SLO metrics (all on the shared obs registry, merge/export-compatible):
+
+==============================  =======================================
+``serve.queue.depth``           gauge: pending requests after each event
+``serve.requests.submitted``    counter: accepted submissions
+``serve.requests.<status>``     counter per response status
+``serve.request.latency_seconds``  histogram: submit-to-answer wall
+                                time (p50/p99 via the fixed log2 grid)
+``serve.tenant.<tenant>.requests``  counter: responses per tenant
+``serve.batch.size``            histogram: drained batch sizes
+``serve.batch.fused_requests``  counter: requests served from fusions
+``serve.batch.scalar_requests`` counter: scalar-fallback requests
+``serve.batch.groups``          counter: kernel fusion groups executed
+==============================  =======================================
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..api import (
+    EstimateRequest,
+    EstimateResponse,
+    ResolvedRequest,
+    respond,
+    resolve_request,
+)
+from ..errors import ConfigurationError, ReproError, ServiceError
+from ..obs.registry import MetricsRegistry, get_registry
+from .batching import (
+    MicroBatchReport,
+    degradable,
+    execute_degraded,
+    execute_micro_batch,
+)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Operating envelope of one :class:`EstimationService`.
+
+    Attributes
+    ----------
+    max_queue_depth:
+        Global bound on pending requests; submissions past it are
+        rejected with backpressure.
+    max_batch_size:
+        Most requests drained per scheduler tick (one micro-batch).
+    tick_seconds:
+        Coalescing window: how long the scheduler lets submissions
+        accumulate before draining a batch.
+    tenant_quota:
+        Most pending requests any single tenant may hold; the
+        per-tenant check runs *before* the global one, so one noisy
+        tenant saturates its own quota, not the shared queue.
+    degrade_queue_depth:
+        Backlog (after draining a batch) at which degradable requests
+        are answered from the sampled tier; ``None`` means half of
+        ``max_queue_depth``.
+    retry_after_seconds:
+        Back-off hint carried by backpressure rejections.
+    """
+
+    max_queue_depth: int = 256
+    max_batch_size: int = 64
+    tick_seconds: float = 0.002
+    tenant_quota: int = 64
+    degrade_queue_depth: int | None = None
+    retry_after_seconds: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth < 1:
+            raise ConfigurationError(
+                f"max_queue_depth must be >= 1, got {self.max_queue_depth}"
+            )
+        if self.max_batch_size < 1:
+            raise ConfigurationError(
+                f"max_batch_size must be >= 1, got {self.max_batch_size}"
+            )
+        if self.tick_seconds < 0:
+            raise ConfigurationError(
+                f"tick_seconds must be >= 0, got {self.tick_seconds}"
+            )
+        if self.tenant_quota < 1:
+            raise ConfigurationError(
+                f"tenant_quota must be >= 1, got {self.tenant_quota}"
+            )
+        if (
+            self.degrade_queue_depth is not None
+            and self.degrade_queue_depth < 0
+        ):
+            raise ConfigurationError(
+                f"degrade_queue_depth must be >= 0 when given, got "
+                f"{self.degrade_queue_depth}"
+            )
+        if self.retry_after_seconds <= 0:
+            raise ConfigurationError(
+                f"retry_after_seconds must be > 0, got "
+                f"{self.retry_after_seconds}"
+            )
+
+    @property
+    def degrade_depth(self) -> int:
+        """Effective overload threshold (see ``degrade_queue_depth``)."""
+        if self.degrade_queue_depth is not None:
+            return self.degrade_queue_depth
+        return self.max_queue_depth // 2
+
+
+@dataclass
+class _Pending:
+    """One queued request awaiting its scheduler tick."""
+
+    request: EstimateRequest
+    future: asyncio.Future
+    submitted_at: float
+
+    def expired(self, now: float) -> bool:
+        deadline = self.request.deadline
+        return deadline is not None and now - self.submitted_at > deadline
+
+
+class EstimationService:
+    """Long-running micro-batching estimation service.
+
+    Usage::
+
+        service = EstimationService()
+        async with service:
+            response = await service.submit(
+                EstimateRequest(population=50_000, seed=7, tenant="dock-3")
+            )
+
+    One scheduler task serves every submitter; ``submit`` is safe to
+    call from any number of concurrent tasks on the service's event
+    loop.  Kernel execution happens in a worker thread
+    (``asyncio.to_thread``) so new submissions keep accumulating —
+    and coalescing — while a batch computes.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        registry: MetricsRegistry | None = None,
+    ):
+        self.config = config or ServiceConfig()
+        self._registry = (
+            registry if registry is not None else get_registry()
+        )
+        self._queue: deque[_Pending] = deque()
+        self._pending_by_tenant: dict[str, int] = {}
+        self._population_cache: dict = {}
+        self._wake = asyncio.Event()
+        self._task: asyncio.Task | None = None
+        self._accepting = False
+        self._stopping = False
+
+    # -- lifecycle ----------------------------------------------------
+
+    async def start(self) -> "EstimationService":
+        """Start the scheduler task; idempotent errors are explicit."""
+        if self._task is not None:
+            raise ServiceError("service is already started")
+        self._accepting = True
+        self._stopping = False
+        self._task = asyncio.get_running_loop().create_task(
+            self._scheduler()
+        )
+        return self
+
+    async def stop(self) -> None:
+        """Stop accepting, drain every queued request, join the task."""
+        if self._task is None:
+            raise ServiceError("service was never started")
+        self._accepting = False
+        self._stopping = True
+        self._wake.set()
+        await self._task
+        self._task = None
+
+    async def __aenter__(self) -> "EstimationService":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently waiting for a scheduler tick."""
+        return len(self._queue)
+
+    # -- submission ---------------------------------------------------
+
+    async def submit(
+        self, request: EstimateRequest
+    ) -> EstimateResponse:
+        """Submit one request; always answers, never raises on load.
+
+        Raises :class:`~repro.errors.ServiceError` only when the
+        service is not running — every load condition (quota, full
+        queue, deadline) is an explicit response status.
+        """
+        if not self._accepting:
+            raise ServiceError(
+                "service is not accepting requests (not started or "
+                "already stopping)"
+            )
+        now = time.perf_counter()
+        tenant = request.tenant
+        held = self._pending_by_tenant.get(tenant, 0)
+        if held >= self.config.tenant_quota:
+            return self._answer(
+                respond(
+                    request,
+                    "rejected",
+                    submitted_at=now,
+                    retry_after=self.config.retry_after_seconds,
+                    detail=(
+                        f"tenant {tenant!r} quota exhausted "
+                        f"({held}/{self.config.tenant_quota} pending)"
+                    ),
+                )
+            )
+        if len(self._queue) >= self.config.max_queue_depth:
+            return self._answer(
+                respond(
+                    request,
+                    "rejected",
+                    submitted_at=now,
+                    retry_after=self.config.retry_after_seconds,
+                    detail=(
+                        f"queue full "
+                        f"({len(self._queue)}/"
+                        f"{self.config.max_queue_depth})"
+                    ),
+                )
+            )
+        item = _Pending(
+            request=request,
+            future=asyncio.get_running_loop().create_future(),
+            submitted_at=now,
+        )
+        self._queue.append(item)
+        self._pending_by_tenant[tenant] = held + 1
+        registry = self._registry
+        if registry:
+            registry.counter("serve.requests.submitted").inc()
+            registry.gauge("serve.queue.depth").set(len(self._queue))
+        self._wake.set()
+        return await item.future
+
+    # -- scheduler ----------------------------------------------------
+
+    async def _scheduler(self) -> None:
+        """The micro-batching loop: tick, drain, fuse, answer."""
+        while True:
+            if not self._queue:
+                if self._stopping:
+                    return
+                self._wake.clear()
+                await self._wake.wait()
+                continue
+            if self.config.tick_seconds and not self._stopping:
+                # The coalescing window: let concurrent submitters
+                # land in the same batch.
+                await asyncio.sleep(self.config.tick_seconds)
+            batch = [
+                self._queue.popleft()
+                for _ in range(
+                    min(len(self._queue), self.config.max_batch_size)
+                )
+            ]
+            try:
+                await self._process(batch)
+            except Exception as error:  # the never-crash contract
+                for item in batch:
+                    if not item.future.done():
+                        self._resolve(
+                            item,
+                            respond(
+                                item.request,
+                                "error",
+                                submitted_at=item.submitted_at,
+                                detail=f"scheduler failure: {error}",
+                            ),
+                        )
+
+    async def _process(self, batch: list[_Pending]) -> None:
+        """Answer one drained batch through the fusion executor."""
+        registry = self._registry
+        if registry:
+            registry.histogram("serve.batch.size").observe(len(batch))
+            registry.gauge("serve.queue.depth").set(len(self._queue))
+        overloaded = len(self._queue) > self.config.degrade_depth
+        now = time.perf_counter()
+        fused_items: list[_Pending] = []
+        fused_plans: list[ResolvedRequest] = []
+        degraded_items: list[tuple[_Pending, ResolvedRequest]] = []
+        for item in batch:
+            if item.expired(now):
+                self._resolve(
+                    item,
+                    respond(
+                        item.request,
+                        "expired",
+                        submitted_at=item.submitted_at,
+                        detail=(
+                            f"deadline of {item.request.deadline}s "
+                            f"passed while queued"
+                        ),
+                    ),
+                )
+                continue
+            try:
+                resolved = resolve_request(
+                    item.request,
+                    registry=registry if registry else None,
+                    population_cache=self._population_cache,
+                )
+            except ReproError as error:
+                self._resolve(
+                    item,
+                    respond(
+                        item.request,
+                        "error",
+                        submitted_at=item.submitted_at,
+                        detail=str(error),
+                    ),
+                )
+                continue
+            if overloaded and degradable(resolved):
+                degraded_items.append((item, resolved))
+            else:
+                fused_items.append(item)
+                fused_plans.append(resolved)
+
+        if fused_plans:
+            report = MicroBatchReport()
+            outcomes = await asyncio.to_thread(
+                execute_micro_batch, fused_plans, report
+            )
+            if registry:
+                registry.counter("serve.batch.fused_requests").inc(
+                    report.fused_requests
+                )
+                registry.counter("serve.batch.scalar_requests").inc(
+                    report.scalar_requests
+                )
+                registry.counter("serve.batch.groups").inc(
+                    report.fused_groups
+                )
+            for item, outcome in zip(fused_items, outcomes):
+                if isinstance(outcome, Exception):
+                    self._resolve(
+                        item,
+                        respond(
+                            item.request,
+                            "error",
+                            submitted_at=item.submitted_at,
+                            detail=str(outcome),
+                        ),
+                    )
+                else:
+                    self._resolve(
+                        item,
+                        respond(
+                            item.request,
+                            "ok",
+                            result=outcome,
+                            submitted_at=item.submitted_at,
+                        ),
+                    )
+
+        for item, resolved in degraded_items:
+            try:
+                outcome = await asyncio.to_thread(
+                    execute_degraded, resolved
+                )
+                response = respond(
+                    item.request,
+                    "degraded",
+                    result=outcome,
+                    submitted_at=item.submitted_at,
+                    detail="overload: served from the sampled tier",
+                )
+            except ReproError as error:
+                response = respond(
+                    item.request,
+                    "error",
+                    submitted_at=item.submitted_at,
+                    detail=str(error),
+                )
+            self._resolve(item, response)
+
+    # -- bookkeeping --------------------------------------------------
+
+    def _resolve(
+        self, item: _Pending, response: EstimateResponse
+    ) -> None:
+        """Answer one queued request and release its tenant slot."""
+        tenant = item.request.tenant
+        held = self._pending_by_tenant.get(tenant, 1)
+        if held <= 1:
+            self._pending_by_tenant.pop(tenant, None)
+        else:
+            self._pending_by_tenant[tenant] = held - 1
+        self._answer(response)
+        if not item.future.done():
+            item.future.set_result(response)
+
+    def _answer(self, response: EstimateResponse) -> EstimateResponse:
+        """Record one response's SLO metrics and pass it through."""
+        registry = self._registry
+        if registry:
+            registry.counter(
+                f"serve.requests.{response.status}"
+            ).inc()
+            registry.counter(
+                f"serve.tenant.{response.tenant}.requests"
+            ).inc()
+            latency = response.latency_seconds
+            if latency == latency:  # skip NaN (no submit timestamp)
+                registry.histogram(
+                    "serve.request.latency_seconds"
+                ).observe(latency)
+            registry.gauge("serve.queue.depth").set(len(self._queue))
+        return response
+
+
+def run_requests(
+    requests: Sequence[EstimateRequest],
+    config: ServiceConfig | None = None,
+    registry: MetricsRegistry | None = None,
+    concurrency: int = 32,
+) -> list[EstimateResponse]:
+    """Drive ``requests`` through a fresh service, ``concurrency`` at
+    a time, from synchronous code.
+
+    The benchmark, the CLI, and the smoke tests all use this entry:
+    it owns the event loop (``asyncio.run``), so call it only from
+    non-async code.  Responses come back in request order.
+    """
+    if concurrency < 1:
+        raise ConfigurationError(
+            f"concurrency must be >= 1, got {concurrency}"
+        )
+
+    async def _main() -> list[EstimateResponse]:
+        service = EstimationService(config=config, registry=registry)
+        gate = asyncio.Semaphore(concurrency)
+
+        async def _one(request: EstimateRequest) -> EstimateResponse:
+            async with gate:
+                return await service.submit(request)
+
+        async with service:
+            return list(
+                await asyncio.gather(
+                    *(_one(request) for request in requests)
+                )
+            )
+
+    return asyncio.run(_main())

@@ -105,6 +105,9 @@ class ProtocolCellResult:
         Slots one repetition consumes on air.
     saturated_runs:
         Number of ``NaN``-flagged repetitions.
+    seed_provenance:
+        Where the cell's seed matrix came from
+        (``"base_seed=2011"``); ``None`` for hand-built cells.
     """
 
     protocol: str
@@ -114,6 +117,7 @@ class ProtocolCellResult:
     statistics: np.ndarray = field(repr=False)
     slots_per_run: int = 0
     saturated_runs: int = 0
+    seed_provenance: str | None = None
 
     @property
     def repetitions(self) -> int:
@@ -124,6 +128,40 @@ class ProtocolCellResult:
         """Summarize the finite estimates with the shared helpers."""
         finite = self.estimates[np.isfinite(self.estimates)]
         return summarize(finite, self.true_n, epsilon=epsilon)
+
+    def to_dict(
+        self, include_estimates: bool = False
+    ) -> dict[str, object]:
+        """The common :func:`~repro.protocols.base.result_summary`
+        schema for the whole cell.
+
+        ``estimate`` is the mean of the finite repetitions (``NaN`` if
+        every repetition saturated) and ``rounds``/``total_slots``
+        count one repetition, so a cell record reads like the average
+        single run it aggregates; cell-only keys (``repetitions``,
+        ``saturated_runs``) ride alongside.  ``include_estimates``
+        additionally inlines the per-repetition estimates.
+        """
+        from ..protocols.base import result_summary
+
+        finite = self.estimates[np.isfinite(self.estimates)]
+        record = result_summary(
+            protocol=self.protocol,
+            estimate=(
+                float(finite.mean()) if finite.size else float("nan")
+            ),
+            rounds=self.rounds,
+            total_slots=self.slots_per_run,
+            seed_provenance=self.seed_provenance,
+            true_n=self.true_n,
+        )
+        record["repetitions"] = self.repetitions
+        record["saturated_runs"] = int(self.saturated_runs)
+        if include_estimates:
+            record["estimates"] = [
+                float(value) for value in self.estimates
+            ]
+        return record
 
 
 def run_protocol_cell(
@@ -208,6 +246,7 @@ def run_protocol_cell(
         statistics=statistics,
         slots_per_run=rounds * protocol.slots_per_round(),
         saturated_runs=saturated,
+        seed_provenance=f"base_seed={base_seed}",
     )
     _observe_cell(registry, result, time.perf_counter() - start)
     return result

@@ -84,31 +84,67 @@ def protocol_results_table(
     true_n: int | None = None,
     title: str = "Protocol results",
 ) -> Table:
-    """Tabulate protocol runs through their :meth:`to_dict` records.
+    """Tabulate protocol runs through their :meth:`summary` records.
 
     The single rendering path for
     :class:`~repro.protocols.base.ProtocolResult` sequences (the CLI
-    summary and the comparison examples use it), built on the result's
-    own dict view rather than attribute poking.  With ``true_n`` the
-    table gains a relative-error column.
+    summary and the comparison examples use it), built on the common
+    :func:`~repro.protocols.base.result_summary` schema rather than
+    attribute poking.  With ``true_n`` the table gains a
+    relative-error column.
     """
     columns = ["protocol", "rounds", "slots", "estimate"]
     if true_n is not None:
         columns.append("error")
     table = Table(title, columns)
     for result in results:
-        record = result.to_dict()
+        record = result.summary(true_n=true_n)
         row: list[object] = [
             record["protocol"],
             record["rounds"],
             record["total_slots"],
-            record["n_hat"],
+            record["estimate"],
         ]
         if true_n is not None:
-            n_hat = float(record["n_hat"])  # type: ignore[arg-type]
-            row.append(f"{abs(n_hat - true_n) / true_n:.2%}")
+            error = record["relative_error"]
+            row.append(
+                f"{abs(error):.2%}"  # type: ignore[arg-type]
+                if error is not None
+                else "-"
+            )
         table.add_row(*row)
     return table
+
+
+def legacy_result_record(result: "ProtocolResult") -> dict[str, object]:
+    """Deprecated: the pre-service ad-hoc record shape.
+
+    The old report path built its own dict with ``n_hat`` and
+    ``observations`` keys; everything now serializes through the
+    common :func:`~repro.protocols.base.result_summary` schema
+    (``estimate`` / ``relative_error`` / ``seed_provenance``).  This
+    shim keeps the old shape importable for one release and warns
+    once per process.
+    """
+    from .._deprecation import warn_once
+
+    warn_once(
+        "sim.report.legacy_result_record",
+        "legacy_result_record() and the ad-hoc n_hat/observations "
+        "record are deprecated; use ProtocolResult.to_dict() / "
+        ".summary() (the shared result_summary schema) instead",
+    )
+    return {
+        "protocol": result.protocol,
+        "n_hat": float(result.n_hat),
+        "rounds": int(result.rounds),
+        "total_slots": int(result.total_slots),
+        "observations": (
+            0
+            if result.per_round_statistics is None
+            else int(len(result.per_round_statistics))
+        ),
+    }
 
 
 def format_series(

@@ -110,3 +110,46 @@ class TestNullMetrics:
         assert (
             NULL_REGISTRY.histogram("a") is NULL_REGISTRY.histogram("b")
         )
+
+
+class TestHistogramQuantile:
+    def test_empty_histogram_is_nan(self):
+        assert math.isnan(Histogram("lat").quantile(0.5))
+
+    def test_out_of_range_q_rejected(self):
+        histogram = Histogram("lat")
+        histogram.observe(1.0)
+        for bad in (-0.1, 1.1, math.nan):
+            with pytest.raises(ConfigurationError):
+                histogram.quantile(bad)
+
+    def test_single_observation_every_quantile(self):
+        histogram = Histogram("lat")
+        histogram.observe(0.037)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert histogram.quantile(q) == pytest.approx(0.037)
+
+    def test_quantiles_monotone_in_q(self):
+        histogram = Histogram("lat")
+        histogram.observe_many(np.geomspace(1e-4, 10.0, 200))
+        values = [histogram.quantile(q) for q in (0.1, 0.5, 0.9, 0.99)]
+        assert values == sorted(values)
+
+    def test_bucket_resolution_on_log2_grid(self):
+        """A quantile lands within one log2 bucket of the true value."""
+        histogram = Histogram("lat")
+        histogram.observe_many(np.full(99, 0.001))
+        histogram.observe(8.0)
+        p50 = histogram.quantile(0.50)
+        assert 0.0005 <= p50 <= 0.002
+        p995 = histogram.quantile(0.995)
+        assert 4.0 <= p995 <= 8.0
+
+    def test_extremes_clamp_to_observed_min_max(self):
+        histogram = Histogram("lat")
+        histogram.observe_many([0.3, 0.5, 0.7])
+        assert histogram.quantile(0.0) >= 0.3
+        assert histogram.quantile(1.0) == pytest.approx(0.7)
+
+    def test_null_histogram_quantile_is_nan(self):
+        assert math.isnan(NULL_REGISTRY.histogram("x").quantile(0.5))

@@ -1,0 +1,240 @@
+"""Micro-batch fusion: bit-identity against the scalar request path."""
+
+import numpy as np
+import pytest
+
+from repro.api import EstimateRequest, execute_request, resolve_request
+from repro.errors import ConfigurationError
+from repro.protocols.base import ProtocolResult
+from repro.serve.batching import (
+    MicroBatchReport,
+    degradable,
+    execute_degraded,
+    execute_micro_batch,
+)
+
+
+def _solo(request):
+    """The request answered alone, through the scalar facade path."""
+    return execute_request(resolve_request(request, population_cache={}))
+
+
+def _fused(requests, report=None):
+    """The requests answered together, through one micro-batch."""
+    cache = {}
+    plans = [
+        resolve_request(request, population_cache=cache)
+        for request in requests
+    ]
+    return execute_micro_batch(plans, report)
+
+
+def _assert_identical(solo, fused):
+    assert isinstance(fused, ProtocolResult)
+    assert fused.n_hat == solo.n_hat
+    assert fused.rounds == solo.rounds
+    assert fused.total_slots == solo.total_slots
+    assert np.array_equal(
+        fused.per_round_statistics, solo.per_round_statistics
+    )
+    assert fused.seed_provenance == solo.seed_provenance
+
+
+class TestBitIdentity:
+    """The acceptance criterion: coalescing is semantically lossless."""
+
+    def test_pet_active_fused_matches_solo(self):
+        requests = [
+            EstimateRequest(
+                population=500, seed=s, rounds=32, population_seed=9
+            )
+            for s in (1, 2, 3)
+        ]
+        for request, fused in zip(requests, _fused(requests)):
+            _assert_identical(_solo(request), fused)
+
+    def test_pet_passive_fused_matches_solo(self):
+        requests = [
+            EstimateRequest(
+                population=400,
+                seed=s,
+                rounds=16,
+                population_seed=5,
+                config={"passive_tags": True},
+            )
+            for s in (4, 5)
+        ]
+        for request, fused in zip(requests, _fused(requests)):
+            _assert_identical(_solo(request), fused)
+
+    def test_fneb_fused_matches_solo(self):
+        requests = [
+            EstimateRequest(
+                population=300,
+                protocol="fneb",
+                seed=s,
+                rounds=24,
+                population_seed=2,
+            )
+            for s in (7, 8)
+        ]
+        for request, fused in zip(requests, _fused(requests)):
+            _assert_identical(_solo(request), fused)
+
+    def test_mixed_protocol_batch_keeps_every_identity(self):
+        requests = [
+            EstimateRequest(
+                population=350, seed=11, rounds=16, population_seed=1
+            ),
+            EstimateRequest(
+                population=350,
+                protocol="lof",
+                seed=12,
+                rounds=16,
+                population_seed=1,
+            ),
+            EstimateRequest(
+                population=350, seed=13, rounds=16, population_seed=1
+            ),
+        ]
+        for request, fused in zip(requests, _fused(requests)):
+            _assert_identical(_solo(request), fused)
+
+    def test_group_membership_does_not_change_results(self):
+        """Adding peers to a fusion group never perturbs a request."""
+        target = EstimateRequest(
+            population=600, seed=42, rounds=48, population_seed=3
+        )
+        alone = _fused([target])[0]
+        peers = [
+            EstimateRequest(
+                population=600, seed=s, rounds=48, population_seed=3
+            )
+            for s in (100, 101, 102)
+        ]
+        crowded = _fused(peers + [target])[-1]
+        _assert_identical(alone, crowded)
+
+
+class TestGrouping:
+    def test_shared_population_requests_fuse(self):
+        report = MicroBatchReport()
+        requests = [
+            EstimateRequest(
+                population=200, seed=s, rounds=8, population_seed=1
+            )
+            for s in range(4)
+        ]
+        _fused(requests, report)
+        assert report.requests == 4
+        assert report.fused_groups == 1
+        assert report.fused_requests == 4
+        assert report.scalar_requests == 0
+
+    def test_distinct_populations_split_groups(self):
+        report = MicroBatchReport()
+        requests = [
+            EstimateRequest(
+                population=200, seed=1, rounds=8, population_seed=1
+            ),
+            EstimateRequest(
+                population=200, seed=2, rounds=8, population_seed=2
+            ),
+        ]
+        _fused(requests, report)
+        assert report.fused_groups == 2
+
+    def test_distinct_configs_split_groups(self):
+        report = MicroBatchReport()
+        requests = [
+            EstimateRequest(
+                population=200, seed=1, rounds=8, population_seed=1
+            ),
+            EstimateRequest(
+                population=200,
+                seed=2,
+                rounds=8,
+                population_seed=1,
+                config={"tree_height": 24},
+            ),
+        ]
+        _fused(requests, report)
+        assert report.fused_groups == 2
+
+    def test_sampled_tier_falls_back_to_scalar(self):
+        report = MicroBatchReport()
+        request = EstimateRequest(
+            population=200,
+            seed=1,
+            rounds=8,
+            population_seed=1,
+            config={"tier": "sampled"},
+        )
+        (result,) = _fused([request], report)
+        assert report.scalar_requests == 1
+        assert report.fused_requests == 0
+        _assert_identical(_solo(request), result)
+
+    def test_results_align_with_input_order(self):
+        requests = [
+            EstimateRequest(
+                population=200,
+                protocol=protocol,
+                seed=s,
+                rounds=8,
+                population_seed=1,
+            )
+            for s, protocol in enumerate(["fneb", "pet", "fneb", "pet"])
+        ]
+        results = _fused(requests)
+        assert [r.protocol for r in results] == [
+            "FNEB",
+            "PET",
+            "FNEB",
+            "PET",
+        ]
+
+
+class TestDegradedTier:
+    def test_active_pet_is_degradable(self):
+        plan = resolve_request(
+            EstimateRequest(population=300, seed=1, rounds=8),
+            population_cache={},
+        )
+        assert degradable(plan)
+
+    def test_passive_pet_is_not_degradable(self):
+        plan = resolve_request(
+            EstimateRequest(
+                population=300,
+                seed=1,
+                rounds=8,
+                config={"passive_tags": True},
+            ),
+            population_cache={},
+        )
+        assert not degradable(plan)
+        with pytest.raises(ConfigurationError, match="sampled"):
+            execute_degraded(plan)
+
+    def test_engine_protocol_is_not_degradable(self):
+        plan = resolve_request(
+            EstimateRequest(
+                population=300, protocol="fneb", seed=1, rounds=8
+            ),
+            population_cache={},
+        )
+        assert not degradable(plan)
+
+    def test_degraded_result_is_reproducible(self):
+        request = EstimateRequest(population=5_000, seed=3, rounds=64)
+        results = [
+            execute_degraded(
+                resolve_request(request, population_cache={})
+            )
+            for _ in range(2)
+        ]
+        assert results[0].n_hat == results[1].n_hat
+        assert results[0].rounds == 64
+        assert results[0].seed_provenance == "seed=3"
+        assert results[0].n_hat == pytest.approx(5_000, rel=0.5)

@@ -1,0 +1,142 @@
+"""The serve/loadgen CLI faces, driven through ``repro.cli.main``."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.config import AccuracyRequirement
+from repro.errors import ReproError
+from repro.serve.cli import request_from_record
+
+
+class TestRequestFromRecord:
+    def test_minimal_record(self):
+        request = request_from_record({"population": 100})
+        assert request.population == 100
+        assert request.protocol == "pet"
+        assert request.tenant == "default"
+
+    def test_full_record(self):
+        request = request_from_record(
+            {
+                "population": 100,
+                "protocol": "fneb",
+                "config": {"frame_size": 64},
+                "seed": 3,
+                "population_seed": 9,
+                "rounds": 32,
+                "accuracy": [0.1, 0.05],
+                "tenant": "dock-3",
+                "deadline": 0.5,
+                "request_id": "abc",
+            }
+        )
+        assert request.protocol == "fneb"
+        assert request.config == {"frame_size": 64}
+        assert request.accuracy == AccuracyRequirement(0.1, 0.05)
+        assert request.tenant == "dock-3"
+
+    def test_missing_population_rejected(self):
+        with pytest.raises(ReproError, match="population"):
+            request_from_record({"seed": 1})
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ReproError, match="bogus"):
+            request_from_record({"population": 10, "bogus": 1})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ReproError, match="object"):
+            request_from_record([1, 2, 3])
+
+
+class TestLoadgenCli:
+    def test_dry_run_prints_schedule(self, capsys):
+        code = main(["loadgen", "--requests", "5", "--dry-run"])
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 5
+        first = json.loads(lines[0])
+        assert first["request_id"] == "req-00000"
+        assert first["tenant"] == "tenant-0"
+
+    def test_json_run_exit_zero_without_failures(self, capsys):
+        code = main(
+            [
+                "loadgen",
+                "--requests",
+                "16",
+                "--population",
+                "300",
+                "--rounds",
+                "8",
+                "--time-scale",
+                "0",
+                "--json",
+            ]
+        )
+        assert code == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["requests"] == 16
+        assert record["failures"] == 0
+
+    def test_text_run_and_prom_out(self, capsys, tmp_path):
+        prom = tmp_path / "serve.prom"
+        code = main(
+            [
+                "loadgen",
+                "--requests",
+                "8",
+                "--population",
+                "300",
+                "--rounds",
+                "8",
+                "--time-scale",
+                "0",
+                "--prom-out",
+                str(prom),
+            ]
+        )
+        assert code == 0
+        assert "load report" in capsys.readouterr().out
+        text = prom.read_text()
+        assert "serve_request_latency_seconds" in text
+
+
+class TestServeCli:
+    def test_json_lines_round_trip(self, capsys, monkeypatch):
+        lines = "\n".join(
+            [
+                json.dumps(
+                    {"population": 300, "seed": 7, "rounds": 8,
+                     "request_id": "a"}
+                ),
+                json.dumps(
+                    {"population": 300, "seed": 8, "rounds": 8,
+                     "request_id": "b"}
+                ),
+                "not json",
+            ]
+        )
+        monkeypatch.setattr("sys.stdin", io.StringIO(lines))
+        code = main(["serve"])
+        assert code == 0
+        captured = capsys.readouterr()
+        records = [
+            json.loads(line)
+            for line in captured.out.strip().splitlines()
+        ]
+        by_status = {}
+        for record in records:
+            by_status.setdefault(record["status"], []).append(record)
+        assert len(by_status["ok"]) == 2
+        assert len(by_status["error"]) == 1
+        assert {r["request_id"] for r in by_status["ok"]} == {"a", "b"}
+        for record in by_status["ok"]:
+            assert record["result"]["rounds"] == 8
+        assert "served 2 requests (1 malformed lines)" in captured.err
+
+    def test_unknown_subcommand_falls_to_experiment_parser(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["no-such-command"])

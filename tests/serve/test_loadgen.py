@@ -1,0 +1,159 @@
+"""Traffic generation: deterministic schedules and the SLO report."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import MetricsRegistry
+from repro.serve import (
+    LoadgenConfig,
+    build_schedule,
+    run_load,
+)
+from repro.serve.loadgen import LoadReport
+
+
+class TestLoadgenConfig:
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("requests", 0),
+            ("pattern", "steady"),
+            ("rate", 0.0),
+            ("burst_size", 0),
+            ("burst_interval", -1.0),
+            ("tenants", 0),
+        ],
+    )
+    def test_bad_values_rejected(self, field, value):
+        with pytest.raises(ConfigurationError):
+            LoadgenConfig(**{field: value})
+
+
+class TestBuildSchedule:
+    def test_deterministic_in_the_seed(self):
+        config = LoadgenConfig(requests=20, seed=5)
+        first = build_schedule(config)
+        second = build_schedule(config)
+        assert [a for a, _ in first] == [a for a, _ in second]
+        assert [r.seed for _, r in first] == [
+            r.seed for _, r in second
+        ]
+        different = build_schedule(LoadgenConfig(requests=20, seed=6))
+        assert [r.seed for _, r in first] != [
+            r.seed for _, r in different
+        ]
+
+    def test_poisson_arrivals_increase(self):
+        schedule = build_schedule(
+            LoadgenConfig(requests=50, pattern="poisson", rate=1000.0)
+        )
+        arrivals = [a for a, _ in schedule]
+        assert arrivals == sorted(arrivals)
+        assert all(a > 0 for a in arrivals)
+
+    def test_bursty_arrivals_land_in_bursts(self):
+        config = LoadgenConfig(
+            requests=10,
+            pattern="bursty",
+            burst_size=4,
+            burst_interval=0.5,
+        )
+        arrivals = [a for a, _ in build_schedule(config)]
+        assert arrivals == [0.0] * 4 + [0.5] * 4 + [1.0] * 2
+
+    def test_tenants_round_robin_with_shared_population_seed(self):
+        schedule = build_schedule(
+            LoadgenConfig(requests=6, tenants=3)
+        )
+        tenants = [r.tenant for _, r in schedule]
+        assert tenants == [
+            "tenant-0",
+            "tenant-1",
+            "tenant-2",
+        ] * 2
+        by_tenant = {}
+        for _, request in schedule:
+            by_tenant.setdefault(request.tenant, set()).add(
+                request.population_seed
+            )
+        # one population per reader field — the fusion precondition
+        assert all(len(seeds) == 1 for seeds in by_tenant.values())
+        assert (
+            len({s for seeds in by_tenant.values() for s in seeds})
+            == 3
+        )
+
+    def test_request_ids_and_deadline_stamped(self):
+        schedule = build_schedule(
+            LoadgenConfig(requests=3, deadline=0.5)
+        )
+        assert [r.request_id for _, r in schedule] == [
+            "req-00000",
+            "req-00001",
+            "req-00002",
+        ]
+        assert all(r.deadline == 0.5 for _, r in schedule)
+
+
+class TestLoadReport:
+    def test_failures_count_only_errors(self):
+        report = LoadReport(
+            requests=10,
+            wall_seconds=1.0,
+            by_status={"ok": 6, "rejected": 3, "error": 1},
+        )
+        assert report.failures == 1
+        assert report.throughput == pytest.approx(10.0)
+
+    def test_to_dict_and_render_smoke(self):
+        report = LoadReport(
+            requests=4,
+            wall_seconds=0.5,
+            by_status={"ok": 4},
+            by_tenant={"tenant-0": 4},
+            p50_seconds=0.001,
+            p99_seconds=0.002,
+        )
+        record = report.to_dict()
+        assert record["throughput_per_second"] == pytest.approx(8.0)
+        assert record["failures"] == 0
+        text = report.render()
+        assert "ok=4" in text
+        assert "p99" in text
+
+    def test_nan_throughput_for_zero_wall(self):
+        report = LoadReport(requests=1, wall_seconds=0.0)
+        assert math.isnan(report.throughput)
+
+
+class TestRunLoad:
+    def test_smoke_run_answers_everything(self):
+        registry = MetricsRegistry()
+        config = LoadgenConfig(
+            requests=40,
+            tenants=4,
+            population=500,
+            rounds=16,
+            pattern="bursty",
+            burst_size=8,
+            burst_interval=0.0,
+        )
+        report = run_load(config, registry=registry, time_scale=0.0)
+        assert report.requests == 40
+        assert report.failures == 0
+        assert sum(report.by_status.values()) == 40
+        assert len(report.by_tenant) == 4
+        assert report.p50_seconds > 0
+        assert report.p99_seconds >= report.p50_seconds
+        assert (
+            registry.counter("serve.requests.submitted").value == 40
+        )
+
+    def test_default_registry_still_yields_percentiles(self):
+        report = run_load(
+            LoadgenConfig(requests=8, population=300, rounds=8),
+            time_scale=0.0,
+        )
+        assert not math.isnan(report.p50_seconds)

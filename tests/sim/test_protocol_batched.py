@@ -289,3 +289,31 @@ class TestObservability:
         )
         assert cell.repetitions == 2
         assert not NULL_REGISTRY  # stays falsy / no-op
+
+
+class TestCellRecordSchema:
+    def test_to_dict_uses_common_summary_schema(self, population):
+        cell = run_protocol_cell(
+            make_protocol("fneb"),
+            population,
+            rounds=12,
+            repetitions=4,
+            base_seed=7,
+        )
+        record = cell.to_dict()
+        for key in (
+            "protocol",
+            "estimate",
+            "true_n",
+            "relative_error",
+            "rounds",
+            "total_slots",
+            "seed_provenance",
+        ):
+            assert key in record
+        assert record["seed_provenance"] == "base_seed=7"
+        assert record["true_n"] == population.size
+        assert record["repetitions"] == 4
+        assert "estimates" not in record
+        with_estimates = cell.to_dict(include_estimates=True)
+        assert len(with_estimates["estimates"]) == 4

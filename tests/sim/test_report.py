@@ -71,3 +71,53 @@ class TestHistogram:
         total = sum(int(line.rsplit(" ", 1)[-1])
                     for line in text.splitlines())
         assert total == 1
+
+
+class TestProtocolResultsTable:
+    @staticmethod
+    def _result(n_hat=100.0):
+        import numpy as np
+
+        from repro.protocols.base import ProtocolResult
+
+        return ProtocolResult(
+            protocol="PET",
+            n_hat=n_hat,
+            rounds=4,
+            total_slots=20,
+            per_round_statistics=np.array([1.0, 2.0, 3.0, 4.0]),
+        )
+
+    def test_renders_summary_schema(self):
+        from repro.sim.report import protocol_results_table
+
+        table = protocol_results_table([self._result(110.0)], true_n=100)
+        text = table.render()
+        assert "PET" in text
+        assert "10.00%" in text
+
+    def test_without_true_n_drops_error_column(self):
+        from repro.sim.report import protocol_results_table
+
+        table = protocol_results_table([self._result()])
+        assert "error" not in table.render().splitlines()[2]
+
+
+class TestLegacyResultRecord:
+    def test_keeps_old_shape_and_warns_once(self):
+        import repro._deprecation as deprecation
+        from repro.sim.report import legacy_result_record
+
+        deprecation._SEEN.discard("sim.report.legacy_result_record")
+        with pytest.warns(DeprecationWarning, match="n_hat"):
+            record = legacy_result_record(
+                TestProtocolResultsTable._result(123.0)
+            )
+        assert record["n_hat"] == pytest.approx(123.0)
+        assert record["observations"] == 4
+        # once per process: the second call stays silent
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            legacy_result_record(TestProtocolResultsTable._result())

@@ -106,12 +106,140 @@ class TestEstimate:
         with pytest.raises(ConfigurationError, match="frame_size"):
             repro.estimate(1_000, seed=1, frame_size=64)
 
+    def test_seed_and_rng_together_rejected(self):
+        with pytest.raises(ConfigurationError, match="not both"):
+            repro.estimate(
+                1_000,
+                seed=1,
+                rng=np.random.default_rng(2),
+                rounds=16,
+            )
+
+    def test_rng_alone_still_accepted(self):
+        result = repro.estimate(
+            1_000, rng=np.random.default_rng(2), rounds=32
+        )
+        assert result.seed_provenance == "rng"
+
     def test_result_to_dict_round_trips(self):
         result = repro.estimate(2_000, seed=5, rounds=64)
         record = result.to_dict()
         assert record["protocol"] == "PET"
-        assert record["n_hat"] == result.n_hat
+        assert record["estimate"] == result.n_hat
         assert record["rounds"] == 64
+        assert record["seed_provenance"] == "seed=5"
+        assert record["true_n"] is None
+        assert record["relative_error"] is None
         assert "observations" in record
         full = result.to_dict(include_statistics=True)
         assert len(full["per_round_statistics"]) == 64
+
+    def test_result_summary_carries_relative_error(self):
+        result = repro.estimate(2_000, seed=5, rounds=64)
+        record = result.summary(true_n=2_000)
+        assert record["true_n"] == 2_000
+        assert record["relative_error"] == pytest.approx(
+            (result.n_hat - 2_000) / 2_000
+        )
+
+
+class TestRequestModel:
+    """The unified EstimateRequest/resolve_request path."""
+
+    def test_exported_from_package_root(self):
+        for name in (
+            "EstimateRequest",
+            "EstimateResponse",
+            "resolve_request",
+            "execute_request",
+        ):
+            assert name in repro.__all__
+
+    def test_facade_matches_request_path(self):
+        via_facade = repro.estimate(2_000, seed=9, rounds=64)
+        request = repro.EstimateRequest(
+            population=2_000, seed=9, rounds=64
+        )
+        via_request = repro.execute_request(
+            repro.resolve_request(request)
+        )
+        assert via_facade.n_hat == via_request.n_hat
+        assert via_facade.total_slots == via_request.total_slots
+
+    def test_resolve_rejects_seed_plus_rng(self):
+        request = repro.EstimateRequest(
+            population=100, seed=1, rng=np.random.default_rng(2)
+        )
+        with pytest.raises(ConfigurationError, match="not both"):
+            repro.resolve_request(request)
+
+    def test_resolve_plans_rounds_from_accuracy(self):
+        request = repro.EstimateRequest(
+            population=100,
+            seed=1,
+            accuracy=AccuracyRequirement(0.10, 0.05),
+        )
+        resolved = repro.resolve_request(request)
+        assert resolved.rounds == rounds_required(0.10, 0.05)
+
+    def test_population_seed_shares_population(self):
+        cache: dict = {}
+        requests = [
+            repro.EstimateRequest(
+                population=500,
+                seed=seed,
+                population_seed=77,
+                rounds=16,
+            )
+            for seed in (1, 2)
+        ]
+        resolved = [
+            repro.resolve_request(r, population_cache=cache)
+            for r in requests
+        ]
+        assert resolved[0].population is resolved[1].population
+        assert len(cache) == 1
+
+    def test_population_seed_equivalent_to_prebuilt_population(self):
+        population = TagPopulation.random(
+            500, np.random.default_rng(77)
+        )
+        direct = repro.estimate(population, seed=3, rounds=32)
+        request = repro.EstimateRequest(
+            population=500, seed=3, population_seed=77, rounds=32
+        )
+        via_request = repro.execute_request(
+            repro.resolve_request(request)
+        )
+        assert direct.n_hat == via_request.n_hat
+
+    def test_population_seed_requires_integer_population(self):
+        request = repro.EstimateRequest(
+            population=TagPopulation(range(10)),
+            seed=1,
+            population_seed=2,
+        )
+        with pytest.raises(ConfigurationError, match="integer"):
+            repro.resolve_request(request)
+
+    def test_response_statuses_validated(self):
+        with pytest.raises(ConfigurationError):
+            repro.EstimateResponse(status="maybe")
+
+    def test_response_to_dict_embeds_result_schema(self):
+        result = repro.estimate(1_000, seed=4, rounds=32)
+        response = repro.EstimateResponse(
+            status="ok", result=result, tenant="t0"
+        )
+        assert response.ok
+        assert response.estimate == result.n_hat
+        record = response.to_dict()
+        assert record["status"] == "ok"
+        assert record["result"]["estimate"] == result.n_hat
+
+    def test_rejected_response_has_no_estimate(self):
+        response = repro.EstimateResponse(
+            status="rejected", retry_after=0.5
+        )
+        assert not response.ok
+        assert response.estimate != response.estimate  # NaN
