@@ -110,6 +110,25 @@ multi-tenant requests at concurrency 32) is re-served on this machine
 ``--json-out`` in this mode writes the fresh measurements for upload
 as a CI artifact.
 
+With ``--tracing`` the guard checks distributed-tracing overhead
+against ``BENCH_obs_tracing.json``: the serve workload is re-served
+with ``trace_requests`` off and on (both with a real registry, paired
+CPU timings, median-of-ratios — see :mod:`bench_tracing`) and the
+guard fails when
+
+* the traced leg's CPU overhead exceeds the 10 % bound (override
+  with ``--threshold``),
+* the traced leg stops being bit-identical to the untraced leg,
+* any of the request span set (admission, queue.wait, fusion,
+  kernel, respond under ``serve.request``) stops being recorded, not
+  every request gets a root span, or the latency histogram carries
+  no exemplars, or
+* the committed record itself claims an over-bound overhead or a
+  non-bit-identical run.
+
+``--json-out`` in this mode writes the fresh measurements for upload
+as a CI artifact.
+
 Run with::
 
     PYTHONPATH=src python benchmarks/bench_guard.py [--loop-reps K]
@@ -155,6 +174,10 @@ BACKENDS_BASELINE = (
 
 SERVE_BASELINE = (
     Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+)
+
+TRACING_BASELINE = (
+    Path(__file__).resolve().parent.parent / "BENCH_obs_tracing.json"
 )
 
 #: Cells whose *committed* speedup must stay at or above 10x (the
@@ -647,6 +670,87 @@ def run_serve_guard(args: argparse.Namespace) -> int:
     return _finish(failures, "serve bench guard")
 
 
+def run_tracing_guard(args: argparse.Namespace) -> int:
+    """``--tracing`` mode: span/exemplar coverage + the 10% CPU bound."""
+    import bench_tracing as bench
+
+    bound = (
+        args.threshold
+        if args.threshold is not None
+        else bench.TRACING_BOUND
+    )
+    baseline = _load_baseline(
+        TRACING_BASELINE,
+        "PYTHONPATH=src python benchmarks/bench_tracing.py",
+    )
+    failures: list[str] = []
+
+    recorded = baseline["traced"]
+    if float(recorded["overhead"]) > float(recorded["bound"]):
+        failures.append(
+            f"committed record claims {recorded['overhead']:+.1%} "
+            f"tracing overhead, above its own "
+            f"{recorded['bound']:.0%} bound"
+        )
+    if baseline.get("bit_identical") is not True:
+        failures.append(
+            "committed record claims the traced run is not "
+            "bit-identical to the untraced run"
+        )
+
+    fresh = bench.measure_all()
+    traced = fresh["traced"]
+    if not fresh["bit_identical"]:
+        failures.append(
+            "tracing perturbed the estimates: traced responses are "
+            "no longer bit-identical to the untraced leg"
+        )
+    if traced["overhead"] > bound:
+        failures.append(
+            f"tracing overhead {traced['overhead']:+.1%} exceeds the "
+            f"{bound:.0%} CPU bound"
+        )
+    if not traced["span_names_complete"]:
+        failures.append(
+            "request span set incomplete: expected "
+            f"{list(bench.EXPECTED_SPANS)}"
+        )
+    requests = int(fresh["workload"]["requests"])
+    if traced["root_spans"] != requests:
+        failures.append(
+            f"only {traced['root_spans']}/{requests} requests got a "
+            f"root serve.request span"
+        )
+    if traced["traces"] != requests:
+        failures.append(
+            f"expected {requests} distinct trace ids, got "
+            f"{traced['traces']}"
+        )
+    if traced["exemplar_buckets"] < 1:
+        failures.append(
+            "latency histogram carries no exemplars"
+        )
+
+    print(
+        f"untraced {fresh['untraced']['cpu_seconds']:.3f}s cpu  "
+        f"traced {traced['cpu_seconds']:.3f}s cpu  overhead "
+        f"{traced['overhead']:+.1%} on this machine (bound "
+        f"{bound:.0%}, recorded {recorded['overhead']:+.1%})  "
+        f"bit_identical={fresh['bit_identical']}"
+    )
+    print(
+        f"traces {traced['traces']}  root spans "
+        f"{traced['root_spans']}/{requests}  span set complete: "
+        f"{traced['span_names_complete']}  exemplar buckets: "
+        f"{traced['exemplar_buckets']}"
+    )
+
+    if args.json_out is not None:
+        _write_json(args.json_out, fresh, "fresh measurements")
+
+    return _finish(failures, "tracing bench guard")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -691,6 +795,16 @@ def main() -> int:
             "BENCH_serve.json: coalesced/sequential bit-identity, the "
             "absolute 3x throughput floor at concurrency 32, and the "
             "obs-histogram latency percentiles"
+        ),
+    )
+    parser.add_argument(
+        "--tracing",
+        action="store_true",
+        help=(
+            "guard distributed-tracing overhead against "
+            "BENCH_obs_tracing.json: the 10%% CPU bound vs the "
+            "untraced serve tier, per-request span/exemplar coverage, "
+            "and traced/untraced bit-identity"
         ),
     )
     parser.add_argument(
@@ -760,6 +874,8 @@ def main() -> int:
         return run_backends_guard(args)
     if args.serve:
         return run_serve_guard(args)
+    if args.tracing:
+        return run_tracing_guard(args)
     if args.profile:
         return run_profile_guard(args)
     threshold = args.threshold if args.threshold is not None else 0.15

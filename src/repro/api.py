@@ -54,6 +54,7 @@ import numpy as np
 from .config import AccuracyRequirement
 from .errors import ConfigurationError
 from .obs.registry import MetricsRegistry
+from .obs.tracectx import TraceContext
 from .protocols.base import CardinalityEstimatorProtocol, ProtocolResult
 from .protocols.registry import make_protocol
 from .tags.population import TagPopulation
@@ -120,6 +121,12 @@ class EstimateRequest:
         this in the queue.  ``None`` means no deadline.
     request_id:
         Caller-chosen correlation id, echoed in the response.
+    trace_context:
+        Optional upstream :class:`~repro.obs.tracectx.TraceContext`.
+        When set, the service joins the caller's distributed trace
+        (its ``serve.request`` root span becomes a child of this
+        context) instead of starting a fresh one; the response echoes
+        the resulting ``trace_id``.
     """
 
     population: int | TagPopulation | Iterable[int]
@@ -135,6 +142,9 @@ class EstimateRequest:
     tenant: str = "default"
     deadline: float | None = None
     request_id: str | None = None
+    trace_context: TraceContext | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def seed_provenance(self) -> str:
         """Human/machine-readable description of the randomness source."""
@@ -295,6 +305,10 @@ class EstimateResponse:
         off before retrying.
     detail:
         Human-readable explanation (quota name, error text, ...).
+    trace_id:
+        The distributed-trace id this request was served under (query
+        the scrape endpoint's ``/traces/<id>`` for the full span
+        timeline); ``None`` when the service ran untraced.
     """
 
     status: str
@@ -305,6 +319,7 @@ class EstimateResponse:
     latency_seconds: float = float("nan")
     retry_after: float | None = None
     detail: str = ""
+    trace_id: str | None = None
 
     def __post_init__(self) -> None:
         if self.status not in RESPONSE_STATUSES:
@@ -337,6 +352,7 @@ class EstimateResponse:
             "latency_seconds": float(self.latency_seconds),
             "retry_after": self.retry_after,
             "detail": self.detail,
+            "trace_id": self.trace_id,
             "result": (
                 self.result.to_dict()
                 if self.result is not None
@@ -352,6 +368,7 @@ def respond(
     submitted_at: float | None = None,
     retry_after: float | None = None,
     detail: str = "",
+    trace_id: str | None = None,
 ) -> EstimateResponse:
     """Build an :class:`EstimateResponse` echoing ``request`` identity."""
     latency = (
@@ -368,6 +385,7 @@ def respond(
         latency_seconds=latency,
         retry_after=retry_after,
         detail=detail,
+        trace_id=trace_id,
     )
 
 

@@ -13,7 +13,10 @@ comparison sweep), or ``all``.
 Two service commands dispatch to :mod:`repro.serve.cli` before the
 experiment parser: ``python -m repro serve`` (JSON-lines estimation
 service on stdin/stdout) and ``python -m repro loadgen`` (traffic
-generator + SLO report).  See docs/SERVING.md.
+generator + SLO report).  See docs/SERVING.md.  A third,
+``python -m repro traceview``, renders a terminal waterfall for one
+distributed trace from a span file or live metrics endpoint
+(:mod:`repro.obs.traceview`).
 
 With ``--metrics-out PATH`` the run is instrumented: every simulator
 and protocol records into a :class:`~repro.obs.MetricsRegistry`, the
@@ -148,6 +151,10 @@ def main(argv: list[str] | None = None) -> int:
         from .serve.cli import main as serve_main
 
         return serve_main(argv)
+    if argv and argv[0] == "traceview":
+        from .obs.traceview import main as traceview_main
+
+        return traceview_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="pet-repro",
         description=(

@@ -50,7 +50,9 @@ from .export import (
     heartbeat_record,
     iter_records,
     snapshot_record,
+    write_span_trace,
 )
+from .http import OPENMETRICS_CONTENT_TYPE, MetricsServer, trace_timeline
 from .metrics import Counter, Gauge, Histogram
 from .monitor import (
     CardinalityMonitor,
@@ -75,6 +77,7 @@ from .prom import (
     PrometheusExporter,
     histogram_buckets,
     parse_openmetrics,
+    registry_from_openmetrics,
     render_openmetrics,
     write_openmetrics,
 )
@@ -93,7 +96,16 @@ from .report import (
     render_text_report,
     write_html_report,
 )
+from .slo import SloTracker
 from .span import NullSpan, Span, SpanRecord
+from .tracectx import (
+    TraceContext,
+    current_trace,
+    new_span_id,
+    new_trace_id,
+    start_trace,
+    use_trace_context,
+)
 from .trace import (
     DEFAULT_TAIL_THRESHOLD,
     DEFAULT_TRACE_CAPACITY,
@@ -123,6 +135,20 @@ __all__ = [
     "Span",
     "NullSpan",
     "SpanRecord",
+    # distributed tracing
+    "TraceContext",
+    "current_trace",
+    "new_trace_id",
+    "new_span_id",
+    "start_trace",
+    "use_trace_context",
+    # SLO error budgets
+    "SloTracker",
+    # scrape endpoint + trace rendering
+    "MetricsServer",
+    "OPENMETRICS_CONTENT_TYPE",
+    "trace_timeline",
+    "write_span_trace",
     "Exporter",
     "InMemoryExporter",
     "JsonLinesExporter",
@@ -167,6 +193,7 @@ __all__ = [
     "render_openmetrics",
     "write_openmetrics",
     "parse_openmetrics",
+    "registry_from_openmetrics",
     "histogram_buckets",
     "render_text_report",
     "render_html_report",

@@ -120,6 +120,37 @@ def heartbeat_record(
     }
 
 
+def write_span_trace(
+    destination: str | IO[str], registry: MetricsRegistry
+) -> int:
+    """Append the registry's span trace as JSON lines; returns count.
+
+    A span-only export (``kind="span"`` records, same schema as the
+    full :class:`JsonLinesExporter` stream) sized for trace artifacts:
+    ``python -m repro traceview --trace-file`` reads exactly this
+    shape, as does the CI trace upload.
+    """
+    ts = time.time()
+    records = []
+    for record in registry.trace:
+        span = asdict(record)
+        records.append(
+            {
+                "kind": "span",
+                "type": "span",
+                "name": span["path"],
+                "ts": ts,
+                **span,
+            }
+        )
+    if hasattr(destination, "write"):
+        _write_lines(destination, records)  # type: ignore[arg-type]
+    else:
+        with open(destination, "a", encoding="utf-8") as handle:  # type: ignore[arg-type]
+            _write_lines(handle, records)
+    return len(records)
+
+
 class InMemoryExporter:
     """Collects the record stream on ``self.records``."""
 

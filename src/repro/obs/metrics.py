@@ -142,6 +142,7 @@ class Histogram:
         "min",
         "max",
         "buckets",
+        "exemplars",
     )
 
     def __init__(self, name: str):
@@ -152,18 +153,35 @@ class Histogram:
         self.min = math.inf
         self.max = -math.inf
         self.buckets = [0] * BUCKET_COUNT
+        #: Lazy per-bucket exemplars: bucket index -> (trace_id, value,
+        #: unix ts) for the *last* traced observation landing in that
+        #: bucket.  ``None`` until the first traced observation, so
+        #: untraced histograms carry no extra allocation.
+        self.exemplars: dict[int, tuple[str, float, float]] | None = None
 
-    def observe(self, value: float) -> None:
-        """Record one observation."""
+    def observe(self, value: float, trace_id: str | None = None) -> None:
+        """Record one observation.
+
+        ``trace_id`` (optional) attaches an OpenMetrics exemplar to the
+        bucket the value lands in — last writer wins per bucket — so a
+        scrape of a latency histogram points at a concrete trace for
+        each latency band.
+        """
         value = float(value)
         self.count += 1
         self.total += value
         self.sum_squares += value * value
-        self.buckets[bucket_index(value)] += 1
+        index = bucket_index(value)
+        self.buckets[index] += 1
         if value < self.min:
             self.min = value
         if value > self.max:
             self.max = value
+        if trace_id is not None:
+            exemplars = self.exemplars
+            if exemplars is None:
+                exemplars = self.exemplars = {}
+            exemplars[index] = (trace_id, value, time.time())
 
     def observe_many(self, values: object) -> None:
         """Record a batch of observations.
@@ -233,6 +251,12 @@ class Histogram:
         service SLO p50/p99 readings match what the exported
         OpenMetrics buckets imply.  Clamped to the observed extrema
         (the first/last buckets are open-ended); ``NaN`` when empty.
+
+        Degenerate inputs stay on the grid instead of walking off it:
+        an empty histogram, a moments-only merge whose bucket array is
+        all zeros, or invalid extrema (``min > max``, as in a partially
+        reconstructed histogram) with an open-ended answer bucket all
+        return ``NaN`` — never ``-inf``/``+inf``.
         """
         if not 0.0 <= q <= 1.0:
             raise ConfigurationError(
@@ -243,12 +267,23 @@ class Histogram:
         rank = max(1, math.ceil(q * self.count))
         seen = 0
         bounds = bucket_upper_bounds()
+        extrema_valid = self.min <= self.max
         for index, bucket_count in enumerate(self.buckets):
             seen += bucket_count
             if seen >= rank:
                 bound = bounds[index]
-                return min(max(bound, self.min), self.max)
-        return self.max
+                if extrema_valid:
+                    return min(max(bound, self.min), self.max)
+                # No trustworthy extrema to clamp with: report the
+                # bucket bound when it is a real number, NaN for the
+                # open-ended overflow bucket.
+                return bound if math.isfinite(bound) else math.nan
+        if seen == 0:
+            # count > 0 but every bucket is zero: a moments-only
+            # histogram (merged from stats without bucket occupancy).
+            # There is no grid position to report.
+            return math.nan
+        return self.max if extrema_valid else math.nan
 
     @contextmanager
     def time(self) -> Iterator[None]:
@@ -279,7 +314,9 @@ class _NullGauge(Gauge):
 class _NullHistogram(Histogram):
     __slots__ = ()
 
-    def observe(self, value: float) -> None:  # noqa: ARG002
+    def observe(
+        self, value: float, trace_id: str | None = None  # noqa: ARG002
+    ) -> None:
         pass
 
     def observe_many(self, values: object) -> None:  # noqa: ARG002

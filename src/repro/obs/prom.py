@@ -16,12 +16,20 @@ Metric names are sanitized to the Prometheus grammar
 ``pet.rounds`` → ``pet_rounds``, prefixed with ``repro_``.  Non-finite
 values use the spec's ``NaN`` / ``+Inf`` / ``-Inf`` literals.
 
+Histogram buckets carry **exemplars** when the registry recorded any:
+the OpenMetrics ``# {trace_id="..."} value timestamp`` suffix on a
+``_bucket`` line, pointing each latency band at a concrete trace id
+(see :mod:`repro.obs.tracectx`).
+
 :func:`parse_openmetrics` is a small validating reader for the subset
 this module emits — enough for tests (and smoke checks) to assert that
 ``--prom-out`` files are well-formed and carry the expected samples.
-:func:`histogram_buckets` inverts the cumulative ``_bucket`` samples
-back onto the registry's bucket array, so parsed histograms round-trip
-through :meth:`~repro.obs.registry.MetricsRegistry.merge` losslessly.
+It understands the exemplar suffix (pass ``with_exemplars=True`` for
+them).  :func:`histogram_buckets` inverts the cumulative ``_bucket``
+samples back onto the registry's bucket array, and
+:func:`registry_from_openmetrics` rebuilds a whole registry from parsed
+output, so exporter output round-trips: parse → export → parse is the
+identity on the emitted text.
 """
 
 from __future__ import annotations
@@ -58,6 +66,19 @@ def _format_value(value: float) -> str:
     return repr(float(value))
 
 
+def _format_exemplar(
+    exemplar: tuple[str, float, float] | list | None,
+) -> str:
+    """The OpenMetrics exemplar suffix for one bucket line ('' if none)."""
+    if not exemplar:
+        return ""
+    trace_id, value, ts = exemplar
+    return (
+        f' # {{trace_id="{trace_id}"}}'
+        f" {_format_value(float(value))} {_format_value(float(ts))}"
+    )
+
+
 def render_openmetrics(
     registry: MetricsRegistry, prefix: str = METRIC_PREFIX
 ) -> str:
@@ -85,6 +106,7 @@ def render_openmetrics(
     for name, stats in histograms.items():
         metric = sanitize_metric_name(name, prefix)
         lines.append(f"# TYPE {metric} histogram")
+        exemplars = stats.get("exemplars") or {}
         cumulative = 0
         for index, count in enumerate(stats.get("buckets") or ()):
             bound = bounds[index]
@@ -93,10 +115,12 @@ def render_openmetrics(
             cumulative += int(count)
             lines.append(
                 f'{metric}_bucket{{le="{bound!r}"}} {cumulative}'
+                + _format_exemplar(exemplars.get(index))
             )
         # The +Inf bucket is mandatory and must equal _count.
         lines.append(
             f'{metric}_bucket{{le="+Inf"}} {int(stats["count"])}'
+            + _format_exemplar(exemplars.get(BUCKET_COUNT - 1))
         )
         lines.append(f"{metric}_count {_format_value(stats['count'])}")
         lines.append(f"{metric}_sum {_format_value(stats['total'])}")
@@ -155,18 +179,46 @@ def _parse_value(token: str, line_no: int) -> float:
         ) from exc
 
 
+#: An OpenMetrics exemplar suffix: ``{trace_id="..."} value [ts]``.
+_EXEMPLAR_OK = re.compile(
+    r'^\{trace_id="(?P<trace_id>[^"{}]*)"\}'
+    r"\s+(?P<value>\S+)(?:\s+(?P<ts>\S+))?$"
+)
+
+
+def _parse_exemplar(
+    suffix: str, line_no: int
+) -> tuple[str, float, float | None]:
+    match = _EXEMPLAR_OK.match(suffix.strip())
+    if match is None:
+        raise ConfigurationError(
+            f"line {line_no}: malformed exemplar {suffix!r}"
+        )
+    ts_token = match.group("ts")
+    return (
+        match.group("trace_id"),
+        _parse_value(match.group("value"), line_no),
+        _parse_value(ts_token, line_no) if ts_token else None,
+    )
+
+
 def parse_openmetrics(
-    text: str,
-) -> tuple[dict[str, float], dict[str, str]]:
+    text: str, *, with_exemplars: bool = False
+) -> tuple:
     """Parse (and validate) the subset of OpenMetrics this module emits.
 
     Returns ``(samples, types)``: sample name → value, and declared
-    metric name → type.  Raises
+    metric name → type.  With ``with_exemplars=True`` a third mapping is
+    returned — bucket sample name → ``(trace_id, value, ts)`` for every
+    ``# {trace_id="..."}`` exemplar suffix (the syntax
+    :func:`render_openmetrics` emits; exemplars are accepted only on
+    ``_bucket`` / ``_total`` samples, as in the spec).  Raises
     :class:`~repro.errors.ConfigurationError` on malformed lines, an
     undeclared sample's metric, or a missing ``# EOF`` terminator.
     """
     samples: dict[str, float] = {}
     types: dict[str, str] = {}
+    exemplars: dict[str, tuple[str, float, float | None]] = {}
     saw_eof = False
     for line_no, raw in enumerate(text.splitlines(), start=1):
         line = raw.strip()
@@ -199,6 +251,10 @@ def parse_openmetrics(
         if line.startswith("#"):
             # Other comments (HELP, UNIT) are legal; skip them.
             continue
+        exemplar = None
+        if " # " in line:
+            line, _, suffix = line.partition(" # ")
+            exemplar = _parse_exemplar(suffix, line_no)
         parts = line.split()
         if len(parts) != 2:
             raise ConfigurationError(
@@ -215,9 +271,21 @@ def parse_openmetrics(
                 f"line {line_no}: sample {sample_name!r} has no"
                 " preceding # TYPE declaration"
             )
+        if exemplar is not None:
+            if not (
+                bare_name.endswith("_bucket")
+                or bare_name.endswith("_total")
+            ):
+                raise ConfigurationError(
+                    f"line {line_no}: exemplar on non-bucket sample"
+                    f" {sample_name!r}"
+                )
+            exemplars[sample_name] = exemplar
         samples[sample_name] = _parse_value(token, line_no)
     if not saw_eof:
         raise ConfigurationError("missing # EOF terminator")
+    if with_exemplars:
+        return samples, types, exemplars
     return samples, types
 
 
@@ -296,3 +364,85 @@ def histogram_buckets(
         buckets[index] = int(cumulative - previous)
         previous = cumulative
     return buckets
+
+
+def registry_from_openmetrics(
+    text: str, prefix: str = METRIC_PREFIX
+) -> MetricsRegistry:
+    """Rebuild a :class:`MetricsRegistry` from exporter output.
+
+    The inverse of :func:`render_openmetrics` up to what the text
+    format carries: counters, gauges, histogram buckets / count / sum /
+    extrema, and bucket exemplars all round-trip (``sum_squares`` is
+    not exported, so reconstructed ``std`` is meaningless).  Derived
+    ``_min`` / ``_max`` / ``_mean`` gauges fold back into their
+    histogram instead of becoming standalone gauges.  Metric names keep
+    their sanitized (underscored) form minus ``prefix`` — re-rendering
+    the result parses back to the identical samples, types, and
+    exemplars.
+    """
+    samples, types, exemplars = parse_openmetrics(
+        text, with_exemplars=True
+    )
+    registry = MetricsRegistry()
+    histogram_names = {
+        metric for metric, kind in types.items()
+        if kind == "histogram"
+    }
+    derived = {
+        f"{metric}_{suffix}"
+        for metric in histogram_names
+        for suffix in ("min", "max", "mean")
+    }
+
+    def _registry_name(metric: str) -> str:
+        if prefix and metric.startswith(prefix):
+            return metric[len(prefix):]
+        return metric
+
+    for metric, kind in types.items():
+        if kind == "counter":
+            total = samples.get(f"{metric}_total")
+            if total is not None:
+                registry.counter(_registry_name(metric)).value = total
+        elif kind == "gauge":
+            if metric in derived:
+                continue
+            value = samples.get(metric)
+            if value is not None:
+                gauge = registry.gauge(_registry_name(metric))
+                gauge.value = float(value)
+        elif kind == "histogram":
+            histogram = registry.histogram(_registry_name(metric))
+            histogram.buckets = histogram_buckets(samples, metric)
+            histogram.count = int(samples.get(f"{metric}_count", 0))
+            histogram.total = float(samples.get(f"{metric}_sum", 0.0))
+            if f"{metric}_min" in samples:
+                histogram.min = samples[f"{metric}_min"]
+            if f"{metric}_max" in samples:
+                histogram.max = samples[f"{metric}_max"]
+            bounds = bucket_upper_bounds()
+            index_of = {bound: i for i, bound in enumerate(bounds)}
+            bucket_prefix = f"{metric}_bucket{{"
+            for sample_name, exemplar in exemplars.items():
+                if not sample_name.startswith(bucket_prefix):
+                    continue
+                match = _LE_VALUE.search(sample_name)
+                if match is None:
+                    continue
+                token = match.group(1)
+                upper = math.inf if token == "+Inf" else float(token)
+                index = index_of.get(upper)
+                if index is None:
+                    raise ConfigurationError(
+                        f"exemplar bound {token!r} is not on the grid"
+                    )
+                trace_id, value, ts = exemplar
+                if histogram.exemplars is None:
+                    histogram.exemplars = {}
+                histogram.exemplars[index] = (
+                    trace_id,
+                    value,
+                    ts if ts is not None else 0.0,
+                )
+    return registry

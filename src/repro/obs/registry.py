@@ -68,7 +68,7 @@ class RegistrySnapshot:
     histograms:
         Metric name → stats dict (``count`` / ``total`` /
         ``sum_squares`` / ``min`` / ``max`` / ``mean`` / ``std`` /
-        ``buckets``).
+        ``buckets``, plus ``exemplars`` when any bucket carries one).
     spans:
         The registry's completed-span trace (tagged with ``worker.id``
         when the snapshot was taken with a ``worker_id``).
@@ -194,6 +194,9 @@ class MetricsRegistry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        # Span-path -> duration histogram, so the per-span hot path
+        # skips the f-string name build on every finish.
+        self._span_seconds: dict[str, Histogram] = {}
         self._span_stack: list[Span] = []
         self.trace: list[SpanRecord] = []
         self.events: list[dict[str, object]] = []
@@ -209,14 +212,20 @@ class MetricsRegistry:
         #: kernels wrap their phases with it when attached (the shared
         #: no-op profiler otherwise).
         self.profiler: object | None = None
+        #: Optional :class:`~repro.obs.slo.SloTracker`; the serve tier
+        #: attaches one so every answered request feeds the windowed
+        #: error-budget burn-rate gauges.
+        self.slo: object | None = None
 
     def attach_diagnostics(
         self,
         round_trace: object | None = None,
         health: object | None = None,
         profiler: object | None = None,
+        slo: object | None = None,
     ) -> "MetricsRegistry":
-        """Attach a round-trace recorder, health monitor, or profiler.
+        """Attach a round-trace recorder, health monitor, profiler,
+        or SLO tracker.
 
         Returns ``self`` so construction chains:
         ``MetricsRegistry().attach_diagnostics(recorder, health)``.
@@ -227,6 +236,8 @@ class MetricsRegistry:
             self.health = health
         if profiler is not None:
             self.profiler = profiler
+        if slo is not None:
+            self.slo = slo
         return self
 
     def __bool__(self) -> bool:
@@ -266,9 +277,52 @@ class MetricsRegistry:
             self.trace.append(record)
         else:
             self.counter("obs.spans.dropped").inc()
-        self.histogram(f"span.{record.path}.seconds").observe(
-            record.seconds
+        metric = self._span_seconds.get(record.path)
+        if metric is None:
+            metric = self._span_seconds[record.path] = self.histogram(
+                f"span.{record.path}.seconds"
+            )
+        metric.observe(record.seconds, trace_id=record.trace_id)
+
+    def record_span(
+        self,
+        name: str,
+        *,
+        start: float,
+        seconds: float,
+        path: str | None = None,
+        trace: "object | None" = None,
+        **attributes: object,
+    ) -> SpanRecord:
+        """Record a span whose timing was measured externally.
+
+        The serve tier's request phases (admission, queue wait, kernel
+        execution) cross scheduler ticks and worker threads, so they
+        cannot be ``with`` blocks on one registry stack — the service
+        times them itself and reports each finished region here.
+        ``trace`` is an optional
+        :class:`~repro.obs.tracectx.TraceContext` naming the span's
+        identity; ``path`` defaults to ``name``.
+        """
+        trace_id = span_id = parent_id = None
+        if trace is not None:
+            trace_id = trace.trace_id  # type: ignore[attr-defined]
+            span_id = trace.span_id  # type: ignore[attr-defined]
+            parent_id = trace.parent_id  # type: ignore[attr-defined]
+        record = SpanRecord(
+            name=name,
+            path=path if path is not None else name,
+            start=start,
+            seconds=seconds,
+            # The **attributes dict is freshly built per call — safe
+            # to store without copying.
+            attributes=attributes,
+            trace_id=trace_id,
+            span_id=span_id,
+            parent_id=parent_id,
         )
+        self._finish_span(record)
+        return record
 
     def event(self, name: str, **fields: object) -> None:
         """Record one structured event row (e.g. a finished cell)."""
@@ -328,6 +382,11 @@ class MetricsRegistry:
                     "total": metric.total,
                     "sum_squares": metric.sum_squares,
                     "buckets": list(metric.buckets),
+                    **(
+                        {"exemplars": dict(metric.exemplars)}
+                        if metric.exemplars
+                        else {}
+                    ),
                 }
                 for name, metric in sorted(self._histograms.items())
             },
@@ -372,6 +431,18 @@ class MetricsRegistry:
             buckets = stats["buckets"]
             for index, count in enumerate(buckets):  # type: ignore[arg-type]
                 histogram.buckets[index] += count
+            exemplars = stats.get("exemplars")
+            if exemplars:
+                mine = histogram.exemplars
+                if mine is None:
+                    mine = histogram.exemplars = {}
+                for index, exemplar in exemplars.items():  # type: ignore[union-attr]
+                    index = int(index)
+                    current = mine.get(index)
+                    # Last-write-wins per bucket on the exemplar's
+                    # timestamp, mirroring the gauge merge rule.
+                    if current is None or exemplar[2] >= current[2]:
+                        mine[index] = tuple(exemplar)  # type: ignore[assignment]
         for record in snapshot.spans:
             if len(self.trace) < self.max_trace:
                 self.trace.append(record)
@@ -420,9 +491,23 @@ class NullRegistry(MetricsRegistry):
         round_trace: object | None = None,  # noqa: ARG002
         health: object | None = None,  # noqa: ARG002
         profiler: object | None = None,  # noqa: ARG002
+        slo: object | None = None,  # noqa: ARG002
     ) -> "MetricsRegistry":
         """No-op: the shared null registry never carries diagnostics."""
         return self
+
+    def record_span(
+        self,
+        name: str,  # noqa: ARG002
+        *,
+        start: float,  # noqa: ARG002
+        seconds: float,  # noqa: ARG002
+        path: str | None = None,  # noqa: ARG002
+        trace: "object | None" = None,  # noqa: ARG002
+        **attributes: object,  # noqa: ARG002
+    ) -> None:
+        """No-op: the null registry stores no trace, allocates nothing."""
+        return None
 
     def merge(self, snapshot: RegistrySnapshot) -> "MetricsRegistry":  # noqa: ARG002
         """No-op: merging into the null registry records nothing."""

@@ -1,0 +1,178 @@
+"""SLO error-budget accounting: windowed burn rates for the serve tier.
+
+An SLO like "99% of requests answered OK within their deadline" defines
+an **error budget**: over any window, up to ``1 - objective`` of the
+requests may fail before the SLO is broken.  The *burn rate* is how
+fast that budget is being consumed::
+
+    burn_rate = bad_fraction / (1 - objective)
+
+A burn rate of 1.0 exactly exhausts the budget over the window; 14.4
+(the classic fast-burn page threshold) exhausts a 30-day budget in two
+days.  Following the multi-window alerting practice, the tracker keeps
+two sliding windows — a short one that reacts to incidents and a long
+one that smooths noise — implemented as second-resolution ring buffers
+of good/bad counts, so memory is fixed regardless of traffic.
+
+The serve tier attaches one :class:`SloTracker` to its registry
+(``registry.slo``) and feeds every answered request; the tracker
+publishes gauges on the same registry:
+
+* ``serve.slo.burn_rate_fast`` / ``serve.slo.burn_rate_slow``
+* ``serve.slo.good_fast`` / ``serve.slo.bad_fast`` (window totals)
+* ``serve.slo.budget_remaining_fast`` (1 - burn_rate, floored at 0)
+
+A request is *good* when it resolved with status ``"ok"`` **and** met
+its deadline when one was set — degraded answers, rejections, expiries
+and errors all burn budget, which is exactly the ladder the service's
+degradation rungs trade against.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..errors import ConfigurationError
+
+#: Default SLO objective: 99% of requests good.
+DEFAULT_OBJECTIVE = 0.99
+
+#: Default sliding windows (seconds): fast reacts, slow smooths.
+DEFAULT_FAST_WINDOW = 60
+DEFAULT_SLOW_WINDOW = 3600
+
+#: Minimum seconds between unforced gauge publishes.
+PUBLISH_INTERVAL = 0.25
+
+
+class _RingWindow:
+    """Good/bad counts over a sliding window, 1-second resolution."""
+
+    __slots__ = ("seconds", "good", "bad", "stamps")
+
+    def __init__(self, seconds: int):
+        self.seconds = seconds
+        self.good = [0] * seconds
+        self.bad = [0] * seconds
+        # Absolute second each slot was last written; a slot whose
+        # stamp is outside the window is stale and resets on touch.
+        self.stamps = [-1] * seconds
+
+    def _slot(self, now: float) -> int:
+        second = int(now)
+        index = second % self.seconds
+        if self.stamps[index] != second:
+            self.stamps[index] = second
+            self.good[index] = 0
+            self.bad[index] = 0
+        return index
+
+    def record(self, good: bool, now: float) -> None:
+        index = self._slot(now)
+        if good:
+            self.good[index] += 1
+        else:
+            self.bad[index] += 1
+
+    def totals(self, now: float) -> tuple[int, int]:
+        """(good, bad) over the live window ending at ``now``."""
+        floor = int(now) - self.seconds
+        good = bad = 0
+        for index, stamp in enumerate(self.stamps):
+            if stamp > floor:
+                good += self.good[index]
+                bad += self.bad[index]
+        return good, bad
+
+
+class SloTracker:
+    """Windowed good/bad accounting against one SLO objective.
+
+    Parameters
+    ----------
+    objective:
+        Target good fraction in ``(0, 1)`` (default 0.99).
+    fast_window / slow_window:
+        Sliding-window lengths in seconds.
+    """
+
+    def __init__(
+        self,
+        objective: float = DEFAULT_OBJECTIVE,
+        fast_window: int = DEFAULT_FAST_WINDOW,
+        slow_window: int = DEFAULT_SLOW_WINDOW,
+    ):
+        if not 0.0 < objective < 1.0:
+            raise ConfigurationError(
+                f"SLO objective must be in (0, 1), got {objective}"
+            )
+        if fast_window <= 0 or slow_window <= 0:
+            raise ConfigurationError("SLO windows must be positive")
+        self.objective = objective
+        self.fast = _RingWindow(int(fast_window))
+        self.slow = _RingWindow(int(slow_window))
+        self.total_good = 0
+        self.total_bad = 0
+        self._last_publish = float("-inf")
+
+    def record(self, good: bool, now: float | None = None) -> None:
+        """Feed one finished request into both windows."""
+        if now is None:
+            now = time.time()
+        self.fast.record(good, now)
+        self.slow.record(good, now)
+        if good:
+            self.total_good += 1
+        else:
+            self.total_bad += 1
+
+    def burn_rate(
+        self, window: _RingWindow, now: float | None = None
+    ) -> float:
+        """Budget-consumption speed over ``window`` (0.0 when idle)."""
+        if now is None:
+            now = time.time()
+        good, bad = window.totals(now)
+        total = good + bad
+        if total == 0:
+            return 0.0
+        bad_fraction = bad / total
+        return bad_fraction / (1.0 - self.objective)
+
+    def _rate(self, good: int, bad: int) -> float:
+        total = good + bad
+        if total == 0:
+            return 0.0
+        return (bad / total) / (1.0 - self.objective)
+
+    def publish(
+        self,
+        registry,
+        now: float | None = None,
+        force: bool = False,
+    ) -> None:
+        """Write the burn-rate gauges onto ``registry``.
+
+        Summing the ring windows costs ``fast_window + slow_window``
+        slot reads, so unforced calls are throttled to
+        :data:`PUBLISH_INTERVAL` — the serve tier publishes on every
+        answered request and relies on this to stay off the hot path.
+        Scrapes and shutdown publish with ``force=True`` so exported
+        gauges are never stale.
+        """
+        if now is None:
+            now = time.time()
+        if not force and now - self._last_publish < PUBLISH_INTERVAL:
+            return
+        self._last_publish = now
+        fast_good, fast_bad = self.fast.totals(now)
+        fast_rate = self._rate(fast_good, fast_bad)
+        slow_rate = self._rate(*self.slow.totals(now))
+        registry.gauge("serve.slo.burn_rate_fast").set(fast_rate)
+        registry.gauge("serve.slo.burn_rate_slow").set(slow_rate)
+        registry.gauge("serve.slo.good_fast").set(fast_good)
+        registry.gauge("serve.slo.bad_fast").set(fast_bad)
+        registry.gauge("serve.slo.budget_remaining_fast").set(
+            max(0.0, 1.0 - fast_rate)
+        )
+        registry.gauge("serve.slo.objective").set(self.objective)

@@ -26,6 +26,8 @@ import time
 from dataclasses import dataclass, field
 from types import TracebackType
 
+from .tracectx import current_trace, reset_trace_context, set_trace_context
+
 
 @dataclass(frozen=True)
 class SpanRecord:
@@ -45,6 +47,10 @@ class SpanRecord:
     attributes:
         Free-form key/value context given at :meth:`Span.__init__`
         (population size, rounds, ...).
+    trace_id / span_id / parent_id:
+        Distributed-trace identity (see :mod:`repro.obs.tracectx`);
+        all ``None`` when the span ran without an active
+        :class:`~repro.obs.tracectx.TraceContext`.
     """
 
     name: str
@@ -52,12 +58,32 @@ class SpanRecord:
     start: float
     seconds: float
     attributes: dict[str, object] = field(default_factory=dict)
+    trace_id: str | None = None
+    span_id: str | None = None
+    parent_id: str | None = None
 
 
 class Span:
-    """A timed region; created via ``registry.span(name, **attributes)``."""
+    """A timed region; created via ``registry.span(name, **attributes)``.
 
-    __slots__ = ("name", "attributes", "_registry", "_start", "path")
+    When a :class:`~repro.obs.tracectx.TraceContext` is active on entry
+    the span claims a child context (new span id, parent = enclosing
+    span), installs it for the body, and stamps the resulting
+    :class:`SpanRecord` with the ids — so nesting ``with`` spans builds
+    the same parent/child tree in the trace ids as in the dotted paths.
+    """
+
+    __slots__ = (
+        "name",
+        "attributes",
+        "_registry",
+        "_start",
+        "path",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "_token",
+    )
 
     def __init__(self, registry: object, name: str, **attributes: object):
         self.name = name
@@ -65,6 +91,10 @@ class Span:
         self._registry = registry
         self._start = 0.0
         self.path = name
+        self.trace_id: str | None = None
+        self.span_id: str | None = None
+        self.parent_id: str | None = None
+        self._token: object | None = None
 
     def __enter__(self) -> "Span":
         registry = self._registry
@@ -72,6 +102,13 @@ class Span:
         if stack:
             self.path = f"{stack[-1].path}.{self.name}"
         stack.append(self)
+        context = current_trace()
+        if context is not None:
+            mine = context.child()
+            self.trace_id = mine.trace_id
+            self.span_id = mine.span_id
+            self.parent_id = mine.parent_id
+            self._token = set_trace_context(mine)
         self._start = time.perf_counter()
         return self
 
@@ -86,6 +123,9 @@ class Span:
         stack = registry._span_stack  # type: ignore[attr-defined]
         if stack and stack[-1] is self:
             stack.pop()
+        if self._token is not None:
+            reset_trace_context(self._token)
+            self._token = None
         registry._finish_span(  # type: ignore[attr-defined]
             SpanRecord(
                 name=self.name,
@@ -93,6 +133,9 @@ class Span:
                 start=self._start,
                 seconds=seconds,
                 attributes=dict(self.attributes),
+                trace_id=self.trace_id,
+                span_id=self.span_id,
+                parent_id=self.parent_id,
             )
         )
 

@@ -1,0 +1,191 @@
+"""Propagatable trace context: W3C-style trace/span identifiers.
+
+A :class:`TraceContext` names one position in a distributed trace: the
+128-bit ``trace_id`` shared by every span of one logical request, the
+64-bit ``span_id`` of the current region, and the ``parent_id`` linking
+it upward.  Contexts are immutable; :meth:`TraceContext.child` derives
+the next hop.  The *current* context lives in a :mod:`contextvars`
+variable, so it follows asyncio tasks automatically and crosses process
+boundaries explicitly via :meth:`to_dict` / :meth:`from_dict` (the sweep
+pool and the serve tier both serialize it that way).
+
+Identifiers come from :func:`os.urandom`, **never** from
+``random`` / numpy: instrumentation must not perturb the seeded RNG
+streams that the bit-identity contracts (batched engines, serve fusion)
+are built on.
+
+Usage::
+
+    ctx = start_trace()                # new root context, now current
+    with use_trace_context(ctx.child()):
+        ...                            # spans opened here are children
+
+:class:`~repro.obs.span.Span` reads :func:`current_trace` on entry and
+stamps its :class:`~repro.obs.span.SpanRecord` with the ids, so any code
+already running under ``registry.span(...)`` participates in tracing
+without modification.  When no context is active, spans record ``None``
+ids and pay a single contextvar read.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+
+class _EntropyPool:
+    """Buffered ``os.urandom``: one syscall per ~256 identifiers.
+
+    Ids are minted on the serve tier's per-request hot path (several
+    per request), where a syscall each is measurable.  The pool is
+    reset in forked children (``os.register_at_fork``) so worker
+    processes never replay the parent's identifier stream.
+    """
+
+    _REFILL_BYTES = 4096
+
+    __slots__ = ("_buffer", "_offset", "_lock")
+
+    def __init__(self) -> None:
+        self._buffer = b""
+        self._offset = 0
+        self._lock = threading.Lock()
+
+    def take(self, nbytes: int) -> bytes:
+        with self._lock:
+            offset = self._offset
+            if offset + nbytes > len(self._buffer):
+                self._buffer = os.urandom(self._REFILL_BYTES)
+                offset = 0
+            self._offset = offset + nbytes
+            return self._buffer[offset : self._offset]
+
+
+_pool = _EntropyPool()
+
+
+def _reset_pool() -> None:
+    global _pool
+    _pool = _EntropyPool()
+
+
+if hasattr(os, "register_at_fork"):  # POSIX only
+    os.register_at_fork(after_in_child=_reset_pool)
+
+
+def new_trace_id() -> str:
+    """A fresh 128-bit trace id as 32 lowercase hex chars."""
+    return _pool.take(16).hex()
+
+
+def new_span_id() -> str:
+    """A fresh 64-bit span id as 16 lowercase hex chars."""
+    return _pool.take(8).hex()
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One hop of a distributed trace (immutable).
+
+    Attributes
+    ----------
+    trace_id:
+        128-bit id (32 hex chars) shared by every span in the trace.
+    span_id:
+        64-bit id (16 hex chars) of the current span/region.
+    parent_id:
+        The ``span_id`` of the enclosing region, or ``None`` at the
+        root.
+    """
+
+    trace_id: str
+    span_id: str
+    parent_id: str | None = None
+
+    @classmethod
+    def root(cls) -> "TraceContext":
+        """A fresh root context (new trace id, no parent)."""
+        return cls(trace_id=new_trace_id(), span_id=new_span_id())
+
+    def child(self) -> "TraceContext":
+        """The context for a region nested under this one."""
+        return TraceContext(
+            trace_id=self.trace_id,
+            span_id=new_span_id(),
+            parent_id=self.span_id,
+        )
+
+    def to_dict(self) -> dict[str, str | None]:
+        """Plain-dict form for pickling / JSON across processes."""
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+        }
+
+    @classmethod
+    def from_dict(
+        cls, data: Mapping[str, object] | None
+    ) -> "TraceContext | None":
+        """Inverse of :meth:`to_dict`; ``None``/empty maps to ``None``."""
+        if not data:
+            return None
+        trace_id = data.get("trace_id")
+        span_id = data.get("span_id")
+        if not trace_id or not span_id:
+            return None
+        parent = data.get("parent_id")
+        return cls(
+            trace_id=str(trace_id),
+            span_id=str(span_id),
+            parent_id=str(parent) if parent else None,
+        )
+
+
+#: The task-local current context (``None`` = tracing inactive).
+_current: ContextVar[TraceContext | None] = ContextVar(
+    "repro_trace_context", default=None
+)
+
+
+def current_trace() -> TraceContext | None:
+    """The active :class:`TraceContext`, or ``None`` when untraced."""
+    return _current.get()
+
+
+def set_trace_context(ctx: TraceContext | None) -> object:
+    """Install ``ctx`` as current; returns a token for ``reset``."""
+    return _current.set(ctx)
+
+
+def reset_trace_context(token: object) -> None:
+    """Undo a :func:`set_trace_context` (token from that call)."""
+    _current.reset(token)  # type: ignore[arg-type]
+
+
+@contextmanager
+def use_trace_context(
+    ctx: TraceContext | None,
+) -> Iterator[TraceContext | None]:
+    """Scoped :func:`set_trace_context`: restores the previous on exit."""
+    token = _current.set(ctx)
+    try:
+        yield ctx
+    finally:
+        _current.reset(token)
+
+
+def start_trace() -> TraceContext:
+    """Begin a new root trace and make it current.
+
+    Unlike :func:`use_trace_context` this is not scoped — it simply
+    replaces the current context.  Prefer the context manager unless
+    the trace genuinely spans the rest of the task's lifetime.
+    """
+    ctx = TraceContext.root()
+    _current.set(ctx)
+    return ctx

@@ -41,7 +41,8 @@ kernel call.
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
@@ -56,6 +57,7 @@ from ..sim.batched import (
     batched_gray_depths_fresh,
     batched_gray_depths_sorted,
 )
+from ..sim.backends import active_backend
 from ..sim.protocol_batched import _chunked_statistics
 from ..tags.population import TagPopulation
 
@@ -67,6 +69,26 @@ from ..tags.population import TagPopulation
 _SERVE_CHUNK_ELEMENTS = 1 << 15
 
 
+@dataclass(frozen=True)
+class GroupExecution:
+    """Timing + attributes of one kernel execution inside a micro-batch.
+
+    The service turns each row into per-request ``kernel`` spans: every
+    request in ``indices`` (batch-local positions) shares the same
+    kernel call, so its span carries the fusion group's size, the
+    active kernel backend, and the chunk bound — the attributes an
+    exemplar-driven trace lookup needs to explain a latency band.
+    """
+
+    kind: str  # "pet" | "engine" | "scalar"
+    indices: tuple[int, ...]
+    start: float  # perf_counter at kernel start
+    seconds: float
+    backend: str
+    protocol: str
+    chunk_elements: int | None = None
+
+
 @dataclass
 class MicroBatchReport:
     """What one :func:`execute_micro_batch` call did, for telemetry."""
@@ -76,6 +98,14 @@ class MicroBatchReport:
     fused_requests: int = 0
     scalar_requests: int = 0
     degraded_requests: int = 0
+    groups: list[GroupExecution] = field(default_factory=list)
+
+    def group_of(self, index: int) -> GroupExecution | None:
+        """The execution row covering batch position ``index``."""
+        for group in self.groups:
+            if index in group.indices:
+                return group
+        return None
 
 
 def _config_key(resolved: ResolvedRequest) -> tuple:
@@ -264,30 +294,56 @@ def execute_micro_batch(
         except Exception as error:
             results[index] = error
 
+    backend_name = active_backend().name
+
     for key, group in pet_groups.items():
         report.fused_groups += 1
         report.fused_requests += len(group)
         population = group[0][1].population
+        started = time.perf_counter()
         try:
             _fused_pet_group(group, population, sorted_codes, results)
         except Exception as error:
             for index, _, _ in group:
                 if results[index] is None:
                     results[index] = error
+        report.groups.append(
+            GroupExecution(
+                kind="pet",
+                indices=tuple(index for index, _, _ in group),
+                start=started,
+                seconds=time.perf_counter() - started,
+                backend=backend_name,
+                protocol=group[0][1].protocol.name,
+                chunk_elements=_SERVE_CHUNK_ELEMENTS,
+            )
+        )
 
     for key, group in engine_groups.items():
         report.fused_groups += 1
         report.fused_requests += len(group)
         population = group[0][1].population
+        started = time.perf_counter()
         try:
             _fused_engine_group(group, population, results)
         except Exception as error:
             for index, _, _ in group:
                 if results[index] is None:
                     results[index] = error
+        report.groups.append(
+            GroupExecution(
+                kind="engine",
+                indices=tuple(index for index, _, _ in group),
+                start=started,
+                seconds=time.perf_counter() - started,
+                backend=backend_name,
+                protocol=group[0][1].protocol.name,
+            )
+        )
 
     for index, resolved in scalar:
         report.scalar_requests += 1
+        started = time.perf_counter()
         try:
             result = resolved.protocol.estimate(
                 resolved.population, resolved.rounds, resolved.rng
@@ -297,6 +353,16 @@ def execute_micro_batch(
             )
         except Exception as error:
             results[index] = error
+        report.groups.append(
+            GroupExecution(
+                kind="scalar",
+                indices=(index,),
+                start=started,
+                seconds=time.perf_counter() - started,
+                backend=backend_name,
+                protocol=resolved.protocol.name,
+            )
+        )
 
     return results
 

@@ -24,7 +24,14 @@ asserts.  ``--dry-run`` prints the schedule instead of running it.
 
 Both commands take ``--prom-out PATH`` to write the final metrics in
 OpenMetrics text format (queue gauges, latency histogram, per-tenant
-counters — the catalogue in ``docs/SERVING.md``).
+counters — the catalogue in ``docs/SERVING.md``), ``--metrics-port``
+to expose a live scrape endpoint (``/metrics`` with exemplars,
+``/healthz``, ``/traces/<id>``; ``--metrics-hold`` keeps it up after
+the workload drains), and ``--trace-out PATH`` to append every
+finished span as a JSON line for ``python -m repro traceview``.
+Request lines may carry a ``trace_context`` object
+(``{"trace_id": ..., "span_id": ...}``) to join a caller's
+distributed trace.
 """
 
 from __future__ import annotations
@@ -33,11 +40,17 @@ import argparse
 import asyncio
 import json
 import sys
+import time
 
 from ..api import EstimateRequest
 from ..config import AccuracyRequirement
 from ..errors import ReproError
-from ..obs import ConsoleSummaryExporter, MetricsRegistry
+from ..obs import (
+    ConsoleSummaryExporter,
+    MetricsRegistry,
+    TraceContext,
+    write_span_trace,
+)
 from .loadgen import (
     PATTERNS,
     LoadgenConfig,
@@ -70,10 +83,16 @@ def request_from_record(record: dict) -> EstimateRequest:
         "tenant",
         "deadline",
         "request_id",
+        "trace_context",
     }
     unknown = sorted(set(record) - known)
     if unknown:
         raise ReproError(f"unknown request fields: {unknown}")
+    trace_context = record.get("trace_context")
+    if trace_context is not None:
+        if not isinstance(trace_context, dict):
+            raise ReproError("'trace_context' must be a JSON object")
+        trace_context = TraceContext.from_dict(trace_context)
     return EstimateRequest(
         population=record["population"],
         protocol=record.get("protocol", "pet"),
@@ -85,6 +104,7 @@ def request_from_record(record: dict) -> EstimateRequest:
         tenant=record.get("tenant", "default"),
         deadline=record.get("deadline"),
         request_id=record.get("request_id"),
+        trace_context=trace_context,
     )
 
 
@@ -134,6 +154,35 @@ def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
         metavar="PATH",
         default=None,
         help="write final metrics in OpenMetrics text format to PATH",
+    )
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        metavar="PORT",
+        default=None,
+        help=(
+            "serve /metrics (OpenMetrics with exemplars), /healthz, and"
+            " /traces/<id> on this port while running (0 = ephemeral)"
+        ),
+    )
+    parser.add_argument(
+        "--metrics-hold",
+        type=float,
+        metavar="SECONDS",
+        default=0.0,
+        help=(
+            "keep the metrics endpoint up this many seconds after the"
+            " workload finishes (lets scrapers catch the final state)"
+        ),
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "append every finished span as a JSON line to PATH"
+            " (render with 'python -m repro traceview --trace-file')"
+        ),
     )
 
 
@@ -186,6 +235,38 @@ def _write_prom(path: str | None, registry: MetricsRegistry) -> None:
     print(f"OpenMetrics written to {path}", file=sys.stderr)
 
 
+def _start_metrics_server(args: argparse.Namespace, registry):
+    """Start the live scrape endpoint when ``--metrics-port`` is set."""
+    if args.metrics_port is None:
+        return None
+    from ..obs import MetricsServer
+
+    server = MetricsServer(registry, port=args.metrics_port).start()
+    print(f"metrics endpoint listening on {server.url}", file=sys.stderr)
+    return server
+
+
+def _finish_telemetry(
+    args: argparse.Namespace, registry: MetricsRegistry, server
+) -> None:
+    """Final exports: prom file, span trace file, endpoint hold+stop."""
+    _write_prom(args.prom_out, registry)
+    if args.trace_out is not None:
+        written = write_span_trace(args.trace_out, registry)
+        print(
+            f"{written} spans appended to {args.trace_out}",
+            file=sys.stderr,
+        )
+    if server is not None:
+        if args.metrics_hold > 0:
+            print(
+                f"holding metrics endpoint for {args.metrics_hold:.1f}s",
+                file=sys.stderr,
+            )
+            time.sleep(args.metrics_hold)
+        server.stop()
+
+
 def serve_main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="pet-repro serve",
@@ -211,17 +292,20 @@ def serve_main(argv: list[str]) -> int:
         async with service:
             return await _serve_stdin(service, sys.stdin)
 
+    server = _start_metrics_server(args, registry)
     try:
         answered, parse_failures = asyncio.run(_main())
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
+        if server is not None:
+            server.stop()
         return 1
     print(
         f"served {answered} requests "
         f"({parse_failures} malformed lines)",
         file=sys.stderr,
     )
-    _write_prom(args.prom_out, registry)
+    _finish_telemetry(args, registry, server)
     if args.summary:
         print(ConsoleSummaryExporter().render(registry), file=sys.stderr)
     return 0
@@ -333,6 +417,7 @@ def loadgen_main(argv: list[str]) -> int:
             )
         return 0
     registry = MetricsRegistry()
+    server = _start_metrics_server(args, registry)
     try:
         report = run_load(
             config,
@@ -342,12 +427,14 @@ def loadgen_main(argv: list[str]) -> int:
         )
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
+        if server is not None:
+            server.stop()
         return 1
     if args.json:
         print(json.dumps(report.to_dict(), indent=2))
     else:
         print(report.render())
-    _write_prom(args.prom_out, registry)
+    _finish_telemetry(args, registry, server)
     return 1 if report.failures else 0
 
 

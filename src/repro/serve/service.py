@@ -38,13 +38,29 @@ SLO metrics (all on the shared obs registry, merge/export-compatible):
 ``serve.requests.submitted``    counter: accepted submissions
 ``serve.requests.<status>``     counter per response status
 ``serve.request.latency_seconds``  histogram: submit-to-answer wall
-                                time (p50/p99 via the fixed log2 grid)
+                                time (p50/p99 via the fixed log2 grid),
+                                with per-bucket trace-id exemplars
 ``serve.tenant.<tenant>.requests``  counter: responses per tenant
 ``serve.batch.size``            histogram: drained batch sizes
 ``serve.batch.fused_requests``  counter: requests served from fusions
 ``serve.batch.scalar_requests`` counter: scalar-fallback requests
 ``serve.batch.groups``          counter: kernel fusion groups executed
+``serve.slo.burn_rate_fast``    gauge: error-budget burn over the fast
+                                (60 s) window; ``_slow`` = 1 h window
+``serve.slo.good_fast`` / ``serve.slo.bad_fast``  gauges: window totals
+``serve.slo.budget_remaining_fast``  gauge: ``max(0, 1 - burn_fast)``
 ==============================  =======================================
+
+**Distributed tracing.**  When the service runs with a real registry,
+every request carries one trace: a ``serve.request`` root span (status,
+degradation ``rung``, tenant, protocol) with ``admission``,
+``queue.wait``, ``fusion``, ``kernel`` (fusion group size, kernel
+backend, chunk bound), and ``respond`` children.  The request may join
+an upstream :class:`~repro.obs.tracectx.TraceContext`
+(``EstimateRequest.trace_context``) or start a fresh root; the
+response echoes the ``trace_id``, the latency histogram attaches it as
+a bucket exemplar, and the scrape endpoint's ``/traces/<id>`` route
+replays the timeline.
 """
 
 from __future__ import annotations
@@ -64,6 +80,8 @@ from ..api import (
 )
 from ..errors import ConfigurationError, ReproError, ServiceError
 from ..obs.registry import MetricsRegistry, get_registry
+from ..obs.slo import SloTracker
+from ..obs.tracectx import TraceContext, current_trace
 from .batching import (
     MicroBatchReport,
     degradable,
@@ -96,6 +114,12 @@ class ServiceConfig:
         ``max_queue_depth``.
     retry_after_seconds:
         Back-off hint carried by backpressure rejections.
+    trace_requests:
+        Whether each request gets a distributed trace (root
+        :class:`~repro.obs.tracectx.TraceContext`, per-phase spans,
+        latency exemplars).  On by default — the overhead is a few
+        percent CPU (guarded by ``bench_guard --tracing``) — but can
+        be switched off to serve with metrics only.
     """
 
     max_queue_depth: int = 256
@@ -104,6 +128,7 @@ class ServiceConfig:
     tenant_quota: int = 64
     degrade_queue_depth: int | None = None
     retry_after_seconds: float = 0.05
+    trace_requests: bool = True
 
     def __post_init__(self) -> None:
         if self.max_queue_depth < 1:
@@ -151,6 +176,9 @@ class _Pending:
     request: EstimateRequest
     future: asyncio.Future
     submitted_at: float
+    #: Root trace context of this request's ``serve.request`` span
+    #: (``None`` when the service runs untraced).
+    trace: TraceContext | None = None
 
     def expired(self, now: float) -> bool:
         deadline = self.request.deadline
@@ -184,6 +212,8 @@ class EstimationService:
         self._registry = (
             registry if registry is not None else get_registry()
         )
+        if self._registry and self._registry.slo is None:
+            self._registry.attach_diagnostics(slo=SloTracker())
         self._queue: deque[_Pending] = deque()
         self._pending_by_tenant: dict[str, int] = {}
         self._population_cache: dict = {}
@@ -214,6 +244,11 @@ class EstimationService:
         self._wake.set()
         await self._task
         self._task = None
+        # Per-request publishes are throttled; a final forced publish
+        # keeps exported SLO gauges consistent with the full run.
+        slo = self._registry.slo if self._registry else None
+        if slo is not None:
+            slo.publish(self._registry, force=True)
 
     async def __aenter__(self) -> "EstimationService":
         return await self.start()
@@ -243,48 +278,95 @@ class EstimationService:
                 "already stopping)"
             )
         now = time.perf_counter()
+        registry = self._registry
+        trace: TraceContext | None = None
+        if registry and self.config.trace_requests:
+            # Join the caller's trace when the request carries one (or
+            # one is active on this task); start a fresh root otherwise.
+            parent = request.trace_context or current_trace()
+            trace = (
+                parent.child() if parent is not None
+                else TraceContext.root()
+            )
         tenant = request.tenant
         held = self._pending_by_tenant.get(tenant, 0)
         if held >= self.config.tenant_quota:
-            return self._answer(
-                respond(
-                    request,
-                    "rejected",
-                    submitted_at=now,
-                    retry_after=self.config.retry_after_seconds,
-                    detail=(
-                        f"tenant {tenant!r} quota exhausted "
-                        f"({held}/{self.config.tenant_quota} pending)"
-                    ),
-                )
+            return self._reject(
+                request,
+                trace,
+                now,
+                reason="tenant_quota",
+                detail=(
+                    f"tenant {tenant!r} quota exhausted "
+                    f"({held}/{self.config.tenant_quota} pending)"
+                ),
             )
         if len(self._queue) >= self.config.max_queue_depth:
-            return self._answer(
-                respond(
-                    request,
-                    "rejected",
-                    submitted_at=now,
-                    retry_after=self.config.retry_after_seconds,
-                    detail=(
-                        f"queue full "
-                        f"({len(self._queue)}/"
-                        f"{self.config.max_queue_depth})"
-                    ),
-                )
+            return self._reject(
+                request,
+                trace,
+                now,
+                reason="queue_full",
+                detail=(
+                    f"queue full "
+                    f"({len(self._queue)}/"
+                    f"{self.config.max_queue_depth})"
+                ),
             )
         item = _Pending(
             request=request,
             future=asyncio.get_running_loop().create_future(),
             submitted_at=now,
+            trace=trace,
         )
         self._queue.append(item)
         self._pending_by_tenant[tenant] = held + 1
-        registry = self._registry
         if registry:
             registry.counter("serve.requests.submitted").inc()
             registry.gauge("serve.queue.depth").set(len(self._queue))
+            if trace is not None:
+                registry.record_span(
+                    "admission",
+                    path="serve.request.admission",
+                    start=now,
+                    seconds=time.perf_counter() - now,
+                    trace=trace.child(),
+                    tenant=tenant,
+                    queue_depth=len(self._queue),
+                )
         self._wake.set()
         return await item.future
+
+    def _reject(
+        self,
+        request: EstimateRequest,
+        trace: TraceContext | None,
+        submitted_at: float,
+        reason: str,
+        detail: str,
+    ) -> EstimateResponse:
+        """Answer a backpressure rejection (never enqueued)."""
+        response = respond(
+            request,
+            "rejected",
+            submitted_at=submitted_at,
+            retry_after=self.config.retry_after_seconds,
+            detail=detail,
+            trace_id=trace.trace_id if trace is not None else None,
+        )
+        if trace is not None:
+            self._registry.record_span(
+                "serve.request",
+                start=submitted_at,
+                seconds=time.perf_counter() - submitted_at,
+                trace=trace,
+                status="rejected",
+                rung="backpressure",
+                reason=reason,
+                tenant=request.tenant,
+                protocol=request.protocol,
+            )
+        return self._answer(response, deadline=request.deadline)
 
     # -- scheduler ----------------------------------------------------
 
@@ -314,12 +396,13 @@ class EstimationService:
                     if not item.future.done():
                         self._resolve(
                             item,
-                            respond(
-                                item.request,
+                            self._respond(
+                                item,
                                 "error",
-                                submitted_at=item.submitted_at,
                                 detail=f"scheduler failure: {error}",
                             ),
+                            rung="scheduler_error",
+                            reason=str(error),
                         )
 
     async def _process(self, batch: list[_Pending]) -> None:
@@ -334,17 +417,30 @@ class EstimationService:
         fused_plans: list[ResolvedRequest] = []
         degraded_items: list[tuple[_Pending, ResolvedRequest]] = []
         for item in batch:
+            if item.trace is not None:
+                registry.record_span(
+                    "queue.wait",
+                    path="serve.request.queue.wait",
+                    start=item.submitted_at,
+                    seconds=now - item.submitted_at,
+                    trace=item.trace.child(),
+                    tenant=item.request.tenant,
+                )
             if item.expired(now):
                 self._resolve(
                     item,
-                    respond(
-                        item.request,
+                    self._respond(
+                        item,
                         "expired",
-                        submitted_at=item.submitted_at,
                         detail=(
                             f"deadline of {item.request.deadline}s "
                             f"passed while queued"
                         ),
+                    ),
+                    rung="deadline_expired",
+                    reason=(
+                        f"queued {now - item.submitted_at:.4f}s >"
+                        f" deadline {item.request.deadline}s"
                     ),
                 )
                 continue
@@ -357,12 +453,9 @@ class EstimationService:
             except ReproError as error:
                 self._resolve(
                     item,
-                    respond(
-                        item.request,
-                        "error",
-                        submitted_at=item.submitted_at,
-                        detail=str(error),
-                    ),
+                    self._respond(item, "error", detail=str(error)),
+                    rung="resolve_error",
+                    reason=str(error),
                 )
                 continue
             if overloaded and degradable(resolved):
@@ -373,6 +466,7 @@ class EstimationService:
 
         if fused_plans:
             report = MicroBatchReport()
+            exec_start = time.perf_counter()
             outcomes = await asyncio.to_thread(
                 execute_micro_batch, fused_plans, report
             )
@@ -386,66 +480,186 @@ class EstimationService:
                 registry.counter("serve.batch.groups").inc(
                     report.fused_groups
                 )
-            for item, outcome in zip(fused_items, outcomes):
+            for position, (item, outcome) in enumerate(
+                zip(fused_items, outcomes)
+            ):
+                self._trace_kernel(item, report, position, exec_start)
                 if isinstance(outcome, Exception):
                     self._resolve(
                         item,
-                        respond(
-                            item.request,
-                            "error",
-                            submitted_at=item.submitted_at,
-                            detail=str(outcome),
+                        self._respond(
+                            item, "error", detail=str(outcome)
                         ),
+                        rung="kernel_error",
+                        reason=str(outcome),
                     )
                 else:
                     self._resolve(
                         item,
-                        respond(
-                            item.request,
-                            "ok",
-                            result=outcome,
-                            submitted_at=item.submitted_at,
-                        ),
+                        self._respond(item, "ok", result=outcome),
+                        rung="fused",
                     )
 
         for item, resolved in degraded_items:
+            kernel_start = time.perf_counter()
             try:
                 outcome = await asyncio.to_thread(
                     execute_degraded, resolved
                 )
-                response = respond(
-                    item.request,
+                kernel_end = time.perf_counter()
+                if item.trace is not None:
+                    registry.record_span(
+                        "kernel",
+                        path="serve.request.kernel",
+                        start=kernel_start,
+                        seconds=kernel_end - kernel_start,
+                        trace=item.trace.child(),
+                        backend="sampled",
+                        group_kind="degraded",
+                        group_size=1,
+                        protocol=item.request.protocol,
+                    )
+                response = self._respond(
+                    item,
                     "degraded",
                     result=outcome,
-                    submitted_at=item.submitted_at,
                     detail="overload: served from the sampled tier",
                 )
-            except ReproError as error:
-                response = respond(
-                    item.request,
-                    "error",
-                    submitted_at=item.submitted_at,
-                    detail=str(error),
+                self._resolve(
+                    item,
+                    response,
+                    rung="degraded_sampled",
+                    reason=(
+                        f"backlog {len(self._queue)} >"
+                        f" degrade depth {self.config.degrade_depth}"
+                    ),
                 )
-            self._resolve(item, response)
+            except ReproError as error:
+                self._resolve(
+                    item,
+                    self._respond(item, "error", detail=str(error)),
+                    rung="kernel_error",
+                    reason=str(error),
+                )
+
+    def _respond(
+        self,
+        item: _Pending,
+        status: str,
+        result=None,
+        detail: str = "",
+    ) -> EstimateResponse:
+        """Build a response for a queued item, echoing its trace id."""
+        return respond(
+            item.request,
+            status,
+            result=result,
+            submitted_at=item.submitted_at,
+            detail=detail,
+            trace_id=(
+                item.trace.trace_id if item.trace is not None else None
+            ),
+        )
+
+    def _trace_kernel(
+        self,
+        item: _Pending,
+        report: MicroBatchReport,
+        position: int,
+        exec_start: float,
+    ) -> None:
+        """Record the fusion + kernel spans for one fused request."""
+        if item.trace is None:
+            return
+        group = report.group_of(position)
+        if group is None:
+            return
+        registry = self._registry
+        registry.record_span(
+            "fusion",
+            path="serve.request.fusion",
+            start=exec_start,
+            seconds=max(group.start - exec_start, 0.0),
+            trace=item.trace.child(),
+            group_kind=group.kind,
+            group_size=len(group.indices),
+        )
+        kernel_attributes = {
+            "backend": group.backend,
+            "group_kind": group.kind,
+            "group_size": len(group.indices),
+            "protocol": group.protocol,
+        }
+        if group.chunk_elements is not None:
+            kernel_attributes["chunk_elements"] = group.chunk_elements
+        registry.record_span(
+            "kernel",
+            path="serve.request.kernel",
+            start=group.start,
+            seconds=group.seconds,
+            trace=item.trace.child(),
+            **kernel_attributes,
+        )
 
     # -- bookkeeping --------------------------------------------------
 
     def _resolve(
-        self, item: _Pending, response: EstimateResponse
+        self,
+        item: _Pending,
+        response: EstimateResponse,
+        rung: str | None = None,
+        reason: str = "",
     ) -> None:
-        """Answer one queued request and release its tenant slot."""
+        """Answer one queued request and release its tenant slot.
+
+        ``rung`` names the degradation-ladder rung that produced the
+        answer (``fused`` / ``degraded_sampled`` / ``deadline_expired``
+        / ...) and ``reason`` why it fired; both land on the request's
+        root ``serve.request`` span.
+        """
         tenant = item.request.tenant
         held = self._pending_by_tenant.get(tenant, 1)
         if held <= 1:
             self._pending_by_tenant.pop(tenant, None)
         else:
             self._pending_by_tenant[tenant] = held - 1
-        self._answer(response)
+        respond_start = time.perf_counter()
+        self._answer(response, deadline=item.request.deadline)
+        if item.trace is not None:
+            end = time.perf_counter()
+            attributes: dict[str, object] = {
+                "status": response.status,
+                "rung": rung if rung is not None else response.status,
+                "tenant": tenant,
+                "protocol": item.request.protocol,
+            }
+            if reason:
+                attributes["reason"] = reason
+            if item.request.request_id is not None:
+                attributes["request_id"] = item.request.request_id
+            self._registry.record_span(
+                "respond",
+                path="serve.request.respond",
+                start=respond_start,
+                seconds=end - respond_start,
+                trace=item.trace.child(),
+                status=response.status,
+            )
+            self._registry.record_span(
+                "serve.request",
+                start=item.submitted_at,
+                seconds=end - item.submitted_at,
+                trace=item.trace,
+                **attributes,
+            )
         if not item.future.done():
             item.future.set_result(response)
 
-    def _answer(self, response: EstimateResponse) -> EstimateResponse:
+    def _answer(
+        self,
+        response: EstimateResponse,
+        deadline: float | None = None,
+    ) -> EstimateResponse:
         """Record one response's SLO metrics and pass it through."""
         registry = self._registry
         if registry:
@@ -459,8 +673,17 @@ class EstimationService:
             if latency == latency:  # skip NaN (no submit timestamp)
                 registry.histogram(
                     "serve.request.latency_seconds"
-                ).observe(latency)
+                ).observe(latency, trace_id=response.trace_id)
             registry.gauge("serve.queue.depth").set(len(self._queue))
+            slo = registry.slo
+            if slo is not None:
+                good = response.status == "ok" and not (
+                    deadline is not None
+                    and latency == latency
+                    and latency > deadline
+                )
+                slo.record(good)
+                slo.publish(registry)
         return response
 
 

@@ -30,6 +30,11 @@ from ..obs.registry import (
     RegistrySnapshot,
     get_registry,
 )
+from ..obs.tracectx import (
+    TraceContext,
+    current_trace,
+    use_trace_context,
+)
 from .sampled import SampledSimulator
 from .vectorized import VectorizedSimulator
 from .workload import WorkloadSpec, build_population
@@ -409,6 +414,11 @@ class ExperimentRunner:
                         )
                     results.append(repeated)
             else:
+                # Derive one child trace context per cell in the
+                # parent, so worker-side spans join the live trace
+                # (ids cross the pool as plain dicts and come back in
+                # the snapshots the parent merges).
+                sweep_trace = current_trace()
                 pairs = _run_pool(
                     workers,
                     [
@@ -421,6 +431,9 @@ class ExperimentRunner:
                             rounds,
                             bool(self.registry),
                             self.registry.profiler is not None,
+                            sweep_trace.child().to_dict()
+                            if sweep_trace is not None
+                            else None,
                         )
                         for n in sizes
                     ],
@@ -522,6 +535,7 @@ def _sweep_cell(
     rounds: int,
     collect: bool = False,
     profile: bool = False,
+    trace_context: "dict | None" = None,
     reporter: "ProgressReporter | None" = None,
 ) -> "tuple[RepeatedEstimate, RegistrySnapshot | None]":
     """Worker-process entry: one sweep cell (module-level, picklable).
@@ -531,6 +545,10 @@ def _sweep_cell(
     merges it so no worker-side telemetry is lost.  ``profile``
     mirrors the parent having a profiler attached: the worker's phase
     timings land in ``profile.*.seconds`` histograms, which merge up.
+    ``trace_context`` is the parent-derived
+    :meth:`~repro.obs.tracectx.TraceContext.to_dict` for this cell;
+    installing it makes the worker's spans children of the parent's
+    live ``sweep`` span (ids ride back inside the snapshot).
     """
     registry = MetricsRegistry() if collect else NULL_REGISTRY
     if profile and collect:
@@ -544,7 +562,8 @@ def _sweep_cell(
     )
     if reporter is not None:
         reporter.emit(phase="start", n=n, force=True)
-    repeated = runner.run_sampled(n, config, rounds)
+    with use_trace_context(TraceContext.from_dict(trace_context)):
+        repeated = runner.run_sampled(n, config, rounds)
     if reporter is not None:
         reporter.emit(
             phase="done",

@@ -470,6 +470,11 @@ def sweep_protocol_cells(
                     registry=registry,
                 )
             try:
+                # Per-cell child contexts keep worker spans inside
+                # the live trace (see ExperimentRunner.sweep).
+                from ..obs.tracectx import current_trace
+
+                sweep_trace = current_trace()
                 pairs = _run_pool(
                     workers,
                     [
@@ -485,6 +490,9 @@ def sweep_protocol_cells(
                             draws_by_spec[index]
                             if draws_by_spec is not None
                             else 0,
+                            sweep_trace.child().to_dict()
+                            if sweep_trace is not None
+                            else None,
                         )
                         for index, spec in enumerate(specs)
                     ],
@@ -528,6 +536,7 @@ def _sweep_protocol_cell(
     profile: bool = False,
     seeds_spec: object = None,
     draws: int = 0,
+    trace_context: "dict | None" = None,
     reporter: object = None,
 ) -> tuple[ProtocolCellResult, object]:
     """Worker-process entry: one sweep cell (module-level, picklable).
@@ -540,9 +549,13 @@ def _sweep_protocol_cell(
     ``seeds_spec`` optionally names a parent-owned shared-memory seed
     matrix; the worker attaches, slices this cell's ``draws``-column
     prefix, and detaches — it never copies or unlinks the segment.
+    ``trace_context`` is the parent-derived trace position for this
+    cell; installing it makes worker spans children of the parent's
+    live ``sweep`` span (ids ride back inside the snapshot).
     """
     from ..obs.progress import default_worker_id
     from ..obs.registry import NULL_REGISTRY
+    from ..obs.tracectx import TraceContext, use_trace_context
 
     worker_registry = MetricsRegistry() if collect else NULL_REGISTRY
     if profile and collect:
@@ -564,16 +577,17 @@ def _sweep_protocol_cell(
         )
         seeds = segment.array[:, :draws]
     try:
-        result = run_protocol_cell(
-            protocol,
-            population,
-            rounds=spec.rounds,
-            repetitions=repetitions,
-            base_seed=base_seed,
-            registry=worker_registry,
-            on_error=on_error,
-            seeds=seeds,
-        )
+        with use_trace_context(TraceContext.from_dict(trace_context)):
+            result = run_protocol_cell(
+                protocol,
+                population,
+                rounds=spec.rounds,
+                repetitions=repetitions,
+                base_seed=base_seed,
+                registry=worker_registry,
+                on_error=on_error,
+                seeds=seeds,
+            )
     finally:
         if segment is not None:
             segment.close()

@@ -153,3 +153,71 @@ class TestHistogramQuantile:
 
     def test_null_histogram_quantile_is_nan(self):
         assert math.isnan(NULL_REGISTRY.histogram("x").quantile(0.5))
+
+    def test_moments_only_histogram_is_nan_not_inf(self):
+        """count > 0 with empty buckets (a moments-only merge) has no
+        grid position to report — NaN, never an infinity."""
+        histogram = Histogram("lat")
+        histogram.count = 10
+        histogram.total = 5.0
+        for q in (0.0, 0.5, 1.0):
+            assert math.isnan(histogram.quantile(q))
+
+    def test_invalid_extrema_never_walk_off_the_grid(self):
+        """A partially reconstructed histogram (buckets without
+        min/max) reports the finite bucket bound, NaN for the
+        open-ended overflow bucket."""
+        histogram = Histogram("lat")
+        histogram.count = 1
+        histogram.buckets[5] += 1  # a finite-bound bucket
+        value = histogram.quantile(0.5)
+        assert math.isfinite(value)
+        overflow = Histogram("lat")
+        overflow.count = 1
+        overflow.buckets[-1] += 1  # the +Inf bucket
+        assert math.isnan(overflow.quantile(0.5))
+
+    def test_quantile_rank_exceeding_buckets_clamps_to_max(self):
+        """Bucket undercount (fewer bucket entries than ``count``)
+        falls through to the observed max, not past it."""
+        histogram = Histogram("lat")
+        histogram.observe(2.0)
+        histogram.count += 3  # moments merged without buckets
+        assert histogram.quantile(1.0) == pytest.approx(2.0)
+
+
+class TestHistogramExemplars:
+    def test_untraced_observations_allocate_nothing(self):
+        histogram = Histogram("lat")
+        histogram.observe(0.5)
+        histogram.observe_many([1.0, 2.0])
+        assert histogram.exemplars is None
+
+    def test_traced_observation_attaches_bucket_exemplar(self):
+        from repro.obs.metrics import bucket_index
+
+        histogram = Histogram("lat")
+        histogram.observe(0.5, trace_id="ab" * 16)
+        assert histogram.exemplars is not None
+        trace_id, value, ts = histogram.exemplars[bucket_index(0.5)]
+        assert trace_id == "ab" * 16
+        assert value == 0.5
+        assert ts > 0
+
+    def test_last_writer_wins_per_bucket(self):
+        from repro.obs.metrics import bucket_index
+
+        histogram = Histogram("lat")
+        histogram.observe(0.5, trace_id="a" * 32)
+        histogram.observe(0.51, trace_id="b" * 32)
+        histogram.observe(100.0, trace_id="c" * 32)
+        index = bucket_index(0.5)
+        assert histogram.exemplars[index][0] == "b" * 32
+        assert histogram.exemplars[bucket_index(100.0)][0] == "c" * 32
+        assert len(histogram.exemplars) == 2
+
+    def test_null_histogram_swallows_trace_ids(self):
+        histogram = NULL_REGISTRY.histogram("lat")
+        histogram.observe(0.5, trace_id="ab" * 16)
+        assert histogram.count == 0
+        assert histogram.exemplars is None

@@ -148,6 +148,88 @@ class TestParseOpenmetrics:
             )
 
 
+class TestExemplars:
+    TRACE = "ab" * 16
+
+    def _traced_registry(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        latency = registry.histogram("serve.request.latency_seconds")
+        latency.observe(0.02, trace_id=self.TRACE)
+        latency.observe(4.0, trace_id="cd" * 16)
+        latency.observe(0.5)  # untraced: no exemplar on this bucket
+        registry.counter("serve.requests.ok").inc(3)
+        return registry
+
+    def test_rendered_bucket_carries_exemplar_suffix(self):
+        text = render_openmetrics(self._traced_registry())
+        assert f'# {{trace_id="{self.TRACE}"}} 0.02' in text
+
+    def test_default_parse_still_two_tuple(self):
+        """Callers unaware of exemplars keep the (samples, types)
+        shape and simply skip the suffix."""
+        result = parse_openmetrics(
+            render_openmetrics(self._traced_registry())
+        )
+        assert len(result) == 2
+        samples, types = result
+        assert (
+            types["repro_serve_request_latency_seconds"] == "histogram"
+        )
+
+    def test_with_exemplars_returns_third_mapping(self):
+        registry = self._traced_registry()
+        _, _, exemplars = parse_openmetrics(
+            render_openmetrics(registry), with_exemplars=True
+        )
+        assert len(exemplars) == 2
+        traced = {
+            exemplar[0] for exemplar in exemplars.values()
+        }
+        assert traced == {self.TRACE, "cd" * 16}
+
+    def test_exemplar_on_non_bucket_sample_rejected(self):
+        with pytest.raises(ConfigurationError, match="non-bucket"):
+            parse_openmetrics(
+                '# TYPE a gauge\na 1 # {trace_id="ff"} 1\n# EOF\n',
+                with_exemplars=True,
+            )
+
+    def test_malformed_exemplar_rejected(self):
+        with pytest.raises(ConfigurationError, match="exemplar"):
+            parse_openmetrics(
+                "# TYPE a histogram\n"
+                'a_bucket{le="+Inf"} 1 # {trace_id=} 1\n'
+                "# EOF\n",
+                with_exemplars=True,
+            )
+
+    def test_parse_export_parse_identity(self):
+        """The full round trip: parse → rebuild → re-render reaches a
+        fixed point, exemplars included."""
+        from repro.obs import registry_from_openmetrics
+
+        first = render_openmetrics(self._traced_registry())
+        rebuilt = registry_from_openmetrics(first)
+        second = render_openmetrics(rebuilt)
+        parsed_first = parse_openmetrics(first, with_exemplars=True)
+        parsed_second = parse_openmetrics(second, with_exemplars=True)
+        assert parsed_first == parsed_second
+
+    def test_rebuilt_registry_restores_bucket_exemplars(self):
+        from repro.obs import registry_from_openmetrics
+        from repro.obs.metrics import bucket_index
+
+        registry = self._traced_registry()
+        rebuilt = registry_from_openmetrics(
+            render_openmetrics(registry)
+        )
+        latency = rebuilt.histogram("serve_request_latency_seconds")
+        assert latency.exemplars is not None
+        assert (
+            latency.exemplars[bucket_index(0.02)][0] == self.TRACE
+        )
+
+
 class TestPrometheusExporter:
     def test_export_writes_parseable_file(self, tmp_path):
         path = tmp_path / "metrics.prom"

@@ -88,6 +88,102 @@ class TestSpans:
             pass
         assert registry.trace[-1].path == "next"
 
+    def test_untraced_spans_carry_no_ids(self):
+        registry = MetricsRegistry()
+        with registry.span("cell"):
+            pass
+        record = registry.trace[0]
+        assert record.trace_id is None
+        assert record.span_id is None
+        assert record.parent_id is None
+
+    def test_spans_under_trace_context_build_id_tree(self):
+        from repro.obs import TraceContext, use_trace_context
+
+        registry = MetricsRegistry()
+        ctx = TraceContext.root()
+        with use_trace_context(ctx):
+            with registry.span("outer"):
+                with registry.span("inner"):
+                    pass
+        inner, outer = registry.trace
+        assert inner.trace_id == outer.trace_id == ctx.trace_id
+        assert outer.parent_id == ctx.span_id
+        assert inner.parent_id == outer.span_id
+        assert inner.span_id != outer.span_id
+
+
+class TestRecordSpan:
+    def test_externally_timed_span_reaches_trace_and_histogram(self):
+        registry = MetricsRegistry()
+        record = registry.record_span(
+            "queue.wait", start=10.0, seconds=0.25, tenant="t0"
+        )
+        assert registry.trace == [record]
+        assert record.name == record.path == "queue.wait"
+        assert record.start == 10.0
+        assert record.seconds == 0.25
+        assert record.attributes == {"tenant": "t0"}
+        stats = registry.snapshot()["histograms"][
+            "span.queue.wait.seconds"
+        ]
+        assert stats["count"] == 1
+        assert stats["total"] == 0.25
+
+    def test_explicit_path_overrides_name(self):
+        registry = MetricsRegistry()
+        record = registry.record_span(
+            "kernel", start=0.0, seconds=0.1, path="serve.kernel"
+        )
+        assert record.name == "kernel"
+        assert record.path == "serve.kernel"
+        assert (
+            "span.serve.kernel.seconds"
+            in registry.snapshot()["histograms"]
+        )
+
+    def test_trace_identity_stamped_from_context_argument(self):
+        from repro.obs import TraceContext
+
+        registry = MetricsRegistry()
+        ctx = TraceContext.root().child()
+        record = registry.record_span(
+            "respond", start=0.0, seconds=0.01, trace=ctx
+        )
+        assert record.trace_id == ctx.trace_id
+        assert record.span_id == ctx.span_id
+        assert record.parent_id == ctx.parent_id
+
+    def test_traced_duration_becomes_bucket_exemplar(self):
+        from repro.obs import TraceContext
+
+        registry = MetricsRegistry()
+        ctx = TraceContext.root()
+        registry.record_span(
+            "kernel", start=0.0, seconds=0.125, trace=ctx
+        )
+        histogram = registry.histogram("span.kernel.seconds")
+        assert histogram.exemplars is not None
+        assert {
+            exemplar[0] for exemplar in histogram.exemplars.values()
+        } == {ctx.trace_id}
+
+    def test_respects_trace_cap(self):
+        registry = MetricsRegistry(max_trace=1)
+        registry.record_span("a", start=0.0, seconds=0.1)
+        registry.record_span("b", start=0.0, seconds=0.1)
+        assert len(registry.trace) == 1
+        assert (
+            registry.snapshot()["counters"]["obs.spans.dropped"] == 1
+        )
+
+    def test_null_registry_records_nothing(self):
+        assert (
+            NULL_REGISTRY.record_span("a", start=0.0, seconds=0.1)
+            is None
+        )
+        assert NULL_REGISTRY.trace == []
+
 
 class TestEvents:
     def test_events_record_fields_in_order(self):

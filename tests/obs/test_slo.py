@@ -1,0 +1,138 @@
+"""Tests for the SLO error-budget tracker and its burn-rate gauges."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import MetricsRegistry
+from repro.obs.slo import PUBLISH_INTERVAL, SloTracker
+
+#: A fixed "now" keeps the ring windows deterministic in tests.
+T0 = 1_000_000.0
+
+
+def _fed_tracker(good: int, bad: int, **kwargs) -> SloTracker:
+    tracker = SloTracker(**kwargs)
+    for _ in range(good):
+        tracker.record(True, now=T0)
+    for _ in range(bad):
+        tracker.record(False, now=T0)
+    return tracker
+
+
+class TestValidation:
+    @pytest.mark.parametrize("objective", [0.0, 1.0, -0.5, 1.5])
+    def test_objective_must_be_open_interval(self, objective):
+        with pytest.raises(ConfigurationError, match="objective"):
+            SloTracker(objective=objective)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"fast_window": 0}, {"slow_window": -1}],
+    )
+    def test_windows_must_be_positive(self, kwargs):
+        with pytest.raises(ConfigurationError, match="window"):
+            SloTracker(**kwargs)
+
+
+class TestBurnRate:
+    def test_idle_tracker_burns_nothing(self):
+        tracker = SloTracker()
+        assert tracker.burn_rate(tracker.fast, now=T0) == 0.0
+
+    def test_all_good_burns_nothing(self):
+        tracker = _fed_tracker(good=50, bad=0)
+        assert tracker.burn_rate(tracker.fast, now=T0) == 0.0
+
+    def test_burn_rate_is_bad_fraction_over_budget(self):
+        # 2 bad / 100 total = 2% bad against a 1% budget: rate 2.0.
+        tracker = _fed_tracker(good=98, bad=2, objective=0.99)
+        assert tracker.burn_rate(tracker.fast, now=T0) == pytest.approx(
+            2.0
+        )
+
+    def test_rate_exactly_one_exhausts_the_budget(self):
+        tracker = _fed_tracker(good=99, bad=1, objective=0.99)
+        assert tracker.burn_rate(tracker.fast, now=T0) == pytest.approx(
+            1.0
+        )
+
+    def test_fast_window_forgets_old_failures(self):
+        tracker = SloTracker(fast_window=10)
+        tracker.record(False, now=T0)
+        tracker.record(True, now=T0 + 30.0)
+        # 30s later the failure has aged out of the 10s fast window
+        # but still counts in the 3600s slow window.
+        assert tracker.burn_rate(tracker.fast, now=T0 + 30.0) == 0.0
+        assert tracker.burn_rate(tracker.slow, now=T0 + 30.0) > 0.0
+
+    def test_ring_slot_reuse_resets_stale_counts(self):
+        tracker = SloTracker(fast_window=5)
+        tracker.record(False, now=T0)
+        # Same slot index one full window later must not inherit the
+        # old bad count.
+        tracker.record(True, now=T0 + 5.0)
+        good, bad = tracker.fast.totals(T0 + 5.0)
+        assert (good, bad) == (1, 0)
+
+    def test_lifetime_totals_accumulate(self):
+        tracker = _fed_tracker(good=3, bad=2)
+        assert tracker.total_good == 3
+        assert tracker.total_bad == 2
+
+
+class TestPublish:
+    def test_publish_writes_all_gauges(self):
+        registry = MetricsRegistry()
+        tracker = _fed_tracker(good=98, bad=2, objective=0.99)
+        tracker.publish(registry, now=T0, force=True)
+        gauge = registry.gauge
+        assert gauge("serve.slo.burn_rate_fast").value == pytest.approx(
+            2.0
+        )
+        assert gauge("serve.slo.burn_rate_slow").value == pytest.approx(
+            2.0
+        )
+        assert gauge("serve.slo.good_fast").value == 98
+        assert gauge("serve.slo.bad_fast").value == 2
+        assert gauge("serve.slo.budget_remaining_fast").value == 0.0
+        assert gauge("serve.slo.objective").value == 0.99
+
+    def test_budget_remaining_floors_at_zero_not_negative(self):
+        registry = MetricsRegistry()
+        tracker = _fed_tracker(good=0, bad=10)
+        tracker.publish(registry, now=T0, force=True)
+        assert (
+            registry.gauge("serve.slo.budget_remaining_fast").value
+            == 0.0
+        )
+
+    def test_unforced_publish_throttled_within_interval(self):
+        registry = MetricsRegistry()
+        tracker = SloTracker()
+        tracker.record(True, now=T0)
+        tracker.publish(registry, now=T0)
+        tracker.record(False, now=T0)
+        # Second unforced publish lands inside PUBLISH_INTERVAL: the
+        # gauges must still show the first publish's view.
+        tracker.publish(registry, now=T0 + PUBLISH_INTERVAL / 2)
+        assert registry.gauge("serve.slo.bad_fast").value == 0
+
+    def test_unforced_publish_fires_after_interval(self):
+        registry = MetricsRegistry()
+        tracker = SloTracker()
+        tracker.record(True, now=T0)
+        tracker.publish(registry, now=T0)
+        tracker.record(False, now=T0)
+        tracker.publish(registry, now=T0 + PUBLISH_INTERVAL + 0.01)
+        assert registry.gauge("serve.slo.bad_fast").value == 1
+
+    def test_forced_publish_bypasses_throttle(self):
+        registry = MetricsRegistry()
+        tracker = SloTracker()
+        tracker.record(True, now=T0)
+        tracker.publish(registry, now=T0)
+        tracker.record(False, now=T0)
+        tracker.publish(registry, now=T0, force=True)
+        assert registry.gauge("serve.slo.bad_fast").value == 1

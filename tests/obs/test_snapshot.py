@@ -93,6 +93,29 @@ class TestSnapshot:
         with pytest.raises(KeyError):
             snapshot["nonsense"]
 
+    def test_exemplars_only_present_when_recorded(self):
+        registry = MetricsRegistry()
+        registry.histogram("h").observe(1.0)
+        assert "exemplars" not in registry.snapshot()["histograms"]["h"]
+        registry.histogram("h").observe(1.0, trace_id="a" * 32)
+        stats = registry.snapshot()["histograms"]["h"]
+        assert stats["exemplars"][bucket_index(1.0)][0] == "a" * 32
+
+    def test_span_trace_ids_survive_pickle(self):
+        from repro.obs import TraceContext, use_trace_context
+
+        registry = MetricsRegistry()
+        ctx = TraceContext.root()
+        with use_trace_context(ctx):
+            with registry.span("cell"):
+                pass
+        snapshot = pickle.loads(
+            pickle.dumps(registry.snapshot(worker_id="pid:3"))
+        )
+        record = snapshot.spans[0]
+        assert record.trace_id == ctx.trace_id
+        assert record.parent_id == ctx.span_id
+
 
 class TestMergeAlgebra:
     def test_counters_and_buckets_add(self):
@@ -106,6 +129,48 @@ class TestMergeAlgebra:
         assert left.counter("c").value == 7
         assert left.histogram("h").count == 2
         assert left.histogram("h").buckets[bucket_index(1.5)] == 2
+
+    def test_exemplar_merge_is_last_write_wins_on_timestamp(self):
+        left = MetricsRegistry()
+        left.histogram("h").exemplars = {3: ("old" + "0" * 29, 1.0, 10.0)}
+        left.histogram("h").observe(1.0)
+        newer = MetricsRegistry()
+        newer.histogram("h").exemplars = {
+            3: ("new" + "1" * 29, 1.1, 20.0),
+            7: ("other" + "2" * 27, 9.0, 5.0),
+        }
+        newer.histogram("h").observe(1.1)
+        left.merge(newer.snapshot())
+        merged = left.histogram("h").exemplars
+        assert merged[3][0].startswith("new")
+        assert merged[7][0].startswith("other")
+        # Merging an older snapshot back does not regress bucket 3.
+        older = MetricsRegistry()
+        older.histogram("h").exemplars = {3: ("old" + "0" * 29, 1.0, 1.0)}
+        older.histogram("h").observe(1.0)
+        left.merge(older.snapshot())
+        assert left.histogram("h").exemplars[3][0].startswith("new")
+
+    def test_merged_traced_spans_feed_exemplars_into_parent(self):
+        """A worker's traced spans land in the parent with their ids
+        intact — the cross-process path the sweep pool uses."""
+        from repro.obs import TraceContext, use_trace_context
+
+        worker = MetricsRegistry()
+        ctx = TraceContext.root()
+        with use_trace_context(ctx):
+            with worker.span("cell"):
+                pass
+        parent = MetricsRegistry()
+        parent.merge(worker.snapshot(worker_id="pid:11"))
+        record = parent.trace[0]
+        assert record.trace_id == ctx.trace_id
+        assert record.attributes["worker.id"] == "pid:11"
+        merged = parent.histogram("span.cell.seconds")
+        assert merged.exemplars is not None
+        assert {e[0] for e in merged.exemplars.values()} == {
+            ctx.trace_id
+        }
 
     def test_gauge_last_write_wins_regardless_of_merge_order(self):
         early = MetricsRegistry()

@@ -1,0 +1,133 @@
+"""Tests for the propagatable trace context and its identifiers."""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.obs.tracectx import (
+    TraceContext,
+    _EntropyPool,
+    current_trace,
+    new_span_id,
+    new_trace_id,
+    reset_trace_context,
+    set_trace_context,
+    start_trace,
+    use_trace_context,
+)
+
+_HEX32 = re.compile(r"^[0-9a-f]{32}$")
+_HEX16 = re.compile(r"^[0-9a-f]{16}$")
+
+
+class TestIdentifiers:
+    def test_trace_id_is_32_lowercase_hex(self):
+        assert _HEX32.match(new_trace_id())
+
+    def test_span_id_is_16_lowercase_hex(self):
+        assert _HEX16.match(new_span_id())
+
+    def test_ids_do_not_repeat(self):
+        ids = {new_trace_id() for _ in range(512)}
+        assert len(ids) == 512
+
+    def test_pool_survives_refill_boundary(self):
+        pool = _EntropyPool()
+        seen = set()
+        # 4096-byte buffer / 16 bytes = 256 ids per refill; crossing
+        # the boundary several times must keep producing fresh ids of
+        # the requested width.
+        for _ in range(1000):
+            chunk = pool.take(16)
+            assert len(chunk) == 16
+            seen.add(chunk)
+        assert len(seen) == 1000
+
+
+class TestTraceContext:
+    def test_root_has_no_parent(self):
+        ctx = TraceContext.root()
+        assert _HEX32.match(ctx.trace_id)
+        assert _HEX16.match(ctx.span_id)
+        assert ctx.parent_id is None
+
+    def test_child_shares_trace_and_links_parent(self):
+        parent = TraceContext.root()
+        child = parent.child()
+        assert child.trace_id == parent.trace_id
+        assert child.parent_id == parent.span_id
+        assert child.span_id != parent.span_id
+
+    def test_contexts_are_immutable(self):
+        ctx = TraceContext.root()
+        with pytest.raises(AttributeError):
+            ctx.trace_id = "deadbeef"
+
+    def test_dict_round_trip(self):
+        ctx = TraceContext.root().child()
+        assert TraceContext.from_dict(ctx.to_dict()) == ctx
+
+    def test_root_round_trip_keeps_none_parent(self):
+        ctx = TraceContext.root()
+        restored = TraceContext.from_dict(ctx.to_dict())
+        assert restored == ctx
+        assert restored.parent_id is None
+
+    @pytest.mark.parametrize(
+        "data",
+        [None, {}, {"trace_id": "abc"}, {"span_id": "abc"}],
+    )
+    def test_from_dict_tolerates_missing_identity(self, data):
+        assert TraceContext.from_dict(data) is None
+
+
+class TestCurrentContext:
+    def test_default_is_none(self):
+        assert current_trace() is None
+
+    def test_use_trace_context_scopes_and_restores(self):
+        ctx = TraceContext.root()
+        with use_trace_context(ctx) as active:
+            assert active is ctx
+            assert current_trace() is ctx
+        assert current_trace() is None
+
+    def test_use_trace_context_nests(self):
+        outer = TraceContext.root()
+        with use_trace_context(outer):
+            inner = outer.child()
+            with use_trace_context(inner):
+                assert current_trace() is inner
+            assert current_trace() is outer
+
+    def test_use_trace_context_accepts_none(self):
+        """``None`` suspends tracing for the body."""
+        with use_trace_context(TraceContext.root()):
+            with use_trace_context(None):
+                assert current_trace() is None
+
+    def test_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with use_trace_context(TraceContext.root()):
+                raise RuntimeError("boom")
+        assert current_trace() is None
+
+    def test_set_and_reset_token_protocol(self):
+        ctx = TraceContext.root()
+        token = set_trace_context(ctx)
+        try:
+            assert current_trace() is ctx
+        finally:
+            reset_trace_context(token)
+        assert current_trace() is None
+
+    def test_start_trace_installs_a_root(self):
+        token = set_trace_context(None)
+        try:
+            ctx = start_trace()
+            assert ctx.parent_id is None
+            assert current_trace() is ctx
+        finally:
+            reset_trace_context(token)

@@ -1,0 +1,188 @@
+"""Tests for the terminal trace-waterfall renderer and its CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry, MetricsServer, write_span_trace
+from repro.obs.tracectx import TraceContext, use_trace_context
+from repro.obs.traceview import (
+    available_traces,
+    load_trace_file,
+    main,
+    render_waterfall,
+)
+
+TRACE = "ab" * 16
+
+
+def _span(name, start, seconds, span_id, parent=None, **attributes):
+    return {
+        "kind": "span",
+        "name": name,
+        "path": name,
+        "start": start,
+        "seconds": seconds,
+        "trace_id": TRACE,
+        "span_id": span_id,
+        "parent_id": parent,
+        "attributes": attributes,
+    }
+
+
+def _request_spans():
+    return [
+        _span(
+            "serve.request", 0.0, 0.010, "a" * 16,
+            status="ok", rung="fused",
+        ),
+        _span("queue.wait", 0.001, 0.002, "b" * 16, parent="a" * 16),
+        _span(
+            "kernel", 0.003, 0.006, "c" * 16, parent="a" * 16,
+            backend="numpy",
+        ),
+    ]
+
+
+class TestLoadTraceFile:
+    def test_keeps_only_span_records(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        lines = [
+            json.dumps(_span("kernel", 0.0, 0.1, "a" * 16)),
+            json.dumps({"kind": "metrics", "counters": {}}),
+            "not json at all",
+            "",
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        spans = load_trace_file(str(path))
+        assert len(spans) == 1
+        assert spans[0]["name"] == "kernel"
+
+    def test_round_trips_write_span_trace(self, tmp_path):
+        registry = MetricsRegistry()
+        with use_trace_context(TraceContext.root()):
+            with registry.span("outer"):
+                with registry.span("inner"):
+                    pass
+        path = tmp_path / "trace.jsonl"
+        written = write_span_trace(str(path), registry)
+        spans = load_trace_file(str(path))
+        assert written == len(spans) == 2
+        assert {span["path"] for span in spans} == {
+            "outer",
+            "outer.inner",
+        }
+
+
+class TestAvailableTraces:
+    def test_sorted_by_span_count(self):
+        spans = [
+            {"trace_id": "big", "name": "x"},
+            {"trace_id": "big", "name": "y"},
+            {"trace_id": "small", "name": "z"},
+            {"name": "untraced"},
+        ]
+        assert available_traces(spans) == [("big", 2), ("small", 1)]
+
+
+class TestRenderWaterfall:
+    def test_empty_input(self):
+        assert render_waterfall([]) == "(no spans)"
+
+    def test_header_and_one_line_per_span(self):
+        text = render_waterfall(_request_spans())
+        lines = text.splitlines()
+        assert lines[0].startswith(f"trace {TRACE} · 3 spans")
+        assert len(lines) == 4
+
+    def test_children_indent_under_parent(self):
+        lines = render_waterfall(_request_spans()).splitlines()
+        assert lines[1].startswith("serve.request")
+        assert lines[2].startswith("  queue.wait")
+        assert lines[3].startswith("  kernel")
+
+    def test_attributes_surface_inline(self):
+        text = render_waterfall(_request_spans())
+        assert "status=ok rung=fused" in text
+        assert "backend=numpy" in text
+
+    def test_orphan_parent_treated_as_root(self):
+        spans = [
+            _span("lonely", 0.0, 0.1, "a" * 16, parent="9" * 16)
+        ]
+        lines = render_waterfall(spans).splitlines()
+        assert lines[1].startswith("lonely")
+
+    def test_bars_stay_within_width(self):
+        for width in (60, 100, 160):
+            for line in render_waterfall(
+                _request_spans(), width=width
+            ).splitlines()[1:]:
+                bar = line.split("ms")[0]
+                assert "|" in bar
+
+
+class TestMainFromFile:
+    @pytest.fixture()
+    def trace_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with open(path, "w", encoding="utf-8") as handle:
+            for span in _request_spans():
+                handle.write(json.dumps(span) + "\n")
+        return str(path)
+
+    def test_render_default_picks_largest_trace(
+        self, trace_file, capsys
+    ):
+        assert main(["--trace-file", trace_file]) == 0
+        out = capsys.readouterr().out
+        assert f"trace {TRACE}" in out
+        assert "serve.request" in out
+
+    def test_render_explicit_trace_id(self, trace_file, capsys):
+        assert main([TRACE, "--trace-file", trace_file]) == 0
+        assert "3 spans" in capsys.readouterr().out
+
+    def test_list_mode(self, trace_file, capsys):
+        assert main(["--trace-file", trace_file, "--list"]) == 0
+        assert f"{TRACE}  3 spans" in capsys.readouterr().out
+
+    def test_unknown_trace_id_fails(self, trace_file, capsys):
+        assert main(["f" * 32, "--trace-file", trace_file]) == 1
+        assert "not found" in capsys.readouterr().err
+
+    def test_empty_file_fails(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["--trace-file", str(empty)]) == 1
+        assert "no traced spans" in capsys.readouterr().err
+
+    def test_source_is_required(self):
+        with pytest.raises(SystemExit):
+            main([TRACE])
+
+
+class TestMainFromUrl:
+    def test_renders_live_trace(self, capsys):
+        registry = MetricsRegistry()
+        ctx = TraceContext.root()
+        with use_trace_context(ctx):
+            with registry.span("serve.request", status="ok"):
+                pass
+        with MetricsServer(registry, port=0) as server:
+            code = main([ctx.trace_id, "--url", server.url])
+        assert code == 0
+        assert "serve.request" in capsys.readouterr().out
+
+    def test_missing_trace_id_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--url", "http://127.0.0.1:1"])
+
+    def test_unknown_trace_fails_cleanly(self, capsys):
+        registry = MetricsRegistry()
+        with MetricsServer(registry, port=0) as server:
+            code = main(["0" * 32, "--url", server.url])
+        assert code == 1
+        assert "failed to fetch" in capsys.readouterr().err

@@ -42,6 +42,24 @@ class TestRequestFromRecord:
         with pytest.raises(ReproError, match="population"):
             request_from_record({"seed": 1})
 
+    def test_trace_context_field_joins_upstream_trace(self):
+        from repro.obs import TraceContext
+
+        upstream = TraceContext.root()
+        request = request_from_record(
+            {
+                "population": 100,
+                "trace_context": upstream.to_dict(),
+            }
+        )
+        assert request.trace_context == upstream
+
+    def test_malformed_trace_context_rejected(self):
+        with pytest.raises(ReproError, match="trace_context"):
+            request_from_record(
+                {"population": 100, "trace_context": "not-a-dict"}
+            )
+
     def test_unknown_fields_rejected(self):
         with pytest.raises(ReproError, match="bogus"):
             request_from_record({"population": 10, "bogus": 1})
@@ -80,6 +98,82 @@ class TestLoadgenCli:
         record = json.loads(capsys.readouterr().out)
         assert record["requests"] == 16
         assert record["failures"] == 0
+
+    def test_trace_out_writes_renderable_span_file(
+        self, capsys, tmp_path
+    ):
+        from repro.obs.traceview import available_traces, load_trace_file
+
+        trace_path = tmp_path / "trace.jsonl"
+        code = main(
+            [
+                "loadgen",
+                "--requests",
+                "4",
+                "--population",
+                "300",
+                "--rounds",
+                "8",
+                "--time-scale",
+                "0",
+                "--json",
+                "--trace-out",
+                str(trace_path),
+            ]
+        )
+        assert code == 0
+        spans = load_trace_file(str(trace_path))
+        traces = available_traces(spans)
+        assert len(traces) == 4
+        # Each request's trace carries the full ladder of spans.
+        assert all(count >= 6 for _, count in traces)
+        code = main(
+            ["traceview", "--trace-file", str(trace_path), "--list"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert traces[0][0] in out
+
+    def test_metrics_port_exposes_live_endpoint(self, capsys):
+        import urllib.request
+        from unittest import mock
+
+        captured = {}
+        original_start = __import__(
+            "repro.obs.http", fromlist=["MetricsServer"]
+        ).MetricsServer.start
+
+        def recording_start(self):
+            result = original_start(self)
+            captured["url"] = self.url
+            with urllib.request.urlopen(
+                self.url + "/healthz", timeout=5
+            ) as response:
+                captured["healthz"] = json.loads(response.read())
+            return result
+
+        with mock.patch(
+            "repro.obs.http.MetricsServer.start", recording_start
+        ):
+            code = main(
+                [
+                    "loadgen",
+                    "--requests",
+                    "4",
+                    "--population",
+                    "300",
+                    "--rounds",
+                    "8",
+                    "--time-scale",
+                    "0",
+                    "--json",
+                    "--metrics-port",
+                    "0",
+                ]
+            )
+        assert code == 0
+        assert captured["healthz"]["status"] == "ok"
+        assert "listening on" in capsys.readouterr().err
 
     def test_text_run_and_prom_out(self, capsys, tmp_path):
         prom = tmp_path / "serve.prom"

@@ -1,0 +1,310 @@
+"""End-to-end request tracing through the serve tier.
+
+Every request answered with a live registry carries one distributed
+trace: a ``serve.request`` root span (status + degradation rung) with
+``admission`` / ``queue.wait`` / ``fusion`` / ``kernel`` / ``respond``
+children, a ``trace_id`` echoed on the response, and a bucket exemplar
+on the latency histogram pointing back at the trace.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.api import EstimateRequest
+from repro.obs import MetricsRegistry, TraceContext, use_trace_context
+from repro.serve import EstimationService, ServiceConfig, run_requests
+
+#: Child spans every successfully fused request contributes.
+FUSED_CHILD_SPANS = {
+    "admission",
+    "queue.wait",
+    "fusion",
+    "kernel",
+    "respond",
+}
+
+
+def _request(seed, tenant="default", **overrides):
+    defaults = dict(
+        population=400, seed=seed, rounds=16, population_seed=1
+    )
+    defaults.update(overrides)
+    return EstimateRequest(tenant=tenant, **defaults)
+
+
+def _spans_by_trace(registry):
+    by_trace = {}
+    for record in registry.trace:
+        if record.trace_id is not None:
+            by_trace.setdefault(record.trace_id, []).append(record)
+    return by_trace
+
+
+def _root(spans):
+    roots = [span for span in spans if span.name == "serve.request"]
+    assert len(roots) == 1
+    return roots[0]
+
+
+class TestFusedRequestTrace:
+    def test_every_request_gets_a_complete_span_set(self):
+        registry = MetricsRegistry()
+        requests = [_request(s) for s in range(4)]
+        responses = run_requests(
+            requests, registry=registry, concurrency=4
+        )
+        by_trace = _spans_by_trace(registry)
+        assert len(by_trace) == 4
+        assert {r.trace_id for r in responses} == set(by_trace)
+        for trace_id, spans in by_trace.items():
+            names = {span.name for span in spans}
+            assert names == FUSED_CHILD_SPANS | {"serve.request"}
+            root = _root(spans)
+            assert root.parent_id is None
+            assert root.attributes["status"] == "ok"
+            assert root.attributes["rung"] == "fused"
+            for span in spans:
+                if span is not root:
+                    assert span.parent_id == root.span_id
+
+    def test_kernel_span_names_backend_and_group(self):
+        registry = MetricsRegistry()
+        run_requests(
+            [_request(1)], registry=registry, concurrency=1
+        )
+        kernel = next(
+            span for span in registry.trace if span.name == "kernel"
+        )
+        assert kernel.attributes["backend"]
+        assert kernel.attributes["group_size"] >= 1
+        assert kernel.attributes["protocol"].lower() == "pet"
+        fusion = next(
+            span for span in registry.trace if span.name == "fusion"
+        )
+        assert fusion.attributes["group_size"] >= 1
+
+    def test_latency_exemplars_point_at_response_traces(self):
+        registry = MetricsRegistry()
+        responses = run_requests(
+            [_request(s) for s in range(4)],
+            registry=registry,
+            concurrency=4,
+        )
+        latency = registry.histogram("serve.request.latency_seconds")
+        assert latency.exemplars
+        exemplar_traces = {
+            exemplar[0] for exemplar in latency.exemplars.values()
+        }
+        assert exemplar_traces <= {r.trace_id for r in responses}
+
+    def test_tracing_never_perturbs_estimates(self):
+        """Trace ids come from os.urandom, not the seeded streams —
+        traced and untraced runs answer bit-identically."""
+        traced_registry = MetricsRegistry()
+        requests = [_request(s) for s in (1, 2, 3)]
+        traced = run_requests(
+            requests, registry=traced_registry, concurrency=3
+        )
+        untraced = run_requests(
+            requests,
+            config=ServiceConfig(trace_requests=False),
+            registry=MetricsRegistry(),
+            concurrency=3,
+        )
+        for a, b in zip(traced, untraced):
+            assert a.result.n_hat == b.result.n_hat
+            assert a.result.total_slots == b.result.total_slots
+
+
+class TestTraceJoin:
+    def test_request_trace_context_is_joined_not_replaced(self):
+        upstream = TraceContext.root()
+        registry = MetricsRegistry()
+        responses = run_requests(
+            [_request(1, trace_context=upstream)],
+            registry=registry,
+            concurrency=1,
+        )
+        assert responses[0].trace_id == upstream.trace_id
+        root = _root(registry.trace)
+        assert root.trace_id == upstream.trace_id
+        assert root.parent_id == upstream.span_id
+
+    def test_ambient_context_joined_when_request_carries_none(self):
+        registry = MetricsRegistry()
+        ambient = TraceContext.root()
+        config = ServiceConfig(tick_seconds=0)
+
+        async def main():
+            async with EstimationService(
+                config=config, registry=registry
+            ) as service:
+                with use_trace_context(ambient):
+                    return await service.submit(_request(1))
+
+        response = asyncio.run(main())
+        assert response.trace_id == ambient.trace_id
+
+
+class TestTracingSwitchedOff:
+    def test_trace_requests_false_records_no_request_spans(self):
+        registry = MetricsRegistry()
+        responses = run_requests(
+            [_request(1)],
+            config=ServiceConfig(trace_requests=False),
+            registry=registry,
+            concurrency=1,
+        )
+        assert responses[0].status == "ok"
+        assert responses[0].trace_id is None
+        assert all(
+            record.trace_id is None for record in registry.trace
+        )
+        assert not any(
+            record.name == "serve.request"
+            for record in registry.trace
+        )
+        # Metrics still flow: only the trace layer is off.
+        assert registry.counter("serve.requests.ok").value == 1
+
+    def test_no_registry_means_no_trace_id(self):
+        responses = run_requests([_request(1)], concurrency=1)
+        assert responses[0].trace_id is None
+
+
+class TestDegradationRungsOnRoot:
+    def test_backpressure_rejection_traced(self):
+        registry = MetricsRegistry()
+        config = ServiceConfig(max_queue_depth=1, tick_seconds=0.1)
+
+        async def main():
+            async with EstimationService(
+                config=config, registry=registry
+            ) as service:
+                return await asyncio.gather(
+                    *(service.submit(_request(s)) for s in range(3))
+                )
+
+        responses = asyncio.run(main())
+        rejected = [r for r in responses if r.status == "rejected"]
+        assert rejected
+        roots = [
+            span
+            for span in registry.trace
+            if span.name == "serve.request"
+            and span.attributes["status"] == "rejected"
+        ]
+        assert len(roots) == len(rejected)
+        for root in roots:
+            assert root.attributes["rung"] == "backpressure"
+            assert root.attributes["reason"] == "queue_full"
+        assert {r.trace_id for r in rejected} == {
+            root.trace_id for root in roots
+        }
+
+    def test_deadline_expiry_traced_with_reason(self):
+        registry = MetricsRegistry()
+        config = ServiceConfig(tick_seconds=0.05)
+
+        async def main():
+            async with EstimationService(
+                config=config, registry=registry
+            ) as service:
+                return await service.submit(
+                    _request(1, deadline=1e-9)
+                )
+
+        response = asyncio.run(main())
+        assert response.status == "expired"
+        root = _root(
+            [
+                span
+                for span in registry.trace
+                if span.trace_id == response.trace_id
+            ]
+        )
+        assert root.attributes["rung"] == "deadline_expired"
+        assert "deadline" in root.attributes["reason"]
+
+    def test_degraded_answer_traced_with_sampled_kernel(self):
+        registry = MetricsRegistry()
+        config = ServiceConfig(
+            max_batch_size=4, degrade_queue_depth=0, tick_seconds=0.01
+        )
+        responses = run_requests(
+            [
+                _request(s, population=20_000, rounds=64)
+                for s in range(12)
+            ],
+            config=config,
+            registry=registry,
+            concurrency=12,
+        )
+        degraded = [r for r in responses if r.status == "degraded"]
+        assert degraded
+        by_trace = _spans_by_trace(registry)
+        for response in degraded:
+            spans = by_trace[response.trace_id]
+            root = _root(spans)
+            assert root.attributes["rung"] == "degraded_sampled"
+            assert "backlog" in root.attributes["reason"]
+            kernel = next(
+                span for span in spans if span.name == "kernel"
+            )
+            assert kernel.attributes["backend"] == "sampled"
+
+    def test_resolve_error_traced(self):
+        registry = MetricsRegistry()
+        responses = run_requests(
+            [
+                EstimateRequest(population=400, seed=1, rounds=0)
+            ],  # invalid rounds
+            registry=registry,
+            concurrency=1,
+        )
+        assert responses[0].status == "error"
+        root = _root(
+            [
+                span
+                for span in registry.trace
+                if span.trace_id == responses[0].trace_id
+            ]
+        )
+        assert root.attributes["rung"] == "resolve_error"
+        assert root.attributes["reason"]
+
+
+class TestServeSlo:
+    def test_ok_requests_leave_budget_intact(self):
+        registry = MetricsRegistry()
+        run_requests(
+            [_request(s) for s in range(4)],
+            registry=registry,
+            concurrency=4,
+        )
+        # The service attaches a tracker and force-publishes at stop.
+        assert registry.slo is not None
+        assert registry.gauge("serve.slo.burn_rate_fast").value == 0.0
+        assert registry.gauge("serve.slo.good_fast").value == 4
+        assert (
+            registry.gauge("serve.slo.budget_remaining_fast").value
+            == 1.0
+        )
+
+    def test_non_ok_answers_burn_budget(self):
+        registry = MetricsRegistry()
+        config = ServiceConfig(tick_seconds=0.05)
+
+        async def main():
+            async with EstimationService(
+                config=config, registry=registry
+            ) as service:
+                return await asyncio.gather(
+                    service.submit(_request(1, deadline=1e-9)),
+                    service.submit(_request(2)),
+                )
+
+        asyncio.run(main())
+        assert registry.gauge("serve.slo.bad_fast").value == 1
+        assert registry.gauge("serve.slo.burn_rate_fast").value > 0.0
