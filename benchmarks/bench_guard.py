@@ -103,9 +103,17 @@ multi-tenant requests at concurrency 32) is re-served on this machine
   scheduling is noisy on shared CI hardware; the absolute floor is the
   binding contract) below the committed figure,
 * the p99 latency read from the service's obs histogram is not a
-  finite positive figure, or
-* the committed record itself claims a sub-floor speedup or a
-  non-bit-identical run.
+  finite positive figure,
+* any cell of the sharded identity matrix (shards in {1, 2, 4} x
+  cache {on, off}) stops matching the sequential results — identity
+  binds on every machine; the sharded >= 2x throughput floor binds
+  only when the machine has >= 4 CPUs (skipped, not failed, below
+  that — same policy as the numba microbench floor),
+* the warm cache replay is not a 100 % hit, not bit-identical to its
+  cold pass, or slower than the absolute 10x replay floor, or
+* the committed record itself claims a sub-floor speedup, a
+  non-bit-identical run, a bad identity-matrix cell, or is missing
+  the sharded/cache sections or its cpu/backend fingerprint.
 
 ``--json-out`` in this mode writes the fresh measurements for upload
 as a CI artifact.
@@ -593,7 +601,7 @@ def run_backends_guard(args: argparse.Namespace) -> int:
 
 
 def run_serve_guard(args: argparse.Namespace) -> int:
-    """``--serve`` mode: coalescing identity + the 3x throughput floor."""
+    """``--serve`` mode: coalescing/sharding identity + the floors."""
     import math
 
     import bench_serve as bench
@@ -620,6 +628,63 @@ def run_serve_guard(args: argparse.Namespace) -> int:
         failures.append(
             f"committed record claims only {recorded_speedup:.2f}x; "
             f"the service's floor is {bench.SERVE_FLOOR:.1f}x"
+        )
+    # A record regenerated without the sharded/cache legs (or before
+    # the environment carried its hardware fingerprint) must not pass.
+    environment = baseline.get("environment", {})
+    for key in ("cpu_count", "backend"):
+        if key not in environment:
+            failures.append(
+                f"committed record's environment is missing {key!r}; "
+                f"regenerate bench_serve"
+            )
+    for section in ("sharded", "cached_replay", "identity_matrix"):
+        if section not in baseline:
+            failures.append(
+                f"committed record is missing the {section!r} "
+                f"section; regenerate bench_serve"
+            )
+    recorded_matrix = baseline.get("identity_matrix", {})
+    bad_cells = [
+        cell for cell, ok in recorded_matrix.items() if ok is not True
+    ]
+    if bad_cells:
+        failures.append(
+            f"committed record claims non-identical sharded cells: "
+            f"{bad_cells}"
+        )
+    recorded_replay = baseline.get("cached_replay", {})
+    if recorded_replay:
+        if recorded_replay.get("bit_identical") is not True:
+            failures.append(
+                "committed record claims a non-bit-identical cache "
+                "replay"
+            )
+        if float(recorded_replay.get("hit_rate", 0.0)) < 1.0:
+            failures.append(
+                f"committed record claims a "
+                f"{recorded_replay.get('hit_rate')!r} replay hit "
+                f"rate; the cache contract is 100%"
+            )
+        if (
+            float(recorded_replay.get("speedup", 0.0))
+            < bench.CACHE_FLOOR
+        ):
+            failures.append(
+                f"committed record claims only "
+                f"{recorded_replay.get('speedup')}x cached replay; "
+                f"the floor is {bench.CACHE_FLOOR:.0f}x"
+            )
+    recorded_sharded = baseline.get("sharded", {})
+    if recorded_sharded.get("floor_enforced") and (
+        float(recorded_sharded.get("speedup_vs_single_process", 0.0))
+        < bench.SHARD_FLOOR
+    ):
+        failures.append(
+            f"committed record enforces the sharded floor but claims "
+            f"only "
+            f"{recorded_sharded.get('speedup_vs_single_process')}x "
+            f"(floor {bench.SHARD_FLOOR:.1f}x)"
         )
 
     fresh = bench.measure_all()
@@ -649,6 +714,54 @@ def run_serve_guard(args: argparse.Namespace) -> int:
             f"positive figure: {p99!r}"
         )
 
+    # --- sharded identity + floor.  Bit-identity across every shards
+    # x cache combination is the binding contract everywhere; the
+    # throughput floor only binds on machines with cores to shard
+    # across (same skip-not-fail policy as the numba microbench).
+    fresh_matrix = fresh["identity_matrix"]
+    fresh_bad = [
+        cell for cell, ok in fresh_matrix.items() if ok is not True
+    ]
+    if fresh_bad:
+        failures.append(
+            f"sharded responses diverged from sequential serving on: "
+            f"{fresh_bad}"
+        )
+    sharded = fresh["sharded"]
+    shard_speedup = float(sharded["speedup_vs_single_process"])
+    cpu_count = int(fresh["environment"]["cpu_count"])
+    if sharded["floor_enforced"]:
+        if shard_speedup < bench.SHARD_FLOOR:
+            failures.append(
+                f"sharded speedup {shard_speedup:.2f}x is below the "
+                f"absolute {bench.SHARD_FLOOR:.1f}x floor on a "
+                f"{cpu_count}-cpu machine"
+            )
+    else:
+        print(
+            f"only {cpu_count} cpu(s) here (< "
+            f"{bench.SHARD_MIN_CPUS}); sharded throughput floor "
+            f"skipped, identity matrix still enforced"
+        )
+
+    # --- cached replay: 100% hits, bit-identical, >= the floor.
+    replay = fresh["cached_replay"]
+    if not replay["bit_identical"]:
+        failures.append(
+            "warm cache replay is no longer bit-identical to the "
+            "cold pass"
+        )
+    if float(replay["hit_rate"]) < 1.0:
+        failures.append(
+            f"cache replay hit rate {replay['hit_rate']:.0%} is "
+            f"below 100%"
+        )
+    if float(replay["speedup"]) < bench.CACHE_FLOOR:
+        failures.append(
+            f"cached replay speedup {replay['speedup']:.1f}x is "
+            f"below the absolute {bench.CACHE_FLOOR:.0f}x floor"
+        )
+
     print(
         f"sequential {fresh['sequential']['seconds']:.3f}s  "
         f"coalesced {coalesced['seconds']:.3f}s  "
@@ -662,6 +775,26 @@ def run_serve_guard(args: argparse.Namespace) -> int:
         f"p99={p99 * 1e3:.2f}ms  fused "
         f"{coalesced['fused_requests']} requests into "
         f"{coalesced['fusion_groups']} kernel groups"
+    )
+    # The canonical figures are machine-relative: this machine's
+    # baseline over this machine's optimized leg — the committed
+    # numbers are the same ratios on the box that recorded them, not
+    # portable constants.
+    print(
+        f"canonical serve figures (machine-relative, "
+        f"{cpu_count} cpus, backend "
+        f"{fresh['environment']['backend']}): coalesced "
+        f"{fresh['speedup']:.2f}x  sharded x{sharded['shards']} "
+        f"{shard_speedup:.2f}x (floor enforced: "
+        f"{sharded['floor_enforced']})  cached replay "
+        f"{float(replay['speedup']):.1f}x at "
+        f"{float(replay['hit_rate']):.0%} hits"
+    )
+    print(
+        f"identity matrix: "
+        f"{sum(1 for ok in fresh_matrix.values() if ok)}/"
+        f"{len(fresh_matrix)} shards x cache cells identical to "
+        f"sequential"
     )
 
     if args.json_out is not None:

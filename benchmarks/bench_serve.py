@@ -1,51 +1,83 @@
 #!/usr/bin/env python
-"""Benchmark the micro-batching service against sequential serving.
+"""Benchmark the serving tier: coalescing, sharding, and the cache.
 
-The workload is the ISSUE's acceptance shape: 32-way concurrency over
-a multi-tenant request mix (4 reader fields, shared populations per
-field, distinct request seeds).  Two legs serve the *same* requests:
+The workload is the acceptance shape shared by every leg: 128
+multi-tenant requests (4 reader fields, shared populations per field,
+distinct request seeds).  Five measurements serve the *same* requests:
 
 * **sequential** — the thin-facade path, one
   ``execute_request(resolve_request(...))`` at a time with a shared
-  population cache (so the comparison isolates kernel coalescing, not
+  population cache (so the comparison isolates scheduling, not
   population synthesis);
 * **coalesced** — :func:`repro.serve.run_requests` at concurrency 32:
   submissions land in the service queue, the scheduler drains ticks,
-  and compatible requests fuse into shared batched-kernel calls.
+  and compatible requests fuse into shared batched-kernel calls;
+* **single_process_c64** — the same in-process service at concurrency
+  64, the apples-to-apples baseline for the sharded leg;
+* **sharded** — :func:`repro.serve.run_sharded` with
+  ``SHARD_COUNT`` worker processes behind the hash router at
+  concurrency 64.  The ``>= SHARD_FLOOR`` speedup claim only holds
+  when the machine has cores to shard across, so the record carries
+  ``floor_enforced = cpu_count >= SHARD_MIN_CPUS`` and the guard
+  skips (not fails) the floor on smaller boxes — same policy as the
+  numba microbench floor;
+* **cached_replay** — the same requests served twice through one
+  service: the cold pass computes, the warm pass must be a 100 %
+  idempotent-cache hit, bit-identical and at least ``CACHE_FLOOR``
+  times faster.
 
-Because coalescing is bit-identical by construction, the benchmark
-also *verifies* it: every coalesced response's estimate must equal the
-sequential result for the same seed, and the record refuses a
-``speedup`` claim when identity fails.  Latency percentiles come from
-the service's own ``serve.request.latency_seconds`` histogram (the
-fixed log2 obs grid), not from ad-hoc timing, so the committed p99 is
-the same figure a Prometheus scrape would report.
+Because sharding and caching are bit-identical by construction, the
+benchmark also *verifies* them: the ``identity_matrix`` re-serves the
+workload for every shards × cache combination in {1, 2, 4} × {on, off}
+and records whether each run matched the sequential results
+element-wise.  The guard refuses any record with a false cell.
 
 Run to regenerate the committed record::
 
     PYTHONPATH=src python benchmarks/bench_serve.py
 
 ``bench_guard --serve`` re-measures this workload and enforces the
-absolute >= 3x floor plus a machine-relative bound against
-``BENCH_serve.json``.
+floors plus a machine-relative bound against ``BENCH_serve.json``.
 """
 
 from __future__ import annotations
 
+import asyncio
 import json
+import os
 import platform
 import time
 from pathlib import Path
 
 from repro.api import EstimateRequest, execute_request, resolve_request
 from repro.obs import MetricsRegistry
-from repro.serve import ServiceConfig, run_requests
+from repro.serve import (
+    EstimationService,
+    ServiceConfig,
+    run_requests,
+    run_sharded,
+)
+from repro.sim.backends import active_backend
 
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
 
 #: The ISSUE's stated throughput floor: coalesced serving must beat
 #: sequential serving by at least this factor at concurrency 32.
 SERVE_FLOOR = 3.0
+
+#: Sharded serving must beat the single-process service by at least
+#: this factor at concurrency 64 — on machines with enough cores.
+SHARD_FLOOR = 2.0
+
+#: Cores below which the sharded floor is recorded but not enforced
+#: (worker processes time-slice one core and the ratio is meaningless).
+SHARD_MIN_CPUS = 4
+
+#: Worker processes in the sharded leg.
+SHARD_COUNT = 4
+
+#: A warm cache replay must beat its own cold pass by at least this.
+CACHE_FLOOR = 10.0
 
 #: The acceptance workload.
 WORKLOAD = {
@@ -75,6 +107,26 @@ def build_requests() -> list[EstimateRequest]:
     ]
 
 
+def _service_config(cache: bool = True) -> ServiceConfig:
+    return ServiceConfig(
+        max_queue_depth=WORKLOAD["requests"],
+        max_batch_size=WORKLOAD["concurrency"],
+        tenant_quota=WORKLOAD["requests"],
+        tick_seconds=0.001,
+        cache=cache,
+    )
+
+
+def _identical(responses, results) -> bool:
+    """Element-wise response/result identity on the estimate view."""
+    return all(
+        response.status == "ok"
+        and response.result.n_hat == result.n_hat
+        and response.result.total_slots == result.total_slots
+        for response, result in zip(responses, results)
+    )
+
+
 def time_sequential(requests: list[EstimateRequest]):
     """One request at a time through the facade's resolve/execute path."""
     cache: dict = {}
@@ -88,28 +140,92 @@ def time_sequential(requests: list[EstimateRequest]):
     return time.perf_counter() - start, results
 
 
-def time_coalesced(requests: list[EstimateRequest]):
+def time_coalesced(requests: list[EstimateRequest], concurrency: int):
     """The same requests through the micro-batching service."""
     registry = MetricsRegistry()
-    config = ServiceConfig(
-        max_queue_depth=WORKLOAD["requests"],
-        max_batch_size=WORKLOAD["concurrency"],
-        tenant_quota=WORKLOAD["requests"],
-        tick_seconds=0.001,
-    )
     start = time.perf_counter()
     responses = run_requests(
         requests,
-        config=config,
+        config=_service_config(),
         registry=registry,
-        concurrency=WORKLOAD["concurrency"],
+        concurrency=concurrency,
     )
     return time.perf_counter() - start, responses, registry
 
 
+def time_sharded(
+    requests: list[EstimateRequest],
+    shards: int,
+    concurrency: int,
+    cache: bool = True,
+):
+    """The same requests through N worker processes behind the router."""
+    registry = MetricsRegistry()
+    start = time.perf_counter()
+    responses = run_sharded(
+        requests,
+        shards=shards,
+        config=_service_config(cache=cache),
+        registry=registry,
+        concurrency=concurrency,
+    )
+    return time.perf_counter() - start, responses, registry
+
+
+def time_cached_replay(requests: list[EstimateRequest]):
+    """Cold pass then warm replay through ONE service instance.
+
+    The warm pass hits the idempotent result cache on every request:
+    same keys, no kernel work, byte-identical responses.  Submissions
+    are gated at the workload concurrency — flooding the whole batch
+    at once would push the queue past ``degrade_depth`` and the
+    degraded answers would (correctly) never enter the cache.
+    """
+    registry = MetricsRegistry()
+
+    async def _main():
+        service = EstimationService(
+            config=_service_config(), registry=registry
+        )
+        gate = asyncio.Semaphore(WORKLOAD["concurrency"])
+
+        async def _one(request):
+            async with gate:
+                return await service.submit(request)
+
+        async with service:
+            start = time.perf_counter()
+            cold = await asyncio.gather(
+                *(_one(request) for request in requests)
+            )
+            cold_seconds = time.perf_counter() - start
+            start = time.perf_counter()
+            warm = await asyncio.gather(
+                *(_one(request) for request in requests)
+            )
+            warm_seconds = time.perf_counter() - start
+        return cold_seconds, list(cold), warm_seconds, list(warm)
+
+    cold_seconds, cold, warm_seconds, warm = asyncio.run(_main())
+    hits = int(registry.counter("serve.cache.hits").value)
+    bit_identical = all(
+        w.status == "ok" and w.result is c.result
+        for w, c in zip(warm, cold)
+    )
+    return {
+        "cold_seconds": round(cold_seconds, 4),
+        "warm_seconds": round(warm_seconds, 4),
+        "speedup": round(cold_seconds / warm_seconds, 2),
+        "hit_rate": round(hits / len(requests), 4),
+        "bit_identical": bit_identical,
+        "floor": CACHE_FLOOR,
+    }
+
+
 def measure_all(repeats: int = 3) -> dict:
-    """Best-of-``repeats`` timings for both legs, plus identity checks."""
+    """Best-of-``repeats`` timings for every leg, plus identity checks."""
     requests = build_requests()
+    cpu_count = os.cpu_count() or 1
 
     sequential_seconds = float("inf")
     results = None
@@ -123,19 +239,48 @@ def measure_all(repeats: int = 3) -> dict:
     responses = registry = None
     for _ in range(repeats):
         seconds, fresh_responses, fresh_registry = time_coalesced(
-            requests
+            requests, WORKLOAD["concurrency"]
         )
         coalesced_seconds = min(coalesced_seconds, seconds)
         responses = fresh_responses
         registry = fresh_registry
     assert responses is not None and registry is not None
 
-    bit_identical = all(
-        response.status == "ok"
-        and response.result.n_hat == result.n_hat
-        and response.result.total_slots == result.total_slots
-        for response, result in zip(responses, results)
-    )
+    single_c64_seconds = float("inf")
+    for _ in range(repeats):
+        seconds, c64_responses, _ = time_coalesced(requests, 64)
+        single_c64_seconds = min(single_c64_seconds, seconds)
+
+    sharded_seconds = float("inf")
+    sharded_responses = None
+    for _ in range(repeats):
+        seconds, fresh_responses, _ = time_sharded(
+            requests, SHARD_COUNT, 64
+        )
+        sharded_seconds = min(sharded_seconds, seconds)
+        sharded_responses = fresh_responses
+    assert sharded_responses is not None
+
+    cached_replay = time_cached_replay(requests)
+
+    # Identity matrix: every shards × cache combination must reproduce
+    # the sequential results exactly.  The timed sharded leg above
+    # already served (SHARD_COUNT, cache on); reuse it.
+    identity_matrix: dict[str, bool] = {}
+    for shards in (1, 2, 4):
+        for cache in (True, False):
+            label = f"shards={shards}/cache={'on' if cache else 'off'}"
+            if shards == SHARD_COUNT and cache:
+                matrix_responses = sharded_responses
+            else:
+                _, matrix_responses, _ = time_sharded(
+                    requests, shards, 64, cache=cache
+                )
+            identity_matrix[label] = _identical(
+                matrix_responses, results
+            )
+
+    bit_identical = _identical(responses, results)
     latency = registry.histogram("serve.request.latency_seconds")
     snapshot = registry.snapshot()["counters"]
     return {
@@ -160,12 +305,35 @@ def measure_all(repeats: int = 3) -> dict:
                 snapshot.get("serve.batch.groups", 0)
             ),
         },
+        "single_process_c64": {
+            "seconds": round(single_c64_seconds, 4),
+            "requests_per_second": round(
+                len(requests) / single_c64_seconds, 1
+            ),
+        },
+        "sharded": {
+            "shards": SHARD_COUNT,
+            "seconds": round(sharded_seconds, 4),
+            "requests_per_second": round(
+                len(requests) / sharded_seconds, 1
+            ),
+            "speedup_vs_single_process": round(
+                single_c64_seconds / sharded_seconds, 2
+            ),
+            "floor": SHARD_FLOOR,
+            "min_cpus": SHARD_MIN_CPUS,
+            "floor_enforced": cpu_count >= SHARD_MIN_CPUS,
+        },
+        "cached_replay": cached_replay,
+        "identity_matrix": identity_matrix,
         "speedup": round(sequential_seconds / coalesced_seconds, 2),
         "bit_identical": bit_identical,
         "floor": SERVE_FLOOR,
         "environment": {
             "python": platform.python_version(),
             "machine": platform.machine(),
+            "cpu_count": cpu_count,
+            "backend": active_backend().name,
         },
     }
 
@@ -174,6 +342,8 @@ def main() -> int:
     record = measure_all()
     OUTPUT.write_text(json.dumps(record, indent=2) + "\n")
     coalesced = record["coalesced"]
+    sharded = record["sharded"]
+    replay = record["cached_replay"]
     print(
         f"sequential: {record['sequential']['seconds']:.3f}s  "
         f"coalesced: {coalesced['seconds']:.3f}s  "
@@ -187,8 +357,35 @@ def main() -> int:
         f"fused {coalesced['fused_requests']} requests into "
         f"{coalesced['fusion_groups']} kernel groups"
     )
+    print(
+        f"single-process c64: "
+        f"{record['single_process_c64']['seconds']:.3f}s  "
+        f"sharded x{sharded['shards']}: {sharded['seconds']:.3f}s  "
+        f"speedup: {sharded['speedup_vs_single_process']:.2f}x "
+        f"(floor {sharded['floor']:.1f}x, "
+        f"enforced={sharded['floor_enforced']} at "
+        f"{record['environment']['cpu_count']} cpus)"
+    )
+    print(
+        f"cached replay: cold {replay['cold_seconds']:.3f}s  warm "
+        f"{replay['warm_seconds']:.4f}s  speedup "
+        f"{replay['speedup']:.1f}x (floor {replay['floor']:.1f}x)  "
+        f"hit_rate={replay['hit_rate']:.0%}  "
+        f"bit_identical={replay['bit_identical']}"
+    )
+    matrix_ok = all(record["identity_matrix"].values())
+    print(
+        "identity matrix (shards x cache vs sequential): "
+        + ("all identical" if matrix_ok else "MISMATCH")
+    )
     print(f"record written to {OUTPUT}")
-    return 0 if record["bit_identical"] else 1
+    ok = (
+        record["bit_identical"]
+        and matrix_ok
+        and replay["bit_identical"]
+        and replay["hit_rate"] == 1.0
+    )
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

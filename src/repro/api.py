@@ -164,6 +164,50 @@ class EstimateRequest:
         return "&".join(parts)
 
 
+def request_cache_key(request: EstimateRequest) -> tuple | None:
+    """Canonical idempotency key of a request, or ``None`` if uncacheable.
+
+    Two requests with the same key are guaranteed to produce
+    byte-identical ``ok`` results: the key captures every input the
+    estimate depends on — protocol + canonical config, the population
+    fingerprint (synthesized size + ``population_seed``), the request
+    seed, and the round plan inputs (explicit ``rounds`` or the
+    accuracy contract).  The serve tier's result cache
+    (:class:`repro.serve.cache.ResultCache`) answers repeat keys
+    without touching a kernel.
+
+    Uncacheable (returns ``None``): requests carrying a live ``rng``
+    (not replayable), unseeded requests, and explicit
+    populations/ID-iterables (their identity is the object, not a
+    cheap fingerprint).
+    """
+    if request.seed is None or request.rng is not None:
+        return None
+    if not isinstance(request.population, (int, np.integer)):
+        return None
+    accuracy = request.accuracy
+    return (
+        request.protocol,
+        tuple(
+            sorted(
+                (key, repr(value))
+                for key, value in request.config.items()
+            )
+        ),
+        (
+            int(request.population),
+            None
+            if request.population_seed is None
+            else int(request.population_seed),
+        ),
+        int(request.seed),
+        None if request.rounds is None else int(request.rounds),
+        None
+        if accuracy is None
+        else (float(accuracy.epsilon), float(accuracy.delta)),
+    )
+
+
 @dataclass
 class ResolvedRequest:
     """A validated execution plan for one :class:`EstimateRequest`.
@@ -180,6 +224,9 @@ class ResolvedRequest:
     rounds: int
     rng: np.random.Generator
     seed_provenance: str
+    #: Idempotency key from :func:`request_cache_key`; ``None`` when
+    #: the request is not replayable (live rng, explicit population).
+    cache_key: tuple | None = None
 
 
 def resolve_request(
@@ -258,6 +305,7 @@ def resolve_request(
         rounds=rounds,
         rng=rng,
         seed_provenance=request.seed_provenance(),
+        cache_key=request_cache_key(request),
     )
 
 

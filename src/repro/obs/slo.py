@@ -20,7 +20,13 @@ publishes gauges on the same registry:
 
 * ``serve.slo.burn_rate_fast`` / ``serve.slo.burn_rate_slow``
 * ``serve.slo.good_fast`` / ``serve.slo.bad_fast`` (window totals)
+* ``serve.slo.good_slow`` / ``serve.slo.bad_slow`` (window totals)
 * ``serve.slo.budget_remaining_fast`` (1 - burn_rate, floored at 0)
+
+Window totals are additive across processes, which is what lets the
+sharded router re-derive fleet-wide burn rates from per-shard
+snapshots via :func:`merge_slo_gauges` (ratios themselves cannot be
+merged as last-writer-wins gauges).
 
 A request is *good* when it resolved with status ``"ok"`` **and** met
 its deadline when one was set — degraded answers, rejections, expiries
@@ -167,12 +173,65 @@ class SloTracker:
         self._last_publish = now
         fast_good, fast_bad = self.fast.totals(now)
         fast_rate = self._rate(fast_good, fast_bad)
-        slow_rate = self._rate(*self.slow.totals(now))
+        slow_good, slow_bad = self.slow.totals(now)
+        slow_rate = self._rate(slow_good, slow_bad)
         registry.gauge("serve.slo.burn_rate_fast").set(fast_rate)
         registry.gauge("serve.slo.burn_rate_slow").set(slow_rate)
         registry.gauge("serve.slo.good_fast").set(fast_good)
         registry.gauge("serve.slo.bad_fast").set(fast_bad)
+        registry.gauge("serve.slo.good_slow").set(slow_good)
+        registry.gauge("serve.slo.bad_slow").set(slow_bad)
         registry.gauge("serve.slo.budget_remaining_fast").set(
             max(0.0, 1.0 - fast_rate)
         )
         registry.gauge("serve.slo.objective").set(self.objective)
+
+
+def merge_slo_gauges(registry, snapshots, objective=None) -> None:
+    """Recompute merged SLO gauges from per-shard snapshots.
+
+    Gauge merge semantics are last-writer-wins, which is wrong for
+    burn rates — a ratio cannot be merged as a gauge.  The sharded
+    router instead sums each shard's published good/bad *window
+    totals* (which are additive) and re-derives the aggregate burn
+    rates on its own registry, so the merged ``serve.slo.*`` gauges
+    describe fleet-wide budget consumption.
+
+    ``objective`` defaults to the first snapshot that published one
+    (shards share a ``ServiceConfig``, so they agree), falling back to
+    :data:`DEFAULT_OBJECTIVE`.
+    """
+    fast_good = fast_bad = slow_good = slow_bad = 0.0
+    for snapshot in snapshots:
+        # Accept RegistrySnapshot dataclasses and plain dicts alike.
+        gauges = getattr(snapshot, "gauges", None)
+        if gauges is None:
+            gauges = snapshot.get("gauges", {})
+        fast_good += gauges.get("serve.slo.good_fast", 0.0)
+        fast_bad += gauges.get("serve.slo.bad_fast", 0.0)
+        slow_good += gauges.get("serve.slo.good_slow", 0.0)
+        slow_bad += gauges.get("serve.slo.bad_slow", 0.0)
+        if objective is None:
+            objective = gauges.get("serve.slo.objective")
+    if objective is None:
+        objective = DEFAULT_OBJECTIVE
+
+    def _rate(good: float, bad: float) -> float:
+        total = good + bad
+        if total == 0:
+            return 0.0
+        return (bad / total) / (1.0 - objective)
+
+    fast_rate = _rate(fast_good, fast_bad)
+    registry.gauge("serve.slo.burn_rate_fast").set(fast_rate)
+    registry.gauge("serve.slo.burn_rate_slow").set(
+        _rate(slow_good, slow_bad)
+    )
+    registry.gauge("serve.slo.good_fast").set(fast_good)
+    registry.gauge("serve.slo.bad_fast").set(fast_bad)
+    registry.gauge("serve.slo.good_slow").set(slow_good)
+    registry.gauge("serve.slo.bad_slow").set(slow_bad)
+    registry.gauge("serve.slo.budget_remaining_fast").set(
+        max(0.0, 1.0 - fast_rate)
+    )
+    registry.gauge("serve.slo.objective").set(objective)

@@ -211,6 +211,40 @@ class AlohaEstimatorProtocol(CardinalityEstimatorProtocol):
             )
         )
 
+    def estimate_sampled(
+        self, n: int, rounds: int, rng: np.random.Generator
+    ) -> ProtocolResult:
+        """Law-exact Schoute sampling from the true size ``n``.
+
+        The serve tier's degraded rung: draw each frame's slot counts
+        as one ``Multinomial(n, uniform)`` throw instead of hashing
+        every tag, then read ``S + 2.39 C`` off the categories.  Same
+        statistic distribution as :meth:`estimate` at ``O(f)`` per
+        round independent of ``n``, but different randomness
+        consumption — results are not bit-identical.
+        """
+        if rounds < 1:
+            raise ConfigurationError(f"rounds must be >= 1, got {rounds}")
+        if n < 0:
+            raise ConfigurationError(f"population size must be >= 0, got {n}")
+        pvals = np.full(self.frame_size, 1.0 / self.frame_size)
+        counts = rng.multinomial(int(n), pvals, size=rounds)
+        singletons = (counts == 1).sum(axis=1)
+        collisions = (counts >= 2).sum(axis=1)
+        statistics = (
+            singletons + SCHOUTE_FACTOR * collisions
+        ).astype(np.float64)
+        n_hat = self.estimate_from_mean(float(statistics.mean()))
+        return self._observe_result(
+            ProtocolResult(
+                protocol=self.name,
+                n_hat=n_hat,
+                rounds=rounds,
+                total_slots=rounds * self.slots_per_round(),
+                per_round_statistics=statistics,
+            )
+        )
+
     def batched_engine(self) -> "AlohaBatchedEngine":
         """ALOHA's vectorized cell executor (slot-category counts)."""
         return AlohaBatchedEngine(self)

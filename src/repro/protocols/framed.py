@@ -137,6 +137,43 @@ class _ZeroFrameEstimator(CardinalityEstimatorProtocol):
             )
         )
 
+    def estimate_sampled(
+        self, n: int, rounds: int, rng: np.random.Generator
+    ) -> ProtocolResult:
+        """Law-exact zero-count sampling from the true size ``n``.
+
+        The serve tier's degraded rung: instead of hashing every tag
+        into a frame, draw each frame's occupancy directly —
+        participants ``B ~ Binomial(n, p)``, slot choices
+        ``Multinomial(B, uniform)`` — and count empty slots.  The
+        statistic's distribution matches :meth:`estimate` exactly
+        (``O(f)`` per frame independent of ``n``), but consumes
+        different randomness, so results are not bit-identical.
+        """
+        if rounds < 1:
+            raise ConfigurationError(f"rounds must be >= 1, got {rounds}")
+        if n < 0:
+            raise ConfigurationError(f"population size must be >= 0, got {n}")
+        draws = rounds * getattr(self, "frames_per_round", 1)
+        if self.persistence < 1.0:
+            participants = rng.binomial(int(n), self.persistence, size=draws)
+        else:
+            participants = np.full(draws, int(n))
+        pvals = np.full(self.frame_size, 1.0 / self.frame_size)
+        counts = rng.multinomial(participants, pvals)
+        zeros = (counts == 0).sum(axis=1).astype(np.float64)
+        zero_fraction = float(zeros.mean()) / self.frame_size
+        n_hat = self.estimate_from_zero_fraction(zero_fraction)
+        return self._observe_result(
+            ProtocolResult(
+                protocol=self.name,
+                n_hat=n_hat,
+                rounds=rounds,
+                total_slots=rounds * self.slots_per_round(),
+                per_round_statistics=zeros,
+            )
+        )
+
     def batched_engine(self) -> "ZeroFrameBatchedEngine":
         """The shared zero-frame vectorized cell executor."""
         return ZeroFrameBatchedEngine(self)

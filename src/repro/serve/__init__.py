@@ -21,6 +21,12 @@ Request-level SLO metrics (latency histogram on the fixed log2 grid,
 queue-depth gauge, per-tenant counters) land in the attached
 :class:`~repro.obs.MetricsRegistry`.
 
+Beyond one event loop, :class:`~repro.serve.shard.ShardedService`
+(:mod:`repro.serve.shard`) hash-routes admitted requests across N
+worker processes each running this service, and
+:class:`~repro.serve.cache.ResultCache` answers idempotent replays
+before any kernel — both preserve the bit-identity contract.
+
 :mod:`repro.serve.loadgen` generates deterministic Poisson/bursty
 traffic against the service; ``python -m repro serve`` / ``python -m
 repro loadgen`` are the CLI faces.  See docs/SERVING.md.
@@ -32,6 +38,7 @@ from .batching import (
     execute_degraded,
     execute_micro_batch,
 )
+from .cache import DEFAULT_CACHE_SIZE, ResultCache
 from .loadgen import (
     PATTERNS,
     LoadgenConfig,
@@ -42,11 +49,17 @@ from .loadgen import (
     summarize,
 )
 from .service import EstimationService, ServiceConfig, run_requests
+from .shard import ShardedService, route_shard, run_sharded
 
 __all__ = [
     "EstimationService",
     "ServiceConfig",
     "run_requests",
+    "ShardedService",
+    "route_shard",
+    "run_sharded",
+    "ResultCache",
+    "DEFAULT_CACHE_SIZE",
     "MicroBatchReport",
     "execute_micro_batch",
     "execute_degraded",

@@ -370,25 +370,29 @@ def execute_micro_batch(
 def degradable(resolved: ResolvedRequest) -> bool:
     """Whether the sampled fallback tier can serve this request.
 
-    The ladder's cheap rung is the exact gray-depth law
-    (:class:`~repro.sim.sampled.SampledSimulator`) — ``O(1)`` per round
-    in the population size, active-variant PET only.
+    The ladder's cheap rung draws per-round *statistics* from their
+    exact law instead of hashing every tag: active-variant PET through
+    :class:`~repro.sim.sampled.SampledSimulator`, and any protocol
+    exposing an ``estimate_sampled(n, rounds, rng)`` statistic law
+    (FNEB, LoF, USE/UPE/EZB, ALOHA).  Sampled laws need the true
+    population *size* only, so a request qualifies exactly when its
+    protocol has a law for it.
     """
     protocol = resolved.protocol
-    return (
-        isinstance(protocol, PetProtocol)
-        and not protocol.config.passive_tags
-    )
+    if isinstance(protocol, PetProtocol):
+        return not protocol.config.passive_tags
+    return callable(getattr(protocol, "estimate_sampled", None))
 
 
 def execute_degraded(resolved: ResolvedRequest):
     """Serve one request from the sampled tier (overload fallback).
 
-    Draws depths from their exact distribution instead of hashing the
-    population — constant work per round regardless of ``n``.  The
-    estimate follows the same law but is *not* bit-identical to the
-    vectorized tier (different randomness consumption), which is why
-    the service marks these responses ``degraded``.
+    Draws per-round statistics from their exact distribution instead
+    of hashing the population — cheap per round regardless of ``n``.
+    The estimate follows the same law but is *not* bit-identical to
+    the vectorized tier (different randomness consumption), which is
+    why the service marks these responses ``degraded`` and the result
+    cache never stores them.
     """
     from ..sim.sampled import SampledSimulator
 
@@ -396,6 +400,15 @@ def execute_degraded(resolved: ResolvedRequest):
     if not degradable(resolved):
         raise ConfigurationError(
             f"protocol {protocol.name!r} has no sampled fallback tier"
+        )
+    if not isinstance(protocol, PetProtocol):
+        result = protocol.estimate_sampled(
+            resolved.population.size, resolved.rounds, resolved.rng
+        )
+        # estimate_sampled already funnels through _observe_result;
+        # only the request's provenance stamp is missing.
+        return dataclasses.replace(
+            result, seed_provenance=resolved.seed_provenance
         )
     simulator = SampledSimulator(
         resolved.population.size,

@@ -1,0 +1,103 @@
+"""Cross-tick idempotent result cache for the estimation service.
+
+Identical idempotent requests — same protocol config, same population
+fingerprint, same seed, same accuracy contract — are the common case
+when many readers re-query the same field.  Without a cache every
+repeat re-runs a full kernel on some later tick; with one, a repeat is
+answered inside ``submit`` before it ever reaches the queue.
+
+The cache is a bounded LRU keyed on the canonical tuple
+:func:`repro.api.request_cache_key` derives (and
+:func:`~repro.api.resolve_request` stamps onto every
+:class:`~repro.api.ResolvedRequest` as ``cache_key``).  Because the
+key captures *every* input the estimate depends on, a hit is
+byte-identical to the cold run it replays — the service stores only
+``ok`` results from the fused/scalar path, never ``degraded`` ones
+(the sampled tier's randomness consumption differs run to run).
+
+The cache is **shard-local by design**: each
+:class:`~repro.serve.service.EstimationService` — one per worker shard
+in the sharded topology — owns its own instance, touched only from
+that service's event loop.  No cross-process locking ever enters the
+hot path; the router's group-affine hash routing makes repeats land on
+the shard that cached them.
+
+Counters on the service registry (merge/export-compatible):
+
+========================  =============================================
+``serve.cache.hits``      requests answered from the cache
+``serve.cache.misses``    cacheable requests that had to run a kernel
+``serve.cache.evictions`` entries dropped by the LRU bound
+``serve.cache.size``      gauge: live entries after each insert/evict
+========================  =============================================
+
+Disable per service with ``ServiceConfig(cache=False)`` (the kill
+switch); bound it with ``ServiceConfig(cache_size=...)``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..errors import ConfigurationError
+from ..obs.registry import MetricsRegistry
+from ..protocols.base import ProtocolResult
+
+#: Default LRU bound: entries are one small ProtocolResult each (a few
+#: hundred bytes of per-round statistics), so the default costs ~1 MB.
+DEFAULT_CACHE_SIZE = 1024
+
+
+class ResultCache:
+    """Bounded LRU of ``cache_key -> ProtocolResult`` (single-owner).
+
+    Not thread-safe on purpose: one instance belongs to one service's
+    event loop (shard-local), which is what keeps lookups lock-free.
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CACHE_SIZE,
+        registry: MetricsRegistry | None = None,
+    ):
+        if capacity < 1:
+            raise ConfigurationError(
+                f"cache capacity must be >= 1, got {capacity}"
+            )
+        self.capacity = capacity
+        self._registry = registry
+        self._entries: OrderedDict[tuple, ProtocolResult] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: tuple) -> ProtocolResult | None:
+        """The cached result for ``key``, counting the hit or miss."""
+        result = self._entries.get(key)
+        registry = self._registry
+        if result is None:
+            self.misses += 1
+            if registry:
+                registry.counter("serve.cache.misses").inc()
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        if registry:
+            registry.counter("serve.cache.hits").inc()
+        return result
+
+    def store(self, key: tuple, result: ProtocolResult) -> None:
+        """Insert (or refresh) ``key``, evicting the LRU entry at cap."""
+        registry = self._registry
+        self._entries[key] = result
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            if registry:
+                registry.counter("serve.cache.evictions").inc()
+        if registry:
+            registry.gauge("serve.cache.size").set(len(self._entries))

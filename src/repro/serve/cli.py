@@ -115,6 +115,8 @@ def _service_config(args: argparse.Namespace) -> ServiceConfig:
         tick_seconds=args.tick,
         tenant_quota=args.tenant_quota,
         retry_after_seconds=args.retry_after,
+        cache=args.cache,
+        cache_size=args.cache_size,
     )
 
 
@@ -148,6 +150,27 @@ def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
         type=float,
         default=ServiceConfig.retry_after_seconds,
         help="back-off hint (seconds) on backpressure rejections",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help=(
+            "worker shard processes behind the hash router; 1 runs"
+            " the single-process service in-process"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        dest="cache",
+        action="store_false",
+        help="disable the cross-tick idempotent result cache",
+    )
+    parser.add_argument(
+        "--cache-size",
+        type=int,
+        default=ServiceConfig.cache_size,
+        help="LRU bound (entries) of the per-shard result cache",
     )
     parser.add_argument(
         "--prom-out",
@@ -184,6 +207,49 @@ def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
             " (render with 'python -m repro traceview --trace-file')"
         ),
     )
+
+
+def _serve_stdin_sharded(service, lines) -> tuple[int, int]:
+    """Sharded sibling of :func:`_serve_stdin` (thread-based router).
+
+    Responses print from the collector's done-callbacks under a write
+    lock, so lines stay whole; ordering follows completion, with
+    ``request_id`` as the correlation handle, as in the async path.
+    """
+    import concurrent.futures
+    import threading
+
+    write_lock = threading.Lock()
+    futures = []
+    parse_failures = 0
+
+    def _emit(future) -> None:
+        response = future.result()
+        with write_lock:
+            print(json.dumps(response.to_dict()), flush=True)
+
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            request = request_from_record(json.loads(line))
+        except (ValueError, ReproError) as error:
+            parse_failures += 1
+            with write_lock:
+                print(
+                    json.dumps(
+                        {"status": "error", "detail": str(error)}
+                    ),
+                    flush=True,
+                )
+            continue
+        future = service.submit(request)
+        future.add_done_callback(_emit)
+        futures.append(future)
+    if futures:
+        concurrent.futures.wait(futures)
+    return len(futures), parse_failures
 
 
 async def _serve_stdin(
@@ -294,7 +360,19 @@ def serve_main(argv: list[str]) -> int:
 
     server = _start_metrics_server(args, registry)
     try:
-        answered, parse_failures = asyncio.run(_main())
+        if args.shards > 1:
+            from .shard import ShardedService
+
+            with ShardedService(
+                shards=args.shards,
+                config=service_config,
+                registry=registry,
+            ) as sharded:
+                answered, parse_failures = _serve_stdin_sharded(
+                    sharded, sys.stdin
+                )
+        else:
+            answered, parse_failures = asyncio.run(_main())
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         if server is not None:
@@ -371,6 +449,15 @@ def loadgen_main(argv: list[str]) -> int:
         "--seed", type=int, default=7, help="schedule seed"
     )
     parser.add_argument(
+        "--unique-seeds",
+        type=int,
+        default=None,
+        help=(
+            "cycle the stream through this many distinct request"
+            " identities (repeats become result-cache hits)"
+        ),
+    )
+    parser.add_argument(
         "--time-scale",
         type=float,
         default=1.0,
@@ -400,6 +487,7 @@ def loadgen_main(argv: list[str]) -> int:
         protocol=args.protocol,
         deadline=args.deadline,
         seed=args.seed,
+        unique_seeds=args.unique_seeds,
     )
     if args.dry_run:
         for arrival, request in build_schedule(config):
@@ -424,6 +512,7 @@ def loadgen_main(argv: list[str]) -> int:
             service_config=_service_config(args),
             registry=registry,
             time_scale=args.time_scale,
+            shards=args.shards,
         )
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -68,6 +68,13 @@ class LoadgenConfig:
         Optional relative deadline stamped on every request.
     seed:
         Root of all schedule randomness (arrivals and request seeds).
+    unique_seeds:
+        When set, only this many distinct request identities are
+        generated and the stream cycles through them — request
+        ``index`` replays identity ``index % unique_seeds`` exactly
+        (same seed, tenant, and population), which makes the repeats
+        idempotent result-cache hits.  ``None`` (default) keeps every
+        request distinct.
     """
 
     requests: int = 200
@@ -81,6 +88,7 @@ class LoadgenConfig:
     protocol: str = "pet"
     deadline: float | None = None
     seed: int = 7
+    unique_seeds: int | None = None
 
     def __post_init__(self) -> None:
         if self.requests < 1:
@@ -108,6 +116,11 @@ class LoadgenConfig:
             raise ConfigurationError(
                 f"tenants must be >= 1, got {self.tenants}"
             )
+        if self.unique_seeds is not None and self.unique_seeds < 1:
+            raise ConfigurationError(
+                f"unique_seeds must be >= 1 when given, got "
+                f"{self.unique_seeds}"
+            )
 
 
 def build_schedule(
@@ -129,11 +142,19 @@ def build_schedule(
     )
     schedule = []
     for index in range(config.requests):
-        tenant_index = index % config.tenants
+        # With unique_seeds set, the whole request identity (seed,
+        # tenant, population) is a function of the cycled identity —
+        # repeats are exact idempotent replays, i.e. cache hits.
+        identity = (
+            index % config.unique_seeds
+            if config.unique_seeds is not None
+            else index
+        )
+        tenant_index = identity % config.tenants
         request = EstimateRequest(
             population=config.population,
             protocol=config.protocol,
-            seed=int(request_seeds[index]),
+            seed=int(request_seeds[identity]),
             population_seed=1_000 + tenant_index,
             rounds=config.rounds,
             tenant=f"tenant-{tenant_index}",
@@ -191,6 +212,9 @@ class LoadReport:
     by_tenant: dict[str, int] = field(default_factory=dict)
     p50_seconds: float = float("nan")
     p99_seconds: float = float("nan")
+    shards: int = 1
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def throughput(self) -> float:
@@ -219,6 +243,9 @@ class LoadReport:
             "p50_seconds": self.p50_seconds,
             "p99_seconds": self.p99_seconds,
             "failures": self.failures,
+            "shards": self.shards,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
         }
 
     def render(self) -> str:
@@ -238,6 +265,8 @@ class LoadReport:
             ),
             f"  latency: p50={self.p50_seconds * 1e3:.2f}ms  "
             f"p99={self.p99_seconds * 1e3:.2f}ms",
+            f"  shards: {self.shards}  cache: "
+            f"hits={self.cache_hits} misses={self.cache_misses}",
         ]
         return "\n".join(lines)
 
@@ -246,6 +275,7 @@ def summarize(
     responses: list[EstimateResponse],
     wall_seconds: float,
     registry: MetricsRegistry,
+    shards: int = 1,
 ) -> LoadReport:
     """Fold responses plus the registry's histogram into a report."""
     by_status: dict[str, int] = {}
@@ -265,6 +295,11 @@ def summarize(
         by_tenant=by_tenant,
         p50_seconds=latency.quantile(0.50),
         p99_seconds=latency.quantile(0.99),
+        shards=shards,
+        cache_hits=int(registry.counter("serve.cache.hits").value),
+        cache_misses=int(
+            registry.counter("serve.cache.misses").value
+        ),
     )
 
 
@@ -273,17 +308,45 @@ def run_load(
     service_config: ServiceConfig | None = None,
     registry: MetricsRegistry | None = None,
     time_scale: float = 1.0,
+    shards: int = 1,
 ) -> LoadReport:
     """Generate, drive, and summarize one load run (sync entry).
 
     Builds the schedule, runs a fresh service for its duration, and
     reports the SLO view.  A real registry is attached even when the
     caller passes none, so the latency percentiles always exist.
+
+    ``shards > 1`` drives the same schedule through a
+    :class:`~repro.serve.shard.ShardedService` (N worker processes
+    behind the hash router) instead of one in-process service; the
+    report then reads from the *merged* registry.
     """
     config = config or LoadgenConfig()
     if registry is None:
         registry = MetricsRegistry()
     schedule = build_schedule(config)
+
+    if shards > 1:
+        from .shard import ShardedService
+
+        futures = []
+        with ShardedService(
+            shards=shards, config=service_config, registry=registry
+        ) as service:
+            start = time.perf_counter()
+            for arrival, request in schedule:
+                delay = arrival * time_scale - (
+                    time.perf_counter() - start
+                )
+                if delay > 0:
+                    time.sleep(delay)
+                futures.append(service.submit(request))
+            responses = [future.result() for future in futures]
+            wall_seconds = time.perf_counter() - start
+        # Summarize only after stop() merged the shard snapshots.
+        return summarize(
+            responses, wall_seconds, registry, shards=shards
+        )
 
     async def _main() -> tuple[list[EstimateResponse], float]:
         service = EstimationService(

@@ -13,12 +13,17 @@ throughput optimisation, never a semantics change.
 
 Robustness semantics (the degradation ladder, top to bottom):
 
+0. **Cache hit** — an idempotent replay (same canonical cache key,
+   see :mod:`repro.serve.cache`) is answered inside ``submit`` with
+   the byte-identical cached result, before any queueing or kernel.
 1. **Fused vectorized execution** — the normal path.
 2. **Degraded sampled execution** — when the backlog at drain time
    exceeds ``degrade_queue_depth``, requests the sampled tier can
-   serve (active-variant PET) are answered from the exact gray-depth
-   law instead: ``O(1)`` per round in the population size, marked
-   ``status="degraded"``.
+   serve (active-variant PET via the exact gray-depth law, and any
+   protocol exposing an ``estimate_sampled`` statistic law — FNEB,
+   LoF, USE/UPE/EZB, ALOHA) are answered from sampled statistics
+   instead of hashing the population: cheap per round regardless of
+   the population size, marked ``status="degraded"``.
 3. **Backpressure rejection** — submissions beyond the per-tenant
    quota or the global queue bound are answered immediately with
    ``status="rejected"`` and a ``retry_after`` hint; they are never
@@ -75,6 +80,7 @@ from ..api import (
     EstimateRequest,
     EstimateResponse,
     ResolvedRequest,
+    request_cache_key,
     respond,
     resolve_request,
 )
@@ -88,6 +94,7 @@ from .batching import (
     execute_degraded,
     execute_micro_batch,
 )
+from .cache import DEFAULT_CACHE_SIZE, ResultCache
 
 
 @dataclass(frozen=True)
@@ -120,6 +127,13 @@ class ServiceConfig:
         latency exemplars).  On by default — the overhead is a few
         percent CPU (guarded by ``bench_guard --tracing``) — but can
         be switched off to serve with metrics only.
+    cache:
+        Kill switch for the cross-tick idempotent result cache
+        (:class:`~repro.serve.cache.ResultCache`).  On by default;
+        cache hits are answered inside ``submit`` before any queueing
+        or kernel work and are byte-identical to a cold run.
+    cache_size:
+        LRU bound of the result cache (entries).
     """
 
     max_queue_depth: int = 256
@@ -129,6 +143,8 @@ class ServiceConfig:
     degrade_queue_depth: int | None = None
     retry_after_seconds: float = 0.05
     trace_requests: bool = True
+    cache: bool = True
+    cache_size: int = DEFAULT_CACHE_SIZE
 
     def __post_init__(self) -> None:
         if self.max_queue_depth < 1:
@@ -159,6 +175,10 @@ class ServiceConfig:
             raise ConfigurationError(
                 f"retry_after_seconds must be > 0, got "
                 f"{self.retry_after_seconds}"
+            )
+        if self.cache_size < 1:
+            raise ConfigurationError(
+                f"cache_size must be >= 1, got {self.cache_size}"
             )
 
     @property
@@ -207,6 +227,7 @@ class EstimationService:
         self,
         config: ServiceConfig | None = None,
         registry: MetricsRegistry | None = None,
+        shard_label: str | None = None,
     ):
         self.config = config or ServiceConfig()
         self._registry = (
@@ -217,10 +238,23 @@ class EstimationService:
         self._queue: deque[_Pending] = deque()
         self._pending_by_tenant: dict[str, int] = {}
         self._population_cache: dict = {}
+        #: Shard identity stamped onto kernel / root request spans when
+        #: this service runs as one worker of a sharded scheduler.
+        self._shard_label = shard_label
+        self._cache = (
+            ResultCache(self.config.cache_size, registry=self._registry)
+            if self.config.cache
+            else None
+        )
         self._wake = asyncio.Event()
         self._task: asyncio.Task | None = None
         self._accepting = False
         self._stopping = False
+
+    @property
+    def cache(self) -> ResultCache | None:
+        """The shard-local result cache (``None`` when disabled)."""
+        return self._cache
 
     # -- lifecycle ----------------------------------------------------
 
@@ -288,6 +322,17 @@ class EstimationService:
                 parent.child() if parent is not None
                 else TraceContext.root()
             )
+        if self._cache is not None:
+            key = request_cache_key(request)
+            if key is not None:
+                cached = self._cache.lookup(key)
+                if cached is not None:
+                    # Answered before any queueing, quota accounting,
+                    # or kernel work — the replay is byte-identical to
+                    # the cold run that populated the entry.
+                    return self._answer_cache_hit(
+                        request, cached, trace, now
+                    )
         tenant = request.tenant
         held = self._pending_by_tenant.get(tenant, 0)
         if held >= self.config.tenant_quota:
@@ -336,6 +381,42 @@ class EstimationService:
                 )
         self._wake.set()
         return await item.future
+
+    def _answer_cache_hit(
+        self,
+        request: EstimateRequest,
+        result,
+        trace: TraceContext | None,
+        submitted_at: float,
+    ) -> EstimateResponse:
+        """Answer an idempotent replay from the result cache."""
+        response = respond(
+            request,
+            "ok",
+            result=result,
+            submitted_at=submitted_at,
+            trace_id=trace.trace_id if trace is not None else None,
+        )
+        if trace is not None:
+            attributes: dict[str, object] = {
+                "status": "ok",
+                "rung": "cache_hit",
+                "reason": "idempotent replay from the result cache",
+                "tenant": request.tenant,
+                "protocol": request.protocol,
+            }
+            if request.request_id is not None:
+                attributes["request_id"] = request.request_id
+            if self._shard_label is not None:
+                attributes["shard"] = self._shard_label
+            self._registry.record_span(
+                "serve.request",
+                start=submitted_at,
+                seconds=time.perf_counter() - submitted_at,
+                trace=trace,
+                **attributes,
+            )
+        return self._answer(response, deadline=request.deadline)
 
     def _reject(
         self,
@@ -480,8 +561,8 @@ class EstimationService:
                 registry.counter("serve.batch.groups").inc(
                     report.fused_groups
                 )
-            for position, (item, outcome) in enumerate(
-                zip(fused_items, outcomes)
+            for position, (item, resolved, outcome) in enumerate(
+                zip(fused_items, fused_plans, outcomes)
             ):
                 self._trace_kernel(item, report, position, exec_start)
                 if isinstance(outcome, Exception):
@@ -494,6 +575,13 @@ class EstimationService:
                         reason=str(outcome),
                     )
                 else:
+                    # Only canonical (bit-identical) results enter the
+                    # cache — degraded answers never do.
+                    if (
+                        self._cache is not None
+                        and resolved.cache_key is not None
+                    ):
+                        self._cache.store(resolved.cache_key, outcome)
                     self._resolve(
                         item,
                         self._respond(item, "ok", result=outcome),
@@ -508,16 +596,21 @@ class EstimationService:
                 )
                 kernel_end = time.perf_counter()
                 if item.trace is not None:
+                    degraded_attributes: dict[str, object] = {
+                        "backend": "sampled",
+                        "group_kind": "degraded",
+                        "group_size": 1,
+                        "protocol": item.request.protocol,
+                    }
+                    if self._shard_label is not None:
+                        degraded_attributes["shard"] = self._shard_label
                     registry.record_span(
                         "kernel",
                         path="serve.request.kernel",
                         start=kernel_start,
                         seconds=kernel_end - kernel_start,
                         trace=item.trace.child(),
-                        backend="sampled",
-                        group_kind="degraded",
-                        group_size=1,
-                        protocol=item.request.protocol,
+                        **degraded_attributes,
                     )
                 response = self._respond(
                     item,
@@ -592,6 +685,8 @@ class EstimationService:
         }
         if group.chunk_elements is not None:
             kernel_attributes["chunk_elements"] = group.chunk_elements
+        if self._shard_label is not None:
+            kernel_attributes["shard"] = self._shard_label
         registry.record_span(
             "kernel",
             path="serve.request.kernel",
@@ -637,6 +732,8 @@ class EstimationService:
                 attributes["reason"] = reason
             if item.request.request_id is not None:
                 attributes["request_id"] = item.request.request_id
+            if self._shard_label is not None:
+                attributes["shard"] = self._shard_label
             self._registry.record_span(
                 "respond",
                 path="serve.request.respond",

@@ -217,14 +217,60 @@ class TestDegradedTier:
         with pytest.raises(ConfigurationError, match="sampled"):
             execute_degraded(plan)
 
-    def test_engine_protocol_is_not_degradable(self):
-        plan = resolve_request(
-            EstimateRequest(
-                population=300, protocol="fneb", seed=1, rounds=8
-            ),
-            population_cache={},
+    def test_engine_protocols_are_degradable(self):
+        # PR-9: every engine protocol with an estimate_sampled law
+        # participates in the sampled fallback tier.
+        for protocol in ("fneb", "lof", "use", "upe", "ezb", "aloha"):
+            plan = resolve_request(
+                EstimateRequest(
+                    population=300, protocol=protocol, seed=1, rounds=8
+                ),
+                population_cache={},
+            )
+            assert degradable(plan), protocol
+
+    def test_engine_degraded_follows_the_sampled_law(self):
+        # The sampled statistic matches the hashed one in law: with a
+        # pinned seed the estimate lands near the truth without ever
+        # touching the population's tag IDs.
+        for protocol, tolerance in (
+            ("fneb", 0.5),
+            ("lof", 0.5),
+            ("use", 0.25),
+            ("ezb", 0.25),
+            ("aloha", 0.25),
+        ):
+            plan = resolve_request(
+                EstimateRequest(
+                    population=2_000,
+                    protocol=protocol,
+                    seed=11,
+                    rounds=32,
+                ),
+                population_cache={},
+            )
+            result = execute_degraded(plan)
+            assert result.n_hat == pytest.approx(
+                2_000, rel=tolerance
+            ), protocol
+            assert result.rounds == 32
+            assert result.seed_provenance == "seed=11"
+
+    def test_engine_degraded_is_reproducible(self):
+        request = EstimateRequest(
+            population=1_000, protocol="aloha", seed=5, rounds=16
         )
-        assert not degradable(plan)
+        results = [
+            execute_degraded(
+                resolve_request(request, population_cache={})
+            )
+            for _ in range(2)
+        ]
+        assert results[0].n_hat == results[1].n_hat
+        assert np.array_equal(
+            results[0].per_round_statistics,
+            results[1].per_round_statistics,
+        )
 
     def test_degraded_result_is_reproducible(self):
         request = EstimateRequest(population=5_000, seed=3, rounds=64)

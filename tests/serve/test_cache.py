@@ -1,0 +1,204 @@
+"""The cross-tick idempotent result cache: keys, LRU, service path."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    EstimateRequest,
+    request_cache_key,
+    resolve_request,
+)
+from repro.errors import ConfigurationError
+from repro.obs import MetricsRegistry
+from repro.protocols.base import ProtocolResult
+from repro.serve import EstimationService, ServiceConfig
+from repro.serve.cache import ResultCache
+
+
+def _request(seed, **overrides):
+    defaults = dict(
+        population=400, seed=seed, rounds=16, population_seed=1
+    )
+    defaults.update(overrides)
+    return EstimateRequest(**defaults)
+
+
+def _result(value=1.0):
+    return ProtocolResult(
+        protocol="pet",
+        n_hat=value,
+        rounds=1,
+        total_slots=1,
+        per_round_statistics=np.zeros(1),
+    )
+
+
+class TestRequestCacheKey:
+    def test_identical_requests_share_a_key(self):
+        assert request_cache_key(_request(7)) == request_cache_key(
+            _request(7)
+        )
+
+    def test_every_input_is_part_of_the_key(self):
+        base = request_cache_key(_request(7))
+        assert request_cache_key(_request(8)) != base
+        for overrides in (
+            dict(population=401),
+            dict(population_seed=2),
+            dict(rounds=17),
+            dict(protocol="fneb"),
+            dict(config={"tree_height": 24}),
+        ):
+            assert request_cache_key(_request(7, **overrides)) != base
+
+    def test_tenant_and_request_id_are_not_part_of_the_key(self):
+        # Idempotency is about the estimate, not who asked.
+        assert request_cache_key(
+            _request(7, tenant="a", request_id="x")
+        ) == request_cache_key(_request(7, tenant="b", request_id="y"))
+
+    def test_unseeded_request_is_uncacheable(self):
+        assert request_cache_key(_request(None)) is None
+
+    def test_live_rng_is_uncacheable(self):
+        request = _request(
+            None, rng=np.random.default_rng(1), population_seed=None
+        )
+        assert request_cache_key(request) is None
+
+    def test_explicit_population_is_uncacheable(self):
+        request = EstimateRequest(
+            population=[1, 2, 3], seed=7, rounds=4
+        )
+        assert request_cache_key(request) is None
+
+    def test_resolve_request_stamps_the_key(self):
+        plan = resolve_request(_request(7), population_cache={})
+        assert plan.cache_key == request_cache_key(_request(7))
+
+
+class TestResultCacheLru:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ConfigurationError, match="capacity"):
+            ResultCache(capacity=0)
+
+    def test_miss_then_hit(self):
+        cache = ResultCache(capacity=4)
+        assert cache.lookup(("k",)) is None
+        cache.store(("k",), _result(2.0))
+        assert cache.lookup(("k",)).n_hat == 2.0
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_lru_eviction_bounds_the_cache(self):
+        cache = ResultCache(capacity=2)
+        cache.store(("a",), _result())
+        cache.store(("b",), _result())
+        cache.lookup(("a",))  # refresh a: b becomes the LRU entry
+        cache.store(("c",), _result())
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert cache.lookup(("b",)) is None
+        assert cache.lookup(("a",)) is not None
+
+    def test_counters_land_on_the_registry(self):
+        registry = MetricsRegistry()
+        cache = ResultCache(capacity=1, registry=registry)
+        cache.lookup(("a",))
+        cache.store(("a",), _result())
+        cache.lookup(("a",))
+        cache.store(("b",), _result())
+        counters = registry.snapshot().counters
+        assert counters["serve.cache.misses"] == 1
+        assert counters["serve.cache.hits"] == 1
+        assert counters["serve.cache.evictions"] == 1
+
+
+class TestServiceCachePath:
+    def test_replay_is_byte_identical_and_skips_the_queue(self):
+        async def main():
+            registry = MetricsRegistry()
+            service = EstimationService(registry=registry)
+            async with service:
+                cold = await service.submit(_request(7))
+                warm = await service.submit(_request(7))
+            assert cold.status == warm.status == "ok"
+            assert warm.result is cold.result  # the stored object
+            assert warm.result.n_hat == cold.result.n_hat
+            assert np.array_equal(
+                warm.result.per_round_statistics,
+                cold.result.per_round_statistics,
+            )
+            counters = registry.snapshot().counters
+            assert counters["serve.cache.hits"] == 1
+            # Only the cold run was ever enqueued.
+            assert counters["serve.requests.submitted"] == 1
+
+        asyncio.run(main())
+
+    def test_kill_switch_disables_the_cache(self):
+        async def main():
+            registry = MetricsRegistry()
+            service = EstimationService(
+                config=ServiceConfig(cache=False), registry=registry
+            )
+            assert service.cache is None
+            async with service:
+                first = await service.submit(_request(7))
+                second = await service.submit(_request(7))
+            assert first.result is not second.result
+            assert first.result.n_hat == second.result.n_hat
+            counters = registry.snapshot().counters
+            assert "serve.cache.hits" not in counters
+            assert counters["serve.requests.submitted"] == 2
+
+        asyncio.run(main())
+
+    def test_cache_size_one_still_serves_correctly(self):
+        async def main():
+            service = EstimationService(
+                config=ServiceConfig(cache_size=1)
+            )
+            async with service:
+                a1 = await service.submit(_request(1))
+                b1 = await service.submit(_request(2))  # evicts seed=1
+                a2 = await service.submit(_request(1))  # cold again
+                b2 = await service.submit(_request(2))
+            assert a1.result.n_hat == a2.result.n_hat
+            assert b1.result.n_hat == b2.result.n_hat
+            assert service.cache.evictions >= 1
+
+        asyncio.run(main())
+
+    def test_uncacheable_requests_always_run(self):
+        async def main():
+            registry = MetricsRegistry()
+            service = EstimationService(registry=registry)
+            async with service:
+                for _ in range(2):
+                    response = await service.submit(
+                        _request(None, population_seed=None)
+                    )
+                    assert response.status == "ok"
+            counters = registry.snapshot().counters
+            assert "serve.cache.hits" not in counters
+            assert counters["serve.requests.submitted"] == 2
+
+        asyncio.run(main())
+
+    def test_cache_hit_matches_the_facade(self):
+        import repro
+
+        async def main():
+            service = EstimationService()
+            async with service:
+                await service.submit(_request(9, population_seed=None))
+                warm = await service.submit(
+                    _request(9, population_seed=None)
+                )
+            expected = repro.estimate(400, seed=9, rounds=16)
+            assert warm.result.n_hat == expected.n_hat
+            assert warm.result.total_slots == expected.total_slots
+
+        asyncio.run(main())
