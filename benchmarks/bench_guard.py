@@ -137,6 +137,31 @@ guard fails when
 ``--json-out`` in this mode writes the fresh measurements for upload
 as a CI artifact.
 
+With ``--fleet`` the guard checks the live fleet telemetry tier
+against ``BENCH_obs_fleet.json``: the snapshot-interval sweep of
+:mod:`bench_fleet` ({off, 1 s, 0.25 s} heartbeats at 2 and 4 shards)
+is re-measured on this machine and the guard fails when
+
+* any streamed cell stops being bit-identical to the sequential
+  facade results (telemetry must be semantically invisible),
+* the 0.25 s-heartbeat run at 4 shards costs more than 5 % wall time
+  over stop-time-only telemetry — enforced only on machines with
+  >= 4 CPUs (skipped, not failed, below that — same policy as the
+  sharded throughput floor),
+* a mid-run scrape of the router registry fails to converge to the
+  full merged request count, or ``stop()`` changes the merged
+  serving counters (the final merge must be idempotent against the
+  streamed deltas),
+* SIGKILLing a worker does not flip fleet health off ``ok`` within
+  ``heartbeat_misses * interval`` seconds or the dead shard is not
+  named ``dead``, or
+* the committed record itself claims a non-bit-identical cell, an
+  over-bound overhead, a non-idempotent stop, or a missed watchdog
+  bound.
+
+``--json-out`` in this mode writes the fresh measurements for upload
+as a CI artifact.
+
 Run with::
 
     PYTHONPATH=src python benchmarks/bench_guard.py [--loop-reps K]
@@ -186,6 +211,10 @@ SERVE_BASELINE = (
 
 TRACING_BASELINE = (
     Path(__file__).resolve().parent.parent / "BENCH_obs_tracing.json"
+)
+
+FLEET_BASELINE = (
+    Path(__file__).resolve().parent.parent / "BENCH_obs_fleet.json"
 )
 
 #: Cells whose *committed* speedup must stay at or above 10x (the
@@ -884,6 +913,151 @@ def run_tracing_guard(args: argparse.Namespace) -> int:
     return _finish(failures, "tracing bench guard")
 
 
+def run_fleet_guard(args: argparse.Namespace) -> int:
+    """``--fleet`` mode: streaming telemetry cost + watchdog latency."""
+    import bench_fleet as bench
+
+    baseline = _load_baseline(
+        FLEET_BASELINE,
+        "PYTHONPATH=src python benchmarks/bench_fleet.py",
+    )
+    failures: list[str] = []
+
+    # --- the committed record must itself honour the contract.
+    recorded_sweep = baseline.get("sweep", {})
+    for section in ("sweep", "overhead", "live_scrape", "watchdog"):
+        if section not in baseline:
+            failures.append(
+                f"committed record is missing the {section!r} "
+                f"section; regenerate bench_fleet"
+            )
+    bad_cells = [
+        cell
+        for cell, data in recorded_sweep.items()
+        if data.get("bit_identical") is not True
+    ]
+    if bad_cells:
+        failures.append(
+            f"committed record claims streaming perturbed the "
+            f"estimates on: {bad_cells}"
+        )
+    recorded_overhead = baseline.get("overhead", {})
+    if recorded_overhead.get("floor_enforced") and (
+        float(recorded_overhead.get("overhead_ratio", 1.0))
+        > bench.OVERHEAD_BOUND
+    ):
+        failures.append(
+            f"committed record enforces the overhead bound but "
+            f"claims "
+            f"{recorded_overhead.get('overhead_ratio'):+.1%} "
+            f"(bound {bench.OVERHEAD_BOUND:.0%})"
+        )
+    recorded_scrape = baseline.get("live_scrape", {})
+    if recorded_scrape.get("converged") is not True:
+        failures.append(
+            "committed record claims the live scrape never saw the "
+            "full merged request count"
+        )
+    if recorded_scrape.get("idempotent_stop") is not True:
+        failures.append(
+            "committed record claims stop() double-counted the "
+            "streamed deltas"
+        )
+    recorded_watchdog = baseline.get("watchdog", {})
+    if recorded_watchdog.get("within_bound") is not True:
+        failures.append(
+            "committed record claims the watchdog missed its "
+            "detection bound"
+        )
+
+    # --- re-measure on this machine with the same floors.
+    fresh = bench.measure_all()
+    fresh_bad = [
+        cell
+        for cell, data in fresh["sweep"].items()
+        if data["bit_identical"] is not True
+    ]
+    if fresh_bad:
+        failures.append(
+            f"streamed responses diverged from the sequential facade "
+            f"results on: {fresh_bad}"
+        )
+    overhead = fresh["overhead"]
+    cpu_count = int(fresh["environment"]["cpu_count"])
+    if overhead["floor_enforced"]:
+        if overhead["overhead_ratio"] > bench.OVERHEAD_BOUND:
+            failures.append(
+                f"streaming overhead "
+                f"{overhead['overhead_ratio']:+.1%} at "
+                f"{overhead['shards']} shards exceeds the "
+                f"{bench.OVERHEAD_BOUND:.0%} bound on a "
+                f"{cpu_count}-cpu machine"
+            )
+    else:
+        print(
+            f"only {cpu_count} cpu(s) here (< "
+            f"{bench.FLEET_MIN_CPUS}); streaming overhead bound "
+            f"skipped, bit-identity/scrape/watchdog still enforced"
+        )
+    scrape = fresh["live_scrape"]
+    if not scrape["converged"]:
+        failures.append(
+            f"live scrape saw only {scrape['mid_run_ok']}/"
+            f"{scrape['requests']} merged requests within "
+            f"{scrape['convergence_deadline_seconds']}s"
+        )
+    if not scrape["idempotent_stop"]:
+        failures.append(
+            "stop() changed the merged serving counters: the final "
+            "merge is not idempotent against the streamed deltas"
+        )
+    watchdog = fresh["watchdog"]
+    if not watchdog["detected"]:
+        failures.append(
+            "killing a worker never flipped fleet health off ok"
+        )
+    elif not watchdog["within_bound"]:
+        failures.append(
+            f"watchdog took {watchdog['seconds_to_degraded']}s to "
+            f"flag the dead shard (bound "
+            f"{watchdog['bound_seconds']}s)"
+        )
+    if watchdog.get("dead_shard") != "dead":
+        failures.append(
+            f"health verdict named the killed shard "
+            f"{watchdog.get('dead_shard')!r}, expected 'dead'"
+        )
+
+    for label, cell in fresh["sweep"].items():
+        print(
+            f"{label}: {cell['seconds']:.3f}s  "
+            f"bit_identical={cell['bit_identical']}"
+        )
+    print(
+        f"streaming overhead {overhead['overhead_ratio']:+.1%} at "
+        f"{overhead['shards']} shards on this machine (bound "
+        f"{bench.OVERHEAD_BOUND:.0%}, enforced="
+        f"{overhead['floor_enforced']}, recorded "
+        f"{recorded_overhead.get('overhead_ratio', 0.0):+.1%})"
+    )
+    print(
+        f"live scrape: {scrape['mid_run_ok']}/{scrape['requests']} "
+        f"merged mid-run in {scrape['seconds_to_converge']}s  "
+        f"idempotent_stop={scrape['idempotent_stop']}"
+    )
+    print(
+        f"watchdog: degraded in "
+        f"{watchdog['seconds_to_degraded']}s (bound "
+        f"{watchdog['bound_seconds']}s)  "
+        f"dead_shard={watchdog['dead_shard']}"
+    )
+
+    if args.json_out is not None:
+        _write_json(args.json_out, fresh, "fresh measurements")
+
+    return _finish(failures, "fleet bench guard")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -938,6 +1112,18 @@ def main() -> int:
             "BENCH_obs_tracing.json: the 10%% CPU bound vs the "
             "untraced serve tier, per-request span/exemplar coverage, "
             "and traced/untraced bit-identity"
+        ),
+    )
+    parser.add_argument(
+        "--fleet",
+        action="store_true",
+        help=(
+            "guard the live fleet telemetry tier against "
+            "BENCH_obs_fleet.json: streamed runs bit-identical to the "
+            "sequential facade, the 5%% snapshot-streaming overhead "
+            "bound at 4 shards (skipped below 4 cpus), mid-run scrape "
+            "convergence + idempotent stop, and the watchdog "
+            "detection bound"
         ),
     )
     parser.add_argument(
@@ -1009,6 +1195,8 @@ def main() -> int:
         return run_serve_guard(args)
     if args.tracing:
         return run_tracing_guard(args)
+    if args.fleet:
+        return run_fleet_guard(args)
     if args.profile:
         return run_profile_guard(args)
     threshold = args.threshold if args.threshold is not None else 0.15

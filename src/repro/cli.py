@@ -16,7 +16,10 @@ service on stdin/stdout) and ``python -m repro loadgen`` (traffic
 generator + SLO report).  See docs/SERVING.md.  A third,
 ``python -m repro traceview``, renders a terminal waterfall for one
 distributed trace from a span file or live metrics endpoint
-(:mod:`repro.obs.traceview`).
+(:mod:`repro.obs.traceview`), and a fourth,
+``python -m repro fleetview``, a per-shard terminal dashboard for a
+sharded fleet from a live endpoint or saved snapshot
+(:mod:`repro.obs.fleetview`).
 
 With ``--metrics-out PATH`` the run is instrumented: every simulator
 and protocol records into a :class:`~repro.obs.MetricsRegistry`, the
@@ -155,6 +158,10 @@ def main(argv: list[str] | None = None) -> int:
         from .obs.traceview import main as traceview_main
 
         return traceview_main(argv[1:])
+    if argv and argv[0] == "fleetview":
+        from .obs.fleetview import main as fleetview_main
+
+        return fleetview_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="pet-repro",
         description=(

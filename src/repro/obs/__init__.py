@@ -52,11 +52,13 @@ from .export import (
     snapshot_record,
     write_span_trace,
 )
+from .fleetview import render_fleet
 from .http import OPENMETRICS_CONTENT_TYPE, MetricsServer, trace_timeline
 from .metrics import Counter, Gauge, Histogram
 from .monitor import (
     CardinalityMonitor,
     EpochReport,
+    HeartbeatMonitor,
     monitor_population,
     simulate_monitoring,
 )
@@ -83,6 +85,7 @@ from .prom import (
 )
 from .registry import (
     NULL_REGISTRY,
+    DeltaSnapshotter,
     MetricsRegistry,
     NullRegistry,
     RegistrySnapshot,
@@ -96,7 +99,7 @@ from .report import (
     render_text_report,
     write_html_report,
 )
-from .slo import SloTracker
+from .slo import SloTracker, merge_slo_gauges, publish_shard_slo
 from .span import NullSpan, Span, SpanRecord
 from .tracectx import (
     TraceContext,
@@ -128,6 +131,7 @@ __all__ = [
     "NullRegistry",
     "NULL_REGISTRY",
     "RegistrySnapshot",
+    "DeltaSnapshotter",
     "get_registry",
     "parity_view",
     "set_registry",
@@ -144,6 +148,8 @@ __all__ = [
     "use_trace_context",
     # SLO error budgets
     "SloTracker",
+    "merge_slo_gauges",
+    "publish_shard_slo",
     # scrape endpoint + trace rendering
     "MetricsServer",
     "OPENMETRICS_CONTENT_TYPE",
@@ -183,11 +189,13 @@ __all__ = [
     "DEFAULT_WARMUP_ROUNDS",
     "EstimatorHealth",
     "HealthReport",
-    # drift monitor
+    # drift monitor + fleet watchdog
     "CardinalityMonitor",
     "EpochReport",
+    "HeartbeatMonitor",
     "monitor_population",
     "simulate_monitoring",
+    "render_fleet",
     # prometheus / reports
     "PrometheusExporter",
     "render_openmetrics",

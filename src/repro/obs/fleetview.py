@@ -1,0 +1,243 @@
+"""Terminal fleet dashboard for a sharded serve run.
+
+``python -m repro fleetview`` renders one row per worker shard — qps,
+p99 latency, SLO burn rate, cache hit rate, heartbeat age, queue
+depth, watchdog status — plus a fleet summary line, from the same two
+endpoints every other consumer reads::
+
+    fleet: degraded · 2 shards · 512 requests · burn 0.00
+    shard  status    qps      p99      burn  cache%  beat   queue
+    0      ok        81.3   12.4ms    0.00    62.5   0.2s       0
+    1      stalled    0.0       --    0.00     0.0   4.1s       3
+
+State comes from either
+
+* a live metrics endpoint (``--url``): ``GET /metrics`` (OpenMetrics
+  text, parsed with :func:`repro.obs.prom.parse_openmetrics`) and
+  ``GET /healthz`` (the stable ``status``/``shards``/
+  ``uptime_seconds`` schema); or
+* a saved snapshot file (``--snapshot``): the JSON object
+  ``--snapshot-out`` writes — ``{"metrics_text": ..., "healthz":
+  ...}`` — so a CI artifact or a colleague's capture renders exactly
+  like the live fleet did.
+
+The dashboard is read-only and stdlib-only: point it at the port a
+``loadgen --shards N --metrics-port`` run opened and watch the merged
+mid-run state the router maintains from worker snapshot deltas.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+import urllib.request
+
+from .prom import parse_openmetrics
+
+#: Sample-name prefix of per-shard gauges after sanitization.
+_SHARD_SAMPLE = re.compile(r"^repro_serve_shard_(\d+)_")
+
+
+def fetch_state(url: str, timeout: float = 10.0) -> dict:
+    """Capture ``/metrics`` + ``/healthz`` from a live endpoint."""
+    base = url.rstrip("/")
+    with urllib.request.urlopen(
+        f"{base}/metrics", timeout=timeout
+    ) as response:
+        metrics_text = response.read().decode("utf-8")
+    with urllib.request.urlopen(
+        f"{base}/healthz", timeout=timeout
+    ) as response:
+        healthz = json.loads(response.read().decode("utf-8"))
+    return {"url": base, "metrics_text": metrics_text, "healthz": healthz}
+
+
+def load_snapshot(path: str) -> dict:
+    """Read a state capture previously written by ``--snapshot-out``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        state = json.load(handle)
+    if "metrics_text" not in state:
+        raise ValueError(
+            f"{path} is not a fleetview snapshot (no 'metrics_text')"
+        )
+    state.setdefault("healthz", {})
+    return state
+
+
+def shard_indices(samples: dict, healthz: dict) -> list[int]:
+    """Every shard index visible in either source, sorted."""
+    indices: set[int] = set()
+    for key in (healthz.get("shards") or {}):
+        try:
+            indices.add(int(key))
+        except (TypeError, ValueError):
+            continue
+    for name in samples:
+        match = _SHARD_SAMPLE.match(name)
+        if match:
+            indices.add(int(match.group(1)))
+    return sorted(indices)
+
+
+def shard_rows(state: dict) -> list[dict]:
+    """Per-shard dashboard values folded from one state capture."""
+    samples, _types = parse_openmetrics(state["metrics_text"])
+    healthz = state.get("healthz") or {}
+    shard_health = healthz.get("shards") or {}
+    uptime = float(healthz.get("uptime_seconds") or 0.0)
+    rows = []
+    for index in shard_indices(samples, healthz):
+        prefix = f"repro_serve_shard_{index}_"
+        health = shard_health.get(str(index)) or {}
+
+        def _sample(suffix: str, default: float | None = None):
+            return samples.get(prefix + suffix, default)
+
+        requests = _sample("requests", 0.0)
+        hits = _sample("cache_hits", 0.0)
+        misses = _sample("cache_misses", 0.0)
+        lookups = hits + misses
+        age = health.get("heartbeat_age_seconds")
+        if age is None:
+            age = _sample("heartbeat_age_seconds")
+        queue_depth = health.get("queue_depth")
+        if queue_depth is None:
+            queue_depth = _sample("queue_depth", 0.0)
+        rows.append(
+            {
+                "shard": index,
+                "status": health.get("status", "?"),
+                "requests": requests,
+                "qps": requests / uptime if uptime > 0 else None,
+                "p99_seconds": _sample("p99_seconds"),
+                "burn_rate_fast": _sample("burn_rate_fast", 0.0),
+                "cache_hit_rate": hits / lookups if lookups else None,
+                "heartbeat_age_seconds": age,
+                "queue_depth": queue_depth,
+                "inflight": health.get(
+                    "inflight", _sample("inflight", 0.0)
+                ),
+            }
+        )
+    return rows
+
+
+def fleet_summary(state: dict, rows: list[dict]) -> dict:
+    """The fleet-wide header values for one state capture."""
+    samples, _types = parse_openmetrics(state["metrics_text"])
+    healthz = state.get("healthz") or {}
+    return {
+        "status": healthz.get("status", "?"),
+        "shards": len(rows),
+        "requests": sum(row["requests"] or 0.0 for row in rows),
+        "burn_rate_fast": samples.get(
+            "repro_serve_slo_burn_rate_fast", 0.0
+        ),
+        "uptime_seconds": healthz.get("uptime_seconds"),
+    }
+
+
+def _fmt(value, pattern: str, missing: str = "--") -> str:
+    if value is None:
+        return missing
+    return pattern.format(value)
+
+
+def render_fleet(state: dict) -> str:
+    """The dashboard for one state capture as a printable string."""
+    rows = shard_rows(state)
+    summary = fleet_summary(state, rows)
+    lines = [
+        "fleet: {status} · {shards} shards · {requests:.0f} requests"
+        " · burn {burn_rate_fast:.2f}".format(**summary)
+    ]
+    if not rows:
+        lines.append("(no per-shard series — not a sharded run?)")
+        return "\n".join(lines)
+    header = (
+        f"{'shard':<6}{'status':<9}{'qps':>8}{'p99':>10}"
+        f"{'burn':>7}{'cache%':>8}{'beat':>7}{'queue':>7}{'infl':>6}"
+    )
+    lines.append(header)
+    for row in rows:
+        lines.append(
+            f"{row['shard']:<6}"
+            f"{row['status']:<9}"
+            f"{_fmt(row['qps'], '{:.1f}'):>8}"
+            f"{_fmt(row['p99_seconds'], '{:.4f}s'):>10}"
+            f"{_fmt(row['burn_rate_fast'], '{:.2f}'):>7}"
+            f"{_fmt(row['cache_hit_rate'], '{:.1%}'):>8}"
+            f"{_fmt(row['heartbeat_age_seconds'], '{:.1f}s'):>7}"
+            f"{_fmt(row['queue_depth'], '{:.0f}'):>7}"
+            f"{_fmt(row['inflight'], '{:.0f}'):>6}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro fleetview``."""
+    parser = argparse.ArgumentParser(
+        prog="repro fleetview",
+        description=(
+            "Render a terminal dashboard (one row per shard) for a"
+            " sharded serve fleet from a live metrics endpoint or a"
+            " saved snapshot file."
+        ),
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--url",
+        help="base URL of a live metrics endpoint (e.g."
+        " http://127.0.0.1:9464)",
+    )
+    source.add_argument(
+        "--snapshot",
+        help="saved fleet snapshot file (see --snapshot-out)",
+    )
+    parser.add_argument(
+        "--snapshot-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "also write the fetched state as JSON to PATH (renderable"
+            " later with --snapshot; requires --url)"
+        ),
+    )
+    args = parser.parse_args(argv)
+    if args.snapshot_out and not args.url:
+        parser.error("--snapshot-out requires --url")
+    if args.url:
+        try:
+            state = fetch_state(args.url)
+        except Exception as exc:
+            print(
+                f"error: failed to fetch fleet state: {exc}",
+                file=sys.stderr,
+            )
+            return 1
+        if args.snapshot_out:
+            with open(
+                args.snapshot_out, "w", encoding="utf-8"
+            ) as handle:
+                json.dump(state, handle, indent=2, default=str)
+            print(
+                f"fleet snapshot written to {args.snapshot_out}",
+                file=sys.stderr,
+            )
+    else:
+        try:
+            state = load_snapshot(args.snapshot)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(
+                f"error: failed to load snapshot: {exc}",
+                file=sys.stderr,
+            )
+            return 1
+    print(render_fleet(state))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -7,10 +7,16 @@ a web framework:
 
 * ``GET /metrics`` — OpenMetrics text (with bucket exemplars) via
   :func:`repro.obs.prom.render_openmetrics`; SLO burn-rate gauges are
-  refreshed at scrape time when a tracker is attached, so the scraped
-  windows are current, not answer-time stale.
-* ``GET /healthz`` — JSON liveness: uptime, request counts from the
-  registry, and whatever the optional ``health`` callback adds.
+  refreshed at scrape time when a tracker is attached, and fleet
+  gauges (``registry.fleet``, a
+  :class:`~repro.serve.shard.FleetStatus`) likewise, so the scraped
+  windows and heartbeat ages are current, not answer-time stale.
+* ``GET /healthz`` — JSON liveness with a stable schema:
+  ``{"status": "ok"|"degraded"|"unhealthy", "shards": {...},
+  "uptime_seconds": ...}`` plus ``spans`` and whatever the optional
+  ``health`` callback adds.  The per-shard breakdown comes from the
+  attached fleet watchdog; unsharded processes report ``"ok"`` with
+  an empty shard map.
 * ``GET /traces/<trace_id>`` — JSON timeline of every span in the
   registry's trace with that ``trace_id``, sorted by start offset —
   what an exemplar points at, and what ``python -m repro traceview``
@@ -93,6 +99,11 @@ class _Handler(BaseHTTPRequestHandler):
                 slo = getattr(self.registry, "slo", None)
                 if slo is not None:
                     slo.publish(self.registry, force=True)
+                fleet = getattr(self.registry, "fleet", None)
+                if fleet is not None:
+                    # Heartbeat ages are measured at scrape time, not
+                    # frozen at the last heartbeat's arrival.
+                    fleet.refresh(self.registry)
                 text = render_openmetrics(self.registry)
                 self._send(
                     200,
@@ -100,11 +111,19 @@ class _Handler(BaseHTTPRequestHandler):
                     OPENMETRICS_CONTENT_TYPE,
                 )
             elif path == "/healthz":
+                # Stable schema: status, shards, uptime_seconds (plus
+                # spans and any health-callback extras).  A sharded
+                # fleet's watchdog overrides status/shards; everyone
+                # else reports ok with an empty shard map.
                 payload = {
                     "status": "ok",
+                    "shards": {},
                     "uptime_seconds": time.time() - self.started,
                     "spans": len(self.registry.trace),
                 }
+                fleet = getattr(self.registry, "fleet", None)
+                if fleet is not None:
+                    payload.update(fleet.health())
                 if self.health is not None:
                     payload.update(self.health())
                 self._send_json(200, payload)

@@ -176,6 +176,99 @@ class CardinalityMonitor:
         return [r.epoch for r in self.reports if r.changed]
 
 
+class HeartbeatMonitor:
+    """EWMA stall detector over per-shard heartbeat arrivals.
+
+    The sharded router's watchdog feeds it two signals: every
+    heartbeat's inter-arrival gap (:meth:`beat`) and, whenever health
+    is evaluated, the current age of each shard's last heartbeat
+    (:meth:`check`).  The gaps are EWMA-smoothed — the same machinery
+    :class:`CardinalityMonitor` applies to estimates — so the stall
+    threshold adapts to the cadence a loaded worker *actually*
+    sustains rather than the configured interval alone: a shard is
+    stalled when its heartbeat age exceeds ``misses`` times the larger
+    of the smoothed gap and the nominal interval.
+
+    Alerts are edge-triggered: one ``fleet.stall`` event and one
+    ``fleet.stall.alerts`` count per outage, with a
+    ``fleet.stall.recovered`` event when the shard beats again — the
+    idiom the drift monitor uses, so stalls land in the same exporters
+    and event stream as every other alert.
+    """
+
+    def __init__(
+        self,
+        interval: float,
+        misses: int = 2,
+        alpha: float = 0.3,
+        registry: MetricsRegistry | None = None,
+    ):
+        if interval <= 0:
+            raise ConfigurationError(
+                f"interval must be > 0, got {interval}"
+            )
+        if misses < 1:
+            raise ConfigurationError(
+                f"misses must be >= 1, got {misses}"
+            )
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigurationError(
+                f"alpha must lie in (0, 1], got {alpha!r}"
+            )
+        self.interval = interval
+        self.misses = misses
+        self._alpha = alpha
+        self._registry = (
+            registry if registry is not None else get_registry()
+        )
+        self._smoothed_gap: dict[int, float] = {}
+        self._alerting: set[int] = set()
+
+    def beat(self, shard: int, gap: float) -> None:
+        """Feed one observed inter-arrival gap for ``shard``."""
+        previous = self._smoothed_gap.get(shard)
+        self._smoothed_gap[shard] = (
+            gap
+            if previous is None
+            else self._alpha * gap + (1.0 - self._alpha) * previous
+        )
+        if shard in self._alerting:
+            self._alerting.discard(shard)
+            self._registry.event(
+                "fleet.stall.recovered", shard=shard, gap=gap
+            )
+
+    def threshold(self, shard: int) -> float:
+        """Heartbeat age beyond which ``shard`` counts as stalled."""
+        expected = max(
+            self._smoothed_gap.get(shard, self.interval),
+            self.interval,
+        )
+        return self.misses * expected
+
+    def check(self, shard: int, age: float) -> bool:
+        """Whether ``shard``'s heartbeat age marks it stalled (alerts
+        once per outage)."""
+        stalled = age > self.threshold(shard)
+        if stalled and shard not in self._alerting:
+            self._alerting.add(shard)
+            registry = self._registry
+            registry.counter("fleet.stall.alerts").inc()
+            registry.event(
+                "fleet.stall",
+                shard=shard,
+                age_seconds=age,
+                threshold_seconds=self.threshold(shard),
+                misses=self.misses,
+            )
+        return stalled
+
+    @property
+    def alerting(self) -> set[int]:
+        """Shards currently inside an un-recovered stall alert."""
+        return set(self._alerting)
+
+
 def monitor_population(
     estimates: Iterable[float],
     rounds_per_epoch: int,

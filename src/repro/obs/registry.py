@@ -111,6 +111,125 @@ class RegistrySnapshot:
         }
 
 
+class DeltaSnapshotter:
+    """Incremental :class:`RegistrySnapshot` producer for one registry.
+
+    Each :meth:`delta` call returns only what changed since the
+    previous call — counter *increments*, histogram *stat increments*
+    (plus the current extrema and exemplars, whose merge rules are
+    idempotent), gauges whose value or timestamp moved, and the span /
+    event rows appended since last time.  Merging the sequence of
+    deltas into a fresh registry lands it exactly where merging one
+    full :meth:`MetricsRegistry.snapshot` would:
+
+    * counters: the increments sum to the full total;
+    * histograms: count/total/sum_squares/buckets increments sum
+      exactly; ``min``/``max`` ship as current values and merge via
+      ``min()``/``max()``, so repeating them is harmless;
+    * gauges: full ``(value, ts)`` pairs, last-write-wins on merge;
+    * spans/events: disjoint slices of the append-only logs.
+
+    This is what bounds the payload cost of periodic worker telemetry:
+    a quiet interval ships a few bytes (or nothing — :meth:`delta`
+    returns ``None`` when literally nothing moved), not the whole
+    registry history.
+    """
+
+    def __init__(
+        self, registry: "MetricsRegistry", worker_id: str | None = None
+    ):
+        self._registry = registry
+        self.worker_id = worker_id
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, tuple[float, float]] = {}
+        self._histograms: dict[
+            str, tuple[int, float, float, list[int]]
+        ] = {}
+        self._span_index = 0
+        self._event_index = 0
+
+    def delta(self) -> RegistrySnapshot | None:
+        """Changes since the last call (``None`` when nothing moved)."""
+        registry = self._registry
+        snapshot = RegistrySnapshot(worker_id=self.worker_id)
+        changed = False
+        for name, metric in registry._counters.items():
+            previous = self._counters.get(name, 0.0)
+            if metric.value != previous:
+                snapshot.counters[name] = metric.value - previous
+                self._counters[name] = metric.value
+                changed = True
+        for name, metric in registry._gauges.items():
+            current = (metric.value, metric.ts)
+            if self._gauges.get(name) != current:
+                snapshot.gauges[name] = metric.value
+                snapshot.gauge_ts[name] = metric.ts
+                self._gauges[name] = current
+                changed = True
+        for name, metric in registry._histograms.items():
+            previous = self._histograms.get(name)
+            if previous is None:
+                previous = (0, 0.0, 0.0, [0] * len(metric.buckets))
+            count = metric.count - previous[0]
+            if count == 0:
+                continue
+            total = metric.total - previous[1]
+            sum_squares = metric.sum_squares - previous[2]
+            snapshot.histograms[name] = {
+                "count": count,
+                "mean": total / count,
+                "std": 0.0,
+                "min": metric.min,
+                "max": metric.max,
+                "total": total,
+                "sum_squares": sum_squares,
+                "buckets": [
+                    now - then
+                    for now, then in zip(metric.buckets, previous[3])
+                ],
+                **(
+                    {"exemplars": dict(metric.exemplars)}
+                    if metric.exemplars
+                    else {}
+                ),
+            }
+            self._histograms[name] = (
+                metric.count,
+                metric.total,
+                metric.sum_squares,
+                list(metric.buckets),
+            )
+            changed = True
+        spans = registry.trace[self._span_index:]
+        self._span_index += len(spans)
+        events = registry.events[self._event_index:]
+        self._event_index += len(events)
+        if self.worker_id is not None:
+            spans = [
+                replace(
+                    record,
+                    attributes={
+                        **record.attributes,
+                        "worker.id": self.worker_id,
+                    },
+                )
+                for record in spans
+            ]
+            events = [
+                {**event, "worker.id": self.worker_id}
+                for event in events
+            ]
+        else:
+            events = [dict(event) for event in events]
+        if spans or events:
+            changed = True
+        if not changed:
+            return None
+        snapshot.spans = spans
+        snapshot.events = events
+        return snapshot
+
+
 def _gauge_wins(
     ts_new: float, value_new: float, ts_old: float, value_old: float
 ) -> bool:
@@ -216,6 +335,11 @@ class MetricsRegistry:
         #: attaches one so every answered request feeds the windowed
         #: error-budget burn-rate gauges.
         self.slo: object | None = None
+        #: Optional fleet-status view (see
+        #: :class:`repro.serve.shard.FleetStatus`); the sharded router
+        #: attaches one so the scrape endpoint can refresh per-shard
+        #: liveness gauges and report watchdog health on ``/healthz``.
+        self.fleet: object | None = None
 
     def attach_diagnostics(
         self,
@@ -223,9 +347,10 @@ class MetricsRegistry:
         health: object | None = None,
         profiler: object | None = None,
         slo: object | None = None,
+        fleet: object | None = None,
     ) -> "MetricsRegistry":
         """Attach a round-trace recorder, health monitor, profiler,
-        or SLO tracker.
+        SLO tracker, or fleet-status view.
 
         Returns ``self`` so construction chains:
         ``MetricsRegistry().attach_diagnostics(recorder, health)``.
@@ -238,6 +363,8 @@ class MetricsRegistry:
             self.profiler = profiler
         if slo is not None:
             self.slo = slo
+        if fleet is not None:
+            self.fleet = fleet
         return self
 
     def __bool__(self) -> bool:
@@ -492,6 +619,7 @@ class NullRegistry(MetricsRegistry):
         health: object | None = None,  # noqa: ARG002
         profiler: object | None = None,  # noqa: ARG002
         slo: object | None = None,  # noqa: ARG002
+        fleet: object | None = None,  # noqa: ARG002
     ) -> "MetricsRegistry":
         """No-op: the shared null registry never carries diagnostics."""
         return self

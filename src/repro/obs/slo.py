@@ -187,6 +187,27 @@ class SloTracker:
         registry.gauge("serve.slo.objective").set(self.objective)
 
 
+def publish_shard_slo(registry, index, gauges) -> None:
+    """Per-shard burn-rate gauges from one shard's published windows.
+
+    ``gauges`` is the shard's gauge mapping (as found in its snapshot
+    or delta stream): the additive ``serve.slo.good_fast`` /
+    ``serve.slo.bad_fast`` window totals plus the shared objective.
+    The fleet view reads the derived
+    ``serve.shard.<i>.burn_rate_fast`` next to the fleet-wide merged
+    rate, so a single misbehaving shard is visible even when the
+    aggregate still looks healthy.
+    """
+    objective = gauges.get("serve.slo.objective", DEFAULT_OBJECTIVE)
+    good = gauges.get("serve.slo.good_fast", 0.0)
+    bad = gauges.get("serve.slo.bad_fast", 0.0)
+    total = good + bad
+    rate = (
+        (bad / total) / (1.0 - objective) if total > 0 else 0.0
+    )
+    registry.gauge(f"serve.shard.{index}.burn_rate_fast").set(rate)
+
+
 def merge_slo_gauges(registry, snapshots, objective=None) -> None:
     """Recompute merged SLO gauges from per-shard snapshots.
 

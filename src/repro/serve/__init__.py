@@ -49,13 +49,14 @@ from .loadgen import (
     summarize,
 )
 from .service import EstimationService, ServiceConfig, run_requests
-from .shard import ShardedService, route_shard, run_sharded
+from .shard import FleetStatus, ShardedService, route_shard, run_sharded
 
 __all__ = [
     "EstimationService",
     "ServiceConfig",
     "run_requests",
     "ShardedService",
+    "FleetStatus",
     "route_shard",
     "run_sharded",
     "ResultCache",

@@ -117,6 +117,10 @@ def _service_config(args: argparse.Namespace) -> ServiceConfig:
         retry_after_seconds=args.retry_after,
         cache=args.cache,
         cache_size=args.cache_size,
+        snapshot_interval_seconds=(
+            args.snapshot_interval if args.snapshot_interval else None
+        ),
+        heartbeat_misses=args.heartbeat_misses,
     )
 
 
@@ -158,6 +162,28 @@ def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
         help=(
             "worker shard processes behind the hash router; 1 runs"
             " the single-process service in-process"
+        ),
+    )
+    parser.add_argument(
+        "--snapshot-interval",
+        type=float,
+        metavar="SECONDS",
+        default=1.0,
+        help=(
+            "seconds between worker telemetry snapshots in sharded"
+            " runs (delta-streamed heartbeats keep /metrics and"
+            " /healthz live mid-run; 0 disables streaming and merges"
+            " telemetry only at shutdown)"
+        ),
+    )
+    parser.add_argument(
+        "--heartbeat-misses",
+        type=int,
+        metavar="N",
+        default=ServiceConfig.heartbeat_misses,
+        help=(
+            "consecutive missed heartbeats before the watchdog marks"
+            " a shard stalled on /healthz"
         ),
     )
     parser.add_argument(

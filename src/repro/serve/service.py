@@ -134,6 +134,16 @@ class ServiceConfig:
         or kernel work and are byte-identical to a cold run.
     cache_size:
         LRU bound of the result cache (entries).
+    snapshot_interval_seconds:
+        When set (> 0) and the service runs as a worker shard, the
+        worker streams a heartbeat plus a registry *delta* snapshot to
+        the router every this many seconds, so the router's merged
+        registry (and the live ``/metrics`` endpoint) tracks worker
+        state mid-run.  ``None`` / ``0`` keeps the PR-9 behaviour:
+        telemetry merges home only at shutdown.
+    heartbeat_misses:
+        Heartbeat intervals a worker may miss before the fleet
+        watchdog marks it stalled and ``/healthz`` degrades.
     """
 
     max_queue_depth: int = 256
@@ -145,6 +155,8 @@ class ServiceConfig:
     trace_requests: bool = True
     cache: bool = True
     cache_size: int = DEFAULT_CACHE_SIZE
+    snapshot_interval_seconds: float | None = None
+    heartbeat_misses: int = 2
 
     def __post_init__(self) -> None:
         if self.max_queue_depth < 1:
@@ -179,6 +191,19 @@ class ServiceConfig:
         if self.cache_size < 1:
             raise ConfigurationError(
                 f"cache_size must be >= 1, got {self.cache_size}"
+            )
+        if (
+            self.snapshot_interval_seconds is not None
+            and self.snapshot_interval_seconds < 0
+        ):
+            raise ConfigurationError(
+                f"snapshot_interval_seconds must be >= 0 when given, "
+                f"got {self.snapshot_interval_seconds}"
+            )
+        if self.heartbeat_misses < 1:
+            raise ConfigurationError(
+                f"heartbeat_misses must be >= 1, got "
+                f"{self.heartbeat_misses}"
             )
 
     @property
@@ -294,6 +319,11 @@ class EstimationService:
     def queue_depth(self) -> int:
         """Requests currently waiting for a scheduler tick."""
         return len(self._queue)
+
+    @property
+    def inflight(self) -> int:
+        """Accepted requests not yet answered (queued + executing)."""
+        return sum(self._pending_by_tenant.values())
 
     # -- submission ---------------------------------------------------
 

@@ -40,27 +40,55 @@ Design invariants:
   the first request routed to each shard, and the worker attaches and
   wraps it via :meth:`~repro.tags.population.TagPopulation.from_sorted_ids`
   without copying or re-deriving IDs.
-* **Telemetry merges home.**  Each worker runs its own
-  :class:`~repro.obs.registry.MetricsRegistry`; at shutdown the
-  router merges every shard's snapshot (counters add, histograms
-  combine exactly), publishes per-shard ``serve.shard.<i>.*`` gauges,
-  and re-derives fleet-wide SLO burn rates from the additive window
-  totals via :func:`~repro.obs.slo.merge_slo_gauges`.  Traces cross
-  the hop: the router opens a ``serve.route`` span and ships its
-  context inside the request, so the worker's ``serve.request`` span
-  (and the ``kernel`` spans beneath it, each tagged ``shard``) nest
-  under it in one ``/traces/<id>`` waterfall.
+* **Telemetry merges home — live, not just at shutdown.**  Each
+  worker runs its own :class:`~repro.obs.registry.MetricsRegistry`.
+  With ``ServiceConfig.snapshot_interval_seconds`` set, every worker
+  streams a heartbeat plus a registry **delta**
+  (:class:`~repro.obs.registry.DeltaSnapshotter`: counter increments,
+  histogram stat increments, changed gauges, new spans/events — a
+  quiet interval ships bytes, not history) over the existing pipe
+  protocol, and the router merges each delta into its registry the
+  moment it arrives.  The live ``/metrics`` endpoint therefore serves
+  *merged mid-run state* — worker counters, fixed-grid histograms,
+  and fleet SLO burn rates re-derived from the additive window totals
+  via :func:`~repro.obs.slo.merge_slo_gauges` — instead of the PR-9
+  stop-time-only view.  The final shutdown message is itself a delta,
+  so the stop-time merge is idempotent against everything already
+  applied: nothing is ever double-counted.  Without an interval, one
+  full snapshot per shard merges at ``stop()`` exactly as before.
+  Traces cross the hop either way: the router opens a ``serve.route``
+  span and ships its context inside the request, so the worker's
+  ``serve.request`` span (and the ``kernel`` spans beneath it, each
+  tagged ``shard``) nest under it in one ``/traces/<id>`` waterfall.
+* **Shard health watchdog.**  :class:`FleetStatus` rides the
+  heartbeat stream: per-shard liveness/lag gauges
+  (``serve.shard.<i>.heartbeat_age_seconds`` / ``.queue_depth`` /
+  ``.inflight``), an EWMA stall detector
+  (:class:`~repro.obs.monitor.HeartbeatMonitor` — ``fleet.stall``
+  events + ``fleet.stall.alerts``), and a ``/healthz`` verdict that
+  degrades to ``"degraded"`` / ``"unhealthy"`` with a per-shard
+  breakdown when a worker misses ``heartbeat_misses`` heartbeats or
+  its process dies.  The status object attaches to the router
+  registry (``registry.fleet``) so the scrape endpoint picks it up
+  without extra wiring.
 
 Router-side metric names:
 
-==================================  ==================================
-``serve.router.requests``           counter: submissions seen
-``serve.router.rejected``           counter: router backpressure
-``serve.router.inflight``           gauge: in-flight after each event
-``serve.shard.<i>.routed``          counter: requests routed to shard
-``serve.shard.<i>.requests``        gauge: responses shard answered
-``serve.shard.<i>.cache_hits``      gauge: shard-local cache hits
-==================================  ==================================
+==========================================  ==========================
+``serve.router.requests``                   counter: submissions seen
+``serve.router.rejected``                   counter: backpressure
+``serve.router.inflight``                   gauge: in-flight
+``serve.shard.<i>.routed``                  counter: routed to shard
+``serve.shard.<i>.requests``                gauge: answered by shard
+``serve.shard.<i>.cache_hits``              gauge: shard cache hits
+``serve.shard.<i>.cache_misses``            gauge: shard cache misses
+``serve.shard.<i>.heartbeat_age_seconds``   gauge: watchdog lag
+``serve.shard.<i>.queue_depth``             gauge: worker backlog
+``serve.shard.<i>.inflight``                gauge: worker in-flight
+``serve.shard.<i>.p99_seconds``             gauge: shard p99 latency
+``serve.shard.<i>.burn_rate_fast``          gauge: shard burn rate
+``fleet.stall.alerts``                      counter: watchdog alerts
+==========================================  ==========================
 
 Router SLO note: rejections the router answers itself appear in the
 merged ``serve.requests.rejected`` counter, while the ``serve.slo.*``
@@ -91,12 +119,15 @@ from ..api import (
     respond,
 )
 from ..errors import ConfigurationError, ServiceError
+from ..obs.metrics import Histogram
+from ..obs.monitor import HeartbeatMonitor
 from ..obs.registry import (
     NULL_REGISTRY,
+    DeltaSnapshotter,
     MetricsRegistry,
     get_registry,
 )
-from ..obs.slo import merge_slo_gauges
+from ..obs.slo import merge_slo_gauges, publish_shard_slo
 from ..obs.tracectx import TraceContext, current_trace
 from ..sim.shm import SharedArray, SharedArraySpec
 from ..tags.population import TagPopulation
@@ -181,9 +212,13 @@ def _shard_worker(
 
     * in: ``(ticket, request, ingress, population_payload)`` or the
       ``None`` stop sentinel;
-    * out: ``("response", index, ticket, response)`` per request, then
-      ``("snapshot", index, registry_snapshot)`` (telemetry runs
-      only) and ``("done", index)`` at shutdown, or
+    * out: ``("response", index, ticket, response)`` per request;
+      with ``snapshot_interval_seconds`` set, periodic
+      ``("telemetry", index, payload)`` heartbeats whose payload
+      carries a registry *delta* plus live queue depth/in-flight, a
+      final such delta at shutdown, then ``("done", index)``; without
+      an interval, one ``("snapshot", index, registry_snapshot)``
+      (telemetry runs only) before ``("done", index)``; or
       ``("fatal", index, traceback)`` if the shard dies.
     """
     try:
@@ -195,12 +230,41 @@ def _shard_worker(
             registry=registry,
             shard_label=f"shard-{index}",
         )
+        interval = (
+            config.snapshot_interval_seconds
+            if collect_telemetry
+            else None
+        )
+        snapshotter = (
+            DeltaSnapshotter(registry, worker_id=f"shard-{index}")
+            if interval
+            else None
+        )
         # SharedArray handles must outlive every request using them.
         attached: dict[tuple, SharedArray] = {}
+
+        def _telemetry_message(final: bool = False) -> tuple:
+            # Force-publish the SLO window totals first so every delta
+            # carries fresh additive good/bad counts for the router's
+            # fleet-wide burn-rate re-derivation.
+            if registry.slo is not None:
+                registry.slo.publish(registry, force=True)
+            return (
+                "telemetry",
+                index,
+                {
+                    "ts": time.perf_counter(),
+                    "queue_depth": service.queue_depth,
+                    "inflight": service.inflight,
+                    "delta": snapshotter.delta(),
+                    "final": final,
+                },
+            )
 
         async def _main() -> None:
             loop = asyncio.get_running_loop()
             tasks: set[asyncio.Task] = set()
+            heartbeat_task: asyncio.Task | None = None
 
             async def _serve_one(ticket, request, ingress) -> None:
                 try:
@@ -228,48 +292,73 @@ def _shard_worker(
                     ("response", index, ticket, response)
                 )
 
-            async with service:
+            async def _heartbeat() -> None:
+                # Heartbeats always flow — an idle interval ships a
+                # (cheap) empty delta so the watchdog sees liveness
+                # even when no metric moved.
                 while True:
-                    message = await loop.run_in_executor(
-                        None, requests_queue.get
-                    )
-                    if message is None:
-                        break
-                    ticket, request, ingress, payload = message
-                    if payload is not None:
-                        key, spec = payload
-                        if key not in attached:
-                            shared = SharedArray.attach(
-                                spec, registry=registry
-                            )
-                            attached[key] = shared
-                            # Pre-seed the service's population cache:
-                            # resolve_request keys synthesized
-                            # populations by (size, population_seed),
-                            # so the shm-backed view substitutes for
-                            # re-synthesis, bit-identically.
-                            service._population_cache[key] = (
-                                TagPopulation.from_sorted_ids(
-                                    shared.array
+                    await asyncio.sleep(interval)
+                    responses_queue.put(_telemetry_message())
+
+            async with service:
+                if snapshotter is not None:
+                    heartbeat_task = loop.create_task(_heartbeat())
+                try:
+                    while True:
+                        message = await loop.run_in_executor(
+                            None, requests_queue.get
+                        )
+                        if message is None:
+                            break
+                        ticket, request, ingress, payload = message
+                        if payload is not None:
+                            key, spec = payload
+                            if key not in attached:
+                                shared = SharedArray.attach(
+                                    spec, registry=registry
                                 )
-                            )
-                    task = loop.create_task(
-                        _serve_one(ticket, request, ingress)
-                    )
-                    tasks.add(task)
-                    task.add_done_callback(tasks.discard)
-                if tasks:
-                    await asyncio.gather(*tasks)
+                                attached[key] = shared
+                                # Pre-seed the service's population
+                                # cache: resolve_request keys
+                                # synthesized populations by
+                                # (size, population_seed), so the
+                                # shm-backed view substitutes for
+                                # re-synthesis, bit-identically.
+                                service._population_cache[key] = (
+                                    TagPopulation.from_sorted_ids(
+                                        shared.array
+                                    )
+                                )
+                        task = loop.create_task(
+                            _serve_one(ticket, request, ingress)
+                        )
+                        tasks.add(task)
+                        task.add_done_callback(tasks.discard)
+                    if tasks:
+                        await asyncio.gather(*tasks)
+                finally:
+                    if heartbeat_task is not None:
+                        heartbeat_task.cancel()
+                        try:
+                            await heartbeat_task
+                        except asyncio.CancelledError:
+                            pass
 
         asyncio.run(_main())
         for shared in attached.values():
             shared.close()
         if registry:
-            responses_queue.put(
-                ("snapshot", index, registry.snapshot(
-                    worker_id=f"shard-{index}"
-                ))
-            )
+            if snapshotter is not None:
+                # The shutdown flush is a delta too, so the router's
+                # stop-time merge is idempotent against everything the
+                # heartbeats already shipped.
+                responses_queue.put(_telemetry_message(final=True))
+            else:
+                responses_queue.put(
+                    ("snapshot", index, registry.snapshot(
+                        worker_id=f"shard-{index}"
+                    ))
+                )
         responses_queue.put(("done", index))
     except BaseException:
         responses_queue.put(
@@ -289,6 +378,204 @@ class _RouterPending:
     ingress: float
     shard: int
     trace: TraceContext | None = None
+
+
+#: Per-request statuses summed into ``serve.shard.<i>.requests``.
+_LATENCY_HISTOGRAM = "serve.request.latency_seconds"
+
+
+class FleetStatus:
+    """Live fleet state folded from the worker heartbeat stream.
+
+    The router feeds it two things per heartbeat:
+    :meth:`record_heartbeat` (arrival time, queue depth, in-flight)
+    and :meth:`record_delta` (the registry delta that rode along).
+    From those it maintains, per shard, cumulative counters, the
+    latest gauge values (including the additive SLO window totals),
+    and a folded latency histogram — enough to re-derive every
+    ``serve.shard.<i>.*`` gauge and the fleet-wide ``serve.slo.*``
+    burn rates *mid-run* via :meth:`refresh`, and to answer
+    ``/healthz`` with a per-shard verdict via :meth:`health`.
+
+    Stall detection delegates to
+    :class:`~repro.obs.monitor.HeartbeatMonitor`; process death is
+    checked through the ``alive`` callable the router provides.  All
+    methods take one internal lock: recorders run on the collector
+    thread while :meth:`refresh`/:meth:`health` run on HTTP scrape
+    threads.
+    """
+
+    def __init__(
+        self,
+        shards: int,
+        interval: float,
+        misses: int = 2,
+        registry: MetricsRegistry | None = None,
+        alive=None,
+    ):
+        if shards < 1:
+            raise ConfigurationError(
+                f"shards must be >= 1, got {shards}"
+            )
+        self.shards = shards
+        self.interval = interval
+        self._alive = alive
+        self._lock = threading.Lock()
+        self._started = time.perf_counter()
+        self._stopped: float | None = None
+        self._last_beat: dict[int, float] = {}
+        self._queue_depth: dict[int, int] = {}
+        self._inflight: dict[int, int] = {}
+        self._counters: dict[int, dict[str, float]] = {}
+        self._gauges: dict[int, dict[str, float]] = {}
+        self._latency: dict[int, Histogram] = {}
+        self.monitor = HeartbeatMonitor(
+            interval, misses=misses, registry=registry
+        )
+
+    # -- feeding (collector thread) -----------------------------------
+
+    def record_heartbeat(
+        self, shard: int, ts: float, queue_depth: int, inflight: int
+    ) -> None:
+        """Fold one heartbeat's liveness signals."""
+        with self._lock:
+            previous = self._last_beat.get(shard)
+            self._last_beat[shard] = ts
+            self._queue_depth[shard] = queue_depth
+            self._inflight[shard] = inflight
+        if previous is not None:
+            self.monitor.beat(shard, ts - previous)
+
+    def record_delta(self, shard: int, delta) -> None:
+        """Fold one registry delta into the shard's running totals."""
+        with self._lock:
+            counters = self._counters.setdefault(shard, {})
+            for name, increment in delta.counters.items():
+                counters[name] = counters.get(name, 0.0) + increment
+            self._gauges.setdefault(shard, {}).update(delta.gauges)
+            stats = delta.histograms.get(_LATENCY_HISTOGRAM)
+            if stats is not None:
+                histogram = self._latency.get(shard)
+                if histogram is None:
+                    histogram = Histogram(_LATENCY_HISTOGRAM)
+                    self._latency[shard] = histogram
+                histogram.count += stats["count"]
+                histogram.total += stats["total"]
+                histogram.sum_squares += stats["sum_squares"]
+                histogram.min = min(histogram.min, stats["min"])
+                histogram.max = max(histogram.max, stats["max"])
+                for position, added in enumerate(stats["buckets"]):
+                    histogram.buckets[position] += added
+
+    def mark_stopped(self) -> None:
+        """Freeze the clock: ages stop growing, stalls stop firing."""
+        with self._lock:
+            self._stopped = time.perf_counter()
+
+    # -- publishing (scrape threads) ----------------------------------
+
+    def _age(self, shard: int, now: float) -> float:
+        anchor = self._last_beat.get(shard, self._started)
+        return max(0.0, now - anchor)
+
+    def _now(self) -> float:
+        return (
+            self._stopped
+            if self._stopped is not None
+            else time.perf_counter()
+        )
+
+    def refresh(self, registry) -> None:
+        """Re-publish every fleet gauge from current folded state.
+
+        Called by the collector after each applied delta and by the
+        ``/metrics`` handler right before rendering, so scrapes always
+        see heartbeat ages measured *now*, not at the last arrival.
+        """
+        with self._lock:
+            now = self._now()
+            slo_snapshots = []
+            for shard in range(self.shards):
+                prefix = f"serve.shard.{shard}"
+                registry.gauge(
+                    f"{prefix}.heartbeat_age_seconds"
+                ).set(self._age(shard, now))
+                registry.gauge(f"{prefix}.queue_depth").set(
+                    self._queue_depth.get(shard, 0)
+                )
+                registry.gauge(f"{prefix}.inflight").set(
+                    self._inflight.get(shard, 0)
+                )
+                counters = self._counters.get(shard, {})
+                answered = sum(
+                    counters.get(f"serve.requests.{status}", 0.0)
+                    for status in RESPONSE_STATUSES
+                )
+                registry.gauge(f"{prefix}.requests").set(answered)
+                registry.gauge(f"{prefix}.cache_hits").set(
+                    counters.get("serve.cache.hits", 0.0)
+                )
+                registry.gauge(f"{prefix}.cache_misses").set(
+                    counters.get("serve.cache.misses", 0.0)
+                )
+                histogram = self._latency.get(shard)
+                if histogram is not None and histogram.count:
+                    registry.gauge(f"{prefix}.p99_seconds").set(
+                        histogram.quantile(0.99)
+                    )
+                gauges = self._gauges.get(shard, {})
+                publish_shard_slo(registry, shard, gauges)
+                if "serve.slo.good_fast" in gauges or (
+                    "serve.slo.bad_fast" in gauges
+                ):
+                    slo_snapshots.append({"gauges": gauges})
+            if slo_snapshots:
+                merge_slo_gauges(registry, slo_snapshots)
+
+    def health(self) -> dict:
+        """The ``/healthz`` fleet verdict: overall + per-shard.
+
+        Per shard: ``"dead"`` when its process is gone, ``"stalled"``
+        when its heartbeat age exceeds the watchdog threshold,
+        ``"ok"`` otherwise.  Overall: every shard ok → ``"ok"``, none
+        ok → ``"unhealthy"``, anything between → ``"degraded"``.
+        After :meth:`mark_stopped` the run is complete and everything
+        reports ok with frozen ages.
+        """
+        with self._lock:
+            now = self._now()
+            stopped = self._stopped is not None
+            shards: dict[str, dict] = {}
+            healthy = 0
+            for shard in range(self.shards):
+                age = self._age(shard, now)
+                status = "ok"
+                if not stopped:
+                    alive = (
+                        self._alive(shard)
+                        if self._alive is not None
+                        else True
+                    )
+                    if not alive:
+                        status = "dead"
+                    elif self.monitor.check(shard, age):
+                        status = "stalled"
+                if status == "ok":
+                    healthy += 1
+                shards[str(shard)] = {
+                    "status": status,
+                    "heartbeat_age_seconds": age,
+                    "queue_depth": self._queue_depth.get(shard, 0),
+                    "inflight": self._inflight.get(shard, 0),
+                }
+            if healthy == self.shards:
+                overall = "ok"
+            elif healthy == 0:
+                overall = "unhealthy"
+            else:
+                overall = "degraded"
+            return {"status": overall, "shards": shards}
 
 
 class ShardedService:
@@ -323,7 +610,11 @@ class ShardedService:
         )
         self._context = _mp_context()
         self._request_queues: list = []
-        self._response_queue = None
+        # One response queue per shard (single producer each): a
+        # SIGKILLed worker can wedge at most its own pipe's write
+        # lock, never a sibling's — which is what lets the watchdog
+        # observe a killed shard while the rest keep answering.
+        self._response_queues: list = []
         self._processes: list = []
         self._collector: threading.Thread | None = None
         self._lock = threading.Lock()
@@ -336,6 +627,10 @@ class ShardedService:
         self._fatal: list[str] = []
         self._shared_populations: dict[tuple, SharedArray] = {}
         self._published: set[tuple] = set()
+        #: Live fleet state; set by :meth:`start` when snapshot
+        #: streaming is on (telemetry collected and
+        #: ``snapshot_interval_seconds`` configured).
+        self.fleet: FleetStatus | None = None
 
     # -- lifecycle ----------------------------------------------------
 
@@ -352,17 +647,29 @@ class ShardedService:
         from multiprocessing import resource_tracker
 
         resource_tracker.ensure_running()
-        self._response_queue = self._context.Queue()
+        if collect and self.config.snapshot_interval_seconds:
+            self.fleet = FleetStatus(
+                shards=self.shards,
+                interval=self.config.snapshot_interval_seconds,
+                misses=self.config.heartbeat_misses,
+                registry=self._registry,
+                alive=self._shard_alive,
+            )
+            # /metrics and /healthz find the fleet through the
+            # registry — no extra server wiring needed.
+            self._registry.attach_diagnostics(fleet=self.fleet)
         for index in range(self.shards):
             requests_queue = self._context.Queue()
             self._request_queues.append(requests_queue)
+            responses_queue = self._context.Queue()
+            self._response_queues.append(responses_queue)
             process = self._context.Process(
                 target=_shard_worker,
                 args=(
                     index,
                     self.config,
                     requests_queue,
-                    self._response_queue,
+                    responses_queue,
                     collect,
                 ),
                 daemon=True,
@@ -391,6 +698,7 @@ class ShardedService:
             process.join(timeout=10.0)
         self._processes.clear()
         self._request_queues.clear()
+        self._response_queues.clear()
         registry = self._registry
         if registry:
             for snapshot in self._snapshots:
@@ -412,6 +720,13 @@ class ShardedService:
                 )
             if self._snapshots:
                 merge_slo_gauges(registry, self._snapshots)
+        if self.fleet is not None:
+            # Streamed deltas (including each worker's final flush)
+            # were applied as they arrived — there is nothing left to
+            # re-merge, which is what keeps shutdown idempotent.
+            self.fleet.mark_stopped()
+            if registry:
+                self.fleet.refresh(registry)
         for shared in self._shared_populations.values():
             shared.close()
             shared.unlink(registry=registry if registry else None)
@@ -453,6 +768,25 @@ class ShardedService:
             return int(str(worker).rsplit("-", 1)[-1])
         except ValueError:
             return 0
+
+    def _shard_alive(self, index: int) -> bool:
+        """Process liveness probe the watchdog uses (thread-safe)."""
+        try:
+            process = self._processes[index]
+        except IndexError:
+            return False
+        return process.is_alive()
+
+    def fleet_health(self) -> dict:
+        """The watchdog verdict (``{"status": ..., "shards": {...}}``).
+
+        Empty-fleet shape (``{"status": "ok", "shards": {}}``) when
+        streaming is off — the ``/healthz`` schema stays stable either
+        way.
+        """
+        if self.fleet is None:
+            return {"status": "ok", "shards": {}}
+        return self.fleet.health()
 
     # -- submission ---------------------------------------------------
 
@@ -619,35 +953,82 @@ class ShardedService:
     # -- the collector thread -----------------------------------------
 
     def _collect(self) -> None:
-        """Resolve futures as shards answer; gather shutdown telemetry."""
-        done = 0
-        while done < self.shards:
-            try:
-                message = self._response_queue.get(
-                    timeout=_COLLECT_POLL_SECONDS
-                )
-            except Empty:
-                if all(
-                    not process.is_alive()
-                    for process in self._processes
-                ):
-                    # Every worker died without a done marker — stop
-                    # collecting; stop() fails the leftovers.
-                    return
-                continue
-            kind = message[0]
-            if kind == "response":
-                _, _, ticket, response = message
-                self._finish(ticket, response)
-            elif kind == "snapshot":
-                self._snapshots.append(message[2])
-            elif kind == "done":
-                done += 1
-            elif kind == "fatal":
-                _, index, text = message
-                self._fatal.append(text)
-                done += 1
-                self._fail_shard(index, text)
+        """Resolve futures as shards answer; fold telemetry as it lands.
+
+        Round-robins over the per-shard response queues.  A shard is
+        finished when it sends ``done``/``fatal`` — or when its
+        process is found dead with an empty queue (SIGKILL leaves no
+        marker), in which case its pending callers fail over
+        immediately instead of waiting for ``stop()``.
+        """
+        poll = _COLLECT_POLL_SECONDS / max(self.shards, 1)
+        finished: set[int] = set()
+        while len(finished) < self.shards:
+            for index, queue in enumerate(self._response_queues):
+                if index in finished:
+                    continue
+                try:
+                    message = queue.get(timeout=poll)
+                except Empty:
+                    if not self._processes[index].is_alive():
+                        finished.add(index)
+                        self._fail_shard(
+                            index,
+                            "shard process died unexpectedly",
+                        )
+                    continue
+                # Drain whatever else is already queued before moving
+                # to the next shard, so one chatty shard never waits
+                # behind a quiet sibling's poll timeout.
+                while True:
+                    self._dispatch(message, finished)
+                    try:
+                        message = queue.get_nowait()
+                    except Empty:
+                        break
+
+    def _dispatch(self, message, finished: set[int]) -> None:
+        """Apply one worker message on the collector thread."""
+        kind = message[0]
+        if kind == "response":
+            _, _, ticket, response = message
+            self._finish(ticket, response)
+        elif kind == "telemetry":
+            self._apply_telemetry(message[1], message[2])
+        elif kind == "snapshot":
+            self._snapshots.append(message[2])
+        elif kind == "done":
+            finished.add(message[1])
+        elif kind == "fatal":
+            _, index, text = message
+            self._fatal.append(text)
+            finished.add(index)
+            self._fail_shard(index, text)
+
+    def _apply_telemetry(self, index: int, payload: dict) -> None:
+        """Fold one worker heartbeat: merge the delta, refresh gauges.
+
+        Runs on the collector thread.  The registry merge is safe
+        against concurrent scrapes for the same reason the scrape
+        handlers read without locks: counters/histograms mutate
+        in-place under the GIL and the trace log is append-only.
+        """
+        fleet = self.fleet
+        registry = self._registry
+        if fleet is not None:
+            fleet.record_heartbeat(
+                index,
+                payload["ts"],
+                payload["queue_depth"],
+                payload["inflight"],
+            )
+        delta = payload.get("delta")
+        if delta is not None and registry:
+            registry.merge(delta)
+            if fleet is not None:
+                fleet.record_delta(index, delta)
+        if fleet is not None and registry:
+            fleet.refresh(registry)
 
     def _finish(self, ticket: int, response: EstimateResponse) -> None:
         """Account one answered request and resolve its future."""

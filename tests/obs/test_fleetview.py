@@ -1,0 +1,174 @@
+"""Tests for the fleetview terminal dashboard (parse + render)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.fleetview import (
+    fetch_state,
+    fleet_summary,
+    load_snapshot,
+    main,
+    render_fleet,
+    shard_rows,
+)
+from repro.obs.prom import render_openmetrics
+
+
+def _fleet_state(shards=2):
+    """A realistic two-shard state capture, rendered from a registry."""
+    registry = MetricsRegistry()
+    registry.counter("serve.requests.ok").inc(20)
+    registry.counter("serve.cache.hits").inc(5)
+    for shard in range(shards):
+        prefix = f"serve.shard.{shard}"
+        registry.gauge(f"{prefix}.requests").set(10.0 * (shard + 1))
+        registry.gauge(f"{prefix}.cache_hits").set(2.0 + shard)
+        registry.gauge(f"{prefix}.cache_misses").set(6.0 - shard)
+        registry.gauge(f"{prefix}.p99_seconds").set(
+            0.012 * (shard + 1)
+        )
+        registry.gauge(f"{prefix}.burn_rate_fast").set(0.5 * shard)
+        registry.gauge(f"{prefix}.heartbeat_age_seconds").set(0.2)
+        registry.gauge(f"{prefix}.queue_depth").set(shard)
+        registry.gauge(f"{prefix}.inflight").set(0)
+    registry.gauge("serve.slo.burn_rate_fast").set(0.25)
+    healthz = {
+        "status": "degraded",
+        "uptime_seconds": 10.0,
+        "shards": {
+            "0": {
+                "status": "ok",
+                "heartbeat_age_seconds": 0.2,
+                "queue_depth": 0,
+                "inflight": 0,
+            },
+            "1": {
+                "status": "stalled",
+                "heartbeat_age_seconds": 3.4,
+                "queue_depth": 1,
+                "inflight": 2,
+            },
+        },
+    }
+    return {
+        "metrics_text": render_openmetrics(registry),
+        "healthz": healthz,
+    }
+
+
+class TestShardRows:
+    def test_rows_fold_metrics_and_health(self):
+        rows = shard_rows(_fleet_state())
+        assert [row["shard"] for row in rows] == [0, 1]
+        first, second = rows
+        assert first["status"] == "ok"
+        assert first["requests"] == 10.0
+        assert first["qps"] == pytest.approx(1.0)
+        assert first["cache_hit_rate"] == pytest.approx(2.0 / 8.0)
+        assert first["p99_seconds"] == pytest.approx(0.012)
+        assert second["status"] == "stalled"
+        # healthz liveness values win over the scraped gauges.
+        assert second["heartbeat_age_seconds"] == pytest.approx(3.4)
+        assert second["queue_depth"] == 1
+        assert second["inflight"] == 2
+
+    def test_rows_survive_missing_healthz(self):
+        state = _fleet_state()
+        state["healthz"] = {}
+        rows = shard_rows(state)
+        assert len(rows) == 2
+        assert rows[0]["status"] == "?"
+        assert rows[0]["qps"] is None  # no uptime to divide by
+        # Liveness falls back to the scraped gauges.
+        assert rows[1]["heartbeat_age_seconds"] == pytest.approx(0.2)
+
+    def test_summary_aggregates_fleet(self):
+        state = _fleet_state()
+        rows = shard_rows(state)
+        summary = fleet_summary(state, rows)
+        assert summary["status"] == "degraded"
+        assert summary["shards"] == 2
+        assert summary["requests"] == 30.0
+        assert summary["burn_rate_fast"] == pytest.approx(0.25)
+
+
+class TestRender:
+    def test_render_has_one_row_per_shard(self):
+        text = render_fleet(_fleet_state())
+        lines = text.splitlines()
+        assert lines[0].startswith("fleet: degraded · 2 shards")
+        assert "30 requests" in lines[0]
+        body = [
+            line for line in lines if line.startswith(("0", "1"))
+        ]
+        assert len(body) == 2
+        assert "stalled" in body[1]
+
+    def test_render_without_shards_says_so(self):
+        registry = MetricsRegistry()
+        registry.counter("sim.rounds").inc()
+        state = {
+            "metrics_text": render_openmetrics(registry),
+            "healthz": {"status": "ok", "shards": {}},
+        }
+        text = render_fleet(state)
+        assert "no per-shard series" in text
+
+
+class TestCli:
+    def test_snapshot_roundtrip(self, tmp_path, capsys):
+        path = tmp_path / "fleet.json"
+        path.write_text(json.dumps(_fleet_state()))
+        assert main(["--snapshot", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("fleet: degraded")
+
+    def test_rejects_non_snapshot_file(self, tmp_path, capsys):
+        path = tmp_path / "junk.json"
+        path.write_text("{}")
+        assert main(["--snapshot", str(path)]) == 1
+        assert "failed to load" in capsys.readouterr().err
+
+    def test_snapshot_out_requires_url(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "--snapshot",
+                    str(tmp_path / "x.json"),
+                    "--snapshot-out",
+                    str(tmp_path / "y.json"),
+                ]
+            )
+
+    def test_fetch_and_snapshot_out_from_live_endpoint(
+        self, tmp_path, capsys
+    ):
+        from repro.obs import MetricsServer
+
+        registry = MetricsRegistry()
+        registry.gauge("serve.shard.0.requests").set(4.0)
+        registry.gauge("serve.shard.0.heartbeat_age_seconds").set(0.1)
+        out_path = tmp_path / "snap.json"
+        with MetricsServer(registry, port=0) as server:
+            state = fetch_state(server.url)
+            assert "repro_serve_shard_0_requests" in state[
+                "metrics_text"
+            ]
+            assert main(
+                [
+                    "--url",
+                    server.url,
+                    "--snapshot-out",
+                    str(out_path),
+                ]
+            ) == 0
+        capsys.readouterr()
+        # The artifact renders identically offline.
+        saved = load_snapshot(str(out_path))
+        assert saved["healthz"]["status"] == "ok"
+        assert main(["--snapshot", str(out_path)]) == 0
+        assert "shard" in capsys.readouterr().out

@@ -86,6 +86,45 @@ class TestHealthz:
             _, _, text = _get(server, "/healthz")
         assert json.loads(text)["queue_depth"] == 3
 
+    def test_stable_schema_has_empty_shard_map_unsharded(
+        self, server
+    ):
+        _, _, text = _get(server, "/healthz")
+        payload = json.loads(text)
+        # The documented stable schema, present on every process.
+        assert set(payload) >= {"status", "shards", "uptime_seconds"}
+        assert payload["shards"] == {}
+
+    def test_attached_fleet_drives_status_and_shards(self, registry):
+        class FakeFleet:
+            def health(self):
+                return {
+                    "status": "degraded",
+                    "shards": {
+                        "0": {"status": "ok"},
+                        "1": {"status": "dead"},
+                    },
+                }
+
+            def refresh(self, registry):
+                registry.gauge(
+                    "serve.shard.1.heartbeat_age_seconds"
+                ).set(9.5)
+
+        registry.attach_diagnostics(fleet=FakeFleet())
+        with MetricsServer(registry, port=0) as server:
+            _, _, text = _get(server, "/healthz")
+            payload = json.loads(text)
+            assert payload["status"] == "degraded"
+            assert payload["shards"]["1"]["status"] == "dead"
+            # /metrics refreshes the fleet gauges at scrape time.
+            _, _, metrics_text = _get(server, "/metrics")
+        samples, _ = parse_openmetrics(metrics_text)
+        assert (
+            samples["repro_serve_shard_1_heartbeat_age_seconds"]
+            == 9.5
+        )
+
 
 class TestTracesRoute:
     def test_timeline_of_a_recorded_trace(self, registry, server):

@@ -232,3 +232,84 @@ class TestActiveRegistry:
         assert MetricsRegistry()
         assert not NullRegistry()
         assert not NULL_REGISTRY
+
+
+class TestDeltaSnapshotter:
+    """Delta streaming must merge to exactly the full-snapshot state."""
+
+    def _populate(self, registry):
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(0.25)
+        registry.event("e", phase="one")
+        registry.record_span("s", start=0.0, seconds=0.1)
+
+    def test_idle_snapshotter_yields_none(self):
+        from repro.obs import DeltaSnapshotter
+
+        registry = MetricsRegistry()
+        snapshotter = DeltaSnapshotter(registry)
+        assert snapshotter.delta() is None
+        self._populate(registry)
+        assert snapshotter.delta() is not None
+        # Nothing moved since the last delta: nothing to ship.
+        assert snapshotter.delta() is None
+
+    def test_delta_sequence_merges_like_one_full_snapshot(self):
+        from repro.obs import DeltaSnapshotter
+
+        source = MetricsRegistry()
+        snapshotter = DeltaSnapshotter(source, worker_id="shard-7")
+        streamed = MetricsRegistry()
+
+        self._populate(source)
+        streamed.merge(snapshotter.delta())
+        source.counter("c").inc(3)
+        source.counter("c2").inc()
+        source.gauge("g").set(0.5)
+        source.histogram("h").observe(4.0)
+        source.histogram("h").observe(0.01)
+        source.event("e", phase="two")
+        source.record_span("s2", start=0.2, seconds=0.05)
+        streamed.merge(snapshotter.delta())
+
+        direct = MetricsRegistry()
+        direct.merge(source.snapshot(worker_id="shard-7"))
+
+        got, want = streamed.snapshot(), direct.snapshot()
+        assert got["counters"] == want["counters"]
+        assert got["gauges"] == want["gauges"]
+        assert got["histograms"] == want["histograms"]
+        assert streamed.trace == direct.trace
+        assert streamed.events == direct.events
+
+    def test_deltas_carry_only_increments(self):
+        from repro.obs import DeltaSnapshotter
+
+        registry = MetricsRegistry()
+        snapshotter = DeltaSnapshotter(registry)
+        registry.counter("c").inc(10)
+        registry.histogram("h").observe(1.0)
+        snapshotter.delta()
+        registry.counter("c").inc(1)
+        registry.histogram("h").observe(3.0)
+        delta = snapshotter.delta()
+        assert delta.counters == {"c": 1.0}
+        stats = delta.histograms["h"]
+        assert stats["count"] == 1
+        assert stats["total"] == 3.0
+        assert sum(stats["buckets"]) == 1
+
+    def test_worker_id_tags_spans_and_events(self):
+        from repro.obs import DeltaSnapshotter
+
+        registry = MetricsRegistry()
+        snapshotter = DeltaSnapshotter(registry, worker_id="shard-3")
+        registry.record_span("s", start=0.0, seconds=0.1)
+        registry.event("e", x=1)
+        delta = snapshotter.delta()
+        assert delta.spans[0].attributes["worker.id"] == "shard-3"
+        assert delta.events[0]["worker.id"] == "shard-3"
+        # The source registry's own records stay untagged.
+        assert "worker.id" not in registry.trace[0].attributes
+        assert "worker.id" not in registry.events[0]

@@ -136,3 +136,83 @@ class TestPublish:
         tracker.record(False, now=T0)
         tracker.publish(registry, now=T0, force=True)
         assert registry.gauge("serve.slo.bad_fast").value == 1
+
+
+class TestMergeSloGauges:
+    """Edge cases of re-deriving fleet gauges from shard windows."""
+
+    def _publish_dict(self, tracker) -> dict:
+        registry = MetricsRegistry()
+        tracker.publish(registry, now=T0, force=True)
+        snapshot = registry.snapshot()
+        return {"gauges": dict(snapshot["gauges"])}
+
+    def test_empty_snapshot_list_publishes_idle_fleet(self):
+        from repro.obs.slo import DEFAULT_OBJECTIVE, merge_slo_gauges
+
+        registry = MetricsRegistry()
+        merge_slo_gauges(registry, [])
+        gauge = registry.gauge
+        assert gauge("serve.slo.burn_rate_fast").value == 0.0
+        assert gauge("serve.slo.good_fast").value == 0.0
+        assert gauge("serve.slo.bad_fast").value == 0.0
+        assert gauge("serve.slo.budget_remaining_fast").value == 1.0
+        assert gauge("serve.slo.objective").value == DEFAULT_OBJECTIVE
+
+    def test_zero_traffic_shard_does_not_skew_the_merge(self):
+        from repro.obs.slo import merge_slo_gauges
+
+        registry = MetricsRegistry()
+        busy = self._publish_dict(_fed_tracker(good=98, bad=2))
+        idle = self._publish_dict(SloTracker())
+        merge_slo_gauges(registry, [busy, idle])
+        assert registry.gauge(
+            "serve.slo.burn_rate_fast"
+        ).value == pytest.approx(2.0)
+        assert registry.gauge("serve.slo.good_fast").value == 98
+        assert registry.gauge("serve.slo.bad_fast").value == 2
+
+    def test_snapshot_without_gauges_counts_as_zero_traffic(self):
+        from repro.obs.slo import merge_slo_gauges
+
+        registry = MetricsRegistry()
+        busy = self._publish_dict(_fed_tracker(good=99, bad=1))
+        merge_slo_gauges(registry, [busy, {"gauges": {}}])
+        assert registry.gauge(
+            "serve.slo.burn_rate_fast"
+        ).value == pytest.approx(1.0)
+
+    def test_single_shard_fleet_equals_unsharded_publish(self):
+        from repro.obs.slo import merge_slo_gauges
+
+        tracker = _fed_tracker(good=97, bad=3, objective=0.98)
+        direct = MetricsRegistry()
+        tracker.publish(direct, now=T0, force=True)
+        merged = MetricsRegistry()
+        merge_slo_gauges(merged, [self._publish_dict(tracker)])
+        names = [
+            "serve.slo.burn_rate_fast",
+            "serve.slo.burn_rate_slow",
+            "serve.slo.good_fast",
+            "serve.slo.bad_fast",
+            "serve.slo.good_slow",
+            "serve.slo.bad_slow",
+            "serve.slo.budget_remaining_fast",
+            "serve.slo.objective",
+        ]
+        for name in names:
+            assert merged.gauge(name).value == pytest.approx(
+                direct.gauge(name).value
+            ), name
+
+    def test_per_shard_burn_rate_gauge_from_windows(self):
+        from repro.obs.slo import publish_shard_slo
+
+        registry = MetricsRegistry()
+        shard = self._publish_dict(_fed_tracker(good=96, bad=4))
+        publish_shard_slo(registry, 2, shard["gauges"])
+        assert registry.gauge(
+            "serve.shard.2.burn_rate_fast"
+        ).value == pytest.approx(4.0)
+        publish_shard_slo(registry, 3, {})
+        assert registry.gauge("serve.shard.3.burn_rate_fast").value == 0.0
